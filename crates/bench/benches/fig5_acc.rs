@@ -1,0 +1,45 @@
+//! Figure 5(b)/(f)/(j): evalDQ as the access schema grows from 12 to 20
+//! constraints. More constraints → better plans → smaller `|D_Q|` and time.
+
+use bcq_core::ebcheck::ebcheck;
+use bcq_core::qplan::qplan;
+use bcq_exec::eval_dq;
+use bcq_workload::all_datasets;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    for ds in all_datasets() {
+        // A reduced scale keeps setup fast; plan quality differences do not
+        // depend on |D|.
+        let scale = ds.scale_ladder[ds.scale_ladder.len() / 2];
+        let db = ds.build(scale);
+        let mut group = c.benchmark_group(format!("fig5_acc/{}", ds.name));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+        for k in [12usize, 16, 20] {
+            let sub = ds.access.prefix(k.min(ds.access.len()));
+            let plans: Vec<_> = ds
+                .queries
+                .iter()
+                .filter(|w| ebcheck(&w.query, &sub).effectively_bounded)
+                .map(|w| qplan(&w.query, &sub).expect("checked effectively bounded"))
+                .collect();
+            let sub_ref = &sub;
+            group.bench_function(format!("evalDQ/A{k}"), |b| {
+                b.iter(|| {
+                    for plan in &plans {
+                        let out = eval_dq(&db, plan, sub_ref).unwrap();
+                        std::hint::black_box(out.dq_tuples());
+                    }
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 5(d)/(h)/(l): evalDQ bucketed by the number of Cartesian products
+//! (`#-prod`), plus the baseline's `#-prod = 0` point (the paper: "MySQL is
+//! as fast as evalDQ when #-prod = 0 but cannot stop for 1+ products").
+
+use bcq_bench::DEFAULT_BUDGET;
+use bcq_core::qplan::qplan;
+use bcq_exec::{baseline, eval_dq, BaselineMode, BaselineOptions};
+use bcq_workload::all_datasets;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    for ds in all_datasets() {
+        let scale = ds.scale_ladder[ds.scale_ladder.len() / 2];
+        let db = ds.build(scale);
+        let mut group = c.benchmark_group(format!("fig5_prod/{}", ds.name));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1));
+        for nprod in 0..=4usize {
+            let work: Vec<_> = ds
+                .effectively_bounded_queries()
+                .filter(|w| w.query.num_prod() == nprod)
+                .collect();
+            if work.is_empty() {
+                continue;
+            }
+            let plans: Vec<_> = work
+                .iter()
+                .map(|w| qplan(&w.query, &ds.access).expect("workload query plans"))
+                .collect();
+            group.bench_function(format!("evalDQ/prod{nprod}"), |b| {
+                b.iter(|| {
+                    for plan in &plans {
+                        let out = eval_dq(&db, plan, &ds.access).unwrap();
+                        std::hint::black_box(out.result.len());
+                    }
+                })
+            });
+            // Baseline only for the product-free bucket, where it competes.
+            if nprod == 0 {
+                group.bench_function("baseline/prod0", |b| {
+                    b.iter(|| {
+                        for wq in &work {
+                            let out = baseline(
+                                &db,
+                                &wq.query,
+                                &ds.access,
+                                BaselineOptions {
+                                    mode: BaselineMode::ConstIndex,
+                                    work_budget: Some(DEFAULT_BUDGET),
+                                },
+                            )
+                            .unwrap();
+                            std::hint::black_box(out.finished());
+                        }
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 5(a)/(e)/(i): evalDQ vs baseline as `|D|` grows.
+//!
+//! For each dataset we benchmark the full effectively-bounded workload at
+//! the smallest and largest point of the paper's scale ladder. The paper's
+//! claim: evalDQ time is flat in `|D|`; the baseline grows (and eventually
+//! exceeds any budget).
+
+use bcq_bench::DEFAULT_BUDGET;
+use bcq_core::qplan::qplan;
+use bcq_exec::{baseline, eval_dq, BaselineMode, BaselineOptions};
+use bcq_workload::all_datasets;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    for ds in all_datasets() {
+        let mut group = c.benchmark_group(format!("fig5_scale/{}", ds.name));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+
+        let lo = *ds.scale_ladder.first().unwrap();
+        let hi = *ds.scale_ladder.last().unwrap();
+        for (tag, scale) in [("smallest", lo), ("largest", hi)] {
+            let db = ds.build(scale);
+            let plans: Vec<_> = ds
+                .effectively_bounded_queries()
+                .map(|w| qplan(&w.query, &ds.access).expect("workload query plans"))
+                .collect();
+            group.bench_function(format!("evalDQ/{tag}"), |b| {
+                b.iter(|| {
+                    for plan in &plans {
+                        let out = eval_dq(&db, plan, &ds.access).unwrap();
+                        std::hint::black_box(out.result.len());
+                    }
+                })
+            });
+        }
+
+        // Baseline at the smallest scale only (it DNFs or crawls at the
+        // largest; the figures binary reports that side).
+        let db = ds.build(lo);
+        let queries: Vec<_> = ds.effectively_bounded_queries().collect();
+        group.bench_function("baseline/smallest", |b| {
+            b.iter(|| {
+                for wq in &queries {
+                    let out = baseline(
+                        &db,
+                        &wq.query,
+                        &ds.access,
+                        BaselineOptions {
+                            mode: BaselineMode::ConstIndex,
+                            work_budget: Some(DEFAULT_BUDGET),
+                        },
+                    )
+                    .unwrap();
+                    std::hint::black_box(out.finished());
+                }
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

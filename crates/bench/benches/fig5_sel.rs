@@ -1,0 +1,42 @@
+//! Figure 5(c)/(g)/(k): evalDQ bucketed by the number of equality atoms
+//! (`#-sel`) in the selection condition.
+
+use bcq_core::qplan::qplan;
+use bcq_exec::eval_dq;
+use bcq_workload::all_datasets;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    for ds in all_datasets() {
+        let scale = ds.scale_ladder[ds.scale_ladder.len() / 2];
+        let db = ds.build(scale);
+        let mut group = c.benchmark_group(format!("fig5_sel/{}", ds.name));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1));
+        for nsel in 4..=8usize {
+            let plans: Vec<_> = ds
+                .effectively_bounded_queries()
+                .filter(|w| w.query.num_sel() == nsel)
+                .map(|w| qplan(&w.query, &ds.access).expect("workload query plans"))
+                .collect();
+            if plans.is_empty() {
+                continue;
+            }
+            group.bench_function(format!("evalDQ/sel{nsel}"), |b| {
+                b.iter(|| {
+                    for plan in &plans {
+                        let out = eval_dq(&db, plan, &ds.access).unwrap();
+                        std::hint::black_box(out.result.len());
+                    }
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Table 1: elapsed time of the four analysis algorithms (`BCheck`,
+//! `EBCheck`, `findDPh`, `QPlan`) on each dataset's schema and 15 queries.
+//! The paper's worst case is 2.1 s (Python, 19 tables / 113 attributes /
+//! 84 constraints); the shape claim is that all four stay far below any
+//! query-evaluation cost.
+
+use bcq_core::bcheck::bcheck;
+use bcq_core::dominating::{find_dp, DominatingConfig};
+use bcq_core::ebcheck::ebcheck;
+use bcq_core::qplan::qplan;
+use bcq_workload::all_datasets;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    for ds in all_datasets() {
+        let mut group = c.benchmark_group(format!("table1/{}", ds.name));
+        group
+            .sample_size(20)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_secs(1));
+        group.bench_function("BCheck/all15", |b| {
+            b.iter(|| {
+                for wq in &ds.queries {
+                    std::hint::black_box(bcheck(&wq.query, &ds.access).bounded);
+                }
+            })
+        });
+        group.bench_function("EBCheck/all15", |b| {
+            b.iter(|| {
+                for wq in &ds.queries {
+                    std::hint::black_box(ebcheck(&wq.query, &ds.access).effectively_bounded);
+                }
+            })
+        });
+        group.bench_function("findDPh/all15", |b| {
+            b.iter(|| {
+                for wq in &ds.queries {
+                    std::hint::black_box(
+                        find_dp(&wq.query, &ds.access, DominatingConfig::default()).is_some(),
+                    );
+                }
+            })
+        });
+        group.bench_function("QPlan/all15", |b| {
+            b.iter(|| {
+                for wq in &ds.queries {
+                    std::hint::black_box(qplan(&wq.query, &ds.access).is_ok());
+                }
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p bcq-bench --release --bin figures            # everything
+//! cargo run -p bcq-bench --release --bin figures -- --panel 5a
+//! cargo run -p bcq-bench --release --bin figures -- --table 1
+//! cargo run -p bcq-bench --release --bin figures -- --headline
+//! cargo run -p bcq-bench --release --bin figures -- --budget 300000
+//! ```
+//!
+//! Panels map to the paper as: 5a–5d = TFACC (|D|, ‖A‖, #-sel, #-prod),
+//! 5e–5h = MOT, 5i–5l = TPCH. Output is plain text, embedded verbatim in
+//! EXPERIMENTS.md.
+
+use bcq_bench::{
+    acc_sweep, headline, prod_sweep, render_panel, render_table1, scale_sweep, sel_sweep, table1,
+    DEFAULT_BUDGET,
+};
+use bcq_workload::{all_datasets, Dataset};
+
+struct Args {
+    panel: Option<String>,
+    table: Option<String>,
+    headline_only: bool,
+    budget: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        panel: None,
+        table: None,
+        headline_only: false,
+        budget: DEFAULT_BUDGET,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--panel" => args.panel = it.next(),
+            "--table" => args.table = it.next(),
+            "--headline" => args.headline_only = true,
+            "--budget" => {
+                args.budget = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--budget takes a number");
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: figures [--panel 5a..5l] [--table 1|2] [--headline] [--budget N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn run_panel(ds: &Dataset, kind: char, letter: char, budget: u64) {
+    let (title, rows) = match kind {
+        'a' => (
+            format!("Figure 5({letter}) {}: varying |D| (scale ladder)", ds.name),
+            scale_sweep(ds, budget),
+        ),
+        'b' => (
+            format!("Figure 5({letter}) {}: varying ||A|| (12..20)", ds.name),
+            acc_sweep(ds, budget),
+        ),
+        'c' => (
+            format!("Figure 5({letter}) {}: varying #-sel (4..8)", ds.name),
+            sel_sweep(ds, budget),
+        ),
+        'd' => (
+            format!("Figure 5({letter}) {}: varying #-prod (0..4)", ds.name),
+            prod_sweep(ds, budget),
+        ),
+        _ => unreachable!(),
+    };
+    print!("{}", render_panel(&title, &rows));
+    println!();
+}
+
+fn main() {
+    let args = parse_args();
+    let datasets = all_datasets();
+
+    if args.headline_only {
+        print!("{}", headline());
+        return;
+    }
+    if let Some(t) = &args.table {
+        match t.as_str() {
+            "1" => {
+                let rows: Vec<_> = datasets.iter().map(table1).collect();
+                print!("{}", render_table1(&rows));
+            }
+            "2" => print_table2(),
+            other => eprintln!("unknown table `{other}` (1 or 2)"),
+        }
+        return;
+    }
+
+    // Panels: 5a..5l — dataset index = (letter - 'a') / 4, sweep = % 4.
+    if let Some(p) = &args.panel {
+        let letter = p
+            .trim_start_matches('5')
+            .chars()
+            .next()
+            .expect("panel like 5a");
+        let idx = (letter as u8 - b'a') as usize;
+        assert!(idx < 12, "panels are 5a..5l");
+        let ds = &datasets[idx / 4];
+        let kind = (b'a' + (idx % 4) as u8) as char;
+        run_panel(ds, kind, letter, args.budget);
+        return;
+    }
+
+    // Everything.
+    print!("{}", headline());
+    println!();
+    for (di, ds) in datasets.iter().enumerate() {
+        for (ki, kind) in ['a', 'b', 'c', 'd'].into_iter().enumerate() {
+            let letter = (b'a' + (di * 4 + ki) as u8) as char;
+            run_panel(ds, kind, letter, args.budget);
+        }
+    }
+    let rows: Vec<_> = datasets.iter().map(table1).collect();
+    print!("{}", render_table1(&rows));
+    println!();
+    print_table2();
+}
+
+/// Table 2 is the complexity summary; it is established by the theorems and
+/// exercised by the `ablations` bench (`ablation_complexity`), not measured
+/// here.
+fn print_table2() {
+    println!("## Table 2: complexity bounds (validated by `cargo bench ablations`)");
+    println!("  Bnd(Q,A)   O(|Q|(|A|+|Q|))   [Thm 5]   NP-complete when M is input [Thm 8]");
+    println!("  EBnd(Q,A)  O(|Q|(|A|+|Q|))   [Thm 6]   NP-complete when M is input [Thm 8]");
+    println!("  DP(Q,A)    NP-complete       [Thm 7]");
+    println!("  MDP(Q,A)   NPO-complete      [Thm 7]");
+}

@@ -1,0 +1,346 @@
+#![warn(missing_docs)]
+//! # bcq-bench — the Section 6 experiment harness
+//!
+//! One function per experiment of the paper's evaluation:
+//!
+//! * [`scale_sweep`] — Figures 5(a)/(e)/(i): vary `|D|`.
+//! * [`acc_sweep`] — Figures 5(b)/(f)/(j): vary `‖A‖` from 12 to 20.
+//! * [`sel_sweep`] — Figures 5(c)/(g)/(k): bucket by `#-sel`.
+//! * [`prod_sweep`] — Figures 5(d)/(h)/(l): bucket by `#-prod`.
+//! * [`table1`] — Table 1: worst-case elapsed time of `BCheck`, `EBCheck`,
+//!   `findDPh`, `QPlan` per dataset.
+//! * [`headline`] — the "35 of 45 queries are effectively bounded" summary.
+//!
+//! The Criterion benches under `benches/` and the `figures` binary both
+//! drive these. Baseline runs are capped by a **work budget** (touched
+//! rows), the deterministic analogue of the paper's 2 500 s cap; rows the
+//! baseline could not finish within budget are reported as `DNF`, matching
+//! the missing MySQL points in Figure 5.
+
+use bcq_core::bcheck::bcheck;
+use bcq_core::dominating::{find_dp, DominatingConfig};
+use bcq_core::ebcheck::ebcheck;
+use bcq_core::prelude::AccessSchema;
+use bcq_core::qplan::qplan;
+use bcq_exec::{baseline, eval_dq, BaselineMode, BaselineOptions, BaselineOutcome};
+use bcq_storage::Database;
+use bcq_workload::Dataset;
+use std::time::{Duration, Instant};
+
+/// Default baseline work budget (touched rows) — sits inside the swept
+/// `|D|` range so the baseline starts DNF-ing as data grows, like MySQL's
+/// 2 500 s cap did.
+pub const DEFAULT_BUDGET: u64 = 150_000;
+
+/// One measured point of a Figure 5 panel.
+#[derive(Debug, Clone)]
+pub struct PanelRow {
+    /// X-axis label (scale, `‖A‖`, `#-sel`, `#-prod`).
+    pub x: String,
+    /// `|D|` of the database the row ran on.
+    pub d_tuples: u64,
+    /// Mean `evalDQ` wall time over the queries of the row.
+    pub eval_dq: Duration,
+    /// Mean `|D_Q|` (tuples fetched) over the queries of the row.
+    pub dq_tuples: f64,
+    /// Mean baseline wall time over *finished* queries (`None` if every
+    /// query hit the budget).
+    pub baseline: Option<Duration>,
+    /// Fraction of queries the baseline finished within budget.
+    pub baseline_finished: f64,
+    /// Number of queries aggregated.
+    pub queries: usize,
+}
+
+impl PanelRow {
+    fn format_header() -> String {
+        format!(
+            "{:>10} {:>12} {:>12} {:>10} {:>16} {:>8}",
+            "x", "|D|", "evalDQ", "|DQ|", "baseline", "#q"
+        )
+    }
+
+    fn format(&self) -> String {
+        let base = match self.baseline {
+            Some(d) if self.baseline_finished >= 1.0 => format!("{:>16.2?}", d),
+            Some(d) => format!("{:>9.2?} ({:.0}%)", d, self.baseline_finished * 100.0),
+            None => format!("{:>16}", "DNF"),
+        };
+        format!(
+            "{:>10} {:>12} {:>12.2?} {:>10.0} {} {:>8}",
+            self.x, self.d_tuples, self.eval_dq, self.dq_tuples, base, self.queries
+        )
+    }
+}
+
+/// Renders rows as a text table (what EXPERIMENTS.md embeds).
+pub fn render_panel(title: &str, rows: &[PanelRow]) -> String {
+    let mut out = format!("## {title}\n{}\n", PanelRow::format_header());
+    for r in rows {
+        out.push_str(&r.format());
+        out.push('\n');
+    }
+    out
+}
+
+/// Evaluates the given queries on `db`, returning the aggregated row.
+pub fn measure(
+    x: String,
+    db: &Database,
+    access: &AccessSchema,
+    queries: &[&bcq_workload::WorkloadQuery],
+    budget: u64,
+) -> PanelRow {
+    let mut eval_total = Duration::ZERO;
+    let mut dq_total = 0u64;
+    let mut base_total = Duration::ZERO;
+    let mut base_finished = 0usize;
+    let mut n = 0usize;
+    for wq in queries {
+        let Ok(plan) = qplan(&wq.query, access) else {
+            continue;
+        };
+        let out = eval_dq(db, &plan, access).expect("bounded evaluation succeeds");
+        eval_total += out.elapsed;
+        dq_total += out.dq_tuples();
+        n += 1;
+
+        let opts = BaselineOptions {
+            mode: BaselineMode::ConstIndex,
+            work_budget: Some(budget),
+        };
+        match baseline(db, &wq.query, access, opts).expect("ground query") {
+            BaselineOutcome::Completed {
+                result, elapsed, ..
+            } => {
+                assert_eq!(
+                    result, out.result,
+                    "baseline and evalDQ disagree on {}",
+                    wq.query.name()
+                );
+                base_total += elapsed;
+                base_finished += 1;
+            }
+            BaselineOutcome::DidNotFinish { .. } => {}
+        }
+    }
+    PanelRow {
+        x,
+        d_tuples: db.total_tuples() as u64,
+        eval_dq: eval_total.checked_div(n.max(1) as u32).unwrap_or_default(),
+        dq_tuples: dq_total as f64 / n.max(1) as f64,
+        baseline: (base_finished > 0).then(|| base_total / base_finished as u32),
+        baseline_finished: base_finished as f64 / n.max(1) as f64,
+        queries: n,
+    }
+}
+
+/// Figure 5(a)/(e)/(i): vary `|D|` over the dataset's scale ladder; run all
+/// effectively bounded queries at each point.
+pub fn scale_sweep(ds: &Dataset, budget: u64) -> Vec<PanelRow> {
+    let queries: Vec<_> = ds.effectively_bounded_queries().collect();
+    ds.scale_ladder
+        .iter()
+        .map(|&scale| {
+            let db = ds.build(scale);
+            measure(format!("{scale}"), &db, &ds.access, &queries, budget)
+        })
+        .collect()
+}
+
+/// Figure 5(b)/(f)/(j): vary `‖A‖` from 12 to 20 (prefixes of the curated
+/// constraint order); per point, run the queries effectively bounded under
+/// that prefix.
+pub fn acc_sweep(ds: &Dataset, budget: u64) -> Vec<PanelRow> {
+    let db = ds.build(ds.default_scale);
+    (12..=20.min(ds.access.len()))
+        .map(|k| {
+            let sub = ds.access.prefix(k);
+            let queries: Vec<_> = ds
+                .queries
+                .iter()
+                .filter(|w| ebcheck(&w.query, &sub).effectively_bounded)
+                .collect();
+            measure(format!("{k}"), &db, &sub, &queries, budget)
+        })
+        .collect()
+}
+
+/// Figure 5(c)/(g)/(k): bucket the effectively bounded queries by `#-sel`.
+pub fn sel_sweep(ds: &Dataset, budget: u64) -> Vec<PanelRow> {
+    let db = ds.build(ds.default_scale);
+    (4..=8usize)
+        .filter_map(|nsel| {
+            let queries: Vec<_> = ds
+                .effectively_bounded_queries()
+                .filter(|w| w.query.num_sel() == nsel)
+                .collect();
+            if queries.is_empty() {
+                return None;
+            }
+            Some(measure(format!("{nsel}"), &db, &ds.access, &queries, budget))
+        })
+        .collect()
+}
+
+/// Figure 5(d)/(h)/(l): bucket the effectively bounded queries by `#-prod`.
+pub fn prod_sweep(ds: &Dataset, budget: u64) -> Vec<PanelRow> {
+    let db = ds.build(ds.default_scale);
+    (0..=4usize)
+        .filter_map(|nprod| {
+            let queries: Vec<_> = ds
+                .effectively_bounded_queries()
+                .filter(|w| w.query.num_prod() == nprod)
+                .collect();
+            if queries.is_empty() {
+                return None;
+            }
+            Some(measure(
+                format!("{nprod}"),
+                &db,
+                &ds.access,
+                &queries,
+                budget,
+            ))
+        })
+        .collect()
+}
+
+/// Table 1: longest elapsed time of each analysis algorithm across the
+/// dataset's 15 queries.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Worst-case `BCheck` time.
+    pub bcheck: Duration,
+    /// Worst-case `EBCheck` time.
+    pub ebcheck: Duration,
+    /// Worst-case `findDPh` time.
+    pub find_dp: Duration,
+    /// Worst-case `QPlan` time.
+    pub qplan: Duration,
+}
+
+/// Runs Table 1 for one dataset.
+pub fn table1(ds: &Dataset) -> Table1Row {
+    let mut row = Table1Row {
+        dataset: ds.name,
+        bcheck: Duration::ZERO,
+        ebcheck: Duration::ZERO,
+        find_dp: Duration::ZERO,
+        qplan: Duration::ZERO,
+    };
+    for wq in &ds.queries {
+        let t = Instant::now();
+        let _ = bcheck(&wq.query, &ds.access);
+        row.bcheck = row.bcheck.max(t.elapsed());
+
+        let t = Instant::now();
+        let _ = ebcheck(&wq.query, &ds.access);
+        row.ebcheck = row.ebcheck.max(t.elapsed());
+
+        let t = Instant::now();
+        let _ = find_dp(&wq.query, &ds.access, DominatingConfig::default());
+        row.find_dp = row.find_dp.max(t.elapsed());
+
+        let t = Instant::now();
+        let _ = qplan(&wq.query, &ds.access);
+        row.qplan = row.qplan.max(t.elapsed());
+    }
+    row
+}
+
+/// Renders Table 1 rows.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = format!(
+        "## Table 1: worst-case algorithm time per dataset\n{:>10} {:>12} {:>12} {:>12} {:>12}\n",
+        "dataset", "BCheck", "EBCheck", "findDPh", "QPlan"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>12.2?} {:>12.2?} {:>12.2?} {:>12.2?}\n",
+            r.dataset, r.bcheck, r.ebcheck, r.find_dp, r.qplan
+        ));
+    }
+    out
+}
+
+/// The Section 6 headline: how many workload queries are effectively
+/// bounded under each access schema.
+pub fn headline() -> String {
+    let mut out = String::from("## Effectively bounded queries (paper: 35/45, 77%)\n");
+    let mut eb_total = 0;
+    let mut total = 0;
+    for ds in bcq_workload::all_datasets() {
+        let eb = ds
+            .queries
+            .iter()
+            .filter(|w| ebcheck(&w.query, &ds.access).effectively_bounded)
+            .count();
+        out.push_str(&format!("{:>8}: {eb}/{}\n", ds.name, ds.queries.len()));
+        eb_total += eb;
+        total += ds.queries.len();
+    }
+    out.push_str(&format!("{:>8}: {eb_total}/{total}\n", "total"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_sweep_is_flat_for_eval_dq() {
+        // Use TPCH at two small scales: evalDQ's |DQ| must stay flat.
+        let ds = bcq_workload::tpch::dataset();
+        let queries: Vec<_> = ds.effectively_bounded_queries().collect();
+        let db1 = ds.build(0.25);
+        let db2 = ds.build(2.0);
+        let r1 = measure("s".into(), &db1, &ds.access, &queries, DEFAULT_BUDGET);
+        let r2 = measure("l".into(), &db2, &ds.access, &queries, DEFAULT_BUDGET);
+        assert_eq!(r1.queries, 11);
+        assert!(
+            (r1.dq_tuples - r2.dq_tuples).abs() / r1.dq_tuples.max(1.0) < 0.35,
+            "dq {} vs {}",
+            r1.dq_tuples,
+            r2.dq_tuples
+        );
+        assert!(r2.d_tuples > r1.d_tuples * 2);
+    }
+
+    #[test]
+    fn acc_sweep_improves_with_more_constraints() {
+        let ds = bcq_workload::mot::dataset();
+        let rows = acc_sweep(&ds, DEFAULT_BUDGET);
+        assert_eq!(rows.len(), 9); // 12..=20
+        for w in rows.windows(2) {
+            assert!(w[1].queries >= w[0].queries);
+        }
+    }
+
+    #[test]
+    fn table1_reports_all_algorithms() {
+        let ds = bcq_workload::tpch::dataset();
+        let row = table1(&ds);
+        assert_eq!(row.dataset, "TPCH");
+        // Paper: everything under 2.1 s on similar-size inputs.
+        assert!(row.qplan < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn headline_counts_35_of_45() {
+        let text = headline();
+        assert!(text.contains("35/45"), "{text}");
+    }
+
+    #[test]
+    fn render_smoke() {
+        let ds = bcq_workload::tpch::dataset();
+        let db = ds.build(0.25);
+        let queries: Vec<_> = ds.effectively_bounded_queries().take(2).collect();
+        let row = measure("x".into(), &db, &ds.access, &queries, 10);
+        let text = render_panel("panel", &[row]);
+        assert!(text.contains("evalDQ"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Access-schema advisor — the paper's future-work item (2):
+//! *"given a set of parameterized queries, we want to study how to build an
+//! optimal access schema under which the queries are effectively bounded."*
+//!
+//! [`advise`] takes a query set and an existing access schema and proposes
+//! additional access constraints that make every (satisfiable, ground)
+//! query effectively bounded, preferring few and narrow constraints. It is
+//! a greedy heuristic (the exact problem inherits the hardness of
+//! Theorem 7's reverse direction):
+//!
+//! 1. **Index repair** — for each atom whose parameter set `X^i_Q` is not
+//!    indexed, propose `X → (Y, N?)` with `X` = the instantiated/derivable
+//!    part of `X^i_Q` and `Y` the rest (falling back to the full parameter
+//!    set keyed by its constants).
+//! 2. **Coverage repair** — for each parameter class not derivable from
+//!    `X_C`, propose a constraint from an already-covered premise set of
+//!    the same atom (preferring singleton premises), or a bounded-domain
+//!    constraint `∅ → (B, N?)` when the atom has no covered attributes.
+//!
+//! Proposed bounds default to [`Proposal::UNKNOWN_BOUND`]; with a concrete
+//! database the caller can calibrate them via
+//! `bcq_storage::discover_bound` (see the `schema_advisor` example).
+
+use crate::access::{AccessConstraint, AccessSchema};
+use crate::deduce::{actualize, Closure};
+use crate::ebcheck::{ebcheck_with_seeds, xq_cols};
+use crate::query::{QAttr, SpcQuery};
+use crate::sigma::Sigma;
+use std::collections::BTreeSet;
+
+/// One proposed access constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proposal {
+    /// Relation name.
+    pub relation: String,
+    /// Key attribute names (may be empty: bounded-domain constraint).
+    pub x: Vec<String>,
+    /// Exposed attribute names.
+    pub y: Vec<String>,
+    /// Why this constraint is needed.
+    pub reason: String,
+}
+
+impl Proposal {
+    /// Placeholder bound for proposals: callers should calibrate against
+    /// data (`discover_bound`) or domain knowledge before adopting.
+    pub const UNKNOWN_BOUND: u64 = 1_000;
+
+    /// Materializes the proposal as a constraint with the given bound.
+    pub fn to_constraint(&self, a: &AccessSchema, n: u64) -> crate::error::Result<AccessConstraint> {
+        let cat = a.catalog();
+        let rel = cat.require_rel(&self.relation)?;
+        let schema = cat.relation(rel);
+        let xs = self
+            .x
+            .iter()
+            .map(|s| schema.require_attr(s))
+            .collect::<crate::error::Result<Vec<_>>>()?;
+        let ys = self
+            .y
+            .iter()
+            .map(|s| schema.require_attr(s))
+            .collect::<crate::error::Result<Vec<_>>>()?;
+        AccessConstraint::new(cat, rel, xs, ys, n)
+    }
+}
+
+/// Result of the advisor.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// Proposed constraints, deduplicated across queries.
+    pub proposals: Vec<Proposal>,
+    /// The extended schema (input constraints + proposals instantiated
+    /// with [`Proposal::UNKNOWN_BOUND`]).
+    pub extended: AccessSchema,
+    /// Query names that remain not effectively bounded even after the
+    /// proposals (templates with unbound placeholders, unsatisfiable
+    /// queries are skipped silently).
+    pub unresolved: Vec<String>,
+}
+
+/// Proposes access constraints making the queries effectively bounded
+/// under an extension of `base`.
+pub fn advise(queries: &[&SpcQuery], base: &AccessSchema) -> Advice {
+    let mut extended = base.clone();
+    let mut proposals: Vec<Proposal> = Vec::new();
+
+    // Repair one atom at a time, to a fixpoint per query: each repair
+    // re-runs the closure, so later atoms key their constraints on the
+    // attributes earlier repairs made derivable (e.g. a lineitem fetch is
+    // keyed on the order key once orders are covered, instead of on a
+    // huge-fan-out column like the ship mode).
+    for q in queries {
+        if q.has_placeholders() {
+            continue;
+        }
+        let sigma = Sigma::build(q);
+        if !sigma.is_satisfiable() {
+            continue;
+        }
+        for _round in 0..(2 * q.num_atoms() + 2) {
+            if ebcheck_with_seeds(q, &sigma, &extended, &[]).effectively_bounded {
+                break;
+            }
+            let Some(p) = first_proposal(q, &sigma, &extended) else {
+                break;
+            };
+            if let Ok(c) = p.to_constraint(&extended, Proposal::UNKNOWN_BOUND) {
+                extended.push(c);
+            }
+            if !proposals.contains(&p) {
+                proposals.push(p);
+            }
+        }
+    }
+
+    let unresolved = queries
+        .iter()
+        .filter(|q| {
+            !q.has_placeholders() && {
+                let sigma = Sigma::build(q);
+                sigma.is_satisfiable()
+                    && !ebcheck_with_seeds(q, &sigma, &extended, &[]).effectively_bounded
+            }
+        })
+        .map(|q| q.name().to_string())
+        .collect();
+
+    Advice {
+        proposals,
+        extended,
+        unresolved,
+    }
+}
+
+fn first_proposal(q: &SpcQuery, sigma: &Sigma, a: &AccessSchema) -> Option<Proposal> {
+    let gamma = actualize(q, sigma, a);
+    let closure = Closure::compute(sigma.num_classes(), &sigma.xc_classes(), &gamma);
+    let cat = q.catalog();
+
+    for atom in 0..q.num_atoms() {
+        let rel = q.relation_of(atom);
+        let rel_schema = cat.relation(rel);
+        let xq = xq_cols(q, sigma, atom);
+        if xq.is_empty() {
+            continue;
+        }
+        let class_of = |col: usize| sigma.class_of_flat(q.flat_id(QAttr::new(atom, col)));
+        let covered: BTreeSet<usize> = xq
+            .iter()
+            .copied()
+            .filter(|&c| closure.contains(class_of(c)))
+            .collect();
+        let names = |cols: &BTreeSet<usize>| -> Vec<String> {
+            cols.iter()
+                .map(|&c| rel_schema.attribute(c).to_string())
+                .collect()
+        };
+
+        // Coverage repair: some parameter column's class is unreachable.
+        let uncovered: BTreeSet<usize> = xq
+            .iter()
+            .copied()
+            .filter(|c| !covered.contains(c))
+            .collect();
+        if !uncovered.is_empty() {
+            let reason = format!(
+                "cover parameters of atom `{}` in {}",
+                q.atoms()[atom].alias,
+                q.name()
+            );
+            // Key the new constraint on the covered part (possibly empty:
+            // bounded-domain proposal).
+            return Some(Proposal {
+                relation: rel_schema.name().to_string(),
+                x: names(&covered),
+                y: names(&uncovered),
+                reason,
+            });
+        }
+
+        // Index repair: everything is derivable but no constraint keys
+        // within X^i_Q and covers it.
+        if a.covering_constraint(rel, &xq).is_none() {
+            // Prefer keying on the instantiated columns; fall back to the
+            // full parameter set (a plain index over X^i_Q).
+            let const_cols: BTreeSet<usize> = xq
+                .iter()
+                .copied()
+                .filter(|&c| sigma.class(class_of(c)).constant.is_some())
+                .collect();
+            let key = if const_cols.is_empty() {
+                let mut first = BTreeSet::new();
+                first.insert(xq[0]);
+                first
+            } else {
+                const_cols
+            };
+            let rest: BTreeSet<usize> = xq
+                .iter()
+                .copied()
+                .filter(|c| !key.contains(c))
+                .collect();
+            if rest.is_empty() {
+                continue; // single-column xq keyed by itself: nothing to expose
+            }
+            return Some(Proposal {
+                relation: rel_schema.name().to_string(),
+                x: names(&key),
+                y: names(&rest),
+                reason: format!(
+                    "index parameters of atom `{}` in {}",
+                    q.atoms()[atom].alias,
+                    q.name()
+                ),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ebcheck::ebcheck;
+    use crate::query::fixtures::{a0, photos_catalog, q0};
+    use crate::schema::Catalog;
+
+    #[test]
+    fn already_bounded_queries_need_nothing() {
+        let q = q0();
+        let a = a0();
+        let advice = advise(&[&q], &a);
+        assert!(advice.proposals.is_empty());
+        assert!(advice.unresolved.is_empty());
+        assert_eq!(advice.extended.len(), a.len());
+    }
+
+    #[test]
+    fn example_8_schema_is_repaired() {
+        // A1 = A0 minus the tagging constraint: the advisor should add a
+        // tagging index that restores effective boundedness.
+        let q = q0();
+        let a1 = a0().filtered(|_, c| c.n() != 1);
+        assert!(!ebcheck(&q, &a1).effectively_bounded);
+        let advice = advise(&[&q], &a1);
+        assert!(advice.unresolved.is_empty(), "{:?}", advice.proposals);
+        assert!(!advice.proposals.is_empty());
+        assert!(ebcheck(&q, &advice.extended).effectively_bounded);
+        // The proposal touches the tagging relation.
+        assert!(advice.proposals.iter().any(|p| p.relation == "tagging"));
+    }
+
+    #[test]
+    fn scan_query_gets_domain_plus_index() {
+        // Q(b) = π_b σ_{a=1}(r) under the empty schema: needs coverage of b
+        // and an index; the advisor proposes a constraint keyed on the
+        // constant column a.
+        let cat = Catalog::from_names(&[("r", &["a", "b"])]).unwrap();
+        let empty = AccessSchema::new(cat.clone());
+        let q = SpcQuery::builder(cat, "scan")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 1)
+            .project(("r", "b"))
+            .build()
+            .unwrap();
+        let advice = advise(&[&q], &empty);
+        assert!(advice.unresolved.is_empty());
+        assert!(ebcheck(&q, &advice.extended).effectively_bounded);
+        assert_eq!(advice.proposals.len(), 1);
+        assert_eq!(advice.proposals[0].x, vec!["a".to_string()]);
+        assert_eq!(advice.proposals[0].y, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn multi_query_proposals_are_shared() {
+        // Two queries needing the same constraint produce one proposal.
+        let cat = Catalog::from_names(&[("r", &["a", "b"])]).unwrap();
+        let empty = AccessSchema::new(cat.clone());
+        let q1 = SpcQuery::builder(cat.clone(), "s1")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 1)
+            .project(("r", "b"))
+            .build()
+            .unwrap();
+        let q2 = SpcQuery::builder(cat, "s2")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 2)
+            .project(("r", "b"))
+            .build()
+            .unwrap();
+        let advice = advise(&[&q1, &q2], &empty);
+        assert_eq!(advice.proposals.len(), 1);
+        assert!(advice.unresolved.is_empty());
+    }
+
+    #[test]
+    fn templates_are_skipped() {
+        let cat = photos_catalog();
+        let q = SpcQuery::builder(cat.clone(), "tpl")
+            .atom("friends", "f")
+            .eq_param(("f", "user_id"), "u")
+            .project(("f", "friend_id"))
+            .build()
+            .unwrap();
+        let advice = advise(&[&q], &AccessSchema::new(cat));
+        assert!(advice.proposals.is_empty());
+        assert!(advice.unresolved.is_empty());
+    }
+
+    #[test]
+    fn workload_scan_queries_get_repaired() {
+        // The TFACC-style weather scan (project aid by rng attributes):
+        // proposals key on the constants and expose aid.
+        let cat = photos_catalog();
+        let empty = AccessSchema::new(cat.clone());
+        let q = SpcQuery::builder(cat, "by_tagger")
+            .atom("tagging", "t")
+            .eq_const(("t", "tagger_id"), "u7")
+            .project(("t", "photo_id"))
+            .project(("t", "taggee_id"))
+            .build()
+            .unwrap();
+        let advice = advise(&[&q], &empty);
+        assert!(advice.unresolved.is_empty());
+        assert!(ebcheck(&q, &advice.extended).effectively_bounded);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for boundedness analysis and plan generation.
+
+use std::fmt;
+
+/// Errors raised while building schemas, queries, access constraints, or
+/// generating query plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// An attribute name was not found in the given relation.
+    UnknownAttribute {
+        /// Relation (or alias) that was searched.
+        relation: String,
+        /// Attribute that was requested.
+        attribute: String,
+    },
+    /// An atom alias was not found in the query under construction.
+    UnknownAlias(String),
+    /// A duplicate name was used where uniqueness is required.
+    Duplicate(String),
+    /// The object (schema, constraint, query) is structurally invalid.
+    Invalid(String),
+    /// The query is unsatisfiable: `Σ_Q` derives `S[A] = c` and `S[A] = d`
+    /// for distinct constants `c ≠ d`.
+    Unsatisfiable(String),
+    /// Plan generation was requested for a query that is not effectively
+    /// bounded under the access schema. Carries a human-readable diagnosis.
+    NotEffectivelyBounded(String),
+    /// A parameterized query was evaluated or planned with unbound
+    /// placeholders.
+    UnboundParameters(Vec<String>),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            CoreError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "relation `{relation}` has no attribute `{attribute}`"),
+            CoreError::UnknownAlias(alias) => write!(f, "query has no atom aliased `{alias}`"),
+            CoreError::Duplicate(what) => write!(f, "duplicate {what}"),
+            CoreError::Invalid(msg) => write!(f, "invalid: {msg}"),
+            CoreError::Unsatisfiable(msg) => write!(f, "query is unsatisfiable: {msg}"),
+            CoreError::NotEffectivelyBounded(msg) => {
+                write!(f, "query is not effectively bounded: {msg}")
+            }
+            CoreError::UnboundParameters(names) => {
+                write!(f, "unbound parameters: {}", names.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenient alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            CoreError::UnknownRelation("r".into()).to_string(),
+            "unknown relation `r`"
+        );
+        assert_eq!(
+            CoreError::UnknownAttribute {
+                relation: "r".into(),
+                attribute: "a".into()
+            }
+            .to_string(),
+            "relation `r` has no attribute `a`"
+        );
+        assert_eq!(
+            CoreError::UnboundParameters(vec!["x".into(), "y".into()]).to_string(),
+            "unbound parameters: x, y"
+        );
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::Invalid("oops".into()));
+        assert!(e.to_string().contains("oops"));
+    }
+}

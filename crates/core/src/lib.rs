@@ -1,0 +1,99 @@
+#![warn(missing_docs)]
+//! # bcq-core — Bounded Conjunctive Queries
+//!
+//! A from-scratch implementation of *Bounded Conjunctive Queries*
+//! (Cao, Fan, Wo, Yu — PVLDB 7(12), 2014): boundedness and effective
+//! boundedness analysis for SPC (conjunctive) queries under access schemas,
+//! dominating-parameter search, and bounded query-plan generation.
+//!
+//! ## Concepts
+//!
+//! * **SPC query** `Q(Z) = π_Z σ_C (S_1 × … × S_n)` — [`query::SpcQuery`].
+//! * **Access schema** `A` — a set of access constraints `X → (Y, N)`
+//!   combining a cardinality bound with an index — [`access::AccessSchema`].
+//! * **Bounded**: every `D |= A` has `D_Q ⊆ D` with `Q(D_Q) = Q(D)` and
+//!   `|D_Q|` independent of `|D|` — decided by [`bcheck::bcheck`]
+//!   (Theorem 3 / 5).
+//! * **Effectively bounded**: `D_Q` can moreover be *fetched via the indices*
+//!   of `A` in time independent of `|D|` — decided by [`ebcheck::ebcheck`]
+//!   (Theorem 4 / 6).
+//! * **Dominating parameters**: a minimal set of parameters whose
+//!   instantiation makes `Q` effectively bounded — [`dominating::find_dp`]
+//!   (Section 4.3).
+//! * **Query plans**: for an effectively bounded `Q`, [`qplan::qplan`]
+//!   generates a plan fetching at most `Σ M_i` tuples through the indices
+//!   (Section 5).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bcq_core::prelude::*;
+//!
+//! // Example 1 of the paper: photos in an album tagged by a friend.
+//! let catalog = Catalog::from_names(&[
+//!     ("in_album", &["photo_id", "album_id"]),
+//!     ("friends", &["user_id", "friend_id"]),
+//!     ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
+//! ]).unwrap();
+//!
+//! let mut a0 = AccessSchema::new(catalog.clone());
+//! a0.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
+//! a0.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+//! a0.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1).unwrap();
+//!
+//! let q0 = SpcQuery::builder(catalog, "Q0")
+//!     .atom("in_album", "ia").atom("friends", "f").atom("tagging", "t")
+//!     .eq_const(("ia", "album_id"), "a0")
+//!     .eq_const(("f", "user_id"), "u0")
+//!     .eq(("ia", "photo_id"), ("t", "photo_id"))
+//!     .eq(("t", "tagger_id"), ("f", "friend_id"))
+//!     .eq_const(("t", "taggee_id"), "u0")
+//!     .project(("ia", "photo_id"))
+//!     .build().unwrap();
+//!
+//! assert!(bcheck(&q0, &a0).bounded);
+//! assert!(ebcheck(&q0, &a0).effectively_bounded);
+//! let plan = qplan(&q0, &a0).unwrap();
+//! assert_eq!(plan.cost_bound(), 7000); // the paper's "at most 7000 tuples"
+//! ```
+
+pub mod access;
+pub mod advisor;
+pub mod bcheck;
+pub mod deduce;
+pub mod dominating;
+pub mod ebcheck;
+pub mod error;
+pub mod explain;
+pub mod mbounded;
+pub mod normalize;
+pub mod parser;
+pub mod plan;
+pub mod qplan;
+pub mod query;
+pub mod ra;
+pub mod schema;
+pub mod sigma;
+pub mod value;
+pub mod views;
+
+/// One-stop imports for downstream crates.
+pub mod prelude {
+    pub use crate::access::{AccessConstraint, AccessSchema, ConstraintId};
+    pub use crate::bcheck::{bcheck, BoundednessReport};
+    pub use crate::dominating::{find_dp, find_dp_exact, DominatingConfig, RatioDenominator};
+    pub use crate::ebcheck::{ebcheck, EffectiveBoundednessReport};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::mbounded::{is_effectively_m_bounded, min_dq_bound_exact, min_dq_bound_greedy};
+    pub use crate::advisor::{advise, Advice, Proposal};
+    pub use crate::normalize::{normalize_catalog, NormalizedSchema};
+    pub use crate::parser::{parse_spc, render_sql};
+    pub use crate::plan::{FetchStep, KeySource, QueryPlan};
+    pub use crate::qplan::qplan;
+    pub use crate::query::{Atom, Predicate, QAttr, QueryBuilder, SpcQuery};
+    pub use crate::ra::{ra_effectively_bounded, RaExpr, RaReport};
+    pub use crate::schema::{Catalog, RelId, RelationSchema};
+    pub use crate::sigma::{ClassId, Sigma};
+    pub use crate::value::Value;
+    pub use crate::views::{expand_with_views, ViewDef, ViewExpansion};
+}

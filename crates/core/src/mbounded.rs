@@ -1,0 +1,278 @@
+//! `M`-boundedness (Section 5.2, Theorem 8): is there a plan fetching at
+//! most `M` tuples?
+//!
+//! When the bound `M` is part of the input, deciding (effective)
+//! `M`-boundedness is NP-complete — minimizing `Σ M_i` requires choosing
+//! *which* fetches to share between atoms. This module provides:
+//!
+//! * [`min_dq_bound_greedy`] — the PTIME upper bound realized by
+//!   [`crate::qplan`] (Dijkstra-minimal derivations, per-atom greedy anchor
+//!   choice);
+//! * [`min_dq_bound_exact`] — an exact exponential search over subsets of
+//!   *fetch ops* (atom × constraint pairs), used to quantify the greedy
+//!   gap in tests and the `ablation_greedy_vs_min_bound` bench;
+//! * [`is_effectively_m_bounded`] — the Theorem 8 decision problem, answered
+//!   with the exact search.
+//!
+//! The exact cost model charges each selected op
+//! `N · Π (class bound of its premises)` where class bounds are the minimum
+//! over selected ops producing the class — a slight overestimate versus the
+//! executor (which pairs key columns fetched by the same step row-wise),
+//! identical to the estimate `qplan` optimizes, so greedy-vs-exact
+//! comparisons are apples-to-apples.
+
+use crate::access::AccessSchema;
+use crate::ebcheck::{ebcheck, xq_cols};
+use crate::qplan::qplan;
+use crate::query::{QAttr, SpcQuery};
+use crate::sigma::{ClassId, Sigma};
+
+/// The `Σ M_i` bound of the plan produced by the greedy [`crate::qplan`],
+/// or `None` if `q` is not effectively bounded under `a`.
+pub fn min_dq_bound_greedy(q: &SpcQuery, a: &AccessSchema) -> Option<u128> {
+    qplan(q, a).ok().map(|p| p.cost_bound())
+}
+
+/// One candidate fetch op: probe `constraint`'s index on `atom`.
+struct Op {
+    atom: usize,
+    premises: Vec<ClassId>,
+    outputs: Vec<ClassId>,
+    n: u64,
+    /// `true` if this op can anchor its atom (constraint covers `X^i_Q`).
+    anchors: bool,
+}
+
+/// Exact minimum `Σ M_i` over all plan shapes, by exhaustive search over
+/// subsets of fetch ops. `max_ops` caps the search space (`2^max_ops`
+/// subsets); queries inducing more candidate ops return `None`, as do
+/// queries that are not effectively bounded.
+pub fn min_dq_bound_exact(q: &SpcQuery, a: &AccessSchema, max_ops: usize) -> Option<u128> {
+    let sigma = Sigma::build(q);
+    if !sigma.is_satisfiable() {
+        return Some(0);
+    }
+    if !ebcheck(q, a).effectively_bounded {
+        return None;
+    }
+
+    // Build the op universe.
+    let mut ops: Vec<Op> = Vec::new();
+    for atom in 0..q.num_atoms() {
+        let xq = xq_cols(q, &sigma, atom);
+        let rel = q.relation_of(atom);
+        let covering = a.covering_constraints(rel, &xq);
+        for &cid in a.for_relation(rel) {
+            let c = a.constraint(cid);
+            let class_of = |col: usize| sigma.class_of_flat(q.flat_id(QAttr::new(atom, col)));
+            let mut premises: Vec<ClassId> = c.x().iter().map(|&x| class_of(x)).collect();
+            premises.sort_unstable();
+            premises.dedup();
+            let mut outputs: Vec<ClassId> = c.covered().iter().map(|&y| class_of(y)).collect();
+            outputs.sort_unstable();
+            outputs.dedup();
+            ops.push(Op {
+                atom,
+                premises,
+                outputs,
+                n: c.n(),
+                anchors: !xq.is_empty() && covering.contains(&cid),
+            });
+        }
+    }
+    if ops.len() > max_ops || ops.len() >= 31 {
+        return None;
+    }
+
+    let num_classes = sigma.num_classes();
+    let const_class: Vec<bool> = (0..num_classes)
+        .map(|i| sigma.class(ClassId(i)).constant.is_some())
+        .collect();
+    // Atoms needing an anchor (those with parameters); parameter-free atoms
+    // cost one `FetchAny` tuple each.
+    let needs_anchor: Vec<bool> = (0..q.num_atoms())
+        .map(|atom| !xq_cols(q, &sigma, atom).is_empty())
+        .collect();
+    let fetch_any_cost = needs_anchor.iter().filter(|b| !**b).count() as u128;
+
+    let mut best: Option<u128> = None;
+    let n_ops = ops.len();
+    'subsets: for mask in 0u32..(1u32 << n_ops) {
+        // Evaluate class bounds under this subset by min-fixpoint.
+        let mut class_bound: Vec<Option<u128>> = const_class
+            .iter()
+            .map(|&c| if c { Some(1) } else { None })
+            .collect();
+        let mut op_bound: Vec<Option<u128>> = vec![None; n_ops];
+        loop {
+            let mut changed = false;
+            for (i, op) in ops.iter().enumerate() {
+                if mask & (1 << i) == 0 {
+                    continue;
+                }
+                let mut b = u128::from(op.n);
+                let mut derivable = true;
+                for p in &op.premises {
+                    match class_bound[p.0] {
+                        Some(pb) => b = b.saturating_mul(pb),
+                        None => {
+                            derivable = false;
+                            break;
+                        }
+                    }
+                }
+                if !derivable {
+                    continue;
+                }
+                if op_bound[i].is_none_or(|old| b < old) {
+                    op_bound[i] = Some(b);
+                    changed = true;
+                }
+                for o in &op.outputs {
+                    if class_bound[o.0].is_none_or(|old| b < old) {
+                        class_bound[o.0] = Some(b);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // All selected ops must be derivable (otherwise the subset wastes
+        // budget on unreachable fetches — an equivalent cheaper subset
+        // exists, so skip).
+        let mut cost = fetch_any_cost;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n_ops {
+            if mask & (1 << i) != 0 {
+                match op_bound[i] {
+                    Some(b) => cost = cost.saturating_add(b),
+                    None => continue 'subsets,
+                }
+            }
+        }
+        // Every parameter-bearing atom needs a derivable anchor in the set.
+        #[allow(clippy::needless_range_loop)]
+        for atom in 0..q.num_atoms() {
+            if !needs_anchor[atom] {
+                continue;
+            }
+            let anchored = ops.iter().enumerate().any(|(i, op)| {
+                mask & (1 << i) != 0 && op.atom == atom && op.anchors && op_bound[i].is_some()
+            });
+            if !anchored {
+                continue 'subsets;
+            }
+        }
+        if best.is_none_or(|b| cost < b) {
+            best = Some(cost);
+        }
+    }
+    best
+}
+
+/// Theorem 8's decision problem: does a plan fetching at most `m` tuples
+/// exist? Answered exactly (exponential in the op count, capped by
+/// `max_ops`); `None` means the search was infeasible (not effectively
+/// bounded, or too many ops).
+pub fn is_effectively_m_bounded(
+    q: &SpcQuery,
+    a: &AccessSchema,
+    m: u128,
+    max_ops: usize,
+) -> Option<bool> {
+    min_dq_bound_exact(q, a, max_ops).map(|c| c <= m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::fixtures::{a0, q0, q1};
+    use crate::schema::Catalog;
+
+    #[test]
+    fn q0_greedy_equals_exact() {
+        let q = q0();
+        let a = a0();
+        let greedy = min_dq_bound_greedy(&q, &a).unwrap();
+        let exact = min_dq_bound_exact(&q, &a, 20).unwrap();
+        assert_eq!(greedy, 7000);
+        assert_eq!(exact, 7000);
+    }
+
+    #[test]
+    fn m_bounded_decision_thresholds() {
+        let q = q0();
+        let a = a0();
+        assert_eq!(is_effectively_m_bounded(&q, &a, 7000, 20), Some(true));
+        assert_eq!(is_effectively_m_bounded(&q, &a, 6999, 20), Some(false));
+        assert_eq!(is_effectively_m_bounded(&q, &a, 1 << 40, 20), Some(true));
+    }
+
+    #[test]
+    fn not_effectively_bounded_has_no_bound() {
+        assert!(min_dq_bound_greedy(&q1(), &a0()).is_none());
+        assert!(min_dq_bound_exact(&q1(), &a0(), 20).is_none());
+        assert!(is_effectively_m_bounded(&q1(), &a0(), u128::MAX, 20).is_none());
+    }
+
+    #[test]
+    fn exact_never_exceeds_greedy() {
+        // A query with redundant constraints: exact ≤ greedy must hold.
+        let cat = Catalog::from_names(&[("r", &["a", "b", "c"])]).unwrap();
+        let mut a = AccessSchema::new(cat.clone());
+        a.add("r", &["a"], &["b"], 8).unwrap();
+        a.add("r", &["a"], &["b", "c"], 12).unwrap();
+        a.add("r", &["b"], &["c"], 2).unwrap();
+        let q = SpcQuery::builder(cat, "q")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 1)
+            .project(("r", "b"))
+            .project(("r", "c"))
+            .build()
+            .unwrap();
+        let greedy = min_dq_bound_greedy(&q, &a).unwrap();
+        let exact = min_dq_bound_exact(&q, &a, 20).unwrap();
+        assert!(exact <= greedy, "exact {exact} > greedy {greedy}");
+        // Here the single covering constraint a -> (b,c) costs 12.
+        assert_eq!(exact, 12);
+    }
+
+    #[test]
+    fn op_cap_returns_none() {
+        assert!(min_dq_bound_exact(&q0(), &a0(), 2).is_none());
+    }
+
+    #[test]
+    fn unsatisfiable_is_zero_bounded() {
+        let cat = Catalog::from_names(&[("r", &["a", "b"])]).unwrap();
+        let q = SpcQuery::builder(cat.clone(), "bad")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 1)
+            .eq_const(("r", "a"), 2)
+            .project(("r", "b"))
+            .build()
+            .unwrap();
+        let a = AccessSchema::new(cat);
+        assert_eq!(min_dq_bound_exact(&q, &a, 20), Some(0));
+        assert_eq!(is_effectively_m_bounded(&q, &a, 0, 20), Some(true));
+    }
+
+    #[test]
+    fn fetch_any_atoms_cost_one() {
+        let cat = Catalog::from_names(&[("s1", &["a", "b"]), ("s2", &["c", "d"])]).unwrap();
+        let mut a = AccessSchema::new(cat.clone());
+        a.add("s1", &["a"], &["b"], 3).unwrap();
+        let q = SpcQuery::builder(cat, "e")
+            .atom("s1", "s1")
+            .atom("s2", "s2")
+            .eq_const(("s1", "a"), 1)
+            .project(("s1", "b"))
+            .build()
+            .unwrap();
+        assert_eq!(min_dq_bound_exact(&q, &a, 20), Some(4)); // 3 + 1
+        assert_eq!(min_dq_bound_greedy(&q, &a), Some(4));
+    }
+}

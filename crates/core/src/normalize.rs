@@ -1,0 +1,255 @@
+//! Lemma 1: reduction to a single relation schema.
+//!
+//! For any relational schema `R` there is a single relation schema `R*`, a
+//! linear-time instance encoding `g_D`, and a linear-time query rewriting
+//! `g_Q` with `Q(D) = g_Q(Q)(g_D(D))`. The encoding is a tagged union with
+//! **disjoint column ranges**: `R*` has a `tag` column naming the source
+//! relation plus one column block per relation; a tuple of `R_i` fills its
+//! own block and pads every other block with `NULL`.
+//!
+//! Disjointness matters for the access-schema mapping: `X → (Y, N)` on
+//! `R_i` becomes `({tag} ∪ X') → (Y', N)` on `R*`, which every encoded
+//! instance satisfies — rows of other tags have all-`NULL` `Y'` blocks
+//! (one distinct value), and rows of tag `i` inherit the original bound.
+//! Had blocks overlapped, a bounded-domain constraint of one relation
+//! would assert a (false) bound over another relation's values. The
+//! disjoint construction preserves (effective) boundedness verdicts — see
+//! `tests/normalize_roundtrip.rs` and the `normalize_preserves_everything`
+//! property test.
+
+use crate::access::AccessSchema;
+use crate::error::{CoreError, Result};
+use crate::query::{Predicate, SpcQuery};
+use crate::schema::{Catalog, RelId, RelationSchema};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// The single-relation encoding of a catalog.
+#[derive(Debug, Clone)]
+pub struct NormalizedSchema {
+    source: Arc<Catalog>,
+    catalog: Arc<Catalog>,
+    /// Column offset of each source relation's block within `R*`.
+    offsets: Vec<usize>,
+    width: usize,
+}
+
+/// Builds `R*` for `source` (Lemma 1's `g` on schemas).
+pub fn normalize_catalog(source: &Arc<Catalog>) -> Result<NormalizedSchema> {
+    if source.is_empty() {
+        return Err(CoreError::Invalid("cannot normalize an empty catalog".into()));
+    }
+    let mut offsets = Vec::with_capacity(source.len());
+    let mut next = 1usize; // column 0 is the tag
+    for rel in source.relations() {
+        offsets.push(next);
+        next += rel.arity();
+    }
+    let width = next;
+    let mut attrs = Vec::with_capacity(width);
+    attrs.push("tag".to_string());
+    for i in 1..width {
+        attrs.push(format!("c{i}"));
+    }
+    let star = RelationSchema::new("r_star", attrs)?;
+    let catalog = Arc::new(Catalog::new([star])?);
+    Ok(NormalizedSchema {
+        source: Arc::clone(source),
+        catalog,
+        offsets,
+        width,
+    })
+}
+
+impl NormalizedSchema {
+    /// The single-relation catalog (`R*` only).
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The source catalog.
+    pub fn source(&self) -> &Arc<Catalog> {
+        &self.source
+    }
+
+    /// `R*`'s id in [`Self::catalog`].
+    pub fn star_rel(&self) -> RelId {
+        RelId(0)
+    }
+
+    /// Total width of `R*` (tag + one block per relation).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Column of `R*` carrying column `col` of source relation `rel`.
+    pub fn map_col(&self, rel: RelId, col: usize) -> usize {
+        debug_assert!(col < self.source.relation(rel).arity());
+        self.offsets[rel.0] + col
+    }
+
+    /// `g_D` at tuple granularity: tag, `NULL`-padding, the relation's
+    /// block, `NULL`-padding.
+    pub fn encode_tuple(&self, rel: RelId, row: &[Value]) -> Vec<Value> {
+        debug_assert_eq!(row.len(), self.source.relation(rel).arity());
+        let mut out = vec![Value::Null; self.width];
+        out[0] = Value::Int(rel.0 as i64);
+        let base = self.offsets[rel.0];
+        out[base..base + row.len()].clone_from_slice(row);
+        out
+    }
+
+    /// `g_Q`: rewrites a query over the source catalog to one over `R*`.
+    ///
+    /// Every atom becomes a renaming of `R*` constrained by `tag = i`;
+    /// attribute references move into the relation's column block.
+    pub fn normalize_query(&self, q: &SpcQuery) -> Result<SpcQuery> {
+        if q.catalog().as_ref() != self.source.as_ref() {
+            return Err(CoreError::Invalid(
+                "query is not over the source catalog".into(),
+            ));
+        }
+        let star = self.catalog.relation(self.star_rel());
+        let col_name =
+            |rel: RelId, col: usize| star.attribute(self.map_col(rel, col)).to_string();
+        let mut b = SpcQuery::builder(Arc::clone(&self.catalog), format!("{}*", q.name()));
+        for atom in q.atoms() {
+            b = b.atom("r_star", &atom.alias);
+        }
+        for (i, atom) in q.atoms().iter().enumerate() {
+            b = b.eq_const(
+                (atom.alias.as_str(), "tag"),
+                Value::Int(q.relation_of(i).0 as i64),
+            );
+        }
+        for p in q.predicates() {
+            match p {
+                Predicate::Eq(x, y) => {
+                    let ax = q.atoms()[x.atom].alias.clone();
+                    let ay = q.atoms()[y.atom].alias.clone();
+                    let nx = col_name(q.relation_of(x.atom), x.col);
+                    let ny = col_name(q.relation_of(y.atom), y.col);
+                    b = b.eq((ax.as_str(), nx.as_str()), (ay.as_str(), ny.as_str()));
+                }
+                Predicate::Const(x, v) => {
+                    let ax = q.atoms()[x.atom].alias.clone();
+                    let nx = col_name(q.relation_of(x.atom), x.col);
+                    b = b.eq_const((ax.as_str(), nx.as_str()), v.clone());
+                }
+                Predicate::Param(x, name) => {
+                    let ax = q.atoms()[x.atom].alias.clone();
+                    let nx = col_name(q.relation_of(x.atom), x.col);
+                    b = b.eq_param((ax.as_str(), nx.as_str()), name);
+                }
+            }
+        }
+        for z in q.projection() {
+            let az = q.atoms()[z.atom].alias.clone();
+            let nz = col_name(q.relation_of(z.atom), z.col);
+            b = b.project((az.as_str(), nz.as_str()));
+        }
+        b.build()
+    }
+
+    /// Maps an access schema over the source catalog to one over `R*`:
+    /// `X → (Y, N)` on `R_i` becomes `({tag} ∪ X') → (Y', N)`.
+    pub fn normalize_access(&self, a: &AccessSchema) -> Result<AccessSchema> {
+        if a.catalog().as_ref() != self.source.as_ref() {
+            return Err(CoreError::Invalid(
+                "access schema is not over the source catalog".into(),
+            ));
+        }
+        let mut out = AccessSchema::new(Arc::clone(&self.catalog));
+        for c in a.constraints() {
+            let rel = c.relation();
+            let x: Vec<usize> = std::iter::once(0)
+                .chain(c.x().iter().map(|&col| self.map_col(rel, col)))
+                .collect();
+            let y: Vec<usize> = c.y().iter().map(|&col| self.map_col(rel, col)).collect();
+            out.push(crate::access::AccessConstraint::new(
+                &self.catalog,
+                self.star_rel(),
+                x,
+                y,
+                c.n(),
+            )?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcheck::bcheck;
+    use crate::ebcheck::ebcheck;
+    use crate::query::fixtures::{a0, photos_catalog, q0};
+    use crate::query::QAttr;
+
+    #[test]
+    fn star_schema_shape() {
+        let n = normalize_catalog(&photos_catalog()).unwrap();
+        // 1 tag + 2 + 2 + 3 columns.
+        assert_eq!(n.width(), 8);
+        let star = n.catalog().relation(n.star_rel());
+        assert_eq!(star.arity(), 8);
+        assert_eq!(star.attribute(0), "tag");
+        // Disjoint blocks.
+        assert_eq!(n.map_col(RelId(0), 0), 1);
+        assert_eq!(n.map_col(RelId(1), 0), 3);
+        assert_eq!(n.map_col(RelId(2), 0), 5);
+    }
+
+    #[test]
+    fn encode_tuple_fills_own_block() {
+        let n = normalize_catalog(&photos_catalog()).unwrap();
+        let row = [Value::str("u0"), Value::str("u1")];
+        let enc = n.encode_tuple(RelId(1), &row);
+        assert_eq!(enc.len(), 8);
+        assert_eq!(enc[0], Value::Int(1));
+        assert_eq!(enc[1], Value::Null);
+        assert_eq!(enc[2], Value::Null);
+        assert_eq!(enc[3], Value::str("u0"));
+        assert_eq!(enc[4], Value::str("u1"));
+        assert_eq!(enc[5], Value::Null);
+    }
+
+    #[test]
+    fn normalized_q0_shape() {
+        let n = normalize_catalog(&photos_catalog()).unwrap();
+        let q = q0();
+        let nq = n.normalize_query(&q).unwrap();
+        assert_eq!(nq.num_atoms(), 3);
+        // 3 tag conditions + 5 original conditions.
+        assert_eq!(nq.num_sel(), 8);
+        assert_eq!(nq.projection(), &[QAttr::new(0, 1)]);
+    }
+
+    #[test]
+    fn boundedness_verdicts_preserved() {
+        let n = normalize_catalog(&photos_catalog()).unwrap();
+        let q = q0();
+        let a = a0();
+        let nq = n.normalize_query(&q).unwrap();
+        let na = n.normalize_access(&a).unwrap();
+        assert_eq!(bcheck(&q, &a).bounded, bcheck(&nq, &na).bounded);
+        assert_eq!(
+            ebcheck(&q, &a).effectively_bounded,
+            ebcheck(&nq, &na).effectively_bounded
+        );
+        assert!(ebcheck(&nq, &na).effectively_bounded);
+    }
+
+    #[test]
+    fn wrong_catalog_rejected() {
+        let n = normalize_catalog(&photos_catalog()).unwrap();
+        let other = Catalog::from_names(&[("x", &["a"])]).unwrap();
+        let q = SpcQuery::builder(other.clone(), "q")
+            .atom("x", "x")
+            .project(("x", "a"))
+            .build()
+            .unwrap();
+        assert!(n.normalize_query(&q).is_err());
+        assert!(n.normalize_access(&AccessSchema::new(other)).is_err());
+    }
+}

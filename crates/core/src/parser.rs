@@ -1,0 +1,564 @@
+//! A small SQL-style surface syntax for SPC queries.
+//!
+//! SPC is exactly the `SELECT DISTINCT`–`FROM`–`WHERE(=, AND)` fragment of
+//! SQL, so a familiar syntax costs little and helps adoption:
+//!
+//! ```text
+//! SELECT ia.photo_id
+//! FROM in_album ia, friends f, tagging t
+//! WHERE ia.album_id = 'a0'
+//!   AND f.user_id = ?uid
+//!   AND ia.photo_id = t.photo_id
+//!   AND t.tagger_id = f.friend_id
+//!   AND t.taggee_id = ?uid
+//! ```
+//!
+//! * `SELECT *` is not supported (SPC projections are explicit); Boolean
+//!   queries use `SELECT 1` or an empty select list via `EXISTS` syntax:
+//!   `SELECT EXISTS FROM … WHERE …`.
+//! * Constants: single-quoted strings or integer literals.
+//! * Parameters: `?name` placeholders (Example 1(2)-style templates).
+//! * Only equality predicates combined with `AND` — anything else is
+//!   outside SPC and rejected with a position-carrying error.
+
+use crate::error::{CoreError, Result};
+use crate::query::{QueryBuilder, SpcQuery};
+use crate::schema::Catalog;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Parses the SQL-style SPC fragment into an [`SpcQuery`] named `name`.
+pub fn parse_spc(catalog: Arc<Catalog>, name: &str, sql: &str) -> Result<SpcQuery> {
+    let tokens = tokenize(sql)?;
+    Parser {
+        tokens,
+        pos: 0,
+        catalog,
+    }
+    .parse(name)
+}
+
+/// Renders a query back to the surface syntax, such that
+/// `parse_spc(cat, name, &render_sql(q)?) == q`.
+///
+/// Fails for queries whose constants cannot be written as literals
+/// (`NULL`, or strings containing a quote).
+pub fn render_sql(q: &SpcQuery) -> Result<String> {
+    use crate::query::Predicate;
+    let cat = q.catalog();
+    let fmt_value = |v: &Value| -> Result<String> {
+        match v {
+            Value::Int(i) => Ok(i.to_string()),
+            Value::Str(s) if !s.contains('\'') => Ok(format!("'{s}'")),
+            Value::Str(_) => Err(CoreError::Invalid(
+                "cannot render a string containing a quote".into(),
+            )),
+            Value::Null => Err(CoreError::Invalid("cannot render NULL".into())),
+        }
+    };
+    let mut out = String::from("SELECT ");
+    if q.is_boolean() {
+        out.push_str("EXISTS");
+    } else {
+        let cols: Vec<String> = q.projection().iter().map(|z| q.attr_name(*z)).collect();
+        out.push_str(&cols.join(", "));
+    }
+    out.push_str(" FROM ");
+    let atoms: Vec<String> = q
+        .atoms()
+        .iter()
+        .map(|a| format!("{} {}", cat.relation(a.relation).name(), a.alias))
+        .collect();
+    out.push_str(&atoms.join(", "));
+    if !q.predicates().is_empty() {
+        out.push_str(" WHERE ");
+        let preds: Vec<String> = q
+            .predicates()
+            .iter()
+            .map(|p| -> Result<String> {
+                Ok(match p {
+                    Predicate::Eq(a, b) => format!("{} = {}", q.attr_name(*a), q.attr_name(*b)),
+                    Predicate::Const(a, v) => {
+                        format!("{} = {}", q.attr_name(*a), fmt_value(v)?)
+                    }
+                    Predicate::Param(a, name) => format!("{} = ?{name}", q.attr_name(*a)),
+                })
+            })
+            .collect::<Result<_>>()?;
+        out.push_str(&preds.join(" AND "));
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Param(String),
+    Dot,
+    Comma,
+    Eq,
+    Star,
+    One,
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = sql.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '.' => {
+                chars.next();
+                out.push(Tok::Dot);
+            }
+            ',' => {
+                chars.next();
+                out.push(Tok::Comma);
+            }
+            '=' => {
+                chars.next();
+                out.push(Tok::Eq);
+            }
+            '*' => {
+                chars.next();
+                out.push(Tok::Star);
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '\'')) => break,
+                        Some((_, ch)) => s.push(ch),
+                        None => {
+                            return Err(CoreError::Invalid(format!(
+                                "unterminated string starting at byte {i}"
+                            )))
+                        }
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            '?' => {
+                chars.next();
+                let mut s = String::new();
+                while let Some(&(_, ch)) = chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    return Err(CoreError::Invalid(format!(
+                        "`?` at byte {i} must be followed by a parameter name"
+                    )));
+                }
+                out.push(Tok::Param(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&(_, ch)) = chars.peek() {
+                    if ch.is_ascii_digit() {
+                        s.push(ch);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v: i64 = s
+                    .parse()
+                    .map_err(|_| CoreError::Invalid(format!("bad integer `{s}` at byte {i}")))?;
+                out.push(if v == 1 { Tok::One } else { Tok::Int(v) });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&(_, ch)) = chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(s));
+            }
+            other => {
+                return Err(CoreError::Invalid(format!(
+                    "unexpected character `{other}` at byte {i} (SPC supports only =, AND)"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+    catalog: Arc<Catalog>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(CoreError::Invalid(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(CoreError::Invalid(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    /// `alias.attr`
+    fn qualified(&mut self) -> Result<(String, String)> {
+        let alias = self.ident()?;
+        match self.next() {
+            Some(Tok::Dot) => {}
+            other => {
+                return Err(CoreError::Invalid(format!(
+                    "expected `.` after alias `{alias}`, found {other:?} \
+                     (all attribute references must be alias-qualified)"
+                )))
+            }
+        }
+        let attr = self.ident()?;
+        Ok((alias, attr))
+    }
+
+    fn parse(mut self, name: &str) -> Result<SpcQuery> {
+        self.expect_kw("select")?;
+
+        // Select list: EXISTS | 1 | qualified (, qualified)*
+        #[derive(Debug)]
+        enum Sel {
+            Boolean,
+            Cols(Vec<(String, String)>),
+        }
+        let sel = match self.peek() {
+            Some(Tok::One) => {
+                self.next();
+                Sel::Boolean
+            }
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("exists") => {
+                self.next();
+                Sel::Boolean
+            }
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("distinct") => {
+                // SPC results are sets anyway; accept and ignore.
+                self.next();
+                let mut cols = vec![self.qualified()?];
+                while matches!(self.peek(), Some(Tok::Comma)) {
+                    self.next();
+                    cols.push(self.qualified()?);
+                }
+                Sel::Cols(cols)
+            }
+            Some(Tok::Star) => {
+                return Err(CoreError::Invalid(
+                    "SELECT * is not supported: SPC projections are explicit".into(),
+                ))
+            }
+            _ => {
+                let mut cols = vec![self.qualified()?];
+                while matches!(self.peek(), Some(Tok::Comma)) {
+                    self.next();
+                    cols.push(self.qualified()?);
+                }
+                Sel::Cols(cols)
+            }
+        };
+
+        self.expect_kw("from")?;
+        let mut atoms: Vec<(String, String)> = Vec::new(); // (relation, alias)
+        loop {
+            let rel = self.ident()?;
+            // Optional alias (defaults to the relation name).
+            let alias = match self.peek() {
+                Some(Tok::Ident(s))
+                    if !s.eq_ignore_ascii_case("where") && !s.eq_ignore_ascii_case("and") =>
+                {
+                    self.ident()?
+                }
+                _ => rel.clone(),
+            };
+            atoms.push((rel, alias));
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+
+        // WHERE clause (optional).
+        #[derive(Debug)]
+        enum Rhs {
+            Attr(String, String),
+            Const(Value),
+            Param(String),
+        }
+        let mut predicates: Vec<((String, String), Rhs)> = Vec::new();
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("where")) {
+            self.next();
+            loop {
+                let lhs = self.qualified()?;
+                match self.next() {
+                    Some(Tok::Eq) => {}
+                    other => {
+                        return Err(CoreError::Invalid(format!(
+                            "expected `=` (SPC supports only equality), found {other:?}"
+                        )))
+                    }
+                }
+                let rhs = match self.next() {
+                    Some(Tok::Ident(alias)) => {
+                        match self.next() {
+                            Some(Tok::Dot) => {}
+                            other => {
+                                return Err(CoreError::Invalid(format!(
+                                    "expected `.` after `{alias}`, found {other:?}"
+                                )))
+                            }
+                        }
+                        let attr = self.ident()?;
+                        Rhs::Attr(alias, attr)
+                    }
+                    Some(Tok::Int(v)) => Rhs::Const(Value::Int(v)),
+                    Some(Tok::One) => Rhs::Const(Value::Int(1)),
+                    Some(Tok::Str(s)) => Rhs::Const(Value::str(s)),
+                    Some(Tok::Param(p)) => Rhs::Param(p),
+                    other => {
+                        return Err(CoreError::Invalid(format!(
+                            "expected attribute, constant or ?param, found {other:?}"
+                        )))
+                    }
+                };
+                predicates.push((lhs, rhs));
+                match self.peek() {
+                    Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("and") => {
+                        self.next();
+                    }
+                    None => break,
+                    other => {
+                        return Err(CoreError::Invalid(format!(
+                            "expected `AND` or end of query, found {other:?}"
+                        )))
+                    }
+                }
+            }
+        } else if self.peek().is_some() {
+            return Err(CoreError::Invalid(format!(
+                "expected `WHERE` or end of query, found {:?}",
+                self.peek()
+            )));
+        }
+
+        // Assemble through the builder (which does all name resolution).
+        let mut b: QueryBuilder = SpcQuery::builder(self.catalog, name);
+        for (rel, alias) in &atoms {
+            b = b.atom(rel, alias);
+        }
+        for (lhs, rhs) in &predicates {
+            let l = (lhs.0.as_str(), lhs.1.as_str());
+            b = match rhs {
+                Rhs::Attr(a, at) => b.eq(l, (a.as_str(), at.as_str())),
+                Rhs::Const(v) => b.eq_const(l, v.clone()),
+                Rhs::Param(p) => b.eq_param(l, p),
+            };
+        }
+        if let Sel::Cols(cols) = &sel {
+            for (a, at) in cols {
+                b = b.project((a.as_str(), at.as_str()));
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ebcheck::ebcheck;
+    use crate::query::fixtures::{a0, photos_catalog, q0};
+
+    #[test]
+    fn parses_q0_equivalently() {
+        let sql = "
+            SELECT ia.photo_id
+            FROM in_album ia, friends f, tagging t
+            WHERE ia.album_id = 'a0'
+              AND f.user_id = 'u0'
+              AND ia.photo_id = t.photo_id
+              AND t.tagger_id = f.friend_id
+              AND t.taggee_id = 'u0'";
+        let q = parse_spc(photos_catalog(), "Q0", sql).unwrap();
+        assert_eq!(q, q0());
+        assert!(ebcheck(&q, &a0()).effectively_bounded);
+    }
+
+    #[test]
+    fn parses_parameters() {
+        let sql = "SELECT ia.photo_id FROM in_album ia WHERE ia.album_id = ?aid";
+        let q = parse_spc(photos_catalog(), "tpl", sql).unwrap();
+        assert_eq!(q.placeholder_names(), vec!["aid"]);
+    }
+
+    #[test]
+    fn parses_boolean_queries() {
+        for sel in ["SELECT 1", "SELECT EXISTS"] {
+            let sql = format!("{sel} FROM friends f WHERE f.user_id = 'u0'");
+            let q = parse_spc(photos_catalog(), "b", &sql).unwrap();
+            assert!(q.is_boolean());
+            assert_eq!(q.num_sel(), 1);
+        }
+    }
+
+    #[test]
+    fn default_alias_is_relation_name() {
+        let sql = "SELECT friends.friend_id FROM friends WHERE friends.user_id = 7";
+        let q = parse_spc(photos_catalog(), "d", sql).unwrap();
+        assert_eq!(q.atoms()[0].alias, "friends");
+        assert_eq!(q.num_sel(), 1);
+    }
+
+    #[test]
+    fn distinct_is_accepted_and_ignored() {
+        let sql = "SELECT DISTINCT f.friend_id FROM friends f";
+        let q = parse_spc(photos_catalog(), "d", sql).unwrap();
+        assert_eq!(q.projection().len(), 1);
+    }
+
+    #[test]
+    fn self_joins_via_aliases() {
+        let sql = "SELECT f1.user_id, f2.friend_id
+                   FROM friends f1, friends f2
+                   WHERE f1.friend_id = f2.user_id";
+        let q = parse_spc(photos_catalog(), "sj", sql).unwrap();
+        assert_eq!(q.num_atoms(), 2);
+        assert_eq!(q.num_prod(), 1);
+    }
+
+    #[test]
+    fn integer_and_negative_constants() {
+        let sql = "SELECT f.friend_id FROM friends f WHERE f.user_id = -42";
+        let q = parse_spc(photos_catalog(), "neg", sql).unwrap();
+        assert_eq!(q.num_sel(), 1);
+        // The literal 1 also works as a constant on the right-hand side.
+        let sql = "SELECT f.friend_id FROM friends f WHERE f.user_id = 1";
+        let q = parse_spc(photos_catalog(), "one", sql).unwrap();
+        assert_eq!(q.num_sel(), 1);
+    }
+
+    #[test]
+    fn rejects_non_spc_syntax() {
+        let cat = photos_catalog();
+        for (sql, why) in [
+            ("SELECT * FROM friends f", "star"),
+            ("SELECT f.friend_id FROM friends f WHERE f.user_id < 3", "non-equality"),
+            ("SELECT f.friend_id FROM friends f WHERE f.user_id = 'x' OR f.user_id = 'y'", "OR"),
+            ("SELECT friend_id FROM friends f", "unqualified attribute"),
+            ("FROM friends f", "missing select"),
+            ("SELECT f.friend_id FROM friends f WHERE f.user_id = 'unterminated", "string"),
+        ] {
+            assert!(parse_spc(cat.clone(), "bad", sql).is_err(), "{why}: {sql}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_names_via_builder() {
+        let cat = photos_catalog();
+        assert!(parse_spc(cat.clone(), "bad", "SELECT g.x FROM ghosts g").is_err());
+        assert!(parse_spc(cat, "bad", "SELECT f.nope FROM friends f").is_err());
+    }
+
+    #[test]
+    fn whitespace_and_case_insensitive_keywords() {
+        let sql = "select\n\tf.friend_id\nfrom friends f\nwhere f.user_id='u0'";
+        let q = parse_spc(photos_catalog(), "ws", sql).unwrap();
+        assert_eq!(q.num_sel(), 1);
+    }
+
+    #[test]
+    fn render_roundtrips_q0() {
+        let q = q0();
+        let sql = render_sql(&q).unwrap();
+        let back = parse_spc(photos_catalog(), q.name(), &sql).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn render_roundtrips_booleans_and_params() {
+        let cat = photos_catalog();
+        let q = SpcQuery::builder(cat.clone(), "b")
+            .atom("friends", "f")
+            .eq_param(("f", "user_id"), "u")
+            .eq_const(("f", "friend_id"), 7)
+            .build()
+            .unwrap();
+        let sql = render_sql(&q).unwrap();
+        assert!(sql.contains("SELECT EXISTS"), "{sql}");
+        assert!(sql.contains("?u"), "{sql}");
+        let back = parse_spc(cat, "b", &sql).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn render_rejects_unprintable_constants() {
+        let cat = photos_catalog();
+        let q = SpcQuery::builder(cat.clone(), "bad")
+            .atom("friends", "f")
+            .eq_const(("f", "user_id"), "it's")
+            .build()
+            .unwrap();
+        assert!(render_sql(&q).is_err());
+        let q = SpcQuery::builder(cat, "null")
+            .atom("friends", "f")
+            .eq_const(("f", "user_id"), Value::Null)
+            .build()
+            .unwrap();
+        assert!(render_sql(&q).is_err());
+    }
+
+    #[test]
+    fn render_roundtrips_the_whole_workload_shape() {
+        // Structural check on a self-join with multiple projections.
+        let cat = photos_catalog();
+        let q = SpcQuery::builder(cat.clone(), "sj")
+            .atom("friends", "f1")
+            .atom("friends", "f2")
+            .eq(("f1", "friend_id"), ("f2", "user_id"))
+            .eq_const(("f1", "user_id"), 3)
+            .project(("f1", "user_id"))
+            .project(("f2", "friend_id"))
+            .build()
+            .unwrap();
+        let back = parse_spc(cat, "sj", &render_sql(&q).unwrap()).unwrap();
+        assert_eq!(back, q);
+    }
+}

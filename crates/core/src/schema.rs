@@ -1,0 +1,225 @@
+//! Relational schemas: relation definitions and the catalog `R = (R1, …, Rl)`.
+
+use crate::error::{CoreError, Result};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a relation inside a [`Catalog`] (stable index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub usize);
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Schema of a single relation: a name and an ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<String>,
+    by_name: HashMap<String, usize>,
+}
+
+impl RelationSchema {
+    /// Creates a relation schema, rejecting duplicate attribute names.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<Self> {
+        let name = name.into();
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        if attributes.is_empty() {
+            return Err(CoreError::Invalid(format!(
+                "relation `{name}` must have at least one attribute"
+            )));
+        }
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        for (i, a) in attributes.iter().enumerate() {
+            if by_name.insert(a.clone(), i).is_some() {
+                return Err(CoreError::Duplicate(format!(
+                    "attribute `{a}` in relation `{name}`"
+                )));
+            }
+        }
+        Ok(RelationSchema {
+            name,
+            attributes,
+            by_name,
+        })
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute names, in declaration order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Name of the attribute at position `col`.
+    pub fn attribute(&self, col: usize) -> &str {
+        &self.attributes[col]
+    }
+
+    /// Position of the attribute called `name`, if any.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Position of `name` or an error naming the relation.
+    pub fn require_attr(&self, name: &str) -> Result<usize> {
+        self.attr_index(name)
+            .ok_or_else(|| CoreError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_string(),
+            })
+    }
+}
+
+/// A relational schema `R = (R1, …, Rl)`: the set of relations queries and
+/// access constraints are defined over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Catalog {
+    relations: Vec<RelationSchema>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Catalog {
+    /// Creates a catalog from relation schemas, rejecting duplicate names.
+    pub fn new(relations: impl IntoIterator<Item = RelationSchema>) -> Result<Self> {
+        let relations: Vec<RelationSchema> = relations.into_iter().collect();
+        let mut by_name = HashMap::with_capacity(relations.len());
+        for (i, r) in relations.iter().enumerate() {
+            if by_name.insert(r.name().to_string(), RelId(i)).is_some() {
+                return Err(CoreError::Duplicate(format!("relation `{}`", r.name())));
+            }
+        }
+        Ok(Catalog {
+            relations,
+            by_name,
+        })
+    }
+
+    /// Builds a catalog from `(name, [attr, …])` pairs — the common case in
+    /// tests and workload definitions.
+    pub fn from_names(defs: &[(&str, &[&str])]) -> Result<Arc<Self>> {
+        let mut rels = Vec::with_capacity(defs.len());
+        for (name, attrs) in defs {
+            rels.push(RelationSchema::new(*name, attrs.iter().copied())?);
+        }
+        Ok(Arc::new(Catalog::new(rels)?))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` if the catalog has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// All relations, in declaration order (indexable by [`RelId`]).
+    pub fn relations(&self) -> &[RelationSchema] {
+        &self.relations
+    }
+
+    /// The relation with the given id.
+    pub fn relation(&self, id: RelId) -> &RelationSchema {
+        &self.relations[id.0]
+    }
+
+    /// Looks a relation up by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks a relation up by name or errors.
+    pub fn require_rel(&self, name: &str) -> Result<RelId> {
+        self.rel_id(name)
+            .ok_or_else(|| CoreError::UnknownRelation(name.to_string()))
+    }
+
+    /// Total number of attributes across all relations (the paper's "113
+    /// attributes" style metric).
+    pub fn total_attributes(&self) -> usize {
+        self.relations.iter().map(RelationSchema::arity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Arc<Catalog> {
+        Catalog::from_names(&[
+            ("in_album", &["photo_id", "album_id"]),
+            ("friends", &["user_id", "friend_id"]),
+            ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn catalog_lookup_by_name() {
+        let c = toy();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.rel_id("friends"), Some(RelId(1)));
+        assert_eq!(c.rel_id("nope"), None);
+        assert_eq!(c.relation(RelId(2)).name(), "tagging");
+        assert_eq!(c.total_attributes(), 7);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let c = toy();
+        let r = c.relation(RelId(0));
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.attr_index("album_id"), Some(1));
+        assert_eq!(r.attribute(0), "photo_id");
+        assert!(r.require_attr("zzz").is_err());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let r1 = RelationSchema::new("r", ["a"]).unwrap();
+        let r2 = RelationSchema::new("r", ["b"]).unwrap();
+        assert!(matches!(
+            Catalog::new([r1, r2]),
+            Err(CoreError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(matches!(
+            RelationSchema::new("r", ["a", "a"]),
+            Err(CoreError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn empty_relation_rejected() {
+        let attrs: [&str; 0] = [];
+        assert!(RelationSchema::new("r", attrs).is_err());
+    }
+
+    #[test]
+    fn require_rel_error_message() {
+        let c = toy();
+        let err = c.require_rel("ghost").unwrap_err();
+        assert_eq!(err.to_string(), "unknown relation `ghost`");
+    }
+}

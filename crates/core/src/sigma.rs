@@ -1,0 +1,459 @@
+//! `Σ_Q`: the equality closure of a query's selection condition.
+//!
+//! `Σ_Q` is the set of equality atoms derivable from `C` by transitivity.
+//! We materialize it as a union-find over the query's (flat) attribute space,
+//! with one *equivalence class* per connected component. Each class records
+//! the constant it is bound to (if any), which attributes occur literally in
+//! `C` or `Z`, and which placeholder names touch it. `⊢ S[A] = S'[A']` then
+//! becomes a constant-time class comparison — the `O(|Q|^2)` precomputation
+//! promised in Section 3.1.
+//!
+//! Conflicting constants in one class (`S[A] = c ∧ S[A] = d`, `c ≠ d`) make
+//! the query unsatisfiable; the checkers treat unsatisfiable queries as
+//! trivially (effectively) bounded with `D_Q = ∅`.
+
+use crate::query::{Predicate, QAttr, SpcQuery};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Dense identifier of a `Σ_Q` equivalence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub usize);
+
+/// Information about one equivalence class.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// All attributes in the class (every attribute of every atom belongs to
+    /// exactly one class; unmentioned attributes form singletons).
+    pub members: Vec<QAttr>,
+    /// The constant the class is bound to, if `Σ_Q ⊢ S[A] = c` for members.
+    pub constant: Option<Value>,
+    /// Placeholder names attached to members (`S[A] = ?name`).
+    pub placeholders: Vec<String>,
+    /// `true` if some member occurs literally in the selection condition `C`.
+    pub in_condition: bool,
+    /// `true` if some member occurs in the projection `Z`.
+    pub in_projection: bool,
+}
+
+impl ClassInfo {
+    /// `true` if the class contains a parameter of `Q` (occurs in `C` or `Z`).
+    pub fn is_parameter(&self) -> bool {
+        self.in_condition || self.in_projection
+    }
+}
+
+/// The computed equality closure.
+#[derive(Debug, Clone)]
+pub struct Sigma {
+    class_of: Vec<ClassId>,
+    classes: Vec<ClassInfo>,
+    /// First constant conflict found, if any.
+    conflict: Option<(QAttr, Value, Value)>,
+    /// Literal occurrence in `C`, per flat attribute id.
+    occurs_in_c: Vec<bool>,
+    /// Literal occurrence in `Z`, per flat attribute id.
+    occurs_in_z: Vec<bool>,
+}
+
+impl Sigma {
+    /// Computes `Σ_Q` for a query.
+    ///
+    /// Attributes equated by `C` are merged; attributes sharing a placeholder
+    /// name are also merged (two occurrences of `?uid` always receive the
+    /// same value on instantiation).
+    pub fn build(q: &SpcQuery) -> Sigma {
+        let n = q.total_attrs();
+        let mut uf = UnionFind::new(n);
+        let mut occurs_in_c = vec![false; n];
+        let mut occurs_in_z = vec![false; n];
+        // Transitivity runs through constants too: `S[A] = c ∧ S'[B] = c`
+        // entails `S[A] = S'[B]` (used by Example 4's X_C = {uid, aid, tid2}).
+        let mut constant_rep: HashMap<&Value, usize> = HashMap::new();
+
+        for p in q.predicates() {
+            match p {
+                Predicate::Eq(a, b) => {
+                    let (fa, fb) = (q.flat_id(*a), q.flat_id(*b));
+                    occurs_in_c[fa] = true;
+                    occurs_in_c[fb] = true;
+                    uf.union(fa, fb);
+                }
+                Predicate::Const(a, v) => {
+                    let fa = q.flat_id(*a);
+                    occurs_in_c[fa] = true;
+                    match constant_rep.get(v) {
+                        Some(&rep) => {
+                            uf.union(fa, rep);
+                        }
+                        None => {
+                            constant_rep.insert(v, fa);
+                        }
+                    }
+                }
+                // Placeholders are *inert* until instantiated: `S[A] = ?p`
+                // is not a condition of the SPC query, it only marks `S[A]`
+                // as a template parameter. This is what makes Q1 of
+                // Example 1 "not bounded even under A0": without a value,
+                // `aid` contributes nothing to `Σ_Q`, `X_B` or `X_C`.
+                Predicate::Param(..) => {}
+            }
+        }
+        for z in q.projection() {
+            occurs_in_z[q.flat_id(*z)] = true;
+        }
+
+        // Freeze: assign dense class ids by first-seen root.
+        let mut root_to_class: HashMap<usize, ClassId> = HashMap::new();
+        let mut class_of = Vec::with_capacity(n);
+        let mut classes: Vec<ClassInfo> = Vec::new();
+        for flat in 0..n {
+            let root = uf.find(flat);
+            let id = *root_to_class.entry(root).or_insert_with(|| {
+                classes.push(ClassInfo {
+                    members: Vec::new(),
+                    constant: None,
+                    placeholders: Vec::new(),
+                    in_condition: false,
+                    in_projection: false,
+                });
+                ClassId(classes.len() - 1)
+            });
+            class_of.push(id);
+            let info = &mut classes[id.0];
+            info.members.push(q.attr_of_flat(flat));
+            info.in_condition |= occurs_in_c[flat];
+            info.in_projection |= occurs_in_z[flat];
+        }
+
+        // Attach constants and placeholders; detect conflicts.
+        let mut conflict = None;
+        for p in q.predicates() {
+            match p {
+                Predicate::Const(a, v) => {
+                    let id = class_of[q.flat_id(*a)];
+                    let info = &mut classes[id.0];
+                    match &info.constant {
+                        None => info.constant = Some(v.clone()),
+                        Some(prev) if prev == v => {}
+                        Some(prev) => {
+                            if conflict.is_none() {
+                                conflict = Some((*a, prev.clone(), v.clone()));
+                            }
+                        }
+                    }
+                }
+                Predicate::Param(a, name) => {
+                    let id = class_of[q.flat_id(*a)];
+                    let info = &mut classes[id.0];
+                    if !info.placeholders.iter().any(|p| p == name) {
+                        info.placeholders.push(name.clone());
+                    }
+                }
+                Predicate::Eq(..) => {}
+            }
+        }
+
+        Sigma {
+            class_of,
+            classes,
+            conflict,
+            occurs_in_c,
+            occurs_in_z,
+        }
+    }
+
+    /// Number of equivalence classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The class of a query attribute (by flat id).
+    pub fn class_of_flat(&self, flat: usize) -> ClassId {
+        self.class_of[flat]
+    }
+
+    /// Class metadata.
+    pub fn class(&self, id: ClassId) -> &ClassInfo {
+        &self.classes[id.0]
+    }
+
+    /// All classes.
+    pub fn classes(&self) -> &[ClassInfo] {
+        &self.classes
+    }
+
+    /// `Σ_Q ⊢ a = b` given flat attribute ids.
+    pub fn entails_eq_flat(&self, a: usize, b: usize) -> bool {
+        self.class_of[a] == self.class_of[b]
+    }
+
+    /// `true` if no class binds two distinct constants.
+    pub fn is_satisfiable(&self) -> bool {
+        self.conflict.is_none()
+    }
+
+    /// The first detected constant conflict, if any.
+    pub fn conflict(&self) -> Option<&(QAttr, Value, Value)> {
+        self.conflict.as_ref()
+    }
+
+    /// `true` if the attribute (flat id) occurs literally in `C`.
+    pub fn occurs_in_condition(&self, flat: usize) -> bool {
+        self.occurs_in_c[flat]
+    }
+
+    /// `true` if the attribute (flat id) occurs in `Z`.
+    pub fn occurs_in_projection(&self, flat: usize) -> bool {
+        self.occurs_in_z[flat]
+    }
+
+    /// Classes of `X_C`: attributes instantiated with constants
+    /// (`Σ_Q ⊢ S[A] = c`).
+    pub fn xc_classes(&self) -> Vec<ClassId> {
+        (0..self.classes.len())
+            .map(ClassId)
+            .filter(|id| self.classes[id.0].constant.is_some())
+            .collect()
+    }
+
+    /// Classes of `X_B`: classes containing an attribute that occurs in `C`
+    /// but containing **no** projection attribute and no constant
+    /// (condition-only, uninstantiated attributes). Example 4 computes
+    /// `X_B = {tid1, fid}` for `Q0`, excluding the constant-bound
+    /// `{uid, aid, tid2}`.
+    pub fn xb_classes(&self) -> Vec<ClassId> {
+        (0..self.classes.len())
+            .map(ClassId)
+            .filter(|id| {
+                let c = &self.classes[id.0];
+                c.in_condition && !c.in_projection && c.constant.is_none()
+            })
+            .collect()
+    }
+
+    /// Classes containing a projection (`Z`) attribute.
+    pub fn z_classes(&self) -> Vec<ClassId> {
+        (0..self.classes.len())
+            .map(ClassId)
+            .filter(|id| self.classes[id.0].in_projection)
+            .collect()
+    }
+
+    /// Classes containing any parameter of `Q` (attribute occurring in `C`
+    /// or `Z`).
+    pub fn parameter_classes(&self) -> Vec<ClassId> {
+        (0..self.classes.len())
+            .map(ClassId)
+            .filter(|id| self.classes[id.0].is_parameter())
+            .collect()
+    }
+}
+
+/// Plain union-find with path halving and union by size.
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::fixtures::{photos_catalog, q0, q1};
+    use crate::query::SpcQuery;
+
+    #[test]
+    fn q0_equivalences() {
+        let q = q0();
+        let s = Sigma::build(&q);
+        assert!(s.is_satisfiable());
+        // pid1 = pid2 (ia.photo_id ~ t.photo_id).
+        let pid1 = q.flat_id(QAttr::new(0, 0));
+        let pid2 = q.flat_id(QAttr::new(2, 0));
+        assert!(s.entails_eq_flat(pid1, pid2));
+        // tid1 = fid.
+        let tid1 = q.flat_id(QAttr::new(2, 1));
+        let fid = q.flat_id(QAttr::new(1, 1));
+        assert!(s.entails_eq_flat(tid1, fid));
+        // aid not equal to uid.
+        let aid = q.flat_id(QAttr::new(0, 1));
+        let uid = q.flat_id(QAttr::new(1, 0));
+        assert!(!s.entails_eq_flat(aid, uid));
+        // uid ~ taggee_id through the shared constant "u0".
+        let tid2 = q.flat_id(QAttr::new(2, 2));
+        assert!(s.entails_eq_flat(uid, tid2));
+    }
+
+    #[test]
+    fn q0_xc_xb_z() {
+        let q = q0();
+        let s = Sigma::build(&q);
+        // X_C = {aid} and {uid, tid2} (merged through "u0") — two classes
+        // covering the three attributes of Example 4's X_C.
+        assert_eq!(s.xc_classes().len(), 2);
+        let xc_attrs: usize = s
+            .xc_classes()
+            .iter()
+            .map(|id| s.class(*id).members.len())
+            .sum();
+        assert_eq!(xc_attrs, 3);
+        // X_B = {tid1, fid} as in Example 4: one class of two attributes.
+        assert_eq!(s.xb_classes().len(), 1);
+        let xb = &s.class(s.xb_classes()[0]).members;
+        assert_eq!(xb.len(), 2);
+        assert_eq!(s.z_classes().len(), 1);
+        // Constants recorded.
+        let aid_class = s.class_of_flat(q.flat_id(QAttr::new(0, 1)));
+        assert_eq!(s.class(aid_class).constant, Some(Value::str("a0")));
+    }
+
+    #[test]
+    fn q1_placeholders_share_classes() {
+        let q = q1();
+        let s = Sigma::build(&q);
+        assert!(s.is_satisfiable());
+        // No constants in the template.
+        assert!(s.xc_classes().is_empty());
+        // uid's class contains f.user_id and (via taggee=user) t.taggee_id.
+        let uid = q.flat_id(QAttr::new(1, 0));
+        let tid2 = q.flat_id(QAttr::new(2, 2));
+        assert!(s.entails_eq_flat(uid, tid2));
+        let info = s.class(s.class_of_flat(uid));
+        assert_eq!(info.placeholders, vec!["uid".to_string()]);
+    }
+
+    #[test]
+    fn placeholders_are_inert_for_sigma() {
+        // `?p` neither creates conditions nor equates attributes; only
+        // instantiation does.
+        let cat = photos_catalog();
+        let q = SpcQuery::builder(cat, "P")
+            .atom("friends", "f1")
+            .atom("friends", "f2")
+            .eq_param(("f1", "user_id"), "u")
+            .eq_param(("f2", "user_id"), "u")
+            .project(("f1", "friend_id"))
+            .build()
+            .unwrap();
+        let s = Sigma::build(&q);
+        let a = q.flat_id(QAttr::new(0, 0));
+        let b = q.flat_id(QAttr::new(1, 0));
+        assert!(!s.entails_eq_flat(a, b));
+        assert!(!s.occurs_in_condition(a));
+        // X_B is empty: no real conditions yet.
+        assert!(s.xb_classes().is_empty());
+
+        // After instantiation with the same value, the classes merge via the
+        // shared constant.
+        let mut bind = std::collections::BTreeMap::new();
+        bind.insert("u".to_string(), Value::int(7));
+        let ground = q.instantiate(&bind);
+        let s2 = Sigma::build(&ground);
+        let a2 = ground.flat_id(QAttr::new(0, 0));
+        let b2 = ground.flat_id(QAttr::new(1, 0));
+        assert!(s2.entails_eq_flat(a2, b2));
+        assert_eq!(s2.xc_classes().len(), 1);
+    }
+
+    #[test]
+    fn conflicting_constants_unsatisfiable() {
+        let cat = photos_catalog();
+        let q = SpcQuery::builder(cat, "bad")
+            .atom("friends", "f")
+            .eq_const(("f", "user_id"), "u1")
+            .eq_const(("f", "user_id"), "u2")
+            .build()
+            .unwrap();
+        let s = Sigma::build(&q);
+        assert!(!s.is_satisfiable());
+        assert!(s.conflict().is_some());
+    }
+
+    #[test]
+    fn conflict_through_transitivity() {
+        let cat = photos_catalog();
+        let q = SpcQuery::builder(cat, "bad")
+            .atom("friends", "f1")
+            .atom("friends", "f2")
+            .eq(("f1", "user_id"), ("f2", "user_id"))
+            .eq_const(("f1", "user_id"), 1)
+            .eq_const(("f2", "user_id"), 2)
+            .build()
+            .unwrap();
+        assert!(!Sigma::build(&q).is_satisfiable());
+    }
+
+    #[test]
+    fn same_constant_twice_is_fine() {
+        let cat = photos_catalog();
+        let q = SpcQuery::builder(cat, "ok")
+            .atom("friends", "f")
+            .eq_const(("f", "user_id"), 1)
+            .eq_const(("f", "user_id"), 1)
+            .build()
+            .unwrap();
+        assert!(Sigma::build(&q).is_satisfiable());
+    }
+
+    #[test]
+    fn every_attribute_in_exactly_one_class() {
+        let q = q0();
+        let s = Sigma::build(&q);
+        let total: usize = s.classes().iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, q.total_attrs());
+    }
+
+    #[test]
+    fn unmentioned_attributes_are_singletons() {
+        let cat = photos_catalog();
+        let q = SpcQuery::builder(cat, "tiny")
+            .atom("tagging", "t")
+            .eq_const(("t", "photo_id"), 1)
+            .build()
+            .unwrap();
+        let s = Sigma::build(&q);
+        // tagger_id and taggee_id are unmentioned singletons.
+        let c1 = s.class(s.class_of_flat(q.flat_id(QAttr::new(0, 1))));
+        assert_eq!(c1.members.len(), 1);
+        assert!(!c1.is_parameter());
+    }
+
+    #[test]
+    fn parameter_classes_cover_c_and_z() {
+        let q = q0();
+        let s = Sigma::build(&q);
+        // Q0 has 5 classes total: {pid1,pid2}, {aid}, {uid,tid2}, {fid,tid1},
+        // and none left over (7 attrs, sizes 2+1+2+2 = 7).
+        assert_eq!(s.num_classes(), 4);
+        assert_eq!(s.parameter_classes().len(), 4);
+    }
+}

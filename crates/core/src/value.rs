@@ -1,0 +1,158 @@
+//! Dynamic values carried by tuples and selection constants.
+//!
+//! The paper's model only needs equality over an abstract domain, so a small
+//! dynamic value type suffices: 64-bit integers, interned strings, and a
+//! `Null` used exclusively by the Lemma 1 single-relation encoding
+//! ([`crate::normalize`]) to pad columns that a source relation does not have.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant in the query domain / a field of a stored tuple.
+///
+/// Strings are reference counted so that cloning values during index probes
+/// and joins is cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Padding value used by the single-relation encoding; never produced by
+    /// workload generators for live columns.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// Interned string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns `true` if the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the integer payload if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from(3usize), Value::Int(3));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(String::from("hi")), Value::str("hi"));
+    }
+
+    #[test]
+    fn equality_and_hash_agree() {
+        let mut set = HashSet::new();
+        set.insert(Value::str("abc"));
+        set.insert(Value::int(7));
+        set.insert(Value::Null);
+        assert!(set.contains(&Value::str("abc")));
+        assert!(set.contains(&Value::int(7)));
+        assert!(set.contains(&Value::Null));
+        assert!(!set.contains(&Value::int(8)));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![Value::str("b"), Value::int(2), Value::Null, Value::int(1)];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::Null, Value::int(1), Value::int(2), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::int(-4).to_string(), "-4");
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(9).as_int(), Some(9));
+        assert_eq!(Value::str("s").as_int(), None);
+        assert_eq!(Value::str("s").as_str(), Some("s"));
+        assert_eq!(Value::int(9).as_str(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::int(0).is_null());
+    }
+}

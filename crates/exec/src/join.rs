@@ -1,0 +1,417 @@
+//! Shared join/filter/project machinery.
+//!
+//! Both executors end with the same relational core: given, per atom, a set
+//! of candidate tuples (projected onto some columns), apply the selection
+//! condition and compute `π_Z`. Tuples are joined on their `Σ_Q`
+//! equivalence classes: a partial result assigns a value to each class it
+//! has bound, atoms are merged hash-join style on the shared classes, and
+//! the projection reads class values.
+//!
+//! The work budget (`max_work`) aborts runaway evaluations — the harness
+//! equivalent of the paper's 2 500 s cap on MySQL.
+
+use crate::results::ResultSet;
+use bcq_core::prelude::{Predicate, QAttr, SpcQuery, Value};
+use bcq_core::sigma::Sigma;
+use bcq_storage::fx::FxHashMap;
+use bcq_storage::Meter;
+
+/// Candidate tuples for one atom.
+#[derive(Debug, Clone)]
+pub struct AtomRows {
+    /// The atom these tuples instantiate.
+    pub atom: usize,
+    /// Relation columns present in each row (sorted).
+    pub cols: Vec<usize>,
+    /// The tuples, projected onto `cols`.
+    pub rows: Vec<Box<[Value]>>,
+}
+
+/// Raised when the work budget is exhausted mid-join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted;
+
+/// Applies the atom-local part of `C` to candidate rows: constant equalities
+/// and same-atom attribute equalities over the available columns.
+///
+/// Conditions referencing columns that are not present are skipped — callers
+/// must ensure (as `QPlan` anchors and baseline full tuples do) that all
+/// conditions on the atom are checkable either here or through class joins.
+pub fn filter_atom_rows(q: &SpcQuery, sigma: &Sigma, ar: &mut AtomRows) {
+    let col_pos = |cols: &[usize], col: usize| cols.iter().position(|&c| c == col);
+    let mut checks: Vec<(usize, Value)> = Vec::new();
+    let mut eqs: Vec<(usize, usize)> = Vec::new();
+    for p in q.predicates() {
+        match p {
+            Predicate::Const(a, v) if a.atom == ar.atom => {
+                if let Some(i) = col_pos(&ar.cols, a.col) {
+                    checks.push((i, v.clone()));
+                }
+            }
+            Predicate::Eq(a, b) if a.atom == ar.atom && b.atom == ar.atom => {
+                if let (Some(i), Some(j)) = (col_pos(&ar.cols, a.col), col_pos(&ar.cols, b.col)) {
+                    eqs.push((i, j));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Same-class columns within the atom must agree even without an explicit
+    // syntactic equality (e.g. equated transitively through other atoms —
+    // checking early shrinks the join input; the class merge would catch it
+    // anyway).
+    let classes: Vec<_> = ar
+        .cols
+        .iter()
+        .map(|&c| sigma.class_of_flat(q.flat_id(QAttr::new(ar.atom, c))))
+        .collect();
+    for i in 0..classes.len() {
+        for j in i + 1..classes.len() {
+            if classes[i] == classes[j] && !eqs.contains(&(i, j)) {
+                eqs.push((i, j));
+            }
+        }
+    }
+    if checks.is_empty() && eqs.is_empty() {
+        return;
+    }
+    ar.rows.retain(|row| {
+        checks.iter().all(|(i, v)| &row[*i] == v) && eqs.iter().all(|(i, j)| row[*i] == row[*j])
+    });
+}
+
+/// Joins the per-atom candidate sets on their `Σ_Q` classes, applies the
+/// remaining conditions, and projects `Z`.
+///
+/// `max_work` bounds `meter.work()`; exceeding it aborts with
+/// [`BudgetExhausted`].
+pub fn join_project(
+    q: &SpcQuery,
+    sigma: &Sigma,
+    mut atoms: Vec<AtomRows>,
+    meter: &mut Meter,
+    max_work: Option<u64>,
+) -> Result<ResultSet, BudgetExhausted> {
+    debug_assert_eq!(atoms.len(), q.num_atoms());
+    // Any empty candidate set empties the result.
+    if atoms.iter().any(|a| a.rows.is_empty()) {
+        return Ok(ResultSet::empty());
+    }
+
+    let nclasses = sigma.num_classes();
+    // Classes bound per atom.
+    let atom_classes: Vec<Vec<usize>> = atoms
+        .iter()
+        .map(|ar| {
+            ar.cols
+                .iter()
+                .map(|&c| sigma.class_of_flat(q.flat_id(QAttr::new(ar.atom, c))).0)
+                .collect()
+        })
+        .collect();
+
+    // Greedy join order: start with the smallest candidate set; repeatedly
+    // take the atom sharing the most classes with what is already bound
+    // (ties: smaller candidate set), falling back to a cross product.
+    let mut order: Vec<usize> = Vec::with_capacity(atoms.len());
+    let mut used = vec![false; atoms.len()];
+    let mut bound = vec![false; nclasses];
+    // Constants are always bound (checked in filters).
+    for (i, cls) in sigma.classes().iter().enumerate() {
+        if cls.constant.is_some() {
+            bound[i] = true;
+        }
+    }
+    let first = (0..atoms.len())
+        .min_by_key(|&i| atoms[i].rows.len())
+        .expect("at least one atom");
+    order.push(first);
+    used[first] = true;
+    for &c in &atom_classes[first] {
+        bound[c] = true;
+    }
+    while order.len() < atoms.len() {
+        let next = (0..atoms.len())
+            .filter(|&i| !used[i])
+            .max_by_key(|&i| {
+                let shared = atom_classes[i].iter().filter(|&&c| bound[c]).count();
+                (shared, usize::MAX - atoms[i].rows.len())
+            })
+            .expect("unused atom exists");
+        order.push(next);
+        used[next] = true;
+        for &c in &atom_classes[next] {
+            bound[c] = true;
+        }
+    }
+
+    // Partial results: one value slot per class.
+    let mut partials: Vec<Box<[Option<Value>]>> = vec![vec![None; nclasses].into_boxed_slice()];
+    // Seed constants so constant-join columns line up across atoms.
+    for (i, cls) in sigma.classes().iter().enumerate() {
+        if let Some(v) = &cls.constant {
+            partials[0][i] = Some(v.clone());
+        }
+    }
+
+    for &ai in &order {
+        let ar = &mut atoms[ai];
+        filter_atom_rows(q, sigma, ar);
+        if ar.rows.is_empty() {
+            return Ok(ResultSet::empty());
+        }
+        let classes = &atom_classes[ai];
+        // Shared classes between current partials and this atom.
+        let shared: Vec<usize> = {
+            let bound_now: Vec<bool> = {
+                let p0 = &partials[0];
+                (0..nclasses).map(|c| p0[c].is_some()).collect()
+            };
+            let mut s: Vec<usize> = classes
+                .iter()
+                .copied()
+                .filter(|&c| bound_now[c])
+                .collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+
+        // Hash the atom rows on the shared classes.
+        let mut table: FxHashMap<Box<[Value]>, Vec<usize>> = FxHashMap::default();
+        for (ri, row) in ar.rows.iter().enumerate() {
+            let key: Box<[Value]> = shared
+                .iter()
+                .map(|&c| {
+                    let pos = classes.iter().position(|&k| k == c).expect("shared class");
+                    row[pos].clone()
+                })
+                .collect();
+            table.entry(key).or_default().push(ri);
+        }
+
+        let mut next: Vec<Box<[Option<Value>]>> = Vec::new();
+        for partial in &partials {
+            let key: Box<[Value]> = shared
+                .iter()
+                .map(|&c| partial[c].clone().expect("shared class is bound"))
+                .collect();
+            let Some(matches) = table.get(&key) else {
+                continue;
+            };
+            for &ri in matches {
+                let row = &ar.rows[ri];
+                let mut merged = partial.clone();
+                let mut ok = true;
+                for (pos, &c) in classes.iter().enumerate() {
+                    match &merged[c] {
+                        Some(v) if *v != row[pos] => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => merged[c] = Some(row[pos].clone()),
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                meter.intermediate_rows += 1;
+                if let Some(budget) = max_work {
+                    if meter.work() > budget {
+                        return Err(BudgetExhausted);
+                    }
+                }
+                next.push(merged);
+            }
+        }
+        partials = next;
+        if partials.is_empty() {
+            return Ok(ResultSet::empty());
+        }
+    }
+
+    // Project Z (the empty projection yields the empty tuple — Boolean
+    // queries).
+    let mut out = Vec::with_capacity(partials.len());
+    for partial in &partials {
+        let row: Box<[Value]> = q
+            .projection()
+            .iter()
+            .map(|z| {
+                let c = sigma.class_of_flat(q.flat_id(*z)).0;
+                partial[c].clone().expect("projection class is bound")
+            })
+            .collect();
+        out.push(row);
+    }
+    Ok(ResultSet::from_rows(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcq_core::prelude::{Catalog, SpcQuery};
+
+    fn two_rel_query() -> SpcQuery {
+        let cat = Catalog::from_names(&[("r", &["a", "b"]), ("s", &["c", "d"])]).unwrap();
+        SpcQuery::builder(cat, "j")
+            .atom("r", "r")
+            .atom("s", "s")
+            .eq(("r", "b"), ("s", "c"))
+            .project(("r", "a"))
+            .project(("s", "d"))
+            .build()
+            .unwrap()
+    }
+
+    fn rows(data: &[&[i64]]) -> Vec<Box<[Value]>> {
+        data.iter()
+            .map(|r| r.iter().map(|&v| Value::int(v)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn equi_join_on_classes() {
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let atoms = vec![
+            AtomRows {
+                atom: 0,
+                cols: vec![0, 1],
+                rows: rows(&[&[1, 10], &[2, 20], &[3, 30]]),
+            },
+            AtomRows {
+                atom: 1,
+                cols: vec![0, 1],
+                rows: rows(&[&[10, 100], &[20, 200], &[99, 999]]),
+            },
+        ];
+        let mut meter = Meter::new();
+        let rs = join_project(&q, &sigma, atoms, &mut meter, None).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert!(rs.contains(&[Value::int(1), Value::int(100)]));
+        assert!(rs.contains(&[Value::int(2), Value::int(200)]));
+        assert!(meter.intermediate_rows >= 2);
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_classes() {
+        let cat = Catalog::from_names(&[("r", &["a"]), ("s", &["b"])]).unwrap();
+        let q = SpcQuery::builder(cat, "x")
+            .atom("r", "r")
+            .atom("s", "s")
+            .project(("r", "a"))
+            .project(("s", "b"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let atoms = vec![
+            AtomRows {
+                atom: 0,
+                cols: vec![0],
+                rows: rows(&[&[1], &[2]]),
+            },
+            AtomRows {
+                atom: 1,
+                cols: vec![0],
+                rows: rows(&[&[7], &[8]]),
+            },
+        ];
+        let mut meter = Meter::new();
+        let rs = join_project(&q, &sigma, atoms, &mut meter, None).unwrap();
+        assert_eq!(rs.len(), 4);
+    }
+
+    #[test]
+    fn budget_aborts() {
+        let cat = Catalog::from_names(&[("r", &["a"]), ("s", &["b"])]).unwrap();
+        let q = SpcQuery::builder(cat, "x")
+            .atom("r", "r")
+            .atom("s", "s")
+            .project(("r", "a"))
+            .project(("s", "b"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let big: Vec<Box<[Value]>> = (0..100)
+            .map(|i| vec![Value::int(i)].into_boxed_slice())
+            .collect();
+        let atoms = vec![
+            AtomRows {
+                atom: 0,
+                cols: vec![0],
+                rows: big.clone(),
+            },
+            AtomRows {
+                atom: 1,
+                cols: vec![0],
+                rows: big,
+            },
+        ];
+        let mut meter = Meter::new();
+        let r = join_project(&q, &sigma, atoms, &mut meter, Some(50));
+        assert_eq!(r, Err(BudgetExhausted));
+    }
+
+    #[test]
+    fn filter_applies_constants_and_intra_atom_eqs() {
+        let cat = Catalog::from_names(&[("r", &["a", "b", "c"])]).unwrap();
+        let q = SpcQuery::builder(cat, "f")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 1)
+            .eq(("r", "b"), ("r", "c"))
+            .project(("r", "b"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let mut ar = AtomRows {
+            atom: 0,
+            cols: vec![0, 1, 2],
+            rows: rows(&[&[1, 5, 5], &[1, 5, 6], &[2, 7, 7]]),
+        };
+        filter_atom_rows(&q, &sigma, &mut ar);
+        assert_eq!(ar.rows, rows(&[&[1, 5, 5]]));
+    }
+
+    #[test]
+    fn boolean_query_yields_empty_tuple() {
+        let cat = Catalog::from_names(&[("r", &["a"])]).unwrap();
+        let q = SpcQuery::builder(cat, "b")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 1)
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let atoms = vec![AtomRows {
+            atom: 0,
+            cols: vec![0],
+            rows: rows(&[&[1]]),
+        }];
+        let mut meter = Meter::new();
+        let rs = join_project(&q, &sigma, atoms, &mut meter, None).unwrap();
+        assert!(rs.as_bool());
+        assert_eq!(rs.rows()[0].len(), 0);
+    }
+
+    #[test]
+    fn empty_candidates_empty_result() {
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let atoms = vec![
+            AtomRows {
+                atom: 0,
+                cols: vec![0, 1],
+                rows: Vec::new(),
+            },
+            AtomRows {
+                atom: 1,
+                cols: vec![0, 1],
+                rows: rows(&[&[1, 2]]),
+            },
+        ];
+        let mut meter = Meter::new();
+        let rs = join_project(&q, &sigma, atoms, &mut meter, None).unwrap();
+        assert!(rs.is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # bcq-exec — bounded and conventional query executors
+//!
+//! * [`eval_dq`] executes the bounded plans of [`bcq_core::qplan`]: index
+//!   witness fetches only, `|D_Q|` independent of `|D|`.
+//! * [`baseline`] is the conventional-DBMS competitor (the paper's MySQL):
+//!   constant-key index access, full scans elsewhere, whole-tuple fetching,
+//!   and a work budget reproducing the 2 500 s cap.
+//! * [`join`] hosts the relational core (filter/join/project on `Σ_Q`
+//!   classes) shared by both.
+
+pub mod baseline;
+pub mod incremental;
+pub mod eval_dq;
+pub mod join;
+pub mod ra;
+pub mod results;
+pub mod views;
+
+pub use baseline::{baseline, BaselineMode, BaselineOptions, BaselineOutcome};
+pub use eval_dq::{eval_dq, ExecOutcome};
+pub use join::{join_project, AtomRows, BudgetExhausted};
+pub use incremental::{DeltaStats, IncrementalAnswer};
+pub use ra::{eval_ra, RaOutcome};
+pub use results::ResultSet;
+pub use views::materialize_views;

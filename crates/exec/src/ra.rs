@@ -1,0 +1,280 @@
+//! Bounded evaluation of certified RA expressions (see [`bcq_core::ra`]).
+//!
+//! Enumerable subexpressions run through their bounded plans; set
+//! operations combine results; the non-enumerable side of a difference or
+//! intersection is answered by **per-tuple membership probes**: for each
+//! candidate `t`, the query with its projection pinned to `t` is planned
+//! and executed — effectively bounded by the certification, so each probe
+//! touches a bounded set.
+
+use crate::eval_dq::eval_dq;
+use crate::results::ResultSet;
+use bcq_core::access::AccessSchema;
+use bcq_core::error::{CoreError, Result};
+use bcq_core::prelude::{QAttr, SpcQuery, Value};
+use bcq_core::qplan::qplan;
+use bcq_core::ra::{membership_checkable, ra_effectively_bounded, RaExpr};
+use bcq_storage::Database;
+
+/// Result of a bounded RA evaluation.
+#[derive(Debug, Clone)]
+pub struct RaOutcome {
+    /// The exact answer.
+    pub result: ResultSet,
+    /// Tuples fetched across all plans and probes.
+    pub tuples_fetched: u64,
+    /// Membership probes issued.
+    pub probes: u64,
+}
+
+/// Evaluates a certified RA expression boundedly. Fails with
+/// [`CoreError::NotEffectivelyBounded`] if the sufficient condition does
+/// not certify `expr`.
+pub fn eval_ra(db: &Database, expr: &RaExpr, a: &AccessSchema) -> Result<RaOutcome> {
+    let report = ra_effectively_bounded(expr, a);
+    if !report.effectively_bounded {
+        return Err(CoreError::NotEffectivelyBounded(
+            report.failure.unwrap_or_default(),
+        ));
+    }
+    enumerate(db, expr, a)
+}
+
+fn enumerate(db: &Database, expr: &RaExpr, a: &AccessSchema) -> Result<RaOutcome> {
+    match expr {
+        RaExpr::Spc(q) => {
+            let plan = qplan(q, a)?;
+            let out = eval_dq(db, &plan, a)?;
+            Ok(RaOutcome {
+                result: out.result,
+                tuples_fetched: out.meter.tuples_fetched,
+                probes: 0,
+            })
+        }
+        RaExpr::Union(l, r) => {
+            let lo = enumerate(db, l, a)?;
+            let ro = enumerate(db, r, a)?;
+            let mut rows = lo.result.rows().to_vec();
+            rows.extend(ro.result.rows().iter().cloned());
+            Ok(RaOutcome {
+                result: ResultSet::from_rows(rows),
+                tuples_fetched: lo.tuples_fetched + ro.tuples_fetched,
+                probes: lo.probes + ro.probes,
+            })
+        }
+        RaExpr::Intersect(l, r) => {
+            // Enumerate whichever side is enumerable with the other
+            // probeable (mirror of the checker's orientation logic).
+            let l_ok = ra_effectively_bounded(l, a).effectively_bounded
+                && probeable(r, a);
+            if l_ok {
+                filter_by_membership(db, l, r, a, true)
+            } else {
+                filter_by_membership(db, r, l, a, true)
+            }
+        }
+        RaExpr::Difference(l, r) => filter_by_membership(db, l, r, a, false),
+    }
+}
+
+/// `true` if membership in every SPC block of `expr` (combined per its set
+/// operators) can be probed boundedly.
+fn probeable(expr: &RaExpr, a: &AccessSchema) -> bool {
+    match expr {
+        RaExpr::Spc(q) => membership_checkable(q, a).effectively_bounded,
+        RaExpr::Union(l, r) | RaExpr::Intersect(l, r) | RaExpr::Difference(l, r) => {
+            probeable(l, a) && probeable(r, a)
+        }
+    }
+}
+
+/// Enumerates `base`, keeping tuples whose membership in `probe` matches
+/// `keep_members` (true = intersection, false = difference).
+fn filter_by_membership(
+    db: &Database,
+    base: &RaExpr,
+    probe: &RaExpr,
+    a: &AccessSchema,
+    keep_members: bool,
+) -> Result<RaOutcome> {
+    let mut out = enumerate(db, base, a)?;
+    let mut kept = Vec::new();
+    for row in out.result.rows() {
+        let (is_member, fetched, probes) = probe_membership(db, probe, a, row)?;
+        out.tuples_fetched += fetched;
+        out.probes += probes;
+        if is_member == keep_members {
+            kept.push(row.clone());
+        }
+    }
+    out.result = ResultSet::from_rows(kept);
+    Ok(out)
+}
+
+/// Does `t` belong to `expr`'s answer? Bounded per certification.
+fn probe_membership(
+    db: &Database,
+    expr: &RaExpr,
+    a: &AccessSchema,
+    t: &[Value],
+) -> Result<(bool, u64, u64)> {
+    match expr {
+        RaExpr::Spc(q) => {
+            if q.projection().len() != t.len() {
+                return Err(CoreError::Invalid("probe arity mismatch".into()));
+            }
+            let consts: Vec<(QAttr, Value)> = q
+                .projection()
+                .iter()
+                .zip(t.iter())
+                .map(|(z, v)| (*z, v.clone()))
+                .collect();
+            let probe_q: SpcQuery = q.with_constants(&consts);
+            let plan = qplan(&probe_q, a)?;
+            let out = eval_dq(db, &plan, a)?;
+            Ok((!out.result.is_empty(), out.meter.tuples_fetched, 1))
+        }
+        RaExpr::Union(l, r) => {
+            let (lm, lf, lp) = probe_membership(db, l, a, t)?;
+            if lm {
+                return Ok((true, lf, lp));
+            }
+            let (rm, rf, rp) = probe_membership(db, r, a, t)?;
+            Ok((rm, lf + rf, lp + rp))
+        }
+        RaExpr::Intersect(l, r) => {
+            let (lm, lf, lp) = probe_membership(db, l, a, t)?;
+            if !lm {
+                return Ok((false, lf, lp));
+            }
+            let (rm, rf, rp) = probe_membership(db, r, a, t)?;
+            Ok((rm, lf + rf, lp + rp))
+        }
+        RaExpr::Difference(l, r) => {
+            let (lm, lf, lp) = probe_membership(db, l, a, t)?;
+            if !lm {
+                return Ok((false, lf, lp));
+            }
+            let (rm, rf, rp) = probe_membership(db, r, a, t)?;
+            Ok((!rm, lf + rf, lp + rp))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcq_core::prelude::*;
+    use std::sync::Arc;
+
+    fn setup() -> (Database, AccessSchema) {
+        let catalog = Catalog::from_names(&[
+            ("in_album", &["photo_id", "album_id"]),
+            ("friends", &["user_id", "friend_id"]),
+            ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
+        ])
+        .unwrap();
+        let mut a = AccessSchema::new(Arc::clone(&catalog));
+        a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
+        a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+        a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
+            .unwrap();
+        let mut db = Database::new(catalog);
+        for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p3", "a0"), ("p4", "a1")] {
+            db.insert("in_album", &[Value::str(p), Value::str(al)]).unwrap();
+        }
+        for (p, tr, te) in [("p1", "u9", "u0"), ("p4", "u9", "u0")] {
+            db.insert("tagging", &[Value::str(p), Value::str(tr), Value::str(te)])
+                .unwrap();
+        }
+        db.build_indexes(&a);
+        (db, a)
+    }
+
+    fn album_photos(name: &str, album: &str, db: &Database) -> SpcQuery {
+        SpcQuery::builder(db.catalog().clone(), name)
+            .atom("in_album", "ia")
+            .eq_const(("ia", "album_id"), album)
+            .project(("ia", "photo_id"))
+            .build()
+            .unwrap()
+    }
+
+    fn tagged_photos(name: &str, user: &str, db: &Database) -> SpcQuery {
+        SpcQuery::builder(db.catalog().clone(), name)
+            .atom("tagging", "t")
+            .eq_const(("t", "taggee_id"), user)
+            .project(("t", "photo_id"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn union_of_albums() {
+        let (db, a) = setup();
+        let e = RaExpr::union(
+            RaExpr::Spc(album_photos("a", "a0", &db)),
+            RaExpr::Spc(album_photos("b", "a1", &db)),
+        );
+        let out = eval_ra(&db, &e, &a).unwrap();
+        assert_eq!(out.result.len(), 4);
+        assert_eq!(out.probes, 0);
+    }
+
+    #[test]
+    fn difference_probes_memberships() {
+        let (db, a) = setup();
+        // Photos of a0 in which u0 is NOT tagged: p2, p3 (u0 tagged in p1).
+        let e = RaExpr::difference(
+            RaExpr::Spc(album_photos("a", "a0", &db)),
+            RaExpr::Spc(tagged_photos("t", "u0", &db)),
+        );
+        let out = eval_ra(&db, &e, &a).unwrap();
+        assert_eq!(out.result.len(), 2);
+        assert!(out.result.contains(&[Value::str("p2")]));
+        assert!(out.result.contains(&[Value::str("p3")]));
+        assert_eq!(out.probes, 3, "one probe per a0 photo");
+    }
+
+    #[test]
+    fn intersection_swaps_orientation_when_needed() {
+        let (db, a) = setup();
+        // tagged(u0) ∩ album(a0): the left side is not enumerable but the
+        // expression is certified and evaluates by enumerating the album.
+        let e = RaExpr::intersect(
+            RaExpr::Spc(tagged_photos("t", "u0", &db)),
+            RaExpr::Spc(album_photos("a", "a0", &db)),
+        );
+        let out = eval_ra(&db, &e, &a).unwrap();
+        assert_eq!(out.result.len(), 1);
+        assert!(out.result.contains(&[Value::str("p1")]));
+        assert!(out.probes > 0);
+    }
+
+    #[test]
+    fn uncertified_expression_is_rejected() {
+        let (db, a) = setup();
+        let e = RaExpr::Spc(tagged_photos("t", "u0", &db));
+        let err = eval_ra(&db, &e, &a).unwrap_err();
+        assert!(matches!(err, CoreError::NotEffectivelyBounded(_)));
+    }
+
+    #[test]
+    fn nested_difference_matches_manual_set_algebra() {
+        let (db, a) = setup();
+        // (a0 ∪ a1) \ tagged(u0) = {p2, p3}.
+        let e = RaExpr::difference(
+            RaExpr::union(
+                RaExpr::Spc(album_photos("a", "a0", &db)),
+                RaExpr::Spc(album_photos("b", "a1", &db)),
+            ),
+            RaExpr::Spc(tagged_photos("t", "u0", &db)),
+        );
+        let out = eval_ra(&db, &e, &a).unwrap();
+        assert_eq!(out.result.len(), 2);
+        assert!(!out.result.contains(&[Value::str("p1")]));
+        assert!(!out.result.contains(&[Value::str("p4")]));
+        // Work stays bounded: photos of two albums + one probe each.
+        assert!(out.tuples_fetched <= 16, "{}", out.tuples_fetched);
+    }
+}

@@ -1,0 +1,179 @@
+//! Hash indices implementing the retrieval side of access constraints.
+//!
+//! The index mandated by `X → (Y, N)` must, given an `X`-value `ā`, return a
+//! witness set `D' ⊆ D` with `|D'| ≤ N` covering all distinct `Y`-values
+//! `D_Y(X = ā)`, at a cost measured in `N` (Section 2). [`HashIndex`] keeps
+//! two posting lists per key:
+//!
+//! * **witnesses** — one row id per distinct `Y`-projection: what the
+//!   bounded executor (`evalDQ`) reads; its size is what access constraints
+//!   bound;
+//! * **all** — every matching row id: what a conventional DBMS reads through
+//!   a secondary index (it fetches whole rows, duplicates included — the
+//!   behaviour the paper observed in MySQL's logs), used by the baseline.
+
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::table::Table;
+use bcq_core::prelude::Value;
+
+/// Posting lists for one `X`-value.
+#[derive(Debug, Clone, Default)]
+pub struct Postings {
+    /// Every row with this key, in insertion order.
+    pub all: Vec<u32>,
+    /// One row per distinct `Y`-projection, in first-seen order.
+    pub witnesses: Vec<u32>,
+    /// The distinct `Y`-projections behind `witnesses` (kept so
+    /// [`HashIndex::insert_row`] can maintain witness semantics in O(1)).
+    pub(crate) y_seen: FxHashSet<Box<[Value]>>,
+}
+
+/// A hash index on key columns `x` exposing value columns `y`.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    x: Vec<usize>,
+    y: Vec<usize>,
+    map: FxHashMap<Box<[Value]>, Postings>,
+    max_witnesses: usize,
+}
+
+static EMPTY: &[u32] = &[];
+
+impl HashIndex {
+    /// Builds the index for key columns `x` and value columns `y` (both
+    /// sorted column index lists, as stored in an
+    /// [`bcq_core::access::AccessConstraint`]).
+    pub fn build(table: &Table, x: &[usize], y: &[usize]) -> HashIndex {
+        let mut idx = HashIndex {
+            x: x.to_vec(),
+            y: y.to_vec(),
+            map: FxHashMap::default(),
+            max_witnesses: 0,
+        };
+        for (rid, row) in table.rows().enumerate() {
+            idx.insert_row(rid as u32, row);
+        }
+        idx
+    }
+
+    /// Key columns.
+    pub fn x(&self) -> &[usize] {
+        &self.x
+    }
+
+    /// Value columns.
+    pub fn y(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// Witness rows for `key`: at most one per distinct `Y`-value.
+    pub fn witnesses(&self, key: &[Value]) -> &[u32] {
+        self.map.get(key).map_or(EMPTY, |p| &p.witnesses)
+    }
+
+    /// All rows matching `key` (what a conventional index scan returns).
+    pub fn all(&self, key: &[Value]) -> &[u32] {
+        self.map.get(key).map_or(EMPTY, |p| &p.all)
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The largest witness set across keys — the smallest `N` for which the
+    /// indexed table satisfies `X → (Y, N)`. Used by constraint validation
+    /// and by constraint *discovery* from data.
+    pub fn max_witnesses(&self) -> usize {
+        self.max_witnesses
+    }
+
+    /// Iterates over `(key, postings)` pairs (unspecified order).
+    pub fn entries(&self) -> impl Iterator<Item = (&[Value], &Postings)> + '_ {
+        self.map.iter().map(|(k, p)| (&**k, p))
+    }
+
+    /// Maintains the index for a newly appended row (`rid` must be the
+    /// row's id in the table the index was built from). Amortized
+    /// O(|X| + |Y|).
+    ///
+    /// Witness semantics are preserved: the row becomes a witness only if
+    /// its `Y`-projection is new for its key.
+    pub fn insert_row(&mut self, rid: u32, row: &[Value]) {
+        let key: Box<[Value]> = self.x.iter().map(|&c| row[c].clone()).collect();
+        let yproj: Box<[Value]> = self.y.iter().map(|&c| row[c].clone()).collect();
+        let entry = self.map.entry(key).or_default();
+        entry.all.push(rid);
+        if entry.y_seen.insert(yproj) {
+            entry.witnesses.push(rid);
+            self.max_witnesses = self.max_witnesses.max(entry.witnesses.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcq_core::prelude::RelId;
+
+    fn table() -> Table {
+        // (user, friend): user 1 has friends a, a, b (duplicate row); user 2
+        // has friend c.
+        let mut t = Table::new(RelId(0), 2);
+        t.push(&[Value::int(1), Value::str("a")]);
+        t.push(&[Value::int(1), Value::str("a")]);
+        t.push(&[Value::int(1), Value::str("b")]);
+        t.push(&[Value::int(2), Value::str("c")]);
+        t
+    }
+
+    #[test]
+    fn witnesses_dedup_by_y() {
+        let idx = HashIndex::build(&table(), &[0], &[1]);
+        let w = idx.witnesses(&[Value::int(1)]);
+        assert_eq!(w, &[0, 2]); // rows 0 ("a") and 2 ("b"); row 1 is a dup
+        let all = idx.all(&[Value::int(1)]);
+        assert_eq!(all, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn missing_key_is_empty() {
+        let idx = HashIndex::build(&table(), &[0], &[1]);
+        assert!(idx.witnesses(&[Value::int(99)]).is_empty());
+        assert!(idx.all(&[Value::int(99)]).is_empty());
+    }
+
+    #[test]
+    fn max_witnesses_reports_tightest_n() {
+        let idx = HashIndex::build(&table(), &[0], &[1]);
+        assert_eq!(idx.max_witnesses(), 2); // user 1 has two distinct friends
+        assert_eq!(idx.num_keys(), 2);
+    }
+
+    #[test]
+    fn empty_key_columns_group_everything() {
+        // Bounded-domain style: X = ∅ puts all rows under one key.
+        let idx = HashIndex::build(&table(), &[], &[1]);
+        let w = idx.witnesses(&[]);
+        assert_eq!(w.len(), 3); // distinct friends: a, b, c
+        assert_eq!(idx.all(&[]).len(), 4);
+        assert_eq!(idx.num_keys(), 1);
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let idx = HashIndex::build(&table(), &[0, 1], &[0]);
+        // (1, "a") appears twice but y-projection (just col 0 here) dedups
+        // to one witness.
+        assert_eq!(idx.witnesses(&[Value::int(1), Value::str("a")]).len(), 1);
+        assert_eq!(idx.all(&[Value::int(1), Value::str("a")]).len(), 2);
+    }
+
+    #[test]
+    fn empty_table_index() {
+        let t = Table::new(RelId(0), 2);
+        let idx = HashIndex::build(&t, &[0], &[1]);
+        assert_eq!(idx.num_keys(), 0);
+        assert_eq!(idx.max_witnesses(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # bcq-storage — in-memory relational substrate
+//!
+//! The storage engine the paper's experiments need: row-major tables, hash
+//! indices implementing the retrieval contract of access constraints
+//! (witness sets of at most `N` tuples per key), `D |= A` validation,
+//! constraint discovery from data, and the access metering behind the
+//! `|D_Q|` axes of Figure 5.
+
+pub mod csv;
+pub mod database;
+pub mod fx;
+pub mod index;
+pub mod meter;
+pub mod table;
+pub mod validate;
+
+pub use csv::{dump_csv, load_csv};
+pub use database::Database;
+pub use index::{HashIndex, Postings};
+pub use meter::Meter;
+pub use table::Table;
+pub use validate::{discover_bound, validate, Violation};

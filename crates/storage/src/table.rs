@@ -1,0 +1,106 @@
+//! Row-major in-memory tables.
+
+use bcq_core::prelude::{RelId, Value};
+
+/// One relation instance: rows stored contiguously (row-major) for cache
+/// locality during scans.
+#[derive(Debug, Clone)]
+pub struct Table {
+    rel: RelId,
+    arity: usize,
+    data: Vec<Value>,
+}
+
+impl Table {
+    /// Creates an empty table for relation `rel` with `arity` columns.
+    pub fn new(rel: RelId, arity: usize) -> Self {
+        assert!(arity > 0, "tables must have at least one column");
+        Table {
+            rel,
+            arity,
+            data: Vec::new(),
+        }
+    }
+
+    /// The relation this table instantiates.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// `true` if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a row (must match the arity).
+    pub fn push(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.arity, "arity mismatch on insert");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends a row by value, avoiding clones of the `Value`s.
+    pub fn push_owned(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.arity, "arity mismatch on insert");
+        self.data.extend(row);
+    }
+
+    /// Reserves space for `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.arity);
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> &[Value] {
+        let start = i * self.arity;
+        &self.data[start..start + self.arity]
+    }
+
+    /// Iterates over all rows.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Value]> + '_ {
+        self.data.chunks_exact(self.arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut t = Table::new(RelId(0), 2);
+        t.push(&[Value::int(1), Value::str("a")]);
+        t.push_owned(vec![Value::int(2), Value::str("b")]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.row(0), &[Value::int(1), Value::str("a")]);
+        assert_eq!(t.row(1), &[Value::int(2), Value::str("b")]);
+        assert_eq!(t.rows().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(RelId(0), 2);
+        t.push(&[Value::int(1)]);
+    }
+
+    #[test]
+    fn rows_iterator_is_exact_size() {
+        let mut t = Table::new(RelId(1), 3);
+        for i in 0..10 {
+            t.push(&[Value::int(i), Value::int(i * 2), Value::Null]);
+        }
+        let it = t.rows();
+        assert_eq!(it.len(), 10);
+    }
+}

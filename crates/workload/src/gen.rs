@@ -1,0 +1,98 @@
+//! Deterministic generation helpers.
+//!
+//! Access constraints are enforced **by construction**: children are
+//! assigned to parents with [`spread`], a multiplicative permutation that
+//! distributes `m` children over `n` parents with per-parent counts of
+//! exactly `⌊m/n⌋` or `⌈m/n⌉` — so a declared bound `N ≥ ⌈m/n⌉` can never
+//! be violated, at any scale. Unconstrained attributes use a seeded
+//! [`rand::rngs::SmallRng`] for realistic variety with full determinism.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Multiplier for the spread permutation (a prime larger than any table
+/// cardinality we generate, so it is coprime with every modulus).
+const SPREAD_PRIME: u64 = 2_654_435_761;
+
+/// A second prime for independent assignments of the same child id.
+const SPREAD_PRIME_2: u64 = 4_294_967_311;
+
+/// Assigns child `i` to one of `n` parents. For `i` ranging over `0..m`,
+/// each parent receives `⌊m/n⌋` or `⌈m/n⌉` children.
+#[inline]
+pub fn spread(i: u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    i.wrapping_mul(SPREAD_PRIME) % n
+}
+
+/// A second, independent balanced assignment (different permutation).
+#[inline]
+pub fn spread2(i: u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    i.wrapping_mul(SPREAD_PRIME_2) % n
+}
+
+/// Scales a base cardinality, clamped to at least `min`.
+pub fn scaled(base: u64, scale: f64, min: u64) -> u64 {
+    ((base as f64 * scale) as u64).max(min)
+}
+
+/// A deterministic RNG for a (dataset seed, table) pair.
+pub fn table_rng(seed: u64, table_tag: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ table_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Uniform categorical value in `0..n`.
+#[inline]
+pub fn cat(rng: &mut SmallRng, n: u64) -> i64 {
+    rng.gen_range(0..n) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn spread_is_balanced() {
+        let (m, n) = (10_000u64, 37u64);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for i in 0..m {
+            *counts.entry(spread(i, n)).or_default() += 1;
+        }
+        assert_eq!(counts.len() as u64, n);
+        let lo = m / n;
+        let hi = lo + 1;
+        for (_, c) in counts {
+            assert!(c == lo || c == hi, "unbalanced count {c}");
+        }
+    }
+
+    #[test]
+    fn spread_variants_are_independent() {
+        // The two permutations should disagree on most inputs.
+        let n = 101;
+        let disagreements = (0..1000).filter(|&i| spread(i, n) != spread2(i, n)).count();
+        assert!(disagreements > 900);
+    }
+
+    #[test]
+    fn scaled_clamps() {
+        assert_eq!(scaled(1000, 0.5, 1), 500);
+        assert_eq!(scaled(1000, 0.0001, 25), 25);
+        assert_eq!(scaled(1000, 2.0, 1), 2000);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = table_rng(42, 7);
+        let mut b = table_rng(42, 7);
+        for _ in 0..100 {
+            assert_eq!(cat(&mut a, 1000), cat(&mut b, 1000));
+        }
+        // Different tags diverge.
+        let mut c = table_rng(42, 8);
+        let same = (0..100).filter(|_| cat(&mut a, 1000) == cat(&mut c, 1000)).count();
+        assert!(same < 20);
+    }
+}

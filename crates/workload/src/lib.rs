@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # bcq-workload — the Section 6 experimental workloads
+//!
+//! Synthetic, schema-faithful replacements for the paper's three datasets
+//! (the originals are not redistributable; see DESIGN.md §2.3 for the
+//! substitution argument):
+//!
+//! * [`tfacc`] — UK road accidents ⋈ NaPTAN: 19 tables, 113 attributes,
+//!   84 access constraints, 15 queries.
+//! * [`mot`] — MOT vehicle tests joined to one 36-attribute table,
+//!   27 constraints, 15 queries (self-joins via renaming).
+//! * [`tpch`] — TPC-H's 8 relations with its fixed fan-outs,
+//!   61 constraints, 15 queries.
+//!
+//! Every generator enforces its access schema **by construction** and is
+//! deterministic in `(scale, seed)`.
+
+pub mod gen;
+pub mod mot;
+pub mod spec;
+pub mod tfacc;
+pub mod tpch;
+
+pub use spec::{Dataset, WorkloadQuery};
+
+/// All three datasets, in paper order.
+pub fn all_datasets() -> Vec<Dataset> {
+    vec![tfacc::dataset(), mot::dataset(), tpch::dataset()]
+}

@@ -1,0 +1,535 @@
+//! MOT — the Ministry-of-Transport vehicle-test dataset of Section 6.
+//!
+//! The paper joins the five anonymised MOT tables into **one table of
+//! 36 attributes** (16.2 GB, 55 M tuples) with **27 access constraints**.
+//! This module generates a schema-faithful synthetic instance (36
+//! attributes, 27 constraints, constraints enforced by construction). The
+//! single-relation shape makes every multi-atom query a *self-join* through
+//! renamings — e.g. "a failed test followed by a pass of the same vehicle"
+//! — exercising the renaming machinery of SPC queries.
+//!
+//! Deterministic structure: each vehicle has one test per year 2009–2014
+//! (so `(vehicle_id, test_year)` is nearly a key), stations are balanced
+//! per year, `postcode_area`/`station_district` are functions of
+//! `station_id`, and `model` determines `make`.
+
+use crate::gen::{cat, scaled, spread2, table_rng};
+use crate::spec::{Dataset, WorkloadQuery};
+use bcq_core::prelude::*;
+use bcq_storage::Database;
+use std::sync::Arc;
+
+const N_STATIONS_BASE: u64 = 3_000;
+const N_STATIONS_MIN: u64 = 40;
+const N_MAKES: u64 = 120;
+const YEARS: u64 = 6; // 2009..=2014
+
+/// The single 36-attribute MOT catalog.
+pub fn catalog() -> Arc<Catalog> {
+    Catalog::from_names(&[(
+        "mot_test",
+        &[
+            "test_id",
+            "vehicle_id",
+            "test_day",
+            "test_month",
+            "test_year",
+            "test_class",
+            "test_type",
+            "result",
+            "odometer_band",
+            "colour",
+            "fuel",
+            "cc_band",
+            "make",
+            "model",
+            "first_use_year",
+            "postcode_area",
+            "station_id",
+            "station_district",
+            "mileage_band",
+            "age_band",
+            "item1",
+            "item2",
+            "item3",
+            "item4",
+            "item5",
+            "item6",
+            "item7",
+            "item8",
+            "item9",
+            "item10",
+            "advisories_n",
+            "dangerous_n",
+            "retest_flag",
+            "seats",
+            "emissions_band",
+            "brake_band",
+        ],
+    )])
+    .expect("static schema is valid")
+}
+
+/// The 27 MOT access constraints (first 12 = `‖A‖` sweep core).
+pub fn access_schema() -> AccessSchema {
+    let mut a = AccessSchema::new(catalog());
+    // Key: test_id -> everything else.
+    {
+        let cat_ = catalog();
+        let rel = cat_.relation(RelId(0));
+        let rest: Vec<String> = rel
+            .attributes()
+            .iter()
+            .filter(|s| s.as_str() != "test_id")
+            .cloned()
+            .collect();
+        let rest_refs: Vec<&str> = rest.iter().map(String::as_str).collect();
+        a.add("mot_test", &["test_id"], &rest_refs, 1).unwrap();
+    }
+    let mut add = |x: &[&str], y: &[&str], n: u64| {
+        a.add("mot_test", x, y, n).expect("static constraint");
+    };
+    // --- Core (2..=12) --------------------------------------------------
+    add(&["vehicle_id"], &["test_id"], 8);
+    add(&["vehicle_id", "test_year"], &["test_id"], 4);
+    add(&["station_id"], &["test_id"], 512);
+    add(&["station_id", "test_year"], &["test_id"], 64);
+    add(&["postcode_area"], &["station_id"], 64);
+    add(&["station_id"], &["postcode_area"], 1); // FD
+    add(&["make"], &["model"], 8);
+    add(&["model"], &["make"], 1); // FD
+    add(&[], &["test_month"], 12);
+    add(&[], &["result"], 4);
+    add(&[], &["test_year"], 6);
+    // --- Upgrades (13..=20) ----------------------------------------------
+    add(&["vehicle_id", "result"], &["test_id"], 8);
+    add(&["station_id"], &["station_district"], 1); // FD
+    add(&[], &["fuel"], 9);
+    add(&[], &["test_class"], 7);
+    add(&[], &["colour"], 20);
+    add(&[], &["cc_band"], 12);
+    add(&[], &["age_band"], 16);
+    add(&[], &["odometer_band"], 16);
+    // --- Rest (21..=27) ---------------------------------------------------
+    add(&[], &["mileage_band"], 16);
+    add(&[], &["retest_flag"], 2);
+    add(&[], &["test_type"], 5);
+    add(&[], &["seats"], 8);
+    add(&[], &["emissions_band"], 8);
+    add(&[], &["brake_band"], 8);
+    add(&[], &["dangerous_n"], 3);
+    a
+}
+
+/// Generates a MOT instance at `scale` (constraints hold for `scale ≤ 2.0`).
+pub fn generate(scale: f64, seed: u64) -> Database {
+    assert!(
+        (0.0..=2.0).contains(&scale),
+        "MOT constraints are calibrated for scale <= 2.0"
+    );
+    let cat_ = catalog();
+    let mut db = Database::new(Arc::clone(&cat_));
+    let tests = scaled(200_000, scale, 6_000);
+    let vehicles = (tests / YEARS).max(1_000);
+    let n_stations = scaled(N_STATIONS_BASE, scale, N_STATIONS_MIN);
+
+    let mut rng = table_rng(seed, 21);
+    let t = db.table_mut(RelId(0));
+    t.reserve_rows(tests as usize);
+    for i in 0..tests {
+        let vehicle = i % vehicles;
+        let year_idx = (i / vehicles) % YEARS; // one test per vehicle-year
+        let station = spread2(i, n_stations);
+        let make = spread2(vehicle, N_MAKES);
+        let model = make * 8 + vehicle % 8; // FD: model -> make
+        t.push(&[
+            Value::Int(i as i64),
+            Value::Int(vehicle as i64),
+            Value::Int(cat(&mut rng, 28) + 1),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(2009 + year_idx as i64),
+            Value::Int(cat(&mut rng, 7)),
+            Value::Int(cat(&mut rng, 5)),
+            Value::Int(cat(&mut rng, 4)),
+            Value::Int(cat(&mut rng, 16)),
+            Value::Int(cat(&mut rng, 20)),
+            Value::Int(cat(&mut rng, 9)),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(make as i64),
+            Value::Int(model as i64),
+            Value::Int(1990 + (vehicle % 24) as i64),
+            Value::Int((station % 120) as i64), // FD: station -> postcode
+            Value::Int(station as i64),
+            Value::Int((station % 350) as i64), // FD: station -> district
+            Value::Int(cat(&mut rng, 16)),
+            Value::Int(cat(&mut rng, 16)),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(cat(&mut rng, 12)),
+            Value::Int(cat(&mut rng, 6)),
+            Value::Int(cat(&mut rng, 3)),
+            Value::Int(cat(&mut rng, 2)),
+            Value::Int(cat(&mut rng, 8)),
+            Value::Int(cat(&mut rng, 8)),
+            Value::Int(cat(&mut rng, 8)),
+        ]);
+    }
+    db
+}
+
+/// The 15 MOT workload queries (12 effectively bounded, 3 not).
+pub fn queries() -> Vec<WorkloadQuery> {
+    let c = catalog;
+    let q = |name: &str| SpcQuery::builder(c(), name);
+    let mut out = Vec::new();
+    let mut push = |query: SpcQuery, eb: bool| out.push(WorkloadQuery::new(query, eb));
+
+    // M01: one vehicle's passing tests in one year (prod 0, sel 4).
+    push(
+        q("mot_vehicle_year")
+            .atom("mot_test", "t")
+            .eq_const(("t", "vehicle_id"), 500)
+            .eq_const(("t", "test_year"), 2013)
+            .eq_const(("t", "result"), 1)
+            .eq_const(("t", "fuel"), 2)
+            .project(("t", "test_id"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // M02: a station's class-4 passes in one year (prod 0, sel 4).
+    push(
+        q("mot_station_year")
+            .atom("mot_test", "t")
+            .eq_const(("t", "station_id"), 25)
+            .eq_const(("t", "test_year"), 2013)
+            .eq_const(("t", "test_class"), 4)
+            .eq_const(("t", "result"), 1)
+            .project(("t", "test_id"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // M03: profile scan — NOT effectively bounded (prod 0, sel 5).
+    push(
+        q("mot_colour_scan")
+            .atom("mot_test", "t")
+            .eq_const(("t", "colour"), 3)
+            .eq_const(("t", "fuel"), 2)
+            .eq_const(("t", "test_class"), 4)
+            .eq_const(("t", "result"), 0)
+            .eq_const(("t", "test_month"), 6)
+            .project(("t", "test_id"))
+            .build()
+            .unwrap(),
+        false,
+    );
+    // M04: fail-then-pass pairs for one vehicle (prod 1, sel 4).
+    push(
+        q("mot_retest_pair")
+            .atom("mot_test", "t1")
+            .atom("mot_test", "t2")
+            .eq_const(("t1", "vehicle_id"), 500)
+            .eq_const(("t1", "result"), 0)
+            .eq(("t2", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t2", "result"), 1)
+            .project(("t1", "test_id"))
+            .project(("t2", "test_id"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // M05: same-station same-year pairs (prod 1, sel 5).
+    push(
+        q("mot_station_pairs")
+            .atom("mot_test", "t1")
+            .atom("mot_test", "t2")
+            .eq_const(("t1", "station_id"), 25)
+            .eq_const(("t1", "test_year"), 2013)
+            .eq_const(("t1", "result"), 0)
+            .eq(("t2", "station_id"), ("t1", "station_id"))
+            .eq(("t2", "test_year"), ("t1", "test_year"))
+            .project(("t1", "test_id"))
+            .project(("t2", "test_id"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // M06: three-test history of a vehicle (prod 2, sel 6).
+    push(
+        q("mot_history3")
+            .atom("mot_test", "t1")
+            .atom("mot_test", "t2")
+            .atom("mot_test", "t3")
+            .eq_const(("t1", "vehicle_id"), 500)
+            .eq_const(("t1", "test_year"), 2013)
+            .eq(("t2", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t2", "result"), 0)
+            .eq(("t3", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t3", "result"), 1)
+            .project(("t1", "test_id"))
+            .project(("t2", "test_id"))
+            .project(("t3", "test_id"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // M07: failure details followed by a pass (prod 1, sel 7).
+    push(
+        q("mot_failure_detail")
+            .atom("mot_test", "t1")
+            .atom("mot_test", "t2")
+            .eq_const(("t1", "vehicle_id"), 500)
+            .eq_const(("t1", "result"), 0)
+            .eq_const(("t1", "item1"), 3)
+            .eq_const(("t1", "dangerous_n"), 1)
+            .eq_const(("t1", "test_month"), 6)
+            .eq(("t2", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t2", "result"), 1)
+            .project(("t1", "test_id"))
+            .project(("t2", "test_id"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // M08: maximally selective point query (prod 0, sel 8).
+    push(
+        q("mot_point")
+            .atom("mot_test", "t")
+            .eq_const(("t", "vehicle_id"), 500)
+            .eq_const(("t", "test_year"), 2013)
+            .eq_const(("t", "test_month"), 6)
+            .eq_const(("t", "result"), 1)
+            .eq_const(("t", "fuel"), 2)
+            .eq_const(("t", "test_class"), 4)
+            .eq_const(("t", "colour"), 3)
+            .eq_const(("t", "retest_flag"), 0)
+            .project(("t", "test_id"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // M09: make/model/station hop — NOT effectively bounded (prod 2,
+    // sel 5).
+    push(
+        q("mot_make_station")
+            .atom("mot_test", "t1")
+            .atom("mot_test", "t2")
+            .atom("mot_test", "t3")
+            .eq_const(("t1", "make"), 7)
+            .eq_const(("t1", "fuel"), 2)
+            .eq(("t2", "model"), ("t1", "model"))
+            .eq(("t3", "station_id"), ("t2", "station_id"))
+            .eq_const(("t3", "result"), 1)
+            .project(("t3", "test_id"))
+            .build()
+            .unwrap(),
+        false,
+    );
+    // M10: four-test ladder (prod 3, sel 8).
+    push(
+        q("mot_history4")
+            .atom("mot_test", "t1")
+            .atom("mot_test", "t2")
+            .atom("mot_test", "t3")
+            .atom("mot_test", "t4")
+            .eq_const(("t1", "vehicle_id"), 500)
+            .eq_const(("t1", "test_year"), 2013)
+            .eq(("t2", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t2", "test_month"), 6)
+            .eq(("t3", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t3", "result"), 0)
+            .eq(("t4", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t4", "result"), 1)
+            .project(("t1", "test_id"))
+            .project(("t2", "test_id"))
+            .project(("t3", "test_id"))
+            .project(("t4", "test_id"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // M11: five-way self-join (prod 4, sel 8).
+    push(
+        q("mot_history5")
+            .atom("mot_test", "t1")
+            .atom("mot_test", "t2")
+            .atom("mot_test", "t3")
+            .atom("mot_test", "t4")
+            .atom("mot_test", "t5")
+            .eq_const(("t1", "vehicle_id"), 500)
+            .eq(("t2", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t2", "result"), 0)
+            .eq(("t3", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq(("t4", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t4", "test_month"), 6)
+            .eq(("t5", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t5", "fuel"), 2)
+            .project(("t4", "test_id"))
+            .project(("t5", "test_id"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // M12: colour/class then same vehicle — NOT effectively bounded
+    // (prod 1, sel 4).
+    push(
+        q("mot_colour_vehicle")
+            .atom("mot_test", "t1")
+            .atom("mot_test", "t2")
+            .eq_const(("t1", "colour"), 3)
+            .eq_const(("t1", "test_class"), 4)
+            .eq(("t2", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t2", "result"), 0)
+            .project(("t2", "test_id"))
+            .build()
+            .unwrap(),
+        false,
+    );
+    // M13: station month snapshot (prod 0, sel 4).
+    push(
+        q("mot_station_month")
+            .atom("mot_test", "t")
+            .eq_const(("t", "station_id"), 25)
+            .eq_const(("t", "test_year"), 2013)
+            .eq_const(("t", "test_month"), 6)
+            .eq_const(("t", "retest_flag"), 0)
+            .project(("t", "test_id"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // M14: vehicle → its test's station → that station's passes (prod 2,
+    // sel 7).
+    push(
+        q("mot_station_hop")
+            .atom("mot_test", "t1")
+            .atom("mot_test", "t2")
+            .atom("mot_test", "t3")
+            .eq_const(("t1", "vehicle_id"), 500)
+            .eq_const(("t1", "result"), 0)
+            .eq_const(("t1", "test_year"), 2013)
+            .eq(("t2", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq(("t3", "station_id"), ("t2", "station_id"))
+            .eq(("t3", "test_year"), ("t2", "test_year"))
+            .eq_const(("t3", "result"), 1)
+            .project(("t1", "test_id"))
+            .project(("t2", "test_id"))
+            .project(("t3", "test_id"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // M15: Boolean — did vehicle 500 fail in 2013? (prod 1, sel 4).
+    push(
+        q("mot_bool_failed")
+            .atom("mot_test", "t1")
+            .atom("mot_test", "t2")
+            .eq_const(("t1", "vehicle_id"), 500)
+            .eq_const(("t1", "test_year"), 2013)
+            .eq(("t2", "vehicle_id"), ("t1", "vehicle_id"))
+            .eq_const(("t2", "result"), 0)
+            .build()
+            .unwrap(),
+        true,
+    );
+
+    out
+}
+
+/// The MOT dataset bundle.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "MOT",
+        catalog: catalog(),
+        access: access_schema(),
+        queries: queries(),
+        generate: |scale, seed| generate(scale, seed),
+        default_scale: 1.0,
+        scale_ladder: &[0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcq_core::ebcheck::ebcheck;
+    use bcq_storage::validate;
+
+    #[test]
+    fn schema_matches_paper_shape() {
+        let c = catalog();
+        assert_eq!(c.len(), 1, "one joined table");
+        assert_eq!(c.total_attributes(), 36, "36 attributes");
+    }
+
+    #[test]
+    fn twenty_seven_constraints() {
+        assert_eq!(access_schema().len(), 27);
+    }
+
+    #[test]
+    fn generated_data_satisfies_access_schema() {
+        let a = access_schema();
+        let mut db = generate(0.05, 42);
+        let violations = validate(&mut db, &a);
+        assert!(violations.is_empty(), "first: {}", violations[0]);
+    }
+
+    #[test]
+    fn effective_boundedness_matches_expectations() {
+        let a = access_schema();
+        for wq in queries() {
+            let report = ebcheck(&wq.query, &a);
+            assert_eq!(
+                report.effectively_bounded,
+                wq.expect_effectively_bounded,
+                "query {}: {:?}",
+                wq.query.name(),
+                report.first_failure(&wq.query)
+            );
+        }
+    }
+
+    #[test]
+    fn twelve_of_fifteen_effectively_bounded() {
+        let n = queries()
+            .iter()
+            .filter(|w| w.expect_effectively_bounded)
+            .count();
+        assert_eq!(n, 12);
+    }
+
+    #[test]
+    fn sel_and_prod_ranges_match_paper() {
+        let qs = queries();
+        assert_eq!(qs.len(), 15);
+        for w in &qs {
+            assert!(
+                (4..=8).contains(&w.query.num_sel()),
+                "{}: #-sel {}",
+                w.query.name(),
+                w.query.num_sel()
+            );
+            assert!(w.query.num_prod() <= 4);
+        }
+        assert!(qs.iter().any(|w| w.query.num_prod() == 4));
+    }
+
+    #[test]
+    fn hot_vehicle_has_2013_test() {
+        let db = generate(0.05, 42);
+        let t = db.table(RelId(0));
+        let hit = t.rows().any(|r| {
+            r[1] == Value::Int(500) && r[4] == Value::Int(2013)
+        });
+        assert!(hit, "vehicle 500 must have a 2013 test at every scale");
+    }
+}

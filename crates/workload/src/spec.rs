@@ -1,0 +1,61 @@
+//! Dataset bundles: catalog + access schema + query workload + generator.
+
+use bcq_core::prelude::{AccessSchema, Catalog, SpcQuery};
+use bcq_storage::Database;
+use std::sync::Arc;
+
+/// One workload query with its expected analysis outcome (asserted by
+/// tests; the paper reports 35 of 45 queries effectively bounded).
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// The SPC query.
+    pub query: SpcQuery,
+    /// Whether the query is effectively bounded under the dataset's full
+    /// access schema.
+    pub expect_effectively_bounded: bool,
+}
+
+impl WorkloadQuery {
+    /// Bundles a query with its expected verdict.
+    pub fn new(query: SpcQuery, expect_effectively_bounded: bool) -> Self {
+        WorkloadQuery {
+            query,
+            expect_effectively_bounded,
+        }
+    }
+}
+
+/// A complete experimental dataset: schema, access schema (in `‖A‖`-sweep
+/// order), the 15-query workload, and a scalable generator.
+pub struct Dataset {
+    /// Display name ("TFACC" / "MOT" / "TPCH").
+    pub name: &'static str,
+    /// The relational schema.
+    pub catalog: Arc<Catalog>,
+    /// The full access schema; `access.prefix(k)` gives the `‖A‖ = k` sweep
+    /// points.
+    pub access: AccessSchema,
+    /// The 15 workload queries.
+    pub queries: Vec<WorkloadQuery>,
+    /// Deterministic generator: `(scale, seed) → D` with `D |= access`.
+    pub generate: fn(f64, u64) -> Database,
+    /// Scale used when `|D|` is not being swept.
+    pub default_scale: f64,
+    /// The `|D|`-sweep ladder (Figure 5(a)/(e)/(i)).
+    pub scale_ladder: &'static [f64],
+}
+
+impl Dataset {
+    /// Generates the dataset at `scale` with the default seed and builds
+    /// all indices of the full access schema.
+    pub fn build(&self, scale: f64) -> Database {
+        let mut db = (self.generate)(scale, 0xBC0);
+        db.build_indexes(&self.access);
+        db
+    }
+
+    /// The effectively bounded subset of the workload (what Exp-1 runs).
+    pub fn effectively_bounded_queries(&self) -> impl Iterator<Item = &WorkloadQuery> {
+        self.queries.iter().filter(|w| w.expect_effectively_bounded)
+    }
+}

@@ -1,0 +1,734 @@
+//! TPCH — a from-scratch TPC-H-style generator (the paper used `dbgen`,
+//! scale factors 0.25–32).
+//!
+//! All 8 relations with their standard 61 attributes, and **61 access
+//! constraints** derived from TPC-H's *fixed fan-outs* — the structural
+//! facts that hold at every scale factor: 25 nations in 5 regions, at most
+//! 7 lineitems per order, exactly 4 partsupp entries per part, ~10 orders
+//! per customer, bounded categorical domains (brands, ship modes,
+//! priorities, …). Because the fan-outs are scale-invariant, this dataset
+//! scales *up* as well as down, which is what the Figure 5(i) `|D|` sweep
+//! (0.25× … 32×) exercises.
+
+use crate::gen::{cat, scaled, spread, table_rng};
+use crate::spec::{Dataset, WorkloadQuery};
+use bcq_core::prelude::*;
+use bcq_storage::Database;
+use std::sync::Arc;
+
+const N_NATIONS: u64 = 25;
+const N_REGIONS: u64 = 5;
+const DATES: u64 = 2_406; // days in 1992-01-01 .. 1998-08-02
+const MAX_LINES: u64 = 7;
+
+/// The 8-relation TPC-H catalog (61 attributes).
+pub fn catalog() -> Arc<Catalog> {
+    Catalog::from_names(&[
+        ("region", &["r_regionkey", "r_name", "r_comment"]),
+        ("nation", &["n_nationkey", "n_name", "n_regionkey", "n_comment"]),
+        (
+            "supplier",
+            &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+        ),
+        (
+            "part",
+            &[
+                "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container",
+                "p_retailprice", "p_comment",
+            ],
+        ),
+        (
+            "partsupp",
+            &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"],
+        ),
+        (
+            "customer",
+            &[
+                "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal",
+                "c_mktsegment", "c_comment",
+            ],
+        ),
+        (
+            "orders",
+            &[
+                "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
+                "o_orderpriority", "o_clerk", "o_shippriority", "o_comment",
+            ],
+        ),
+        (
+            "lineitem",
+            &[
+                "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+                "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
+                "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct", "l_shipmode",
+                "l_comment",
+            ],
+        ),
+    ])
+    .expect("static schema is valid")
+}
+
+/// The 61 TPCH access constraints (first 12 = `‖A‖` sweep core).
+pub fn access_schema() -> AccessSchema {
+    let mut a = AccessSchema::new(catalog());
+    let mut add = |rel: &str, x: &[&str], y: &[&str], n: u64| {
+        a.add(rel, x, y, n).expect("static constraint");
+    };
+    // --- Core 12 ----------------------------------------------------------
+    add("orders", &["o_custkey"], &["o_orderkey"], 64);
+    add(
+        "orders",
+        &["o_orderkey"],
+        &[
+            "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority",
+            "o_clerk", "o_shippriority", "o_comment",
+        ],
+        1,
+    ); // key
+    add(
+        "lineitem",
+        &["l_orderkey"],
+        &[
+            "l_partkey", "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice",
+            "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+            "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment",
+        ],
+        MAX_LINES,
+    );
+    add(
+        "customer",
+        &["c_custkey"],
+        &["c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"],
+        1,
+    ); // key
+    add(
+        "supplier",
+        &["s_suppkey"],
+        &["s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+        1,
+    ); // key
+    add(
+        "part",
+        &["p_partkey"],
+        &[
+            "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container", "p_retailprice",
+            "p_comment",
+        ],
+        1,
+    ); // key
+    add(
+        "partsupp",
+        &["ps_partkey"],
+        &["ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"],
+        4,
+    );
+    add("nation", &["n_nationkey"], &["n_name", "n_regionkey", "n_comment"], 1); // key
+    add("region", &["r_regionkey"], &["r_name", "r_comment"], 1); // key
+    add("nation", &[], &["n_nationkey"], 25);
+    add("nation", &["n_regionkey"], &["n_nationkey"], 5);
+    add("orders", &["o_custkey", "o_orderdate"], &["o_orderkey"], 4);
+    // --- Upgrades 13–20 -----------------------------------------------------
+    add("partsupp", &["ps_suppkey"], &["ps_partkey"], 128);
+    add(
+        "lineitem",
+        &["l_orderkey", "l_linenumber"],
+        &[
+            "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+            "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate",
+            "l_shipinstruct", "l_shipmode", "l_comment",
+        ],
+        1,
+    ); // key
+    add("orders", &[], &["o_orderstatus"], 3);
+    add("lineitem", &[], &["l_shipmode"], 7);
+    add("lineitem", &[], &["l_returnflag"], 3);
+    add("part", &[], &["p_brand"], 25);
+    add("customer", &[], &["c_mktsegment"], 5);
+    add(
+        "partsupp",
+        &["ps_partkey", "ps_suppkey"],
+        &["ps_availqty", "ps_supplycost", "ps_comment"],
+        1,
+    ); // key
+    // --- Sub-FDs of keys (cheap narrow indices a DBA would add) -----------
+    add("orders", &["o_orderkey"], &["o_custkey"], 1);
+    add("orders", &["o_orderkey"], &["o_orderdate"], 1);
+    add("lineitem", &["l_orderkey"], &["l_partkey"], MAX_LINES);
+    add("lineitem", &["l_orderkey"], &["l_suppkey"], MAX_LINES);
+    add("partsupp", &["ps_partkey"], &["ps_availqty"], 4);
+    add("partsupp", &["ps_partkey"], &["ps_supplycost"], 4);
+    add("customer", &["c_custkey"], &["c_nationkey"], 1);
+    add("supplier", &["s_suppkey"], &["s_nationkey"], 1);
+    add("part", &["p_partkey"], &["p_brand"], 1);
+    add("nation", &["n_nationkey"], &["n_regionkey"], 1);
+    // --- Bounded domains ----------------------------------------------------
+    let domains: &[(&str, &str, u64)] = &[
+        ("orders", "o_orderpriority", 5),
+        ("orders", "o_shippriority", 1),
+        ("orders", "o_orderdate", DATES),
+        ("orders", "o_totalprice", 1000),
+        ("orders", "o_clerk", 1000),
+        ("lineitem", "l_linestatus", 2),
+        ("lineitem", "l_shipinstruct", 4),
+        ("lineitem", "l_quantity", 50),
+        ("lineitem", "l_discount", 11),
+        ("lineitem", "l_tax", 9),
+        ("lineitem", "l_shipdate", 2_600),
+        ("lineitem", "l_commitdate", 2_600),
+        ("lineitem", "l_receiptdate", 2_600),
+        ("lineitem", "l_extendedprice", 1000),
+        ("part", "p_container", 40),
+        ("part", "p_size", 50),
+        ("part", "p_type", 150),
+        ("part", "p_mfgr", 5),
+        ("part", "p_retailprice", 200),
+        ("customer", "c_nationkey", 25),
+        ("customer", "c_acctbal", 2000),
+        ("supplier", "s_nationkey", 25),
+        ("supplier", "s_acctbal", 2000),
+        ("region", "r_name", 5),
+        ("region", "r_regionkey", 5),
+        ("nation", "n_name", 25),
+        ("region", "r_comment", 100),
+        ("nation", "n_comment", 100),
+        ("supplier", "s_comment", 100),
+        ("partsupp", "ps_comment", 100),
+        ("customer", "c_comment", 100),
+    ];
+    for (rel, attr, n) in domains {
+        a.add_bounded_domain(rel, attr, *n).expect("static domain");
+    }
+    a
+}
+
+/// Generates a TPCH instance at scale factor `sf` (the paper sweeps
+/// 0.25–32). TPC-H fan-outs are scale-invariant, so every constraint holds
+/// at every `sf`.
+pub fn generate(sf: f64, seed: u64) -> Database {
+    assert!(sf > 0.0 && sf <= 64.0, "supported scale factors: (0, 64]");
+    let cat_ = catalog();
+    let mut db = Database::new(Arc::clone(&cat_));
+
+    let customers = scaled(300, sf, 75);
+    let orders = customers * 10;
+    let parts = scaled(200, sf, 60);
+    let suppliers = scaled(100, sf, 52);
+    let supp_step = suppliers / 4 + 1; // 4 distinct suppliers per part
+
+    let i64_ = |v: u64| Value::Int(v as i64);
+
+    // region
+    {
+        let mut rng = table_rng(seed, 31);
+        let t = db.table_mut(RelId(0));
+        for r in 0..N_REGIONS {
+            t.push(&[i64_(r), i64_(r), Value::Int(cat(&mut rng, 100))]);
+        }
+    }
+    // nation
+    {
+        let mut rng = table_rng(seed, 32);
+        let t = db.table_mut(RelId(1));
+        for n in 0..N_NATIONS {
+            t.push(&[i64_(n), i64_(n), i64_(n % N_REGIONS), Value::Int(cat(&mut rng, 100))]);
+        }
+    }
+    // supplier
+    {
+        let mut rng = table_rng(seed, 33);
+        let t = db.table_mut(RelId(2));
+        for s in 0..suppliers {
+            t.push(&[
+                i64_(s),
+                i64_(s),
+                i64_(s * 31),
+                i64_(spread(s, N_NATIONS)),
+                i64_(7_000_000 + s),
+                Value::Int(cat(&mut rng, 2000)),
+                Value::Int(cat(&mut rng, 100)),
+            ]);
+        }
+    }
+    // part
+    {
+        let mut rng = table_rng(seed, 34);
+        let t = db.table_mut(RelId(3));
+        for p in 0..parts {
+            t.push(&[
+                i64_(p),
+                i64_(p),
+                i64_(p % 5),
+                i64_(p % 25), // FD: partkey -> brand
+                Value::Int(cat(&mut rng, 150)),
+                Value::Int(cat(&mut rng, 50)),
+                Value::Int(cat(&mut rng, 40)),
+                i64_(900 + p % 200),
+                Value::Int(cat(&mut rng, 100)),
+            ]);
+        }
+    }
+    // partsupp: exactly 4 distinct suppliers per part.
+    {
+        let mut rng = table_rng(seed, 35);
+        let t = db.table_mut(RelId(4));
+        t.reserve_rows((parts * 4) as usize);
+        for p in 0..parts {
+            let base = spread(p, suppliers);
+            for k in 0..4 {
+                t.push(&[
+                    i64_(p),
+                    i64_((base + k * supp_step) % suppliers),
+                    Value::Int(cat(&mut rng, 100)),
+                    Value::Int(cat(&mut rng, 1000)),
+                    Value::Int(cat(&mut rng, 100)),
+                ]);
+            }
+        }
+    }
+    // customer
+    {
+        let mut rng = table_rng(seed, 36);
+        let t = db.table_mut(RelId(5));
+        t.reserve_rows(customers as usize);
+        for c in 0..customers {
+            t.push(&[
+                i64_(c),
+                i64_(c),
+                i64_(c * 17),
+                i64_(spread(c, N_NATIONS)),
+                i64_(8_000_000 + c),
+                Value::Int(cat(&mut rng, 2000)),
+                Value::Int(cat(&mut rng, 5)),
+                Value::Int(cat(&mut rng, 100)),
+            ]);
+        }
+    }
+    // orders: ~10 per customer, unique (custkey, orderdate).
+    {
+        let mut rng = table_rng(seed, 37);
+        let t = db.table_mut(RelId(6));
+        t.reserve_rows(orders as usize);
+        for o in 0..orders {
+            t.push(&[
+                i64_(o),
+                i64_(o % customers),
+                Value::Int(cat(&mut rng, 3)),
+                Value::Int(cat(&mut rng, 1000)),
+                i64_((o / customers) * 211 % DATES),
+                Value::Int(cat(&mut rng, 5)),
+                i64_(o % 1000),
+                Value::Int(0),
+                Value::Int(cat(&mut rng, 100)),
+            ]);
+        }
+    }
+    // lineitem: 1 + (o % 7) lines per order; suppliers consistent with
+    // partsupp so (l_partkey, l_suppkey) joins partsupp non-trivially.
+    {
+        let mut rng = table_rng(seed, 38);
+        let t = db.table_mut(RelId(7));
+        t.reserve_rows((orders * 4) as usize);
+        for o in 0..orders {
+            let lines = 1 + o % MAX_LINES;
+            let orderdate = (o / customers) * 211 % DATES;
+            for ln in 0..lines {
+                let partkey = spread(o * MAX_LINES + ln, parts);
+                let suppkey = (spread(partkey, suppliers) + (ln % 4) * supp_step) % suppliers;
+                let ship = (orderdate + 1 + cat(&mut rng, 120) as u64) % 2_600;
+                t.push(&[
+                    i64_(o),
+                    i64_(partkey),
+                    i64_(suppkey),
+                    i64_(ln),
+                    Value::Int(cat(&mut rng, 50) + 1),
+                    Value::Int(cat(&mut rng, 1000)),
+                    Value::Int(cat(&mut rng, 11)),
+                    Value::Int(cat(&mut rng, 9)),
+                    Value::Int(cat(&mut rng, 3)),
+                    Value::Int(cat(&mut rng, 2)),
+                    i64_(ship),
+                    i64_((ship + 14) % 2_600),
+                    i64_((ship + 21) % 2_600),
+                    Value::Int(cat(&mut rng, 4)),
+                    Value::Int(cat(&mut rng, 7)),
+                    Value::Int(cat(&mut rng, 100)),
+                ]);
+            }
+        }
+    }
+    db
+}
+
+/// The 15 TPCH workload queries (11 effectively bounded, 4 not).
+pub fn queries() -> Vec<WorkloadQuery> {
+    let c = catalog;
+    let q = |name: &str| SpcQuery::builder(c(), name);
+    let mut out = Vec::new();
+    let mut push = |query: SpcQuery, eb: bool| out.push(WorkloadQuery::new(query, eb));
+
+    // P01: a customer's urgent open orders (prod 0, sel 4).
+    push(
+        q("tpch_cust_orders")
+            .atom("orders", "o")
+            .eq_const(("o", "o_custkey"), 42)
+            .eq_const(("o", "o_orderstatus"), 1)
+            .eq_const(("o", "o_orderpriority"), 2)
+            .eq_const(("o", "o_shippriority"), 0)
+            .project(("o", "o_orderkey"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // P02: parts a customer ordered with a ship mode (prod 1, sel 4).
+    push(
+        q("tpch_cust_parts")
+            .atom("orders", "o")
+            .atom("lineitem", "l")
+            .eq_const(("o", "o_custkey"), 42)
+            .eq_const(("o", "o_orderstatus"), 1)
+            .eq(("l", "l_orderkey"), ("o", "o_orderkey"))
+            .eq_const(("l", "l_shipmode"), 3)
+            .project(("l", "l_partkey"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // P03: part details of those lineitems (prod 2, sel 5).
+    push(
+        q("tpch_cust_part_names")
+            .atom("orders", "o")
+            .atom("lineitem", "l")
+            .atom("part", "p")
+            .eq_const(("o", "o_custkey"), 42)
+            .eq(("l", "l_orderkey"), ("o", "o_orderkey"))
+            .eq_const(("l", "l_shipmode"), 3)
+            .eq(("p", "p_partkey"), ("l", "l_partkey"))
+            .eq_const(("p", "p_size"), 25)
+            .project(("p", "p_name"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // P04: suppliers of a customer's returned lineitems (prod 2, sel 5).
+    push(
+        q("tpch_cust_suppliers")
+            .atom("orders", "o")
+            .atom("lineitem", "l")
+            .atom("supplier", "s")
+            .eq_const(("o", "o_custkey"), 42)
+            .eq(("l", "l_orderkey"), ("o", "o_orderkey"))
+            .eq_const(("l", "l_returnflag"), 1)
+            .eq(("s", "s_suppkey"), ("l", "l_suppkey"))
+            .eq_const(("s", "s_nationkey"), 7)
+            .project(("s", "s_name"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // P05: order → lineitem → partsupp → supplier chain (prod 3, sel 6).
+    push(
+        q("tpch_availability")
+            .atom("orders", "o")
+            .atom("lineitem", "l")
+            .atom("partsupp", "ps")
+            .atom("supplier", "s")
+            .eq_const(("o", "o_custkey"), 42)
+            .eq_const(("o", "o_orderstatus"), 1)
+            .eq(("l", "l_orderkey"), ("o", "o_orderkey"))
+            .eq(("ps", "ps_partkey"), ("l", "l_partkey"))
+            .eq(("ps", "ps_suppkey"), ("l", "l_suppkey"))
+            .eq(("s", "s_suppkey"), ("ps", "ps_suppkey"))
+            .project(("ps", "ps_availqty"))
+            .project(("s", "s_name"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // P06: the same starting from the customer row (prod 4, sel 7).
+    push(
+        q("tpch_five_way")
+            .atom("customer", "c")
+            .atom("orders", "o")
+            .atom("lineitem", "l")
+            .atom("partsupp", "ps")
+            .atom("supplier", "s")
+            .eq_const(("c", "c_custkey"), 42)
+            .eq(("o", "o_custkey"), ("c", "c_custkey"))
+            .eq_const(("o", "o_orderstatus"), 1)
+            .eq(("l", "l_orderkey"), ("o", "o_orderkey"))
+            .eq(("ps", "ps_partkey"), ("l", "l_partkey"))
+            .eq(("ps", "ps_suppkey"), ("l", "l_suppkey"))
+            .eq(("s", "s_suppkey"), ("ps", "ps_suppkey"))
+            .project(("s", "s_name"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // P07: nations of a region (prod 1, sel 4).
+    push(
+        q("tpch_region_nations")
+            .atom("region", "r")
+            .atom("nation", "n")
+            .eq_const(("r", "r_regionkey"), 2)
+            .eq_const(("r", "r_name"), 2)
+            .eq(("n", "n_regionkey"), ("r", "r_regionkey"))
+            .eq_const(("n", "n_name"), 7)
+            .project(("n", "n_nationkey"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // P08: one order's lineitems, heavily filtered (prod 0, sel 6).
+    push(
+        q("tpch_order_lines")
+            .atom("lineitem", "l")
+            .eq_const(("l", "l_orderkey"), 4242)
+            .eq_const(("l", "l_returnflag"), 1)
+            .eq_const(("l", "l_linestatus"), 0)
+            .eq_const(("l", "l_shipmode"), 3)
+            .eq_const(("l", "l_tax"), 2)
+            .eq_const(("l", "l_quantity"), 10)
+            .project(("l", "l_partkey"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // P09: Boolean — did customer 42 ship a brand-11 part by mode 3?
+    // (prod 2, sel 6).
+    push(
+        q("tpch_bool_brand")
+            .atom("orders", "o")
+            .atom("lineitem", "l")
+            .atom("part", "p")
+            .eq_const(("o", "o_custkey"), 42)
+            .eq_const(("o", "o_orderstatus"), 1)
+            .eq(("l", "l_orderkey"), ("o", "o_orderkey"))
+            .eq_const(("l", "l_shipmode"), 3)
+            .eq(("p", "p_partkey"), ("l", "l_partkey"))
+            .eq_const(("p", "p_brand"), 11)
+            .build()
+            .unwrap(),
+        true,
+    );
+    // P10: suppliers of one part in one nation (prod 2, sel 5).
+    push(
+        q("tpch_part_suppliers")
+            .atom("part", "p")
+            .atom("partsupp", "ps")
+            .atom("supplier", "s")
+            .eq_const(("p", "p_partkey"), 50)
+            .eq_const(("p", "p_mfgr"), 0)
+            .eq(("ps", "ps_partkey"), ("p", "p_partkey"))
+            .eq(("s", "s_suppkey"), ("ps", "ps_suppkey"))
+            .eq_const(("s", "s_nationkey"), 7)
+            .project(("s", "s_name"))
+            .project(("ps", "ps_availqty"))
+            .build()
+            .unwrap(),
+        true,
+    );
+    // P11: parts by brand/container/size/type — NOT effectively bounded
+    // (prod 0, sel 4).
+    push(
+        q("tpch_brand_scan")
+            .atom("part", "p")
+            .eq_const(("p", "p_brand"), 11)
+            .eq_const(("p", "p_container"), 7)
+            .eq_const(("p", "p_size"), 25)
+            .eq_const(("p", "p_type"), 42)
+            .project(("p", "p_partkey"))
+            .build()
+            .unwrap(),
+        false,
+    );
+    // P12: segment customers' orders — NOT effectively bounded (prod 1,
+    // sel 4).
+    push(
+        q("tpch_segment_orders")
+            .atom("customer", "c")
+            .atom("orders", "o")
+            .eq_const(("c", "c_mktsegment"), 2)
+            .eq_const(("c", "c_nationkey"), 7)
+            .eq(("o", "o_custkey"), ("c", "c_custkey"))
+            .eq_const(("o", "o_orderstatus"), 1)
+            .project(("o", "o_orderkey"))
+            .build()
+            .unwrap(),
+        false,
+    );
+    // P13: a nation's suppliers' brand-11 parts — NOT effectively bounded
+    // (prod 2, sel 5).
+    push(
+        q("tpch_nation_parts")
+            .atom("supplier", "s")
+            .atom("partsupp", "ps")
+            .atom("part", "p")
+            .eq_const(("s", "s_nationkey"), 7)
+            .eq(("ps", "ps_suppkey"), ("s", "s_suppkey"))
+            .eq(("p", "p_partkey"), ("ps", "ps_partkey"))
+            .eq_const(("p", "p_brand"), 11)
+            .eq_const(("p", "p_size"), 25)
+            .project(("p", "p_partkey"))
+            .build()
+            .unwrap(),
+        false,
+    );
+    // P14: lineitems by mode/flag/quantity — NOT effectively bounded
+    // (prod 1, sel 5).
+    push(
+        q("tpch_mode_orders")
+            .atom("lineitem", "l")
+            .atom("orders", "o")
+            .eq_const(("l", "l_shipmode"), 3)
+            .eq_const(("l", "l_returnflag"), 1)
+            .eq_const(("l", "l_quantity"), 10)
+            .eq(("o", "o_orderkey"), ("l", "l_orderkey"))
+            .eq_const(("o", "o_orderstatus"), 1)
+            .project(("o", "o_orderkey"))
+            .build()
+            .unwrap(),
+        false,
+    );
+    // P15: full sourcing chain with part details (prod 3, sel 8).
+    push(
+        q("tpch_sourcing")
+            .atom("orders", "o")
+            .atom("lineitem", "l")
+            .atom("partsupp", "ps")
+            .atom("part", "p")
+            .eq_const(("o", "o_custkey"), 42)
+            .eq_const(("o", "o_orderstatus"), 1)
+            .eq(("l", "l_orderkey"), ("o", "o_orderkey"))
+            .eq_const(("l", "l_shipmode"), 3)
+            .eq_const(("l", "l_returnflag"), 1)
+            .eq(("ps", "ps_partkey"), ("l", "l_partkey"))
+            .eq(("ps", "ps_suppkey"), ("l", "l_suppkey"))
+            .eq(("p", "p_partkey"), ("ps", "ps_partkey"))
+            .project(("p", "p_name"))
+            .project(("ps", "ps_availqty"))
+            .build()
+            .unwrap(),
+        true,
+    );
+
+    out
+}
+
+/// The TPCH dataset bundle.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "TPCH",
+        catalog: catalog(),
+        access: access_schema(),
+        queries: queries(),
+        generate: |sf, seed| generate(sf, seed),
+        default_scale: 32.0,
+        scale_ladder: &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcq_core::ebcheck::ebcheck;
+    use bcq_storage::validate;
+
+    #[test]
+    fn schema_matches_tpch() {
+        let c = catalog();
+        assert_eq!(c.len(), 8, "8 relations");
+        assert_eq!(c.total_attributes(), 61, "61 attributes");
+    }
+
+    #[test]
+    fn sixty_one_constraints() {
+        assert_eq!(access_schema().len(), 61);
+    }
+
+    #[test]
+    fn generated_data_satisfies_access_schema_at_two_scales() {
+        let a = access_schema();
+        for sf in [0.25, 2.0] {
+            let mut db = generate(sf, 42);
+            let violations = validate(&mut db, &a);
+            assert!(violations.is_empty(), "sf {sf}: {}", violations[0]);
+        }
+    }
+
+    #[test]
+    fn effective_boundedness_matches_expectations() {
+        let a = access_schema();
+        for wq in queries() {
+            let report = ebcheck(&wq.query, &a);
+            assert_eq!(
+                report.effectively_bounded,
+                wq.expect_effectively_bounded,
+                "query {}: {:?}",
+                wq.query.name(),
+                report.first_failure(&wq.query)
+            );
+        }
+    }
+
+    #[test]
+    fn eleven_of_fifteen_effectively_bounded() {
+        let n = queries()
+            .iter()
+            .filter(|w| w.expect_effectively_bounded)
+            .count();
+        assert_eq!(n, 11);
+    }
+
+    #[test]
+    fn paper_headline_35_of_45() {
+        let eb: usize = crate::all_datasets()
+            .iter()
+            .map(|d| d.queries.iter().filter(|w| w.expect_effectively_bounded).count())
+            .sum();
+        let total: usize = crate::all_datasets().iter().map(|d| d.queries.len()).sum();
+        assert_eq!(total, 45);
+        assert_eq!(eb, 35, "the paper's 35/45 (77%) effectively bounded");
+    }
+
+    #[test]
+    fn sel_and_prod_ranges_match_paper() {
+        let qs = queries();
+        assert_eq!(qs.len(), 15);
+        for w in &qs {
+            assert!(
+                (4..=8).contains(&w.query.num_sel()),
+                "{}: #-sel {}",
+                w.query.name(),
+                w.query.num_sel()
+            );
+            assert!(w.query.num_prod() <= 4);
+        }
+        assert!(qs.iter().any(|w| w.query.num_prod() == 4));
+        assert!(qs.iter().any(|w| w.query.num_sel() == 8));
+    }
+
+    #[test]
+    fn lineitem_suppliers_exist_in_partsupp() {
+        // The l_partkey/l_suppkey pair must join partsupp (P05/P15 rely on
+        // it).
+        let db = generate(0.25, 42);
+        let ps = db.table(RelId(4));
+        let li = db.table(RelId(7));
+        use std::collections::HashSet;
+        let pairs: HashSet<(i64, i64)> = ps
+            .rows()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        for row in li.rows().take(500) {
+            let pair = (row[1].as_int().unwrap(), row[2].as_int().unwrap());
+            assert!(pairs.contains(&pair), "lineitem pair {pair:?} not in partsupp");
+        }
+    }
+
+    #[test]
+    fn scale_factor_scales_sizes() {
+        let s1 = generate(0.25, 1).total_tuples();
+        let s2 = generate(2.0, 1).total_tuples();
+        assert!(s2 > s1 * 2, "{s1} vs {s2}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Quickstart: the paper's Example 1 end-to-end.
+//!
+//! A social network stores photo albums, friendships and photo tags. Query
+//! `Q0` asks for "all photos in album a0 in which user u0 is tagged by one
+//! of her friends". The data may be huge — but under real-life limits
+//! (≤ 1000 photos per album, ≤ 5000 friends, one tag per person per photo)
+//! plus three indices, `Q0` is answerable by touching **at most 7000
+//! tuples**, no matter how big the database grows.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bounded_cq::core::explain::explain_effectiveness;
+use bounded_cq::prelude::*;
+
+fn main() -> Result<()> {
+    // The schema of Example 1.
+    let catalog = Catalog::from_names(&[
+        ("in_album", &["photo_id", "album_id"]),
+        ("friends", &["user_id", "friend_id"]),
+        ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
+    ])?;
+
+    // The access schema A0 of Example 2: cardinality limits + indices.
+    let mut a0 = AccessSchema::new(catalog.clone());
+    a0.add("in_album", &["album_id"], &["photo_id"], 1000)?;
+    a0.add("friends", &["user_id"], &["friend_id"], 5000)?;
+    a0.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)?;
+
+    // Q0(photo) = π σ (in_album × friends × tagging).
+    let q0 = SpcQuery::builder(catalog.clone(), "Q0")
+        .atom("in_album", "ia")
+        .atom("friends", "f")
+        .atom("tagging", "t")
+        .eq_const(("ia", "album_id"), "a0")
+        .eq_const(("f", "user_id"), "u0")
+        .eq(("ia", "photo_id"), ("t", "photo_id"))
+        .eq(("t", "tagger_id"), ("f", "friend_id"))
+        .eq_const(("t", "taggee_id"), "u0")
+        .project(("ia", "photo_id"))
+        .build()?;
+    println!("query: {q0}\n");
+
+    // Static analysis: bounded? effectively bounded?
+    println!("--- boundedness analysis ---");
+    println!("{}", explain_effectiveness(&q0, &a0));
+
+    // Generate the bounded query plan (Section 5).
+    let plan = qplan(&q0, &a0)?;
+    println!("--- bounded query plan ---");
+    print!("{plan}");
+    println!();
+
+    // Build a little database and evaluate.
+    let mut db = Database::new(catalog);
+    for (p, album) in [("p1", "a0"), ("p2", "a0"), ("p3", "a0"), ("p4", "a1")] {
+        db.insert("in_album", &[Value::str(p), Value::str(album)])?;
+    }
+    for (u, f) in [("u0", "u1"), ("u0", "u2"), ("u9", "u3")] {
+        db.insert("friends", &[Value::str(u), Value::str(f)])?;
+    }
+    for (p, tagger, taggee) in [
+        ("p1", "u1", "u0"), // match: friend u1 tagged u0 in album a0
+        ("p2", "u3", "u0"), // u3 is not a friend of u0
+        ("p4", "u2", "u0"), // wrong album
+        ("p3", "u1", "u5"), // wrong taggee
+    ] {
+        db.insert(
+            "tagging",
+            &[Value::str(p), Value::str(tagger), Value::str(taggee)],
+        )?;
+    }
+    db.build_indexes(&a0);
+
+    let out = eval_dq(&db, &plan, &a0)?;
+    println!("--- execution ---");
+    println!(
+        "answer: {} (fetched {} of {} tuples, {} index probes, {:?})",
+        out.result,
+        out.dq_tuples(),
+        db.total_tuples(),
+        out.meter.index_probes,
+        out.elapsed
+    );
+
+    // Cross-check against a conventional evaluation.
+    let check = baseline(&db, &q0, &a0, BaselineOptions::default())?;
+    assert_eq!(check.result().expect("no budget"), &out.result);
+    println!("baseline agrees: {} row(s)", check.result().unwrap().len());
+    Ok(())
+}

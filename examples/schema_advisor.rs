@@ -1,0 +1,116 @@
+//! Access-schema advisor: "what constraints/indices would make my queries
+//! bounded?" — the paper's future-work item (2), built on `advise` plus
+//! data-driven bound calibration (`discover_bound`).
+//!
+//! Uses the SQL-style parser for the queries, runs the advisor against an
+//! *empty* access schema, calibrates the proposed bounds against a
+//! generated TPCH instance, and verifies the queries become effectively
+//! bounded.
+//!
+//! Run with: `cargo run --release --example schema_advisor`
+
+use bounded_cq::core::advisor::{advise, Proposal};
+use bounded_cq::prelude::*;
+use bounded_cq::workload::tpch;
+
+fn main() -> Result<()> {
+    let catalog = tpch::catalog();
+
+    // An analyst writes plain queries — no access schema in sight.
+    let sql = [
+        (
+            "orders_of_customer",
+            "SELECT o.o_orderkey
+             FROM orders o
+             WHERE o.o_custkey = 42 AND o.o_orderstatus = 1",
+        ),
+        (
+            "parts_shipped",
+            "SELECT l.l_partkey
+             FROM orders o, lineitem l
+             WHERE o.o_custkey = 42 AND l.l_orderkey = o.o_orderkey
+               AND l.l_shipmode = 3",
+        ),
+        (
+            "nation_of_supplier",
+            "SELECT n.n_name
+             FROM supplier s, nation n
+             WHERE s.s_suppkey = 17 AND n.n_nationkey = s.s_nationkey",
+        ),
+    ];
+    let queries: Vec<SpcQuery> = sql
+        .iter()
+        .map(|(name, text)| parse_spc(catalog.clone(), name, text))
+        .collect::<Result<_>>()?;
+
+    // None of them is effectively bounded without access constraints.
+    let empty = AccessSchema::new(catalog.clone());
+    for q in &queries {
+        assert!(!ebcheck(q, &empty).effectively_bounded);
+    }
+
+    // Ask the advisor.
+    let refs: Vec<&SpcQuery> = queries.iter().collect();
+    let advice = advise(&refs, &empty);
+    println!("--- proposed access constraints ---");
+    for p in &advice.proposals {
+        println!(
+            "  {}: ({}) -> ({})    [{}]",
+            p.relation,
+            p.x.join(", "),
+            p.y.join(", "),
+            p.reason
+        );
+    }
+    assert!(advice.unresolved.is_empty());
+
+    // Calibrate the bounds N against actual data (the paper "examined the
+    // size of active domains and dependencies" the same way).
+    let db = tpch::generate(4.0, 7);
+    println!("\n--- calibrated against SF-4 data ({} tuples) ---", db.total_tuples());
+    let mut calibrated = AccessSchema::new(catalog.clone());
+    for p in &advice.proposals {
+        let x_refs: Vec<&str> = p.x.iter().map(String::as_str).collect();
+        let y_refs: Vec<&str> = p.y.iter().map(String::as_str).collect();
+        let observed = discover_bound(&db, &p.relation, &x_refs, &y_refs)
+            .unwrap_or(Proposal::UNKNOWN_BOUND);
+        // Declare double the observed bound as safety margin.
+        let n = observed * 2;
+        println!(
+            "  {}: ({}) -> ({}, {n})   [observed {observed}]",
+            p.relation,
+            p.x.join(", "),
+            p.y.join(", ")
+        );
+        calibrated.push(p.to_constraint(&calibrated, n)?);
+    }
+
+    // The queries are now effectively bounded — plan and run them.
+    let mut db = db;
+    db.build_indexes(&calibrated);
+    println!("\n--- bounded execution under the advised schema ---");
+    for q in &queries {
+        let plan = qplan(q, &calibrated)?;
+        let out = eval_dq(&db, &plan, &calibrated)?;
+        println!(
+            "  {:<20} Σ M_i = {:>6}, |DQ| = {:>4}, {} row(s), {:?}",
+            q.name(),
+            plan.cost_bound(),
+            out.dq_tuples(),
+            out.result.len(),
+            out.elapsed
+        );
+        let check = baseline(
+            &db,
+            q,
+            &calibrated,
+            BaselineOptions {
+                mode: BaselineMode::FullScan,
+                work_budget: None,
+            },
+        )?;
+        assert_eq!(check.result().unwrap(), &out.result);
+    }
+    println!("\nfull scans agree with the bounded plans on every query.");
+    Ok(())
+}

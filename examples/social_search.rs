@@ -1,0 +1,92 @@
+//! Parameterized social search: the paper's Q1 workflow (Examples 1(2)
+//! and 9).
+//!
+//! `Q1` is a *template*: the album and user are `?placeholders` to be filled
+//! in through a Web form. The template itself is not even bounded — but a
+//! **dominating parameter** analysis (`findDPh`, Section 4.3) identifies the
+//! minimum set of parameters whose instantiation makes it effectively
+//! bounded, so the application can require exactly those form fields.
+//!
+//! Run with: `cargo run --release --example social_search`
+
+use bounded_cq::core::dominating::{find_dp, find_dp_exact, DominatingConfig};
+use bounded_cq::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() -> Result<()> {
+    let catalog = Catalog::from_names(&[
+        ("in_album", &["photo_id", "album_id"]),
+        ("friends", &["user_id", "friend_id"]),
+        ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
+    ])?;
+    let mut a0 = AccessSchema::new(catalog.clone());
+    a0.add("in_album", &["album_id"], &["photo_id"], 1000)?;
+    a0.add("friends", &["user_id"], &["friend_id"], 5000)?;
+    a0.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)?;
+
+    // Q1: same as Q0, but album and user are unbound placeholders.
+    let q1 = SpcQuery::builder(catalog.clone(), "Q1")
+        .atom("in_album", "ia")
+        .atom("friends", "f")
+        .atom("tagging", "t")
+        .eq_param(("ia", "album_id"), "aid")
+        .eq_param(("f", "user_id"), "uid")
+        .eq(("ia", "photo_id"), ("t", "photo_id"))
+        .eq(("t", "tagger_id"), ("f", "friend_id"))
+        .eq(("t", "taggee_id"), ("f", "user_id"))
+        .project(("ia", "photo_id"))
+        .build()?;
+    println!("template: {q1}\n");
+
+    // The raw template is neither bounded nor effectively bounded.
+    println!("bounded under A0?            {}", bcheck(&q1, &a0).bounded);
+    println!(
+        "effectively bounded under A0? {}",
+        ebcheck(&q1, &a0).effectively_bounded
+    );
+
+    // findDPh: which parameters must the form require? (Example 9 uses
+    // α = 3/7.)
+    let dp = find_dp(&q1, &a0, DominatingConfig::with_alpha(3.0 / 7.0))
+        .expect("Q1 has dominating parameters under A0");
+    let names: Vec<String> = dp.attrs.iter().map(|a| q1.attr_name(*a)).collect();
+    println!(
+        "\nfindDPh: instantiate X_P = {{{}}} (|X_P|/#params = {:.2})",
+        names.join(", "),
+        dp.ratio
+    );
+
+    // The exact (exponential) solver can do one better by exploiting
+    // Σ_Q-equalities — Theorem 7 says minimality is NPO-complete, so the
+    // heuristic settles for safe.
+    let exact = find_dp_exact(&q1, &a0, DominatingConfig::default(), 16)
+        .expect("exact search succeeds on this small template");
+    let exact_names: Vec<String> = exact.attrs.iter().map(|a| q1.attr_name(*a)).collect();
+    println!("exact minimum:            {{{}}}", exact_names.join(", "));
+
+    // The user submits the form: instantiate and evaluate.
+    let mut binding = BTreeMap::new();
+    binding.insert("aid".to_string(), Value::str("a0"));
+    binding.insert("uid".to_string(), Value::str("u0"));
+    let ground = q1.instantiate(&binding);
+    assert!(ebcheck(&ground, &a0).effectively_bounded);
+    let plan = qplan(&ground, &a0)?;
+    println!(
+        "\ninstantiated plan fetches at most {} tuples:",
+        plan.cost_bound()
+    );
+    print!("{plan}");
+
+    // Tiny database, same as the quickstart.
+    let mut db = Database::new(catalog);
+    db.insert("in_album", &[Value::str("p1"), Value::str("a0")])?;
+    db.insert("friends", &[Value::str("u0"), Value::str("u1")])?;
+    db.insert(
+        "tagging",
+        &[Value::str("p1"), Value::str("u1"), Value::str("u0")],
+    )?;
+    db.build_indexes(&a0);
+    let out = eval_dq(&db, &plan, &a0)?;
+    println!("\nanswer for (a0, u0): {}", out.result);
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Which TPC-H-style queries are bounded? A query-optimizer's view.
+//!
+//! Walks the 15-query TPCH workload and classifies each query the way the
+//! paper's Section 1 flowchart suggests a DBMS should:
+//!
+//! 1. effectively bounded → generate the bounded plan (with its `Σ M_i`);
+//! 2. not effectively bounded but has dominating parameters → report which
+//!    parameters to ask the user for;
+//! 3. otherwise → fall back to conventional evaluation.
+//!
+//! Run with: `cargo run --release --example tpch_bounded`
+
+use bounded_cq::core::dominating::{find_dp, DominatingConfig};
+use bounded_cq::core::mbounded::{min_dq_bound_exact, min_dq_bound_greedy};
+use bounded_cq::prelude::*;
+use bounded_cq::workload::tpch;
+
+fn main() -> Result<()> {
+    let ds = tpch::dataset();
+    println!(
+        "TPCH: {} relations, {} attributes, {} access constraints\n",
+        ds.catalog.len(),
+        ds.catalog.total_attributes(),
+        ds.access.len()
+    );
+    println!(
+        "{:<22} {:>6} {:>6} {:>9} {:>9} {:>12}  plan/route",
+        "query", "#-sel", "#-prod", "bounded", "eff.bnd", "Σ M_i"
+    );
+
+    for wq in &ds.queries {
+        let q = &wq.query;
+        let b = bcheck(q, &ds.access).bounded;
+        let eb = ebcheck(q, &ds.access).effectively_bounded;
+        let (bound, route) = if eb {
+            let plan = qplan(q, &ds.access)?;
+            (
+                plan.cost_bound().to_string(),
+                format!("bounded plan, {} fetch steps", plan.steps().len()),
+            )
+        } else if let Some(dp) = find_dp(q, &ds.access, DominatingConfig::default()) {
+            let names: Vec<String> = dp.attrs.iter().map(|a| q.attr_name(*a)).collect();
+            ("-".into(), format!("ask user for {{{}}}", names.join(", ")))
+        } else {
+            ("-".into(), "conventional evaluation".into())
+        };
+        println!(
+            "{:<22} {:>6} {:>6} {:>9} {:>9} {:>12}  {route}",
+            q.name(),
+            q.num_sel(),
+            q.num_prod(),
+            b,
+            eb,
+            bound
+        );
+    }
+
+    // For one query, compare the greedy plan bound with the exact optimum
+    // (Theorem 8: minimizing is NP-complete; the gap here is the price of
+    // polynomial time).
+    let wq = ds
+        .queries
+        .iter()
+        .find(|w| w.query.name() == "tpch_region_nations")
+        .expect("workload query exists");
+    let greedy = min_dq_bound_greedy(&wq.query, &ds.access).expect("effectively bounded");
+    let exact = min_dq_bound_exact(&wq.query, &ds.access, 16).expect("search fits the cap");
+    println!(
+        "\n{}: greedy Σ M_i = {greedy}, exact minimum = {exact}",
+        wq.query.name()
+    );
+
+    // And run the bounded plans for real at SF 4.
+    let db = ds.build(4.0);
+    println!("\nexecuting the effectively bounded queries at SF 4 ({} tuples):", db.total_tuples());
+    for wq in ds.effectively_bounded_queries() {
+        let plan = qplan(&wq.query, &ds.access)?;
+        let out = eval_dq(&db, &plan, &ds.access)?;
+        println!(
+            "  {:<22} {:>4} rows, |DQ| = {:>4}, {:?}",
+            wq.query.name(),
+            out.result.len(),
+            out.dq_tuples(),
+            out.elapsed
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Traffic-accident analytics on the TFACC workload: constraint discovery
+//! and scale independence.
+//!
+//! Shows the full Section 6 methodology on one query:
+//!
+//! 1. *Discover* access constraints from the data (the paper extracted 84
+//!    "by examining the size of active domains and dependencies" — e.g. at
+//!    most 610 accidents on any single day).
+//! 2. Check effective boundedness and build the plan.
+//! 3. Grow the database 8× and watch `evalDQ` stay flat while the
+//!    conventional baseline's cost grows with `|D|`.
+//!
+//! Run with: `cargo run --release --example traffic_analysis`
+
+use bounded_cq::prelude::*;
+use bounded_cq::workload::tfacc;
+
+fn main() -> Result<()> {
+    // 1. Discovery: what bounds does the data actually satisfy?
+    let db = tfacc::generate(0.125, 7);
+    println!("--- constraint discovery on {} tuples ---", db.total_tuples());
+    for (rel, x, y) in [
+        ("accident", vec!["date"], "aid"),
+        ("accident", vec!["date", "district_id"], "aid"),
+        ("vehicle", vec!["aid"], "vid"),
+        ("casualty", vec!["aid"], "cid"),
+    ] {
+        let xs: Vec<&str> = x.clone();
+        if let Some(n) = discover_bound(&db, rel, &xs, &[y]) {
+            println!("  {rel}: ({}) -> ({y}, {n})", x.join(", "));
+        }
+    }
+    println!("  (the shipped schema declares safe margins above these)\n");
+
+    // 2. The workload query: vehicles of one type in accidents on one day.
+    let ds = tfacc::dataset();
+    let wq = ds
+        .queries
+        .iter()
+        .find(|w| w.query.name() == "tfacc_day_vehicles")
+        .expect("workload query exists");
+    let report = ebcheck(&wq.query, &ds.access);
+    println!("query: {}", wq.query);
+    println!("effectively bounded: {}", report.effectively_bounded);
+    let plan = qplan(&wq.query, &ds.access)?;
+    println!("static bound on |DQ|: {} tuples\n", plan.cost_bound());
+
+    // 3. Scale independence: |D| grows 8x, evalDQ stays put.
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>14} {:>14}",
+        "scale", "|D|", "evalDQ", "|DQ|", "baseline", "base work"
+    );
+    for scale in [0.125, 0.25, 0.5, 1.0] {
+        let db = ds.build(scale);
+        let out = eval_dq(&db, &plan, &ds.access)?;
+        let base = baseline(
+            &db,
+            &wq.query,
+            &ds.access,
+            BaselineOptions {
+                mode: BaselineMode::ConstIndex,
+                work_budget: None,
+            },
+        )?;
+        println!(
+            "{:>8} {:>12} {:>12.2?} {:>10} {:>14.2?} {:>14}",
+            scale,
+            db.total_tuples(),
+            out.elapsed,
+            out.dq_tuples(),
+            base.elapsed(),
+            base.meter().work()
+        );
+        assert_eq!(base.result().expect("no budget"), &out.result);
+    }
+    println!("\nevalDQ touches the same few tuples at every scale; the");
+    println!("baseline's work grows linearly with |D| — Figure 5(a) in_vitro.");
+    Ok(())
+}

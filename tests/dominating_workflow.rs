@@ -1,0 +1,114 @@
+//! The Section 1 decision flow for queries that are *not* effectively
+//! bounded: find dominating parameters, instantiate them, and verify the
+//! instantiated query becomes effectively bounded — across all 10
+//! non-effectively-bounded workload queries.
+
+use bounded_cq::core::dominating::{find_dp, DominatingConfig};
+use bounded_cq::core::sigma::Sigma;
+use bounded_cq::prelude::*;
+
+#[test]
+fn every_non_eb_workload_query_is_triaged() {
+    let mut with_dp = 0;
+    let mut without_dp = 0;
+    for ds in all_datasets() {
+        for wq in ds.queries.iter().filter(|w| !w.expect_effectively_bounded) {
+            match find_dp(&wq.query, &ds.access, DominatingConfig::default()) {
+                Some(set) => {
+                    with_dp += 1;
+                    assert!(
+                        !set.attrs.is_empty(),
+                        "{}: non-EB query with empty X_P",
+                        wq.query.name()
+                    );
+                    // Instantiating X_P with arbitrary (distinct) values
+                    // makes the query effectively bounded — the defining
+                    // property of dominating parameters ("for all ā").
+                    let consts: Vec<(QAttr, Value)> = set
+                        .attrs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, at)| (*at, Value::int(1_000_000 + i as i64)))
+                        .collect();
+                    let ground = wq.query.with_constants(&consts);
+                    assert!(
+                        ebcheck(&ground, &ds.access).effectively_bounded,
+                        "{}: instantiated query still not EB",
+                        wq.query.name()
+                    );
+                }
+                None => without_dp += 1,
+            }
+        }
+    }
+    // The split itself is a workload property worth pinning: some scans
+    // are fixable by instantiation, some are not (Example 8 style).
+    assert_eq!(with_dp + without_dp, 10);
+    assert!(with_dp >= 4, "expected several fixable queries, got {with_dp}");
+    assert!(
+        without_dp >= 2,
+        "expected several unfixable queries, got {without_dp}"
+    );
+}
+
+#[test]
+fn instantiated_plans_execute_within_bounds() {
+    // Take one fixable query per dataset, instantiate with *hot* values
+    // that exist in the generated data, and run the bounded plan.
+    let ds = bounded_cq::workload::tpch::dataset();
+    let wq = ds
+        .queries
+        .iter()
+        .find(|w| w.query.name() == "tpch_segment_orders")
+        .unwrap();
+    let set = find_dp(&wq.query, &ds.access, DominatingConfig::default()).unwrap();
+    // X_P is the custkey class; instantiate with customer 42.
+    let consts: Vec<(QAttr, Value)> = set
+        .attrs
+        .iter()
+        .map(|at| (*at, Value::int(42)))
+        .collect();
+    let ground = wq.query.with_constants(&consts);
+    let plan = qplan(&ground, &ds.access).unwrap();
+
+    let db = ds.build(1.0);
+    let out = eval_dq(&db, &plan, &ds.access).unwrap();
+    assert!(u128::from(out.dq_tuples()) <= plan.cost_bound());
+    // Cross-check against the full scan.
+    let full = baseline(
+        &db,
+        &ground,
+        &ds.access,
+        BaselineOptions {
+            mode: BaselineMode::FullScan,
+            work_budget: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(full.result().unwrap(), &out.result);
+}
+
+#[test]
+fn dp_classes_are_consistent_with_virtual_seeding() {
+    // The classes reported by find_dp drive ebcheck_with_seeds; both views
+    // (class seeding and actual instantiation) must agree on every workload
+    // query with a dominating set.
+    for ds in all_datasets() {
+        for wq in &ds.queries {
+            if let Some(set) = find_dp(&wq.query, &ds.access, DominatingConfig::default()) {
+                let sigma = Sigma::build(&wq.query);
+                let seeded = bounded_cq::core::ebcheck::ebcheck_with_seeds(
+                    &wq.query,
+                    &sigma,
+                    &ds.access,
+                    &set.classes,
+                );
+                assert!(
+                    seeded.effectively_bounded,
+                    "{}: seeded check disagrees",
+                    wq.query.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Executor equivalence: `evalDQ` computes exactly `Q(D)`.
+//!
+//! For every effectively bounded workload query, on every dataset, the
+//! bounded plan's answer must equal the conventional evaluators' answers
+//! (the paper's correctness guarantee `Q(D_Q) = Q(D)`), while touching a
+//! number of tuples within the static `Σ M_i` bound.
+
+use bounded_cq::prelude::*;
+
+fn check_dataset(ds: &Dataset, scale: f64) {
+    let db = ds.build(scale);
+    for wq in ds.effectively_bounded_queries() {
+        let plan = qplan(&wq.query, &ds.access)
+            .unwrap_or_else(|e| panic!("{} should plan: {e}", wq.query.name()));
+        let bounded = eval_dq(&db, &plan, &ds.access).unwrap();
+
+        // |DQ| within the static bound.
+        assert!(
+            u128::from(bounded.dq_tuples()) <= plan.cost_bound(),
+            "{}: |DQ| {} exceeds bound {}",
+            wq.query.name(),
+            bounded.dq_tuples(),
+            plan.cost_bound()
+        );
+
+        for mode in [BaselineMode::FullScan, BaselineMode::ConstIndex, BaselineMode::IndexJoin] {
+            let out = baseline(
+                &db,
+                &wq.query,
+                &ds.access,
+                BaselineOptions {
+                    mode,
+                    work_budget: None,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                out.result().expect("no budget"),
+                &bounded.result,
+                "{} disagrees under {mode:?}",
+                wq.query.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tfacc_executors_agree() {
+    check_dataset(&bounded_cq::workload::tfacc::dataset(), 0.05);
+}
+
+#[test]
+fn mot_executors_agree() {
+    check_dataset(&bounded_cq::workload::mot::dataset(), 0.05);
+}
+
+#[test]
+fn tpch_executors_agree() {
+    check_dataset(&bounded_cq::workload::tpch::dataset(), 0.5);
+}
+
+/// The non-effectively-bounded queries still evaluate correctly through the
+/// baseline (they are just not *bounded*): both baseline modes agree.
+#[test]
+fn non_bounded_queries_baselines_agree() {
+    for ds in all_datasets() {
+        let db = ds.build(match ds.name {
+            "TPCH" => 0.25,
+            _ => 0.03125,
+        });
+        for wq in ds.queries.iter().filter(|w| !w.expect_effectively_bounded) {
+            let a = baseline(
+                &db,
+                &wq.query,
+                &ds.access,
+                BaselineOptions {
+                    mode: BaselineMode::FullScan,
+                    work_budget: None,
+                },
+            )
+            .unwrap();
+            let b = baseline(
+                &db,
+                &wq.query,
+                &ds.access,
+                BaselineOptions {
+                    mode: BaselineMode::ConstIndex,
+                    work_budget: None,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                a.result().unwrap(),
+                b.result().unwrap(),
+                "{}",
+                wq.query.name()
+            );
+        }
+    }
+}
+
+/// Scale independence, measured: growing the data must not change `|D_Q|`
+/// by more than data-density noise, and never past the static bound.
+#[test]
+fn dq_stays_bounded_as_data_grows() {
+    let ds = bounded_cq::workload::tpch::dataset();
+    for wq in ds.effectively_bounded_queries() {
+        let plan = qplan(&wq.query, &ds.access).unwrap();
+        let mut last = 0u64;
+        for sf in [0.25, 1.0, 4.0] {
+            let db = ds.build(sf);
+            let out = eval_dq(&db, &plan, &ds.access).unwrap();
+            assert!(u128::from(out.dq_tuples()) <= plan.cost_bound());
+            last = out.dq_tuples();
+        }
+        // The bound holds at the largest scale too (sanity that `last` was
+        // populated).
+        assert!(u128::from(last) <= plan.cost_bound());
+    }
+}

@@ -1,0 +1,144 @@
+//! Lemma 1 end-to-end: `Q(D) = g_Q(Q)(g_D(D))` and verdict preservation.
+
+use bounded_cq::core::normalize::normalize_catalog;
+use bounded_cq::prelude::*;
+use std::sync::Arc;
+
+fn photos_catalog() -> Arc<Catalog> {
+    Catalog::from_names(&[
+        ("in_album", &["photo_id", "album_id"]),
+        ("friends", &["user_id", "friend_id"]),
+        ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
+    ])
+    .unwrap()
+}
+
+fn a0(cat: &Arc<Catalog>) -> AccessSchema {
+    let mut a = AccessSchema::new(cat.clone());
+    a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
+    a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+    a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
+        .unwrap();
+    a
+}
+
+fn sample_db(cat: &Arc<Catalog>) -> Database {
+    let mut db = Database::new(cat.clone());
+    for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p3", "a1")] {
+        db.insert("in_album", &[Value::str(p), Value::str(al)]).unwrap();
+    }
+    for (u, f) in [("u0", "u1"), ("u0", "u2"), ("u1", "u0")] {
+        db.insert("friends", &[Value::str(u), Value::str(f)]).unwrap();
+    }
+    for (p, tr, te) in [("p1", "u1", "u0"), ("p2", "u2", "u0"), ("p2", "u0", "u1")] {
+        db.insert("tagging", &[Value::str(p), Value::str(tr), Value::str(te)])
+            .unwrap();
+    }
+    db
+}
+
+fn q0(cat: &Arc<Catalog>) -> SpcQuery {
+    SpcQuery::builder(cat.clone(), "Q0")
+        .atom("in_album", "ia")
+        .atom("friends", "f")
+        .atom("tagging", "t")
+        .eq_const(("ia", "album_id"), "a0")
+        .eq_const(("f", "user_id"), "u0")
+        .eq(("ia", "photo_id"), ("t", "photo_id"))
+        .eq(("t", "tagger_id"), ("f", "friend_id"))
+        .eq_const(("t", "taggee_id"), "u0")
+        .project(("ia", "photo_id"))
+        .build()
+        .unwrap()
+}
+
+/// `g_D`: encode every source table into the single tagged relation.
+fn encode_db(
+    n: &bounded_cq::core::normalize::NormalizedSchema,
+    db: &Database,
+) -> Database {
+    let mut out = Database::new(n.catalog().clone());
+    for (i, _) in n.source().relations().iter().enumerate() {
+        let rel = RelId(i);
+        for row in db.table(rel).rows() {
+            let enc = n.encode_tuple(rel, row);
+            out.insert("r_star", &enc).unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn lemma1_answers_agree() {
+    let cat = photos_catalog();
+    let n = normalize_catalog(&cat).unwrap();
+    let db = sample_db(&cat);
+    let star_db = encode_db(&n, &db);
+    assert_eq!(db.total_tuples(), star_db.total_tuples());
+
+    let q = q0(&cat);
+    let nq = n.normalize_query(&q).unwrap();
+    let a = a0(&cat);
+    let na = n.normalize_access(&a).unwrap();
+
+    // Evaluate both sides with the baseline (no indices needed for
+    // FullScan).
+    let opts = BaselineOptions {
+        mode: BaselineMode::FullScan,
+        work_budget: None,
+    };
+    let lhs = baseline(&db, &q, &a, opts).unwrap();
+    let rhs = baseline(&star_db, &nq, &na, opts).unwrap();
+    assert_eq!(lhs.result().unwrap(), rhs.result().unwrap());
+    // p1 (tagged by u1) and p2 (tagged by u2) both qualify.
+    assert_eq!(lhs.result().unwrap().len(), 2);
+}
+
+#[test]
+fn lemma1_preserves_bounded_evaluation() {
+    // The normalized query is still effectively bounded under the mapped
+    // access schema, and its bounded plan computes the same answer.
+    let cat = photos_catalog();
+    let n = normalize_catalog(&cat).unwrap();
+    let db = sample_db(&cat);
+    let mut star_db = encode_db(&n, &db);
+
+    let q = q0(&cat);
+    let nq = n.normalize_query(&q).unwrap();
+    let a = a0(&cat);
+    let na = n.normalize_access(&a).unwrap();
+
+    assert_eq!(
+        ebcheck(&q, &a).effectively_bounded,
+        ebcheck(&nq, &na).effectively_bounded
+    );
+    star_db.build_indexes(&na);
+    let plan = qplan(&nq, &na).unwrap();
+    let out = eval_dq(&star_db, &plan, &na).unwrap();
+    assert_eq!(out.result.len(), 2);
+    assert!(out.result.contains(&[Value::str("p1")]));
+    assert!(out.result.contains(&[Value::str("p2")]));
+}
+
+#[test]
+fn lemma1_on_workload_queries() {
+    // Verdict preservation across the whole TPCH workload.
+    let ds = bounded_cq::workload::tpch::dataset();
+    let n = normalize_catalog(&ds.catalog).unwrap();
+    let na = n.normalize_access(&ds.access).unwrap();
+    for wq in &ds.queries {
+        let nq = n.normalize_query(&wq.query).unwrap();
+        assert_eq!(
+            ebcheck(&wq.query, &ds.access).effectively_bounded,
+            ebcheck(&nq, &na).effectively_bounded,
+            "{}",
+            wq.query.name()
+        );
+        assert_eq!(
+            bcheck(&wq.query, &ds.access).bounded,
+            bcheck(&nq, &na).bounded,
+            "{}",
+            wq.query.name()
+        );
+    }
+}

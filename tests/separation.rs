@@ -1,0 +1,80 @@
+//! Proposition 2: `SPC_eb ⊊ SPC_b` — a query that is bounded but not
+//! effectively bounded under the same access schema.
+
+use bounded_cq::core::dominating::{find_dp, DominatingConfig};
+use bounded_cq::prelude::*;
+
+/// The witness: `Q(b) = π_b σ_{a=1}(r)` under `A = {∅ → (b, 5)}`.
+///
+/// *Bounded*: the domain of `b` has at most 5 values, so a 5-tuple witness
+/// set answers the query (each distinct `b`-value needs one witness tuple
+/// with `a = 1`, if any).
+///
+/// *Not effectively bounded*: no index keyed within `{a, b}` exists, so
+/// those witnesses cannot be located without scanning `D`.
+#[test]
+fn proposition_2_witness() {
+    let cat = Catalog::from_names(&[("r", &["a", "b"])]).unwrap();
+    let mut a = AccessSchema::new(cat.clone());
+    a.add("r", &[], &["b"], 5).unwrap();
+
+    let q = SpcQuery::builder(cat, "sep")
+        .atom("r", "r")
+        .eq_const(("r", "a"), 1)
+        .project(("r", "b"))
+        .build()
+        .unwrap();
+
+    assert!(bcheck(&q, &a).bounded, "bounded via the domain constraint");
+    assert!(
+        !ebcheck(&q, &a).effectively_bounded,
+        "but no index can fetch the witnesses"
+    );
+    assert!(qplan(&q, &a).is_err());
+    // And no instantiation fixes it: `a` is covered by no constraint.
+    assert!(find_dp(&q, &a, DominatingConfig::default()).is_none());
+}
+
+/// Completing the picture: adding the index (as a constraint keyed on `b`)
+/// closes the gap.
+#[test]
+fn proposition_2_gap_closes_with_an_index() {
+    let cat = Catalog::from_names(&[("r", &["a", "b"])]).unwrap();
+    let mut a = AccessSchema::new(cat.clone());
+    a.add("r", &[], &["b"], 5).unwrap();
+    // b -> (a, N): an index on b exposing a; with the domain bound this
+    // makes {a, b} indexed and reachable.
+    a.add("r", &["b"], &["a"], 3).unwrap();
+
+    let q = SpcQuery::builder(cat.clone(), "sep2")
+        .atom("r", "r")
+        .eq_const(("r", "a"), 1)
+        .project(("r", "b"))
+        .build()
+        .unwrap();
+    assert!(ebcheck(&q, &a).effectively_bounded);
+    let plan = qplan(&q, &a).unwrap();
+    // Fetch the ≤5 b-values, then ≤3 witnesses per b: 5 + 15.
+    assert_eq!(plan.cost_bound(), 5 + 15);
+
+    // Execute to confirm the witnesses suffice: note data satisfies both
+    // constraints (b has ≤ 5 distinct values; each b has ≤ 3 distinct a).
+    let mut db = Database::new(cat);
+    for (av, bv) in [(1, 10), (1, 11), (2, 10), (3, 12), (1, 10)] {
+        db.insert("r", &[Value::int(av), Value::int(bv)]).unwrap();
+    }
+    db.build_indexes(&a);
+    let out = eval_dq(&db, &plan, &a).unwrap();
+    assert_eq!(out.result.len(), 2); // b = 10 and b = 11 have a = 1
+    let full = baseline(
+        &db,
+        &q,
+        &a,
+        BaselineOptions {
+            mode: BaselineMode::FullScan,
+            work_budget: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(full.result().unwrap(), &out.result);
+}
