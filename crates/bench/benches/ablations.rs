@@ -47,8 +47,7 @@ fn dp_ablation(c: &mut Criterion) {
         b.iter(|| {
             for wq in &targets {
                 std::hint::black_box(
-                    find_dp_exact(&wq.query, &ds.access, DominatingConfig::default(), 14)
-                        .is_some(),
+                    find_dp_exact(&wq.query, &ds.access, DominatingConfig::default(), 14).is_some(),
                 );
             }
         })
@@ -144,7 +143,8 @@ fn chain(n: usize, m: usize) -> (SpcQuery, AccessSchema) {
         let x = format!("a{i}");
         let y = format!("b{i}");
         for k in 0..m {
-            a.add(&rel, &[x.as_str()], &[y.as_str()], 2 + k as u64).unwrap();
+            a.add(&rel, &[x.as_str()], &[y.as_str()], 2 + k as u64)
+                .unwrap();
         }
     }
     let mut b = SpcQuery::builder(cat, format!("chain{n}"));
@@ -157,10 +157,16 @@ fn chain(n: usize, m: usize) -> (SpcQuery, AccessSchema) {
         let prev_b = format!("b{}", i - 1);
         let cur = format!("t{i}");
         let cur_a = format!("a{i}");
-        b = b.eq((cur.as_str(), cur_a.as_str()), (prev.as_str(), prev_b.as_str()));
+        b = b.eq(
+            (cur.as_str(), cur_a.as_str()),
+            (prev.as_str(), prev_b.as_str()),
+        );
     }
     let q = b
-        .project((format!("t{}", n - 1).as_str(), format!("b{}", n - 1).as_str()))
+        .project((
+            format!("t{}", n - 1).as_str(),
+            format!("b{}", n - 1).as_str(),
+        ))
         .build()
         .unwrap();
     (q, a)
@@ -197,8 +203,7 @@ fn incremental_vs_full(c: &mut Criterion) {
     // Pre-insert the delta tuple so both paths see the same database.
     let orderkey = {
         let rel = ds.catalog.rel_id("orders").unwrap();
-        db.table(rel)
-            .rows()
+        db.value_rows(rel)
             .find(|r| r[1] == Value::int(42) && r[2] == Value::int(1))
             .map(|r| r[0].clone())
             .expect("customer 42 has an open order")

@@ -1,0 +1,205 @@
+//! Micro-bench for the index-probe + join hot path.
+//!
+//! This is the data-plane cost the paper's whole argument rests on: an
+//! effectively bounded plan touches `|D_Q|` tuples regardless of `|D|`, so
+//! per-tuple fetch/hash/join constants dominate. Three probes:
+//!
+//! * `probe/str_keys` — witness lookups keyed by string values (the worst
+//!   case for key hashing).
+//! * `probe/int_keys` — witness lookups keyed by integers.
+//! * `join/eval_dq` — a full three-atom bounded evaluation (fetch → filter
+//!   → hash-join → project) on a social-style database.
+//!
+//! Run `cargo bench --bench probe_join` before and after data-plane changes
+//! and compare the medians.
+
+use bcq_core::prelude::*;
+use bcq_core::row::Cell;
+use bcq_exec::eval_dq;
+use bcq_storage::Database;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+const USERS: i64 = 20_000;
+const FRIENDS_PER_USER: i64 = 8;
+
+fn social_catalog() -> Arc<Catalog> {
+    Catalog::from_names(&[
+        ("in_album", &["photo_id", "album_id"]),
+        ("friends", &["user_id", "friend_id"]),
+        ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
+    ])
+    .unwrap()
+}
+
+fn social_access(cat: &Arc<Catalog>) -> AccessSchema {
+    let mut a = AccessSchema::new(Arc::clone(cat));
+    a.add("in_album", &["album_id"], &["photo_id"], 64).unwrap();
+    a.add("friends", &["user_id"], &["friend_id"], 64).unwrap();
+    a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 8)
+        .unwrap();
+    a
+}
+
+/// A social database with string ids (photo "p123", user "u456"), sized so
+/// probes dominate: `USERS * FRIENDS_PER_USER` friends rows plus albums and
+/// taggings that keep every query key hot.
+fn social_db(cat: &Arc<Catalog>, a: &AccessSchema) -> Database {
+    let mut db = Database::new(Arc::clone(cat));
+    for u in 0..USERS {
+        for k in 0..FRIENDS_PER_USER {
+            let f = (u * 31 + k * 7 + 1) % USERS;
+            db.insert(
+                "friends",
+                &[Value::str(format!("u{u}")), Value::str(format!("f{f}"))],
+            )
+            .unwrap();
+        }
+    }
+    for p in 0..USERS / 2 {
+        db.insert(
+            "in_album",
+            &[
+                Value::str(format!("p{p}")),
+                Value::str(format!("a{}", p % (USERS / 20))),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "tagging",
+            &[
+                Value::str(format!("p{p}")),
+                Value::str(format!("f{}", (p * 31 + 1) % USERS)),
+                Value::str(format!("u{}", p % USERS)),
+            ],
+        )
+        .unwrap();
+    }
+    db.build_indexes(a);
+    db
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let cat = social_catalog();
+    let a = social_access(&cat);
+    let db = social_db(&cat, &a);
+    let friends_idx = db
+        .index_for(a.constraint(ConstraintId(1)))
+        .expect("friends index built");
+
+    let mut group = c.benchmark_group("probe");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Probe keys arriving as values (the query-constant boundary): one
+    // symbol-table lookup per key, then a fixed-width probe.
+    let str_keys: Vec<Value> = (0..USERS).map(|u| Value::str(format!("u{u}"))).collect();
+    group.bench_function("str_keys", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for k in &str_keys {
+                if let Some(cell) = db.symbols().try_encode(k) {
+                    hits += friends_idx.witnesses(std::slice::from_ref(&cell)).len();
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    // Probe keys already interned (the steady state inside a plan: keys
+    // come from previously fetched rows): pure u64 hashing.
+    let interned_keys: Vec<Cell> = str_keys
+        .iter()
+        .map(|k| db.symbols().try_encode(k).expect("loaded"))
+        .collect();
+    group.bench_function("str_keys_interned", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for cell in &interned_keys {
+                hits += friends_idx.witnesses(std::slice::from_ref(cell)).len();
+            }
+            black_box(hits)
+        })
+    });
+
+    // Integer-keyed variant of the same index shape.
+    let int_cat = Catalog::from_names(&[("friends", &["user_id", "friend_id"])]).unwrap();
+    let mut int_a = AccessSchema::new(Arc::clone(&int_cat));
+    int_a
+        .add("friends", &["user_id"], &["friend_id"], 64)
+        .unwrap();
+    let mut int_db = Database::new(Arc::clone(&int_cat));
+    for u in 0..USERS {
+        for k in 0..FRIENDS_PER_USER {
+            let f = (u * 31 + k * 7 + 1) % USERS;
+            int_db
+                .insert("friends", &[Value::int(u), Value::int(f)])
+                .unwrap();
+        }
+    }
+    int_db.build_indexes(&int_a);
+    let int_idx = int_db
+        .index_for(int_a.constraint(ConstraintId(0)))
+        .expect("int friends index built");
+    let int_keys: Vec<Value> = (0..USERS).map(Value::int).collect();
+    group.bench_function("int_keys", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for k in &int_keys {
+                if let Some(cell) = int_db.symbols().try_encode(k) {
+                    hits += int_idx.witnesses(std::slice::from_ref(&cell)).len();
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let cat = social_catalog();
+    let a = social_access(&cat);
+    let db = social_db(&cat, &a);
+
+    // One bounded three-atom query per hot album/user pair; evaluating the
+    // batch exercises fetch, filter, hash-join, and project end to end.
+    let plans: Vec<_> = (0..32)
+        .map(|i| {
+            let q = SpcQuery::builder(Arc::clone(&cat), format!("q{i}"))
+                .atom("in_album", "ia")
+                .atom("friends", "f")
+                .atom("tagging", "t")
+                .eq_const(("ia", "album_id"), format!("a{}", i * 7 + 1))
+                .eq_const(("f", "user_id"), format!("u{}", i * 13 + 5))
+                .eq(("ia", "photo_id"), ("t", "photo_id"))
+                .eq(("t", "tagger_id"), ("f", "friend_id"))
+                .eq_const(("t", "taggee_id"), format!("u{}", i * 13 + 5))
+                .project(("ia", "photo_id"))
+                .build()
+                .unwrap();
+            bcq_core::qplan::qplan(&q, &a).unwrap()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("join");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("eval_dq", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for plan in &plans {
+                rows += eval_dq(&db, plan, &a).unwrap().result.len();
+            }
+            black_box(rows)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe, bench_join);
+criterion_main!(benches);

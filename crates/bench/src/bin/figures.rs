@@ -46,7 +46,9 @@ fn parse_args() -> Args {
             }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: figures [--panel 5a..5l] [--table 1|2] [--headline] [--budget N]");
+                eprintln!(
+                    "usage: figures [--panel 5a..5l] [--table 1|2] [--headline] [--budget N]"
+                );
                 std::process::exit(2);
             }
         }

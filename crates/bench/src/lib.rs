@@ -114,7 +114,8 @@ pub fn measure(
                 result, elapsed, ..
             } => {
                 assert_eq!(
-                    result, out.result,
+                    result,
+                    out.result,
                     "baseline and evalDQ disagree on {}",
                     wq.query.name()
                 );
@@ -178,7 +179,13 @@ pub fn sel_sweep(ds: &Dataset, budget: u64) -> Vec<PanelRow> {
             if queries.is_empty() {
                 return None;
             }
-            Some(measure(format!("{nsel}"), &db, &ds.access, &queries, budget))
+            Some(measure(
+                format!("{nsel}"),
+                &db,
+                &ds.access,
+                &queries,
+                budget,
+            ))
         })
         .collect()
 }

@@ -164,13 +164,7 @@ impl AccessSchema {
     /// path. `x` may be empty for bounded-domain constraints.
     ///
     /// Returns the id of the new constraint.
-    pub fn add(
-        &mut self,
-        relation: &str,
-        x: &[&str],
-        y: &[&str],
-        n: u64,
-    ) -> Result<ConstraintId> {
+    pub fn add(&mut self, relation: &str, x: &[&str], y: &[&str], n: u64) -> Result<ConstraintId> {
         let rel_id = self.catalog.require_rel(relation)?;
         let rel = self.catalog.relation(rel_id);
         let xs = x
@@ -207,7 +201,12 @@ impl AccessSchema {
 
     /// Adds a bounded-domain constraint: attribute `attr` takes at most `n`
     /// distinct values, expressed as `∅ → (attr, n)`.
-    pub fn add_bounded_domain(&mut self, relation: &str, attr: &str, n: u64) -> Result<ConstraintId> {
+    pub fn add_bounded_domain(
+        &mut self,
+        relation: &str,
+        attr: &str,
+        n: u64,
+    ) -> Result<ConstraintId> {
         self.add(relation, &[], &[attr], n)
     }
 
@@ -307,7 +306,10 @@ impl AccessSchema {
     }
 
     /// A new schema with the constraints for which `keep` returns true.
-    pub fn filtered(&self, mut keep: impl FnMut(ConstraintId, &AccessConstraint) -> bool) -> AccessSchema {
+    pub fn filtered(
+        &self,
+        mut keep: impl FnMut(ConstraintId, &AccessConstraint) -> bool,
+    ) -> AccessSchema {
         let mut out = AccessSchema::new(Arc::clone(&self.catalog));
         for (i, c) in self.constraints.iter().enumerate() {
             if keep(ConstraintId(i), c) {
@@ -343,8 +345,10 @@ mod tests {
     /// The access schema A0 of Example 2.
     pub(crate) fn a0() -> AccessSchema {
         let mut a = AccessSchema::new(photos());
-        a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
-        a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+        a.add("in_album", &["album_id"], &["photo_id"], 1000)
+            .unwrap();
+        a.add("friends", &["user_id"], &["friend_id"], 5000)
+            .unwrap();
         a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
             .unwrap();
         a

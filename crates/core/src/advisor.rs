@@ -47,7 +47,11 @@ impl Proposal {
     pub const UNKNOWN_BOUND: u64 = 1_000;
 
     /// Materializes the proposal as a constraint with the given bound.
-    pub fn to_constraint(&self, a: &AccessSchema, n: u64) -> crate::error::Result<AccessConstraint> {
+    pub fn to_constraint(
+        &self,
+        a: &AccessSchema,
+        n: u64,
+    ) -> crate::error::Result<AccessConstraint> {
         let cat = a.catalog();
         let rel = cat.require_rel(&self.relation)?;
         let schema = cat.relation(rel);
@@ -196,11 +200,7 @@ fn first_proposal(q: &SpcQuery, sigma: &Sigma, a: &AccessSchema) -> Option<Propo
             } else {
                 const_cols
             };
-            let rest: BTreeSet<usize> = xq
-                .iter()
-                .copied()
-                .filter(|c| !key.contains(c))
-                .collect();
+            let rest: BTreeSet<usize> = xq.iter().copied().filter(|c| !key.contains(c)).collect();
             if rest.is_empty() {
                 continue; // single-column xq keyed by itself: nothing to expose
             }

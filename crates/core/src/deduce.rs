@@ -224,10 +224,7 @@ mod tests {
     use super::*;
     use crate::query::fixtures::{a0, q0, q1};
 
-    fn setup(
-        q: &SpcQuery,
-        a: &AccessSchema,
-    ) -> (Sigma, Vec<GammaEntry>) {
+    fn setup(q: &SpcQuery, a: &AccessSchema) -> (Sigma, Vec<GammaEntry>) {
         let sigma = Sigma::build(q);
         let gamma = actualize(q, &sigma, a);
         (sigma, gamma)

@@ -66,8 +66,7 @@ impl EffectiveBoundednessReport {
         self.per_atom.iter().find(|d| !d.ok).map(|d| {
             let alias = &q.atoms()[d.atom].alias;
             if !d.uncovered.is_empty() {
-                let names: Vec<String> =
-                    d.uncovered.iter().map(|a| q.attr_name(*a)).collect();
+                let names: Vec<String> = d.uncovered.iter().map(|a| q.attr_name(*a)).collect();
                 format!(
                     "atom `{alias}`: parameters not derivable from constants via I_E: {}",
                     names.join(", ")
@@ -115,8 +114,7 @@ pub fn ebcheck_with_seeds(
     // When extra seeds simulate instantiation, the simulated constants also
     // count as parameters of the instantiated query (they occur in its
     // condition `X_P = ā`).
-    let extra_is_param =
-        |flat: usize| extra_seeds.contains(&sigma.class_of_flat(flat));
+    let extra_is_param = |flat: usize| extra_seeds.contains(&sigma.class_of_flat(flat));
 
     let mut per_atom = Vec::with_capacity(q.num_atoms());
     let mut all_ok = true;
@@ -216,7 +214,8 @@ mod tests {
         assert!(!ebcheck(&q, &empty).effectively_bounded);
         // With the friends index it becomes effectively bounded.
         let mut a = AccessSchema::new(cat);
-        a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+        a.add("friends", &["user_id"], &["friend_id"], 5000)
+            .unwrap();
         assert!(ebcheck(&q, &a).effectively_bounded);
     }
 

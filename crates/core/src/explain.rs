@@ -77,7 +77,11 @@ pub fn explain_effectiveness(q: &SpcQuery, a: &AccessSchema) -> String {
         out,
         "verdict: {} is{} effectively bounded under A",
         q.name(),
-        if report.effectively_bounded { "" } else { " NOT" }
+        if report.effectively_bounded {
+            ""
+        } else {
+            " NOT"
+        }
     );
     out
 }

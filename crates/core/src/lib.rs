@@ -65,6 +65,7 @@ pub mod dominating;
 pub mod ebcheck;
 pub mod error;
 pub mod explain;
+pub mod fx;
 pub mod mbounded;
 pub mod normalize;
 pub mod parser;
@@ -72,28 +73,32 @@ pub mod plan;
 pub mod qplan;
 pub mod query;
 pub mod ra;
+pub mod row;
 pub mod schema;
 pub mod sigma;
+pub mod symbols;
 pub mod value;
 pub mod views;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
     pub use crate::access::{AccessConstraint, AccessSchema, ConstraintId};
+    pub use crate::advisor::{advise, Advice, Proposal};
     pub use crate::bcheck::{bcheck, BoundednessReport};
     pub use crate::dominating::{find_dp, find_dp_exact, DominatingConfig, RatioDenominator};
     pub use crate::ebcheck::{ebcheck, EffectiveBoundednessReport};
     pub use crate::error::{CoreError, Result};
     pub use crate::mbounded::{is_effectively_m_bounded, min_dq_bound_exact, min_dq_bound_greedy};
-    pub use crate::advisor::{advise, Advice, Proposal};
     pub use crate::normalize::{normalize_catalog, NormalizedSchema};
     pub use crate::parser::{parse_spc, render_sql};
     pub use crate::plan::{FetchStep, KeySource, QueryPlan};
     pub use crate::qplan::qplan;
     pub use crate::query::{Atom, Predicate, QAttr, QueryBuilder, SpcQuery};
     pub use crate::ra::{ra_effectively_bounded, RaExpr, RaReport};
+    pub use crate::row::{Cell, CellKind, Row, RowBuf};
     pub use crate::schema::{Catalog, RelId, RelationSchema};
     pub use crate::sigma::{ClassId, Sigma};
+    pub use crate::symbols::{Sym, SymbolTable};
     pub use crate::value::Value;
     pub use crate::views::{expand_with_views, ViewDef, ViewExpansion};
 }

@@ -37,7 +37,9 @@ pub struct NormalizedSchema {
 /// Builds `R*` for `source` (Lemma 1's `g` on schemas).
 pub fn normalize_catalog(source: &Arc<Catalog>) -> Result<NormalizedSchema> {
     if source.is_empty() {
-        return Err(CoreError::Invalid("cannot normalize an empty catalog".into()));
+        return Err(CoreError::Invalid(
+            "cannot normalize an empty catalog".into(),
+        ));
     }
     let mut offsets = Vec::with_capacity(source.len());
     let mut next = 1usize; // column 0 is the tag
@@ -110,8 +112,7 @@ impl NormalizedSchema {
             ));
         }
         let star = self.catalog.relation(self.star_rel());
-        let col_name =
-            |rel: RelId, col: usize| star.attribute(self.map_col(rel, col)).to_string();
+        let col_name = |rel: RelId, col: usize| star.attribute(self.map_col(rel, col)).to_string();
         let mut b = SpcQuery::builder(Arc::clone(&self.catalog), format!("{}*", q.name()));
         for atom in q.atoms() {
             b = b.atom("r_star", &atom.alias);

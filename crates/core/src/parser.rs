@@ -222,7 +222,9 @@ impl Parser {
     fn expect_kw(&mut self, kw: &str) -> Result<()> {
         match self.next() {
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(CoreError::Invalid(format!("expected `{kw}`, found {other:?}"))),
+            other => Err(CoreError::Invalid(format!(
+                "expected `{kw}`, found {other:?}"
+            ))),
         }
     }
 
@@ -480,11 +482,20 @@ mod tests {
         let cat = photos_catalog();
         for (sql, why) in [
             ("SELECT * FROM friends f", "star"),
-            ("SELECT f.friend_id FROM friends f WHERE f.user_id < 3", "non-equality"),
-            ("SELECT f.friend_id FROM friends f WHERE f.user_id = 'x' OR f.user_id = 'y'", "OR"),
+            (
+                "SELECT f.friend_id FROM friends f WHERE f.user_id < 3",
+                "non-equality",
+            ),
+            (
+                "SELECT f.friend_id FROM friends f WHERE f.user_id = 'x' OR f.user_id = 'y'",
+                "OR",
+            ),
             ("SELECT friend_id FROM friends f", "unqualified attribute"),
             ("FROM friends f", "missing select"),
-            ("SELECT f.friend_id FROM friends f WHERE f.user_id = 'unterminated", "string"),
+            (
+                "SELECT f.friend_id FROM friends f WHERE f.user_id = 'unterminated",
+                "string",
+            ),
         ] {
             assert!(parse_spc(cat.clone(), "bad", sql).is_err(), "{why}: {sql}");
         }

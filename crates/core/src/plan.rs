@@ -105,7 +105,10 @@ impl QueryPlan {
         unsatisfiable: bool,
     ) -> Self {
         debug_assert!(unsatisfiable || anchor_of_atom.len() == query.num_atoms());
-        let cost_bound = steps.iter().map(|s| s.bound).fold(0u128, u128::saturating_add);
+        let cost_bound = steps
+            .iter()
+            .map(|s| s.bound)
+            .fold(0u128, u128::saturating_add);
         QueryPlan {
             query,
             sigma,

@@ -38,7 +38,13 @@ pub fn qplan(q: &SpcQuery, a: &AccessSchema) -> Result<QueryPlan> {
     q.require_ground()?;
     let sigma = Sigma::build(q);
     if !sigma.is_satisfiable() {
-        return Ok(QueryPlan::new(q.clone(), sigma, Vec::new(), Vec::new(), true));
+        return Ok(QueryPlan::new(
+            q.clone(),
+            sigma,
+            Vec::new(),
+            Vec::new(),
+            true,
+        ));
     }
 
     let report = ebcheck_with_seeds(q, &sigma, a, &[]);

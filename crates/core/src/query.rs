@@ -316,8 +316,7 @@ impl QueryBuilder {
                 if self.alias_index.contains_key(alias) {
                     self.error = Some(CoreError::Duplicate(format!("alias `{alias}`")));
                 } else {
-                    self.alias_index
-                        .insert(alias.to_string(), self.atoms.len());
+                    self.alias_index.insert(alias.to_string(), self.atoms.len());
                     self.atoms.push(Atom {
                         relation: rel,
                         alias: alias.to_string(),
@@ -392,7 +391,9 @@ impl QueryBuilder {
             return Err(e);
         }
         if self.atoms.is_empty() {
-            return Err(CoreError::Invalid("query must have at least one atom".into()));
+            return Err(CoreError::Invalid(
+                "query must have at least one atom".into(),
+            ));
         }
         let mut offsets = Vec::with_capacity(self.atoms.len() + 1);
         let mut total = 0usize;
@@ -430,8 +431,10 @@ pub(crate) mod fixtures {
     /// Access schema A0 of Example 2.
     pub fn a0() -> AccessSchema {
         let mut a = AccessSchema::new(photos_catalog());
-        a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
-        a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+        a.add("in_album", &["album_id"], &["photo_id"], 1000)
+            .unwrap();
+        a.add("friends", &["user_id"], &["friend_id"], 5000)
+            .unwrap();
         a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
             .unwrap();
         a
@@ -568,7 +571,9 @@ mod tests {
 
     #[test]
     fn empty_query_rejected() {
-        assert!(SpcQuery::builder(photos_catalog(), "empty").build().is_err());
+        assert!(SpcQuery::builder(photos_catalog(), "empty")
+            .build()
+            .is_err());
     }
 
     #[test]

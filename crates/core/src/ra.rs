@@ -210,8 +210,10 @@ fn check(expr: &RaExpr, a: &AccessSchema, role: RaRole) -> RaReport {
                     return lp;
                 }
             }
-            fail("neither side of the intersection is enumerable with the other probe-checkable"
-                .to_string())
+            fail(
+                "neither side of the intersection is enumerable with the other probe-checkable"
+                    .to_string(),
+            )
         }
         (RaExpr::Intersect(l, r), RaRole::MembershipProbe) => {
             let lr = check(l, a, RaRole::MembershipProbe);

@@ -104,10 +104,7 @@ impl Catalog {
                 return Err(CoreError::Duplicate(format!("relation `{}`", r.name())));
             }
         }
-        Ok(Catalog {
-            relations,
-            by_name,
-        })
+        Ok(Catalog { relations, by_name })
     }
 
     /// Builds a catalog from `(name, [attr, …])` pairs — the common case in

@@ -1,0 +1,219 @@
+//! String interning: the boundary between the public [`Value`] type and
+//! the data plane's fixed-width [`Cell`] encoding.
+//!
+//! A [`SymbolTable`] maps strings (and the rare integer too large to store
+//! inline in a cell) to dense `u32` ids. Interning happens once, at load
+//! time; from then on every equality test, hash, and index probe works on
+//! `u64` words. Decoding is an array lookup.
+//!
+//! Encoding comes in two flavours with different mutability:
+//!
+//! * [`SymbolTable::encode`] (`&mut self`) — the **load path**: interns
+//!   unseen strings.
+//! * [`SymbolTable::try_encode`] (`&self`) — the **query path**: a constant
+//!   whose string was never interned cannot match any stored tuple, so the
+//!   encode can simply report `None` and the caller short-circuits to an
+//!   empty result. This is what lets executors run against an immutable
+//!   database reference.
+
+use crate::fx::FxHashMap;
+use crate::row::{Cell, CellKind, RowBuf};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// An interned string id (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+/// Interns strings and wide integers; encodes/decodes [`Value`]s to
+/// [`Cell`]s losslessly.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    strings: Vec<Arc<str>>,
+    by_string: FxHashMap<Arc<str>, u32>,
+    wide_ints: Vec<i64>,
+    by_wide_int: FxHashMap<i64, u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Interns `s`, returning its id (stable across repeat calls).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&id) = self.by_string.get(s) {
+            return Sym(id);
+        }
+        let id = u32::try_from(self.strings.len()).expect("symbol table overflow");
+        let arc: Arc<str> = Arc::from(s);
+        self.strings.push(Arc::clone(&arc));
+        self.by_string.insert(arc, id);
+        Sym(id)
+    }
+
+    /// The id of an already-interned string.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.by_string.get(s).map(|&id| Sym(id))
+    }
+
+    /// The string behind `sym`.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty() && self.wide_ints.is_empty()
+    }
+
+    fn intern_wide(&mut self, i: i64) -> u32 {
+        if let Some(&ix) = self.by_wide_int.get(&i) {
+            return ix;
+        }
+        let ix = u32::try_from(self.wide_ints.len()).expect("wide-int pool overflow");
+        self.wide_ints.push(i);
+        self.by_wide_int.insert(i, ix);
+        ix
+    }
+
+    /// Encodes `v`, interning new strings (load path).
+    pub fn encode(&mut self, v: &Value) -> Cell {
+        match v {
+            Value::Null => Cell::NULL,
+            Value::Int(i) => {
+                Cell::from_small_int(*i).unwrap_or_else(|| Cell::from_wide(self.intern_wide(*i)))
+            }
+            Value::Str(s) => Cell::from_sym(self.intern(s)),
+        }
+    }
+
+    /// Encodes `v` without interning (query path). `None` means `v` cannot
+    /// equal any value this table has ever encoded.
+    pub fn try_encode(&self, v: &Value) -> Option<Cell> {
+        match v {
+            Value::Null => Some(Cell::NULL),
+            Value::Int(i) => match Cell::from_small_int(*i) {
+                Some(c) => Some(c),
+                None => self.by_wide_int.get(i).map(|&ix| Cell::from_wide(ix)),
+            },
+            Value::Str(s) => self.lookup(s).map(Cell::from_sym),
+        }
+    }
+
+    /// Decodes one cell back to a [`Value`].
+    pub fn decode(&self, cell: Cell) -> Value {
+        match cell.kind() {
+            CellKind::Null => Value::Null,
+            CellKind::SmallInt(i) => Value::Int(i),
+            CellKind::Sym(sym) => Value::Str(Arc::clone(&self.strings[sym.0 as usize])),
+            CellKind::WideInt(ix) => Value::Int(self.wide_ints[ix as usize]),
+        }
+    }
+
+    /// Encodes a full row (load path).
+    pub fn encode_row(&mut self, row: &[Value]) -> RowBuf {
+        row.iter().map(|v| self.encode(v)).collect()
+    }
+
+    /// Encodes a probe key (query path); `None` if any component cannot
+    /// match stored data.
+    pub fn try_encode_row(&self, row: &[Value]) -> Option<RowBuf> {
+        row.iter().map(|v| self.try_encode(v)).collect()
+    }
+
+    /// Decodes a full row.
+    pub fn decode_row(&self, cells: &[Cell]) -> Vec<Value> {
+        cells.iter().map(|&c| self.decode(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("hello");
+        let b = t.intern("world");
+        let a2 = t.intern("hello");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "hello");
+        assert_eq!(t.resolve(b), "world");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn value_roundtrip_all_shapes() {
+        let mut t = SymbolTable::new();
+        let values = [
+            Value::Null,
+            Value::int(0),
+            Value::int(-7),
+            Value::int(1 << 59),
+            Value::int(i64::MAX),
+            Value::int(i64::MIN),
+            Value::str("abc"),
+            Value::str(""),
+        ];
+        for v in &values {
+            let cell = t.encode(v);
+            assert_eq!(&t.decode(cell), v, "{v}");
+        }
+        // Distinct values encode to distinct cells.
+        let cells: Vec<Cell> = values.iter().map(|v| t.encode(v)).collect();
+        for i in 0..cells.len() {
+            for j in i + 1..cells.len() {
+                assert_ne!(cells[i], cells[j], "{} vs {}", values[i], values[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn try_encode_misses_unseen_strings_and_wide_ints() {
+        let mut t = SymbolTable::new();
+        t.encode(&Value::str("known"));
+        t.encode(&Value::int(i64::MAX));
+        assert!(t.try_encode(&Value::str("known")).is_some());
+        assert!(t.try_encode(&Value::str("unknown")).is_none());
+        assert!(t.try_encode(&Value::int(i64::MAX)).is_some());
+        assert!(t.try_encode(&Value::int(i64::MAX - 1)).is_none());
+        // Small ints and Null always encode.
+        assert!(t.try_encode(&Value::int(12)).is_some());
+        assert!(t.try_encode(&Value::Null).is_some());
+    }
+
+    #[test]
+    fn try_encode_agrees_with_encode() {
+        let mut t = SymbolTable::new();
+        for v in [
+            Value::str("x"),
+            Value::int(5),
+            Value::int(i64::MIN),
+            Value::Null,
+        ] {
+            let loaded = t.encode(&v);
+            assert_eq!(t.try_encode(&v), Some(loaded));
+        }
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let mut t = SymbolTable::new();
+        let row = vec![Value::str("p1"), Value::int(3), Value::Null];
+        let cells = t.encode_row(&row);
+        assert_eq!(t.decode_row(&cells), row);
+        assert_eq!(t.try_encode_row(&row).unwrap(), cells);
+        assert!(t
+            .try_encode_row(&[Value::str("p1"), Value::str("nope")])
+            .is_none());
+    }
+}

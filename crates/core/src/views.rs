@@ -219,7 +219,10 @@ impl ViewExpansion {
         use crate::query::Predicate;
         let attr = |a: QAttr| -> (String, String) {
             let rel = self.base.relation(q.relation_of(a.atom));
-            (q.atoms()[a.atom].alias.clone(), rel.attribute(a.col).to_string())
+            (
+                q.atoms()[a.atom].alias.clone(),
+                rel.attribute(a.col).to_string(),
+            )
         };
         for p in q.predicates() {
             b = match p {

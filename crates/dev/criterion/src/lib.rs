@@ -1,0 +1,281 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This repository builds without network access, so the Criterion API
+//! surface our benches use — `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`, the group tuning knobs, and the
+//! `criterion_group!`/`criterion_main!` macros — is implemented locally.
+//!
+//! Measurement model: each `bench_function` warms up for the configured
+//! warm-up time, then runs timed batches until the measurement time is
+//! spent (minimum `sample_size` samples), and reports the minimum, median,
+//! and mean per-iteration time. No statistics beyond that — the point is a
+//! stable, dependency-free number on stdout, not confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working like upstream.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(
+            &id.into(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up time before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time to spend measuring each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(
+            &id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we print eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; drives the timing loop.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Accumulated samples of (iterations, elapsed).
+    samples: Vec<(u64, Duration)>,
+}
+
+enum BencherMode {
+    /// Calibration pass: determine iterations per batch.
+    Calibrate { iters_hint: u64 },
+    /// Timed pass: run exactly `iters` iterations.
+    Measure { iters: u64 },
+}
+
+impl Bencher {
+    /// Times `f`, batching iterations so that per-batch timer overhead is
+    /// negligible.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        match self.mode {
+            BencherMode::Calibrate { ref mut iters_hint } => {
+                // Measure one call to size the batches.
+                let start = Instant::now();
+                black_box(f());
+                let once = start.elapsed().max(Duration::from_nanos(50));
+                // Aim for batches of ~10 ms.
+                let per_batch = (10_000_000u128 / once.as_nanos()).clamp(1, 1_000_000) as u64;
+                *iters_hint = per_batch;
+            }
+            BencherMode::Measure { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                self.samples.push((iters, start.elapsed()));
+            }
+        }
+    }
+}
+
+fn run_bench(
+    id: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration: how many iterations fit a ~10 ms batch?
+    let mut b = Bencher {
+        mode: BencherMode::Calibrate { iters_hint: 1 },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let iters = match b.mode {
+        BencherMode::Calibrate { iters_hint } => iters_hint,
+        BencherMode::Measure { .. } => unreachable!(),
+    };
+
+    // Warm-up.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up_time {
+        let mut wb = Bencher {
+            mode: BencherMode::Measure { iters },
+            samples: Vec::new(),
+        };
+        f(&mut wb);
+        if wb.samples.is_empty() {
+            break; // closure never called iter(); nothing to measure
+        }
+    }
+
+    // Measurement.
+    let mut samples: Vec<Duration> = Vec::new();
+    let meas_start = Instant::now();
+    while samples.len() < sample_size || meas_start.elapsed() < measurement_time {
+        let mut mb = Bencher {
+            mode: BencherMode::Measure { iters },
+            samples: Vec::new(),
+        };
+        f(&mut mb);
+        if mb.samples.is_empty() {
+            break;
+        }
+        for (n, elapsed) in mb.samples {
+            samples.push(elapsed / n.max(1) as u32);
+        }
+        if meas_start.elapsed() > measurement_time * 4 {
+            break; // hard stop for very slow benches
+        }
+    }
+
+    if samples.is_empty() {
+        eprintln!("{id:<50} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    eprintln!(
+        "{id:<50} min {min:>10.2?}  median {median:>10.2?}  mean {mean:>10.2?}  ({} samples x {iters} iters)",
+        samples.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring upstream's simple form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn top_level_bench_function() {
+        let mut c = Criterion {
+            sample_size: 2,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(2),
+        };
+        let mut ran = false;
+        c.bench_function("direct", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,161 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the `rand` crate.
+//!
+//! This repository builds without network access, so the small slice of the
+//! `rand` API the workload generators use — `rngs::SmallRng`,
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over integer
+//! ranges — is implemented locally. The generator is a SplitMix64 stream:
+//! statistically solid for data synthesis, fully deterministic in the seed,
+//! and obviously not cryptographic (neither is the real `SmallRng`).
+//!
+//! The streams differ from the real `rand::rngs::SmallRng`, which is fine:
+//! every consumer in this workspace only relies on determinism in the seed,
+//! never on specific draws.
+
+use std::ops::Range;
+
+/// A random number generator: the single low-level method everything else
+/// derives from.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open, must be non-empty).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform `u64` in `[0, n)` by widening multiplication (Lemire's method;
+/// the tiny modulo bias of the plain `% n` alternative is avoided).
+fn uniform_u64<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    (((u128::from(rng.next_u64())) * u128::from(n)) >> 64) as u64
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> u64 {
+        self.start + uniform_u64(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> u32 {
+        self.start + uniform_u64(rng, u64::from(self.end - self.start)) as u32
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> usize {
+        self.start + uniform_u64(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for Range<i64> {
+    type Output = i64;
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> i64 {
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(uniform_u64(rng, span) as i64)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..100)
+            .filter(|_| a.gen_range(0..1000u64) == b.gen_range(0..1000u64))
+            .count();
+        assert!(same < 20, "{same} collisions");
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+}

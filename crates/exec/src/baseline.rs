@@ -18,12 +18,20 @@
 //!   rows (scans, index fetches, intermediate join rows) count; exceeding
 //!   the budget aborts with a "did not finish" outcome — the missing MySQL
 //!   points in Figure 5.
+//!
+//! The data plane is the shared [`crate::pipeline`]: the baseline only
+//! chooses *access paths* ([`crate::pipeline::FetchSource`]); filtering,
+//! joining, projecting, and all metering are the same operators `evalDQ`
+//! uses.
 
-use crate::join::{filter_atom_rows, join_project, AtomRows, BudgetExhausted};
+use crate::pipeline::{
+    run_join_pipeline, Batch, BudgetExhausted, ExecContext, Fetch, FetchSource, FilterAtom,
+    SemiJoin,
+};
 use crate::results::ResultSet;
 use bcq_core::access::AccessSchema;
 use bcq_core::error::Result;
-use bcq_core::prelude::{QAttr, SpcQuery, Value};
+use bcq_core::prelude::{QAttr, RowBuf, SpcQuery, Value};
 use bcq_core::sigma::Sigma;
 use bcq_storage::{Database, Meter};
 use std::time::{Duration, Instant};
@@ -123,12 +131,12 @@ pub fn baseline(
 ) -> Result<BaselineOutcome> {
     q.require_ground()?;
     let start = Instant::now();
-    let mut meter = Meter::new();
+    let mut ctx = ExecContext::new(db, opts.work_budget);
     let sigma = Sigma::build(q);
     if !sigma.is_satisfiable() {
         return Ok(BaselineOutcome::Completed {
             result: ResultSet::empty(),
-            meter,
+            meter: ctx.meter,
             elapsed: start.elapsed(),
         });
     }
@@ -153,14 +161,16 @@ pub fn baseline(
         })
         .collect();
 
-    let mut atoms: Vec<AtomRows> = Vec::with_capacity(q.num_atoms());
+    let mut batches: Vec<Batch> = Vec::with_capacity(q.num_atoms());
     #[allow(clippy::needless_range_loop)]
     for atom in 0..q.num_atoms() {
         let rel = q.relation_of(atom);
         let table = db.table(rel);
         let cols = needed_cols[atom].clone();
 
-        // Constant-bound columns of this atom.
+        // Constant-bound columns of this atom. A constant the symbol table
+        // has never seen stays as `None`: it matches nothing, but the scan
+        // that discovers that is still charged.
         let const_cols: Vec<(usize, Value)> = (0..q.arity_of(atom))
             .filter_map(|col| {
                 let cls = sigma.class_of_flat(q.flat_id(QAttr::new(atom, col)));
@@ -187,119 +197,77 @@ pub fn baseline(
                 .copied()
         };
 
-        let mut rows: Vec<Box<[Value]>> = Vec::new();
-        match index_choice {
+        let source = match index_choice {
             Some(cid) => {
                 let c = a.constraint(cid);
-                let idx = db.index_for(c).expect("checked above");
-                let key: Box<[Value]> = c
+                let key: Option<RowBuf> = c
                     .x()
                     .iter()
                     .map(|xc| {
-                        const_cols
+                        let v = &const_cols
                             .iter()
                             .find(|(cc, _)| cc == xc)
                             .expect("key cols are constant-bound")
-                            .1
-                            .clone()
+                            .1;
+                        db.symbols().try_encode(v)
                     })
                     .collect();
-                meter.index_probes += 1;
-                // Full postings: every duplicate row, whole tuples.
-                for &rid in idx.all(&key) {
-                    let row = table.row(rid as usize);
-                    meter.tuples_fetched += 1;
-                    rows.push(cols.iter().map(|&c| row[c].clone()).collect());
+                FetchSource::IndexPostings {
+                    index: db.index_for(c).expect("checked above"),
+                    table,
+                    key,
                 }
             }
-            None => {
-                // Full scan, filtering constants on the fly.
-                for row in table.rows() {
-                    meter.rows_scanned += 1;
-                    if const_cols.iter().all(|(c, v)| &row[*c] == v) {
-                        rows.push(cols.iter().map(|&c| row[c].clone()).collect());
-                    }
-                }
-            }
-        }
-        if let Some(budget) = opts.work_budget {
-            if meter.work() > budget {
+            None => FetchSource::Scan {
+                table,
+                consts: const_cols
+                    .iter()
+                    .map(|(col, v)| (*col, db.symbols().try_encode(v)))
+                    .collect(),
+            },
+        };
+        match (Fetch { atom, cols, source }).run(&mut ctx) {
+            Ok(batch) => batches.push(batch),
+            Err(BudgetExhausted) => {
                 return Ok(BaselineOutcome::DidNotFinish {
-                    meter,
+                    meter: ctx.meter,
                     elapsed: start.elapsed(),
-                });
+                })
             }
         }
-        let mut ar = AtomRows { atom, cols, rows };
-        filter_atom_rows(q, &sigma, &mut ar);
-        atoms.push(ar);
     }
 
-    // IndexJoin mode: re-fetch atoms lazily through join-key indices is
-    // approximated by pre-restricting candidates using semi-joins through
-    // the indices; the join itself is shared with evalDQ.
+    // IndexJoin mode: re-fetching atoms lazily through join-key indices is
+    // approximated by pre-restricting candidates with semi-joins; the join
+    // itself is the shared pipeline either way. Atom-local filters run
+    // first so rows that cannot survive anyway do not feed the semi-join
+    // key sets and inflate its pruning accounting (the pipeline re-applies
+    // the filter afterwards, which is free and idempotent).
     if opts.mode == BaselineMode::IndexJoin {
-        semi_join_restrict(db, q, &sigma, a, &mut atoms, &mut meter);
+        let filter = FilterAtom {
+            query: q,
+            sigma: &sigma,
+        };
+        for batch in &mut batches {
+            filter.apply(db.symbols(), batch);
+        }
+        SemiJoin {
+            query: q,
+            sigma: &sigma,
+        }
+        .apply(&mut batches, &mut ctx);
     }
 
-    match join_project(q, &sigma, atoms, &mut meter, opts.work_budget) {
+    match run_join_pipeline(q, &sigma, batches, &mut ctx) {
         Ok(result) => Ok(BaselineOutcome::Completed {
             result,
-            meter,
+            meter: ctx.meter,
             elapsed: start.elapsed(),
         }),
         Err(BudgetExhausted) => Ok(BaselineOutcome::DidNotFinish {
-            meter,
+            meter: ctx.meter,
             elapsed: start.elapsed(),
         }),
-    }
-}
-
-/// One semi-join pass: for each atom, drop candidate rows whose join-class
-/// values do not appear in any other atom's candidates. Models an optimizer
-/// that uses indices on join keys to skip non-matching rows.
-fn semi_join_restrict(
-    _db: &Database,
-    q: &SpcQuery,
-    sigma: &Sigma,
-    _a: &AccessSchema,
-    atoms: &mut [AtomRows],
-    meter: &mut Meter,
-) {
-    use bcq_storage::fx::FxHashSet;
-    let n = atoms.len();
-    for i in 0..n {
-        for j in 0..n {
-            if i == j {
-                continue;
-            }
-            // Shared classes between atoms i and j.
-            let class_of = |ar: &AtomRows, pos: usize| {
-                sigma.class_of_flat(q.flat_id(QAttr::new(ar.atom, ar.cols[pos])))
-            };
-            let mut shared: Vec<(usize, usize)> = Vec::new(); // (pos_i, pos_j)
-            for pi in 0..atoms[i].cols.len() {
-                for pj in 0..atoms[j].cols.len() {
-                    if class_of(&atoms[i], pi) == class_of(&atoms[j], pj) {
-                        shared.push((pi, pj));
-                    }
-                }
-            }
-            if shared.is_empty() {
-                continue;
-            }
-            let keys: FxHashSet<Box<[Value]>> = atoms[j]
-                .rows
-                .iter()
-                .map(|row| shared.iter().map(|(_, pj)| row[*pj].clone()).collect())
-                .collect();
-            let before = atoms[i].rows.len();
-            atoms[i].rows.retain(|row| {
-                let key: Box<[Value]> = shared.iter().map(|(pi, _)| row[*pi].clone()).collect();
-                keys.contains(&key)
-            });
-            meter.intermediate_rows += (before - atoms[i].rows.len()) as u64;
-        }
     }
 }
 
@@ -317,16 +285,20 @@ mod tests {
         ])
         .unwrap();
         let mut a = AccessSchema::new(Arc::clone(&catalog));
-        a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
-        a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+        a.add("in_album", &["album_id"], &["photo_id"], 1000)
+            .unwrap();
+        a.add("friends", &["user_id"], &["friend_id"], 5000)
+            .unwrap();
         a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
             .unwrap();
         let mut db = Database::new(Arc::clone(&catalog));
         for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p3", "a0"), ("p4", "a1")] {
-            db.insert("in_album", &[Value::str(p), Value::str(al)]).unwrap();
+            db.insert("in_album", &[Value::str(p), Value::str(al)])
+                .unwrap();
         }
         for (u, f) in [("u0", "u1"), ("u0", "u2"), ("u9", "u3")] {
-            db.insert("friends", &[Value::str(u), Value::str(f)]).unwrap();
+            db.insert("friends", &[Value::str(u), Value::str(f)])
+                .unwrap();
         }
         for (p, tagger, taggee) in [
             ("p1", "u1", "u0"),
@@ -467,5 +439,31 @@ mod tests {
         // The semi-join pass cannot produce more intermediates than the
         // plain join saved.
         assert!(smart.meter().work() <= plain.meter().work() + 16);
+    }
+
+    #[test]
+    fn uninterned_constant_still_charges_the_scan() {
+        // Querying for an album name that never entered the database: the
+        // conventional evaluator still reads the table to find out.
+        let (db, a, _) = example1();
+        let cat = db.catalog().clone();
+        let q = SpcQuery::builder(cat, "ghost")
+            .atom("tagging", "t")
+            .eq_const(("t", "tagger_id"), "nobody-ever")
+            .project(("t", "photo_id"))
+            .build()
+            .unwrap();
+        let out = baseline(
+            &db,
+            &q,
+            &a,
+            BaselineOptions {
+                mode: BaselineMode::FullScan,
+                work_budget: None,
+            },
+        )
+        .unwrap();
+        assert!(out.result().unwrap().is_empty());
+        assert_eq!(out.meter().rows_scanned, 4, "scan happened anyway");
     }
 }

@@ -3,16 +3,22 @@
 //! Follows the plan produced by [`bcq_core::qplan`]: each [`FetchStep`]
 //! probes one access-constraint index with keys assembled from constants and
 //! earlier steps' columns, materializing at most `bound` witness tuples.
-//! `D_Q` is the union of the fetched sets; the final join/filter/project
-//! runs entirely on `D_Q`. Total data accessed is independent of `|D|`.
+//! `D_Q` is the union of the fetched sets; the final join/filter/project is
+//! the shared [`crate::pipeline`] and runs entirely on `D_Q`. Total data
+//! accessed is independent of `|D|`.
+//!
+//! Constants are encoded against the database's symbol table *read-only*
+//! ([`bcq_core::symbols::SymbolTable::try_encode`]): a constant whose
+//! string was never loaded can match nothing, so its probe keys simply
+//! never materialize.
 
-use crate::join::{join_project, AtomRows};
+use crate::pipeline::{run_join_pipeline, Batch, ExecContext, Fetch, FetchSource};
 use crate::results::ResultSet;
 use bcq_core::access::AccessSchema;
 use bcq_core::error::{CoreError, Result};
-use bcq_core::plan::{FetchKind, KeySource, QueryPlan};
-use bcq_core::prelude::Value;
-use bcq_storage::fx::FxHashSet;
+use bcq_core::fx::FxHashSet;
+use bcq_core::plan::{FetchKind, FetchStep, KeySource, QueryPlan};
+use bcq_core::prelude::{Cell, RowBuf, SymbolTable};
 use bcq_storage::{Database, Meter};
 use std::time::{Duration, Instant};
 
@@ -42,30 +48,28 @@ impl ExecOutcome {
 /// built (`db.build_indexes(&a)`).
 pub fn eval_dq(db: &Database, plan: &QueryPlan, a: &AccessSchema) -> Result<ExecOutcome> {
     let start = Instant::now();
-    let mut meter = Meter::new();
+    let mut ctx = ExecContext::new(db, None);
     let q = plan.query();
 
     if plan.is_unsatisfiable() {
         return Ok(ExecOutcome {
             result: ResultSet::empty(),
-            meter,
+            meter: ctx.meter,
             elapsed: start.elapsed(),
         });
     }
 
     // Fetch each T_j in dependency order.
-    let mut step_rows: Vec<Vec<Box<[Value]>>> = Vec::with_capacity(plan.steps().len());
+    let mut step_rows: Vec<Vec<RowBuf>> = Vec::with_capacity(plan.steps().len());
     for step in plan.steps() {
-        let rows = match step.kind {
-            FetchKind::Any => {
-                let table = db.table(q.relation_of(step.atom));
-                if table.is_empty() {
-                    Vec::new()
-                } else {
-                    meter.tuples_fetched += 1;
-                    vec![Vec::new().into_boxed_slice()]
-                }
-            }
+        let fetch = match step.kind {
+            FetchKind::Any => Fetch {
+                atom: step.atom,
+                cols: Vec::new(),
+                source: FetchSource::Existence {
+                    table: db.table(q.relation_of(step.atom)),
+                },
+            },
             FetchKind::IndexLookup => {
                 let cid = step.constraint.expect("index step has a constraint");
                 if cid.0 >= a.len() {
@@ -75,54 +79,52 @@ pub fn eval_dq(db: &Database, plan: &QueryPlan, a: &AccessSchema) -> Result<Exec
                     )));
                 }
                 let c = a.constraint(cid);
-                let idx = db.index_for(c).ok_or_else(|| {
+                let index = db.index_for(c).ok_or_else(|| {
                     CoreError::Invalid(format!(
                         "index for constraint `{}` not built",
                         c.display(a.catalog())
                     ))
                 })?;
-                let table = db.table(c.relation());
-                let keys = enumerate_keys(step, &step_rows);
-                let mut rows = Vec::new();
-                for key in keys {
-                    meter.index_probes += 1;
-                    for &rid in idx.witnesses(&key) {
-                        let row = table.row(rid as usize);
-                        let projected: Box<[Value]> =
-                            step.out_cols.iter().map(|&c| row[c].clone()).collect();
-                        rows.push(projected);
-                        meter.tuples_fetched += 1;
-                    }
+                Fetch {
+                    atom: step.atom,
+                    cols: step.out_cols.clone(),
+                    source: FetchSource::IndexWitnesses {
+                        index,
+                        table: db.table(c.relation()),
+                        keys: enumerate_keys(step, &step_rows, db.symbols()),
+                    },
                 }
-                // Contract note: when `D |= A`, `rows.len() <= step.bound`
-                // (tested across the workloads). When the data *violates*
-                // its declared constraints the fetch can exceed the bound,
-                // but the answer stays exact — witnesses are never
-                // truncated at N. See `eval_dq::tests::
-                // violating_data_still_yields_exact_answers`.
-                rows
             }
         };
-        step_rows.push(rows);
+        // Contract note: when `D |= A`, each step fetches at most
+        // `step.bound` rows (tested across the workloads). When the data
+        // *violates* its declared constraints the fetch can exceed the
+        // bound, but the answer stays exact — witnesses are never truncated
+        // at N. See `eval_dq::tests::violating_data_still_yields_exact_answers`.
+        let batch = fetch
+            .run(&mut ctx)
+            .expect("bounded evaluation has no budget");
+        step_rows.push(batch.rows);
     }
 
-    // Assemble per-atom candidates from the anchors and run the final join.
-    let atoms: Vec<AtomRows> = (0..q.num_atoms())
+    // Assemble per-atom candidates from the anchors and run the shared
+    // filter → hash-join → project pipeline.
+    let batches: Vec<Batch> = (0..q.num_atoms())
         .map(|atom| {
             let anchor = plan.anchor_of_atom(atom);
-            AtomRows {
+            Batch {
                 atom,
                 cols: anchor.out_cols.clone(),
                 rows: step_rows[anchor.id.0].clone(),
             }
         })
         .collect();
-    let result = join_project(q, plan.sigma(), atoms, &mut meter, None)
-        .expect("bounded join has no budget");
+    let result = run_join_pipeline(q, plan.sigma(), batches, &mut ctx)
+        .expect("bounded evaluation has no budget");
 
     Ok(ExecOutcome {
         result,
-        meter,
+        meter: ctx.meter,
         elapsed: start.elapsed(),
     })
 }
@@ -131,29 +133,36 @@ pub fn eval_dq(db: &Database, plan: &QueryPlan, a: &AccessSchema) -> Result<Exec
 /// sourced from the same earlier step vary together (row-wise); distinct
 /// source steps combine by Cartesian product — mirroring the bound
 /// arithmetic of plan generation.
+///
+/// A constant that was never interned yields no keys at all (nothing can
+/// match it), which collapses the step — and therefore every step feeding
+/// off it — to the empty fetch.
 fn enumerate_keys(
-    step: &bcq_core::plan::FetchStep,
-    step_rows: &[Vec<Box<[Value]>>],
-) -> Vec<Box<[Value]>> {
+    step: &FetchStep,
+    step_rows: &[Vec<RowBuf>],
+    symbols: &SymbolTable,
+) -> Vec<RowBuf> {
     if step.key.is_empty() {
         // Bounded-domain probe: the single empty key.
-        return vec![Vec::new().into_boxed_slice()];
+        return vec![RowBuf::new()];
     }
 
     // Group key positions by source.
-    #[derive(Debug)]
     enum Group {
-        Const(Vec<(usize, Value)>),
+        Const(Vec<(usize, Cell)>),
         Step {
             src: usize,
             positions: Vec<(usize, usize)>, // (key position, src col)
         },
     }
-    let mut consts: Vec<(usize, Value)> = Vec::new();
+    let mut consts: Vec<(usize, Cell)> = Vec::new();
     let mut per_step: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
     for (pos, (_col, src)) in step.key.iter().enumerate() {
         match src {
-            KeySource::Const(v) => consts.push((pos, v.clone())),
+            KeySource::Const(v) => match symbols.try_encode(v) {
+                Some(cell) => consts.push((pos, cell)),
+                None => return Vec::new(),
+            },
             KeySource::Column { step: sid, col } => {
                 match per_step.iter_mut().find(|(s, _)| *s == sid.0) {
                     Some((_, positions)) => positions.push((pos, *col)),
@@ -171,22 +180,21 @@ fn enumerate_keys(
     }
 
     // Distinct value combinations per group.
-    let mut group_values: Vec<Vec<Vec<(usize, Value)>>> = Vec::with_capacity(groups.len());
+    let mut group_values: Vec<Vec<Vec<(usize, Cell)>>> = Vec::with_capacity(groups.len());
     for g in &groups {
         match g {
             Group::Const(pairs) => group_values.push(vec![pairs.clone()]),
             Group::Step { src, positions } => {
-                let mut seen: FxHashSet<Box<[Value]>> = FxHashSet::default();
+                let mut seen: FxHashSet<RowBuf> = FxHashSet::default();
                 let mut combos = Vec::new();
                 for row in &step_rows[*src] {
-                    let proj: Box<[Value]> =
-                        positions.iter().map(|(_, c)| row[*c].clone()).collect();
+                    let proj: RowBuf = positions.iter().map(|&(_, c)| row[c]).collect();
                     if seen.insert(proj.clone()) {
                         combos.push(
                             positions
                                 .iter()
                                 .zip(proj.iter())
-                                .map(|((pos, _), v)| (*pos, v.clone()))
+                                .map(|(&(pos, _), &v)| (pos, v))
                                 .collect(),
                         );
                     }
@@ -198,19 +206,19 @@ fn enumerate_keys(
 
     // Cartesian product across groups.
     let key_len = step.key.len();
-    let mut keys: Vec<Box<[Value]>> = Vec::new();
+    let mut keys: Vec<RowBuf> = Vec::new();
     let mut cursor = vec![0usize; group_values.len()];
     if group_values.iter().any(|g| g.is_empty()) {
         return Vec::new();
     }
     loop {
-        let mut key = vec![Value::Null; key_len];
+        let mut key = vec![Cell::NULL; key_len];
         for (gi, g) in group_values.iter().enumerate() {
-            for (pos, v) in &g[cursor[gi]] {
-                key[*pos] = v.clone();
+            for &(pos, v) in &g[cursor[gi]] {
+                key[pos] = v;
             }
         }
-        keys.push(key.into_boxed_slice());
+        keys.push(key.into_iter().collect());
         // Advance the mixed-radix cursor.
         let mut i = 0;
         loop {
@@ -242,19 +250,23 @@ mod tests {
         ])
         .unwrap();
         let mut a = AccessSchema::new(Arc::clone(&catalog));
-        a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
-        a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+        a.add("in_album", &["album_id"], &["photo_id"], 1000)
+            .unwrap();
+        a.add("friends", &["user_id"], &["friend_id"], 5000)
+            .unwrap();
         a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
             .unwrap();
 
         let mut db = Database::new(Arc::clone(&catalog));
         // Album a0 has photos p1, p2, p3; album a1 has p4.
         for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p3", "a0"), ("p4", "a1")] {
-            db.insert("in_album", &[Value::str(p), Value::str(al)]).unwrap();
+            db.insert("in_album", &[Value::str(p), Value::str(al)])
+                .unwrap();
         }
         // u0's friends: u1, u2. u3 is not a friend.
         for (u, f) in [("u0", "u1"), ("u0", "u2"), ("u9", "u3")] {
-            db.insert("friends", &[Value::str(u), Value::str(f)]).unwrap();
+            db.insert("friends", &[Value::str(u), Value::str(f)])
+                .unwrap();
         }
         // Taggings: u0 tagged by u1 in p1 (match), by u3 in p2 (not a
         // friend), by u2 in p4 (wrong album); u5 tagged by u1 in p3.
@@ -378,8 +390,10 @@ mod tests {
         let mut a = AccessSchema::new(Arc::clone(&catalog));
         a.add("friends", &["user_id"], &["friend_id"], 1).unwrap();
         let mut db = Database::new(Arc::clone(&catalog));
-        db.insert("friends", &[Value::str("u0"), Value::str("u1")]).unwrap();
-        db.insert("friends", &[Value::str("u0"), Value::str("u2")]).unwrap();
+        db.insert("friends", &[Value::str("u0"), Value::str("u1")])
+            .unwrap();
+        db.insert("friends", &[Value::str("u0"), Value::str("u2")])
+            .unwrap();
         db.build_indexes(&a);
         assert!(!bcq_storage::validate(&mut db, &a).is_empty());
 
@@ -402,6 +416,25 @@ mod tests {
         let mut db = Database::new(Arc::clone(q0.catalog()));
         db.build_indexes(&a);
         let plan = bcq_core::qplan::qplan(&q0, &a).unwrap();
+        let out = eval_dq(&db, &plan, &a).unwrap();
+        assert!(out.result.is_empty());
+        assert_eq!(out.meter.tuples_fetched, 0);
+    }
+
+    #[test]
+    fn uninterned_plan_constant_short_circuits_probes() {
+        // The query constant "a-ghost" never entered the database, so key
+        // enumeration produces no keys, no probes hit the index postings,
+        // and the answer is empty — without string hashing anywhere.
+        let (db, a, _) = example1();
+        let cat = db.catalog().clone();
+        let q = SpcQuery::builder(cat, "ghost")
+            .atom("in_album", "ia")
+            .eq_const(("ia", "album_id"), "a-ghost")
+            .project(("ia", "photo_id"))
+            .build()
+            .unwrap();
+        let plan = bcq_core::qplan::qplan(&q, &a).unwrap();
         let out = eval_dq(&db, &plan, &a).unwrap();
         assert!(out.result.is_empty());
         assert_eq!(out.meter.tuples_fetched, 0);

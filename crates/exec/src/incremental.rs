@@ -132,15 +132,19 @@ mod tests {
         ])
         .unwrap();
         let mut a = AccessSchema::new(Arc::clone(&catalog));
-        a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
-        a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+        a.add("in_album", &["album_id"], &["photo_id"], 1000)
+            .unwrap();
+        a.add("friends", &["user_id"], &["friend_id"], 5000)
+            .unwrap();
         a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
             .unwrap();
         let mut db = Database::new(Arc::clone(&catalog));
         for (p, al) in [("p1", "a0"), ("p2", "a0")] {
-            db.insert("in_album", &[Value::str(p), Value::str(al)]).unwrap();
+            db.insert("in_album", &[Value::str(p), Value::str(al)])
+                .unwrap();
         }
-        db.insert("friends", &[Value::str("u0"), Value::str("u1")]).unwrap();
+        db.insert("friends", &[Value::str("u0"), Value::str("u1")])
+            .unwrap();
         db.insert(
             "tagging",
             &[Value::str("p1"), Value::str("u1"), Value::str("u0")],

@@ -6,21 +6,27 @@
 //! * [`baseline`] is the conventional-DBMS competitor (the paper's MySQL):
 //!   constant-key index access, full scans elsewhere, whole-tuple fetching,
 //!   and a work budget reproducing the 2 500 s cap.
-//! * [`join`] hosts the relational core (filter/join/project on `Σ_Q`
-//!   classes) shared by both.
+//! * [`eval_ra`] evaluates certified RA expressions boundedly on top of
+//!   [`eval_dq`].
+//! * [`pipeline`] hosts the **single** physical-operator implementation
+//!   (fetch / filter / hash-join / project over interned row batches, with
+//!   unified metering) that all of the above share.
 
 pub mod baseline;
-pub mod incremental;
 pub mod eval_dq;
-pub mod join;
+pub mod incremental;
+pub mod pipeline;
 pub mod ra;
 pub mod results;
 pub mod views;
 
 pub use baseline::{baseline, BaselineMode, BaselineOptions, BaselineOutcome};
 pub use eval_dq::{eval_dq, ExecOutcome};
-pub use join::{join_project, AtomRows, BudgetExhausted};
 pub use incremental::{DeltaStats, IncrementalAnswer};
+pub use pipeline::{
+    run_join_pipeline, Batch, BudgetExhausted, ExecContext, Fetch, FetchSource, FilterAtom,
+    HashJoin, Project, SemiJoin,
+};
 pub use ra::{eval_ra, RaOutcome};
 pub use results::ResultSet;
 pub use views::materialize_views;

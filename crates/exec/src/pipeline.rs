@@ -1,0 +1,835 @@
+//! The shared physical-operator pipeline.
+//!
+//! Every executor in this crate — the bounded `evalDQ`, the
+//! conventional-DBMS baseline, and (through `evalDQ`) the RA evaluator —
+//! is a composition of the four operators in this module over batches of
+//! interned rows:
+//!
+//! ```text
+//!   Fetch  →  FilterAtom  →  HashJoin  →  Project
+//! ```
+//!
+//! * [`Fetch`] materializes per-atom candidate batches from a table scan,
+//!   an index posting list, or index witness sets — charging the
+//!   [`Meter`] uniformly (this is the only place fetch work is counted).
+//! * [`FilterAtom`] applies the atom-local selection conditions of `Σ_Q`.
+//! * [`HashJoin`] merges the batches on their `Σ_Q` equivalence classes,
+//!   hash-join style, in a greedy shared-classes-first order.
+//! * [`Project`] reads the projection classes and decodes the final
+//!   [`ResultSet`] back to values.
+//!
+//! All rows inside the pipeline are fixed-width [`Cell`] rows: join keys
+//! hash a handful of `u64` words. The [`ExecContext`] carries the meter
+//! and the optional work budget, so *every* executor meters identically
+//! and aborts identically on budget exhaustion — the paper's 2 500 s cap,
+//! deterministically.
+//!
+//! [`run_join_pipeline`] is the canonical filter→join→project composition;
+//! it is the **single** join/filter/project implementation in the
+//! workspace.
+
+use crate::results::ResultSet;
+use bcq_core::fx::FxHashMap;
+use bcq_core::prelude::{Cell, Predicate, QAttr, RowBuf, SpcQuery, SymbolTable, Value};
+use bcq_core::sigma::Sigma;
+use bcq_storage::{Database, HashIndex, Meter, Table};
+
+/// Raised when the work budget is exhausted mid-pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted;
+
+/// Shared execution state: the database (for its symbol table), the meter
+/// every operator charges, and the optional row budget.
+pub struct ExecContext<'a> {
+    /// The database being queried (operators use its symbol table; fetch
+    /// sources hold their own table/index references).
+    pub db: &'a Database,
+    /// Work accounting, charged exclusively by pipeline operators.
+    pub meter: Meter,
+    /// Touched-row budget; `None` runs to completion.
+    pub budget: Option<u64>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A fresh context over `db` with an optional work budget.
+    pub fn new(db: &'a Database, budget: Option<u64>) -> Self {
+        ExecContext {
+            db,
+            meter: Meter::new(),
+            budget,
+        }
+    }
+
+    /// The symbol table query constants are encoded against.
+    pub fn symbols(&self) -> &SymbolTable {
+        self.db.symbols()
+    }
+
+    #[inline]
+    fn check_budget(&self) -> Result<(), BudgetExhausted> {
+        match self.budget {
+            Some(b) if self.meter.work() > b => Err(BudgetExhausted),
+            _ => Ok(()),
+        }
+    }
+
+    #[inline]
+    fn charge_fetched(&mut self) -> Result<(), BudgetExhausted> {
+        self.meter.tuples_fetched += 1;
+        self.check_budget()
+    }
+
+    #[inline]
+    fn charge_scanned(&mut self) -> Result<(), BudgetExhausted> {
+        self.meter.rows_scanned += 1;
+        self.check_budget()
+    }
+
+    #[inline]
+    fn charge_intermediate(&mut self) -> Result<(), BudgetExhausted> {
+        self.meter.intermediate_rows += 1;
+        self.check_budget()
+    }
+}
+
+/// Candidate rows for one atom, projected onto `cols`.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// The atom these rows instantiate.
+    pub atom: usize,
+    /// Relation columns present in each row (sorted).
+    pub cols: Vec<usize>,
+    /// The rows, projected onto `cols`.
+    pub rows: Vec<RowBuf>,
+}
+
+/// Where a [`Fetch`] gets its rows.
+pub enum FetchSource<'a> {
+    /// Existence probe: one empty row if the table is non-empty
+    /// (plan steps of kind `Any`).
+    Existence {
+        /// The probed table.
+        table: &'a Table,
+    },
+    /// Full table scan with inline constant filtering. A `None` constant
+    /// is a value the symbol table has never seen: no row can match.
+    Scan {
+        /// The scanned table.
+        table: &'a Table,
+        /// `(column, required cell)` filters applied during the scan.
+        consts: Vec<(usize, Option<Cell>)>,
+    },
+    /// Witness-set lookups: the bounded executor's access path. One probe
+    /// per key; each witness row is charged as one fetched tuple.
+    IndexWitnesses {
+        /// The probed index.
+        index: &'a HashIndex,
+        /// The table the index's row ids point into.
+        table: &'a Table,
+        /// Keys to probe (already interned).
+        keys: Vec<RowBuf>,
+    },
+    /// Full-postings lookup: what a conventional DBMS reads through a
+    /// secondary index — every duplicate, whole tuples. `None` means the
+    /// key contained a never-interned constant (no match possible).
+    IndexPostings {
+        /// The probed index.
+        index: &'a HashIndex,
+        /// The table the index's row ids point into.
+        table: &'a Table,
+        /// The single constant-bound key.
+        key: Option<RowBuf>,
+    },
+}
+
+/// The fetch operator: materializes one batch of candidate rows, charging
+/// the meter per touched row (scans charge `rows_scanned`, index reads
+/// charge `tuples_fetched`, probes charge `index_probes`).
+pub struct Fetch<'a> {
+    /// The atom the batch instantiates.
+    pub atom: usize,
+    /// Relation columns to project each fetched row onto.
+    pub cols: Vec<usize>,
+    /// The access path.
+    pub source: FetchSource<'a>,
+}
+
+impl Fetch<'_> {
+    /// Runs the fetch.
+    pub fn run(&self, ctx: &mut ExecContext<'_>) -> Result<Batch, BudgetExhausted> {
+        let mut rows: Vec<RowBuf> = Vec::new();
+        let project = |row: &[Cell]| -> RowBuf { self.cols.iter().map(|&c| row[c]).collect() };
+        match &self.source {
+            FetchSource::Existence { table } => {
+                if !table.is_empty() {
+                    ctx.charge_fetched()?;
+                    rows.push(RowBuf::new());
+                }
+            }
+            FetchSource::Scan { table, consts } => {
+                // A never-interned constant can match no stored row, but the
+                // scan itself is still charged — a conventional DBMS reads
+                // the table before discovering nothing matches.
+                let matchable = consts.iter().all(|(_, c)| c.is_some());
+                for row in table.rows() {
+                    ctx.charge_scanned()?;
+                    if matchable && consts.iter().all(|(i, c)| Some(row[*i]) == *c) {
+                        rows.push(project(row));
+                    }
+                }
+            }
+            FetchSource::IndexWitnesses { index, table, keys } => {
+                for key in keys {
+                    ctx.meter.index_probes += 1;
+                    for &rid in index.witnesses(key) {
+                        ctx.charge_fetched()?;
+                        rows.push(project(table.row(rid as usize)));
+                    }
+                }
+            }
+            FetchSource::IndexPostings { index, table, key } => {
+                ctx.meter.index_probes += 1;
+                if let Some(key) = key {
+                    for &rid in index.all(key) {
+                        ctx.charge_fetched()?;
+                        rows.push(project(table.row(rid as usize)));
+                    }
+                }
+            }
+        }
+        Ok(Batch {
+            atom: self.atom,
+            cols: self.cols.clone(),
+            rows,
+        })
+    }
+}
+
+/// The atom-local filter operator: applies constant equalities and
+/// same-class attribute equalities of `Σ_Q` over the columns present in a
+/// batch.
+///
+/// Conditions referencing columns that are not present are skipped —
+/// callers must ensure (as `QPlan` anchors and baseline candidate columns
+/// do) that all conditions on the atom are checkable either here or
+/// through class joins.
+pub struct FilterAtom<'q> {
+    /// The query whose conditions are applied.
+    pub query: &'q SpcQuery,
+    /// Its equivalence classes.
+    pub sigma: &'q Sigma,
+}
+
+impl FilterAtom<'_> {
+    /// Filters `batch` in place.
+    pub fn apply(&self, symbols: &SymbolTable, batch: &mut Batch) {
+        let q = self.query;
+        let col_pos = |cols: &[usize], col: usize| cols.iter().position(|&c| c == col);
+        // `None` constant: the value was never interned, nothing matches.
+        let mut checks: Vec<(usize, Option<Cell>)> = Vec::new();
+        let mut eqs: Vec<(usize, usize)> = Vec::new();
+        for p in q.predicates() {
+            match p {
+                Predicate::Const(a, v) if a.atom == batch.atom => {
+                    if let Some(i) = col_pos(&batch.cols, a.col) {
+                        checks.push((i, symbols.try_encode(v)));
+                    }
+                }
+                Predicate::Eq(a, b) if a.atom == batch.atom && b.atom == batch.atom => {
+                    if let (Some(i), Some(j)) =
+                        (col_pos(&batch.cols, a.col), col_pos(&batch.cols, b.col))
+                    {
+                        eqs.push((i, j));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Same-class columns within the atom must agree even without an
+        // explicit syntactic equality (e.g. equated transitively through
+        // other atoms — checking early shrinks the join input; the class
+        // merge would catch it anyway).
+        let classes: Vec<_> = batch
+            .cols
+            .iter()
+            .map(|&c| {
+                self.sigma
+                    .class_of_flat(q.flat_id(QAttr::new(batch.atom, c)))
+            })
+            .collect();
+        for i in 0..classes.len() {
+            for j in i + 1..classes.len() {
+                if classes[i] == classes[j] && !eqs.contains(&(i, j)) {
+                    eqs.push((i, j));
+                }
+            }
+        }
+        if checks.is_empty() && eqs.is_empty() {
+            return;
+        }
+        batch.rows.retain(|row| {
+            checks.iter().all(|(i, c)| Some(row[*i]) == *c)
+                && eqs.iter().all(|(i, j)| row[*i] == row[*j])
+        });
+    }
+}
+
+/// The multiway hash-join operator: merges per-atom batches on their `Σ_Q`
+/// equivalence classes. Produces partial assignments of one cell per class
+/// (`None` = class not yet bound).
+pub struct HashJoin<'q> {
+    /// The query being joined.
+    pub query: &'q SpcQuery,
+    /// Its equivalence classes.
+    pub sigma: &'q Sigma,
+}
+
+impl HashJoin<'_> {
+    /// Joins the batches; every produced intermediate row is charged to the
+    /// context's meter (and checked against the budget).
+    ///
+    /// Returns the surviving class assignments, or an empty vector if any
+    /// batch empties out. Batches must already be filtered
+    /// ([`FilterAtom`]); `run_join_pipeline` composes the two.
+    pub fn run(
+        &self,
+        symbols: &SymbolTable,
+        batches: Vec<Batch>,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<Vec<Box<[Option<Cell>]>>, BudgetExhausted> {
+        let q = self.query;
+        let sigma = self.sigma;
+        debug_assert_eq!(batches.len(), q.num_atoms());
+        if batches.iter().any(|b| b.rows.is_empty()) {
+            return Ok(Vec::new());
+        }
+
+        let nclasses = sigma.num_classes();
+        // Classes bound per atom.
+        let atom_classes: Vec<Vec<usize>> = batches
+            .iter()
+            .map(|b| {
+                b.cols
+                    .iter()
+                    .map(|&c| sigma.class_of_flat(q.flat_id(QAttr::new(b.atom, c))).0)
+                    .collect()
+            })
+            .collect();
+
+        // Greedy join order: start with the smallest candidate set;
+        // repeatedly take the atom sharing the most classes with what is
+        // already bound (ties: smaller candidate set), falling back to a
+        // cross product.
+        let mut order: Vec<usize> = Vec::with_capacity(batches.len());
+        let mut used = vec![false; batches.len()];
+        let mut bound = vec![false; nclasses];
+        // Constants are always bound (checked in filters).
+        for (i, cls) in sigma.classes().iter().enumerate() {
+            if cls.constant.is_some() {
+                bound[i] = true;
+            }
+        }
+        let first = (0..batches.len())
+            .min_by_key(|&i| batches[i].rows.len())
+            .expect("at least one atom");
+        order.push(first);
+        used[first] = true;
+        for &c in &atom_classes[first] {
+            bound[c] = true;
+        }
+        while order.len() < batches.len() {
+            let next = (0..batches.len())
+                .filter(|&i| !used[i])
+                .max_by_key(|&i| {
+                    let shared = atom_classes[i].iter().filter(|&&c| bound[c]).count();
+                    (shared, usize::MAX - batches[i].rows.len())
+                })
+                .expect("unused atom exists");
+            order.push(next);
+            used[next] = true;
+            for &c in &atom_classes[next] {
+                bound[c] = true;
+            }
+        }
+
+        // Partial results: one cell slot per class, seeded with the
+        // constants so constant-join columns line up across atoms. A
+        // constant that was never interned cannot be matched by any row of
+        // the (non-empty, already filtered) batches that carry its class —
+        // but classes whose columns appear in *no* batch must still compare
+        // equal, so bail out to the empty result explicitly.
+        let mut seed: Box<[Option<Cell>]> = vec![None; nclasses].into_boxed_slice();
+        for (i, cls) in sigma.classes().iter().enumerate() {
+            if let Some(v) = &cls.constant {
+                match symbols.try_encode(v) {
+                    Some(cell) => seed[i] = Some(cell),
+                    None => return Ok(Vec::new()),
+                }
+            }
+        }
+        let mut partials: Vec<Box<[Option<Cell>]>> = vec![seed];
+
+        for &ai in &order {
+            let batch = &batches[ai];
+            let classes = &atom_classes[ai];
+            // Shared classes between current partials and this batch.
+            let shared: Vec<usize> = {
+                let p0 = &partials[0];
+                let mut s: Vec<usize> = classes
+                    .iter()
+                    .copied()
+                    .filter(|&c| p0[c].is_some())
+                    .collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            };
+            // Positions of the shared classes within this batch's rows.
+            let shared_pos: Vec<usize> = shared
+                .iter()
+                .map(|&c| classes.iter().position(|&k| k == c).expect("shared class"))
+                .collect();
+
+            // Hash the batch rows on the shared classes.
+            let mut table: FxHashMap<RowBuf, Vec<usize>> = FxHashMap::default();
+            for (ri, row) in batch.rows.iter().enumerate() {
+                let key: RowBuf = shared_pos.iter().map(|&p| row[p]).collect();
+                table.entry(key).or_default().push(ri);
+            }
+
+            let mut next: Vec<Box<[Option<Cell>]>> = Vec::new();
+            for partial in &partials {
+                let key: RowBuf = shared
+                    .iter()
+                    .map(|&c| partial[c].expect("shared class is bound"))
+                    .collect();
+                let Some(matches) = table.get(key.as_slice()) else {
+                    continue;
+                };
+                for &ri in matches {
+                    let row = &batch.rows[ri];
+                    let mut merged = partial.clone();
+                    let mut ok = true;
+                    for (pos, &c) in classes.iter().enumerate() {
+                        match merged[c] {
+                            Some(v) if v != row[pos] => {
+                                ok = false;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => merged[c] = Some(row[pos]),
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    ctx.charge_intermediate()?;
+                    next.push(merged);
+                }
+            }
+            partials = next;
+            if partials.is_empty() {
+                return Ok(Vec::new());
+            }
+        }
+        Ok(partials)
+    }
+}
+
+/// The projection operator: reads `π_Z` from the joined class assignments
+/// and decodes the result set (the empty projection yields the empty tuple
+/// — Boolean queries).
+pub struct Project<'q> {
+    /// The query whose projection is read.
+    pub query: &'q SpcQuery,
+    /// Its equivalence classes.
+    pub sigma: &'q Sigma,
+}
+
+impl Project<'_> {
+    /// Decodes the final answer.
+    pub fn apply(&self, symbols: &SymbolTable, partials: &[Box<[Option<Cell>]>]) -> ResultSet {
+        let mut out = Vec::with_capacity(partials.len());
+        for partial in partials {
+            let row: Box<[Value]> = self
+                .query
+                .projection()
+                .iter()
+                .map(|z| {
+                    let c = self.sigma.class_of_flat(self.query.flat_id(*z)).0;
+                    symbols.decode(partial[c].expect("projection class is bound"))
+                })
+                .collect();
+            out.push(row);
+        }
+        ResultSet::from_rows(out)
+    }
+}
+
+/// The semi-join reducer used by the baseline's `IndexJoin` mode: for each
+/// batch, drops candidate rows whose join-class values do not appear in any
+/// other batch. Models an optimizer that uses indices on join keys to skip
+/// non-matching rows. Dropped rows are charged as intermediate work.
+pub struct SemiJoin<'q> {
+    /// The query whose join classes drive the reduction.
+    pub query: &'q SpcQuery,
+    /// Its equivalence classes.
+    pub sigma: &'q Sigma,
+}
+
+impl SemiJoin<'_> {
+    /// One full reduction pass over all batch pairs.
+    pub fn apply(&self, batches: &mut [Batch], ctx: &mut ExecContext<'_>) {
+        use bcq_core::fx::FxHashSet;
+        let q = self.query;
+        let sigma = self.sigma;
+        let n = batches.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                // Shared classes between atoms i and j.
+                let class_of = |b: &Batch, pos: usize| {
+                    sigma.class_of_flat(q.flat_id(QAttr::new(b.atom, b.cols[pos])))
+                };
+                let mut shared: Vec<(usize, usize)> = Vec::new(); // (pos_i, pos_j)
+                for pi in 0..batches[i].cols.len() {
+                    for pj in 0..batches[j].cols.len() {
+                        if class_of(&batches[i], pi) == class_of(&batches[j], pj) {
+                            shared.push((pi, pj));
+                        }
+                    }
+                }
+                if shared.is_empty() {
+                    continue;
+                }
+                let keys: FxHashSet<RowBuf> = batches[j]
+                    .rows
+                    .iter()
+                    .map(|row| shared.iter().map(|&(_, pj)| row[pj]).collect())
+                    .collect();
+                let before = batches[i].rows.len();
+                batches[i].rows.retain(|row| {
+                    let key: RowBuf = shared.iter().map(|&(pi, _)| row[pi]).collect();
+                    keys.contains(key.as_slice())
+                });
+                ctx.meter.intermediate_rows += (before - batches[i].rows.len()) as u64;
+            }
+        }
+    }
+}
+
+/// The canonical tail of every executor: filter each batch, hash-join on
+/// `Σ_Q` classes, project `Z`. This is the single shared join
+/// implementation — `evalDQ`, the baseline, and the RA evaluator all end
+/// here.
+pub fn run_join_pipeline(
+    q: &SpcQuery,
+    sigma: &Sigma,
+    mut batches: Vec<Batch>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<ResultSet, BudgetExhausted> {
+    let filter = FilterAtom { query: q, sigma };
+    for batch in &mut batches {
+        filter.apply(ctx.symbols(), batch);
+        if batch.rows.is_empty() {
+            return Ok(ResultSet::empty());
+        }
+    }
+    let join = HashJoin { query: q, sigma };
+    let symbols = ctx.db.symbols();
+    let partials = join.run(symbols, batches, ctx)?;
+    if partials.is_empty() {
+        return Ok(ResultSet::empty());
+    }
+    let project = Project { query: q, sigma };
+    Ok(project.apply(symbols, &partials))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcq_core::prelude::{Catalog, SpcQuery};
+
+    /// A database whose symbol table has the ints 0..1000 available (small
+    /// ints always encode, so an empty database suffices for int-only
+    /// tests).
+    fn dummy_db() -> Database {
+        Database::new(Catalog::from_names(&[("unused", &["x"])]).unwrap())
+    }
+
+    fn two_rel_query() -> SpcQuery {
+        let cat = Catalog::from_names(&[("r", &["a", "b"]), ("s", &["c", "d"])]).unwrap();
+        SpcQuery::builder(cat, "j")
+            .atom("r", "r")
+            .atom("s", "s")
+            .eq(("r", "b"), ("s", "c"))
+            .project(("r", "a"))
+            .project(("s", "d"))
+            .build()
+            .unwrap()
+    }
+
+    fn rows(data: &[&[i64]]) -> Vec<RowBuf> {
+        data.iter()
+            .map(|r| {
+                r.iter()
+                    .map(|&v| Cell::from_small_int(v).unwrap())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equi_join_on_classes() {
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let batches = vec![
+            Batch {
+                atom: 0,
+                cols: vec![0, 1],
+                rows: rows(&[&[1, 10], &[2, 20], &[3, 30]]),
+            },
+            Batch {
+                atom: 1,
+                cols: vec![0, 1],
+                rows: rows(&[&[10, 100], &[20, 200], &[99, 999]]),
+            },
+        ];
+        let db = dummy_db();
+        let mut ctx = ExecContext::new(&db, None);
+        let rs = run_join_pipeline(&q, &sigma, batches, &mut ctx).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert!(rs.contains(&[Value::int(1), Value::int(100)]));
+        assert!(rs.contains(&[Value::int(2), Value::int(200)]));
+        assert!(ctx.meter.intermediate_rows >= 2);
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_classes() {
+        let cat = Catalog::from_names(&[("r", &["a"]), ("s", &["b"])]).unwrap();
+        let q = SpcQuery::builder(cat, "x")
+            .atom("r", "r")
+            .atom("s", "s")
+            .project(("r", "a"))
+            .project(("s", "b"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let batches = vec![
+            Batch {
+                atom: 0,
+                cols: vec![0],
+                rows: rows(&[&[1], &[2]]),
+            },
+            Batch {
+                atom: 1,
+                cols: vec![0],
+                rows: rows(&[&[7], &[8]]),
+            },
+        ];
+        let db = dummy_db();
+        let mut ctx = ExecContext::new(&db, None);
+        let rs = run_join_pipeline(&q, &sigma, batches, &mut ctx).unwrap();
+        assert_eq!(rs.len(), 4);
+    }
+
+    #[test]
+    fn budget_aborts() {
+        let cat = Catalog::from_names(&[("r", &["a"]), ("s", &["b"])]).unwrap();
+        let q = SpcQuery::builder(cat, "x")
+            .atom("r", "r")
+            .atom("s", "s")
+            .project(("r", "a"))
+            .project(("s", "b"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let big: Vec<RowBuf> = (0..100)
+            .map(|i| std::iter::once(Cell::from_small_int(i).unwrap()).collect())
+            .collect();
+        let batches = vec![
+            Batch {
+                atom: 0,
+                cols: vec![0],
+                rows: big.clone(),
+            },
+            Batch {
+                atom: 1,
+                cols: vec![0],
+                rows: big,
+            },
+        ];
+        let db = dummy_db();
+        let mut ctx = ExecContext::new(&db, Some(50));
+        let r = run_join_pipeline(&q, &sigma, batches, &mut ctx);
+        assert_eq!(r, Err(BudgetExhausted));
+    }
+
+    #[test]
+    fn filter_applies_constants_and_intra_atom_eqs() {
+        let cat = Catalog::from_names(&[("r", &["a", "b", "c"])]).unwrap();
+        let q = SpcQuery::builder(cat, "f")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 1)
+            .eq(("r", "b"), ("r", "c"))
+            .project(("r", "b"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let mut batch = Batch {
+            atom: 0,
+            cols: vec![0, 1, 2],
+            rows: rows(&[&[1, 5, 5], &[1, 5, 6], &[2, 7, 7]]),
+        };
+        let db = dummy_db();
+        FilterAtom {
+            query: &q,
+            sigma: &sigma,
+        }
+        .apply(db.symbols(), &mut batch);
+        assert_eq!(batch.rows, rows(&[&[1, 5, 5]]));
+    }
+
+    #[test]
+    fn filter_with_uninterned_string_constant_empties_batch() {
+        let cat = Catalog::from_names(&[("r", &["a"])]).unwrap();
+        let q = SpcQuery::builder(cat, "f")
+            .atom("r", "r")
+            .eq_const(("r", "a"), "never-loaded")
+            .project(("r", "a"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let mut batch = Batch {
+            atom: 0,
+            cols: vec![0],
+            rows: rows(&[&[1], &[2]]),
+        };
+        let db = dummy_db();
+        FilterAtom {
+            query: &q,
+            sigma: &sigma,
+        }
+        .apply(db.symbols(), &mut batch);
+        assert!(batch.rows.is_empty());
+    }
+
+    #[test]
+    fn boolean_query_yields_empty_tuple() {
+        let cat = Catalog::from_names(&[("r", &["a"])]).unwrap();
+        let q = SpcQuery::builder(cat, "b")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 1)
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let batches = vec![Batch {
+            atom: 0,
+            cols: vec![0],
+            rows: rows(&[&[1]]),
+        }];
+        let db = dummy_db();
+        let mut ctx = ExecContext::new(&db, None);
+        let rs = run_join_pipeline(&q, &sigma, batches, &mut ctx).unwrap();
+        assert!(rs.as_bool());
+        assert_eq!(rs.rows()[0].len(), 0);
+    }
+
+    #[test]
+    fn empty_candidates_empty_result() {
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let batches = vec![
+            Batch {
+                atom: 0,
+                cols: vec![0, 1],
+                rows: Vec::new(),
+            },
+            Batch {
+                atom: 1,
+                cols: vec![0, 1],
+                rows: rows(&[&[1, 2]]),
+            },
+        ];
+        let db = dummy_db();
+        let mut ctx = ExecContext::new(&db, None);
+        let rs = run_join_pipeline(&q, &sigma, batches, &mut ctx).unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn fetch_scan_charges_all_rows_and_filters() {
+        let cat = Catalog::from_names(&[("r", &["a", "b"])]).unwrap();
+        let mut db = Database::new(cat);
+        for (a, b) in [(1, 10), (2, 20), (1, 30)] {
+            db.insert("r", &[Value::int(a), Value::int(b)]).unwrap();
+        }
+        let mut ctx = ExecContext::new(&db, None);
+        let want = db.symbols().try_encode(&Value::int(1));
+        let fetch = Fetch {
+            atom: 0,
+            cols: vec![0, 1],
+            source: FetchSource::Scan {
+                table: db.table(bcq_core::prelude::RelId(0)),
+                consts: vec![(0, want)],
+            },
+        };
+        let batch = fetch.run(&mut ctx).unwrap();
+        assert_eq!(batch.rows.len(), 2);
+        assert_eq!(ctx.meter.rows_scanned, 3, "whole table charged");
+        assert_eq!(ctx.meter.tuples_fetched, 0);
+    }
+
+    #[test]
+    fn fetch_budget_aborts_mid_scan() {
+        let cat = Catalog::from_names(&[("r", &["a"])]).unwrap();
+        let mut db = Database::new(cat);
+        for i in 0..10 {
+            db.insert("r", &[Value::int(i)]).unwrap();
+        }
+        let mut ctx = ExecContext::new(&db, Some(4));
+        let fetch = Fetch {
+            atom: 0,
+            cols: vec![0],
+            source: FetchSource::Scan {
+                table: db.table(bcq_core::prelude::RelId(0)),
+                consts: vec![],
+            },
+        };
+        assert!(matches!(fetch.run(&mut ctx), Err(BudgetExhausted)));
+        assert!(ctx.meter.work() > 4);
+    }
+
+    #[test]
+    fn semi_join_prunes_and_charges() {
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let mut batches = vec![
+            Batch {
+                atom: 0,
+                cols: vec![0, 1],
+                rows: rows(&[&[1, 10], &[2, 99]]),
+            },
+            Batch {
+                atom: 1,
+                cols: vec![0, 1],
+                rows: rows(&[&[10, 100]]),
+            },
+        ];
+        let db = dummy_db();
+        let mut ctx = ExecContext::new(&db, None);
+        SemiJoin {
+            query: &q,
+            sigma: &sigma,
+        }
+        .apply(&mut batches, &mut ctx);
+        assert_eq!(
+            batches[0].rows,
+            rows(&[&[1, 10]]),
+            "non-matching row dropped"
+        );
+        assert_eq!(ctx.meter.intermediate_rows, 1);
+    }
+}

@@ -65,8 +65,7 @@ fn enumerate(db: &Database, expr: &RaExpr, a: &AccessSchema) -> Result<RaOutcome
         RaExpr::Intersect(l, r) => {
             // Enumerate whichever side is enumerable with the other
             // probeable (mirror of the checker's orientation logic).
-            let l_ok = ra_effectively_bounded(l, a).effectively_bounded
-                && probeable(r, a);
+            let l_ok = ra_effectively_bounded(l, a).effectively_bounded && probeable(r, a);
             if l_ok {
                 filter_by_membership(db, l, r, a, true)
             } else {
@@ -175,13 +174,16 @@ mod tests {
         ])
         .unwrap();
         let mut a = AccessSchema::new(Arc::clone(&catalog));
-        a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
-        a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+        a.add("in_album", &["album_id"], &["photo_id"], 1000)
+            .unwrap();
+        a.add("friends", &["user_id"], &["friend_id"], 5000)
+            .unwrap();
         a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
             .unwrap();
         let mut db = Database::new(catalog);
         for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p3", "a0"), ("p4", "a1")] {
-            db.insert("in_album", &[Value::str(p), Value::str(al)]).unwrap();
+            db.insert("in_album", &[Value::str(p), Value::str(al)])
+                .unwrap();
         }
         for (p, tr, te) in [("p1", "u9", "u0"), ("p4", "u9", "u0")] {
             db.insert("tagging", &[Value::str(p), Value::str(tr), Value::str(te)])

@@ -36,9 +36,9 @@ pub fn materialize_views(db: &mut Database, exp: &ViewExpansion) -> Result<Vec<u
             .rows()
             .to_vec();
         let rel = exp.view_rel(vi);
-        let table = db.table_mut(rel);
+        let mut loader = db.loader(rel);
         for row in &rows {
-            table.push(row);
+            loader.push(row);
         }
         sizes.push(rows.len());
     }
@@ -61,8 +61,10 @@ mod tests {
         ])
         .unwrap();
         let mut a0 = AccessSchema::new(Arc::clone(&base));
-        a0.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
-        a0.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+        a0.add("in_album", &["album_id"], &["photo_id"], 1000)
+            .unwrap();
+        a0.add("friends", &["user_id"], &["friend_id"], 5000)
+            .unwrap();
         a0.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
             .unwrap();
         let view = ViewDef {
@@ -81,10 +83,12 @@ mod tests {
         let exp = expand_with_views(base, vec![view]).unwrap();
         let mut db = Database::new(exp.catalog().clone());
         for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p3", "a1")] {
-            db.insert("in_album", &[Value::str(p), Value::str(al)]).unwrap();
+            db.insert("in_album", &[Value::str(p), Value::str(al)])
+                .unwrap();
         }
         for (u, f) in [("u0", "u1"), ("u0", "u2")] {
-            db.insert("friends", &[Value::str(u), Value::str(f)]).unwrap();
+            db.insert("friends", &[Value::str(u), Value::str(f)])
+                .unwrap();
         }
         for (p, tr, te) in [("p1", "u1", "u0"), ("p2", "u9", "u0"), ("p3", "u1", "u0")] {
             db.insert("tagging", &[Value::str(p), Value::str(tr), Value::str(te)])

@@ -18,7 +18,9 @@ use std::io::{BufRead, Write};
 
 /// Parses one CSV record from `line_iter` (may consume multiple physical
 /// lines when quoted fields embed newlines). Returns `None` at EOF.
-fn read_record(lines: &mut impl Iterator<Item = std::io::Result<String>>) -> Result<Option<Vec<String>>> {
+fn read_record(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+) -> Result<Option<Vec<String>>> {
     let Some(first) = lines.next() else {
         return Ok(None);
     };
@@ -183,7 +185,7 @@ pub fn dump_csv(db: &Database, relation: &str, mut writer: impl Write) -> Result
     let io_err = |e: std::io::Error| CoreError::Invalid(format!("io error: {e}"));
     writeln!(writer, "{}", schema.attributes().join(",")).map_err(io_err)?;
     let mut count = 0usize;
-    for row in db.table(rel).rows() {
+    for row in db.value_rows(rel) {
         let line: Vec<String> = row.iter().map(render_value).collect();
         writeln!(writer, "{}", line.join(",")).map_err(io_err)?;
         count += 1;
@@ -206,9 +208,9 @@ mod tests {
         let csv = "1,2\n1,3\n7,hello\n";
         let n = load_csv(&mut d, "friends", csv.as_bytes(), false).unwrap();
         assert_eq!(n, 3);
-        let t = d.table(RelId(0));
-        assert_eq!(t.row(0), &[Value::int(1), Value::int(2)]);
-        assert_eq!(t.row(2), &[Value::int(7), Value::str("hello")]);
+        let rows: Vec<_> = d.value_rows(RelId(0)).collect();
+        assert_eq!(rows[0], vec![Value::int(1), Value::int(2)]);
+        assert_eq!(rows[2], vec![Value::int(7), Value::str("hello")]);
     }
 
     #[test]
@@ -217,7 +219,10 @@ mod tests {
         let csv = "friend_id,notes,user_id\n2,whatever,1\n";
         let n = load_csv(&mut d, "friends", csv.as_bytes(), true).unwrap();
         assert_eq!(n, 1);
-        assert_eq!(d.table(RelId(0)).row(0), &[Value::int(1), Value::int(2)]);
+        assert_eq!(
+            d.value_rows(RelId(0)).next().unwrap(),
+            vec![Value::int(1), Value::int(2)]
+        );
     }
 
     #[test]
@@ -233,9 +238,9 @@ mod tests {
         let csv = "\"a,b\",\"say \"\"hi\"\"\"\n\"line1\nline2\",9\n";
         let n = load_csv(&mut d, "friends", csv.as_bytes(), false).unwrap();
         assert_eq!(n, 2);
-        let t = d.table(RelId(0));
-        assert_eq!(t.row(0), &[Value::str("a,b"), Value::str("say \"hi\"")]);
-        assert_eq!(t.row(1), &[Value::str("line1\nline2"), Value::int(9)]);
+        let rows: Vec<_> = d.value_rows(RelId(0)).collect();
+        assert_eq!(rows[0], vec![Value::str("a,b"), Value::str("say \"hi\"")]);
+        assert_eq!(rows[1], vec![Value::str("line1\nline2"), Value::int(9)]);
     }
 
     #[test]
@@ -243,7 +248,10 @@ mod tests {
         let mut d = db();
         let n = load_csv(&mut d, "friends", ",5\n".as_bytes(), false).unwrap();
         assert_eq!(n, 1);
-        assert_eq!(d.table(RelId(0)).row(0), &[Value::Null, Value::int(5)]);
+        assert_eq!(
+            d.value_rows(RelId(0)).next().unwrap(),
+            vec![Value::Null, Value::int(5)]
+        );
     }
 
     #[test]
@@ -263,8 +271,10 @@ mod tests {
     #[test]
     fn dump_roundtrips() {
         let mut d = db();
-        d.insert("friends", &[Value::int(1), Value::str("a,b")]).unwrap();
-        d.insert("friends", &[Value::Null, Value::str("q\"q")]).unwrap();
+        d.insert("friends", &[Value::int(1), Value::str("a,b")])
+            .unwrap();
+        d.insert("friends", &[Value::Null, Value::str("q\"q")])
+            .unwrap();
         let mut out = Vec::new();
         let n = dump_csv(&d, "friends", &mut out).unwrap();
         assert_eq!(n, 2);
@@ -274,9 +284,9 @@ mod tests {
         let mut d2 = db();
         let m = load_csv(&mut d2, "friends", text.as_bytes(), true).unwrap();
         assert_eq!(m, 2);
-        for i in 0..2 {
-            assert_eq!(d.table(RelId(0)).row(i), d2.table(RelId(0)).row(i));
-        }
+        let lhs: Vec<_> = d.value_rows(RelId(0)).collect();
+        let rhs: Vec<_> = d2.value_rows(RelId(0)).collect();
+        assert_eq!(lhs, rhs);
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Databases: a set of tables instantiating a catalog, plus the indices
-//! declared by access schemas.
+//! declared by access schemas and the [`SymbolTable`] the tables' interned
+//! cells are encoded against.
+//!
+//! The database is the **encode/decode boundary**: callers insert and read
+//! [`Value`] rows; internally everything is fixed-width [`Cell`]s. Executors
+//! encode query constants through [`Database::symbols`] (a read-only
+//! `try_encode` — a constant whose string was never loaded simply matches
+//! nothing) and decode only final answers.
 
 use crate::index::HashIndex;
 use crate::table::Table;
 use bcq_core::access::{AccessConstraint, AccessSchema};
 use bcq_core::error::{CoreError, Result};
-use bcq_core::prelude::{Catalog, RelId, Value};
+use bcq_core::prelude::{Catalog, Cell, RelId, SymbolTable, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -18,6 +25,7 @@ type IndexKey = (usize, Vec<usize>, Vec<usize>);
 #[derive(Debug, Clone)]
 pub struct Database {
     catalog: Arc<Catalog>,
+    symbols: SymbolTable,
     tables: Vec<Table>,
     indexes: HashMap<IndexKey, HashIndex>,
 }
@@ -33,6 +41,7 @@ impl Database {
             .collect();
         Database {
             catalog,
+            symbols: SymbolTable::new(),
             tables,
             indexes: HashMap::new(),
         }
@@ -43,16 +52,38 @@ impl Database {
         &self.catalog
     }
 
+    /// The symbol table the stored cells are encoded against.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
     /// The table for `rel`.
     pub fn table(&self, rel: RelId) -> &Table {
         &self.tables[rel.0]
     }
 
-    /// Mutable access to the table for `rel` (bulk loading). Invalidates
-    /// indices: rebuild them afterwards.
-    pub fn table_mut(&mut self, rel: RelId) -> &mut Table {
+    /// A value-level bulk loader for `rel`: encodes [`Value`] rows through
+    /// this database's symbol table. Invalidates indices (bulk-load path):
+    /// call [`Self::build_indexes`] when loading is done.
+    pub fn loader(&mut self, rel: RelId) -> Loader<'_> {
         self.indexes.clear();
-        &mut self.tables[rel.0]
+        Loader {
+            table: &mut self.tables[rel.0],
+            symbols: &mut self.symbols,
+        }
+    }
+
+    /// Decodes a row of cells from this database back to values.
+    pub fn decode_row(&self, cells: &[Cell]) -> Vec<Value> {
+        self.symbols.decode_row(cells)
+    }
+
+    /// Iterates over the rows of `rel`, decoded to values (convenience for
+    /// tests and tooling; the hot paths stay on cells).
+    pub fn value_rows(&self, rel: RelId) -> impl Iterator<Item = Vec<Value>> + '_ {
+        self.tables[rel.0]
+            .rows()
+            .map(|r| self.symbols.decode_row(r))
     }
 
     /// Inserts one row into the relation called `rel_name`.
@@ -68,7 +99,8 @@ impl Database {
             )));
         }
         self.indexes.clear();
-        self.tables[rel.0].push(row);
+        let cells = self.symbols.encode_row(row);
+        self.tables[rel.0].push(&cells);
         Ok(())
     }
 
@@ -83,10 +115,11 @@ impl Database {
             )));
         }
         let rid = self.tables[rel.0].len() as u32;
-        self.tables[rel.0].push(row);
+        let cells = self.symbols.encode_row(row);
+        self.tables[rel.0].push(&cells);
         for ((r, _, _), idx) in self.indexes.iter_mut() {
             if *r == rel.0 {
-                idx.insert_row(rid, row);
+                idx.insert_row(rid, &cells);
             }
         }
         Ok(rid)
@@ -135,6 +168,37 @@ impl Database {
     }
 }
 
+/// Value-level bulk loader returned by [`Database::loader`]: pairs a
+/// mutable table with the database's symbol table so callers keep pushing
+/// plain [`Value`] rows.
+pub struct Loader<'a> {
+    table: &'a mut Table,
+    symbols: &'a mut SymbolTable,
+}
+
+impl Loader<'_> {
+    /// Appends a row (must match the relation's arity).
+    pub fn push(&mut self, row: &[Value]) {
+        let cells = self.symbols.encode_row(row);
+        self.table.push(&cells);
+    }
+
+    /// Reserves space for `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.table.reserve_rows(additional);
+    }
+
+    /// Number of rows currently in the table.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +222,27 @@ mod tests {
         assert_eq!(db.total_tuples(), 2);
         assert_eq!(db.table(RelId(0)).len(), 1);
         assert_eq!(db.total_values(), 4);
+        // Round-trip through the symbol table.
+        assert_eq!(
+            db.value_rows(RelId(0)).next().unwrap(),
+            vec![Value::str("p1"), Value::str("a0")]
+        );
+    }
+
+    #[test]
+    fn loader_encodes_values() {
+        let mut db = Database::new(photos());
+        {
+            let mut l = db.loader(RelId(1));
+            l.reserve_rows(2);
+            l.push(&[Value::str("u0"), Value::str("u1")]);
+            l.push(&[Value::int(7), Value::Null]);
+            assert_eq!(l.len(), 2);
+            assert!(!l.is_empty());
+        }
+        let rows: Vec<Vec<Value>> = db.value_rows(RelId(1)).collect();
+        assert_eq!(rows[0], vec![Value::str("u0"), Value::str("u1")]);
+        assert_eq!(rows[1], vec![Value::int(7), Value::Null]);
     }
 
     #[test]
@@ -171,8 +256,10 @@ mod tests {
     fn indexes_built_per_constraint_and_shared() {
         let cat = photos();
         let mut a = AccessSchema::new(cat.clone());
-        a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
-        a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+        a.add("in_album", &["album_id"], &["photo_id"], 1000)
+            .unwrap();
+        a.add("friends", &["user_id"], &["friend_id"], 5000)
+            .unwrap();
         let mut db = Database::new(cat.clone());
         db.insert("in_album", &[Value::str("p1"), Value::str("a0")])
             .unwrap();
@@ -186,7 +273,11 @@ mod tests {
 
         let idx = db.index_for(a.constraint(bcq_core::access::ConstraintId(0)));
         assert!(idx.is_some());
-        assert_eq!(idx.unwrap().witnesses(&[Value::str("a0")]).len(), 1);
+        let key = db
+            .symbols()
+            .try_encode_row(&[Value::str("a0")])
+            .expect("interned at insert");
+        assert_eq!(idx.unwrap().witnesses(&key).len(), 1);
     }
 
     #[test]
@@ -195,10 +286,12 @@ mod tests {
         let mut a = AccessSchema::new(cat.clone());
         a.add("friends", &["user_id"], &["friend_id"], 10).unwrap();
         let mut db = Database::new(cat);
-        db.insert("friends", &[Value::int(1), Value::int(2)]).unwrap();
+        db.insert("friends", &[Value::int(1), Value::int(2)])
+            .unwrap();
         db.build_indexes(&a);
         assert_eq!(db.num_indexes(), 1);
-        db.insert("friends", &[Value::int(1), Value::int(3)]).unwrap();
+        db.insert("friends", &[Value::int(1), Value::int(3)])
+            .unwrap();
         assert_eq!(db.num_indexes(), 0); // stale indices dropped
     }
 
@@ -208,7 +301,8 @@ mod tests {
         let mut a = AccessSchema::new(cat.clone());
         let cid = a.add("friends", &["user_id"], &["friend_id"], 10).unwrap();
         let mut db = Database::new(cat);
-        db.insert("friends", &[Value::int(1), Value::int(2)]).unwrap();
+        db.insert("friends", &[Value::int(1), Value::int(2)])
+            .unwrap();
         db.build_indexes(&a);
 
         let rid = db
@@ -216,8 +310,9 @@ mod tests {
             .unwrap();
         assert_eq!(rid, 1);
         assert_eq!(db.num_indexes(), 1, "index survived the insert");
+        let key = db.symbols().try_encode_row(&[Value::int(1)]).unwrap();
         let idx = db.index_for(a.constraint(cid)).unwrap();
-        assert_eq!(idx.witnesses(&[Value::int(1)]), &[0, 1]);
+        assert_eq!(idx.witnesses(&key), &[0, 1]);
 
         // Maintained result matches a from-scratch rebuild.
         let rebuilt = crate::index::HashIndex::build(
@@ -225,18 +320,15 @@ mod tests {
             a.constraint(cid).x(),
             a.constraint(cid).y(),
         );
-        assert_eq!(
-            idx.witnesses(&[Value::int(1)]),
-            rebuilt.witnesses(&[Value::int(1)])
-        );
+        assert_eq!(idx.witnesses(&key), rebuilt.witnesses(&key));
         assert_eq!(idx.max_witnesses(), rebuilt.max_witnesses());
 
         // Duplicate Y values extend `all` but not the witnesses.
         db.insert_maintained("friends", &[Value::int(1), Value::int(3)])
             .unwrap();
         let idx = db.index_for(a.constraint(cid)).unwrap();
-        assert_eq!(idx.witnesses(&[Value::int(1)]).len(), 2);
-        assert_eq!(idx.all(&[Value::int(1)]).len(), 3);
+        assert_eq!(idx.witnesses(&key).len(), 2);
+        assert_eq!(idx.all(&key).len(), 3);
     }
 
     #[test]
@@ -246,5 +338,30 @@ mod tests {
         assert!(db
             .insert_maintained("ghost", &[Value::int(1), Value::int(2)])
             .is_err());
+    }
+
+    #[test]
+    fn maintained_insert_interns_new_strings() {
+        let cat = photos();
+        let mut a = AccessSchema::new(cat.clone());
+        let cid = a.add("friends", &["user_id"], &["friend_id"], 10).unwrap();
+        let mut db = Database::new(cat);
+        db.build_indexes(&a);
+        db.insert_maintained(
+            "friends",
+            &[Value::str("new-user"), Value::str("new-friend")],
+        )
+        .unwrap();
+        let key = db
+            .symbols()
+            .try_encode_row(&[Value::str("new-user")])
+            .expect("string interned by the maintained insert");
+        assert_eq!(
+            db.index_for(a.constraint(cid))
+                .unwrap()
+                .witnesses(&key)
+                .len(),
+            1
+        );
     }
 }

@@ -11,10 +11,14 @@
 //! * **all** — every matching row id: what a conventional DBMS reads through
 //!   a secondary index (it fetches whole rows, duplicates included — the
 //!   behaviour the paper observed in MySQL's logs), used by the baseline.
+//!
+//! Keys and `Y`-projections are interned [`Cell`] rows, so probing hashes a
+//! handful of `u64` words — never string bytes — regardless of the value
+//! types in the indexed columns.
 
-use crate::fx::{FxHashMap, FxHashSet};
 use crate::table::Table;
-use bcq_core::prelude::Value;
+use bcq_core::fx::{FxHashMap, FxHashSet};
+use bcq_core::prelude::{Cell, RowBuf};
 
 /// Posting lists for one `X`-value.
 #[derive(Debug, Clone, Default)]
@@ -25,7 +29,7 @@ pub struct Postings {
     pub witnesses: Vec<u32>,
     /// The distinct `Y`-projections behind `witnesses` (kept so
     /// [`HashIndex::insert_row`] can maintain witness semantics in O(1)).
-    pub(crate) y_seen: FxHashSet<Box<[Value]>>,
+    pub(crate) y_seen: FxHashSet<RowBuf>,
 }
 
 /// A hash index on key columns `x` exposing value columns `y`.
@@ -33,7 +37,7 @@ pub struct Postings {
 pub struct HashIndex {
     x: Vec<usize>,
     y: Vec<usize>,
-    map: FxHashMap<Box<[Value]>, Postings>,
+    map: FxHashMap<RowBuf, Postings>,
     max_witnesses: usize,
 }
 
@@ -67,12 +71,12 @@ impl HashIndex {
     }
 
     /// Witness rows for `key`: at most one per distinct `Y`-value.
-    pub fn witnesses(&self, key: &[Value]) -> &[u32] {
+    pub fn witnesses(&self, key: &[Cell]) -> &[u32] {
         self.map.get(key).map_or(EMPTY, |p| &p.witnesses)
     }
 
     /// All rows matching `key` (what a conventional index scan returns).
-    pub fn all(&self, key: &[Value]) -> &[u32] {
+    pub fn all(&self, key: &[Cell]) -> &[u32] {
         self.map.get(key).map_or(EMPTY, |p| &p.all)
     }
 
@@ -89,8 +93,8 @@ impl HashIndex {
     }
 
     /// Iterates over `(key, postings)` pairs (unspecified order).
-    pub fn entries(&self) -> impl Iterator<Item = (&[Value], &Postings)> + '_ {
-        self.map.iter().map(|(k, p)| (&**k, p))
+    pub fn entries(&self) -> impl Iterator<Item = (&[Cell], &Postings)> + '_ {
+        self.map.iter().map(|(k, p)| (k.as_slice(), p))
     }
 
     /// Maintains the index for a newly appended row (`rid` must be the
@@ -99,9 +103,9 @@ impl HashIndex {
     ///
     /// Witness semantics are preserved: the row becomes a witness only if
     /// its `Y`-projection is new for its key.
-    pub fn insert_row(&mut self, rid: u32, row: &[Value]) {
-        let key: Box<[Value]> = self.x.iter().map(|&c| row[c].clone()).collect();
-        let yproj: Box<[Value]> = self.y.iter().map(|&c| row[c].clone()).collect();
+    pub fn insert_row(&mut self, rid: u32, row: &[Cell]) {
+        let key: RowBuf = self.x.iter().map(|&c| row[c]).collect();
+        let yproj: RowBuf = self.y.iter().map(|&c| row[c]).collect();
         let entry = self.map.entry(key).or_default();
         entry.all.push(rid);
         if entry.y_seen.insert(yproj) {
@@ -114,38 +118,69 @@ impl HashIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bcq_core::prelude::RelId;
+    use bcq_core::prelude::{RelId, SymbolTable, Value};
 
-    fn table() -> Table {
+    fn table_and_symbols() -> (Table, SymbolTable) {
         // (user, friend): user 1 has friends a, a, b (duplicate row); user 2
         // has friend c.
+        let mut symbols = SymbolTable::new();
         let mut t = Table::new(RelId(0), 2);
-        t.push(&[Value::int(1), Value::str("a")]);
-        t.push(&[Value::int(1), Value::str("a")]);
-        t.push(&[Value::int(1), Value::str("b")]);
-        t.push(&[Value::int(2), Value::str("c")]);
-        t
+        for (u, f) in [(1, "a"), (1, "a"), (1, "b"), (2, "c")] {
+            t.push(&symbols.encode_row(&[Value::int(u), Value::str(f)]));
+        }
+        (t, symbols)
+    }
+
+    fn key(symbols: &SymbolTable, vals: &[Value]) -> RowBuf {
+        symbols.try_encode_row(vals).expect("probe values interned")
     }
 
     #[test]
     fn witnesses_dedup_by_y() {
-        let idx = HashIndex::build(&table(), &[0], &[1]);
-        let w = idx.witnesses(&[Value::int(1)]);
+        let (t, s) = table_and_symbols();
+        let idx = HashIndex::build(&t, &[0], &[1]);
+        let w = idx.witnesses(&key(&s, &[Value::int(1)]));
         assert_eq!(w, &[0, 2]); // rows 0 ("a") and 2 ("b"); row 1 is a dup
-        let all = idx.all(&[Value::int(1)]);
+        let all = idx.all(&key(&s, &[Value::int(1)]));
         assert_eq!(all, &[0, 1, 2]);
     }
 
     #[test]
+    fn witnesses_cover_all_distinct_y() {
+        // Contract: the witness rows' Y-projections must equal the set of
+        // distinct Y-projections across the full posting list.
+        let (t, s) = table_and_symbols();
+        let idx = HashIndex::build(&t, &[0], &[1]);
+        for (k, postings) in idx.entries() {
+            let witness_y: FxHashSet<RowBuf> = postings
+                .witnesses
+                .iter()
+                .map(|&rid| idx.y().iter().map(|&c| t.row(rid as usize)[c]).collect())
+                .collect();
+            let all_y: FxHashSet<RowBuf> = postings
+                .all
+                .iter()
+                .map(|&rid| idx.y().iter().map(|&c| t.row(rid as usize)[c]).collect())
+                .collect();
+            assert_eq!(witness_y, all_y, "key {:?}", s.decode_row(k));
+            assert_eq!(postings.witnesses.len(), witness_y.len(), "no duplicates");
+        }
+    }
+
+    #[test]
     fn missing_key_is_empty() {
-        let idx = HashIndex::build(&table(), &[0], &[1]);
-        assert!(idx.witnesses(&[Value::int(99)]).is_empty());
-        assert!(idx.all(&[Value::int(99)]).is_empty());
+        let (t, s) = table_and_symbols();
+        let idx = HashIndex::build(&t, &[0], &[1]);
+        assert!(idx.witnesses(&key(&s, &[Value::int(99)])).is_empty());
+        assert!(idx.all(&key(&s, &[Value::int(99)])).is_empty());
+        // A never-interned string cannot even produce a key.
+        assert!(s.try_encode_row(&[Value::str("ghost")]).is_none());
     }
 
     #[test]
     fn max_witnesses_reports_tightest_n() {
-        let idx = HashIndex::build(&table(), &[0], &[1]);
+        let (t, _) = table_and_symbols();
+        let idx = HashIndex::build(&t, &[0], &[1]);
         assert_eq!(idx.max_witnesses(), 2); // user 1 has two distinct friends
         assert_eq!(idx.num_keys(), 2);
     }
@@ -153,7 +188,8 @@ mod tests {
     #[test]
     fn empty_key_columns_group_everything() {
         // Bounded-domain style: X = ∅ puts all rows under one key.
-        let idx = HashIndex::build(&table(), &[], &[1]);
+        let (t, _) = table_and_symbols();
+        let idx = HashIndex::build(&t, &[], &[1]);
         let w = idx.witnesses(&[]);
         assert_eq!(w.len(), 3); // distinct friends: a, b, c
         assert_eq!(idx.all(&[]).len(), 4);
@@ -162,11 +198,13 @@ mod tests {
 
     #[test]
     fn multi_column_keys() {
-        let idx = HashIndex::build(&table(), &[0, 1], &[0]);
+        let (t, s) = table_and_symbols();
+        let idx = HashIndex::build(&t, &[0, 1], &[0]);
         // (1, "a") appears twice but y-projection (just col 0 here) dedups
         // to one witness.
-        assert_eq!(idx.witnesses(&[Value::int(1), Value::str("a")]).len(), 1);
-        assert_eq!(idx.all(&[Value::int(1), Value::str("a")]).len(), 2);
+        let k = key(&s, &[Value::int(1), Value::str("a")]);
+        assert_eq!(idx.witnesses(&k).len(), 1);
+        assert_eq!(idx.all(&k).len(), 2);
     }
 
     #[test]

@@ -6,17 +6,22 @@
 //! (witness sets of at most `N` tuples per key), `D |= A` validation,
 //! constraint discovery from data, and the access metering behind the
 //! `|D_Q|` axes of Figure 5.
+//!
+//! Tables and index keys are stored as **interned rows** ([`bcq_core::row`]):
+//! the [`Database`] owns the [`bcq_core::symbols::SymbolTable`] and is the
+//! sole [`bcq_core::value::Value`] ⇄ cell boundary — inserts encode, result
+//! decoding and the [`Database::value_rows`] helper decode, and everything
+//! in between hashes fixed-width words.
 
 pub mod csv;
 pub mod database;
-pub mod fx;
 pub mod index;
 pub mod meter;
 pub mod table;
 pub mod validate;
 
 pub use csv::{dump_csv, load_csv};
-pub use database::Database;
+pub use database::{Database, Loader};
 pub use index::{HashIndex, Postings};
 pub use meter::Meter;
 pub use table::Table;

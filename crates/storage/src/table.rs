@@ -1,14 +1,19 @@
-//! Row-major in-memory tables.
+//! Row-major in-memory tables over interned cells.
+//!
+//! Tables store [`Cell`]s — fixed-width interned values — contiguously.
+//! All value-level I/O (inserting `Value` rows, decoding rows back) goes
+//! through [`crate::database::Database`], which owns the
+//! [`bcq_core::symbols::SymbolTable`] the cells are encoded against.
 
-use bcq_core::prelude::{RelId, Value};
+use bcq_core::prelude::{Cell, RelId};
 
-/// One relation instance: rows stored contiguously (row-major) for cache
-/// locality during scans.
+/// One relation instance: rows of cells stored contiguously (row-major)
+/// for cache locality during scans.
 #[derive(Debug, Clone)]
 pub struct Table {
     rel: RelId,
     arity: usize,
-    data: Vec<Value>,
+    data: Vec<Cell>,
 }
 
 impl Table {
@@ -42,16 +47,10 @@ impl Table {
         self.data.is_empty()
     }
 
-    /// Appends a row (must match the arity).
-    pub fn push(&mut self, row: &[Value]) {
+    /// Appends a row of cells (must match the arity).
+    pub fn push(&mut self, row: &[Cell]) {
         assert_eq!(row.len(), self.arity, "arity mismatch on insert");
         self.data.extend_from_slice(row);
-    }
-
-    /// Appends a row by value, avoiding clones of the `Value`s.
-    pub fn push_owned(&mut self, row: Vec<Value>) {
-        assert_eq!(row.len(), self.arity, "arity mismatch on insert");
-        self.data.extend(row);
     }
 
     /// Reserves space for `additional` more rows.
@@ -60,13 +59,13 @@ impl Table {
     }
 
     /// The `i`-th row.
-    pub fn row(&self, i: usize) -> &[Value] {
+    pub fn row(&self, i: usize) -> &[Cell] {
         let start = i * self.arity;
         &self.data[start..start + self.arity]
     }
 
     /// Iterates over all rows.
-    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Value]> + '_ {
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Cell]> + '_ {
         self.data.chunks_exact(self.arity)
     }
 }
@@ -75,15 +74,21 @@ impl Table {
 mod tests {
     use super::*;
 
+    fn cells(vals: &[i64]) -> Vec<Cell> {
+        vals.iter()
+            .map(|&v| Cell::from_small_int(v).unwrap())
+            .collect()
+    }
+
     #[test]
     fn push_and_read() {
         let mut t = Table::new(RelId(0), 2);
-        t.push(&[Value::int(1), Value::str("a")]);
-        t.push_owned(vec![Value::int(2), Value::str("b")]);
+        t.push(&cells(&[1, 10]));
+        t.push(&cells(&[2, 20]));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
-        assert_eq!(t.row(0), &[Value::int(1), Value::str("a")]);
-        assert_eq!(t.row(1), &[Value::int(2), Value::str("b")]);
+        assert_eq!(t.row(0), cells(&[1, 10]).as_slice());
+        assert_eq!(t.row(1), cells(&[2, 20]).as_slice());
         assert_eq!(t.rows().count(), 2);
     }
 
@@ -91,14 +96,18 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn arity_mismatch_panics() {
         let mut t = Table::new(RelId(0), 2);
-        t.push(&[Value::int(1)]);
+        t.push(&cells(&[1]));
     }
 
     #[test]
     fn rows_iterator_is_exact_size() {
         let mut t = Table::new(RelId(1), 3);
         for i in 0..10 {
-            t.push(&[Value::int(i), Value::int(i * 2), Value::Null]);
+            t.push(&[
+                Cell::from_small_int(i).unwrap(),
+                Cell::from_small_int(i * 2).unwrap(),
+                Cell::NULL,
+            ]);
         }
         let it = t.rows();
         assert_eq!(it.len(), 10);

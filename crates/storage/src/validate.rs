@@ -59,7 +59,7 @@ pub fn validate(db: &mut Database, a: &AccessSchema) -> Vec<Violation> {
             if postings.witnesses.len() as u64 > c.n() {
                 violations.push(Violation {
                     constraint: ConstraintId(i),
-                    key: key.to_vec(),
+                    key: db.symbols().decode_row(key),
                     distinct_y: postings.witnesses.len(),
                     n: c.n(),
                 });
@@ -77,8 +77,14 @@ pub fn validate(db: &mut Database, a: &AccessSchema) -> Vec<Violation> {
 pub fn discover_bound(db: &Database, rel: &str, x: &[&str], y: &[&str]) -> Option<u64> {
     let rel_id = db.catalog().rel_id(rel)?;
     let schema = db.catalog().relation(rel_id);
-    let xs: Vec<usize> = x.iter().map(|a| schema.attr_index(a)).collect::<Option<_>>()?;
-    let ys: Vec<usize> = y.iter().map(|a| schema.attr_index(a)).collect::<Option<_>>()?;
+    let xs: Vec<usize> = x
+        .iter()
+        .map(|a| schema.attr_index(a))
+        .collect::<Option<_>>()?;
+    let ys: Vec<usize> = y
+        .iter()
+        .map(|a| schema.attr_index(a))
+        .collect::<Option<_>>()?;
     let idx = HashIndex::build(db.table(rel_id), &xs, &ys);
     if idx.num_keys() == 0 {
         return None;

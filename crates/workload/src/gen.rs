@@ -92,7 +92,9 @@ mod tests {
         }
         // Different tags diverge.
         let mut c = table_rng(42, 8);
-        let same = (0..100).filter(|_| cat(&mut a, 1000) == cat(&mut c, 1000)).count();
+        let same = (0..100)
+            .filter(|_| cat(&mut a, 1000) == cat(&mut c, 1000))
+            .count();
         assert!(same < 20);
     }
 }

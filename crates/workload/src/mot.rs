@@ -134,7 +134,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     let n_stations = scaled(N_STATIONS_BASE, scale, N_STATIONS_MIN);
 
     let mut rng = table_rng(seed, 21);
-    let t = db.table_mut(RelId(0));
+    let mut t = db.loader(RelId(0));
     t.reserve_rows(tests as usize);
     for i in 0..tests {
         let vehicle = i % vehicles;
@@ -526,10 +526,9 @@ mod tests {
     #[test]
     fn hot_vehicle_has_2013_test() {
         let db = generate(0.05, 42);
-        let t = db.table(RelId(0));
-        let hit = t.rows().any(|r| {
-            r[1] == Value::Int(500) && r[4] == Value::Int(2013)
-        });
+        let hit = db
+            .value_rows(RelId(0))
+            .any(|r| r[1] == Value::Int(500) && r[4] == Value::Int(2013));
         assert!(hit, "vehicle 500 must have a 2013 test at every scale");
     }
 }

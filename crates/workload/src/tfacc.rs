@@ -36,35 +36,83 @@ pub fn catalog() -> Arc<Catalog> {
         (
             "accident",
             &[
-                "aid", "date", "time_slot", "district_id", "road_class", "severity", "weather",
-                "light", "surface", "speed_limit", "junction", "casualties_n", "vehicles_n",
-                "police_force", "urban_rural", "special_conditions",
+                "aid",
+                "date",
+                "time_slot",
+                "district_id",
+                "road_class",
+                "severity",
+                "weather",
+                "light",
+                "surface",
+                "speed_limit",
+                "junction",
+                "casualties_n",
+                "vehicles_n",
+                "police_force",
+                "urban_rural",
+                "special_conditions",
             ],
         ),
         (
             "vehicle",
             &[
-                "vid", "aid", "vtype", "make_id", "model_id", "age_band", "engine_cc",
-                "manoeuvre", "skidding", "hit_object", "towing", "first_point",
-                "driver_age_band", "driver_sex",
+                "vid",
+                "aid",
+                "vtype",
+                "make_id",
+                "model_id",
+                "age_band",
+                "engine_cc",
+                "manoeuvre",
+                "skidding",
+                "hit_object",
+                "towing",
+                "first_point",
+                "driver_age_band",
+                "driver_sex",
             ],
         ),
         (
             "casualty",
             &[
-                "cid", "aid", "vid", "class", "sex", "age_band", "severity", "pedestrian_loc",
-                "pedestrian_move", "car_passenger",
+                "cid",
+                "aid",
+                "vid",
+                "class",
+                "sex",
+                "age_band",
+                "severity",
+                "pedestrian_loc",
+                "pedestrian_move",
+                "car_passenger",
             ],
         ),
-        ("accident_date", &["date", "day", "month", "year", "week", "dow"]),
+        (
+            "accident_date",
+            &["date", "day", "month", "year", "week", "dow"],
+        ),
         (
             "road",
-            &["road_id", "road_class", "road_number", "district_id", "surface_type", "lighting"],
+            &[
+                "road_id",
+                "road_class",
+                "road_number",
+                "district_id",
+                "surface_type",
+                "lighting",
+            ],
         ),
         ("accident_road", &["aid", "road_id"]),
         (
             "district",
-            &["district_id", "name", "region_id", "area_type", "population_band"],
+            &[
+                "district_id",
+                "name",
+                "region_id",
+                "area_type",
+                "population_band",
+            ],
         ),
         ("region", &["region_id", "name"]),
         ("make", &["make_id", "name", "country", "founded_band"]),
@@ -72,16 +120,33 @@ pub fn catalog() -> Arc<Catalog> {
         (
             "stop_point",
             &[
-                "stop_id", "atco", "lat_band", "lon_band", "stop_type", "district_id", "status",
-                "naptan_code", "easting_band", "northing_band",
+                "stop_id",
+                "atco",
+                "lat_band",
+                "lon_band",
+                "stop_type",
+                "district_id",
+                "status",
+                "naptan_code",
+                "easting_band",
+                "northing_band",
             ],
         ),
-        ("stop_area", &["area_id", "name", "admin_id", "area_type", "code"]),
+        (
+            "stop_area",
+            &["area_id", "name", "admin_id", "area_type", "code"],
+        ),
         ("area_stop", &["area_id", "stop_id"]),
         ("admin_area", &["admin_id", "name", "region_id", "code"]),
         (
             "locality",
-            &["loc_id", "name", "district_id", "parent_loc", "gazetteer_code"],
+            &[
+                "loc_id",
+                "name",
+                "district_id",
+                "parent_loc",
+                "gazetteer_code",
+            ],
         ),
         ("stop_locality", &["stop_id", "loc_id"]),
         ("accident_stop", &["aid", "stop_id", "dist_m"]),
@@ -91,7 +156,15 @@ pub fn catalog() -> Arc<Catalog> {
         ),
         (
             "observation",
-            &["obs_id", "ws_id", "date", "rain_mm", "temp_band", "wind_band", "visibility"],
+            &[
+                "obs_id",
+                "ws_id",
+                "date",
+                "rain_mm",
+                "temp_band",
+                "wind_band",
+                "visibility",
+            ],
         ),
     ])
     .expect("static schema is valid")
@@ -112,9 +185,21 @@ pub fn access_schema() -> AccessSchema {
         "accident",
         &["aid"],
         &[
-            "date", "time_slot", "district_id", "road_class", "severity", "weather", "light",
-            "surface", "speed_limit", "junction", "casualties_n", "vehicles_n", "police_force",
-            "urban_rural", "special_conditions",
+            "date",
+            "time_slot",
+            "district_id",
+            "road_class",
+            "severity",
+            "weather",
+            "light",
+            "surface",
+            "speed_limit",
+            "junction",
+            "casualties_n",
+            "vehicles_n",
+            "police_force",
+            "urban_rural",
+            "special_conditions",
         ],
         1,
     ); // key
@@ -123,8 +208,19 @@ pub fn access_schema() -> AccessSchema {
         "vehicle",
         &["vid"],
         &[
-            "aid", "vtype", "make_id", "model_id", "age_band", "engine_cc", "manoeuvre",
-            "skidding", "hit_object", "towing", "first_point", "driver_age_band", "driver_sex",
+            "aid",
+            "vtype",
+            "make_id",
+            "model_id",
+            "age_band",
+            "engine_cc",
+            "manoeuvre",
+            "skidding",
+            "hit_object",
+            "towing",
+            "first_point",
+            "driver_age_band",
+            "driver_sex",
         ],
         1,
     ); // key
@@ -133,26 +229,50 @@ pub fn access_schema() -> AccessSchema {
         "casualty",
         &["cid"],
         &[
-            "aid", "vid", "class", "sex", "age_band", "severity", "pedestrian_loc",
-            "pedestrian_move", "car_passenger",
+            "aid",
+            "vid",
+            "class",
+            "sex",
+            "age_band",
+            "severity",
+            "pedestrian_loc",
+            "pedestrian_move",
+            "car_passenger",
         ],
         1,
     ); // key
-    add("accident_date", &["date"], &["day", "month", "year", "week", "dow"], 1); // key
+    add(
+        "accident_date",
+        &["date"],
+        &["day", "month", "year", "week", "dow"],
+        1,
+    ); // key
     add(
         "district",
         &["district_id"],
         &["name", "region_id", "area_type", "population_band"],
         1,
     ); // key
-    add("model", &["model_id"], &["make_id", "name", "doors", "fuel"], 1); // key
+    add(
+        "model",
+        &["model_id"],
+        &["make_id", "name", "doors", "fuel"],
+        1,
+    ); // key
     add("accident_stop", &["aid"], &["stop_id", "dist_m"], 1); // fuzzy-join FD
     add(
         "stop_point",
         &["stop_id"],
         &[
-            "atco", "lat_band", "lon_band", "stop_type", "district_id", "status", "naptan_code",
-            "easting_band", "northing_band",
+            "atco",
+            "lat_band",
+            "lon_band",
+            "stop_type",
+            "district_id",
+            "status",
+            "naptan_code",
+            "easting_band",
+            "northing_band",
         ],
         1,
     ); // key
@@ -166,18 +286,39 @@ pub fn access_schema() -> AccessSchema {
     add("accident", &["date", "severity"], &["aid"], 512);
     add("accident_stop", &["stop_id"], &["aid"], 64);
     add("model", &["make_id"], &["model_id"], 10);
-    add("make", &["make_id"], &["name", "country", "founded_band"], 1); // key
+    add(
+        "make",
+        &["make_id"],
+        &["name", "country", "founded_band"],
+        1,
+    ); // key
 
     // --- Remaining keys / FDs ------------------------------------------
     add("region", &["region_id"], &["name"], 1);
     add(
         "road",
         &["road_id"],
-        &["road_class", "road_number", "district_id", "surface_type", "lighting"],
+        &[
+            "road_class",
+            "road_number",
+            "district_id",
+            "surface_type",
+            "lighting",
+        ],
         1,
     );
-    add("stop_area", &["area_id"], &["name", "admin_id", "area_type", "code"], 1);
-    add("admin_area", &["admin_id"], &["name", "region_id", "code"], 1);
+    add(
+        "stop_area",
+        &["area_id"],
+        &["name", "admin_id", "area_type", "code"],
+        1,
+    );
+    add(
+        "admin_area",
+        &["admin_id"],
+        &["name", "region_id", "code"],
+        1,
+    );
     add(
         "locality",
         &["loc_id"],
@@ -193,7 +334,14 @@ pub fn access_schema() -> AccessSchema {
     add(
         "observation",
         &["obs_id"],
-        &["ws_id", "date", "rain_mm", "temp_band", "wind_band", "visibility"],
+        &[
+            "ws_id",
+            "date",
+            "rain_mm",
+            "temp_band",
+            "wind_band",
+            "visibility",
+        ],
         1,
     );
     add("accident_road", &["aid"], &["road_id"], 1); // one road per accident
@@ -292,7 +440,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // accident
     {
         let mut rng = table_rng(seed, 1);
-        let t = db.table_mut(RelId(0));
+        let mut t = db.loader(RelId(0));
         t.reserve_rows(accidents as usize);
         for i in 0..accidents {
             let district = spread2(i, N_DISTRICTS);
@@ -319,7 +467,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // vehicle
     {
         let mut rng = table_rng(seed, 2);
-        let t = db.table_mut(RelId(1));
+        let mut t = db.loader(RelId(1));
         t.reserve_rows(vehicles as usize);
         for v in 0..vehicles {
             let make = spread2(v, N_MAKES);
@@ -345,7 +493,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // casualty
     {
         let mut rng = table_rng(seed, 3);
-        let t = db.table_mut(RelId(2));
+        let mut t = db.loader(RelId(2));
         t.reserve_rows(casualties as usize);
         for c in 0..casualties {
             t.push(&[
@@ -364,7 +512,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     }
     // accident_date (calendar)
     {
-        let t = db.table_mut(RelId(3));
+        let mut t = db.loader(RelId(3));
         for d in 0..n_dates {
             let month = d * 12 / n_dates;
             t.push(&[
@@ -380,7 +528,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // road
     {
         let mut rng = table_rng(seed, 5);
-        let t = db.table_mut(RelId(4));
+        let mut t = db.loader(RelId(4));
         for r in 0..roads {
             t.push(&[
                 i64_(r),
@@ -394,7 +542,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     }
     // accident_road
     {
-        let t = db.table_mut(RelId(5));
+        let mut t = db.loader(RelId(5));
         for i in 0..accidents {
             t.push(&[i64_(i), i64_(spread2(i, roads))]);
         }
@@ -402,7 +550,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // district
     {
         let mut rng = table_rng(seed, 7);
-        let t = db.table_mut(RelId(6));
+        let mut t = db.loader(RelId(6));
         for d in 0..N_DISTRICTS {
             t.push(&[
                 i64_(d),
@@ -415,7 +563,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     }
     // region
     {
-        let t = db.table_mut(RelId(7));
+        let mut t = db.loader(RelId(7));
         for r in 0..N_REGIONS {
             t.push(&[i64_(r), i64_(r)]);
         }
@@ -423,7 +571,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // make
     {
         let mut rng = table_rng(seed, 9);
-        let t = db.table_mut(RelId(8));
+        let mut t = db.loader(RelId(8));
         for m in 0..N_MAKES {
             t.push(&[
                 i64_(m),
@@ -436,7 +584,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // model
     {
         let mut rng = table_rng(seed, 10);
-        let t = db.table_mut(RelId(9));
+        let mut t = db.loader(RelId(9));
         for m in 0..N_MODELS {
             t.push(&[
                 i64_(m),
@@ -450,7 +598,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // stop_point
     {
         let mut rng = table_rng(seed, 11);
-        let t = db.table_mut(RelId(10));
+        let mut t = db.loader(RelId(10));
         for s in 0..stops {
             t.push(&[
                 i64_(s),
@@ -469,7 +617,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // stop_area
     {
         let mut rng = table_rng(seed, 12);
-        let t = db.table_mut(RelId(11));
+        let mut t = db.loader(RelId(11));
         for a in 0..areas {
             t.push(&[
                 i64_(a),
@@ -482,21 +630,21 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     }
     // area_stop (each stop in exactly one area; <= ceil(stops/areas) = 10/area)
     {
-        let t = db.table_mut(RelId(12));
+        let mut t = db.loader(RelId(12));
         for s in 0..stops {
             t.push(&[i64_(spread(s, areas)), i64_(s)]);
         }
     }
     // admin_area
     {
-        let t = db.table_mut(RelId(13));
+        let mut t = db.loader(RelId(13));
         for a in 0..N_ADMIN {
             t.push(&[i64_(a), i64_(a), i64_(spread(a, N_REGIONS)), i64_(a * 3)]);
         }
     }
     // locality
     {
-        let t = db.table_mut(RelId(14));
+        let mut t = db.loader(RelId(14));
         for l in 0..localities {
             t.push(&[
                 i64_(l),
@@ -509,7 +657,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     }
     // stop_locality
     {
-        let t = db.table_mut(RelId(15));
+        let mut t = db.loader(RelId(15));
         for s in 0..stops {
             t.push(&[i64_(s), i64_(spread2(s, localities))]);
         }
@@ -517,15 +665,19 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // accident_stop (the fuzzy join: nearest stop per accident)
     {
         let mut rng = table_rng(seed, 17);
-        let t = db.table_mut(RelId(16));
+        let mut t = db.loader(RelId(16));
         for i in 0..accidents {
-            t.push(&[i64_(i), i64_(spread(i, stops)), Value::Int(cat(&mut rng, 500))]);
+            t.push(&[
+                i64_(i),
+                i64_(spread(i, stops)),
+                Value::Int(cat(&mut rng, 500)),
+            ]);
         }
     }
     // weather_station
     {
         let mut rng = table_rng(seed, 18);
-        let t = db.table_mut(RelId(17));
+        let mut t = db.loader(RelId(17));
         for w in 0..N_STATIONS {
             t.push(&[
                 i64_(w),
@@ -539,7 +691,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // observation (mixed-radix (ws, date) assignment: <= ceil per pair)
     {
         let mut rng = table_rng(seed, 19);
-        let t = db.table_mut(RelId(18));
+        let mut t = db.loader(RelId(18));
         t.reserve_rows(observations as usize);
         for o in 0..observations {
             t.push(&[
@@ -851,11 +1003,7 @@ mod tests {
         let a = access_schema();
         let mut db = generate(0.02, 42);
         let violations = validate(&mut db, &a);
-        assert!(
-            violations.is_empty(),
-            "first violation: {}",
-            violations[0]
-        );
+        assert!(violations.is_empty(), "first violation: {}", violations[0]);
     }
 
     #[test]

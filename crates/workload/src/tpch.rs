@@ -25,42 +25,91 @@ const MAX_LINES: u64 = 7;
 pub fn catalog() -> Arc<Catalog> {
     Catalog::from_names(&[
         ("region", &["r_regionkey", "r_name", "r_comment"]),
-        ("nation", &["n_nationkey", "n_name", "n_regionkey", "n_comment"]),
+        (
+            "nation",
+            &["n_nationkey", "n_name", "n_regionkey", "n_comment"],
+        ),
         (
             "supplier",
-            &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+            &[
+                "s_suppkey",
+                "s_name",
+                "s_address",
+                "s_nationkey",
+                "s_phone",
+                "s_acctbal",
+                "s_comment",
+            ],
         ),
         (
             "part",
             &[
-                "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container",
-                "p_retailprice", "p_comment",
+                "p_partkey",
+                "p_name",
+                "p_mfgr",
+                "p_brand",
+                "p_type",
+                "p_size",
+                "p_container",
+                "p_retailprice",
+                "p_comment",
             ],
         ),
         (
             "partsupp",
-            &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"],
+            &[
+                "ps_partkey",
+                "ps_suppkey",
+                "ps_availqty",
+                "ps_supplycost",
+                "ps_comment",
+            ],
         ),
         (
             "customer",
             &[
-                "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal",
-                "c_mktsegment", "c_comment",
+                "c_custkey",
+                "c_name",
+                "c_address",
+                "c_nationkey",
+                "c_phone",
+                "c_acctbal",
+                "c_mktsegment",
+                "c_comment",
             ],
         ),
         (
             "orders",
             &[
-                "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
-                "o_orderpriority", "o_clerk", "o_shippriority", "o_comment",
+                "o_orderkey",
+                "o_custkey",
+                "o_orderstatus",
+                "o_totalprice",
+                "o_orderdate",
+                "o_orderpriority",
+                "o_clerk",
+                "o_shippriority",
+                "o_comment",
             ],
         ),
         (
             "lineitem",
             &[
-                "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
-                "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
-                "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct", "l_shipmode",
+                "l_orderkey",
+                "l_partkey",
+                "l_suppkey",
+                "l_linenumber",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_tax",
+                "l_returnflag",
+                "l_linestatus",
+                "l_shipdate",
+                "l_commitdate",
+                "l_receiptdate",
+                "l_shipinstruct",
+                "l_shipmode",
                 "l_comment",
             ],
         ),
@@ -80,8 +129,14 @@ pub fn access_schema() -> AccessSchema {
         "orders",
         &["o_orderkey"],
         &[
-            "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority",
-            "o_clerk", "o_shippriority", "o_comment",
+            "o_custkey",
+            "o_orderstatus",
+            "o_totalprice",
+            "o_orderdate",
+            "o_orderpriority",
+            "o_clerk",
+            "o_shippriority",
+            "o_comment",
         ],
         1,
     ); // key
@@ -89,29 +144,62 @@ pub fn access_schema() -> AccessSchema {
         "lineitem",
         &["l_orderkey"],
         &[
-            "l_partkey", "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice",
-            "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
-            "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment",
+            "l_partkey",
+            "l_suppkey",
+            "l_linenumber",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipdate",
+            "l_commitdate",
+            "l_receiptdate",
+            "l_shipinstruct",
+            "l_shipmode",
+            "l_comment",
         ],
         MAX_LINES,
     );
     add(
         "customer",
         &["c_custkey"],
-        &["c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"],
+        &[
+            "c_name",
+            "c_address",
+            "c_nationkey",
+            "c_phone",
+            "c_acctbal",
+            "c_mktsegment",
+            "c_comment",
+        ],
         1,
     ); // key
     add(
         "supplier",
         &["s_suppkey"],
-        &["s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+        &[
+            "s_name",
+            "s_address",
+            "s_nationkey",
+            "s_phone",
+            "s_acctbal",
+            "s_comment",
+        ],
         1,
     ); // key
     add(
         "part",
         &["p_partkey"],
         &[
-            "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container", "p_retailprice",
+            "p_name",
+            "p_mfgr",
+            "p_brand",
+            "p_type",
+            "p_size",
+            "p_container",
+            "p_retailprice",
             "p_comment",
         ],
         1,
@@ -122,7 +210,12 @@ pub fn access_schema() -> AccessSchema {
         &["ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"],
         4,
     );
-    add("nation", &["n_nationkey"], &["n_name", "n_regionkey", "n_comment"], 1); // key
+    add(
+        "nation",
+        &["n_nationkey"],
+        &["n_name", "n_regionkey", "n_comment"],
+        1,
+    ); // key
     add("region", &["r_regionkey"], &["r_name", "r_comment"], 1); // key
     add("nation", &[], &["n_nationkey"], 25);
     add("nation", &["n_regionkey"], &["n_nationkey"], 5);
@@ -133,9 +226,20 @@ pub fn access_schema() -> AccessSchema {
         "lineitem",
         &["l_orderkey", "l_linenumber"],
         &[
-            "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount", "l_tax",
-            "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate",
-            "l_shipinstruct", "l_shipmode", "l_comment",
+            "l_partkey",
+            "l_suppkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipdate",
+            "l_commitdate",
+            "l_receiptdate",
+            "l_shipinstruct",
+            "l_shipmode",
+            "l_comment",
         ],
         1,
     ); // key
@@ -150,7 +254,7 @@ pub fn access_schema() -> AccessSchema {
         &["ps_availqty", "ps_supplycost", "ps_comment"],
         1,
     ); // key
-    // --- Sub-FDs of keys (cheap narrow indices a DBA would add) -----------
+       // --- Sub-FDs of keys (cheap narrow indices a DBA would add) -----------
     add("orders", &["o_orderkey"], &["o_custkey"], 1);
     add("orders", &["o_orderkey"], &["o_orderdate"], 1);
     add("lineitem", &["l_orderkey"], &["l_partkey"], MAX_LINES);
@@ -220,7 +324,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     // region
     {
         let mut rng = table_rng(seed, 31);
-        let t = db.table_mut(RelId(0));
+        let mut t = db.loader(RelId(0));
         for r in 0..N_REGIONS {
             t.push(&[i64_(r), i64_(r), Value::Int(cat(&mut rng, 100))]);
         }
@@ -228,15 +332,20 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     // nation
     {
         let mut rng = table_rng(seed, 32);
-        let t = db.table_mut(RelId(1));
+        let mut t = db.loader(RelId(1));
         for n in 0..N_NATIONS {
-            t.push(&[i64_(n), i64_(n), i64_(n % N_REGIONS), Value::Int(cat(&mut rng, 100))]);
+            t.push(&[
+                i64_(n),
+                i64_(n),
+                i64_(n % N_REGIONS),
+                Value::Int(cat(&mut rng, 100)),
+            ]);
         }
     }
     // supplier
     {
         let mut rng = table_rng(seed, 33);
-        let t = db.table_mut(RelId(2));
+        let mut t = db.loader(RelId(2));
         for s in 0..suppliers {
             t.push(&[
                 i64_(s),
@@ -252,7 +361,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     // part
     {
         let mut rng = table_rng(seed, 34);
-        let t = db.table_mut(RelId(3));
+        let mut t = db.loader(RelId(3));
         for p in 0..parts {
             t.push(&[
                 i64_(p),
@@ -270,7 +379,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     // partsupp: exactly 4 distinct suppliers per part.
     {
         let mut rng = table_rng(seed, 35);
-        let t = db.table_mut(RelId(4));
+        let mut t = db.loader(RelId(4));
         t.reserve_rows((parts * 4) as usize);
         for p in 0..parts {
             let base = spread(p, suppliers);
@@ -288,7 +397,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     // customer
     {
         let mut rng = table_rng(seed, 36);
-        let t = db.table_mut(RelId(5));
+        let mut t = db.loader(RelId(5));
         t.reserve_rows(customers as usize);
         for c in 0..customers {
             t.push(&[
@@ -306,7 +415,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     // orders: ~10 per customer, unique (custkey, orderdate).
     {
         let mut rng = table_rng(seed, 37);
-        let t = db.table_mut(RelId(6));
+        let mut t = db.loader(RelId(6));
         t.reserve_rows(orders as usize);
         for o in 0..orders {
             t.push(&[
@@ -326,7 +435,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     // partsupp so (l_partkey, l_suppkey) joins partsupp non-trivially.
     {
         let mut rng = table_rng(seed, 38);
-        let t = db.table_mut(RelId(7));
+        let mut t = db.loader(RelId(7));
         t.reserve_rows((orders * 4) as usize);
         for o in 0..orders {
             let lines = 1 + o % MAX_LINES;
@@ -683,7 +792,12 @@ mod tests {
     fn paper_headline_35_of_45() {
         let eb: usize = crate::all_datasets()
             .iter()
-            .map(|d| d.queries.iter().filter(|w| w.expect_effectively_bounded).count())
+            .map(|d| {
+                d.queries
+                    .iter()
+                    .filter(|w| w.expect_effectively_bounded)
+                    .count()
+            })
             .sum();
         let total: usize = crate::all_datasets().iter().map(|d| d.queries.len()).sum();
         assert_eq!(total, 45);
@@ -717,11 +831,17 @@ mod tests {
         use std::collections::HashSet;
         let pairs: HashSet<(i64, i64)> = ps
             .rows()
-            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .map(|r| (r[0].as_small_int().unwrap(), r[1].as_small_int().unwrap()))
             .collect();
         for row in li.rows().take(500) {
-            let pair = (row[1].as_int().unwrap(), row[2].as_int().unwrap());
-            assert!(pairs.contains(&pair), "lineitem pair {pair:?} not in partsupp");
+            let pair = (
+                row[1].as_small_int().unwrap(),
+                row[2].as_small_int().unwrap(),
+            );
+            assert!(
+                pairs.contains(&pair),
+                "lineitem pair {pair:?} not in partsupp"
+            );
         }
     }
 

@@ -52,10 +52,10 @@ fn main() -> Result<()> {
     let mut db = Database::new(exp.catalog().clone());
     for i in 0..base.len() {
         let rel = RelId(i);
-        let rows: Vec<Vec<Value>> = src.table(rel).rows().map(|r| r.to_vec()).collect();
-        let t = db.table_mut(rel);
-        for r in rows {
-            t.push_owned(r);
+        let rows: Vec<Vec<Value>> = src.value_rows(rel).collect();
+        let mut t = db.loader(rel);
+        for r in &rows {
+            t.push(r);
         }
     }
     let sizes = materialize_views(&mut db, &exp)?;

@@ -67,13 +67,16 @@ fn main() -> Result<()> {
     // Calibrate the bounds N against actual data (the paper "examined the
     // size of active domains and dependencies" the same way).
     let db = tpch::generate(4.0, 7);
-    println!("\n--- calibrated against SF-4 data ({} tuples) ---", db.total_tuples());
+    println!(
+        "\n--- calibrated against SF-4 data ({} tuples) ---",
+        db.total_tuples()
+    );
     let mut calibrated = AccessSchema::new(catalog.clone());
     for p in &advice.proposals {
         let x_refs: Vec<&str> = p.x.iter().map(String::as_str).collect();
         let y_refs: Vec<&str> = p.y.iter().map(String::as_str).collect();
-        let observed = discover_bound(&db, &p.relation, &x_refs, &y_refs)
-            .unwrap_or(Proposal::UNKNOWN_BOUND);
+        let observed =
+            discover_bound(&db, &p.relation, &x_refs, &y_refs).unwrap_or(Proposal::UNKNOWN_BOUND);
         // Declare double the observed bound as safety margin.
         let n = observed * 2;
         println!(

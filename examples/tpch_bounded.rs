@@ -72,7 +72,10 @@ fn main() -> Result<()> {
 
     // And run the bounded plans for real at SF 4.
     let db = ds.build(4.0);
-    println!("\nexecuting the effectively bounded queries at SF 4 ({} tuples):", db.total_tuples());
+    println!(
+        "\nexecuting the effectively bounded queries at SF 4 ({} tuples):",
+        db.total_tuples()
+    );
     for wq in ds.effectively_bounded_queries() {
         let plan = qplan(&wq.query, &ds.access)?;
         let out = eval_dq(&db, &plan, &ds.access)?;

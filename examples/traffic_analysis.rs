@@ -18,7 +18,10 @@ use bounded_cq::workload::tfacc;
 fn main() -> Result<()> {
     // 1. Discovery: what bounds does the data actually satisfy?
     let db = tfacc::generate(0.125, 7);
-    println!("--- constraint discovery on {} tuples ---", db.total_tuples());
+    println!(
+        "--- constraint discovery on {} tuples ---",
+        db.total_tuples()
+    );
     for (rel, x, y) in [
         ("accident", vec!["date"], "aid"),
         ("accident", vec!["date", "district_id"], "aid"),

@@ -10,11 +10,13 @@
 //! This facade crate re-exports the workspace:
 //!
 //! * [`core`](bcq_core) — queries, access schemas, `BCheck`/`EBCheck`,
-//!   dominating parameters, `QPlan`, `M`-boundedness, Lemma 1.
-//! * [`storage`](bcq_storage) — in-memory tables, constraint indices,
-//!   `D |= A` validation, constraint discovery.
-//! * [`exec`](bcq_exec) — the bounded executor `evalDQ` and the
-//!   conventional-DBMS baseline.
+//!   dominating parameters, `QPlan`, `M`-boundedness, Lemma 1 — plus the
+//!   interned-row data plane ([`bcq_core::symbols`], [`bcq_core::row`]).
+//! * [`storage`](bcq_storage) — in-memory tables and constraint indices
+//!   over interned rows, `D |= A` validation, constraint discovery.
+//! * [`exec`](bcq_exec) — the bounded executor `evalDQ`, the
+//!   conventional-DBMS baseline, and the shared physical-operator
+//!   pipeline ([`bcq_exec::pipeline`]) both run on.
 //! * [`workload`](bcq_workload) — the TFACC / MOT / TPCH experimental
 //!   workloads of Section 6.
 //!
@@ -75,7 +77,7 @@ pub mod prelude {
         BaselineOutcome, DeltaStats, ExecOutcome, IncrementalAnswer, RaOutcome, ResultSet,
     };
     pub use bcq_storage::{
-        discover_bound, dump_csv, load_csv, validate, Database, HashIndex, Meter, Table,
+        discover_bound, dump_csv, load_csv, validate, Database, HashIndex, Loader, Meter, Table,
     };
     pub use bcq_workload::{all_datasets, Dataset, WorkloadQuery};
 }

@@ -44,7 +44,10 @@ fn every_non_eb_workload_query_is_triaged() {
     // The split itself is a workload property worth pinning: some scans
     // are fixable by instantiation, some are not (Example 8 style).
     assert_eq!(with_dp + without_dp, 10);
-    assert!(with_dp >= 4, "expected several fixable queries, got {with_dp}");
+    assert!(
+        with_dp >= 4,
+        "expected several fixable queries, got {with_dp}"
+    );
     assert!(
         without_dp >= 2,
         "expected several unfixable queries, got {without_dp}"
@@ -63,11 +66,7 @@ fn instantiated_plans_execute_within_bounds() {
         .unwrap();
     let set = find_dp(&wq.query, &ds.access, DominatingConfig::default()).unwrap();
     // X_P is the custkey class; instantiate with customer 42.
-    let consts: Vec<(QAttr, Value)> = set
-        .attrs
-        .iter()
-        .map(|at| (*at, Value::int(42)))
-        .collect();
+    let consts: Vec<(QAttr, Value)> = set.attrs.iter().map(|at| (*at, Value::int(42))).collect();
     let ground = wq.query.with_constants(&consts);
     let plan = qplan(&ground, &ds.access).unwrap();
 

@@ -23,7 +23,11 @@ fn check_dataset(ds: &Dataset, scale: f64) {
             plan.cost_bound()
         );
 
-        for mode in [BaselineMode::FullScan, BaselineMode::ConstIndex, BaselineMode::IndexJoin] {
+        for mode in [
+            BaselineMode::FullScan,
+            BaselineMode::ConstIndex,
+            BaselineMode::IndexJoin,
+        ] {
             let out = baseline(
                 &db,
                 &wq.query,

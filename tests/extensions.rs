@@ -68,7 +68,10 @@ fn ra_difference_on_tpch() {
     let all_parts = shipped("all", None);
     let returned = shipped("returned", Some(("l_returnflag", 1)));
 
-    let e = RaExpr::difference(RaExpr::Spc(all_parts.clone()), RaExpr::Spc(returned.clone()));
+    let e = RaExpr::difference(
+        RaExpr::Spc(all_parts.clone()),
+        RaExpr::Spc(returned.clone()),
+    );
     let report = ra_effectively_bounded(&e, &ds.access);
     assert!(report.effectively_bounded, "{:?}", report.failure);
 

@@ -99,13 +99,12 @@ fn incremental_work_is_bounded_on_workload_scale() {
     // with the hot ship mode 3.
     let orders_rel = ds.catalog.rel_id("orders").unwrap();
     let orderkey = db
-        .table(orders_rel)
-        .rows()
+        .value_rows(orders_rel)
         .find(|r| r[1] == Value::int(42) && r[2] == Value::int(1))
         .map(|r| r[0].clone())
         .expect("customer 42 has an open order at SF 2");
     let row: Vec<Value> = vec![
-        orderkey, // l_orderkey
+        orderkey,        // l_orderkey
         Value::int(13),  // l_partkey
         Value::int(2),   // l_suppkey
         Value::int(6),   // l_linenumber (beyond generated ones)

@@ -15,8 +15,10 @@ fn photos_catalog() -> Arc<Catalog> {
 
 fn a0(cat: &Arc<Catalog>) -> AccessSchema {
     let mut a = AccessSchema::new(cat.clone());
-    a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
-    a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+    a.add("in_album", &["album_id"], &["photo_id"], 1000)
+        .unwrap();
+    a.add("friends", &["user_id"], &["friend_id"], 5000)
+        .unwrap();
     a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
         .unwrap();
     a
@@ -25,10 +27,12 @@ fn a0(cat: &Arc<Catalog>) -> AccessSchema {
 fn sample_db(cat: &Arc<Catalog>) -> Database {
     let mut db = Database::new(cat.clone());
     for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p3", "a1")] {
-        db.insert("in_album", &[Value::str(p), Value::str(al)]).unwrap();
+        db.insert("in_album", &[Value::str(p), Value::str(al)])
+            .unwrap();
     }
     for (u, f) in [("u0", "u1"), ("u0", "u2"), ("u1", "u0")] {
-        db.insert("friends", &[Value::str(u), Value::str(f)]).unwrap();
+        db.insert("friends", &[Value::str(u), Value::str(f)])
+            .unwrap();
     }
     for (p, tr, te) in [("p1", "u1", "u0"), ("p2", "u2", "u0"), ("p2", "u0", "u1")] {
         db.insert("tagging", &[Value::str(p), Value::str(tr), Value::str(te)])
@@ -53,15 +57,12 @@ fn q0(cat: &Arc<Catalog>) -> SpcQuery {
 }
 
 /// `g_D`: encode every source table into the single tagged relation.
-fn encode_db(
-    n: &bounded_cq::core::normalize::NormalizedSchema,
-    db: &Database,
-) -> Database {
+fn encode_db(n: &bounded_cq::core::normalize::NormalizedSchema, db: &Database) -> Database {
     let mut out = Database::new(n.catalog().clone());
     for (i, _) in n.source().relations().iter().enumerate() {
         let rel = RelId(i);
-        for row in db.table(rel).rows() {
-            let enc = n.encode_tuple(rel, row);
+        for row in db.value_rows(rel) {
+            let enc = n.encode_tuple(rel, &row);
             out.insert("r_star", &enc).unwrap();
         }
     }

@@ -23,7 +23,9 @@ fn naive_spc(db: &Database, q: &SpcQuery) -> Vec<Vec<Value>> {
         return results;
     }
     'outer: loop {
-        let rows: Vec<&[Value]> = (0..n).map(|i| tables[i].row(idx[i])).collect();
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| db.decode_row(tables[i].row(idx[i])))
+            .collect();
         let holds = q.predicates().iter().all(|p| match p {
             Predicate::Eq(a, b) => rows[a.atom][a.col] == rows[b.atom][b.col],
             Predicate::Const(a, v) => &rows[a.atom][a.col] == v,
@@ -69,8 +71,10 @@ fn oracle_agrees_on_example_1() {
     ])
     .unwrap();
     let mut a = AccessSchema::new(catalog.clone());
-    a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
-    a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+    a.add("in_album", &["album_id"], &["photo_id"], 1000)
+        .unwrap();
+    a.add("friends", &["user_id"], &["friend_id"], 5000)
+        .unwrap();
     a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
         .unwrap();
     let q = SpcQuery::builder(catalog.clone(), "Q0")
@@ -87,10 +91,12 @@ fn oracle_agrees_on_example_1() {
         .unwrap();
     let mut db = Database::new(catalog);
     for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p3", "a1")] {
-        db.insert("in_album", &[Value::str(p), Value::str(al)]).unwrap();
+        db.insert("in_album", &[Value::str(p), Value::str(al)])
+            .unwrap();
     }
     for (u, f) in [("u0", "u1"), ("u0", "u2"), ("u2", "u0")] {
-        db.insert("friends", &[Value::str(u), Value::str(f)]).unwrap();
+        db.insert("friends", &[Value::str(u), Value::str(f)])
+            .unwrap();
     }
     for (p, tr, te) in [("p1", "u1", "u0"), ("p2", "u2", "u0"), ("p3", "u1", "u0")] {
         db.insert("tagging", &[Value::str(p), Value::str(tr), Value::str(te)])

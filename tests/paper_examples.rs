@@ -18,8 +18,10 @@ fn photos_catalog() -> Arc<Catalog> {
 
 fn a0() -> AccessSchema {
     let mut a = AccessSchema::new(photos_catalog());
-    a.add("in_album", &["album_id"], &["photo_id"], 1000).unwrap();
-    a.add("friends", &["user_id"], &["friend_id"], 5000).unwrap();
+    a.add("in_album", &["album_id"], &["photo_id"], 1000)
+        .unwrap();
+    a.add("friends", &["user_id"], &["friend_id"], 5000)
+        .unwrap();
     a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
         .unwrap();
     a
@@ -142,10 +144,12 @@ fn example_1_end_to_end() {
     let q = q0();
     let mut db = Database::new(catalog);
     for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p4", "a1")] {
-        db.insert("in_album", &[Value::str(p), Value::str(al)]).unwrap();
+        db.insert("in_album", &[Value::str(p), Value::str(al)])
+            .unwrap();
     }
     for (u, f) in [("u0", "u1"), ("u0", "u2")] {
-        db.insert("friends", &[Value::str(u), Value::str(f)]).unwrap();
+        db.insert("friends", &[Value::str(u), Value::str(f)])
+            .unwrap();
     }
     for (p, tr, te) in [("p1", "u1", "u0"), ("p2", "u9", "u0"), ("p4", "u2", "u0")] {
         db.insert("tagging", &[Value::str(p), Value::str(tr), Value::str(te)])

@@ -115,11 +115,15 @@ fn db_strategy() -> impl Strategy<Value = (Vec<[i64; 3]>, Vec<[i64; 2]>)> {
 fn make_db(rows1: &[[i64; 3]], rows2: &[[i64; 2]], a: &AccessSchema) -> Database {
     let mut db = Database::new(catalog());
     for r in rows1 {
-        db.insert("r1", &[Value::int(r[0]), Value::int(r[1]), Value::int(r[2])])
-            .unwrap();
+        db.insert(
+            "r1",
+            &[Value::int(r[0]), Value::int(r[1]), Value::int(r[2])],
+        )
+        .unwrap();
     }
     for r in rows2 {
-        db.insert("r2", &[Value::int(r[0]), Value::int(r[1])]).unwrap();
+        db.insert("r2", &[Value::int(r[0]), Value::int(r[1])])
+            .unwrap();
     }
     db.build_indexes(a);
     db
@@ -199,8 +203,8 @@ proptest! {
         let db = make_db(&rows1, &rows2, &a);
         let mut star = Database::new(n.catalog().clone());
         for (i, _) in n.source().relations().iter().enumerate() {
-            for row in db.table(RelId(i)).rows() {
-                star.insert("r_star", &n.encode_tuple(RelId(i), row)).unwrap();
+            for row in db.value_rows(RelId(i)) {
+                star.insert("r_star", &n.encode_tuple(RelId(i), &row)).unwrap();
             }
         }
         let opts = BaselineOptions { mode: BaselineMode::FullScan, work_budget: None };
