@@ -1,0 +1,242 @@
+//! Throughput bench for the `bcq-service` serving layer, on the
+//! probe_join social workload.
+//!
+//! Three questions, answered into `BENCH_serving.json`:
+//!
+//! * **What does preparation buy?** `serving/prepared` executes a cached
+//!   parameterized plan per request (the serving hot path);
+//!   `serving/prepare_from_scratch` is what every request cost before the
+//!   service layer existed: parse → `Σ_Q`/`ebcheck` → `qplan` → execute.
+//!   The ratio lands in `derived.speedup_prepared_vs_replan`.
+//! * **Do concurrent readers scale?** `serving/threads/N` hammers one
+//!   shared server from N sessions on N threads; `ops_per_sec` is the
+//!   aggregate QPS. `derived.qps_scaling_4_over_1` is the 4-thread/1-thread
+//!   ratio — read it against the `cores` field: snapshot reads are
+//!   lock-free, so on a single-core runner the expected ratio is ~1.0, and
+//!   it approaches min(4, cores) with real parallelism.
+//! * **Does the cache serve everyone?** asserted at the end: one compile,
+//!   everything else hits.
+//!
+//! `BENCH_SMOKE=1` shrinks the dataset and runs every lane once (CI).
+
+use bcq_core::prelude::*;
+use bcq_exec::eval_dq;
+use bcq_service::{Server, ServerConfig};
+use bcq_storage::Database;
+use criterion::{
+    criterion_group, criterion_main, record_derived, record_metric_sampled, smoke_mode,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const USERS: i64 = 20_000;
+const SMOKE_USERS: i64 = 500;
+
+fn social_catalog() -> Arc<Catalog> {
+    Catalog::from_names(&[
+        ("in_album", &["photo_id", "album_id"]),
+        ("friends", &["user_id", "friend_id"]),
+        ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
+    ])
+    .unwrap()
+}
+
+fn social_access(cat: &Arc<Catalog>) -> AccessSchema {
+    let mut a = AccessSchema::new(Arc::clone(cat));
+    a.add("in_album", &["album_id"], &["photo_id"], 64).unwrap();
+    a.add("friends", &["user_id"], &["friend_id"], 64).unwrap();
+    a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 8)
+        .unwrap();
+    a
+}
+
+/// Same data generator as the probe_join bench: string ids, sized so
+/// per-request probes dominate.
+fn social_db(cat: &Arc<Catalog>, a: &AccessSchema, users: i64) -> Database {
+    let mut db = Database::new(Arc::clone(cat));
+    for u in 0..users {
+        for k in 0..8 {
+            let f = (u * 31 + k * 7 + 1) % users;
+            db.insert(
+                "friends",
+                &[Value::str(format!("u{u}")), Value::str(format!("f{f}"))],
+            )
+            .unwrap();
+        }
+    }
+    for p in 0..users / 2 {
+        db.insert(
+            "in_album",
+            &[
+                Value::str(format!("p{p}")),
+                Value::str(format!("a{}", p % (users / 20))),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "tagging",
+            &[
+                Value::str(format!("p{p}")),
+                Value::str(format!("f{}", (p * 31 + 1) % users)),
+                Value::str(format!("u{}", p % users)),
+            ],
+        )
+        .unwrap();
+    }
+    db.build_indexes(a);
+    db
+}
+
+/// The parameterized three-atom template (the probe_join join shape with
+/// its constants lifted into `?aid` / `?uid` slots).
+fn template(cat: &Arc<Catalog>) -> SpcQuery {
+    SpcQuery::builder(Arc::clone(cat), "social")
+        .atom("in_album", "ia")
+        .atom("friends", "f")
+        .atom("tagging", "t")
+        .eq_param(("ia", "album_id"), "aid")
+        .eq_param(("f", "user_id"), "uid")
+        .eq(("ia", "photo_id"), ("t", "photo_id"))
+        .eq(("t", "tagger_id"), ("f", "friend_id"))
+        .eq_param(("t", "taggee_id"), "uid")
+        .project(("ia", "photo_id"))
+        .build()
+        .unwrap()
+}
+
+fn bindings(users: i64, n: usize) -> Vec<BTreeMap<String, Value>> {
+    (0..n)
+        .map(|i| {
+            let i = i as i64;
+            let mut b = BTreeMap::new();
+            b.insert("aid".to_string(), Value::str(format!("a{}", i * 7 + 1)));
+            b.insert(
+                "uid".to_string(),
+                Value::str(format!("u{}", (i * 13 + 5) % users)),
+            );
+            b
+        })
+        .collect()
+}
+
+/// Median ns/op over `samples` runs of `iters` calls to `f`.
+fn measure(samples: usize, iters: usize, mut f: impl FnMut(usize)) -> f64 {
+    let (samples, iters) = if smoke_mode() {
+        (1, 1)
+    } else {
+        (samples, iters)
+    };
+    let mut medians: Vec<f64> = (0..samples)
+        .map(|s| {
+            let start = Instant::now();
+            for i in 0..iters {
+                f(s * iters + i);
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    medians.sort_by(|a, b| a.total_cmp(b));
+    medians[medians.len() / 2]
+}
+
+fn bench_serving(_c: &mut criterion::Criterion) {
+    let users = if smoke_mode() { SMOKE_USERS } else { USERS };
+    let cat = social_catalog();
+    let access = social_access(&cat);
+    let db = social_db(&cat, &access, users);
+    let server = Arc::new(Server::new(db, access.clone(), ServerConfig::default()));
+    let tpl = template(&cat);
+    let binds = bindings(users, 32);
+
+    eprintln!("\n== serving (users={users}) ==");
+
+    // --- Lane 1a: executing a prepared handle (plan compiled once; each
+    // request only encodes its bindings and runs the plan). ---
+    let handle = server.prepare(&tpl).unwrap();
+    let mut sink = 0usize;
+    let prepared_ns = measure(15, 2000, |i| {
+        let resp = server
+            .execute(&handle.query, &binds[i % binds.len()])
+            .unwrap();
+        sink += resp.rows().map_or(0, |r| r.len());
+    });
+    record_metric_sampled("serving/prepared", prepared_ns, 15, 2000);
+
+    // --- Lane 1b: the full session path (fingerprint + plan-cache lookup
+    // per request, then the same execution). ---
+    let mut session = server.session();
+    session.query(&tpl, &binds[0]).unwrap();
+    let cached_ns = measure(15, 2000, |i| {
+        let resp = session.query(&tpl, &binds[i % binds.len()]).unwrap();
+        sink += resp.rows().map_or(0, |r| r.len());
+    });
+    record_metric_sampled("serving/query_cached", cached_ns, 15, 2000);
+
+    // --- Lane 2: what every request cost pre-service: parse → analyze →
+    // plan → execute, per request. ---
+    let sqls: Vec<String> = binds
+        .iter()
+        .map(|b| bcq_core::parser::render_sql(&tpl.instantiate(b)).unwrap())
+        .collect();
+    let snapshot = server.snapshot();
+    let replan_ns = measure(15, 300, |i| {
+        let sql = &sqls[i % sqls.len()];
+        let q = parse_spc(Arc::clone(&cat), "adhoc", sql).unwrap();
+        let plan = qplan(&q, &access).unwrap();
+        let out = eval_dq(&snapshot, &plan, &access).unwrap();
+        sink += out.result.len();
+    });
+    record_metric_sampled("serving/prepare_from_scratch", replan_ns, 15, 300);
+    record_derived("speedup_prepared_vs_replan", replan_ns / prepared_ns);
+
+    // --- Multi-threaded read throughput: one shared server, N sessions on
+    // N threads, fixed total request count. ---
+    let total_requests: usize = if smoke_mode() { 8 } else { 40_000 };
+    let mut qps_by_threads: Vec<(usize, f64)> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let per_thread = total_requests / threads;
+        let start = Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let tpl = tpl.clone();
+                let binds = binds.clone();
+                std::thread::spawn(move || {
+                    let mut s = server.session();
+                    let mut rows = 0usize;
+                    for i in 0..per_thread {
+                        let resp = s.query(&tpl, &binds[(t * 7 + i) % binds.len()]).unwrap();
+                        rows += resp.rows().map_or(0, |r| r.len());
+                        assert!(resp.stats.cache_hit, "all threads ride the cache");
+                    }
+                    rows
+                })
+            })
+            .collect();
+        for h in handles {
+            sink += h.join().unwrap();
+        }
+        let wall = start.elapsed();
+        let served = per_thread * threads;
+        let ns_per_req = wall.as_nanos() as f64 / served as f64;
+        qps_by_threads.push((threads, 1e9 / ns_per_req));
+        record_metric_sampled(
+            format!("serving/threads/{threads}"),
+            ns_per_req,
+            1,
+            served as u64,
+        );
+    }
+    let qps1 = qps_by_threads.iter().find(|(t, _)| *t == 1).unwrap().1;
+    let qps4 = qps_by_threads.iter().find(|(t, _)| *t == 4).unwrap().1;
+    record_derived("qps_scaling_4_over_1", qps4 / qps1);
+
+    // The whole bench compiled the template exactly once.
+    let cs = server.cache_stats();
+    assert_eq!(cs.misses, 1, "one compile, {} hits", cs.hits);
+    std::hint::black_box(sink);
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

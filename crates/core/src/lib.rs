@@ -92,7 +92,7 @@ pub mod prelude {
     pub use crate::normalize::{normalize_catalog, NormalizedSchema};
     pub use crate::parser::{parse_spc, render_sql};
     pub use crate::plan::{FetchStep, KeySource, QueryPlan};
-    pub use crate::qplan::qplan;
+    pub use crate::qplan::{qplan, qplan_template};
     pub use crate::query::{Atom, Predicate, QAttr, QueryBuilder, SpcQuery};
     pub use crate::ra::{ra_effectively_bounded, RaExpr, RaReport};
     pub use crate::row::{Cell, CellKind, Row, RowBuf};

@@ -28,6 +28,11 @@ pub struct StepId(pub usize);
 pub enum KeySource {
     /// A constant from `X_C` (one fixed value).
     Const(Value),
+    /// A parameter slot: the value of placeholder `?name`, supplied at
+    /// execution time. Produced only by [`crate::qplan::qplan_template`] —
+    /// the compiled-once/executed-many plans of the serving layer (the
+    /// paper's parameterized queries `Q(x̄)` of Example 1(2)).
+    Param(String),
     /// The distinct values of column `col` (an index into the source step's
     /// `out_cols`) of an earlier step's fetched tuples.
     Column {
@@ -149,6 +154,18 @@ impl QueryPlan {
     pub fn is_unsatisfiable(&self) -> bool {
         self.unsatisfiable
     }
+
+    /// Names of the plan's parameter slots — the template's placeholders —
+    /// deduplicated, in first-use order. Empty for ground plans. Execution
+    /// must supply a value for each (see `eval_dq_with` in `bcq-exec`).
+    pub fn param_slots(&self) -> Vec<String> {
+        self.query.placeholder_names()
+    }
+
+    /// `true` if the plan has parameter slots (compiled from a template).
+    pub fn is_parameterized(&self) -> bool {
+        self.query.has_placeholders()
+    }
 }
 
 impl fmt::Display for QueryPlan {
@@ -176,6 +193,7 @@ impl fmt::Display for QueryPlan {
                             write!(f, "{}", rel.attribute(*col))?;
                             match src {
                                 KeySource::Const(v) => write!(f, " = {v}")?,
+                                KeySource::Param(name) => write!(f, " = ?{name}")?,
                                 KeySource::Column { step, col } => {
                                     let src_step = &self.steps[step.0];
                                     let src_atom = &self.query.atoms()[src_step.atom];

@@ -33,9 +33,34 @@ use std::collections::{BTreeSet, HashMap};
 ///
 /// Fails with [`CoreError::NotEffectivelyBounded`] (with a per-atom
 /// diagnosis) if no plan exists, and with [`CoreError::UnboundParameters`]
-/// if the query template still has placeholders.
+/// if the query template still has placeholders. Use [`qplan_template`] to
+/// compile a template with placeholders into a parameterized plan.
 pub fn qplan(q: &SpcQuery, a: &AccessSchema) -> Result<QueryPlan> {
     q.require_ground()?;
+    plan_inner(q, a)
+}
+
+/// Generates a **parameterized** bounded plan for a query template.
+///
+/// Placeholders (`S[A] = ?name`) are treated as constants whose values
+/// arrive at execution time: their classes seed the access closure exactly
+/// like `X_C` (effective boundedness of the instantiated query depends only
+/// on *which* attributes are instantiated, not on the values — the same
+/// property the dominating-parameter search exploits), and key columns
+/// pinned by a placeholder become [`KeySource::Param`] slots in the plan.
+/// Planning with each placeholder as its *own* class is conservative: a
+/// binding that happens to repeat a value across placeholders only adds
+/// equalities, never removes answers the plan would miss.
+///
+/// On a ground query this is identical to [`qplan`]. The resulting plan
+/// must be executed with a binding for every slot (`eval_dq_with` in
+/// `bcq-exec`); `eval_dq` rejects parameterized plans it is given without
+/// bindings.
+pub fn qplan_template(q: &SpcQuery, a: &AccessSchema) -> Result<QueryPlan> {
+    plan_inner(q, a)
+}
+
+fn plan_inner(q: &SpcQuery, a: &AccessSchema) -> Result<QueryPlan> {
     let sigma = Sigma::build(q);
     if !sigma.is_satisfiable() {
         return Ok(QueryPlan::new(
@@ -47,7 +72,17 @@ pub fn qplan(q: &SpcQuery, a: &AccessSchema) -> Result<QueryPlan> {
         ));
     }
 
-    let report = ebcheck_with_seeds(q, &sigma, a, &[]);
+    // Classes pinned by a placeholder but not by a constant: bound at
+    // execution time, so they seed the closure like constants do.
+    let param_classes: Vec<ClassId> = (0..sigma.num_classes())
+        .map(ClassId)
+        .filter(|id| {
+            let c = sigma.class(*id);
+            !c.placeholders.is_empty() && c.constant.is_none()
+        })
+        .collect();
+
+    let report = ebcheck_with_seeds(q, &sigma, a, &param_classes);
     if !report.effectively_bounded {
         let why = report
             .first_failure(q)
@@ -56,7 +91,9 @@ pub fn qplan(q: &SpcQuery, a: &AccessSchema) -> Result<QueryPlan> {
     }
 
     let gamma = actualize(q, &sigma, a);
-    let closure = Closure::compute(sigma.num_classes(), &sigma.xc_classes(), &gamma);
+    let mut seeds = sigma.xc_classes();
+    seeds.extend_from_slice(&param_classes);
+    let closure = Closure::compute(sigma.num_classes(), &seeds, &gamma);
 
     let mut b = PlanBuilder {
         q,
@@ -70,7 +107,16 @@ pub fn qplan(q: &SpcQuery, a: &AccessSchema) -> Result<QueryPlan> {
 
     let mut anchors = Vec::with_capacity(q.num_atoms());
     for atom in 0..q.num_atoms() {
-        let xq = xq_cols(q, &sigma, atom);
+        let mut xq = xq_cols(q, &sigma, atom);
+        // Placeholder-pinned columns are parameters of the instantiated
+        // query (mirrors `extra_is_param` in `ebcheck_with_seeds`).
+        for col in 0..q.arity_of(atom) {
+            let cls = sigma.class_of_flat(q.flat_id(QAttr::new(atom, col)));
+            if param_classes.contains(&cls) && !xq.contains(&col) {
+                xq.push(col);
+            }
+        }
+        xq.sort_unstable();
         let sid = if xq.is_empty() {
             b.any_step(atom)
         } else {
@@ -128,11 +174,16 @@ impl PlanBuilder<'_> {
         est
     }
 
-    /// The key source for a class: a constant if instantiated, otherwise a
-    /// column of the (memoized) step replaying its provenance entry.
+    /// The key source for a class: a constant if instantiated, a parameter
+    /// slot if placeholder-pinned, otherwise a column of the (memoized)
+    /// step replaying its provenance entry.
     fn source_for_class(&mut self, class: ClassId) -> KeySource {
-        if let Some(v) = &self.sigma.class(class).constant {
+        let info = self.sigma.class(class);
+        if let Some(v) = &info.constant {
             return KeySource::Const(v.clone());
+        }
+        if let Some(name) = info.placeholders.first() {
+            return KeySource::Param(name.clone());
         }
         match self
             .closure
@@ -243,10 +294,63 @@ mod tests {
                     // Values come from the in_album step.
                     assert_eq!(plan.steps()[step.0].atom, 0);
                 }
+                KeySource::Param(name) => panic!("ground plan has no param slot ?{name}"),
             }
         }
         assert!(has_const && has_column);
         assert_eq!(tagging.bound, 1000);
+    }
+
+    #[test]
+    fn template_plan_has_param_slots() {
+        // Q1 (the ?aid/?uid template) is not plannable ground, but compiles
+        // to a parameterized plan whose key sources carry the slots.
+        let plan = qplan_template(&q1(), &a0()).unwrap();
+        assert!(plan.is_parameterized());
+        assert_eq!(plan.param_slots(), vec!["aid", "uid"]);
+        assert_eq!(plan.steps().len(), 3);
+        let mut params = Vec::new();
+        for step in plan.steps() {
+            for (_, src) in &step.key {
+                if let KeySource::Param(name) = src {
+                    params.push(name.clone());
+                }
+            }
+        }
+        params.sort();
+        params.dedup();
+        assert_eq!(params, vec!["aid", "uid"]);
+        // The bound matches the ground plan's: instantiation adds nothing.
+        let mut b = std::collections::BTreeMap::new();
+        b.insert("aid".to_string(), Value::str("a0"));
+        b.insert("uid".to_string(), Value::str("u0"));
+        let ground_plan = qplan(&q1().instantiate(&b), &a0()).unwrap();
+        assert_eq!(plan.cost_bound(), ground_plan.cost_bound());
+    }
+
+    #[test]
+    fn template_plan_on_ground_query_matches_qplan() {
+        let a = qplan(&q0(), &a0()).unwrap();
+        let b = qplan_template(&q0(), &a0()).unwrap();
+        assert_eq!(a.cost_bound(), b.cost_bound());
+        assert_eq!(a.steps().len(), b.steps().len());
+        assert!(!b.is_parameterized());
+        assert!(b.param_slots().is_empty());
+    }
+
+    #[test]
+    fn template_not_effectively_bounded_still_errors() {
+        // Without the friends index, even the instantiated template cannot
+        // be fetched boundedly.
+        let cat = photos_catalog();
+        let q = SpcQuery::builder(cat.clone(), "t")
+            .atom("friends", "f")
+            .eq_param(("f", "user_id"), "u")
+            .project(("f", "friend_id"))
+            .build()
+            .unwrap();
+        let err = qplan_template(&q, &AccessSchema::new(cat)).unwrap_err();
+        assert!(matches!(err, CoreError::NotEffectivelyBounded(_)));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! the paper's conclusion item (1).
 //!
 //! Deciding (effective) boundedness is undecidable for RA queries
-//! (Fan–Geerts–Libkin, cited as [20]), so no characterization like
+//! (Fan–Geerts–Libkin, cited as \[20\]), so no characterization like
 //! Theorems 3/4 exists. What the conclusion proposes — and this module
 //! implements — is an efficient *sufficient* condition over the RA
 //! operators layered on SPC:

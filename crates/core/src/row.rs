@@ -158,7 +158,7 @@ pub type Row = [Cell];
 const INLINE_CELLS: usize = 4;
 
 /// An owning row of [`Cell`]s with inline storage for up to
-/// [`INLINE_CELLS`] cells — no heap allocation on the hot path.
+/// `INLINE_CELLS` (4) cells — no heap allocation on the hot path.
 #[derive(Clone)]
 pub struct RowBuf(Repr);
 

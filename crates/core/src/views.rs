@@ -1,5 +1,5 @@
 //! Bounded query answering **using materialized views** — the paper's
-//! conclusion item (3) (studied in its reference [11] as "generalized scale
+//! conclusion item (3) (studied in its reference \[11\] as "generalized scale
 //! independence through incremental precomputation").
 //!
 //! A view `V(Z) = π_Z σ_C (S_1 × … × S_n)` is materialized as an ordinary

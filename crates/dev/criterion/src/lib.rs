@@ -11,8 +11,171 @@
 //! spent (minimum `sample_size` samples), and reports the minimum, median,
 //! and mean per-iteration time. No statistics beyond that — the point is a
 //! stable, dependency-free number on stdout, not confidence intervals.
+//!
+//! **Machine-readable output.** Every measurement is also recorded in a
+//! process-global registry; `criterion_main!` flushes it to
+//! `BENCH_<bench-name>.json` at the repository root (the nearest ancestor
+//! directory containing `Cargo.lock`), so the perf trajectory is tracked
+//! across PRs instead of living in commit messages. Benches can add their
+//! own numbers with [`record_metric`] (e.g. hand-timed multi-threaded
+//! throughput) and [`record_derived`] (dimensionless ratios like
+//! speedups).
+//!
+//! **Smoke mode.** Setting the `BENCH_SMOKE` environment variable forces
+//! one sample of one batch with no warm-up — CI uses it to keep bench
+//! paths compiling *and running* without paying measurement time.
 
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+static DERIVED: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// `true` if `BENCH_SMOKE` is set: run everything once, skip measurement.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+/// Records an externally measured metric (nanoseconds per operation) into
+/// the JSON report — for measurements the `Bencher` loop cannot express,
+/// like wall-clock throughput across a thread pool.
+pub fn record_metric(id: impl Into<String>, ns_per_op: f64) {
+    record_metric_sampled(id, ns_per_op, 1, 1);
+}
+
+/// [`record_metric`] with explicit sampling metadata (the caller took
+/// `samples` medians of `iters_per_sample`-operation batches).
+pub fn record_metric_sampled(
+    id: impl Into<String>,
+    ns_per_op: f64,
+    samples: usize,
+    iters_per_sample: u64,
+) {
+    let id = id.into();
+    eprintln!("{id:<50} recorded {ns_per_op:>12.1} ns/op");
+    RESULTS.lock().unwrap().push(Record {
+        id,
+        min_ns: ns_per_op,
+        median_ns: ns_per_op,
+        mean_ns: ns_per_op,
+        samples,
+        iters_per_sample,
+    });
+}
+
+/// Records a derived, dimensionless quantity (a speedup ratio, a scaling
+/// factor) under `key` in the report's `derived` object.
+pub fn record_derived(key: impl Into<String>, value: f64) {
+    let key = key.into();
+    eprintln!("{key:<50} = {value:.3}");
+    DERIVED.lock().unwrap().push((key, value));
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The bench binary's logical name: executable file stem minus the
+/// trailing `-<metadata hash>` cargo appends.
+fn bench_name() -> String {
+    let stem = std::env::args()
+        .next()
+        .map(PathBuf::from)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// The nearest ancestor directory containing `Cargo.lock` (the workspace
+/// root), falling back to the current directory.
+fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        }
+    }
+}
+
+/// Flushes all recorded measurements to `BENCH_<bench-name>.json` at the
+/// repository root. Called automatically by `criterion_main!`.
+pub fn write_json_report() {
+    let results = RESULTS.lock().unwrap();
+    let derived = DERIVED.lock().unwrap();
+    if results.is_empty() && derived.is_empty() {
+        return;
+    }
+    let name = bench_name();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&name)));
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let ops = if r.median_ns > 0.0 {
+            1e9 / r.median_ns
+        } else {
+            f64::INFINITY
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \
+             \"ops_per_sec\": {}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            json_escape(&r.id),
+            fmt_f64(r.min_ns),
+            fmt_f64(r.median_ns),
+            fmt_f64(r.mean_ns),
+            fmt_f64(ops),
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"derived\": {");
+    for (i, (k, v)) in derived.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {}", json_escape(k), fmt_f64(*v)));
+    }
+    out.push_str("}\n}\n");
+
+    let path = repo_root().join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
+}
 
 /// Re-export so `criterion::black_box` keeps working like upstream.
 pub use std::hint::black_box;
@@ -161,15 +324,27 @@ fn run_bench(
     measurement_time: Duration,
     mut f: impl FnMut(&mut Bencher),
 ) {
+    // Smoke mode: one sample of one iteration, no warm-up — CI keeps the
+    // bench path *running*, not just compiling, without paying for it.
+    let (sample_size, warm_up_time, measurement_time) = if smoke_mode() {
+        (1, Duration::ZERO, Duration::ZERO)
+    } else {
+        (sample_size, warm_up_time, measurement_time)
+    };
+
     // Calibration: how many iterations fit a ~10 ms batch?
     let mut b = Bencher {
         mode: BencherMode::Calibrate { iters_hint: 1 },
         samples: Vec::new(),
     };
     f(&mut b);
-    let iters = match b.mode {
-        BencherMode::Calibrate { iters_hint } => iters_hint,
-        BencherMode::Measure { .. } => unreachable!(),
+    let iters = if smoke_mode() {
+        1
+    } else {
+        match b.mode {
+            BencherMode::Calibrate { iters_hint } => iters_hint,
+            BencherMode::Measure { .. } => unreachable!(),
+        }
     };
 
     // Warm-up.
@@ -217,6 +392,14 @@ fn run_bench(
         "{id:<50} min {min:>10.2?}  median {median:>10.2?}  mean {mean:>10.2?}  ({} samples x {iters} iters)",
         samples.len()
     );
+    RESULTS.lock().unwrap().push(Record {
+        id: id.to_string(),
+        min_ns: min.as_nanos() as f64,
+        median_ns: median.as_nanos() as f64,
+        mean_ns: mean.as_nanos() as f64,
+        samples: samples.len(),
+        iters_per_sample: iters,
+    });
 }
 
 /// Declares a benchmark group function, mirroring upstream's simple form.
@@ -230,12 +413,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark binary's `main`, mirroring upstream.
+/// Declares the benchmark binary's `main`, mirroring upstream — and, on
+/// exit, flushes the measurement registry to `BENCH_<name>.json` at the
+/// repository root.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }

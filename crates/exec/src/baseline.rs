@@ -166,7 +166,7 @@ pub fn baseline(
     for atom in 0..q.num_atoms() {
         let rel = q.relation_of(atom);
         let table = db.table(rel);
-        let cols = needed_cols[atom].clone();
+        let cols = needed_cols[atom].as_slice();
 
         // Constant-bound columns of this atom. A constant the symbol table
         // has never seen stays as `None`: it matches nothing, but the scan
@@ -249,7 +249,7 @@ pub fn baseline(
             sigma: &sigma,
         };
         for batch in &mut batches {
-            filter.apply(db.symbols(), batch);
+            filter.apply(&ctx, batch);
         }
         SemiJoin {
             query: q,

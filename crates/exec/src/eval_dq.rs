@@ -12,7 +12,7 @@
 //! string was never loaded can match nothing, so its probe keys simply
 //! never materialize.
 
-use crate::pipeline::{run_join_pipeline, Batch, ExecContext, Fetch, FetchSource};
+use crate::pipeline::{run_join_pipeline, Batch, ExecContext, Fetch, FetchSource, ParamEnv};
 use crate::results::ResultSet;
 use bcq_core::access::AccessSchema;
 use bcq_core::error::{CoreError, Result};
@@ -45,11 +45,47 @@ impl ExecOutcome {
 ///
 /// `a` must be the access schema the plan was generated under (the plan
 /// references its constraints by id); the required indices must have been
-/// built (`db.build_indexes(&a)`).
+/// built (`db.build_indexes(&a)`). Parameterized plans (from
+/// [`bcq_core::qplan::qplan_template`]) are rejected here — execute them
+/// through [`eval_dq_with`] with a binding for every slot.
 pub fn eval_dq(db: &Database, plan: &QueryPlan, a: &AccessSchema) -> Result<ExecOutcome> {
-    let start = Instant::now();
-    let mut ctx = ExecContext::new(db, None);
+    eval_dq_with(db, plan, a, ParamEnv::empty_ref())
+}
+
+/// Executes a (possibly parameterized) bounded plan with the given
+/// parameter bindings — the serving hot path.
+///
+/// The bindings in `params` are already **interned cells**: the `Value`
+/// boundary is crossed once per request ([`ParamEnv::encode`]), after which
+/// key enumeration, filtering and joining stay on fixed-width cells. Every
+/// slot of the plan must be bound or the call fails with
+/// [`CoreError::UnboundParameters`]; a slot bound to a never-interned value
+/// yields the (exact) empty answer without touching the indices.
+pub fn eval_dq_with(
+    db: &Database,
+    plan: &QueryPlan,
+    a: &AccessSchema,
+    params: &ParamEnv,
+) -> Result<ExecOutcome> {
+    // Allocation-free validation on the happy path: names are only
+    // collected if something is actually missing.
     let q = plan.query();
+    if q.has_placeholders() {
+        let mut missing: Vec<String> = Vec::new();
+        for p in q.predicates() {
+            if let bcq_core::prelude::Predicate::Param(_, name) = p {
+                if params.get(name).is_none() && !missing.iter().any(|m| m == name) {
+                    missing.push(name.clone());
+                }
+            }
+        }
+        if !missing.is_empty() {
+            return Err(CoreError::UnboundParameters(missing));
+        }
+    }
+
+    let start = Instant::now();
+    let mut ctx = ExecContext::with_params(db, None, params);
 
     if plan.is_unsatisfiable() {
         return Ok(ExecOutcome {
@@ -65,7 +101,7 @@ pub fn eval_dq(db: &Database, plan: &QueryPlan, a: &AccessSchema) -> Result<Exec
         let fetch = match step.kind {
             FetchKind::Any => Fetch {
                 atom: step.atom,
-                cols: Vec::new(),
+                cols: &[],
                 source: FetchSource::Existence {
                     table: db.table(q.relation_of(step.atom)),
                 },
@@ -87,11 +123,11 @@ pub fn eval_dq(db: &Database, plan: &QueryPlan, a: &AccessSchema) -> Result<Exec
                 })?;
                 Fetch {
                     atom: step.atom,
-                    cols: step.out_cols.clone(),
+                    cols: &step.out_cols,
                     source: FetchSource::IndexWitnesses {
                         index,
                         table: db.table(c.relation()),
-                        keys: enumerate_keys(step, &step_rows, db.symbols()),
+                        keys: enumerate_keys(step, &step_rows, db.symbols(), ctx.params),
                     },
                 }
             }
@@ -101,21 +137,23 @@ pub fn eval_dq(db: &Database, plan: &QueryPlan, a: &AccessSchema) -> Result<Exec
         // *violates* its declared constraints the fetch can exceed the
         // bound, but the answer stays exact — witnesses are never truncated
         // at N. See `eval_dq::tests::violating_data_still_yields_exact_answers`.
-        let batch = fetch
-            .run(&mut ctx)
+        let rows = fetch
+            .run_rows(&mut ctx)
             .expect("bounded evaluation has no budget");
-        step_rows.push(batch.rows);
+        step_rows.push(rows);
     }
 
     // Assemble per-atom candidates from the anchors and run the shared
-    // filter → hash-join → project pipeline.
+    // filter → hash-join → project pipeline. Anchor steps are per-atom
+    // (memoized on `(atom, constraint)`), so each one's rows are moved,
+    // not cloned; key enumeration already consumed what it needed.
     let batches: Vec<Batch> = (0..q.num_atoms())
         .map(|atom| {
             let anchor = plan.anchor_of_atom(atom);
             Batch {
                 atom,
                 cols: anchor.out_cols.clone(),
-                rows: step_rows[anchor.id.0].clone(),
+                rows: std::mem::take(&mut step_rows[anchor.id.0]),
             }
         })
         .collect();
@@ -129,39 +167,48 @@ pub fn eval_dq(db: &Database, plan: &QueryPlan, a: &AccessSchema) -> Result<Exec
     })
 }
 
-/// Enumerates the key tuples of a fetch step: constants are fixed; columns
-/// sourced from the same earlier step vary together (row-wise); distinct
-/// source steps combine by Cartesian product — mirroring the bound
-/// arithmetic of plan generation.
+/// Enumerates the key tuples of a fetch step: constants and bound
+/// parameters are fixed; columns sourced from the same earlier step vary
+/// together (row-wise); distinct source steps combine by Cartesian product
+/// — mirroring the bound arithmetic of plan generation.
 ///
-/// A constant that was never interned yields no keys at all (nothing can
-/// match it), which collapses the step — and therefore every step feeding
-/// off it — to the empty fetch.
+/// A constant (or parameter value) that was never interned yields no keys
+/// at all (nothing can match it), which collapses the step — and therefore
+/// every step feeding off it — to the empty fetch.
 fn enumerate_keys(
     step: &FetchStep,
     step_rows: &[Vec<RowBuf>],
     symbols: &SymbolTable,
+    params: &ParamEnv,
 ) -> Vec<RowBuf> {
     if step.key.is_empty() {
         // Bounded-domain probe: the single empty key.
         return vec![RowBuf::new()];
     }
 
-    // Group key positions by source.
-    enum Group {
-        Const(Vec<(usize, Cell)>),
-        Step {
-            src: usize,
-            positions: Vec<(usize, usize)>, // (key position, src col)
-        },
-    }
-    let mut consts: Vec<(usize, Cell)> = Vec::new();
+    // Fixed positions (constants and bound parameters) go straight into a
+    // key template; column positions are grouped by source step.
+    let key_len = step.key.len();
+    let mut template = vec![Cell::NULL; key_len];
     let mut per_step: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+    let mut num_fixed = 0usize;
     for (pos, (_col, src)) in step.key.iter().enumerate() {
         match src {
             KeySource::Const(v) => match symbols.try_encode(v) {
-                Some(cell) => consts.push((pos, cell)),
+                Some(cell) => {
+                    template[pos] = cell;
+                    num_fixed += 1;
+                }
                 None => return Vec::new(),
+            },
+            // Validated bound upstream (`eval_dq_with`); a never-interned
+            // binding collapses the step like an uninterned constant.
+            KeySource::Param(name) => match params.get(name) {
+                Some(Some(cell)) => {
+                    template[pos] = cell;
+                    num_fixed += 1;
+                }
+                Some(None) | None => return Vec::new(),
             },
             KeySource::Column { step: sid, col } => {
                 match per_step.iter_mut().find(|(s, _)| *s == sid.0) {
@@ -171,8 +218,48 @@ fn enumerate_keys(
             }
         }
     }
+
+    // Fast path 1: fully fixed key — the single template key.
+    if per_step.is_empty() {
+        debug_assert_eq!(num_fixed, key_len);
+        return vec![template.into_iter().collect()];
+    }
+
+    // Fast path 2: one source step (the overwhelmingly common plan shape):
+    // fill the template per source row, dedup the finished keys directly.
+    if per_step.len() == 1 {
+        let (src, positions) = &per_step[0];
+        let mut seen: FxHashSet<RowBuf> = FxHashSet::default();
+        let mut keys: Vec<RowBuf> = Vec::new();
+        for row in &step_rows[*src] {
+            for &(pos, col) in positions {
+                template[pos] = row[col];
+            }
+            let key: RowBuf = template.iter().copied().collect();
+            if seen.insert(key.clone()) {
+                keys.push(key);
+            }
+        }
+        return keys;
+    }
+
+    // General case: distinct source steps combine by Cartesian product.
+    enum Group {
+        Const(Vec<(usize, Cell)>),
+        Step {
+            src: usize,
+            positions: Vec<(usize, usize)>, // (key position, src col)
+        },
+    }
     let mut groups: Vec<Group> = Vec::new();
-    if !consts.is_empty() {
+    if num_fixed > 0 {
+        let consts: Vec<(usize, Cell)> = step
+            .key
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, src))| !matches!(src, KeySource::Column { .. }))
+            .map(|(pos, _)| (pos, template[pos]))
+            .collect();
         groups.push(Group::Const(consts));
     }
     for (src, positions) in per_step {
@@ -419,6 +506,74 @@ mod tests {
         let out = eval_dq(&db, &plan, &a).unwrap();
         assert!(out.result.is_empty());
         assert_eq!(out.meter.tuples_fetched, 0);
+    }
+
+    /// The parameterized template over Example 1's schema: Q1 with
+    /// `?aid` / `?uid` slots.
+    fn template(cat: Arc<Catalog>) -> SpcQuery {
+        SpcQuery::builder(cat, "Q1")
+            .atom("in_album", "ia")
+            .atom("friends", "f")
+            .atom("tagging", "t")
+            .eq_param(("ia", "album_id"), "aid")
+            .eq_param(("f", "user_id"), "uid")
+            .eq(("ia", "photo_id"), ("t", "photo_id"))
+            .eq(("t", "tagger_id"), ("f", "friend_id"))
+            .eq_param(("t", "taggee_id"), "uid")
+            .project(("ia", "photo_id"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prepared_plan_matches_ground_plan_per_binding() {
+        let (db, a, _) = example1();
+        let q1 = template(db.catalog().clone());
+        let plan = bcq_core::qplan::qplan_template(&q1, &a).unwrap();
+
+        for (aid, uid) in [("a0", "u0"), ("a1", "u0"), ("a0", "u9"), ("a0", "u5")] {
+            let mut bind = std::collections::BTreeMap::new();
+            bind.insert("aid".to_string(), Value::str(aid));
+            bind.insert("uid".to_string(), Value::str(uid));
+            let env = crate::pipeline::ParamEnv::encode(db.symbols(), &bind);
+            let prepared = eval_dq_with(&db, &plan, &a, &env).unwrap();
+
+            let ground = q1.instantiate(&bind);
+            let ground_plan = bcq_core::qplan::qplan(&ground, &a).unwrap();
+            let fresh = eval_dq(&db, &ground_plan, &a).unwrap();
+            assert_eq!(prepared.result, fresh.result, "binding ({aid}, {uid})");
+        }
+    }
+
+    #[test]
+    fn prepared_plan_rejects_missing_bindings() {
+        let (db, a, _) = example1();
+        let q1 = template(db.catalog().clone());
+        let plan = bcq_core::qplan::qplan_template(&q1, &a).unwrap();
+        let err = eval_dq(&db, &plan, &a).unwrap_err();
+        assert!(matches!(err, CoreError::UnboundParameters(_)), "{err}");
+
+        let mut bind = std::collections::BTreeMap::new();
+        bind.insert("aid".to_string(), Value::str("a0"));
+        let env = crate::pipeline::ParamEnv::encode(db.symbols(), &bind);
+        let err = eval_dq_with(&db, &plan, &a, &env).unwrap_err();
+        assert_eq!(err, CoreError::UnboundParameters(vec!["uid".to_string()]));
+    }
+
+    #[test]
+    fn prepared_plan_with_uninterned_binding_is_exactly_empty() {
+        let (db, a, _) = example1();
+        let q1 = template(db.catalog().clone());
+        let plan = bcq_core::qplan::qplan_template(&q1, &a).unwrap();
+        let mut bind = std::collections::BTreeMap::new();
+        bind.insert("aid".to_string(), Value::str("a0"));
+        bind.insert("uid".to_string(), Value::str("never-seen-user"));
+        let env = crate::pipeline::ParamEnv::encode(db.symbols(), &bind);
+        let out = eval_dq_with(&db, &plan, &a, &env).unwrap();
+        assert!(out.result.is_empty());
+        // The uninterned uid kills the friends/tagging probes; only the
+        // album fetch (keyed by the interned "a0") can touch data.
+        assert!(out.meter.tuples_fetched <= 3, "{:?}", out.meter);
     }
 
     #[test]

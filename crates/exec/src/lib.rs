@@ -1,13 +1,13 @@
 #![warn(missing_docs)]
 //! # bcq-exec — bounded and conventional query executors
 //!
-//! * [`eval_dq`] executes the bounded plans of [`bcq_core::qplan`]: index
+//! * [`eval_dq()`] executes the bounded plans of [`bcq_core::qplan`]: index
 //!   witness fetches only, `|D_Q|` independent of `|D|`.
-//! * [`baseline`] is the conventional-DBMS competitor (the paper's MySQL):
+//! * [`baseline()`] is the conventional-DBMS competitor (the paper's MySQL):
 //!   constant-key index access, full scans elsewhere, whole-tuple fetching,
 //!   and a work budget reproducing the 2 500 s cap.
 //! * [`eval_ra`] evaluates certified RA expressions boundedly on top of
-//!   [`eval_dq`].
+//!   [`eval_dq()`].
 //! * [`pipeline`] hosts the **single** physical-operator implementation
 //!   (fetch / filter / hash-join / project over interned row batches, with
 //!   unified metering) that all of the above share.
@@ -21,11 +21,11 @@ pub mod results;
 pub mod views;
 
 pub use baseline::{baseline, BaselineMode, BaselineOptions, BaselineOutcome};
-pub use eval_dq::{eval_dq, ExecOutcome};
+pub use eval_dq::{eval_dq, eval_dq_with, ExecOutcome};
 pub use incremental::{DeltaStats, IncrementalAnswer};
 pub use pipeline::{
     run_join_pipeline, Batch, BudgetExhausted, ExecContext, Fetch, FetchSource, FilterAtom,
-    HashJoin, Project, SemiJoin,
+    HashJoin, ParamEnv, Project, SemiJoin,
 };
 pub use ra::{eval_ra, RaOutcome};
 pub use results::ResultSet;

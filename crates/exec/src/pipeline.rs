@@ -33,13 +33,88 @@ use bcq_core::fx::FxHashMap;
 use bcq_core::prelude::{Cell, Predicate, QAttr, RowBuf, SpcQuery, SymbolTable, Value};
 use bcq_core::sigma::Sigma;
 use bcq_storage::{Database, HashIndex, Meter, Table};
+use std::collections::BTreeMap;
 
 /// Raised when the work budget is exhausted mid-pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BudgetExhausted;
 
+/// Parameter bindings pre-encoded to interned cells — the serving layer's
+/// per-request boundary crossing, paid **once** per request instead of once
+/// per probe. A `None` cell means the bound value was never interned by the
+/// database: nothing stored can match it, so the executor short-circuits to
+/// the empty result without hashing a single string.
+#[derive(Debug, Clone, Default)]
+pub struct ParamEnv {
+    /// Few entries per query: linear scan beats a map.
+    entries: Vec<(String, Option<Cell>)>,
+}
+
+/// The shared empty environment: contexts without parameters borrow this
+/// instead of allocating.
+static EMPTY_PARAMS: ParamEnv = ParamEnv {
+    entries: Vec::new(),
+};
+
+impl ParamEnv {
+    /// An empty environment (ground plans).
+    pub fn new() -> Self {
+        ParamEnv::default()
+    }
+
+    /// A `'static` reference to the empty environment.
+    pub fn empty_ref() -> &'static ParamEnv {
+        &EMPTY_PARAMS
+    }
+
+    /// Encodes value bindings against `symbols` (read-only; unseen values
+    /// become `None` cells that match nothing).
+    pub fn encode(symbols: &SymbolTable, bindings: &BTreeMap<String, Value>) -> Self {
+        ParamEnv {
+            entries: bindings
+                .iter()
+                .map(|(name, v)| (name.clone(), symbols.try_encode(v)))
+                .collect(),
+        }
+    }
+
+    /// Binds one already-encoded cell.
+    pub fn bind(&mut self, name: impl Into<String>, cell: Option<Cell>) {
+        let name = name.into();
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c = cell,
+            None => self.entries.push((name, cell)),
+        }
+    }
+
+    /// The binding for `name`: `None` if unbound, `Some(None)` if bound to
+    /// a never-interned value, `Some(Some(cell))` otherwise.
+    pub fn get(&self, name: &str) -> Option<Option<Cell>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+    }
+
+    /// Bound names, in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no parameters are bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Shared execution state: the database (for its symbol table), the meter
-/// every operator charges, and the optional row budget.
+/// every operator charges, the optional row budget, and the parameter
+/// bindings of the request being served.
 pub struct ExecContext<'a> {
     /// The database being queried (operators use its symbol table; fetch
     /// sources hold their own table/index references).
@@ -48,6 +123,10 @@ pub struct ExecContext<'a> {
     pub meter: Meter,
     /// Touched-row budget; `None` runs to completion.
     pub budget: Option<u64>,
+    /// Parameter bindings for plans with [`bcq_core::plan::KeySource::Param`]
+    /// slots; empty for ground plans. Borrowed: the serving layer encodes
+    /// once per request and lends the environment to the context.
+    pub params: &'a ParamEnv,
 }
 
 impl<'a> ExecContext<'a> {
@@ -57,6 +136,17 @@ impl<'a> ExecContext<'a> {
             db,
             meter: Meter::new(),
             budget,
+            params: ParamEnv::empty_ref(),
+        }
+    }
+
+    /// A context carrying parameter bindings (prepared-plan execution).
+    pub fn with_params(db: &'a Database, budget: Option<u64>, params: &'a ParamEnv) -> Self {
+        ExecContext {
+            db,
+            meter: Meter::new(),
+            budget,
+            params,
         }
     }
 
@@ -148,8 +238,9 @@ pub enum FetchSource<'a> {
 pub struct Fetch<'a> {
     /// The atom the batch instantiates.
     pub atom: usize,
-    /// Relation columns to project each fetched row onto.
-    pub cols: Vec<usize>,
+    /// Relation columns to project each fetched row onto (borrowed: plans
+    /// and baseline column sets outlive the fetch).
+    pub cols: &'a [usize],
     /// The access path.
     pub source: FetchSource<'a>,
 }
@@ -157,6 +248,17 @@ pub struct Fetch<'a> {
 impl Fetch<'_> {
     /// Runs the fetch.
     pub fn run(&self, ctx: &mut ExecContext<'_>) -> Result<Batch, BudgetExhausted> {
+        Ok(Batch {
+            atom: self.atom,
+            cols: self.cols.to_vec(),
+            rows: self.run_rows(ctx)?,
+        })
+    }
+
+    /// Runs the fetch, returning only the projected rows — the bounded
+    /// executor's hot path (it tracks columns through the plan's steps and
+    /// has no use for a per-fetch copy).
+    pub fn run_rows(&self, ctx: &mut ExecContext<'_>) -> Result<Vec<RowBuf>, BudgetExhausted> {
         let mut rows: Vec<RowBuf> = Vec::new();
         let project = |row: &[Cell]| -> RowBuf { self.cols.iter().map(|&c| row[c]).collect() };
         match &self.source {
@@ -197,11 +299,7 @@ impl Fetch<'_> {
                 }
             }
         }
-        Ok(Batch {
-            atom: self.atom,
-            cols: self.cols.clone(),
-            rows,
-        })
+        Ok(rows)
     }
 }
 
@@ -221,8 +319,12 @@ pub struct FilterAtom<'q> {
 }
 
 impl FilterAtom<'_> {
-    /// Filters `batch` in place.
-    pub fn apply(&self, symbols: &SymbolTable, batch: &mut Batch) {
+    /// Filters `batch` in place. Constant equalities, bound-parameter
+    /// equalities (`S[A] = ?p` with `?p` in the context's [`ParamEnv`]),
+    /// and intra-atom attribute equalities are applied; unbound parameters
+    /// stay inert (template semantics).
+    pub fn apply(&self, ctx: &ExecContext<'_>, batch: &mut Batch) {
+        let symbols = ctx.symbols();
         let q = self.query;
         let col_pos = |cols: &[usize], col: usize| cols.iter().position(|&c| c == col);
         // `None` constant: the value was never interned, nothing matches.
@@ -233,6 +335,13 @@ impl FilterAtom<'_> {
                 Predicate::Const(a, v) if a.atom == batch.atom => {
                     if let Some(i) = col_pos(&batch.cols, a.col) {
                         checks.push((i, symbols.try_encode(v)));
+                    }
+                }
+                Predicate::Param(a, name) if a.atom == batch.atom => {
+                    if let (Some(i), Some(cell)) =
+                        (col_pos(&batch.cols, a.col), ctx.params.get(name))
+                    {
+                        checks.push((i, cell));
                     }
                 }
                 Predicate::Eq(a, b) if a.atom == batch.atom && b.atom == batch.atom => {
@@ -323,9 +432,17 @@ impl HashJoin<'_> {
         let mut order: Vec<usize> = Vec::with_capacity(batches.len());
         let mut used = vec![false; batches.len()];
         let mut bound = vec![false; nclasses];
-        // Constants are always bound (checked in filters).
+        // Constants are always bound (checked in filters) — and so are
+        // classes pinned by a bound parameter, which are constants at
+        // execution time; counting them keeps prepared plans choosing the
+        // same join orders as the equivalent ground query.
         for (i, cls) in sigma.classes().iter().enumerate() {
-            if cls.constant.is_some() {
+            if cls.constant.is_some()
+                || cls
+                    .placeholders
+                    .iter()
+                    .any(|name| matches!(ctx.params.get(name), Some(Some(_))))
+            {
                 bound[i] = true;
             }
         }
@@ -353,19 +470,35 @@ impl HashJoin<'_> {
         }
 
         // Partial results: one cell slot per class, seeded with the
-        // constants so constant-join columns line up across atoms. A
-        // constant that was never interned cannot be matched by any row of
+        // constants — and with bound parameters, which are constants at
+        // execution time — so pinned join columns line up across atoms. A
+        // value that was never interned cannot be matched by any row of
         // the (non-empty, already filtered) batches that carry its class —
         // but classes whose columns appear in *no* batch must still compare
-        // equal, so bail out to the empty result explicitly.
+        // equal, so bail out to the empty result explicitly. The same bail
+        // applies when a class is pinned to two disagreeing values (a
+        // binding conflicting with a constant or another binding).
         let mut seed: Box<[Option<Cell>]> = vec![None; nclasses].into_boxed_slice();
         for (i, cls) in sigma.classes().iter().enumerate() {
+            let mut pinned: Option<Cell> = None;
             if let Some(v) = &cls.constant {
                 match symbols.try_encode(v) {
-                    Some(cell) => seed[i] = Some(cell),
+                    Some(cell) => pinned = Some(cell),
                     None => return Ok(Vec::new()),
                 }
             }
+            for name in &cls.placeholders {
+                match ctx.params.get(name) {
+                    Some(Some(cell)) => match pinned {
+                        None => pinned = Some(cell),
+                        Some(prev) if prev == cell => {}
+                        Some(_) => return Ok(Vec::new()),
+                    },
+                    Some(None) => return Ok(Vec::new()),
+                    None => {} // unbound placeholder: inert (template semantics)
+                }
+            }
+            seed[i] = pinned;
         }
         let mut partials: Vec<Box<[Option<Cell>]>> = vec![seed];
 
@@ -390,11 +523,17 @@ impl HashJoin<'_> {
                 .map(|&c| classes.iter().position(|&k| k == c).expect("shared class"))
                 .collect();
 
-            // Hash the batch rows on the shared classes.
-            let mut table: FxHashMap<RowBuf, Vec<usize>> = FxHashMap::default();
+            // Hash the batch rows on the shared classes. Buckets are a
+            // linked list threaded through one `next_row` array (newest
+            // first) — one map + one vector, no per-key allocation.
+            const NIL: u32 = u32::MAX;
+            let mut bucket_head: FxHashMap<RowBuf, u32> = FxHashMap::default();
+            let mut next_row: Vec<u32> = Vec::with_capacity(batch.rows.len());
             for (ri, row) in batch.rows.iter().enumerate() {
                 let key: RowBuf = shared_pos.iter().map(|&p| row[p]).collect();
-                table.entry(key).or_default().push(ri);
+                let head = bucket_head.entry(key).or_insert(NIL);
+                next_row.push(*head);
+                *head = ri as u32;
             }
 
             let mut next: Vec<Box<[Option<Cell>]>> = Vec::new();
@@ -403,10 +542,13 @@ impl HashJoin<'_> {
                     .iter()
                     .map(|&c| partial[c].expect("shared class is bound"))
                     .collect();
-                let Some(matches) = table.get(key.as_slice()) else {
+                let Some(&head) = bucket_head.get(key.as_slice()) else {
                     continue;
                 };
-                for &ri in matches {
+                let mut cursor = head;
+                while cursor != NIL {
+                    let ri = cursor as usize;
+                    cursor = next_row[ri];
                     let row = &batch.rows[ri];
                     let mut merged = partial.clone();
                     let mut ok = true;
@@ -532,7 +674,7 @@ pub fn run_join_pipeline(
 ) -> Result<ResultSet, BudgetExhausted> {
     let filter = FilterAtom { query: q, sigma };
     for batch in &mut batches {
-        filter.apply(ctx.symbols(), batch);
+        filter.apply(ctx, batch);
         if batch.rows.is_empty() {
             return Ok(ResultSet::empty());
         }
@@ -684,11 +826,12 @@ mod tests {
             rows: rows(&[&[1, 5, 5], &[1, 5, 6], &[2, 7, 7]]),
         };
         let db = dummy_db();
+        let ctx = ExecContext::new(&db, None);
         FilterAtom {
             query: &q,
             sigma: &sigma,
         }
-        .apply(db.symbols(), &mut batch);
+        .apply(&ctx, &mut batch);
         assert_eq!(batch.rows, rows(&[&[1, 5, 5]]));
     }
 
@@ -708,11 +851,12 @@ mod tests {
             rows: rows(&[&[1], &[2]]),
         };
         let db = dummy_db();
+        let ctx = ExecContext::new(&db, None);
         FilterAtom {
             query: &q,
             sigma: &sigma,
         }
-        .apply(db.symbols(), &mut batch);
+        .apply(&ctx, &mut batch);
         assert!(batch.rows.is_empty());
     }
 
@@ -770,7 +914,7 @@ mod tests {
         let want = db.symbols().try_encode(&Value::int(1));
         let fetch = Fetch {
             atom: 0,
-            cols: vec![0, 1],
+            cols: &[0, 1],
             source: FetchSource::Scan {
                 table: db.table(bcq_core::prelude::RelId(0)),
                 consts: vec![(0, want)],
@@ -792,7 +936,7 @@ mod tests {
         let mut ctx = ExecContext::new(&db, Some(4));
         let fetch = Fetch {
             atom: 0,
-            cols: vec![0],
+            cols: &[0],
             source: FetchSource::Scan {
                 table: db.table(bcq_core::prelude::RelId(0)),
                 consts: vec![],

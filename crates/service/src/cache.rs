@@ -1,0 +1,186 @@
+//! The plan cache: an LRU of [`PreparedQuery`]s keyed on
+//! query + access-schema fingerprints.
+//!
+//! Entries remember the database epoch they were last validated against;
+//! the server revalidates (cheaply — an index-existence check) or drops
+//! entries whose epoch fell behind, so a cached plan can never silently
+//! execute against indices that a bulk load swept away. Every movement is
+//! counted in [`CacheStats`] — the service's observability surface.
+
+use crate::prepared::PreparedQuery;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache movement counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (a prepare followed).
+    pub misses: u64,
+    /// Entries evicted by capacity pressure (LRU order).
+    pub evictions: u64,
+    /// Entries dropped because epoch revalidation failed.
+    pub invalidations: u64,
+    /// Entries whose epoch was refreshed after a successful revalidation.
+    pub revalidations: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    prepared: Arc<PreparedQuery>,
+    last_used: u64,
+    epoch_validated: u64,
+}
+
+/// An LRU cache of prepared queries.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, Entry>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` prepared queries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Movement counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks `key` up, bumping recency and the hit/miss counters. Returns
+    /// the entry and the epoch it was last validated against.
+    pub fn get(&mut self, key: &str) -> Option<(Arc<PreparedQuery>, u64)> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some((Arc::clone(&e.prepared), e.epoch_validated))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Marks `key` as revalidated at `epoch` (indices confirmed present).
+    pub fn revalidate(&mut self, key: &str, epoch: u64) {
+        if let Some(e) = self.map.get_mut(key) {
+            e.epoch_validated = epoch;
+            self.stats.revalidations += 1;
+        }
+    }
+
+    /// Drops `key` after a failed revalidation.
+    pub fn invalidate(&mut self, key: &str) {
+        if self.map.remove(key).is_some() {
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Inserts a freshly prepared entry validated at `epoch`, evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn insert(&mut self, key: String, prepared: Arc<PreparedQuery>, epoch: u64) {
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.map.insert(
+            key,
+            Entry {
+                prepared,
+                last_used: self.tick,
+                epoch_validated: epoch,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcq_core::prelude::{Catalog, SpcQuery};
+
+    fn prepared(tag: i64) -> Arc<PreparedQuery> {
+        let cat = Catalog::from_names(&[("r", &["a"])]).unwrap();
+        let q = SpcQuery::builder(cat, "q")
+            .atom("r", "r")
+            .eq_const(("r", "a"), tag)
+            .build()
+            .unwrap();
+        Arc::new(PreparedQuery::unbounded(q, format!("fp{tag}")))
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.insert("a".into(), prepared(1), 0);
+        c.insert("b".into(), prepared(2), 0);
+        assert!(c.get("a").is_some()); // "b" is now LRU
+        c.insert("c".into(), prepared(3), 0);
+        assert!(c.get("b").is_none(), "b evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn revalidate_and_invalidate_are_counted() {
+        let mut c = PlanCache::new(4);
+        c.insert("a".into(), prepared(1), 7);
+        let (_, epoch) = c.get("a").unwrap();
+        assert_eq!(epoch, 7);
+        c.revalidate("a", 9);
+        let (_, epoch) = c.get("a").unwrap();
+        assert_eq!(epoch, 9);
+        c.invalidate("a");
+        assert!(c.get("a").is_none());
+        let s = c.stats();
+        assert_eq!(s.revalidations, 1);
+        assert_eq!(s.invalidations, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_evict_others() {
+        let mut c = PlanCache::new(2);
+        c.insert("a".into(), prepared(1), 0);
+        c.insert("b".into(), prepared(2), 0);
+        c.insert("a".into(), prepared(3), 1); // overwrite, no eviction
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+    }
+}

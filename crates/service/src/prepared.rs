@@ -1,0 +1,284 @@
+//! Prepared queries: compile once, classify, execute many times.
+//!
+//! A [`PreparedQuery`] is the unit the [`crate::PlanCache`] stores. It
+//! bundles the query template, its execution [`Lane`], and — for the
+//! bounded lane — the parameterized plan compiled by
+//! [`bcq_core::qplan::qplan_template`]. Preparation is the expensive step
+//! (`Σ_Q` closure, `ebcheck`, plan generation); execution replays the
+//! compiled artifact against per-request bindings.
+//!
+//! Fingerprints are the cache keys: a canonical, name-independent rendering
+//! of the query (two templates that differ only in their display name or in
+//! predicate order collide on purpose) concatenated with a fingerprint of
+//! the access schema the plan was compiled under.
+
+use bcq_core::access::AccessSchema;
+use bcq_core::plan::QueryPlan;
+use bcq_core::prelude::{Predicate, RaExpr, SpcQuery};
+use std::fmt::Write as _;
+
+/// How a prepared query executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Effectively bounded: compiled plan, `eval_dq` data plane. Per-request
+    /// cost independent of `|D|`.
+    Bounded,
+    /// A certified RA expression: evaluated boundedly through `eval_ra`.
+    /// Preparation caches the certification (and, for templates, the slot
+    /// metadata), but `eval_ra` still re-plans each SPC block per request —
+    /// caching those inner plans is the ROADMAP's "precompiled operator
+    /// programs" follow-on.
+    BoundedRa,
+    /// Not effectively bounded: admitted onto the conventional baseline
+    /// under a hard work budget (never under a strict admission policy).
+    Unbounded,
+}
+
+impl std::fmt::Display for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lane::Bounded => write!(f, "bounded"),
+            Lane::BoundedRa => write!(f, "bounded-ra"),
+            Lane::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// A query compiled and classified at prepare time.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    template: SpcQuery,
+    lane: Lane,
+    plan: Option<QueryPlan>,
+    ra: Option<RaExpr>,
+    slots: Vec<String>,
+    fingerprint: String,
+}
+
+impl PreparedQuery {
+    pub(crate) fn bounded(template: SpcQuery, plan: QueryPlan, fingerprint: String) -> Self {
+        let slots = plan.param_slots();
+        PreparedQuery {
+            template,
+            lane: Lane::Bounded,
+            plan: Some(plan),
+            ra: None,
+            slots,
+            fingerprint,
+        }
+    }
+
+    pub(crate) fn bounded_ra(template: SpcQuery, ra: RaExpr, fingerprint: String) -> Self {
+        // Slots are the union across all SPC blocks (a template can spread
+        // its placeholders over both sides of a set operation).
+        let mut slots: Vec<String> = Vec::new();
+        for q in ra.blocks() {
+            for name in q.placeholder_names() {
+                if !slots.contains(&name) {
+                    slots.push(name);
+                }
+            }
+        }
+        PreparedQuery {
+            template,
+            lane: Lane::BoundedRa,
+            plan: None,
+            ra: Some(ra),
+            slots,
+            fingerprint,
+        }
+    }
+
+    pub(crate) fn unbounded(template: SpcQuery, fingerprint: String) -> Self {
+        let slots = template.placeholder_names();
+        PreparedQuery {
+            template,
+            lane: Lane::Unbounded,
+            plan: None,
+            ra: None,
+            slots,
+            fingerprint,
+        }
+    }
+
+    /// The lane this query executes on.
+    pub fn lane(&self) -> Lane {
+        self.lane
+    }
+
+    /// The prepared template (placeholders intact).
+    pub fn template(&self) -> &SpcQuery {
+        &self.template
+    }
+
+    /// The compiled parameterized plan ([`Lane::Bounded`] only).
+    pub fn plan(&self) -> Option<&QueryPlan> {
+        self.plan.as_ref()
+    }
+
+    /// The certified RA expression ([`Lane::BoundedRa`] only).
+    pub fn ra(&self) -> Option<&RaExpr> {
+        self.ra.as_ref()
+    }
+
+    /// Parameter slots a request must bind, in first-use order.
+    pub fn param_slots(&self) -> &[String] {
+        &self.slots
+    }
+
+    /// The static `Σ M_i` bound on tuples fetched per execution
+    /// ([`Lane::Bounded`] only) — the paper's `|D_Q|` guarantee.
+    pub fn cost_bound(&self) -> Option<u128> {
+        self.plan.as_ref().map(QueryPlan::cost_bound)
+    }
+
+    /// The cache key this entry is stored under.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+}
+
+/// Canonical, name-independent fingerprint of a query: atoms in order (the
+/// product is ordered), predicates sorted and deduplicated (conjunction is
+/// not), projection in order. Two queries with equal fingerprints have
+/// identical answers on every database — the normalization the plan cache
+/// keys on.
+pub fn query_fingerprint(q: &SpcQuery) -> String {
+    let mut s = String::with_capacity(64);
+    s.push_str("atoms:");
+    for atom in q.atoms() {
+        let _ = write!(s, "{},", atom.relation.0);
+    }
+    let mut preds: Vec<String> = q
+        .predicates()
+        .iter()
+        .map(|p| match p {
+            Predicate::Eq(a, b) => {
+                // Equality is symmetric: order the endpoints.
+                let (x, y) = (q.flat_id(*a), q.flat_id(*b));
+                let (x, y) = if x <= y { (x, y) } else { (y, x) };
+                format!("e{x}={y}")
+            }
+            Predicate::Const(a, v) => format!("c{}={v:?}", q.flat_id(*a)),
+            Predicate::Param(a, name) => format!("p{}=?{name}", q.flat_id(*a)),
+        })
+        .collect();
+    preds.sort_unstable();
+    preds.dedup();
+    s.push_str("|sel:");
+    for p in preds {
+        s.push_str(&p);
+        s.push(';');
+    }
+    s.push_str("|proj:");
+    for z in q.projection() {
+        let _ = write!(s, "{},", q.flat_id(*z));
+    }
+    s
+}
+
+/// Fingerprint of an RA expression (structure + block fingerprints).
+pub fn ra_fingerprint(expr: &RaExpr) -> String {
+    match expr {
+        RaExpr::Spc(q) => format!("S({})", query_fingerprint(q)),
+        RaExpr::Union(l, r) => format!("U({},{})", ra_fingerprint(l), ra_fingerprint(r)),
+        RaExpr::Intersect(l, r) => format!("I({},{})", ra_fingerprint(l), ra_fingerprint(r)),
+        RaExpr::Difference(l, r) => format!("D({},{})", ra_fingerprint(l), ra_fingerprint(r)),
+    }
+}
+
+/// Fingerprint of an access schema: every constraint's relation, key and
+/// value columns, and bound, in declaration order. Plans compiled under
+/// different access schemas never share a cache slot.
+pub fn access_fingerprint(a: &AccessSchema) -> String {
+    let mut s = String::with_capacity(32);
+    for c in a.constraints() {
+        let _ = write!(s, "{}:", c.relation().0);
+        for x in c.x() {
+            let _ = write!(s, "{x},");
+        }
+        s.push_str("->");
+        for y in c.y() {
+            let _ = write!(s, "{y},");
+        }
+        let _ = write!(s, "@{};", c.n());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcq_core::prelude::{Catalog, Value};
+    use std::sync::Arc;
+
+    fn catalog() -> Arc<Catalog> {
+        Catalog::from_names(&[("r", &["a", "b"]), ("s", &["c", "d"])]).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_ignores_name_and_predicate_order() {
+        let cat = catalog();
+        let q1 = SpcQuery::builder(cat.clone(), "first")
+            .atom("r", "x")
+            .atom("s", "y")
+            .eq(("x", "b"), ("y", "c"))
+            .eq_const(("x", "a"), 7)
+            .project(("y", "d"))
+            .build()
+            .unwrap();
+        let q2 = SpcQuery::builder(cat, "second")
+            .atom("r", "other")
+            .atom("s", "alias")
+            .eq_const(("other", "a"), 7)
+            .eq(("alias", "c"), ("other", "b")) // flipped + reordered
+            .project(("alias", "d"))
+            .build()
+            .unwrap();
+        assert_eq!(query_fingerprint(&q1), query_fingerprint(&q2));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_values_types_and_shape() {
+        let cat = catalog();
+        let base = |v: Value| {
+            SpcQuery::builder(catalog(), "q")
+                .atom("r", "x")
+                .eq_const(("x", "a"), v)
+                .project(("x", "b"))
+                .build()
+                .unwrap()
+        };
+        assert_ne!(
+            query_fingerprint(&base(Value::int(1))),
+            query_fingerprint(&base(Value::str("1"))),
+            "int 1 and string \"1\" must not collide"
+        );
+        let proj_a = SpcQuery::builder(cat.clone(), "q")
+            .atom("r", "x")
+            .project(("x", "a"))
+            .build()
+            .unwrap();
+        let proj_b = SpcQuery::builder(cat, "q")
+            .atom("r", "x")
+            .project(("x", "b"))
+            .build()
+            .unwrap();
+        assert_ne!(query_fingerprint(&proj_a), query_fingerprint(&proj_b));
+    }
+
+    #[test]
+    fn access_fingerprint_tracks_constraints() {
+        let cat = catalog();
+        let mut a1 = AccessSchema::new(cat.clone());
+        a1.add("r", &["a"], &["b"], 10).unwrap();
+        let mut a2 = AccessSchema::new(cat.clone());
+        a2.add("r", &["a"], &["b"], 10).unwrap();
+        assert_eq!(access_fingerprint(&a1), access_fingerprint(&a2));
+        a2.add("s", &["c"], &["d"], 5).unwrap();
+        assert_ne!(access_fingerprint(&a1), access_fingerprint(&a2));
+        let mut a3 = AccessSchema::new(cat);
+        a3.add("r", &["a"], &["b"], 11).unwrap(); // different bound
+        assert_ne!(access_fingerprint(&a1), access_fingerprint(&a3));
+    }
+}

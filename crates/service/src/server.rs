@@ -1,0 +1,1038 @@
+//! The serving front door: [`Server`] owns the shared database, the plan
+//! cache and the registered incremental views; [`Session`] is a per-client
+//! handle that aggregates request statistics.
+//!
+//! ## Request lifecycle
+//!
+//! `Session::query` → [`Server::prepare`] (plan-cache lookup; on a miss the
+//! template is compiled and classified into its [`Lane`]) →
+//! [`Server::execute`] (snapshot the database, encode the bindings to cells
+//! once, run the lane's executor). Every response carries
+//! [`RequestStats`]: lane taken, cache hit, epoch served, the full access
+//! [`Meter`], and the budget verdict.
+//!
+//! ## Admission control
+//!
+//! Queries that are not effectively bounded are the serving tier's tail
+//! risk: their cost grows with `|D|`. [`AdmissionPolicy::Budgeted`] admits
+//! them onto the conventional baseline under a hard touched-row cap (the
+//! paper's 2 500 s wall, deterministically); [`AdmissionPolicy::Strict`]
+//! rejects them at prepare time, so a production deployment can guarantee
+//! every admitted request runs in bounded work.
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::prepared::{access_fingerprint, query_fingerprint, ra_fingerprint, Lane, PreparedQuery};
+use crate::shared::SharedDb;
+use bcq_core::access::AccessSchema;
+use bcq_core::error::CoreError;
+use bcq_core::prelude::{parse_spc, RaExpr, SpcQuery, Value};
+use bcq_core::qplan::qplan_template;
+use bcq_exec::ra::eval_ra;
+use bcq_exec::{
+    baseline, eval_dq_with, BaselineMode, BaselineOptions, BaselineOutcome, IncrementalAnswer,
+    ParamEnv, ResultSet,
+};
+use bcq_storage::{Database, Meter};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// An underlying analysis / planning / execution error.
+    Core(CoreError),
+    /// The query was refused by the admission policy.
+    Rejected(String),
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Core(e) => write!(f, "{e}"),
+            ServiceError::Rejected(why) => write!(f, "admission rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// What the server does with queries that are not effectively bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Reject at prepare time: every admitted request runs bounded work.
+    Strict,
+    /// Admit onto the budgeted baseline with this touched-row cap.
+    Budgeted(u64),
+}
+
+/// Server construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Plan-cache capacity (prepared queries).
+    pub plan_cache_capacity: usize,
+    /// Admission policy for unbounded queries.
+    pub policy: AdmissionPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            plan_cache_capacity: 256,
+            policy: AdmissionPolicy::Budgeted(1_000_000),
+        }
+    }
+}
+
+/// Budget verdict of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetVerdict {
+    /// Bounded lanes: no budget applies (the plan itself is the bound).
+    Unlimited,
+    /// Budgeted baseline finished within the cap.
+    Completed {
+        /// The touched-row cap that was in force.
+        cap: u64,
+    },
+    /// Budgeted baseline exhausted the cap — no answer.
+    Exhausted {
+        /// The touched-row cap that was in force.
+        cap: u64,
+    },
+}
+
+/// Result payload of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The exact answer.
+    Answer(ResultSet),
+    /// The budgeted baseline hit its work cap before finishing.
+    DidNotFinish,
+}
+
+/// Per-request accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestStats {
+    /// Lane the request executed on.
+    pub lane: Lane,
+    /// `true` if the prepared query came out of the plan cache.
+    pub cache_hit: bool,
+    /// Database epoch the request was served at.
+    pub epoch: u64,
+    /// Access accounting (`meter.tuples_fetched` is `|D_Q|` for bounded
+    /// requests).
+    pub meter: Meter,
+    /// Budget verdict.
+    pub budget: BudgetVerdict,
+    /// Wall-clock execution time (excludes prepare).
+    pub elapsed: Duration,
+}
+
+/// One served request: outcome + stats.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Answer or did-not-finish.
+    pub outcome: Outcome,
+    /// Per-request accounting.
+    pub stats: RequestStats,
+}
+
+impl Response {
+    /// The answer, if the request finished.
+    pub fn rows(&self) -> Option<&ResultSet> {
+        match &self.outcome {
+            Outcome::Answer(rs) => Some(rs),
+            Outcome::DidNotFinish => None,
+        }
+    }
+
+    /// `true` if the request produced an answer.
+    pub fn finished(&self) -> bool {
+        matches!(self.outcome, Outcome::Answer(_))
+    }
+}
+
+/// A prepare result: the compiled query plus whether the cache served it.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The compiled, classified query.
+    pub query: Arc<PreparedQuery>,
+    /// `true` if this came out of the plan cache.
+    pub cache_hit: bool,
+}
+
+/// Identifier of a registered incremental view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewId(pub usize);
+
+struct View {
+    answer: IncrementalAnswer,
+    epoch: u64,
+}
+
+/// The query-serving server: shared database, plan cache, admission
+/// control, registered views. `Server` is `Sync` — share it behind an
+/// `Arc` and open one [`Session`] per client/thread.
+pub struct Server {
+    shared: SharedDb,
+    access: AccessSchema,
+    config: ServerConfig,
+    access_fp: String,
+    cache: Mutex<PlanCache>,
+    views: Mutex<Vec<View>>,
+}
+
+impl Server {
+    /// Builds a server over `db`, ensuring every index declared by
+    /// `access` exists before the first request.
+    pub fn new(mut db: Database, access: AccessSchema, config: ServerConfig) -> Self {
+        db.build_indexes(&access);
+        let access_fp = access_fingerprint(&access);
+        Server {
+            shared: SharedDb::new(db),
+            access,
+            config,
+            access_fp,
+            cache: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
+            views: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The access schema requests are planned under.
+    pub fn access(&self) -> &AccessSchema {
+        &self.access
+    }
+
+    /// The configured admission policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.config.policy
+    }
+
+    /// An immutable snapshot of the current database state.
+    pub fn snapshot(&self) -> Arc<Database> {
+        self.shared.snapshot()
+    }
+
+    /// The current database epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch()
+    }
+
+    /// Plan-cache movement counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock poisoned").stats()
+    }
+
+    /// Opens a session (per client/thread; sessions share the server's
+    /// cache and database).
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            server: Arc::clone(self),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Prepares (or fetches from cache) a query template: classification
+    /// into a lane, and for the bounded lane the compiled parameterized
+    /// plan. Epoch-stale cache entries are revalidated against the current
+    /// snapshot's indices, or dropped and re-prepared.
+    pub fn prepare(&self, q: &SpcQuery) -> crate::Result<Prepared> {
+        let key = format!("{}#{}", query_fingerprint(q), self.access_fp);
+        self.prepare_keyed(key, || self.classify_spc(q))
+    }
+
+    /// Prepares an RA expression. Certified expressions ride the
+    /// [`Lane::BoundedRa`] lane; an uncertified bare SPC block degrades to
+    /// the budgeted baseline like [`Server::prepare`]; uncertified set
+    /// expressions are rejected (the baseline evaluates SPC only).
+    pub fn prepare_ra(&self, expr: &RaExpr) -> crate::Result<Prepared> {
+        let key = format!("{}#{}", ra_fingerprint(expr), self.access_fp);
+        self.prepare_keyed(key, || self.classify_ra(expr))
+    }
+
+    fn prepare_keyed(
+        &self,
+        key: String,
+        build: impl FnOnce() -> crate::Result<PreparedQuery>,
+    ) -> crate::Result<Prepared> {
+        let snap = self.shared.snapshot();
+        let epoch = snap.epoch();
+        {
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            if let Some((prepared, validated_at)) = cache.get(&key) {
+                if validated_at == epoch {
+                    return Ok(Prepared {
+                        query: prepared,
+                        cache_hit: true,
+                    });
+                }
+                // Epoch moved under the entry: confirm the plan's indices
+                // still exist (writes through the server keep them
+                // maintained; bulk loads rebuild them — either way this
+                // usually succeeds and costs a few hash lookups).
+                if self.plan_indexes_built(&snap, &prepared) {
+                    cache.revalidate(&key, epoch);
+                    return Ok(Prepared {
+                        query: prepared,
+                        cache_hit: true,
+                    });
+                }
+                cache.invalidate(&key);
+            }
+        }
+        // Miss (or invalidated): compile outside the cache lock.
+        let prepared = Arc::new(build()?);
+        let mut cache = self.cache.lock().expect("cache lock poisoned");
+        cache.insert(key, Arc::clone(&prepared), epoch);
+        Ok(Prepared {
+            query: prepared,
+            cache_hit: false,
+        })
+    }
+
+    fn plan_indexes_built(&self, db: &Database, p: &PreparedQuery) -> bool {
+        match p.plan() {
+            Some(plan) => plan.steps().iter().all(|s| match s.constraint {
+                Some(cid) => db.index_for(self.access.constraint(cid)).is_some(),
+                None => true,
+            }),
+            // RA and baseline lanes hold no compiled index references.
+            None => true,
+        }
+    }
+
+    fn classify_spc(&self, q: &SpcQuery) -> crate::Result<PreparedQuery> {
+        let fp = query_fingerprint(q);
+        match qplan_template(q, &self.access) {
+            Ok(plan) => Ok(PreparedQuery::bounded(q.clone(), plan, fp)),
+            Err(CoreError::NotEffectivelyBounded(why)) => match self.config.policy {
+                AdmissionPolicy::Strict => Err(ServiceError::Rejected(format!(
+                    "query is not effectively bounded and the policy is strict: {why}"
+                ))),
+                AdmissionPolicy::Budgeted(_) => Ok(PreparedQuery::unbounded(q.clone(), fp)),
+            },
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn classify_ra(&self, expr: &RaExpr) -> crate::Result<PreparedQuery> {
+        expr.validate()?;
+        if let RaExpr::Spc(q) = expr {
+            return self.classify_spc(q);
+        }
+        // Templates: certification depends only on *which* attributes are
+        // pinned, never on the pinned values, so certify a sentinel
+        // instantiation with a distinct value per slot. Distinct sentinels
+        // are the conservative case — a real binding that repeats a value
+        // across slots only merges `Σ_Q` classes, which grows the closure
+        // and can never un-certify — so this certificate covers every
+        // future binding.
+        let slots = ra_placeholder_names(expr);
+        let report = if slots.is_empty() {
+            bcq_core::ra::ra_effectively_bounded(expr, &self.access)
+        } else {
+            let sentinels: BTreeMap<String, Value> = slots
+                .iter()
+                .enumerate()
+                .map(|(i, name)| (name.clone(), Value::str(format!("\u{1}slot-{i}"))))
+                .collect();
+            bcq_core::ra::ra_effectively_bounded(&instantiate_ra(expr, &sentinels), &self.access)
+        };
+        if report.effectively_bounded {
+            // The template stored is the first block (for slot metadata);
+            // evaluation walks the whole expression.
+            let template = match expr.blocks().first() {
+                Some(q) => (*q).clone(),
+                None => return Err(ServiceError::Rejected("empty RA expression".into())),
+            };
+            Ok(PreparedQuery::bounded_ra(
+                template,
+                expr.clone(),
+                ra_fingerprint(expr),
+            ))
+        } else {
+            Err(ServiceError::Rejected(format!(
+                "RA expression is not certified effectively bounded: {}",
+                report.failure.unwrap_or_default()
+            )))
+        }
+    }
+
+    /// Executes a prepared query against the current snapshot with the
+    /// given parameter bindings. (`stats.cache_hit` is filled by
+    /// [`Session::query`]; direct callers get `false`.)
+    pub fn execute(
+        &self,
+        p: &PreparedQuery,
+        bindings: &BTreeMap<String, Value>,
+    ) -> crate::Result<Response> {
+        let snap = self.shared.snapshot();
+        let epoch = snap.epoch();
+        let start = Instant::now();
+        match p.lane() {
+            Lane::Bounded => {
+                let plan = p.plan().expect("bounded lane has a plan");
+                // The Value boundary is crossed exactly once per request.
+                let env = ParamEnv::encode(snap.symbols(), bindings);
+                let out = eval_dq_with(&snap, plan, &self.access, &env)?;
+                Ok(Response {
+                    outcome: Outcome::Answer(out.result),
+                    stats: RequestStats {
+                        lane: Lane::Bounded,
+                        cache_hit: false,
+                        epoch,
+                        meter: out.meter,
+                        budget: BudgetVerdict::Unlimited,
+                        elapsed: start.elapsed(),
+                    },
+                })
+            }
+            Lane::BoundedRa => {
+                let expr = p.ra().expect("bounded-ra lane has an expression");
+                let missing: Vec<String> = p
+                    .param_slots()
+                    .iter()
+                    .filter(|name| !bindings.contains_key(*name))
+                    .cloned()
+                    .collect();
+                if !missing.is_empty() {
+                    return Err(CoreError::UnboundParameters(missing).into());
+                }
+                let ground;
+                let expr = if p.param_slots().is_empty() {
+                    expr
+                } else {
+                    ground = instantiate_ra(expr, bindings);
+                    &ground
+                };
+                let out = eval_ra(&snap, expr, &self.access)?;
+                let meter = Meter {
+                    tuples_fetched: out.tuples_fetched,
+                    index_probes: out.probes,
+                    ..Meter::default()
+                };
+                Ok(Response {
+                    outcome: Outcome::Answer(out.result),
+                    stats: RequestStats {
+                        lane: Lane::BoundedRa,
+                        cache_hit: false,
+                        epoch,
+                        meter,
+                        budget: BudgetVerdict::Unlimited,
+                        elapsed: start.elapsed(),
+                    },
+                })
+            }
+            Lane::Unbounded => {
+                let cap = match self.config.policy {
+                    AdmissionPolicy::Budgeted(cap) => cap,
+                    AdmissionPolicy::Strict => {
+                        return Err(ServiceError::Rejected(
+                            "unbounded query under a strict policy".into(),
+                        ))
+                    }
+                };
+                let ground = p.template().instantiate(bindings);
+                ground.require_ground()?;
+                let out = baseline(
+                    &snap,
+                    &ground,
+                    &self.access,
+                    BaselineOptions {
+                        mode: BaselineMode::ConstIndex,
+                        work_budget: Some(cap),
+                    },
+                )?;
+                let (outcome, meter, budget) = match out {
+                    BaselineOutcome::Completed { result, meter, .. } => (
+                        Outcome::Answer(result),
+                        meter,
+                        BudgetVerdict::Completed { cap },
+                    ),
+                    BaselineOutcome::DidNotFinish { meter, .. } => (
+                        Outcome::DidNotFinish,
+                        meter,
+                        BudgetVerdict::Exhausted { cap },
+                    ),
+                };
+                Ok(Response {
+                    outcome,
+                    stats: RequestStats {
+                        lane: Lane::Unbounded,
+                        cache_hit: false,
+                        epoch,
+                        meter,
+                        budget,
+                        elapsed: start.elapsed(),
+                    },
+                })
+            }
+        }
+    }
+
+    /// Inserts one row through the single-writer path:
+    /// [`Database::insert_maintained`] keeps every index fresh in place,
+    /// the epoch advances, and every registered view applies its bounded
+    /// delta. Cached plans stay valid (their indices were maintained, which
+    /// the next prepare's revalidation confirms).
+    pub fn insert(&self, rel_name: &str, row: &[Value]) -> crate::Result<u32> {
+        // Views lock held across the write so deltas apply in write order.
+        let mut views = self.views.lock().expect("views lock poisoned");
+        let rid = self
+            .shared
+            .write(|db| db.insert_maintained(rel_name, row))?;
+        let snap = self.shared.snapshot();
+        let rel = snap.catalog().require_rel(rel_name)?;
+        for v in views.iter_mut() {
+            v.answer.on_insert(&snap, rel, row)?;
+            v.epoch = snap.epoch();
+        }
+        Ok(rid)
+    }
+
+    /// Runs an arbitrary batch mutation (bulk load, manual index work) and
+    /// then rebuilds all declared indices, so readers and cached plans are
+    /// consistent again afterwards. Registered views are *not* updated in
+    /// place — their epochs fall behind and they recompute lazily on the
+    /// next [`Server::view_result`] (epoch-driven invalidation).
+    pub fn bulk_update<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        let _views = self.views.lock().expect("views lock poisoned");
+        self.shared.write(|db| {
+            let r = f(db);
+            db.build_indexes(&self.access);
+            r
+        })
+    }
+
+    /// Registers a continuously maintained bounded answer for `q`
+    /// (requires `q` effectively bounded under the server's access
+    /// schema). Maintained incrementally by [`Server::insert`]; recomputed
+    /// after out-of-band writes.
+    pub fn register_view(&self, q: &SpcQuery) -> crate::Result<ViewId> {
+        let snap = self.shared.snapshot();
+        let answer = IncrementalAnswer::initialize(&snap, q, &self.access)?;
+        let mut views = self.views.lock().expect("views lock poisoned");
+        views.push(View {
+            answer,
+            epoch: snap.epoch(),
+        });
+        Ok(ViewId(views.len() - 1))
+    }
+
+    /// The maintained answer of a registered view, recomputing first if
+    /// its epoch fell behind the database's.
+    pub fn view_result(&self, id: ViewId) -> crate::Result<ResultSet> {
+        let snap = self.shared.snapshot();
+        let mut views = self.views.lock().expect("views lock poisoned");
+        let v = views
+            .get_mut(id.0)
+            .ok_or_else(|| ServiceError::Core(CoreError::Invalid("unknown view id".into())))?;
+        if v.epoch != snap.epoch() {
+            v.answer = IncrementalAnswer::initialize(&snap, v.answer.query(), &self.access)?;
+            v.epoch = snap.epoch();
+        }
+        Ok(v.answer.result().clone())
+    }
+}
+
+/// Placeholder names across all SPC blocks, deduplicated.
+fn ra_placeholder_names(expr: &RaExpr) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for q in expr.blocks() {
+        for name in q.placeholder_names() {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    names
+}
+
+/// Instantiates every SPC block of an RA expression (instantiation only
+/// adds constants, so a certified expression stays certified).
+fn instantiate_ra(expr: &RaExpr, bindings: &BTreeMap<String, Value>) -> RaExpr {
+    match expr {
+        RaExpr::Spc(q) => RaExpr::Spc(q.instantiate(bindings)),
+        RaExpr::Union(l, r) => {
+            RaExpr::union(instantiate_ra(l, bindings), instantiate_ra(r, bindings))
+        }
+        RaExpr::Intersect(l, r) => {
+            RaExpr::intersect(instantiate_ra(l, bindings), instantiate_ra(r, bindings))
+        }
+        RaExpr::Difference(l, r) => {
+            RaExpr::difference(instantiate_ra(l, bindings), instantiate_ra(r, bindings))
+        }
+    }
+}
+
+/// Aggregate statistics of one session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Requests served (successful executes).
+    pub requests: u64,
+    /// Requests whose prepare was a cache hit.
+    pub cache_hits: u64,
+    /// Requests on the bounded lane.
+    pub bounded: u64,
+    /// Requests on the bounded-RA lane.
+    pub bounded_ra: u64,
+    /// Requests on the budgeted baseline lane.
+    pub unbounded: u64,
+    /// Budgeted requests that hit the work cap.
+    pub did_not_finish: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Total tuples fetched across requests.
+    pub tuples_fetched: u64,
+}
+
+/// A per-client handle: thin wrapper over an `Arc<Server>` that funnels
+/// prepare+execute and aggregates [`SessionStats`].
+pub struct Session {
+    server: Arc<Server>,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// The server this session talks to.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Prepares (cached) and executes `q` with `bindings`.
+    pub fn query(
+        &mut self,
+        q: &SpcQuery,
+        bindings: &BTreeMap<String, Value>,
+    ) -> crate::Result<Response> {
+        let prepared = self.record_prepare(self.server.prepare(q))?;
+        self.run(&prepared, bindings)
+    }
+
+    /// Prepares (cached) and executes an RA expression.
+    pub fn query_ra(
+        &mut self,
+        expr: &RaExpr,
+        bindings: &BTreeMap<String, Value>,
+    ) -> crate::Result<Response> {
+        let prepared = self.record_prepare(self.server.prepare_ra(expr))?;
+        self.run(&prepared, bindings)
+    }
+
+    /// Parses an SQL-ish query against the server's catalog, then prepares
+    /// and executes it.
+    pub fn query_sql(
+        &mut self,
+        name: &str,
+        sql: &str,
+        bindings: &BTreeMap<String, Value>,
+    ) -> crate::Result<Response> {
+        let catalog = Arc::clone(self.server.access.catalog());
+        let q = parse_spc(catalog, name, sql)?;
+        self.query(&q, bindings)
+    }
+
+    fn record_prepare(&mut self, r: crate::Result<Prepared>) -> crate::Result<Prepared> {
+        if matches!(r, Err(ServiceError::Rejected(_))) {
+            self.stats.rejected += 1;
+        }
+        r
+    }
+
+    fn run(
+        &mut self,
+        prepared: &Prepared,
+        bindings: &BTreeMap<String, Value>,
+    ) -> crate::Result<Response> {
+        let mut resp = self.server.execute(&prepared.query, bindings)?;
+        resp.stats.cache_hit = prepared.cache_hit;
+        self.stats.requests += 1;
+        self.stats.cache_hits += u64::from(prepared.cache_hit);
+        match resp.stats.lane {
+            Lane::Bounded => self.stats.bounded += 1,
+            Lane::BoundedRa => self.stats.bounded_ra += 1,
+            Lane::Unbounded => self.stats.unbounded += 1,
+        }
+        self.stats.did_not_finish += u64::from(!resp.finished());
+        self.stats.tuples_fetched += resp.stats.meter.tuples_fetched;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcq_core::prelude::Catalog;
+
+    /// Example 1's schema/access/data, served.
+    fn setup(policy: AdmissionPolicy) -> Arc<Server> {
+        let catalog = Catalog::from_names(&[
+            ("in_album", &["photo_id", "album_id"]),
+            ("friends", &["user_id", "friend_id"]),
+            ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
+        ])
+        .unwrap();
+        let mut a = AccessSchema::new(Arc::clone(&catalog));
+        a.add("in_album", &["album_id"], &["photo_id"], 1000)
+            .unwrap();
+        a.add("friends", &["user_id"], &["friend_id"], 5000)
+            .unwrap();
+        a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
+            .unwrap();
+        let mut db = Database::new(Arc::clone(&catalog));
+        for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p3", "a0"), ("p4", "a1")] {
+            db.insert("in_album", &[Value::str(p), Value::str(al)])
+                .unwrap();
+        }
+        for (u, f) in [("u0", "u1"), ("u0", "u2"), ("u9", "u3")] {
+            db.insert("friends", &[Value::str(u), Value::str(f)])
+                .unwrap();
+        }
+        for (p, tagger, taggee) in [
+            ("p1", "u1", "u0"),
+            ("p2", "u3", "u0"),
+            ("p4", "u2", "u0"),
+            ("p3", "u1", "u5"),
+        ] {
+            db.insert(
+                "tagging",
+                &[Value::str(p), Value::str(tagger), Value::str(taggee)],
+            )
+            .unwrap();
+        }
+        Arc::new(Server::new(
+            db,
+            a,
+            ServerConfig {
+                plan_cache_capacity: 8,
+                policy,
+            },
+        ))
+    }
+
+    /// Q1 as a template with `?aid` / `?uid` slots.
+    fn template(server: &Server) -> SpcQuery {
+        SpcQuery::builder(Arc::clone(server.access().catalog()), "Q1")
+            .atom("in_album", "ia")
+            .atom("friends", "f")
+            .atom("tagging", "t")
+            .eq_param(("ia", "album_id"), "aid")
+            .eq_param(("f", "user_id"), "uid")
+            .eq(("ia", "photo_id"), ("t", "photo_id"))
+            .eq(("t", "tagger_id"), ("f", "friend_id"))
+            .eq_param(("t", "taggee_id"), "uid")
+            .project(("ia", "photo_id"))
+            .build()
+            .unwrap()
+    }
+
+    fn bind(aid: &str, uid: &str) -> BTreeMap<String, Value> {
+        let mut b = BTreeMap::new();
+        b.insert("aid".to_string(), Value::str(aid));
+        b.insert("uid".to_string(), Value::str(uid));
+        b
+    }
+
+    #[test]
+    fn bounded_lane_serves_template_bindings_with_cache_hits() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        let mut s = server.session();
+
+        let r1 = s.query(&q1, &bind("a0", "u0")).unwrap();
+        assert_eq!(r1.stats.lane, Lane::Bounded);
+        assert!(!r1.stats.cache_hit, "first request compiles");
+        assert_eq!(r1.rows().unwrap().len(), 1);
+        assert!(r1.rows().unwrap().contains(&[Value::str("p1")]));
+
+        let r2 = s.query(&q1, &bind("a1", "u0")).unwrap();
+        assert!(r2.stats.cache_hit, "same template, new binding: cached");
+        // p4 is in a1, tagged by u2 (a friend of u0), taggee u0.
+        assert_eq!(r2.rows().unwrap().len(), 1);
+        assert!(r2.rows().unwrap().contains(&[Value::str("p4")]));
+
+        let r3 = s.query(&q1, &bind("a0", "u9")).unwrap();
+        assert!(r3.stats.cache_hit);
+        assert!(r3.rows().unwrap().is_empty());
+
+        let stats = s.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.bounded, 3);
+        let cs = server.cache_stats();
+        assert_eq!(cs.misses, 1);
+        assert_eq!(cs.hits, 2);
+    }
+
+    #[test]
+    fn strict_policy_rejects_unbounded_queries() {
+        let server = setup(AdmissionPolicy::Strict);
+        // All of tagging: no constants, not effectively bounded.
+        let q = SpcQuery::builder(Arc::clone(server.access().catalog()), "scan")
+            .atom("tagging", "t")
+            .project(("t", "photo_id"))
+            .build()
+            .unwrap();
+        let mut s = server.session();
+        let err = s.query(&q, &BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected(_)), "{err}");
+        assert_eq!(s.stats().rejected, 1);
+    }
+
+    #[test]
+    fn budgeted_policy_admits_with_verdicts() {
+        let server = setup(AdmissionPolicy::Budgeted(1_000));
+        let q = SpcQuery::builder(Arc::clone(server.access().catalog()), "scan")
+            .atom("tagging", "t")
+            .project(("t", "photo_id"))
+            .build()
+            .unwrap();
+        let mut s = server.session();
+        let r = s.query(&q, &BTreeMap::new()).unwrap();
+        assert_eq!(r.stats.lane, Lane::Unbounded);
+        assert!(matches!(
+            r.stats.budget,
+            BudgetVerdict::Completed { cap: 1_000 }
+        ));
+        assert_eq!(r.rows().unwrap().len(), 4);
+
+        // A tiny budget turns the same query into a did-not-finish.
+        let server = setup(AdmissionPolicy::Budgeted(2));
+        let mut s = server.session();
+        let r = s.query(&q, &BTreeMap::new()).unwrap();
+        assert!(!r.finished());
+        assert!(matches!(
+            r.stats.budget,
+            BudgetVerdict::Exhausted { cap: 2 }
+        ));
+        assert_eq!(s.stats().did_not_finish, 1);
+    }
+
+    #[test]
+    fn bounded_ra_lane_serves_set_expressions() {
+        let server = setup(AdmissionPolicy::Strict);
+        let cat = Arc::clone(server.access().catalog());
+        let friends_of = |name: &str, user: &str| {
+            SpcQuery::builder(Arc::clone(&cat), name)
+                .atom("friends", "f")
+                .eq_const(("f", "user_id"), user)
+                .project(("f", "friend_id"))
+                .build()
+                .unwrap()
+        };
+        let expr = RaExpr::union(
+            RaExpr::Spc(friends_of("f0", "u0")),
+            RaExpr::Spc(friends_of("f9", "u9")),
+        );
+        let mut s = server.session();
+        let r = s.query_ra(&expr, &BTreeMap::new()).unwrap();
+        assert_eq!(r.stats.lane, Lane::BoundedRa);
+        assert_eq!(r.rows().unwrap().len(), 3); // u1, u2, u3
+        let r2 = s.query_ra(&expr, &BTreeMap::new()).unwrap();
+        assert!(r2.stats.cache_hit);
+        assert_eq!(r2.rows().unwrap(), r.rows().unwrap());
+    }
+
+    #[test]
+    fn parameterized_ra_templates_serve_bindings() {
+        let server = setup(AdmissionPolicy::Strict);
+        let cat = Arc::clone(server.access().catalog());
+        let friends_tpl = |name: &str, slot: &str| {
+            SpcQuery::builder(Arc::clone(&cat), name)
+                .atom("friends", "f")
+                .eq_param(("f", "user_id"), slot)
+                .project(("f", "friend_id"))
+                .build()
+                .unwrap()
+        };
+        // Friends of ?a that are not friends of ?b.
+        let expr = RaExpr::difference(
+            RaExpr::Spc(friends_tpl("l", "a")),
+            RaExpr::Spc(friends_tpl("r", "b")),
+        );
+        let prepared = server.prepare_ra(&expr).unwrap();
+        assert_eq!(prepared.query.lane(), Lane::BoundedRa);
+        assert_eq!(prepared.query.param_slots(), ["a", "b"]);
+
+        let mut s = server.session();
+        let mut b = BTreeMap::new();
+        b.insert("a".to_string(), Value::str("u0"));
+        b.insert("b".to_string(), Value::str("u9"));
+        let resp = s.query_ra(&expr, &b).unwrap();
+        // u0's friends {u1, u2} minus u9's friends {u3}.
+        assert_eq!(resp.rows().unwrap().len(), 2);
+
+        // Same slot value on both sides: classes merge, answer is empty.
+        b.insert("b".to_string(), Value::str("u0"));
+        let resp = s.query_ra(&expr, &b).unwrap();
+        assert!(resp.rows().unwrap().is_empty());
+        assert!(resp.stats.cache_hit, "one certification served both");
+
+        // Missing binding: typed error, not a planner panic.
+        b.remove("b");
+        let err = s.query_ra(&expr, &b).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Core(CoreError::UnboundParameters(_))
+        ));
+    }
+
+    #[test]
+    fn uncertifiable_ra_template_is_rejected_at_prepare() {
+        let server = setup(AdmissionPolicy::Strict);
+        let cat = Arc::clone(server.access().catalog());
+        // Even instantiated, the left block scans tagging (no covering
+        // index on tagger_id alone): certification must fail up front.
+        let scan = SpcQuery::builder(Arc::clone(&cat), "scan")
+            .atom("tagging", "t")
+            .eq_param(("t", "tagger_id"), "who")
+            .project(("t", "photo_id"))
+            .build()
+            .unwrap();
+        let bounded = SpcQuery::builder(cat, "ok")
+            .atom("in_album", "ia")
+            .eq_param(("ia", "album_id"), "aid")
+            .project(("ia", "photo_id"))
+            .build()
+            .unwrap();
+        let expr = RaExpr::union(RaExpr::Spc(scan), RaExpr::Spc(bounded));
+        let err = server.prepare_ra(&expr).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected(_)), "{err}");
+    }
+
+    #[test]
+    fn inserts_are_visible_to_cached_plans_and_bump_the_epoch() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        let mut s = server.session();
+
+        let before = s.query(&q1, &bind("a0", "u0")).unwrap();
+        assert_eq!(before.rows().unwrap().len(), 1);
+        let e0 = before.stats.epoch;
+
+        // u3's tagging of u0 on p2 exists; u3 just needs to become a friend.
+        server
+            .insert("friends", &[Value::str("u0"), Value::str("u3")])
+            .unwrap();
+        let after = s.query(&q1, &bind("a0", "u0")).unwrap();
+        assert!(after.stats.epoch > e0);
+        assert!(after.stats.cache_hit, "plan survived the maintained insert");
+        assert_eq!(after.rows().unwrap().len(), 2);
+        assert!(after.rows().unwrap().contains(&[Value::str("p2")]));
+    }
+
+    #[test]
+    fn bulk_updates_keep_cached_plans_correct() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        let mut s = server.session();
+        s.query(&q1, &bind("a0", "u0")).unwrap();
+
+        // A bulk write goes around insert_maintained: indices are dropped
+        // and rebuilt inside the same write; cached plans revalidate.
+        server.bulk_update(|db| {
+            db.insert(
+                "tagging",
+                &[Value::str("p3"), Value::str("u1"), Value::str("u0")],
+            )
+            .unwrap();
+        });
+        let r = s.query(&q1, &bind("a0", "u0")).unwrap();
+        assert_eq!(r.rows().unwrap().len(), 2, "p1 and now p3");
+        let cs = server.cache_stats();
+        assert_eq!(cs.revalidations, 1, "epoch moved, indices confirmed");
+        assert_eq!(cs.invalidations, 0);
+    }
+
+    #[test]
+    fn registered_views_maintain_and_recompute() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q0 = SpcQuery::builder(Arc::clone(server.access().catalog()), "Q0")
+            .atom("in_album", "ia")
+            .atom("friends", "f")
+            .atom("tagging", "t")
+            .eq_const(("ia", "album_id"), "a0")
+            .eq_const(("f", "user_id"), "u0")
+            .eq(("ia", "photo_id"), ("t", "photo_id"))
+            .eq(("t", "tagger_id"), ("f", "friend_id"))
+            .eq_const(("t", "taggee_id"), "u0")
+            .project(("ia", "photo_id"))
+            .build()
+            .unwrap();
+        let view = server.register_view(&q0).unwrap();
+        assert_eq!(server.view_result(view).unwrap().len(), 1);
+
+        // Maintained path: bounded delta per insert.
+        server
+            .insert(
+                "tagging",
+                &[Value::str("p2"), Value::str("u1"), Value::str("u0")],
+            )
+            .unwrap();
+        assert_eq!(server.view_result(view).unwrap().len(), 2);
+
+        // Out-of-band path: view goes stale, recomputes on read.
+        server.bulk_update(|db| {
+            db.insert(
+                "tagging",
+                &[Value::str("p3"), Value::str("u1"), Value::str("u0")],
+            )
+            .unwrap();
+        });
+        assert_eq!(server.view_result(view).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn concurrent_sessions_share_the_cache_and_agree() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        // Warm the cache once so every thread hits.
+        server.session().query(&q1, &bind("a0", "u0")).unwrap();
+
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let server = Arc::clone(&server);
+            let q1 = q1.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut s = server.session();
+                for _ in 0..25 {
+                    let r = s.query(&q1, &bind("a0", "u0")).unwrap();
+                    assert_eq!(r.rows().unwrap().len(), 1);
+                    assert!(r.stats.cache_hit);
+                }
+                s.stats()
+            }));
+        }
+        let mut total = 0;
+        for h in handles {
+            total += h.join().unwrap().requests;
+        }
+        assert_eq!(total, 100);
+        assert_eq!(server.cache_stats().misses, 1, "one compile served all");
+    }
+
+    #[test]
+    fn unbound_slot_is_an_error_uninterned_binding_is_empty() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        let mut s = server.session();
+        let err = s.query(&q1, &BTreeMap::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Core(CoreError::UnboundParameters(_))
+        ));
+        let r = s.query(&q1, &bind("a0", "nobody-ever")).unwrap();
+        assert!(r.rows().unwrap().is_empty());
+    }
+}

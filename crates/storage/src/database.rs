@@ -22,12 +22,19 @@ use std::sync::Arc;
 type IndexKey = (usize, Vec<usize>, Vec<usize>);
 
 /// An instance `D` of a relational schema, with registered indices.
+///
+/// Every mutation — row inserts, bulk loads, index builds — advances a
+/// monotone **epoch** counter. Layers that cache anything derived from the
+/// database (compiled plans over its indices, maintained answers, snapshot
+/// handles) compare epochs instead of data: `epoch()` unchanged means
+/// nothing they saw can have moved.
 #[derive(Debug, Clone)]
 pub struct Database {
     catalog: Arc<Catalog>,
     symbols: SymbolTable,
     tables: Vec<Table>,
     indexes: HashMap<IndexKey, HashIndex>,
+    epoch: u64,
 }
 
 impl Database {
@@ -44,7 +51,13 @@ impl Database {
             symbols: SymbolTable::new(),
             tables,
             indexes: HashMap::new(),
+            epoch: 0,
         }
+    }
+
+    /// The current epoch: advanced by every write and index (re)build.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The catalog this database instantiates.
@@ -66,6 +79,7 @@ impl Database {
     /// this database's symbol table. Invalidates indices (bulk-load path):
     /// call [`Self::build_indexes`] when loading is done.
     pub fn loader(&mut self, rel: RelId) -> Loader<'_> {
+        self.epoch += 1;
         self.indexes.clear();
         Loader {
             table: &mut self.tables[rel.0],
@@ -98,6 +112,7 @@ impl Database {
                 "arity mismatch inserting into `{rel_name}`"
             )));
         }
+        self.epoch += 1;
         self.indexes.clear();
         let cells = self.symbols.encode_row(row);
         self.tables[rel.0].push(&cells);
@@ -114,6 +129,7 @@ impl Database {
                 "arity mismatch inserting into `{rel_name}`"
             )));
         }
+        self.epoch += 1;
         let rid = self.tables[rel.0].len() as u32;
         let cells = self.symbols.encode_row(row);
         self.tables[rel.0].push(&cells);
@@ -140,6 +156,7 @@ impl Database {
         if !self.indexes.contains_key(&key) {
             let idx = HashIndex::build(&self.tables[c.relation().0], c.x(), c.y());
             self.indexes.insert(key, idx);
+            self.epoch += 1;
         }
     }
 
@@ -210,6 +227,43 @@ mod tests {
             ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
         ])
         .unwrap()
+    }
+
+    #[test]
+    fn epoch_advances_on_every_mutation() {
+        let cat = photos();
+        let mut a = AccessSchema::new(cat.clone());
+        a.add("friends", &["user_id"], &["friend_id"], 10).unwrap();
+        let mut db = Database::new(cat);
+        assert_eq!(db.epoch(), 0);
+
+        db.insert("friends", &[Value::int(1), Value::int(2)])
+            .unwrap();
+        let e1 = db.epoch();
+        assert!(e1 > 0);
+
+        db.build_indexes(&a);
+        let e2 = db.epoch();
+        assert!(e2 > e1, "index build advances the epoch");
+        // Re-ensuring an existing index is a no-op: epoch stays put.
+        db.build_indexes(&a);
+        assert_eq!(db.epoch(), e2);
+
+        db.insert_maintained("friends", &[Value::int(1), Value::int(3)])
+            .unwrap();
+        let e3 = db.epoch();
+        assert!(e3 > e2);
+
+        {
+            let mut l = db.loader(RelId(1));
+            l.push(&[Value::int(4), Value::int(5)]);
+        }
+        assert!(db.epoch() > e3, "bulk load advances the epoch");
+        // Reads never advance it.
+        let frozen = db.epoch();
+        let _ = db.total_tuples();
+        let _ = db.value_rows(RelId(1)).count();
+        assert_eq!(db.epoch(), frozen);
     }
 
     #[test]

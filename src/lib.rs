@@ -9,15 +9,18 @@
 //!
 //! This facade crate re-exports the workspace:
 //!
-//! * [`core`](bcq_core) — queries, access schemas, `BCheck`/`EBCheck`,
+//! * [`core`] — queries, access schemas, `BCheck`/`EBCheck`,
 //!   dominating parameters, `QPlan`, `M`-boundedness, Lemma 1 — plus the
 //!   interned-row data plane ([`bcq_core::symbols`], [`bcq_core::row`]).
-//! * [`storage`](bcq_storage) — in-memory tables and constraint indices
+//! * [`storage`] — in-memory tables and constraint indices
 //!   over interned rows, `D |= A` validation, constraint discovery.
-//! * [`exec`](bcq_exec) — the bounded executor `evalDQ`, the
+//! * [`exec`] — the bounded executor `evalDQ`, the
 //!   conventional-DBMS baseline, and the shared physical-operator
 //!   pipeline ([`bcq_exec::pipeline`]) both run on.
-//! * [`workload`](bcq_workload) — the TFACC / MOT / TPCH experimental
+//! * [`service`] — the prepared-query serving layer: compile
+//!   a template once, cache the plan, execute per request against epoch
+//!   snapshots under admission control.
+//! * [`workload`] — the TFACC / MOT / TPCH experimental
 //!   workloads of Section 6.
 //!
 //! ## Example: the paper's photo-tagging query
@@ -65,16 +68,22 @@
 
 pub use bcq_core as core;
 pub use bcq_exec as exec;
+pub use bcq_service as service;
 pub use bcq_storage as storage;
 pub use bcq_workload as workload;
 
-/// One-stop imports: everything from the core prelude plus the storage and
-/// executor entry points.
+/// One-stop imports: everything from the core prelude plus the storage,
+/// executor, and serving-layer entry points.
 pub mod prelude {
     pub use bcq_core::prelude::*;
     pub use bcq_exec::{
-        baseline, eval_dq, eval_ra, materialize_views, BaselineMode, BaselineOptions,
-        BaselineOutcome, DeltaStats, ExecOutcome, IncrementalAnswer, RaOutcome, ResultSet,
+        baseline, eval_dq, eval_dq_with, eval_ra, materialize_views, BaselineMode, BaselineOptions,
+        BaselineOutcome, DeltaStats, ExecOutcome, IncrementalAnswer, ParamEnv, RaOutcome,
+        ResultSet,
+    };
+    pub use bcq_service::{
+        AdmissionPolicy, BudgetVerdict, Lane, Outcome, PreparedQuery, RequestStats, Response,
+        Server, ServerConfig, ServiceError, Session, SessionStats,
     };
     pub use bcq_storage::{
         discover_bound, dump_csv, load_csv, validate, Database, HashIndex, Loader, Meter, Table,

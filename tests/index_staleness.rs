@@ -1,0 +1,135 @@
+//! Audit: can a `HashIndex` ever serve stale postings after inserts?
+//!
+//! The two write paths behave differently by design:
+//!
+//! * [`Database::insert`] (bulk path) **drops** all registered indices, so
+//!   a plan that runs before `build_indexes` fails loudly ("index … not
+//!   built") instead of silently missing rows — verified here.
+//! * [`Database::insert_maintained`] updates every posting list in place;
+//!   a maintained index must be indistinguishable from a from-scratch
+//!   rebuild, and a prepared bounded query must see rows inserted after
+//!   the index was first built — the regression this file pins down.
+
+use bounded_cq::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn setup() -> (Database, AccessSchema, Arc<Catalog>) {
+    let catalog = Catalog::from_names(&[("friends", &["user_id", "friend_id"])]).unwrap();
+    let mut a = AccessSchema::new(Arc::clone(&catalog));
+    a.add("friends", &["user_id"], &["friend_id"], 100).unwrap();
+    let mut db = Database::new(Arc::clone(&catalog));
+    for i in 0..20i64 {
+        db.insert("friends", &[Value::int(i % 5), Value::int(i)])
+            .unwrap();
+    }
+    db.build_indexes(&a);
+    (db, a, catalog)
+}
+
+fn friends_of(catalog: &Arc<Catalog>, user: i64) -> SpcQuery {
+    SpcQuery::builder(Arc::clone(catalog), "friends_of")
+        .atom("friends", "f")
+        .eq_const(("f", "user_id"), user)
+        .project(("f", "friend_id"))
+        .build()
+        .unwrap()
+}
+
+/// A bounded plan must see rows that `insert_maintained` added after the
+/// index build — no stale postings, no missed answers.
+#[test]
+fn maintained_inserts_are_visible_to_bounded_plans() {
+    let (mut db, a, catalog) = setup();
+    let q = friends_of(&catalog, 2);
+    let plan = qplan(&q, &a).unwrap();
+    let before = eval_dq(&db, &plan, &a).unwrap();
+    assert_eq!(before.result.len(), 4); // 2, 7, 12, 17
+
+    db.insert_maintained("friends", &[Value::int(2), Value::int(999)])
+        .unwrap();
+    let after = eval_dq(&db, &plan, &a).unwrap();
+    assert_eq!(after.result.len(), 5, "new row visible without a rebuild");
+    assert!(after.result.contains(&[Value::int(999)]));
+
+    // The maintained index is bit-for-bit equivalent to a rebuild: same
+    // witness sets, same full postings, same max-witness count.
+    let cid = bcq_core::access::ConstraintId(0);
+    let maintained = db.index_for(a.constraint(cid)).unwrap().clone();
+    let rebuilt = HashIndex::build(
+        db.table(RelId(0)),
+        a.constraint(cid).x(),
+        a.constraint(cid).y(),
+    );
+    assert_eq!(maintained.max_witnesses(), rebuilt.max_witnesses());
+    assert_eq!(maintained.num_keys(), rebuilt.num_keys());
+    for key in (0..5i64).map(|u| db.symbols().try_encode_row(&[Value::int(u)]).unwrap()) {
+        assert_eq!(maintained.witnesses(&key), rebuilt.witnesses(&key));
+        assert_eq!(maintained.all(&key), rebuilt.all(&key));
+    }
+}
+
+/// The bulk `insert` path cannot serve stale data: it drops the indices,
+/// and the bounded executor refuses to run without them.
+#[test]
+fn bulk_insert_fails_loudly_rather_than_serving_stale_postings() {
+    let (mut db, a, catalog) = setup();
+    let q = friends_of(&catalog, 2);
+    let plan = qplan(&q, &a).unwrap();
+    assert!(eval_dq(&db, &plan, &a).is_ok());
+
+    db.insert("friends", &[Value::int(2), Value::int(999)])
+        .unwrap();
+    let err = eval_dq(&db, &plan, &a).unwrap_err();
+    assert!(err.to_string().contains("not built"), "{err}");
+
+    db.build_indexes(&a);
+    let after = eval_dq(&db, &plan, &a).unwrap();
+    assert_eq!(after.result.len(), 5);
+}
+
+/// End to end through the service: a prepared (cached) bounded query sees
+/// rows inserted after the index build, on both write paths.
+#[test]
+fn prepared_query_sees_rows_inserted_after_index_build() {
+    let (db, a, catalog) = setup();
+    let server = Arc::new(Server::new(db, a, ServerConfig::default()));
+    let template = SpcQuery::builder(Arc::clone(&catalog), "friends_of")
+        .atom("friends", "f")
+        .eq_param(("f", "user_id"), "uid")
+        .project(("f", "friend_id"))
+        .build()
+        .unwrap();
+    let mut session = server.session();
+    let bind = |u: i64| {
+        let mut b = BTreeMap::new();
+        b.insert("uid".to_string(), Value::int(u));
+        b
+    };
+
+    assert_eq!(
+        session
+            .query(&template, &bind(2))
+            .unwrap()
+            .rows()
+            .unwrap()
+            .len(),
+        4
+    );
+
+    // Maintained path.
+    server
+        .insert("friends", &[Value::int(2), Value::int(999)])
+        .unwrap();
+    let r = session.query(&template, &bind(2)).unwrap();
+    assert_eq!(r.rows().unwrap().len(), 5);
+    assert!(r.stats.cache_hit, "served by the cached plan");
+
+    // Bulk path (indices dropped and rebuilt inside the write).
+    server.bulk_update(|db| {
+        db.insert("friends", &[Value::int(2), Value::int(1000)])
+            .unwrap();
+    });
+    let r = session.query(&template, &bind(2)).unwrap();
+    assert_eq!(r.rows().unwrap().len(), 6);
+}

@@ -1,0 +1,130 @@
+//! Property test for cache/epoch correctness: for random workloads —
+//! random data, random maintained/bulk writes, random bindings — execution
+//! through the serving layer (prepared, cached, epoch-snapshotted) must be
+//! **indistinguishable** from running `eval_dq` from scratch on an
+//! identically-loaded fresh database at every epoch, including across
+//! `ensure_index` invalidations.
+
+use bounded_cq::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn catalog() -> Arc<Catalog> {
+    Catalog::from_names(&[("edge", &["src", "dst"]), ("label", &["node", "tag"])]).unwrap()
+}
+
+fn access(cat: &Arc<Catalog>) -> AccessSchema {
+    let mut a = AccessSchema::new(Arc::clone(cat));
+    a.add("edge", &["src"], &["dst"], 64).unwrap();
+    a.add("edge", &["dst"], &["src"], 64).unwrap();
+    a.add("label", &["node"], &["tag"], 64).unwrap();
+    a
+}
+
+/// Two-hop template: labels of nodes reachable in two hops from `?start`.
+fn template(cat: &Arc<Catalog>) -> SpcQuery {
+    SpcQuery::builder(Arc::clone(cat), "two_hop_labels")
+        .atom("edge", "e1")
+        .atom("edge", "e2")
+        .atom("label", "l")
+        .eq_param(("e1", "src"), "start")
+        .eq(("e2", "src"), ("e1", "dst"))
+        .eq(("l", "node"), ("e2", "dst"))
+        .project(("l", "tag"))
+        .build()
+        .unwrap()
+}
+
+/// One random mutation: relation, row values, and whether it goes through
+/// the maintained single-writer path or a bulk update.
+type Mutation = (bool, bool, i64, i64);
+
+fn apply_reference(db: &mut Database, m: &Mutation) {
+    let (is_edge, _, x, y) = *m;
+    let (rel, row) = encode(is_edge, x, y);
+    db.insert(rel, &row).unwrap();
+}
+
+fn encode(is_edge: bool, x: i64, y: i64) -> (&'static str, Vec<Value>) {
+    if is_edge {
+        ("edge", vec![Value::int(x), Value::int(y)])
+    } else {
+        ("label", vec![Value::int(x), Value::str(format!("t{y}"))])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn served_equals_fresh_on_random_workloads(
+        initial in prop::collection::vec((any::<bool>(), 0..12i64, 0..12i64), 5..40),
+        batches in prop::collection::vec(
+            prop::collection::vec((any::<bool>(), any::<bool>(), 0..12i64, 0..12i64), 1..6),
+            1..5,
+        ),
+        probes in prop::collection::vec(0..14i64, 4..10),
+    ) {
+        let cat = catalog();
+        let a = access(&cat);
+        let tpl = template(&cat);
+
+        // The served side: one server, one cached plan, epochs advancing.
+        let mut db = Database::new(Arc::clone(&cat));
+        let mut reference_rows: Vec<Mutation> = Vec::new();
+        for &(is_edge, x, y) in &initial {
+            let (rel, row) = encode(is_edge, x, y);
+            db.insert(rel, &row).unwrap();
+            reference_rows.push((is_edge, false, x, y));
+        }
+        let server = Arc::new(Server::new(db, a.clone(), ServerConfig::default()));
+        let mut session = server.session();
+
+        let check = |session: &mut Session, reference_rows: &[Mutation], probes: &[i64]| {
+            // The fresh side: a database rebuilt from scratch with the same
+            // rows, indices built once, template instantiated per probe.
+            let mut fresh_db = Database::new(Arc::clone(&cat));
+            for m in reference_rows {
+                apply_reference(&mut fresh_db, m);
+            }
+            fresh_db.build_indexes(&a);
+            for &start in probes {
+                let mut bind = BTreeMap::new();
+                bind.insert("start".to_string(), Value::int(start));
+                let served = session.query(&tpl, &bind).unwrap();
+                let ground = tpl.instantiate(&bind);
+                let plan = qplan(&ground, &a).unwrap();
+                let fresh = eval_dq(&fresh_db, &plan, &a).unwrap();
+                prop_assert_eq!(
+                    served.rows().unwrap(),
+                    &fresh.result,
+                    "start={} epoch={}",
+                    start,
+                    served.stats.epoch
+                );
+            }
+        };
+
+        check(&mut session, &reference_rows, &probes);
+        for batch in &batches {
+            for &(is_edge, bulk, x, y) in batch {
+                let (rel, row) = encode(is_edge, x, y);
+                if bulk {
+                    // Around the maintained path: drops indices mid-write,
+                    // rebuilds them, forces epoch revalidation of the
+                    // cached plan.
+                    server.bulk_update(|db| db.insert(rel, &row).unwrap());
+                } else {
+                    server.insert(rel, &row).unwrap();
+                }
+                reference_rows.push((is_edge, bulk, x, y));
+            }
+            check(&mut session, &reference_rows, &probes);
+        }
+
+        // The cached plan was compiled exactly once across all epochs.
+        prop_assert_eq!(server.cache_stats().misses, 1);
+        prop_assert_eq!(server.cache_stats().invalidations, 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Service-level equivalence: answers served through the prepared-query
+//! layer (plan cache, parameter slots, epoch snapshots) must be identical
+//! to fresh evaluation — `eval_dq`, `eval_ra`, and the baseline — on every
+//! workload, and must stay identical across epoch bumps (maintained
+//! inserts and bulk updates alike).
+
+use bounded_cq::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Serves every effectively bounded workload query through the service and
+/// checks the answers against fresh `eval_dq` and the baseline, before and
+/// after epoch bumps.
+fn check_dataset(ds: &Dataset, scale: f64) {
+    let db = ds.build(scale);
+    let server = Arc::new(Server::new(db, ds.access.clone(), ServerConfig::default()));
+    let mut session = server.session();
+    let no_bindings = BTreeMap::new();
+
+    let check_all = |session: &mut Session, tag: &str| {
+        let snapshot = session.server().snapshot();
+        for wq in ds.effectively_bounded_queries() {
+            let served = session
+                .query(&wq.query, &no_bindings)
+                .unwrap_or_else(|e| panic!("{} [{tag}]: {e}", wq.query.name()));
+            assert_eq!(served.stats.lane, Lane::Bounded, "{}", wq.query.name());
+            let plan = qplan(&wq.query, &ds.access).unwrap();
+            let fresh = eval_dq(&snapshot, &plan, &ds.access).unwrap();
+            assert_eq!(
+                served.rows().unwrap(),
+                &fresh.result,
+                "{} [{tag}]: served != fresh eval_dq",
+                wq.query.name()
+            );
+            let base =
+                baseline(&snapshot, &wq.query, &ds.access, BaselineOptions::default()).unwrap();
+            assert_eq!(
+                served.rows().unwrap(),
+                base.result().expect("no budget"),
+                "{} [{tag}]: served != baseline",
+                wq.query.name()
+            );
+        }
+    };
+
+    check_all(&mut session, "initial epoch");
+
+    // Epoch bump 1: a maintained insert (re-inserting an existing row keeps
+    // `D |= A`: witness sets dedup on Y, so no bound is violated).
+    let epoch_before = server.epoch();
+    let reinsert: Option<(String, Vec<Value>)> = (0..ds.catalog.relations().len()).find_map(|r| {
+        let rel = RelId(r);
+        server
+            .snapshot()
+            .value_rows(rel)
+            .next()
+            .map(|row| (ds.catalog.relation(rel).name().to_string(), row))
+    });
+    let (rel_name, row) = reinsert.expect("dataset has data");
+    server.insert(&rel_name, &row).unwrap();
+    assert!(server.epoch() > epoch_before, "insert bumps the epoch");
+    check_all(&mut session, "after maintained insert");
+
+    // Epoch bump 2: a bulk update around the maintained path (drops and
+    // rebuilds indices inside the write).
+    server.bulk_update(|db| {
+        db.insert(&rel_name, &row).unwrap();
+    });
+    check_all(&mut session, "after bulk update");
+
+    // The cache compiled each query once; every later request hit (or
+    // revalidated, after the bulk update's index rebuild).
+    let cs = server.cache_stats();
+    let queries = ds.effectively_bounded_queries().count() as u64;
+    assert_eq!(cs.misses, queries, "one compile per distinct query");
+    assert_eq!(cs.hits, 2 * queries, "subsequent epochs served from cache");
+    assert_eq!(cs.invalidations, 0);
+}
+
+#[test]
+fn tfacc_served_equals_fresh() {
+    check_dataset(&bounded_cq::workload::tfacc::dataset(), 0.05);
+}
+
+#[test]
+fn mot_served_equals_fresh() {
+    check_dataset(&bounded_cq::workload::mot::dataset(), 0.05);
+}
+
+#[test]
+fn tpch_served_equals_fresh() {
+    check_dataset(&bounded_cq::workload::tpch::dataset(), 0.5);
+}
+
+/// Parameterized templates: one cached plan must agree with per-binding
+/// instantiate+plan+execute across many bindings and across epochs.
+#[test]
+fn prepared_template_equals_instantiated_plans_across_epochs() {
+    let catalog = Catalog::from_names(&[
+        ("in_album", &["photo_id", "album_id"]),
+        ("friends", &["user_id", "friend_id"]),
+        ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
+    ])
+    .unwrap();
+    let mut access = AccessSchema::new(Arc::clone(&catalog));
+    access
+        .add("in_album", &["album_id"], &["photo_id"], 1000)
+        .unwrap();
+    access
+        .add("friends", &["user_id"], &["friend_id"], 5000)
+        .unwrap();
+    access
+        .add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 8)
+        .unwrap();
+
+    let mut db = Database::new(Arc::clone(&catalog));
+    for i in 0..200i64 {
+        db.insert(
+            "in_album",
+            &[
+                Value::str(format!("p{i}")),
+                Value::str(format!("a{}", i % 20)),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "friends",
+            &[
+                Value::str(format!("u{}", i % 40)),
+                Value::str(format!("u{}", (i * 7 + 1) % 40)),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "tagging",
+            &[
+                Value::str(format!("p{i}")),
+                Value::str(format!("u{}", (i * 7 + 1) % 40)),
+                Value::str(format!("u{}", i % 40)),
+            ],
+        )
+        .unwrap();
+    }
+    let server = Arc::new(Server::new(db, access.clone(), ServerConfig::default()));
+
+    let template = SpcQuery::builder(Arc::clone(&catalog), "tpl")
+        .atom("in_album", "ia")
+        .atom("friends", "f")
+        .atom("tagging", "t")
+        .eq_param(("ia", "album_id"), "aid")
+        .eq_param(("f", "user_id"), "uid")
+        .eq(("ia", "photo_id"), ("t", "photo_id"))
+        .eq(("t", "tagger_id"), ("f", "friend_id"))
+        .eq_param(("t", "taggee_id"), "uid")
+        .project(("ia", "photo_id"))
+        .build()
+        .unwrap();
+
+    let mut session = server.session();
+    for round in 0..3 {
+        let snapshot = server.snapshot();
+        for i in 0..30i64 {
+            let mut bind = BTreeMap::new();
+            bind.insert("aid".to_string(), Value::str(format!("a{}", i % 25)));
+            bind.insert("uid".to_string(), Value::str(format!("u{}", (i * 3) % 50)));
+            let served = session.query(&template, &bind).unwrap();
+
+            let ground = template.instantiate(&bind);
+            let plan = qplan(&ground, &access).unwrap();
+            let fresh = eval_dq(&snapshot, &plan, &access).unwrap();
+            assert_eq!(
+                served.rows().unwrap(),
+                &fresh.result,
+                "round {round}, binding {i}"
+            );
+        }
+        // Bump the epoch between rounds: new tagging rows change answers.
+        server
+            .insert(
+                "tagging",
+                &[
+                    Value::str(format!("p{}", round * 3)),
+                    Value::str(format!("u{}", (round * 7 + 1) % 40)),
+                    Value::str(format!("u{}", round % 40)),
+                ],
+            )
+            .unwrap();
+    }
+    assert_eq!(server.cache_stats().misses, 1, "one plan served everything");
+}
+
+/// RA expressions served through the bounded-RA lane match fresh `eval_ra`.
+#[test]
+fn served_ra_equals_fresh_eval_ra() {
+    let catalog = Catalog::from_names(&[("friends", &["user_id", "friend_id"])]).unwrap();
+    let mut access = AccessSchema::new(Arc::clone(&catalog));
+    access
+        .add("friends", &["user_id"], &["friend_id"], 100)
+        .unwrap();
+    let mut db = Database::new(Arc::clone(&catalog));
+    for i in 0..60i64 {
+        db.insert(
+            "friends",
+            &[
+                Value::str(format!("u{}", i % 10)),
+                Value::str(format!("u{}", (i * 3 + 1) % 20)),
+            ],
+        )
+        .unwrap();
+    }
+    let friends_of = |name: &str, user: &str| {
+        SpcQuery::builder(Arc::clone(&catalog), name)
+            .atom("friends", "f")
+            .eq_const(("f", "user_id"), user)
+            .project(("f", "friend_id"))
+            .build()
+            .unwrap()
+    };
+    let exprs = [
+        bounded_cq::core::ra::RaExpr::union(
+            bounded_cq::core::ra::RaExpr::Spc(friends_of("a", "u1")),
+            bounded_cq::core::ra::RaExpr::Spc(friends_of("b", "u2")),
+        ),
+        bounded_cq::core::ra::RaExpr::intersect(
+            bounded_cq::core::ra::RaExpr::Spc(friends_of("c", "u1")),
+            bounded_cq::core::ra::RaExpr::Spc(friends_of("d", "u3")),
+        ),
+        bounded_cq::core::ra::RaExpr::difference(
+            bounded_cq::core::ra::RaExpr::Spc(friends_of("e", "u1")),
+            bounded_cq::core::ra::RaExpr::Spc(friends_of("f", "u2")),
+        ),
+    ];
+
+    let server = Arc::new(Server::new(db, access.clone(), ServerConfig::default()));
+    let mut session = server.session();
+    let no_bindings = BTreeMap::new();
+    for (i, expr) in exprs.iter().enumerate() {
+        let served = session.query_ra(expr, &no_bindings).unwrap();
+        assert_eq!(served.stats.lane, Lane::BoundedRa, "expr {i}");
+        let fresh = eval_ra(&server.snapshot(), expr, &access).unwrap();
+        assert_eq!(served.rows().unwrap(), &fresh.result, "expr {i}");
+    }
+
+    // Epoch bump, then again (cache hits this time).
+    server
+        .insert("friends", &[Value::str("u1"), Value::str("u99")])
+        .unwrap();
+    for (i, expr) in exprs.iter().enumerate() {
+        let served = session.query_ra(expr, &no_bindings).unwrap();
+        let fresh = eval_ra(&server.snapshot(), expr, &access).unwrap();
+        assert_eq!(served.rows().unwrap(), &fresh.result, "expr {i} after bump");
+        assert!(served.stats.cache_hit);
+    }
+}
+
+/// Unbounded queries served through the budgeted lane match the baseline's
+/// answer when the budget suffices.
+#[test]
+fn served_unbounded_equals_baseline() {
+    for ds in all_datasets() {
+        let db = ds.build(match ds.name {
+            "TPCH" => 0.25,
+            _ => 0.03125,
+        });
+        let server = Arc::new(Server::new(
+            db,
+            ds.access.clone(),
+            ServerConfig {
+                plan_cache_capacity: 64,
+                policy: AdmissionPolicy::Budgeted(u64::MAX),
+            },
+        ));
+        let mut session = server.session();
+        let no_bindings = BTreeMap::new();
+        for wq in ds.queries.iter().filter(|w| !w.expect_effectively_bounded) {
+            if wq.query.has_placeholders() {
+                continue;
+            }
+            let served = session.query(&wq.query, &no_bindings).unwrap();
+            assert_eq!(served.stats.lane, Lane::Unbounded, "{}", wq.query.name());
+            let fresh = baseline(
+                &server.snapshot(),
+                &wq.query,
+                &ds.access,
+                BaselineOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                served.rows().unwrap(),
+                fresh.result().unwrap(),
+                "{}",
+                wq.query.name()
+            );
+        }
+    }
+}
