@@ -250,6 +250,18 @@ fn incremental_vs_full(c: &mut Criterion) {
             std::hint::black_box(out.dq_tuples());
         })
     });
+    // Delete path: remove the tuple once through the maintained path; each
+    // iteration replays the support-counted retraction delta on a clone of
+    // the pre-delete answer.
+    let mut deleted_db = db.clone();
+    assert!(deleted_db.delete_maintained("lineitem", &row).unwrap());
+    group.bench_function("delta_delete", |b| {
+        b.iter(|| {
+            let mut inc = base_answer.clone();
+            let stats = inc.on_delete(&deleted_db, rel, &row).unwrap();
+            std::hint::black_box(stats.derivations_removed);
+        })
+    });
     group.finish();
 }
 

@@ -33,8 +33,15 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// 256 cases, overridable with the `PROPTEST_CASES` environment
+        /// variable — the same knob the real crate reads, used by CI's
+        /// deep-fuzz step (`PROPTEST_CASES=512`).
         fn default() -> Self {
-            ProptestConfig { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
         }
     }
 

@@ -12,7 +12,9 @@
 //! string was never loaded can match nothing, so its probe keys simply
 //! never materialize.
 
-use crate::pipeline::{run_join_pipeline, Batch, ExecContext, Fetch, FetchSource, ParamEnv};
+use crate::pipeline::{
+    run_join_partials, Batch, ExecContext, Fetch, FetchSource, ParamEnv, Project,
+};
 use crate::results::ResultSet;
 use bcq_core::access::AccessSchema;
 use bcq_core::error::{CoreError, Result};
@@ -67,6 +69,53 @@ pub fn eval_dq_with(
     a: &AccessSchema,
     params: &ParamEnv,
 ) -> Result<ExecOutcome> {
+    let start = Instant::now();
+    let out = eval_dq_partials_with(db, plan, a, params)?;
+    let result = if out.partials.is_empty() {
+        ResultSet::empty()
+    } else {
+        Project {
+            query: plan.query(),
+            sigma: plan.sigma(),
+        }
+        .apply(db.symbols(), &out.partials)
+    };
+    Ok(ExecOutcome {
+        result,
+        meter: out.meter,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Outcome of a bounded evaluation stopped **before projection**: the
+/// surviving `Σ_Q` class assignments (see
+/// [`crate::pipeline::run_join_partials`]) plus the access accounting.
+#[derive(Debug, Clone)]
+pub struct PartialsOutcome {
+    /// One entry per derivation: a cell per `Σ_Q` class (`None` = class
+    /// not bound by any fetched column).
+    pub partials: Vec<Box<[Option<Cell>]>>,
+    /// Access accounting.
+    pub meter: Meter,
+}
+
+/// Executes a bounded plan but returns the pre-projection class
+/// assignments — the **derivations** support-counted incremental
+/// maintenance stores — instead of the projected answer.
+pub fn eval_dq_partials(
+    db: &Database,
+    plan: &QueryPlan,
+    a: &AccessSchema,
+) -> Result<PartialsOutcome> {
+    eval_dq_partials_with(db, plan, a, ParamEnv::empty_ref())
+}
+
+fn eval_dq_partials_with(
+    db: &Database,
+    plan: &QueryPlan,
+    a: &AccessSchema,
+    params: &ParamEnv,
+) -> Result<PartialsOutcome> {
     // Allocation-free validation on the happy path: names are only
     // collected if something is actually missing.
     let q = plan.query();
@@ -84,14 +133,12 @@ pub fn eval_dq_with(
         }
     }
 
-    let start = Instant::now();
     let mut ctx = ExecContext::with_params(db, None, params);
 
     if plan.is_unsatisfiable() {
-        return Ok(ExecOutcome {
-            result: ResultSet::empty(),
+        return Ok(PartialsOutcome {
+            partials: Vec::new(),
             meter: ctx.meter,
-            elapsed: start.elapsed(),
         });
     }
 
@@ -157,13 +204,12 @@ pub fn eval_dq_with(
             }
         })
         .collect();
-    let result = run_join_pipeline(q, plan.sigma(), batches, &mut ctx)
+    let partials = run_join_partials(q, plan.sigma(), batches, &mut ctx)
         .expect("bounded evaluation has no budget");
 
-    Ok(ExecOutcome {
-        result,
+    Ok(PartialsOutcome {
+        partials,
         meter: ctx.meter,
-        elapsed: start.elapsed(),
     })
 }
 

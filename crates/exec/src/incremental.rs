@@ -1,7 +1,10 @@
 //! Incremental bounded maintenance — the paper's conclusion item (3a):
 //! *"when a query is not effectively bounded, it may be effectively bounded
 //! incrementally"* — and, for queries that already are, keeping `Q(D)` up
-//! to date under insertions with **bounded work per insertion**.
+//! to date under insertions **and deletions** with work proportional to the
+//! delta.
+//!
+//! ## Insertions
 //!
 //! The construction rides on the planner: when a tuple `t` lands in the
 //! relation of atom `S_i`, every *new* answer uses `t` at `S_i`, so the
@@ -10,17 +13,43 @@
 //! bounded whenever `Q` is (and often with a far smaller `Σ M_i`). The new
 //! answer is `Q(D+t) = Q(D) ∪ Δ` under set semantics.
 //!
-//! Scope: insert-only (deletions need support counting — classic IVM
-//! territory, out of scope as in the paper's preliminary treatment), and
-//! the caller must insert into the [`Database`] and rebuild indices before
-//! notifying, since plans only read through indices.
+//! ## Deletions: support counting
+//!
+//! CQs are monotone, so a deletion can only *retract* answers — the
+//! question is which. Each maintained answer carries its **support**: the
+//! number of stored *derivations*, where a derivation is one surviving
+//! `Σ_Q` class assignment from the join pipeline
+//! ([`crate::pipeline::run_join_partials`]), canonicalized to the cells it
+//! pins at each atom's columns (`None` marks a column no fetched batch
+//! constrained — a wildcard, distinct from a column bound to a stored
+//! `Value::Null`). Inserts add support (the delta plans above, collected
+//! pre-projection); deleting the **last copy** of a row value subtracts
+//! the support of every derivation consistent with it, and an answer whose
+//! support reaches zero is retracted. Insertion work is bounded like the
+//! delta plans themselves; a deletion additionally scans the derivation
+//! store (O(answers' total support) — see the ROADMAP follow-on for
+//! indexing it) plus one bounded probe per zeroed answer.
+//!
+//! Wildcard columns make the subtraction conservative (a derivation that
+//! *might* rest on the deleted tuple is dropped), so retraction-at-zero is
+//! confirmed by a **rederivation probe** — the query with its projection
+//! pinned to the candidate answer, again strictly more constants than `Q`
+//! and therefore bounded (the DRed refinement of counting-based IVM).
+//! Deleting a duplicate copy is a no-op: bag storage, set answers (see
+//! [`bcq_storage::Table`]).
+//!
+//! The caller must mutate the [`Database`] through the maintained paths
+//! ([`Database::insert_maintained`] / [`Database::delete_maintained`], or
+//! rebuild indices) before notifying, since plans only read through
+//! indices.
 
-use crate::eval_dq::eval_dq;
+use crate::eval_dq::eval_dq_partials;
 use crate::results::ResultSet;
 use bcq_core::access::AccessSchema;
 use bcq_core::ebcheck::xq_cols;
 use bcq_core::error::{CoreError, Result};
-use bcq_core::prelude::{QAttr, RelId, SpcQuery, Value};
+use bcq_core::fx::{FxHashMap, FxHashSet};
+use bcq_core::prelude::{Cell, QAttr, RelId, SpcQuery, Value};
 use bcq_core::qplan::qplan;
 use bcq_core::sigma::Sigma;
 use bcq_storage::Database;
@@ -28,33 +57,92 @@ use bcq_storage::Database;
 /// Work done by one delta application.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DeltaStats {
-    /// Tuples fetched across the per-atom delta plans.
+    /// Tuples fetched across the delta / rederivation plans.
     pub tuples_fetched: u64,
     /// Answers added to the maintained result.
     pub added_rows: usize,
-    /// Delta plans executed (one per atom over the inserted relation).
+    /// Answers retracted from the maintained result.
+    pub removed_rows: usize,
+    /// Bounded plans executed (per-atom delta plans on insert,
+    /// rederivation probes on delete).
     pub plans_run: usize,
+    /// Derivations added to the support store.
+    pub derivations_added: usize,
+    /// Derivations retracted from the support store.
+    pub derivations_removed: usize,
 }
 
-/// A continuously maintained bounded query answer.
+/// A continuously maintained bounded query answer with per-answer support
+/// counts (see the module docs for the maintenance algebra).
 #[derive(Debug, Clone)]
 pub struct IncrementalAnswer {
     query: SpcQuery,
     access: AccessSchema,
+    /// Column offset of each atom inside a derivation pattern.
+    offsets: Vec<usize>,
+    /// Derivation pattern width: `Σ` atom arities.
+    width: usize,
+    /// Pattern positions of the projection attributes.
+    proj_pos: Vec<usize>,
+    /// The stored derivations (canonical patterns). `None` is the
+    /// unconstrained-column wildcard — distinct from `Some(Cell::NULL)`,
+    /// a column bound to a stored `Value::Null`.
+    derivations: FxHashSet<Box<[Option<Cell>]>>,
+    /// Projected answer (cells) → support: how many stored derivations
+    /// produce it.
+    support: FxHashMap<Box<[Cell]>, u64>,
+    /// Materialized answer, patched in place (O(changed answers) per
+    /// delta, not a full rebuild).
     result: ResultSet,
+}
+
+/// What [`IncrementalAnswer::add_derivation`] did.
+struct AddOutcome {
+    /// The pattern was not stored before.
+    new_derivation: bool,
+    /// Storing it created the answer's first support entry — the
+    /// projection key the materialized result must gain.
+    new_answer: Option<Box<[Cell]>>,
 }
 
 impl IncrementalAnswer {
     /// Evaluates `q` once (boundedly) and starts maintaining it.
     /// Fails if `q` is not effectively bounded under `a`.
     pub fn initialize(db: &Database, q: &SpcQuery, a: &AccessSchema) -> Result<Self> {
-        let plan = qplan(q, a)?;
-        let out = eval_dq(db, &plan, a)?;
-        Ok(IncrementalAnswer {
+        let mut offsets = Vec::with_capacity(q.num_atoms());
+        let mut width = 0usize;
+        for atom in 0..q.num_atoms() {
+            offsets.push(width);
+            width += q.arity_of(atom);
+        }
+        let proj_pos = q
+            .projection()
+            .iter()
+            .map(|z| offsets[z.atom] + z.col)
+            .collect();
+        let mut this = IncrementalAnswer {
             query: q.clone(),
             access: a.clone(),
-            result: out.result,
-        })
+            offsets,
+            width,
+            proj_pos,
+            derivations: FxHashSet::default(),
+            support: FxHashMap::default(),
+            result: ResultSet::empty(),
+        };
+        let plan = qplan(q, a)?;
+        let out = eval_dq_partials(db, &plan, a)?;
+        for pattern in this.patterns_of(q, plan.sigma(), &out.partials) {
+            this.add_derivation(pattern);
+        }
+        // One-time materialization; deltas patch it in place afterwards.
+        this.result = ResultSet::from_rows(
+            this.support
+                .keys()
+                .map(|cells| cells.iter().map(|&c| db.symbols().decode(c)).collect())
+                .collect(),
+        );
+        Ok(this)
     }
 
     /// The maintained answer.
@@ -65,6 +153,20 @@ impl IncrementalAnswer {
     /// The maintained query.
     pub fn query(&self) -> &SpcQuery {
         &self.query
+    }
+
+    /// The support (derivation count) of one answer row; `0` if `row` is
+    /// not an answer.
+    pub fn support_of(&self, db: &Database, row: &[Value]) -> u64 {
+        db.symbols()
+            .try_encode_row(row)
+            .and_then(|cells| self.support.get(cells.as_slice()).copied())
+            .unwrap_or(0)
+    }
+
+    /// Number of stored derivations (diagnostics: `Σ` of all supports).
+    pub fn num_derivations(&self) -> usize {
+        self.derivations.len()
     }
 
     /// Inserts `row` into `db` (maintaining its indices in place via
@@ -81,6 +183,22 @@ impl IncrementalAnswer {
         self.on_insert(db, rel, row)
     }
 
+    /// Deletes one copy of `row` from `db` (index-maintained via
+    /// [`Database::delete_maintained`]) and applies the retraction delta.
+    /// A row that was never stored is a no-op.
+    pub fn delete_and_apply(
+        &mut self,
+        db: &mut Database,
+        rel_name: &str,
+        row: &[Value],
+    ) -> Result<DeltaStats> {
+        let rel = self.query.catalog().require_rel(rel_name)?;
+        if !db.delete_maintained(rel_name, row)? {
+            return Ok(DeltaStats::default());
+        }
+        self.on_delete(db, rel, row)
+    }
+
     /// Applies an insertion: `row` was added to relation `rel` of `db`
     /// (indices already up to date — use [`Database::insert_maintained`]
     /// or rebuild). Updates the answer with bounded work.
@@ -90,7 +208,6 @@ impl IncrementalAnswer {
         }
         let sigma = Sigma::build(&self.query);
         let mut stats = DeltaStats::default();
-        let mut new_rows: Vec<Box<[Value]>> = self.result.rows().to_vec();
         for atom in 0..self.query.num_atoms() {
             if self.query.relation_of(atom) != rel {
                 continue;
@@ -102,25 +219,184 @@ impl IncrementalAnswer {
                 .collect();
             let delta_q = self.query.with_constants(&consts);
             // More constants than Q ⇒ still effectively bounded; the plan
-            // is typically much cheaper than Q's.
+            // is typically much cheaper than Q's. Self-joins rediscover the
+            // same derivations through several atoms — the store is a set,
+            // so support is not double-counted.
             let plan = qplan(&delta_q, &self.access)?;
-            let out = eval_dq(db, &plan, &self.access)?;
-            stats.tuples_fetched += out.dq_tuples();
+            let out = eval_dq_partials(db, &plan, &self.access)?;
+            stats.tuples_fetched += out.meter.tuples_fetched;
             stats.plans_run += 1;
-            for r in out.result.rows() {
-                new_rows.push(r.clone());
+            for pattern in self.patterns_of(&delta_q, plan.sigma(), &out.partials) {
+                let added = self.add_derivation(pattern);
+                stats.derivations_added += usize::from(added.new_derivation);
+                if let Some(key) = added.new_answer {
+                    let row = key.iter().map(|&c| db.symbols().decode(c)).collect();
+                    stats.added_rows += usize::from(self.result.insert_sorted(row));
+                }
             }
         }
-        let before = self.result.len();
-        self.result = ResultSet::from_rows(new_rows);
-        stats.added_rows = self.result.len() - before;
         Ok(stats)
+    }
+
+    /// Applies a deletion: one copy of `row` was removed from relation
+    /// `rel` of `db` (indices already maintained — use
+    /// [`Database::delete_maintained`]). Subtracts support from every
+    /// derivation consistent with the deleted tuple and retracts answers
+    /// whose support reaches zero, confirming each retraction with a
+    /// bounded rederivation probe.
+    pub fn on_delete(&mut self, db: &Database, rel: RelId, row: &[Value]) -> Result<DeltaStats> {
+        if row.len() != self.query.catalog().relation(rel).arity() {
+            return Err(CoreError::Invalid("arity mismatch in on_delete".into()));
+        }
+        let mut stats = DeltaStats::default();
+        // A never-interned value was never stored: nothing to retract.
+        let Some(cells) = db.symbols().try_encode_row(row) else {
+            return Ok(stats);
+        };
+        // Bag storage, set answers: while a duplicate copy of the same
+        // value-row survives, every derivation is still supported.
+        if db.contains_row(rel, row)? {
+            return Ok(stats);
+        }
+        let atom_offsets: Vec<usize> = (0..self.query.num_atoms())
+            .filter(|&atom| self.query.relation_of(atom) == rel)
+            .map(|atom| self.offsets[atom])
+            .collect();
+        if atom_offsets.is_empty() {
+            return Ok(stats);
+        }
+
+        // Phase 1 — subtract support: drop every derivation consistent
+        // with the deleted tuple at some atom over `rel` (a scan of the
+        // derivation store; see ROADMAP for the indexing follow-on).
+        // Wildcard columns over-approximate — a dropped derivation may
+        // still hold through another row — which phase 2 repairs.
+        let hit: Vec<Box<[Option<Cell>]>> = self
+            .derivations
+            .iter()
+            .filter(|p| {
+                atom_offsets.iter().any(|&off| {
+                    cells
+                        .iter()
+                        .enumerate()
+                        .all(|(c, &t)| p[off + c].is_none_or(|pc| pc == t))
+                })
+            })
+            .cloned()
+            .collect();
+        let mut zeroed: Vec<Box<[Cell]>> = Vec::new();
+        for pattern in hit {
+            self.derivations.remove(&pattern);
+            stats.derivations_removed += 1;
+            let proj = self.project(&pattern);
+            if let Some(s) = self.support.get_mut(&proj) {
+                *s -= 1;
+                if *s == 0 {
+                    zeroed.push(proj);
+                }
+            }
+        }
+
+        // Phase 2 — rederive at zero: an answer that lost all support is
+        // retracted unless the query with its projection pinned to the
+        // answer (strictly more constants ⇒ still bounded) rederives it.
+        for proj in zeroed {
+            let consts: Vec<(QAttr, Value)> = self
+                .query
+                .projection()
+                .iter()
+                .zip(proj.iter())
+                .map(|(z, &c)| (*z, db.symbols().decode(c)))
+                .collect();
+            let probe_q = self.query.with_constants(&consts);
+            let plan = qplan(&probe_q, &self.access)?;
+            let out = eval_dq_partials(db, &plan, &self.access)?;
+            stats.tuples_fetched += out.meter.tuples_fetched;
+            stats.plans_run += 1;
+            for pattern in self.patterns_of(&probe_q, plan.sigma(), &out.partials) {
+                // The zeroed entry still exists (at 0), so rederived
+                // support lands on it — never a "new" answer.
+                stats.derivations_added += usize::from(self.add_derivation(pattern).new_derivation);
+            }
+            if self.support.get(&proj).copied().unwrap_or(0) == 0 {
+                // Retracted for real.
+                self.support.remove(&proj);
+                let row: Box<[Value]> = proj.iter().map(|&c| db.symbols().decode(c)).collect();
+                stats.removed_rows += usize::from(self.result.remove_sorted(&row));
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Canonicalizes the class assignments of an evaluation of `q_like`
+    /// (the query itself, a per-atom delta, or a rederivation probe — all
+    /// share the original's atom layout, differing only in extra constant
+    /// predicates) into derivation patterns: one cell per atom column,
+    /// `None` where the class was not bound (distinct from a column bound
+    /// to a stored `Value::Null`, which is `Some(Cell::NULL)`).
+    fn patterns_of(
+        &self,
+        q_like: &SpcQuery,
+        sigma: &Sigma,
+        partials: &[Box<[Option<Cell>]>],
+    ) -> Vec<Box<[Option<Cell>]>> {
+        debug_assert_eq!(q_like.num_atoms(), self.query.num_atoms());
+        let mut out = Vec::with_capacity(partials.len());
+        for partial in partials {
+            let mut pattern = vec![None; self.width];
+            for atom in 0..q_like.num_atoms() {
+                for col in 0..q_like.arity_of(atom) {
+                    let class = sigma.class_of_flat(q_like.flat_id(QAttr::new(atom, col)));
+                    pattern[self.offsets[atom] + col] = partial[class.0];
+                }
+            }
+            out.push(pattern.into_boxed_slice());
+        }
+        out
+    }
+
+    /// The projected answer cells of a derivation pattern.
+    fn project(&self, pattern: &[Option<Cell>]) -> Box<[Cell]> {
+        self.proj_pos
+            .iter()
+            .map(|&p| pattern[p].expect("projection classes are always bound"))
+            .collect()
+    }
+
+    /// Stores a derivation, bumping its answer's support if it was new.
+    fn add_derivation(&mut self, pattern: Box<[Option<Cell>]>) -> AddOutcome {
+        use std::collections::hash_map::Entry;
+        let proj = self.project(&pattern);
+        if !self.derivations.insert(pattern) {
+            return AddOutcome {
+                new_derivation: false,
+                new_answer: None,
+            };
+        }
+        match self.support.entry(proj) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() += 1;
+                AddOutcome {
+                    new_derivation: true,
+                    new_answer: None,
+                }
+            }
+            Entry::Vacant(e) => {
+                let key = e.key().clone();
+                e.insert(1);
+                AddOutcome {
+                    new_derivation: true,
+                    new_answer: Some(key),
+                }
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval_dq::eval_dq;
     use bcq_core::prelude::*;
     use std::sync::Arc;
 
@@ -256,6 +532,16 @@ mod tests {
         assert_eq!(stats.plans_run, 2);
         assert!(inc.result().contains(&[Value::int(3)]));
         assert_eq!(inc.result(), &full_reference(&db, &q, &a));
+
+        // Deleting the edge that formed the path retracts the answer;
+        // deleting it again changes nothing.
+        let stats = inc.delete_and_apply(&mut db, "e", &row).unwrap();
+        assert_eq!(stats.removed_rows, 1);
+        assert!(inc.result().is_empty());
+        assert_eq!(inc.result(), &full_reference(&db, &q, &a));
+        let stats = inc.delete_and_apply(&mut db, "e", &row).unwrap();
+        assert_eq!(stats.removed_rows, 0);
+        assert_eq!(stats.plans_run, 0);
     }
 
     #[test]
@@ -265,5 +551,144 @@ mod tests {
         assert!(inc
             .on_insert(&db, RelId(0), &[Value::str("only-one")])
             .is_err());
+        assert!(inc
+            .on_delete(&db, RelId(0), &[Value::str("only-one")])
+            .is_err());
+    }
+
+    #[test]
+    fn deletion_retracts_answers_and_matches_reference() {
+        let (mut db, a, q) = setup();
+        let mut inc = IncrementalAnswer::initialize(&db, &q, &a).unwrap();
+        assert_eq!(inc.result().len(), 1);
+
+        let tag = [Value::str("p1"), Value::str("u1"), Value::str("u0")];
+        let stats = inc.delete_and_apply(&mut db, "tagging", &tag).unwrap();
+        assert_eq!(stats.removed_rows, 1);
+        assert!(stats.derivations_removed >= 1);
+        assert!(inc.result().is_empty());
+        assert_eq!(inc.result(), &full_reference(&db, &q, &a));
+    }
+
+    #[test]
+    fn support_survives_alternative_derivations() {
+        // p1 is tagged by *two* friends of u0: deleting one tagging keeps
+        // the answer (support drops but stays positive, or the rederivation
+        // probe confirms it); deleting both retracts it.
+        let (mut db, a, q) = setup();
+        db.insert("friends", &[Value::str("u0"), Value::str("u2")])
+            .unwrap();
+        db.insert(
+            "tagging",
+            &[Value::str("p1"), Value::str("u2"), Value::str("u0")],
+        )
+        .unwrap();
+        db.build_indexes(&a);
+        // The access schema declares tagging: (photo, taggee) -> (tagger, 1)
+        // but p1+u0 now has two taggers; the data violates the bound but
+        // answers stay exact (witnesses are never truncated).
+        let mut inc = IncrementalAnswer::initialize(&db, &q, &a).unwrap();
+        assert_eq!(inc.result().len(), 1);
+        assert!(inc.support_of(&db, &[Value::str("p1")]) >= 2, "two taggers");
+
+        let t1 = [Value::str("p1"), Value::str("u1"), Value::str("u0")];
+        inc.delete_and_apply(&mut db, "tagging", &t1).unwrap();
+        assert!(inc.result().contains(&[Value::str("p1")]), "u2 still tags");
+        assert_eq!(inc.result(), &full_reference(&db, &q, &a));
+
+        let t2 = [Value::str("p1"), Value::str("u2"), Value::str("u0")];
+        inc.delete_and_apply(&mut db, "tagging", &t2).unwrap();
+        assert!(inc.result().is_empty());
+        assert_eq!(inc.support_of(&db, &[Value::str("p1")]), 0);
+        assert_eq!(inc.result(), &full_reference(&db, &q, &a));
+    }
+
+    #[test]
+    fn duplicate_copies_follow_bag_semantics() {
+        // Two copies of the same tagging row: deleting one keeps the
+        // answer (set semantics over bag storage), deleting the last copy
+        // retracts it.
+        let (mut db, a, q) = setup();
+        let tag = [Value::str("p1"), Value::str("u1"), Value::str("u0")];
+        db.insert("tagging", &tag).unwrap();
+        db.build_indexes(&a);
+        let mut inc = IncrementalAnswer::initialize(&db, &q, &a).unwrap();
+        assert_eq!(inc.result().len(), 1);
+        let support = inc.support_of(&db, &[Value::str("p1")]);
+
+        let stats = inc.delete_and_apply(&mut db, "tagging", &tag).unwrap();
+        assert_eq!(stats.removed_rows, 0, "a duplicate copy survives");
+        assert_eq!(stats.derivations_removed, 0, "support untouched");
+        assert_eq!(inc.support_of(&db, &[Value::str("p1")]), support);
+        assert_eq!(inc.result(), &full_reference(&db, &q, &a));
+
+        let stats = inc.delete_and_apply(&mut db, "tagging", &tag).unwrap();
+        assert_eq!(stats.removed_rows, 1, "last copy retracts");
+        assert!(inc.result().is_empty());
+        assert_eq!(inc.result(), &full_reference(&db, &q, &a));
+    }
+
+    #[test]
+    fn stored_nulls_are_not_wildcards() {
+        // Value::Null is a first-class storable value; a derivation column
+        // *bound* to Null must not behave like the unconstrained-column
+        // wildcard during retraction matching (and must project cleanly).
+        let cat = Catalog::from_names(&[("r", &["a", "b"])]).unwrap();
+        let mut a = AccessSchema::new(cat.clone());
+        a.add("r", &["a"], &["b"], 16).unwrap();
+        let q = SpcQuery::builder(cat.clone(), "b_of_1")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 1)
+            .project(("r", "b"))
+            .build()
+            .unwrap();
+        let mut db = Database::new(cat);
+        db.insert("r", &[Value::int(1), Value::Null]).unwrap();
+        db.insert("r", &[Value::int(1), Value::int(2)]).unwrap();
+        db.build_indexes(&a);
+        let mut inc = IncrementalAnswer::initialize(&db, &q, &a).unwrap();
+        assert_eq!(inc.result().len(), 2);
+        assert!(inc.result().contains(&[Value::Null]));
+        assert_eq!(inc.support_of(&db, &[Value::Null]), 1);
+
+        // Deleting the non-null row must leave the Null answer standing…
+        inc.delete_and_apply(&mut db, "r", &[Value::int(1), Value::int(2)])
+            .unwrap();
+        assert!(inc.result().contains(&[Value::Null]));
+        assert_eq!(inc.result(), &full_reference(&db, &q, &a));
+
+        // …and deleting the Null row retracts exactly it.
+        inc.delete_and_apply(&mut db, "r", &[Value::int(1), Value::Null])
+            .unwrap();
+        assert!(inc.result().is_empty());
+        assert_eq!(inc.result(), &full_reference(&db, &q, &a));
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes_track_reference() {
+        let (mut db, a, q) = setup();
+        let mut inc = IncrementalAnswer::initialize(&db, &q, &a).unwrap();
+        let t = |p: &str, tagger: &str| [Value::str(p), Value::str(tagger), Value::str("u0")];
+        let f = |u: &str, v: &str| [Value::str(u), Value::str(v)];
+
+        inc.insert_and_apply(&mut db, "tagging", &t("p2", "u1"))
+            .unwrap();
+        inc.insert_and_apply(&mut db, "friends", &f("u0", "u2"))
+            .unwrap();
+        inc.delete_and_apply(&mut db, "tagging", &t("p1", "u1"))
+            .unwrap();
+        inc.insert_and_apply(&mut db, "tagging", &t("p1", "u2"))
+            .unwrap();
+        inc.delete_and_apply(&mut db, "friends", &f("u0", "u1"))
+            .unwrap();
+        assert_eq!(inc.result(), &full_reference(&db, &q, &a));
+        // p2's only tagger u1 is no longer a friend; p1 is tagged by u2.
+        assert!(inc.result().contains(&[Value::str("p1")]));
+        assert!(!inc.result().contains(&[Value::str("p2")]));
+
+        inc.delete_and_apply(&mut db, "in_album", &[Value::str("p1"), Value::str("a0")])
+            .unwrap();
+        assert!(inc.result().is_empty());
+        assert_eq!(inc.result(), &full_reference(&db, &q, &a));
     }
 }

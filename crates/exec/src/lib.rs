@@ -21,11 +21,11 @@ pub mod results;
 pub mod views;
 
 pub use baseline::{baseline, BaselineMode, BaselineOptions, BaselineOutcome};
-pub use eval_dq::{eval_dq, eval_dq_with, ExecOutcome};
+pub use eval_dq::{eval_dq, eval_dq_partials, eval_dq_with, ExecOutcome, PartialsOutcome};
 pub use incremental::{DeltaStats, IncrementalAnswer};
 pub use pipeline::{
-    run_join_pipeline, Batch, BudgetExhausted, ExecContext, Fetch, FetchSource, FilterAtom,
-    HashJoin, ParamEnv, Project, SemiJoin,
+    run_join_partials, run_join_pipeline, Batch, BudgetExhausted, ExecContext, Fetch, FetchSource,
+    FilterAtom, HashJoin, ParamEnv, Project, SemiJoin,
 };
 pub use ra::{eval_ra, RaOutcome};
 pub use results::ResultSet;

@@ -669,24 +669,38 @@ impl SemiJoin<'_> {
 pub fn run_join_pipeline(
     q: &SpcQuery,
     sigma: &Sigma,
-    mut batches: Vec<Batch>,
+    batches: Vec<Batch>,
     ctx: &mut ExecContext<'_>,
 ) -> Result<ResultSet, BudgetExhausted> {
-    let filter = FilterAtom { query: q, sigma };
-    for batch in &mut batches {
-        filter.apply(ctx, batch);
-        if batch.rows.is_empty() {
-            return Ok(ResultSet::empty());
-        }
-    }
-    let join = HashJoin { query: q, sigma };
-    let symbols = ctx.db.symbols();
-    let partials = join.run(symbols, batches, ctx)?;
+    let partials = run_join_partials(q, sigma, batches, ctx)?;
     if partials.is_empty() {
         return Ok(ResultSet::empty());
     }
     let project = Project { query: q, sigma };
-    Ok(project.apply(symbols, &partials))
+    Ok(project.apply(ctx.db.symbols(), &partials))
+}
+
+/// The pipeline up to (but excluding) projection: filter each batch, then
+/// hash-join on `Σ_Q` classes, returning the surviving class assignments —
+/// one cell per class, `None` for classes none of the fetched columns
+/// bound. Incremental maintenance consumes these directly: each assignment
+/// is one **derivation** of an answer tuple, the unit support counting
+/// counts.
+pub fn run_join_partials(
+    q: &SpcQuery,
+    sigma: &Sigma,
+    mut batches: Vec<Batch>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Vec<Box<[Option<Cell>]>>, BudgetExhausted> {
+    let filter = FilterAtom { query: q, sigma };
+    for batch in &mut batches {
+        filter.apply(ctx, batch);
+        if batch.rows.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+    let join = HashJoin { query: q, sigma };
+    join.run(ctx.db.symbols(), batches, ctx)
 }
 
 #[cfg(test)]

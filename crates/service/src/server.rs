@@ -496,6 +496,32 @@ impl Server {
         Ok(rid)
     }
 
+    /// Deletes one copy of `row` through the single-writer path:
+    /// [`Database::delete_maintained`] keeps every index fresh in place
+    /// (tombstone-free swap-remove + posting fix-up), the epoch advances
+    /// and a new snapshot is published — readers holding snapshots taken
+    /// before the delete still see the old rows — and every registered
+    /// view applies its support-counted retraction delta. Cached plans
+    /// stay valid (their indices were maintained; the next prepare's
+    /// epoch revalidation confirms them). Returns `false` — with no epoch
+    /// bump — if no copy of `row` is stored.
+    pub fn delete(&self, rel_name: &str, row: &[Value]) -> crate::Result<bool> {
+        // Views lock held across the write so deltas apply in write order.
+        let mut views = self.views.lock().expect("views lock poisoned");
+        let deleted = self
+            .shared
+            .write(|db| db.delete_maintained(rel_name, row))?;
+        if deleted {
+            let snap = self.shared.snapshot();
+            let rel = snap.catalog().require_rel(rel_name)?;
+            for v in views.iter_mut() {
+                v.answer.on_delete(&snap, rel, row)?;
+                v.epoch = snap.epoch();
+            }
+        }
+        Ok(deleted)
+    }
+
     /// Runs an arbitrary batch mutation (bulk load, manual index work) and
     /// then rebuilds all declared indices, so readers and cached plans are
     /// consistent again afterwards. Registered views are *not* updated in
@@ -590,6 +616,10 @@ pub struct SessionStats {
     pub rejected: u64,
     /// Total tuples fetched across requests.
     pub tuples_fetched: u64,
+    /// Rows inserted through this session.
+    pub inserts: u64,
+    /// Rows deleted through this session (only deletes that found a row).
+    pub deletes: u64,
 }
 
 /// A per-client handle: thin wrapper over an `Arc<Server>` that funnels
@@ -641,6 +671,22 @@ impl Session {
         let catalog = Arc::clone(self.server.access.catalog());
         let q = parse_spc(catalog, name, sql)?;
         self.query(&q, bindings)
+    }
+
+    /// Inserts one row through the server's maintained write path
+    /// ([`Server::insert`]).
+    pub fn insert(&mut self, rel_name: &str, row: &[Value]) -> crate::Result<u32> {
+        let rid = self.server.insert(rel_name, row)?;
+        self.stats.inserts += 1;
+        Ok(rid)
+    }
+
+    /// Deletes one copy of a row through the server's maintained write
+    /// path ([`Server::delete`]). Returns `false` if no copy was stored.
+    pub fn delete(&mut self, rel_name: &str, row: &[Value]) -> crate::Result<bool> {
+        let deleted = self.server.delete(rel_name, row)?;
+        self.stats.deletes += u64::from(deleted);
+        Ok(deleted)
     }
 
     fn record_prepare(&mut self, r: crate::Result<Prepared>) -> crate::Result<Prepared> {
@@ -991,6 +1037,116 @@ mod tests {
             .unwrap();
         });
         assert_eq!(server.view_result(view).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn deletes_retract_answers_and_respect_snapshots() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        let mut s = server.session();
+
+        let before = s.query(&q1, &bind("a0", "u0")).unwrap();
+        assert_eq!(before.rows().unwrap().len(), 1); // p1
+        let e0 = before.stats.epoch;
+        let old_snap = server.snapshot();
+
+        // Deleting the tagging that supports p1 retracts it.
+        assert!(server
+            .delete(
+                "tagging",
+                &[Value::str("p1"), Value::str("u1"), Value::str("u0")],
+            )
+            .unwrap());
+        let after = s.query(&q1, &bind("a0", "u0")).unwrap();
+        assert!(after.stats.epoch > e0, "delete bumps the epoch");
+        assert!(after.stats.cache_hit, "plan survived the maintained delete");
+        assert!(after.rows().unwrap().is_empty());
+        assert_eq!(server.cache_stats().revalidations, 1);
+        assert_eq!(server.cache_stats().invalidations, 0);
+
+        // A snapshot taken before the delete still sees the old row.
+        assert_eq!(old_snap.epoch(), e0);
+        assert!(old_snap
+            .contains_row(
+                old_snap.catalog().require_rel("tagging").unwrap(),
+                &[Value::str("p1"), Value::str("u1"), Value::str("u0")],
+            )
+            .unwrap());
+
+        // Deleting a row that is not stored reports false, bumps nothing.
+        let e1 = server.epoch();
+        assert!(!server
+            .delete(
+                "tagging",
+                &[Value::str("p1"), Value::str("u1"), Value::str("u0")],
+            )
+            .unwrap());
+        assert_eq!(server.epoch(), e1);
+    }
+
+    #[test]
+    fn session_delete_tracks_stats() {
+        let server = setup(AdmissionPolicy::Strict);
+        let mut s = server.session();
+        s.insert("friends", &[Value::str("u0"), Value::str("u7")])
+            .unwrap();
+        assert!(s
+            .delete("friends", &[Value::str("u0"), Value::str("u7")])
+            .unwrap());
+        assert!(!s
+            .delete("friends", &[Value::str("u0"), Value::str("u7")])
+            .unwrap());
+        assert_eq!(s.stats().inserts, 1);
+        assert_eq!(s.stats().deletes, 1, "only the delete that found a row");
+    }
+
+    #[test]
+    fn registered_views_maintain_under_deletes() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q0 = SpcQuery::builder(Arc::clone(server.access().catalog()), "Q0")
+            .atom("in_album", "ia")
+            .atom("friends", "f")
+            .atom("tagging", "t")
+            .eq_const(("ia", "album_id"), "a0")
+            .eq_const(("f", "user_id"), "u0")
+            .eq(("ia", "photo_id"), ("t", "photo_id"))
+            .eq(("t", "tagger_id"), ("f", "friend_id"))
+            .eq_const(("t", "taggee_id"), "u0")
+            .project(("ia", "photo_id"))
+            .build()
+            .unwrap();
+        let view = server.register_view(&q0).unwrap();
+        server
+            .insert(
+                "tagging",
+                &[Value::str("p2"), Value::str("u1"), Value::str("u0")],
+            )
+            .unwrap();
+        assert_eq!(server.view_result(view).unwrap().len(), 2);
+
+        // Support-counted retraction through the maintained delete path.
+        server
+            .delete(
+                "tagging",
+                &[Value::str("p1"), Value::str("u1"), Value::str("u0")],
+            )
+            .unwrap();
+        let rs = server.view_result(view).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(rs.contains(&[Value::str("p2")]));
+
+        // Deleting the friendship kills the remaining answer.
+        server
+            .delete("friends", &[Value::str("u0"), Value::str("u1")])
+            .unwrap();
+        assert!(server.view_result(view).unwrap().is_empty());
+
+        // Out-of-band bulk delete: the view goes stale and recomputes.
+        server.bulk_update(|db| {
+            db.delete("in_album", &[Value::str("p2"), Value::str("a0")])
+                .unwrap();
+        });
+        assert!(server.view_result(view).unwrap().is_empty());
     }
 
     #[test]

@@ -141,6 +141,112 @@ impl Database {
         Ok(rid)
     }
 
+    /// Deletes **one copy** of `row` from the relation called `rel_name`
+    /// (bag storage: duplicates are removed one at a time; see
+    /// [`crate::table::Table`] for the semantics). Returns `false` — and
+    /// leaves the database untouched, epoch included — if no copy is stored.
+    ///
+    /// Drops all registered indices (bulk-unload path): call
+    /// [`Self::build_indexes`] when done, or use
+    /// [`Self::delete_maintained`] for live updates.
+    pub fn delete(&mut self, rel_name: &str, row: &[Value]) -> Result<bool> {
+        let (rel, cells) = match self.locate(rel_name, row)? {
+            Some(hit) => hit,
+            None => return Ok(false),
+        };
+        let rid = match self.tables[rel.0].find_row(&cells) {
+            Some(rid) => rid,
+            None => return Ok(false),
+        };
+        self.epoch += 1;
+        self.indexes.clear();
+        self.tables[rel.0].swap_remove(rid);
+        Ok(true)
+    }
+
+    /// Deletes one copy of `row` and **maintains** every registered index of
+    /// the relation in place — the live-update path used by incremental
+    /// maintenance, mirror of [`Self::insert_maintained`]. The row is
+    /// located through a registered index when one exists (O(postings)),
+    /// falling back to a table scan. Tombstone-free: the table's last row is
+    /// swapped into the hole and its postings re-pointed. Returns `false` —
+    /// with no epoch bump — if no copy is stored.
+    pub fn delete_maintained(&mut self, rel_name: &str, row: &[Value]) -> Result<bool> {
+        let (rel, cells) = match self.locate(rel_name, row)? {
+            Some(hit) => hit,
+            None => return Ok(false),
+        };
+        let rid = match self.locate_rid(rel, &cells) {
+            Some(rid) => rid,
+            None => return Ok(false),
+        };
+        self.epoch += 1;
+        for ((r, _, _), idx) in self.indexes.iter_mut() {
+            if *r == rel.0 {
+                idx.remove_row(rid as u32, &cells, &self.tables[rel.0]);
+            }
+        }
+        if let Some(moved_from) = self.tables[rel.0].swap_remove(rid) {
+            let moved: Vec<Cell> = self.tables[rel.0].row(rid).to_vec();
+            for ((r, _, _), idx) in self.indexes.iter_mut() {
+                if *r == rel.0 {
+                    idx.reindex_row(moved_from as u32, rid as u32, &moved);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// `true` if at least one copy of `row` is stored in `rel` — the
+    /// value-level presence test incremental maintenance uses to decide
+    /// whether a deletion removed the *last* copy. Served by a registered
+    /// index when one exists, else a scan.
+    pub fn contains_row(&self, rel: RelId, row: &[Value]) -> Result<bool> {
+        if row.len() != self.catalog.relation(rel).arity() {
+            return Err(CoreError::Invalid("arity mismatch in contains_row".into()));
+        }
+        let Some(cells) = self.symbols.try_encode_row(row) else {
+            return Ok(false); // a never-interned value was never stored
+        };
+        Ok(self.locate_rid(rel, &cells).is_some())
+    }
+
+    /// Shared head of the delete paths: resolves the relation, checks the
+    /// arity, and encodes the row read-only (a never-interned value proves
+    /// no copy is stored).
+    fn locate(&self, rel_name: &str, row: &[Value]) -> Result<Option<(RelId, Vec<Cell>)>> {
+        let rel = self.catalog.require_rel(rel_name)?;
+        if row.len() != self.catalog.relation(rel).arity() {
+            return Err(CoreError::Invalid(format!(
+                "arity mismatch deleting from `{rel_name}`"
+            )));
+        }
+        match self.symbols.try_encode_row(row) {
+            Some(cells) => Ok(Some((rel, cells.to_vec()))),
+            None => Ok(None),
+        }
+    }
+
+    /// The row id of one stored copy of `cells`: probes the posting list of
+    /// a registered index on the relation when one exists (any index works —
+    /// its key is a projection of the row being looked up), else scans.
+    fn locate_rid(&self, rel: RelId, cells: &[Cell]) -> Option<usize> {
+        let table = &self.tables[rel.0];
+        for ((r, _, _), idx) in self.indexes.iter() {
+            if *r != rel.0 {
+                continue;
+            }
+            let key: bcq_core::prelude::RowBuf = idx.x().iter().map(|&c| cells[c]).collect();
+            return idx
+                .all(&key)
+                .iter()
+                .copied()
+                .map(|rid| rid as usize)
+                .find(|&rid| table.row(rid) == cells);
+        }
+        table.find_row(cells)
+    }
+
     /// Total number of tuples across all tables — the paper's `|D|`.
     pub fn total_tuples(&self) -> usize {
         self.tables.iter().map(Table::len).sum()
@@ -383,6 +489,134 @@ mod tests {
         let idx = db.index_for(a.constraint(cid)).unwrap();
         assert_eq!(idx.witnesses(&key).len(), 2);
         assert_eq!(idx.all(&key).len(), 3);
+    }
+
+    #[test]
+    fn delete_bulk_drops_indexes_and_rows() {
+        let cat = photos();
+        let mut a = AccessSchema::new(cat.clone());
+        a.add("friends", &["user_id"], &["friend_id"], 10).unwrap();
+        let mut db = Database::new(cat);
+        db.insert("friends", &[Value::int(1), Value::int(2)])
+            .unwrap();
+        db.insert("friends", &[Value::int(1), Value::int(3)])
+            .unwrap();
+        db.build_indexes(&a);
+        let e = db.epoch();
+
+        assert!(db
+            .delete("friends", &[Value::int(1), Value::int(2)])
+            .unwrap());
+        assert!(db.epoch() > e, "delete bumps the epoch");
+        assert_eq!(db.num_indexes(), 0, "bulk delete drops indices");
+        assert_eq!(db.table(RelId(1)).len(), 1);
+
+        // A row that is not stored (or never interned) deletes nothing and
+        // leaves the epoch alone.
+        let e = db.epoch();
+        assert!(!db
+            .delete("friends", &[Value::int(1), Value::int(2)])
+            .unwrap());
+        assert!(!db
+            .delete("friends", &[Value::str("ghost"), Value::int(2)])
+            .unwrap());
+        assert_eq!(db.epoch(), e);
+        assert!(db.delete("ghost", &[Value::int(1)]).is_err());
+        assert!(db.delete("friends", &[Value::int(1)]).is_err());
+    }
+
+    #[test]
+    fn maintained_delete_keeps_indexes_fresh() {
+        let cat = photos();
+        let mut a = AccessSchema::new(cat.clone());
+        let cid = a.add("friends", &["user_id"], &["friend_id"], 10).unwrap();
+        let mut db = Database::new(cat);
+        for (u, f) in [(1, 2), (1, 3), (2, 4), (1, 2)] {
+            db.insert("friends", &[Value::int(u), Value::int(f)])
+                .unwrap();
+        }
+        db.build_indexes(&a);
+        let e = db.epoch();
+
+        // Deleting one copy of the duplicated (1, 2) keeps the value
+        // present: witnesses still cover {2, 3}.
+        assert!(db
+            .delete_maintained("friends", &[Value::int(1), Value::int(2)])
+            .unwrap());
+        assert!(db.epoch() > e);
+        assert_eq!(db.num_indexes(), 1, "index survived the delete");
+        let key = db.symbols().try_encode_row(&[Value::int(1)]).unwrap();
+        let idx = db.index_for(a.constraint(cid)).unwrap();
+        assert_eq!(idx.witnesses(&key).len(), 2);
+        assert_eq!(idx.all(&key).len(), 2);
+        assert!(db
+            .contains_row(RelId(1), &[Value::int(1), Value::int(2)])
+            .unwrap());
+
+        // Deleting the last copy retracts the Y-value from the witnesses.
+        assert!(db
+            .delete_maintained("friends", &[Value::int(1), Value::int(2)])
+            .unwrap());
+        let idx = db.index_for(a.constraint(cid)).unwrap();
+        assert_eq!(idx.witnesses(&key).len(), 1);
+        assert!(!db
+            .contains_row(RelId(1), &[Value::int(1), Value::int(2)])
+            .unwrap());
+
+        // Maintained index is equivalent to a rebuild (as posting sets —
+        // swap-remove permutes row ids).
+        let rebuilt = crate::index::HashIndex::build(
+            db.table(RelId(1)),
+            a.constraint(cid).x(),
+            a.constraint(cid).y(),
+        );
+        assert_eq!(idx.max_witnesses(), rebuilt.max_witnesses());
+        assert_eq!(idx.num_keys(), rebuilt.num_keys());
+        for probe in [1i64, 2] {
+            let key = db.symbols().try_encode_row(&[Value::int(probe)]).unwrap();
+            let mut a1: Vec<u32> = idx.all(&key).to_vec();
+            let mut a2: Vec<u32> = rebuilt.all(&key).to_vec();
+            a1.sort_unstable();
+            a2.sort_unstable();
+            assert_eq!(a1, a2, "postings agree for key {probe}");
+            assert_eq!(
+                idx.witnesses(&key).len(),
+                rebuilt.witnesses(&key).len(),
+                "witness counts agree for key {probe}"
+            );
+        }
+
+        // A miss deletes nothing and does not bump the epoch.
+        let e = db.epoch();
+        assert!(!db
+            .delete_maintained("friends", &[Value::int(9), Value::int(9)])
+            .unwrap());
+        assert_eq!(db.epoch(), e);
+    }
+
+    #[test]
+    fn maintained_delete_repoints_moved_row_postings() {
+        let cat = photos();
+        let mut a = AccessSchema::new(cat.clone());
+        let cid = a.add("friends", &["user_id"], &["friend_id"], 10).unwrap();
+        let mut db = Database::new(cat);
+        for (u, f) in [(1, 2), (2, 4), (3, 6)] {
+            db.insert("friends", &[Value::int(u), Value::int(f)])
+                .unwrap();
+        }
+        db.build_indexes(&a);
+        // Deleting row 0 swaps row 2 (user 3) into slot 0; its postings
+        // must point at the new id.
+        assert!(db
+            .delete_maintained("friends", &[Value::int(1), Value::int(2)])
+            .unwrap());
+        let key = db.symbols().try_encode_row(&[Value::int(3)]).unwrap();
+        let idx = db.index_for(a.constraint(cid)).unwrap();
+        assert_eq!(idx.witnesses(&key), &[0], "moved row re-pointed");
+        assert_eq!(
+            db.value_rows(RelId(1)).next().unwrap(),
+            vec![Value::int(3), Value::int(6)]
+        );
     }
 
     #[test]

@@ -113,6 +113,80 @@ impl HashIndex {
             self.max_witnesses = self.max_witnesses.max(entry.witnesses.len());
         }
     }
+
+    /// Maintains the index for a row about to be removed: drops `rid` from
+    /// its key's posting lists. If `rid` was the witness of its
+    /// `Y`-projection, another row with the same `(X, Y)` (looked up in
+    /// `table`, which must still contain all rows including `rid`) is
+    /// promoted to witness; if none exists, the `Y`-value is gone and the
+    /// witness set shrinks — witness coverage of all distinct remaining
+    /// `Y`-values is preserved either way.
+    ///
+    /// Cost: O(|postings of the key|), plus an O(keys) `max_witnesses`
+    /// recomputation only when the largest witness set shrank.
+    pub fn remove_row(&mut self, rid: u32, row: &[Cell], table: &Table) {
+        let key: RowBuf = self.x.iter().map(|&c| row[c]).collect();
+        let Some(entry) = self.map.get_mut(&key) else {
+            return;
+        };
+        let Some(pos) = entry.all.iter().position(|&r| r == rid) else {
+            return;
+        };
+        entry.all.remove(pos);
+        if entry.all.is_empty() {
+            let was_max = entry.witnesses.len() == self.max_witnesses;
+            self.map.remove(&key);
+            if was_max {
+                self.recompute_max_witnesses();
+            }
+            return;
+        }
+        let Some(wpos) = entry.witnesses.iter().position(|&r| r == rid) else {
+            return; // a duplicate copy was the witness; nothing else changes
+        };
+        let was_max = entry.witnesses.len() == self.max_witnesses;
+        let yproj: RowBuf = self.y.iter().map(|&c| row[c]).collect();
+        // Promote another copy of the same Y-projection, if one survives.
+        let replacement = entry.all.iter().copied().find(|&r| {
+            self.y
+                .iter()
+                .zip(yproj.iter())
+                .all(|(&c, &y)| table.row(r as usize)[c] == y)
+        });
+        match replacement {
+            Some(r) => entry.witnesses[wpos] = r,
+            None => {
+                entry.witnesses.remove(wpos);
+                entry.y_seen.remove(&yproj);
+                if was_max {
+                    self.recompute_max_witnesses();
+                }
+            }
+        }
+    }
+
+    /// Re-points the posting entries of the row whose id changed from
+    /// `old_rid` to `new_rid` (the table's [`Table::swap_remove`] moved it);
+    /// `row` is its cell content. O(|postings of its key|).
+    pub fn reindex_row(&mut self, old_rid: u32, new_rid: u32, row: &[Cell]) {
+        let key: RowBuf = self.x.iter().map(|&c| row[c]).collect();
+        if let Some(entry) = self.map.get_mut(&key) {
+            for r in entry.all.iter_mut().chain(entry.witnesses.iter_mut()) {
+                if *r == old_rid {
+                    *r = new_rid;
+                }
+            }
+        }
+    }
+
+    fn recompute_max_witnesses(&mut self) {
+        self.max_witnesses = self
+            .map
+            .values()
+            .map(|p| p.witnesses.len())
+            .max()
+            .unwrap_or(0);
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +279,63 @@ mod tests {
         let k = key(&s, &[Value::int(1), Value::str("a")]);
         assert_eq!(idx.witnesses(&k).len(), 1);
         assert_eq!(idx.all(&k).len(), 2);
+    }
+
+    #[test]
+    fn remove_row_promotes_duplicate_witness() {
+        // user 1 has friends a, a, b. Removing the witness copy of "a"
+        // (row 0) must promote the duplicate (row 1), not lose the Y-value.
+        let (t, s) = table_and_symbols();
+        let mut idx = HashIndex::build(&t, &[0], &[1]);
+        let k = key(&s, &[Value::int(1)]);
+        assert_eq!(idx.witnesses(&k), &[0, 2]);
+
+        idx.remove_row(0, t.row(0), &t);
+        assert_eq!(idx.all(&k), &[1, 2]);
+        assert_eq!(idx.witnesses(&k), &[1, 2], "duplicate promoted");
+        assert_eq!(idx.max_witnesses(), 2);
+
+        // Removing the last copy of "a" retracts the Y-value.
+        idx.remove_row(1, t.row(1), &t);
+        assert_eq!(idx.witnesses(&k), &[2]);
+        assert_eq!(idx.all(&k), &[2]);
+        assert_eq!(idx.max_witnesses(), 1, "max recomputed after shrink");
+
+        // Removing the final row of the key drops the key entirely.
+        idx.remove_row(2, t.row(2), &t);
+        assert!(idx.witnesses(&k).is_empty());
+        assert_eq!(idx.num_keys(), 1); // user 2 remains
+        assert_eq!(idx.max_witnesses(), 1);
+    }
+
+    #[test]
+    fn remove_then_reindex_tracks_swap() {
+        let (mut t, s) = table_and_symbols();
+        let mut idx = HashIndex::build(&t, &[0], &[1]);
+        // Delete row 1 (the duplicate (1, "a")): row 3 moves into slot 1.
+        let row1 = t.row(1).to_vec();
+        idx.remove_row(1, &row1, &t);
+        let moved_from = t.swap_remove(1).unwrap();
+        assert_eq!(moved_from, 3);
+        idx.reindex_row(3, 1, t.row(1));
+        let k2 = key(&s, &[Value::int(2)]);
+        assert_eq!(idx.witnesses(&k2), &[1], "moved row re-pointed");
+        assert_eq!(idx.all(&k2), &[1]);
+        // The untouched key is unchanged.
+        let k1 = key(&s, &[Value::int(1)]);
+        assert_eq!(idx.witnesses(&k1), &[0, 2]);
+        assert_eq!(idx.all(&k1), &[0, 2]);
+    }
+
+    #[test]
+    fn remove_missing_row_is_a_noop() {
+        let (t, s) = table_and_symbols();
+        let mut idx = HashIndex::build(&t, &[0], &[1]);
+        let before_keys = idx.num_keys();
+        // A rid not in the postings of its key.
+        idx.remove_row(99, t.row(0), &t);
+        assert_eq!(idx.num_keys(), before_keys);
+        assert_eq!(idx.witnesses(&key(&s, &[Value::int(1)])), &[0, 2]);
     }
 
     #[test]

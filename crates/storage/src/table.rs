@@ -4,6 +4,18 @@
 //! All value-level I/O (inserting `Value` rows, decoding rows back) goes
 //! through [`crate::database::Database`], which owns the
 //! [`bcq_core::symbols::SymbolTable`] the cells are encoded against.
+//!
+//! ## Duplicate rows: bag storage, set query semantics
+//!
+//! A table is a **bag** at the physical level: [`Table::push`] never
+//! deduplicates, so the same cell row can be stored any number of times
+//! (the baseline executor deliberately pays for those duplicates, like a
+//! conventional DBMS reading through a secondary index). Query *answers*
+//! are sets (`bcq-exec`'s `ResultSet` deduplicates), so the answer
+//! depends only on the **distinct** rows present. Deletion follows the bag:
+//! [`Table::swap_remove`] removes **one copy**; the answer set can only
+//! change when the *last* copy of a row value disappears — the invariant
+//! support-counted incremental maintenance is built on.
 
 use bcq_core::prelude::{Cell, RelId};
 
@@ -68,6 +80,37 @@ impl Table {
     pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Cell]> + '_ {
         self.data.chunks_exact(self.arity)
     }
+
+    /// The row id of **one** copy of `row`, scanning from the end (recently
+    /// inserted rows are found first), or `None` if no copy is stored.
+    pub fn find_row(&self, row: &[Cell]) -> Option<usize> {
+        assert_eq!(row.len(), self.arity, "arity mismatch on find");
+        (0..self.len()).rev().find(|&i| self.row(i) == row)
+    }
+
+    /// Removes row `i` **tombstone-free** by moving the last row into its
+    /// slot (O(arity), no holes, ids stay dense). Returns the id of the row
+    /// that was moved into slot `i` (its old id was `len() - 1`), or `None`
+    /// when `i` was the last row and nothing moved.
+    ///
+    /// Index maintenance contract: callers must fix up registered indices —
+    /// remove the deleted row's postings first, then re-point the moved
+    /// row's postings from its old id to `i`
+    /// (see [`crate::index::HashIndex::remove_row`] and
+    /// [`crate::index::HashIndex::reindex_row`]).
+    pub fn swap_remove(&mut self, i: usize) -> Option<usize> {
+        let last = self
+            .len()
+            .checked_sub(1)
+            .expect("swap_remove on empty table");
+        assert!(i <= last, "row id out of bounds");
+        if i != last {
+            let (head, tail) = self.data.split_at_mut(last * self.arity);
+            head[i * self.arity..(i + 1) * self.arity].copy_from_slice(tail);
+        }
+        self.data.truncate(last * self.arity);
+        (i != last).then_some(last)
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +140,43 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = Table::new(RelId(0), 2);
         t.push(&cells(&[1]));
+    }
+
+    #[test]
+    fn swap_remove_moves_last_row_in() {
+        let mut t = Table::new(RelId(0), 2);
+        t.push(&cells(&[1, 10]));
+        t.push(&cells(&[2, 20]));
+        t.push(&cells(&[3, 30]));
+        // Removing a middle row moves the last row into its slot.
+        assert_eq!(t.swap_remove(0), Some(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(0), cells(&[3, 30]).as_slice());
+        assert_eq!(t.row(1), cells(&[2, 20]).as_slice());
+        // Removing the last row moves nothing.
+        assert_eq!(t.swap_remove(1), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.row(0), cells(&[3, 30]).as_slice());
+        assert_eq!(t.swap_remove(0), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn find_row_prefers_latest_copy() {
+        let mut t = Table::new(RelId(0), 2);
+        t.push(&cells(&[1, 10]));
+        t.push(&cells(&[2, 20]));
+        t.push(&cells(&[1, 10])); // duplicate copy (bag storage)
+        assert_eq!(t.find_row(&cells(&[1, 10])), Some(2));
+        assert_eq!(t.find_row(&cells(&[2, 20])), Some(1));
+        assert_eq!(t.find_row(&cells(&[9, 90])), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "swap_remove on empty table")]
+    fn swap_remove_empty_panics() {
+        let mut t = Table::new(RelId(0), 1);
+        t.swap_remove(0);
     }
 
     #[test]

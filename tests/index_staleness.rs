@@ -1,14 +1,19 @@
-//! Audit: can a `HashIndex` ever serve stale postings after inserts?
+//! Audit: can a `HashIndex` ever serve stale postings after inserts — or
+//! ghost rows after deletes?
 //!
 //! The two write paths behave differently by design:
 //!
-//! * [`Database::insert`] (bulk path) **drops** all registered indices, so
-//!   a plan that runs before `build_indexes` fails loudly ("index … not
-//!   built") instead of silently missing rows — verified here.
-//! * [`Database::insert_maintained`] updates every posting list in place;
-//!   a maintained index must be indistinguishable from a from-scratch
-//!   rebuild, and a prepared bounded query must see rows inserted after
-//!   the index was first built — the regression this file pins down.
+//! * [`Database::insert`] / [`Database::delete`] (bulk paths) **drop** all
+//!   registered indices, so a plan that runs before `build_indexes` fails
+//!   loudly ("index … not built") instead of silently missing rows —
+//!   verified here.
+//! * [`Database::insert_maintained`] / [`Database::delete_maintained`]
+//!   update every posting list in place; a maintained index must be
+//!   indistinguishable from a from-scratch rebuild (as posting *sets* —
+//!   tombstone-free swap-remove permutes row ids), a prepared bounded
+//!   query must see rows inserted after the index was first built, and a
+//!   delete-then-probe must never surface the deleted row — the
+//!   regressions this file pins down.
 
 use bounded_cq::prelude::*;
 use std::collections::BTreeMap;
@@ -88,6 +93,96 @@ fn bulk_insert_fails_loudly_rather_than_serving_stale_postings() {
     assert_eq!(after.result.len(), 5);
 }
 
+/// A bounded plan must not see rows that `delete_maintained` removed —
+/// no ghost postings — and the maintained index must stay equivalent to a
+/// from-scratch rebuild after interleaved inserts and deletes.
+#[test]
+fn maintained_deletes_leave_no_ghost_rows() {
+    let (mut db, a, catalog) = setup();
+    let q = friends_of(&catalog, 2);
+    let plan = qplan(&q, &a).unwrap();
+    assert_eq!(eval_dq(&db, &plan, &a).unwrap().result.len(), 4); // 2, 7, 12, 17
+
+    // Delete-then-probe: the deleted row must be gone immediately.
+    assert!(db
+        .delete_maintained("friends", &[Value::int(2), Value::int(7)])
+        .unwrap());
+    let after = eval_dq(&db, &plan, &a).unwrap();
+    assert_eq!(after.result.len(), 3, "no rebuild needed, no ghost row");
+    assert!(!after.result.contains(&[Value::int(7)]));
+
+    // Interleave: insert two, delete one of them and one original.
+    db.insert_maintained("friends", &[Value::int(2), Value::int(100)])
+        .unwrap();
+    db.insert_maintained("friends", &[Value::int(2), Value::int(101)])
+        .unwrap();
+    assert!(db
+        .delete_maintained("friends", &[Value::int(2), Value::int(100)])
+        .unwrap());
+    assert!(db
+        .delete_maintained("friends", &[Value::int(2), Value::int(17)])
+        .unwrap());
+    let rs = eval_dq(&db, &plan, &a).unwrap().result;
+    assert_eq!(rs.len(), 3); // 2, 12, 101
+    assert!(rs.contains(&[Value::int(101)]));
+    assert!(!rs.contains(&[Value::int(100)]));
+    assert!(!rs.contains(&[Value::int(17)]));
+
+    // The maintained index is equivalent to a from-scratch rebuild: same
+    // keys, same posting sets, same witness coverage and max-witness count
+    // (row ids may be permuted by swap-remove, so compare as sets).
+    let cid = bcq_core::access::ConstraintId(0);
+    let maintained = db.index_for(a.constraint(cid)).unwrap().clone();
+    let rebuilt = HashIndex::build(
+        db.table(RelId(0)),
+        a.constraint(cid).x(),
+        a.constraint(cid).y(),
+    );
+    assert_eq!(maintained.max_witnesses(), rebuilt.max_witnesses());
+    assert_eq!(maintained.num_keys(), rebuilt.num_keys());
+    let table = db.table(RelId(0));
+    for key in (0..5i64).map(|u| db.symbols().try_encode_row(&[Value::int(u)]).unwrap()) {
+        let rows_of = |rids: &[u32]| {
+            let mut rows: Vec<Vec<Value>> = rids
+                .iter()
+                .map(|&rid| db.decode_row(table.row(rid as usize)))
+                .collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(
+            rows_of(maintained.all(&key)),
+            rows_of(rebuilt.all(&key)),
+            "posting sets agree"
+        );
+        assert_eq!(
+            rows_of(maintained.witnesses(&key)),
+            rows_of(rebuilt.witnesses(&key)),
+            "witness sets agree"
+        );
+    }
+}
+
+/// The bulk `delete` path cannot serve ghosts either: it drops the
+/// indices, and the bounded executor refuses to run without them.
+#[test]
+fn bulk_delete_fails_loudly_rather_than_serving_ghost_postings() {
+    let (mut db, a, catalog) = setup();
+    let q = friends_of(&catalog, 2);
+    let plan = qplan(&q, &a).unwrap();
+    assert!(eval_dq(&db, &plan, &a).is_ok());
+
+    assert!(db
+        .delete("friends", &[Value::int(2), Value::int(7)])
+        .unwrap());
+    let err = eval_dq(&db, &plan, &a).unwrap_err();
+    assert!(err.to_string().contains("not built"), "{err}");
+
+    db.build_indexes(&a);
+    let after = eval_dq(&db, &plan, &a).unwrap();
+    assert_eq!(after.result.len(), 3);
+}
+
 /// End to end through the service: a prepared (cached) bounded query sees
 /// rows inserted after the index build, on both write paths.
 #[test]
@@ -132,4 +227,21 @@ fn prepared_query_sees_rows_inserted_after_index_build() {
     });
     let r = session.query(&template, &bind(2)).unwrap();
     assert_eq!(r.rows().unwrap().len(), 6);
+
+    // Maintained delete: the cached plan must not see the ghost row.
+    assert!(server
+        .delete("friends", &[Value::int(2), Value::int(999)])
+        .unwrap());
+    let r = session.query(&template, &bind(2)).unwrap();
+    assert_eq!(r.rows().unwrap().len(), 5);
+    assert!(r.stats.cache_hit, "plan survived the maintained delete");
+    assert!(!r.rows().unwrap().contains(&[Value::int(999)]));
+
+    // Bulk delete: indices rebuilt inside the write, plan revalidates.
+    server.bulk_update(|db| {
+        db.delete("friends", &[Value::int(2), Value::int(1000)])
+            .unwrap();
+    });
+    let r = session.query(&template, &bind(2)).unwrap();
+    assert_eq!(r.rows().unwrap().len(), 4);
 }

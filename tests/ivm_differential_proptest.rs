@@ -1,0 +1,255 @@
+//! Differential proof of support-counted incremental maintenance: random
+//! interleavings of inserts and deletes, applied through
+//! [`IncrementalAnswer`]'s maintained paths, must agree with a full
+//! recompute (`eval_dq`) **and** with the budgeted conventional baseline
+//! after **every** mutation — on schemas shaped like the paper's TFACC
+//! (multi-relation join) and MOT (one wide relation, self-join) workloads.
+//!
+//! Value domains are deliberately tiny so the interleavings hit every
+//! interesting regime: duplicate copies of the same row (bag storage — a
+//! delete removes one copy and the answer only changes at the last),
+//! deletions of rows that were never inserted (no-ops), answers supported
+//! by several derivations, and retract-then-rederive churn.
+//!
+//! Runs 256 interleavings per schema by default (the shim's deterministic
+//! per-test seeding keeps the normal CI job reproducible);
+//! `PROPTEST_CASES=512` is CI's scheduled deep-fuzz gate.
+
+use bounded_cq::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn reevaluate(db: &Database, q: &SpcQuery, a: &AccessSchema) -> ResultSet {
+    let plan = qplan(q, a).unwrap();
+    eval_dq(db, &plan, a).unwrap().result
+}
+
+fn budgeted_baseline(db: &Database, q: &SpcQuery, a: &AccessSchema) -> ResultSet {
+    let out = baseline(
+        db,
+        q,
+        a,
+        BaselineOptions {
+            mode: BaselineMode::ConstIndex,
+            work_budget: Some(1_000_000),
+        },
+    )
+    .unwrap();
+    out.result().expect("budget is ample for tiny data").clone()
+}
+
+/// Applies one op through the maintained paths and asserts the three-way
+/// agreement. Returns a description of the step for failure messages.
+fn apply_and_check(
+    inc: &mut IncrementalAnswer,
+    db: &mut Database,
+    a: &AccessSchema,
+    rel_name: &str,
+    insert: bool,
+    row: &[Value],
+) {
+    if insert {
+        inc.insert_and_apply(db, rel_name, row).unwrap();
+    } else {
+        inc.delete_and_apply(db, rel_name, row).unwrap();
+    }
+    let fresh = reevaluate(db, inc.query(), a);
+    assert_eq!(
+        inc.result(),
+        &fresh,
+        "maintained != eval_dq after {} {rel_name} {row:?}",
+        if insert { "insert" } else { "delete" },
+    );
+    let base = budgeted_baseline(db, inc.query(), a);
+    assert_eq!(
+        &base,
+        &fresh,
+        "baseline != eval_dq after {} {rel_name} {row:?}",
+        if insert { "insert" } else { "delete" },
+    );
+}
+
+// --- TFACC-shaped: accidents joined with their vehicles ------------------
+
+fn tfacc_catalog() -> Arc<Catalog> {
+    Catalog::from_names(&[
+        ("accident", &["aid", "district_id", "severity"]),
+        ("vehicle", &["aid", "vtype"]),
+    ])
+    .unwrap()
+}
+
+fn tfacc_access() -> AccessSchema {
+    let mut a = AccessSchema::new(tfacc_catalog());
+    a.add("accident", &["district_id"], &["aid", "severity"], 16)
+        .unwrap();
+    a.add("accident", &["aid"], &["district_id", "severity"], 4)
+        .unwrap();
+    a.add("vehicle", &["aid"], &["vtype"], 8).unwrap();
+    a
+}
+
+/// Vehicles involved in district-1 accidents (the TFACC join shape).
+fn tfacc_query() -> SpcQuery {
+    SpcQuery::builder(tfacc_catalog(), "district_vehicles")
+        .atom("accident", "ac")
+        .atom("vehicle", "v")
+        .eq_const(("ac", "district_id"), 1)
+        .eq(("ac", "aid"), ("v", "aid"))
+        .project(("ac", "aid"))
+        .project(("v", "vtype"))
+        .build()
+        .unwrap()
+}
+
+// --- MOT-shaped: one wide relation, self-join ----------------------------
+
+fn mot_catalog() -> Arc<Catalog> {
+    Catalog::from_names(&[("mot_test", &["test_id", "vehicle_id", "year", "result"])]).unwrap()
+}
+
+fn mot_access() -> AccessSchema {
+    let mut a = AccessSchema::new(mot_catalog());
+    a.add(
+        "mot_test",
+        &["vehicle_id"],
+        &["test_id", "year", "result"],
+        16,
+    )
+    .unwrap();
+    a.add("mot_test", &[], &["vehicle_id"], 8).unwrap();
+    a
+}
+
+/// Vehicles that failed in year 1 and passed in some year (self-join —
+/// the per-atom delta and retraction paths both fire twice per mutation).
+fn mot_query() -> SpcQuery {
+    SpcQuery::builder(mot_catalog(), "fail_then_pass")
+        .atom("mot_test", "m1")
+        .atom("mot_test", "m2")
+        .eq_const(("m1", "year"), 1)
+        .eq_const(("m1", "result"), 0)
+        .eq_const(("m2", "result"), 1)
+        .eq(("m1", "vehicle_id"), ("m2", "vehicle_id"))
+        .project(("m1", "vehicle_id"))
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    // 256 interleavings per schema by default; PROPTEST_CASES overrides.
+    #![proptest_config(ProptestConfig::default())]
+
+    #[test]
+    fn tfacc_shaped_interleavings_match_recompute_and_baseline(
+        initial_acc in prop::collection::vec([0..4i64, 0..3i64, 0..3i64], 0..5),
+        initial_veh in prop::collection::vec([0..4i64, 0..3i64], 0..5),
+        ops in prop::collection::vec((any::<bool>(), any::<bool>(), [0..4i64, 0..3i64, 0..3i64]), 1..10),
+    ) {
+        let a = tfacc_access();
+        let q = tfacc_query();
+        let mut db = Database::new(tfacc_catalog());
+        for r in &initial_acc {
+            db.insert("accident", &[Value::int(r[0]), Value::int(r[1]), Value::int(r[2])]).unwrap();
+        }
+        for r in &initial_veh {
+            db.insert("vehicle", &[Value::int(r[0]), Value::int(r[1])]).unwrap();
+        }
+        db.build_indexes(&a);
+        let mut inc = IncrementalAnswer::initialize(&db, &q, &a).unwrap();
+        prop_assert_eq!(inc.result(), &reevaluate(&db, &q, &a), "initial state");
+
+        for (insert, into_accident, vals) in &ops {
+            let (rel_name, row): (&str, Vec<Value>) = if *into_accident {
+                ("accident", vec![Value::int(vals[0]), Value::int(vals[1]), Value::int(vals[2])])
+            } else {
+                ("vehicle", vec![Value::int(vals[0]), Value::int(vals[1])])
+            };
+            apply_and_check(&mut inc, &mut db, &a, rel_name, *insert, &row);
+        }
+    }
+
+    #[test]
+    fn mot_shaped_interleavings_match_recompute_and_baseline(
+        initial in prop::collection::vec([0..6i64, 0..4i64, 0..3i64, 0..2i64], 0..6),
+        ops in prop::collection::vec((any::<bool>(), [0..6i64, 0..4i64, 0..3i64, 0..2i64]), 1..10),
+    ) {
+        let a = mot_access();
+        let q = mot_query();
+        let mut db = Database::new(mot_catalog());
+        for r in &initial {
+            db.insert(
+                "mot_test",
+                &[Value::int(r[0]), Value::int(r[1]), Value::int(r[2]), Value::int(r[3])],
+            ).unwrap();
+        }
+        db.build_indexes(&a);
+        let mut inc = IncrementalAnswer::initialize(&db, &q, &a).unwrap();
+        prop_assert_eq!(inc.result(), &reevaluate(&db, &q, &a), "initial state");
+
+        for (insert, vals) in &ops {
+            let row = vec![
+                Value::int(vals[0]),
+                Value::int(vals[1]),
+                Value::int(vals[2]),
+                Value::int(vals[3]),
+            ];
+            apply_and_check(&mut inc, &mut db, &a, "mot_test", *insert, &row);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The same interleavings driven end to end through the serving layer:
+    /// the registered view stays equal to a fresh recompute over the
+    /// current snapshot, `Server::delete` bumps the epoch exactly when a
+    /// row was removed, and snapshots taken before a delete keep the row.
+    #[test]
+    fn served_interleavings_maintain_views_with_epoch_isolation(
+        initial_acc in prop::collection::vec([0..4i64, 0..3i64, 0..3i64], 0..5),
+        ops in prop::collection::vec((any::<bool>(), any::<bool>(), [0..4i64, 0..3i64, 0..3i64]), 1..8),
+    ) {
+        let a = tfacc_access();
+        let q = tfacc_query();
+        let mut db = Database::new(tfacc_catalog());
+        for r in &initial_acc {
+            db.insert("accident", &[Value::int(r[0]), Value::int(r[1]), Value::int(r[2])]).unwrap();
+        }
+        let server = Arc::new(Server::new(db, a.clone(), ServerConfig::default()));
+        let view = server.register_view(&q).unwrap();
+
+        for (insert, into_accident, vals) in &ops {
+            let (rel_name, row): (&str, Vec<Value>) = if *into_accident {
+                ("accident", vec![Value::int(vals[0]), Value::int(vals[1]), Value::int(vals[2])])
+            } else {
+                ("vehicle", vec![Value::int(vals[0]), Value::int(vals[1])])
+            };
+            let epoch_before = server.epoch();
+            let snap_before = server.snapshot();
+            if *insert {
+                server.insert(rel_name, &row).unwrap();
+                prop_assert!(server.epoch() > epoch_before, "insert bumps the epoch");
+            } else {
+                let rel = server.snapshot().catalog().require_rel(rel_name).unwrap();
+                let was_stored = snap_before.contains_row(rel, &row).unwrap();
+                let deleted = server.delete(rel_name, &row).unwrap();
+                prop_assert_eq!(deleted, was_stored, "delete reports presence");
+                if deleted {
+                    prop_assert!(server.epoch() > epoch_before, "delete bumps the epoch");
+                    prop_assert!(
+                        snap_before.contains_row(rel, &row).unwrap(),
+                        "pre-delete snapshot keeps the row"
+                    );
+                } else {
+                    prop_assert_eq!(server.epoch(), epoch_before, "no-op delete leaves the epoch");
+                }
+            }
+            prop_assert_eq!(snap_before.epoch(), epoch_before, "snapshots are frozen");
+            let maintained = server.view_result(view).unwrap();
+            let fresh = reevaluate(&server.snapshot(), &q, &a);
+            prop_assert_eq!(&maintained, &fresh, "view != recompute after {:?}", row);
+        }
+    }
+}

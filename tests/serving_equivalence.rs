@@ -68,12 +68,29 @@ fn check_dataset(ds: &Dataset, scale: f64) {
     });
     check_all(&mut session, "after bulk update");
 
+    // Epoch bump 3: a maintained delete. Three copies of `row` are stored
+    // by now (bag storage); deleting one keeps the distinct rows — and
+    // therefore every answer — intact, while the epoch advances and the
+    // pre-delete snapshot keeps its copy count.
+    let pre_delete = server.snapshot();
+    let epoch_before = server.epoch();
+    assert!(server.delete(&rel_name, &row).unwrap());
+    assert!(server.epoch() > epoch_before, "delete bumps the epoch");
+    assert_eq!(pre_delete.epoch(), epoch_before, "old snapshot is frozen");
+    let rel = ds.catalog.rel_id(&rel_name).unwrap();
+    assert_eq!(
+        pre_delete.table(rel).len(),
+        server.snapshot().table(rel).len() + 1,
+        "reader opened before the delete still sees the removed copy"
+    );
+    check_all(&mut session, "after maintained delete");
+
     // The cache compiled each query once; every later request hit (or
     // revalidated, after the bulk update's index rebuild).
     let cs = server.cache_stats();
     let queries = ds.effectively_bounded_queries().count() as u64;
     assert_eq!(cs.misses, queries, "one compile per distinct query");
-    assert_eq!(cs.hits, 2 * queries, "subsequent epochs served from cache");
+    assert_eq!(cs.hits, 3 * queries, "subsequent epochs served from cache");
     assert_eq!(cs.invalidations, 0);
 }
 
@@ -251,6 +268,86 @@ fn served_ra_equals_fresh_eval_ra() {
         assert_eq!(served.rows().unwrap(), &fresh.result, "expr {i} after bump");
         assert!(served.stats.cache_hit);
     }
+}
+
+/// Mixed insert/delete epochs: every mutation publishes a new snapshot;
+/// readers opened before a delete still evaluate over the old rows, while
+/// requests after it see the retraction — and the served answer always
+/// equals a fresh `eval_dq` over the snapshot the request ran at.
+#[test]
+fn snapshot_readers_span_mixed_insert_delete_epochs() {
+    let catalog = Catalog::from_names(&[("friends", &["user_id", "friend_id"])]).unwrap();
+    let mut access = AccessSchema::new(Arc::clone(&catalog));
+    access
+        .add("friends", &["user_id"], &["friend_id"], 100)
+        .unwrap();
+    let mut db = Database::new(Arc::clone(&catalog));
+    for f in 0..4i64 {
+        db.insert("friends", &[Value::int(1), Value::int(f)])
+            .unwrap();
+    }
+    let server = Arc::new(Server::new(db, access.clone(), ServerConfig::default()));
+    let q = SpcQuery::builder(Arc::clone(&catalog), "friends_of_1")
+        .atom("friends", "f")
+        .eq_const(("f", "user_id"), 1)
+        .project(("f", "friend_id"))
+        .build()
+        .unwrap();
+    let plan = qplan(&q, &access).unwrap();
+    let mut session = server.session();
+    let no_bindings = BTreeMap::new();
+
+    // Interleave epochs: insert 4, delete 0, delete 9 (no-op), insert 5,
+    // delete 4. Hold a snapshot at every step.
+    let mut snapshots = vec![server.snapshot()];
+    server
+        .insert("friends", &[Value::int(1), Value::int(4)])
+        .unwrap();
+    snapshots.push(server.snapshot());
+    assert!(server
+        .delete("friends", &[Value::int(1), Value::int(0)])
+        .unwrap());
+    snapshots.push(server.snapshot());
+    assert!(!server
+        .delete("friends", &[Value::int(1), Value::int(9)])
+        .unwrap());
+    server
+        .insert("friends", &[Value::int(1), Value::int(5)])
+        .unwrap();
+    snapshots.push(server.snapshot());
+    assert!(server
+        .delete("friends", &[Value::int(1), Value::int(4)])
+        .unwrap());
+    snapshots.push(server.snapshot());
+
+    // Every historical snapshot still evaluates to its own epoch's answer.
+    let expect: [&[i64]; 5] = [
+        &[0, 1, 2, 3],
+        &[0, 1, 2, 3, 4],
+        &[1, 2, 3, 4],
+        &[1, 2, 3, 4, 5],
+        &[1, 2, 3, 5],
+    ];
+    for (i, (snap, want)) in snapshots.iter().zip(expect).enumerate() {
+        let out = eval_dq(snap, &plan, &access).unwrap();
+        let want: Vec<Box<[Value]>> = want.iter().map(|&f| vec![Value::int(f)].into()).collect();
+        assert_eq!(
+            out.result.rows(),
+            &want[..],
+            "snapshot {i} sees its epoch's rows"
+        );
+    }
+    // Epochs are strictly increasing across the mutation history.
+    assert!(snapshots.windows(2).all(|w| w[0].epoch() < w[1].epoch()));
+
+    // A request now runs at the latest epoch and sees the retractions.
+    let served = session.query(&q, &no_bindings).unwrap();
+    assert_eq!(served.stats.epoch, snapshots.last().unwrap().epoch());
+    assert_eq!(
+        served.rows().unwrap(),
+        &eval_dq(&server.snapshot(), &plan, &access).unwrap().result
+    );
+    assert!(!served.rows().unwrap().contains(&[Value::int(4)]));
 }
 
 /// Unbounded queries served through the budgeted lane match the baseline's
