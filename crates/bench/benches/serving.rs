@@ -16,6 +16,16 @@
 //!   it approaches min(4, cores) with real parallelism.
 //! * **Does the cache serve everyone?** asserted at the end: one compile,
 //!   everything else hits.
+//! * **What does a write cost under snapshots?** (`bench_write_path`)
+//!   single-row inserts with a reader snapshot held, sharded store vs the
+//!   pre-sharding monolithic copy-on-write, with the rows/bytes cloned per
+//!   write measured from the storage layer's cow counters — and the same
+//!   measurement on a catalog padded with ballast relations, proving the
+//!   sharded clone cost is independent of the number of other relations
+//!   (`derived.write_sharded_ballast_ratio` ≈ 1.0).
+//! * **Does mixed traffic scale?** `serving/mixed/threads/N`: N sessions
+//!   issuing 63 reads per maintained write; read against `cores` like the
+//!   read-only scaling ratio.
 //!
 //! `BENCH_SMOKE=1` shrinks the dataset and runs every lane once (CI).
 
@@ -238,5 +248,187 @@ fn bench_serving(_c: &mut criterion::Criterion) {
     std::hint::black_box(sink);
 }
 
-criterion_group!(benches, bench_serving);
+/// A social catalog padded with `ballast` extra relations (never queried,
+/// never written) — the axis along which monolithic copy-on-write
+/// amplifies and the sharded store must not.
+fn ballast_catalog(ballast: usize) -> Arc<Catalog> {
+    let mut rels = vec![
+        RelationSchema::new("in_album", ["photo_id", "album_id"]).unwrap(),
+        RelationSchema::new("friends", ["user_id", "friend_id"]).unwrap(),
+        RelationSchema::new("tagging", ["photo_id", "tagger_id", "taggee_id"]).unwrap(),
+    ];
+    for b in 0..ballast {
+        rels.push(RelationSchema::new(format!("ballast{b}"), ["k", "v"]).unwrap());
+    }
+    Arc::new(Catalog::new(rels).unwrap())
+}
+
+/// A server over the social data, with `ballast` extra relations each
+/// carrying `users` rows of dead weight.
+fn write_server(users: i64, ballast: usize) -> Arc<Server> {
+    let cat = ballast_catalog(ballast);
+    let access = social_access(&cat);
+    let mut db = social_db(&cat, &access, users);
+    for b in 0..ballast {
+        for k in 0..users {
+            db.insert(
+                &format!("ballast{b}"),
+                &[Value::int(k), Value::int(k * 17 + b as i64)],
+            )
+            .unwrap();
+        }
+    }
+    db.build_indexes(&access);
+    Arc::new(Server::new(db, access, ServerConfig::default()))
+}
+
+/// Sharded write cost with a snapshot held across every write (so each
+/// write must copy-on-write its shard): median ns/write plus the cells
+/// actually cloned, read from the storage layer's cow counters.
+fn measure_sharded_writes(server: &Arc<Server>, writes: usize) -> (f64, f64) {
+    // Values already interned: the steady-state write path (no symbol-table
+    // copy; `friends` is bag storage, duplicates are fine).
+    let row = [Value::str("u1"), Value::str("f1")];
+    let cells_before = server.snapshot().cow_cells_cloned();
+    let start = Instant::now();
+    for _ in 0..writes {
+        let hold = server.snapshot();
+        server.insert("friends", &row).unwrap();
+        drop(hold);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / writes as f64;
+    let cells = (server.snapshot().cow_cells_cloned() - cells_before) as f64 / writes as f64;
+    (ns, cells)
+}
+
+fn bench_write_path(_c: &mut criterion::Criterion) {
+    let users = if smoke_mode() { SMOKE_USERS } else { 4_000 };
+    let writes = if smoke_mode() { 4 } else { 256 };
+    const BALLAST: usize = 8;
+
+    eprintln!("\n== serving write path (users={users}, ballast={BALLAST} relations) ==");
+
+    // --- Sharded copy-on-write: clone cost is the touched relation. ---
+    let server = write_server(users, 0);
+    let (sharded_ns, sharded_cells) = measure_sharded_writes(&server, writes);
+    record_metric_sampled("serving/write/sharded_cow", sharded_ns, 1, writes as u64);
+    record_derived("write_rows_cloned_per_write_sharded", sharded_cells / 2.0);
+    record_derived("write_bytes_cloned_per_write_sharded", sharded_cells * 8.0);
+
+    // --- The same writes with ballast relations: the sharded clone cost
+    // must not move (the monolithic baseline scales with total size). ---
+    let ballasted = write_server(users, BALLAST);
+    let (ballast_ns, ballast_cells) = measure_sharded_writes(&ballasted, writes);
+    record_metric_sampled(
+        "serving/write/sharded_cow_ballast",
+        ballast_ns,
+        1,
+        writes as u64,
+    );
+    record_derived(
+        "write_rows_cloned_per_write_sharded_ballast",
+        ballast_cells / 2.0,
+    );
+    record_derived("write_sharded_ballast_ratio", ballast_cells / sharded_cells);
+    if !smoke_mode() {
+        assert!(
+            (ballast_cells / sharded_cells - 1.0).abs() < 0.01,
+            "sharded rows-cloned-per-write must be independent of other \
+             relations: {sharded_cells} vs {ballast_cells} cells"
+        );
+    }
+
+    // --- Monolithic baseline: what the pre-sharding store cloned per
+    // write racing a snapshot — every table and index. ---
+    let mono_writes = (writes / 8).max(1);
+    let row = [Value::str("u1"), Value::str("f1")];
+    let mut current = ballasted.snapshot();
+    let mono_rows = current.total_tuples() as f64;
+    let start = Instant::now();
+    for _ in 0..mono_writes {
+        let mut db = current.clone_monolithic();
+        db.insert_maintained("friends", &row).unwrap();
+        current = Arc::new(db);
+    }
+    let mono_ns = start.elapsed().as_nanos() as f64 / mono_writes as f64;
+    record_metric_sampled(
+        "serving/write/monolithic_cow",
+        mono_ns,
+        1,
+        mono_writes as u64,
+    );
+    record_derived("write_rows_cloned_per_write_monolithic", mono_rows);
+    record_derived(
+        "write_amp_rows_monolithic_over_sharded",
+        mono_rows / (ballast_cells / 2.0),
+    );
+    record_derived("write_speedup_sharded_vs_monolithic", mono_ns / ballast_ns);
+    std::hint::black_box(current.total_tuples());
+
+    // --- Mixed read/write throughput: N sessions, each issuing one
+    // maintained write per 63 cached reads, one shared server. ---
+    let cat = ballast_catalog(0);
+    let access = social_access(&cat);
+    let db = social_db(&cat, &access, users);
+    let server = Arc::new(Server::new(db, access, ServerConfig::default()));
+    let tpl = template(&cat);
+    let binds = bindings(users, 32);
+    server.session().query(&tpl, &binds[0]).unwrap();
+
+    let total_requests: usize = if smoke_mode() { 16 } else { 40_000 };
+    let cadence: usize = if smoke_mode() { 2 } else { 64 };
+    let mut qps_by_threads: Vec<(usize, f64)> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let per_thread = total_requests / threads;
+        let start = Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let tpl = tpl.clone();
+                let binds = binds.clone();
+                std::thread::spawn(move || {
+                    let mut s = server.session();
+                    let mut rows = 0usize;
+                    for i in 0..per_thread {
+                        if i % cadence == cadence - 1 {
+                            // An interned duplicate row: the bag grows, the
+                            // witness sets (what bounded reads probe) don't.
+                            server
+                                .insert("in_album", &[Value::str("p1"), Value::str("a1")])
+                                .unwrap();
+                        } else {
+                            let resp = s.query(&tpl, &binds[(t * 7 + i) % binds.len()]).unwrap();
+                            rows += resp.rows().map_or(0, |r| r.len());
+                        }
+                    }
+                    rows
+                })
+            })
+            .collect();
+        let mut sink = 0usize;
+        for h in handles {
+            sink += h.join().unwrap();
+        }
+        std::hint::black_box(sink);
+        let served = per_thread * threads;
+        let ns_per_req = start.elapsed().as_nanos() as f64 / served as f64;
+        qps_by_threads.push((threads, 1e9 / ns_per_req));
+        record_metric_sampled(
+            format!("serving/mixed/threads/{threads}"),
+            ns_per_req,
+            1,
+            served as u64,
+        );
+    }
+    let qps1 = qps_by_threads.iter().find(|(t, _)| *t == 1).unwrap().1;
+    let qps4 = qps_by_threads.iter().find(|(t, _)| *t == 4).unwrap().1;
+    record_derived("mixed_qps_scaling_4_over_1", qps4 / qps1);
+    assert_eq!(
+        server.cache_stats().misses,
+        1,
+        "mixed writes never invalidated the cached plan"
+    );
+}
+
+criterion_group!(benches, bench_serving, bench_write_path);
 criterion_main!(benches);

@@ -163,6 +163,16 @@ impl SpcQuery {
         self.atoms[atom].relation
     }
 
+    /// The relations this query's atoms read, sorted and deduplicated —
+    /// the only slice of a database's state that can influence the answer.
+    /// Relation-scoped cache and view invalidation key on this set.
+    pub fn read_rels(&self) -> Vec<RelId> {
+        let mut rels: Vec<RelId> = self.atoms.iter().map(|a| a.relation).collect();
+        rels.sort_unstable();
+        rels.dedup();
+        rels
+    }
+
     /// Human-readable name `alias.attr` of a query attribute.
     pub fn attr_name(&self, a: QAttr) -> String {
         let rel = self.catalog.relation(self.atoms[a.atom].relation);

@@ -26,9 +26,14 @@
 //! pre-projection); deleting the **last copy** of a row value subtracts
 //! the support of every derivation consistent with it, and an answer whose
 //! support reaches zero is retracted. Insertion work is bounded like the
-//! delta plans themselves; a deletion additionally scans the derivation
-//! store (O(answers' total support) — see the ROADMAP follow-on for
-//! indexing it) plus one bounded probe per zeroed answer.
+//! delta plans themselves; a deletion probes the derivation store through
+//! its **inverted index** — per pattern position, bound cells and
+//! wildcards map to derivation ids, and the probe walks the smallest
+//! posting union among the deleted atom's columns — so retraction touches
+//! O(consistent candidates), not O(|store|) (the pre-index full scan
+//! survives as [`IncrementalAnswer::on_delete_by_scan`] for the ablation
+//! bench and differential tests), plus one bounded rederivation probe per
+//! zeroed answer.
 //!
 //! Wildcard columns make the subtraction conservative (a derivation that
 //! *might* rest on the deleted tuple is dropped), so retraction-at-zero is
@@ -53,6 +58,11 @@ use bcq_core::prelude::{Cell, QAttr, RelId, SpcQuery, Value};
 use bcq_core::qplan::qplan;
 use bcq_core::sigma::Sigma;
 use bcq_storage::Database;
+use std::sync::Arc;
+
+/// A canonical derivation pattern, shared (`Arc`) between the id map and
+/// the slab so each pattern is stored once.
+type Pattern = Arc<[Option<Cell>]>;
 
 /// Work done by one delta application.
 #[derive(Debug, Clone, Copy, Default)]
@@ -70,6 +80,161 @@ pub struct DeltaStats {
     pub derivations_added: usize,
     /// Derivations retracted from the support store.
     pub derivations_removed: usize,
+    /// Retraction candidates examined while matching the deleted tuple
+    /// against the derivation store (posting-union size for the indexed
+    /// probe, |store| × atoms for the full scan) — the ablation axis of
+    /// the derivation index.
+    pub derivations_probed: usize,
+}
+
+/// The derivation store: canonical patterns (`None` is the
+/// unconstrained-column wildcard — distinct from `Some(Cell::NULL)`, a
+/// column bound to a stored `Value::Null`), inverted-indexed by
+/// `(position, cell)` so retraction probes only the derivations a deleted
+/// tuple can actually be consistent with.
+#[derive(Debug, Clone)]
+struct DerivationStore {
+    /// Pattern → derivation id (set semantics: one id per pattern).
+    ids: FxHashMap<Pattern, u32>,
+    /// id → pattern (slab; freed slots are `None` and recycled). The
+    /// `Arc` is shared with the `ids` key — one allocation per pattern.
+    patterns: Vec<Option<Pattern>>,
+    free: Vec<u32>,
+    /// Per pattern position: bound cell → ids of derivations pinning it.
+    bound: Vec<FxHashMap<Cell, FxHashSet<u32>>>,
+    /// Per pattern position: ids of derivations with a wildcard there.
+    wild: Vec<FxHashSet<u32>>,
+}
+
+impl DerivationStore {
+    fn new(width: usize) -> Self {
+        DerivationStore {
+            ids: FxHashMap::default(),
+            patterns: Vec::new(),
+            free: Vec::new(),
+            bound: (0..width).map(|_| FxHashMap::default()).collect(),
+            wild: (0..width).map(|_| FxHashSet::default()).collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Stores `pattern` if new; `false` if it was already present.
+    fn insert(&mut self, pattern: Box<[Option<Cell>]>) -> bool {
+        use std::collections::hash_map::Entry;
+        let pattern: Pattern = Arc::from(pattern);
+        let entry = match self.ids.entry(pattern) {
+            Entry::Occupied(_) => return false,
+            Entry::Vacant(e) => e,
+        };
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.patterns.push(None);
+                (self.patterns.len() - 1) as u32
+            }
+        };
+        let pattern = entry.key().clone();
+        entry.insert(id);
+        for (pos, slot) in pattern.iter().enumerate() {
+            match slot {
+                Some(c) => {
+                    self.bound[pos].entry(*c).or_default().insert(id);
+                }
+                None => {
+                    self.wild[pos].insert(id);
+                }
+            }
+        }
+        self.patterns[id as usize] = Some(pattern);
+        true
+    }
+
+    /// Removes derivation `id`, unindexing it, and returns its pattern.
+    fn remove(&mut self, id: u32) -> Pattern {
+        let pattern = self.patterns[id as usize]
+            .take()
+            .expect("live derivation id");
+        self.ids.remove(&pattern);
+        self.free.push(id);
+        for (pos, slot) in pattern.iter().enumerate() {
+            match slot {
+                Some(c) => {
+                    if let Some(set) = self.bound[pos].get_mut(c) {
+                        set.remove(&id);
+                        if set.is_empty() {
+                            self.bound[pos].remove(c);
+                        }
+                    }
+                }
+                None => {
+                    self.wild[pos].remove(&id);
+                }
+            }
+        }
+        pattern
+    }
+
+    /// Collects into `out` the ids of derivations consistent with tuple
+    /// `cells` at the atom whose columns occupy `off..off + cells.len()`:
+    /// picks the probe column with the smallest posting union (bound cell
+    /// postings + wildcards), then verifies candidates against every
+    /// column. `probed` counts candidates examined.
+    fn consistent_at(
+        &self,
+        off: usize,
+        cells: &[Cell],
+        out: &mut FxHashSet<u32>,
+        probed: &mut usize,
+    ) {
+        let best = (0..cells.len()).min_by_key(|&c| {
+            self.bound[off + c].get(&cells[c]).map_or(0, |s| s.len()) + self.wild[off + c].len()
+        });
+        let Some(best) = best else {
+            return; // zero-arity atoms cannot occur (tables reject them)
+        };
+        let consistent = |&id: &u32| {
+            let p = self.patterns[id as usize].as_deref().expect("indexed id");
+            cells
+                .iter()
+                .enumerate()
+                .all(|(c, &t)| p[off + c].is_none_or(|pc| pc == t))
+        };
+        let exact = self.bound[off + best].get(&cells[best]);
+        let candidates = exact
+            .into_iter()
+            .flatten()
+            .chain(self.wild[off + best].iter());
+        for id in candidates {
+            *probed += 1;
+            if consistent(id) {
+                out.insert(*id);
+            }
+        }
+    }
+
+    /// The full-scan equivalent of [`Self::consistent_at`] — the pre-index
+    /// O(|store|) candidate generation, kept as the ablation baseline.
+    fn consistent_at_by_scan(
+        &self,
+        off: usize,
+        cells: &[Cell],
+        out: &mut FxHashSet<u32>,
+        probed: &mut usize,
+    ) {
+        for (pattern, &id) in self.ids.iter() {
+            *probed += 1;
+            let ok = cells
+                .iter()
+                .enumerate()
+                .all(|(c, &t)| pattern[off + c].is_none_or(|pc| pc == t));
+            if ok {
+                out.insert(id);
+            }
+        }
+    }
 }
 
 /// A continuously maintained bounded query answer with per-answer support
@@ -78,16 +243,17 @@ pub struct DeltaStats {
 pub struct IncrementalAnswer {
     query: SpcQuery,
     access: AccessSchema,
+    /// Relations the query's atoms read, sorted and deduplicated — the
+    /// slice of the storage vector clock this answer's staleness keys on.
+    read_rels: Vec<RelId>,
     /// Column offset of each atom inside a derivation pattern.
     offsets: Vec<usize>,
     /// Derivation pattern width: `Σ` atom arities.
     width: usize,
     /// Pattern positions of the projection attributes.
     proj_pos: Vec<usize>,
-    /// The stored derivations (canonical patterns). `None` is the
-    /// unconstrained-column wildcard — distinct from `Some(Cell::NULL)`,
-    /// a column bound to a stored `Value::Null`.
-    derivations: FxHashSet<Box<[Option<Cell>]>>,
+    /// The stored derivations, inverted-indexed for retraction.
+    derivations: DerivationStore,
     /// Projected answer (cells) → support: how many stored derivations
     /// produce it.
     support: FxHashMap<Box<[Cell]>, u64>,
@@ -123,10 +289,11 @@ impl IncrementalAnswer {
         let mut this = IncrementalAnswer {
             query: q.clone(),
             access: a.clone(),
+            read_rels: q.read_rels(),
             offsets,
             width,
             proj_pos,
-            derivations: FxHashSet::default(),
+            derivations: DerivationStore::new(width),
             support: FxHashMap::default(),
             result: ResultSet::empty(),
         };
@@ -153,6 +320,19 @@ impl IncrementalAnswer {
     /// The maintained query.
     pub fn query(&self) -> &SpcQuery {
         &self.query
+    }
+
+    /// The relations the query's atoms read (sorted, deduplicated) — the
+    /// slice of the storage vector clock whose advancement can make this
+    /// answer stale. Writes to any other relation cannot change it.
+    pub fn read_rels(&self) -> &[RelId] {
+        &self.read_rels
+    }
+
+    /// `true` if some atom of the maintained query reads `rel` — callers
+    /// can skip delta application entirely for writes elsewhere.
+    pub fn reads(&self, rel: RelId) -> bool {
+        self.read_rels.binary_search(&rel).is_ok()
     }
 
     /// The support (derivation count) of one answer row; `0` if `row` is
@@ -241,10 +421,34 @@ impl IncrementalAnswer {
     /// Applies a deletion: one copy of `row` was removed from relation
     /// `rel` of `db` (indices already maintained — use
     /// [`Database::delete_maintained`]). Subtracts support from every
-    /// derivation consistent with the deleted tuple and retracts answers
-    /// whose support reaches zero, confirming each retraction with a
-    /// bounded rederivation probe.
+    /// derivation consistent with the deleted tuple — found through the
+    /// store's inverted index, O(consistent candidates) — and retracts
+    /// answers whose support reaches zero, confirming each retraction with
+    /// a bounded rederivation probe.
     pub fn on_delete(&mut self, db: &Database, rel: RelId, row: &[Value]) -> Result<DeltaStats> {
+        self.retract(db, rel, row, true)
+    }
+
+    /// [`Self::on_delete`] with the pre-index **full scan** of the
+    /// derivation store (O(|store|) per delete) as candidate generation.
+    /// Semantically identical; kept as the ablation baseline quantifying
+    /// the inverted index and as a differential-testing oracle.
+    pub fn on_delete_by_scan(
+        &mut self,
+        db: &Database,
+        rel: RelId,
+        row: &[Value],
+    ) -> Result<DeltaStats> {
+        self.retract(db, rel, row, false)
+    }
+
+    fn retract(
+        &mut self,
+        db: &Database,
+        rel: RelId,
+        row: &[Value],
+        use_index: bool,
+    ) -> Result<DeltaStats> {
         if row.len() != self.query.catalog().relation(rel).arity() {
             return Err(CoreError::Invalid("arity mismatch in on_delete".into()));
         }
@@ -267,26 +471,30 @@ impl IncrementalAnswer {
         }
 
         // Phase 1 — subtract support: drop every derivation consistent
-        // with the deleted tuple at some atom over `rel` (a scan of the
-        // derivation store; see ROADMAP for the indexing follow-on).
-        // Wildcard columns over-approximate — a dropped derivation may
-        // still hold through another row — which phase 2 repairs.
-        let hit: Vec<Box<[Option<Cell>]>> = self
-            .derivations
-            .iter()
-            .filter(|p| {
-                atom_offsets.iter().any(|&off| {
-                    cells
-                        .iter()
-                        .enumerate()
-                        .all(|(c, &t)| p[off + c].is_none_or(|pc| pc == t))
-                })
-            })
-            .cloned()
-            .collect();
+        // with the deleted tuple at some atom over `rel`. Wildcard columns
+        // over-approximate — a dropped derivation may still hold through
+        // another row — which phase 2 repairs.
+        let mut hit: FxHashSet<u32> = FxHashSet::default();
+        for &off in &atom_offsets {
+            if use_index {
+                self.derivations.consistent_at(
+                    off,
+                    &cells,
+                    &mut hit,
+                    &mut stats.derivations_probed,
+                );
+            } else {
+                self.derivations.consistent_at_by_scan(
+                    off,
+                    &cells,
+                    &mut hit,
+                    &mut stats.derivations_probed,
+                );
+            }
+        }
         let mut zeroed: Vec<Box<[Cell]>> = Vec::new();
-        for pattern in hit {
-            self.derivations.remove(&pattern);
+        for id in hit {
+            let pattern = self.derivations.remove(id);
             stats.derivations_removed += 1;
             let proj = self.project(&pattern);
             if let Some(s) = self.support.get_mut(&proj) {
@@ -662,6 +870,83 @@ mod tests {
             .unwrap();
         assert!(inc.result().is_empty());
         assert_eq!(inc.result(), &full_reference(&db, &q, &a));
+    }
+
+    #[test]
+    fn read_rels_are_sorted_and_deduplicated() {
+        let (db, a, q) = setup();
+        let inc = IncrementalAnswer::initialize(&db, &q, &a).unwrap();
+        assert_eq!(inc.read_rels(), &[RelId(0), RelId(1), RelId(2)]);
+        for rel in [RelId(0), RelId(1), RelId(2)] {
+            assert!(inc.reads(rel));
+        }
+
+        // A self-join dedups to one relation.
+        let cat = Catalog::from_names(&[("e", &["src", "dst"]), ("x", &["a"])]).unwrap();
+        let mut a = AccessSchema::new(cat.clone());
+        a.add("e", &["src"], &["dst"], 16).unwrap();
+        let q = SpcQuery::builder(cat.clone(), "two_hop")
+            .atom("e", "e1")
+            .atom("e", "e2")
+            .eq_const(("e1", "src"), 1)
+            .eq(("e2", "src"), ("e1", "dst"))
+            .project(("e2", "dst"))
+            .build()
+            .unwrap();
+        let mut db = Database::new(cat);
+        db.build_indexes(&a);
+        let inc = IncrementalAnswer::initialize(&db, &q, &a).unwrap();
+        assert_eq!(inc.read_rels(), &[RelId(0)]);
+        assert!(!inc.reads(RelId(1)), "x is never read");
+    }
+
+    #[test]
+    fn indexed_retraction_agrees_with_full_scan_and_probes_less() {
+        // Build a store with many derivations (one per friend pair), then
+        // delete rows through both candidate-generation paths: identical
+        // retraction, far fewer candidates probed by the index.
+        let cat = Catalog::from_names(&[("friends", &["user_id", "friend_id"])]).unwrap();
+        let mut a = AccessSchema::new(cat.clone());
+        a.add("friends", &["user_id"], &["friend_id"], 64).unwrap();
+        let q = SpcQuery::builder(cat.clone(), "friends_of_0")
+            .atom("friends", "f")
+            .eq_const(("f", "user_id"), 0)
+            .project(("f", "friend_id"))
+            .build()
+            .unwrap();
+        let mut db = Database::new(cat);
+        for u in 0..8i64 {
+            for f in 0..8i64 {
+                db.insert("friends", &[Value::int(u), Value::int(u * 8 + f)])
+                    .unwrap();
+            }
+        }
+        db.build_indexes(&a);
+        let base = IncrementalAnswer::initialize(&db, &q, &a).unwrap();
+        assert_eq!(base.result().len(), 8);
+        let store_size = base.num_derivations();
+
+        let victim = [Value::int(0), Value::int(3)];
+        let mut deleted = db.clone();
+        assert!(deleted.delete_maintained("friends", &victim).unwrap());
+
+        let mut by_index = base.clone();
+        let s1 = by_index.on_delete(&deleted, RelId(0), &victim).unwrap();
+        let mut by_scan = base.clone();
+        let s2 = by_scan
+            .on_delete_by_scan(&deleted, RelId(0), &victim)
+            .unwrap();
+
+        assert_eq!(by_index.result(), by_scan.result(), "identical retraction");
+        assert_eq!(s1.removed_rows, s2.removed_rows);
+        assert_eq!(s1.derivations_removed, s2.derivations_removed);
+        assert_eq!(s2.derivations_probed, store_size, "scan touches the store");
+        assert!(
+            s1.derivations_probed < store_size / 2,
+            "index probed {} of {store_size}",
+            s1.derivations_probed
+        );
+        assert_eq!(by_index.result(), &full_reference(&deleted, &q, &a));
     }
 
     #[test]

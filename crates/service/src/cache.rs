@@ -1,15 +1,30 @@
 //! The plan cache: an LRU of [`PreparedQuery`]s keyed on
 //! query + access-schema fingerprints.
 //!
-//! Entries remember the database epoch they were last validated against;
-//! the server revalidates (cheaply — an index-existence check) or drops
-//! entries whose epoch fell behind, so a cached plan can never silently
-//! execute against indices that a bulk load swept away. Every movement is
-//! counted in [`CacheStats`] — the service's observability surface.
+//! Entries remember a **relation-scoped validation stamp**: the epoch of
+//! each relation the prepared query's access schema actually reads (its
+//! slice of the database's vector clock), as of the last validation. The
+//! server compares those stamps against the current snapshot — writes to
+//! relations a plan never reads leave its stamps current, so the lookup is
+//! a pure hit with no revalidation work; only when a *read* relation's
+//! epoch advanced does the server revalidate (cheaply — an index-existence
+//! check) or drop the entry, so a cached plan can never silently execute
+//! against indices that a bulk load swept away. Every movement is counted
+//! in [`CacheStats`] — the service's observability surface.
 
 use crate::prepared::PreparedQuery;
+use bcq_core::prelude::RelId;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// The vector-clock slice a cache entry was last validated against: the
+/// epoch of each relation the plan reads, in the prepared query's
+/// (sorted) read-set order.
+pub type RelStamps = Vec<(RelId, u64)>;
+
+/// [`RelStamps`] as stored in (and handed out by) the cache: shared, so a
+/// hit costs a refcount bump instead of a `Vec` clone.
+pub type SharedStamps = Arc<[(RelId, u64)]>;
 
 /// Cache movement counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -22,15 +37,35 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries dropped because epoch revalidation failed.
     pub invalidations: u64,
-    /// Entries whose epoch was refreshed after a successful revalidation.
+    /// Entries whose stamps were refreshed after a successful revalidation
+    /// (a relation the plan reads had advanced and its indices were
+    /// confirmed present).
     pub revalidations: u64,
+}
+
+/// `fresh` with every stamp clamped to at least the matching relation's
+/// stamp in `current` — validations move forward only, even when prepares
+/// racing on older snapshots apply out of order.
+fn merge_stamps(current: &[(RelId, u64)], fresh: RelStamps) -> SharedStamps {
+    fresh
+        .into_iter()
+        .map(|(rel, epoch)| {
+            let prev = current
+                .iter()
+                .find(|&&(r, _)| r == rel)
+                .map_or(0, |&(_, e)| e);
+            (rel, epoch.max(prev))
+        })
+        .collect()
 }
 
 #[derive(Debug)]
 struct Entry {
     prepared: Arc<PreparedQuery>,
     last_used: u64,
-    epoch_validated: u64,
+    /// Shared so the hot-path lookup hands stamps out by refcount bump,
+    /// not by cloning a `Vec` per hit.
+    stamps: SharedStamps,
 }
 
 /// An LRU cache of prepared queries.
@@ -69,14 +104,15 @@ impl PlanCache {
     }
 
     /// Looks `key` up, bumping recency and the hit/miss counters. Returns
-    /// the entry and the epoch it was last validated against.
-    pub fn get(&mut self, key: &str) -> Option<(Arc<PreparedQuery>, u64)> {
+    /// the entry and the read-relation stamps it was last validated at
+    /// (shared — no per-hit allocation).
+    pub fn get(&mut self, key: &str) -> Option<(Arc<PreparedQuery>, SharedStamps)> {
         self.tick += 1;
         match self.map.get_mut(key) {
             Some(e) => {
                 e.last_used = self.tick;
                 self.stats.hits += 1;
-                Some((Arc::clone(&e.prepared), e.epoch_validated))
+                Some((Arc::clone(&e.prepared), Arc::clone(&e.stamps)))
             }
             None => {
                 self.stats.misses += 1;
@@ -85,10 +121,14 @@ impl PlanCache {
         }
     }
 
-    /// Marks `key` as revalidated at `epoch` (indices confirmed present).
-    pub fn revalidate(&mut self, key: &str, epoch: u64) {
+    /// Marks `key` as revalidated at `stamps` (indices confirmed present
+    /// after a read relation advanced). Concurrent prepares can race in
+    /// with stamps taken from an older snapshot; a stamp never moves
+    /// backward (componentwise max), so a losing racer cannot re-stale an
+    /// entry a newer validation already confirmed.
+    pub fn revalidate(&mut self, key: &str, stamps: RelStamps) {
         if let Some(e) = self.map.get_mut(key) {
-            e.epoch_validated = epoch;
+            e.stamps = merge_stamps(&e.stamps, stamps);
             self.stats.revalidations += 1;
         }
     }
@@ -100,9 +140,15 @@ impl PlanCache {
         }
     }
 
-    /// Inserts a freshly prepared entry validated at `epoch`, evicting the
-    /// least-recently-used entry if the cache is full.
-    pub fn insert(&mut self, key: String, prepared: Arc<PreparedQuery>, epoch: u64) {
+    /// Inserts a freshly prepared entry validated at `stamps`, evicting the
+    /// least-recently-used entry if the cache is full. Re-inserting an
+    /// existing key keeps the newest validation per relation (see
+    /// [`Self::revalidate`] for the race this guards against).
+    pub fn insert(&mut self, key: String, prepared: Arc<PreparedQuery>, stamps: RelStamps) {
+        let stamps = match self.map.get(&key) {
+            Some(e) => merge_stamps(&e.stamps, stamps),
+            None => stamps.into(),
+        };
         if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
             if let Some(lru) = self
                 .map
@@ -120,7 +166,7 @@ impl PlanCache {
             Entry {
                 prepared,
                 last_used: self.tick,
-                epoch_validated: epoch,
+                stamps,
             },
         );
     }
@@ -144,10 +190,10 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut c = PlanCache::new(2);
-        c.insert("a".into(), prepared(1), 0);
-        c.insert("b".into(), prepared(2), 0);
+        c.insert("a".into(), prepared(1), vec![]);
+        c.insert("b".into(), prepared(2), vec![]);
         assert!(c.get("a").is_some()); // "b" is now LRU
-        c.insert("c".into(), prepared(3), 0);
+        c.insert("c".into(), prepared(3), vec![]);
         assert!(c.get("b").is_none(), "b evicted");
         assert!(c.get("a").is_some());
         assert!(c.get("c").is_some());
@@ -160,12 +206,12 @@ mod tests {
     #[test]
     fn revalidate_and_invalidate_are_counted() {
         let mut c = PlanCache::new(4);
-        c.insert("a".into(), prepared(1), 7);
-        let (_, epoch) = c.get("a").unwrap();
-        assert_eq!(epoch, 7);
-        c.revalidate("a", 9);
-        let (_, epoch) = c.get("a").unwrap();
-        assert_eq!(epoch, 9);
+        c.insert("a".into(), prepared(1), vec![(RelId(0), 7)]);
+        let (_, stamps) = c.get("a").unwrap();
+        assert_eq!(&*stamps, &[(RelId(0), 7)]);
+        c.revalidate("a", vec![(RelId(0), 9)]);
+        let (_, stamps) = c.get("a").unwrap();
+        assert_eq!(&*stamps, &[(RelId(0), 9)]);
         c.invalidate("a");
         assert!(c.get("a").is_none());
         let s = c.stats();
@@ -175,11 +221,27 @@ mod tests {
     }
 
     #[test]
+    fn revalidation_stamps_never_move_backward() {
+        let mut c = PlanCache::new(4);
+        c.insert("a".into(), prepared(1), vec![(RelId(0), 5), (RelId(1), 5)]);
+        // A racer validating against an older snapshot cannot regress a
+        // component another prepare already advanced.
+        c.revalidate("a", vec![(RelId(0), 9), (RelId(1), 9)]);
+        c.revalidate("a", vec![(RelId(0), 7), (RelId(1), 12)]);
+        let (_, stamps) = c.get("a").unwrap();
+        assert_eq!(&*stamps, &[(RelId(0), 9), (RelId(1), 12)]);
+        // Same rule when a lost prepare re-inserts over a newer entry.
+        c.insert("a".into(), prepared(1), vec![(RelId(0), 3), (RelId(1), 3)]);
+        let (_, stamps) = c.get("a").unwrap();
+        assert_eq!(&*stamps, &[(RelId(0), 9), (RelId(1), 12)]);
+    }
+
+    #[test]
     fn reinserting_same_key_does_not_evict_others() {
         let mut c = PlanCache::new(2);
-        c.insert("a".into(), prepared(1), 0);
-        c.insert("b".into(), prepared(2), 0);
-        c.insert("a".into(), prepared(3), 1); // overwrite, no eviction
+        c.insert("a".into(), prepared(1), vec![]);
+        c.insert("b".into(), prepared(2), vec![]);
+        c.insert("a".into(), prepared(3), vec![(RelId(0), 1)]); // overwrite, no eviction
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().evictions, 0);
     }

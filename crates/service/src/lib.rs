@@ -17,11 +17,16 @@
 //!   (admitted onto the budgeted baseline, or rejected outright under
 //!   [`AdmissionPolicy::Strict`]).
 //! * [`PlanCache`] — an LRU keyed on the normalized query + access-schema
-//!   fingerprint, with hit/miss/invalidation counters.
+//!   fingerprint, with hit/miss/invalidation counters. Entries are
+//!   validated **relation-scoped**: each remembers the epochs of the
+//!   relations its plan reads, so writes elsewhere are pure hits.
 //! * [`SharedDb`] — single-writer/multi-reader **epoch snapshots** over
-//!   [`bcq_storage::Database`]: readers grab an `Arc` snapshot and never
-//!   block; writers copy-on-write and advance the epoch, which drives
-//!   invalidation of cached plans and registered incremental views.
+//!   the relation-sharded [`bcq_storage::Database`]: readers grab an
+//!   `Arc` snapshot and never block; writers copy-on-write only the
+//!   touched relation's shard and advance its component of the epoch
+//!   **vector clock** (lock-free to read via [`SharedDb::epoch`] /
+//!   [`SharedDb::epoch_of`]), which drives relation-scoped invalidation
+//!   of cached plans and registered incremental views.
 //! * [`Server`] / [`Session`] — the request API, with per-request
 //!   [`RequestStats`] (lane taken, cache hit, tuples fetched, budget
 //!   verdict, epoch served).
@@ -71,7 +76,7 @@ pub mod prepared;
 pub mod server;
 pub mod shared;
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheStats, PlanCache, RelStamps, SharedStamps};
 pub use prepared::{access_fingerprint, query_fingerprint, ra_fingerprint, Lane, PreparedQuery};
 pub use server::{
     AdmissionPolicy, BudgetVerdict, Outcome, Prepared, RequestStats, Response, Server,

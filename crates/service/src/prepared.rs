@@ -14,7 +14,7 @@
 
 use bcq_core::access::AccessSchema;
 use bcq_core::plan::QueryPlan;
-use bcq_core::prelude::{Predicate, RaExpr, SpcQuery};
+use bcq_core::prelude::{Predicate, RaExpr, RelId, SpcQuery};
 use std::fmt::Write as _;
 
 /// How a prepared query executes.
@@ -52,51 +52,62 @@ pub struct PreparedQuery {
     plan: Option<QueryPlan>,
     ra: Option<RaExpr>,
     slots: Vec<String>,
+    read_rels: Vec<RelId>,
     fingerprint: String,
 }
 
 impl PreparedQuery {
     pub(crate) fn bounded(template: SpcQuery, plan: QueryPlan, fingerprint: String) -> Self {
         let slots = plan.param_slots();
+        let read_rels = template.read_rels();
         PreparedQuery {
             template,
             lane: Lane::Bounded,
             plan: Some(plan),
             ra: None,
             slots,
+            read_rels,
             fingerprint,
         }
     }
 
     pub(crate) fn bounded_ra(template: SpcQuery, ra: RaExpr, fingerprint: String) -> Self {
         // Slots are the union across all SPC blocks (a template can spread
-        // its placeholders over both sides of a set operation).
+        // its placeholders over both sides of a set operation); likewise
+        // the read set.
         let mut slots: Vec<String> = Vec::new();
+        let mut read_rels: Vec<RelId> = Vec::new();
         for q in ra.blocks() {
             for name in q.placeholder_names() {
                 if !slots.contains(&name) {
                     slots.push(name);
                 }
             }
+            read_rels.extend(q.read_rels());
         }
+        read_rels.sort_unstable();
+        read_rels.dedup();
         PreparedQuery {
             template,
             lane: Lane::BoundedRa,
             plan: None,
             ra: Some(ra),
             slots,
+            read_rels,
             fingerprint,
         }
     }
 
     pub(crate) fn unbounded(template: SpcQuery, fingerprint: String) -> Self {
         let slots = template.placeholder_names();
+        let read_rels = template.read_rels();
         PreparedQuery {
             template,
             lane: Lane::Unbounded,
             plan: None,
             ra: None,
             slots,
+            read_rels,
             fingerprint,
         }
     }
@@ -124,6 +135,14 @@ impl PreparedQuery {
     /// Parameter slots a request must bind, in first-use order.
     pub fn param_slots(&self) -> &[String] {
         &self.slots
+    }
+
+    /// The relations this query reads (sorted, deduplicated): the slice of
+    /// the database's vector clock its cache entry is validated against.
+    /// Writes to relations outside this set cannot change the answer and
+    /// never trigger revalidation.
+    pub fn read_rels(&self) -> &[RelId] {
+        &self.read_rels
     }
 
     /// The static `Σ M_i` bound on tuples fetched per execution

@@ -25,7 +25,7 @@ use crate::prepared::{access_fingerprint, query_fingerprint, ra_fingerprint, Lan
 use crate::shared::SharedDb;
 use bcq_core::access::AccessSchema;
 use bcq_core::error::CoreError;
-use bcq_core::prelude::{parse_spc, RaExpr, SpcQuery, Value};
+use bcq_core::prelude::{parse_spc, RaExpr, RelId, SpcQuery, Value};
 use bcq_core::qplan::qplan_template;
 use bcq_exec::ra::eval_ra;
 use bcq_exec::{
@@ -173,7 +173,23 @@ pub struct ViewId(pub usize);
 
 struct View {
     answer: IncrementalAnswer,
-    epoch: u64,
+    /// The slice of the vector clock the maintained answer is current at:
+    /// one stamp per relation the view's atoms read. A view goes stale —
+    /// and recomputes lazily — only when one of *those* relations advances;
+    /// writes elsewhere leave it untouched.
+    stamps: Vec<(RelId, u64)>,
+}
+
+impl View {
+    fn refresh_stamps(&mut self, db: &Database) {
+        for (rel, e) in &mut self.stamps {
+            *e = db.epoch_of(*rel);
+        }
+    }
+
+    fn stale(&self, db: &Database) -> bool {
+        self.stamps.iter().any(|&(rel, e)| db.epoch_of(rel) != e)
+    }
 }
 
 /// The query-serving server: shared database, plan cache, admission
@@ -219,9 +235,15 @@ impl Server {
         self.shared.snapshot()
     }
 
-    /// The current database epoch.
+    /// The current global database epoch (a lock-free atomic load).
     pub fn epoch(&self) -> u64 {
         self.shared.epoch()
+    }
+
+    /// The current epoch of one relation — its component of the vector
+    /// clock (a lock-free atomic load).
+    pub fn epoch_of(&self, rel: RelId) -> u64 {
+        self.shared.epoch_of(rel)
     }
 
     /// Plan-cache movement counters.
@@ -256,28 +278,40 @@ impl Server {
         self.prepare_keyed(key, || self.classify_ra(expr))
     }
 
+    /// The current stamps of a prepared query's read relations — the slice
+    /// of `snap`'s vector clock its cache entry is validated against.
+    fn read_stamps(snap: &Database, read_rels: &[RelId]) -> Vec<(RelId, u64)> {
+        read_rels
+            .iter()
+            .map(|&rel| (rel, snap.epoch_of(rel)))
+            .collect()
+    }
+
     fn prepare_keyed(
         &self,
         key: String,
         build: impl FnOnce() -> crate::Result<PreparedQuery>,
     ) -> crate::Result<Prepared> {
         let snap = self.shared.snapshot();
-        let epoch = snap.epoch();
         {
             let mut cache = self.cache.lock().expect("cache lock poisoned");
-            if let Some((prepared, validated_at)) = cache.get(&key) {
-                if validated_at == epoch {
+            if let Some((prepared, stamps)) = cache.get(&key) {
+                // Relation-scoped staleness: only the epochs of relations
+                // the plan's access schema actually reads matter. Writes
+                // anywhere else leave the entry current — a pure hit.
+                if stamps.iter().all(|&(rel, e)| snap.epoch_of(rel) == e) {
                     return Ok(Prepared {
                         query: prepared,
                         cache_hit: true,
                     });
                 }
-                // Epoch moved under the entry: confirm the plan's indices
-                // still exist (writes through the server keep them
+                // A read relation moved under the entry: confirm the plan's
+                // indices still exist (writes through the server keep them
                 // maintained; bulk loads rebuild them — either way this
                 // usually succeeds and costs a few hash lookups).
                 if self.plan_indexes_built(&snap, &prepared) {
-                    cache.revalidate(&key, epoch);
+                    let fresh = Self::read_stamps(&snap, prepared.read_rels());
+                    cache.revalidate(&key, fresh);
                     return Ok(Prepared {
                         query: prepared,
                         cache_hit: true,
@@ -288,8 +322,9 @@ impl Server {
         }
         // Miss (or invalidated): compile outside the cache lock.
         let prepared = Arc::new(build()?);
+        let stamps = Self::read_stamps(&snap, prepared.read_rels());
         let mut cache = self.cache.lock().expect("cache lock poisoned");
-        cache.insert(key, Arc::clone(&prepared), epoch);
+        cache.insert(key, Arc::clone(&prepared), stamps);
         Ok(Prepared {
             query: prepared,
             cache_hit: false,
@@ -484,14 +519,30 @@ impl Server {
     pub fn insert(&self, rel_name: &str, row: &[Value]) -> crate::Result<u32> {
         // Views lock held across the write so deltas apply in write order.
         let mut views = self.views.lock().expect("views lock poisoned");
+        // Staleness is judged against the pre-write state: a view left
+        // behind by an earlier out-of-band write must stay stale (and
+        // recompute lazily) — applying this delta and stamping it current
+        // would mask the rows it never saw. (Skipped entirely when no
+        // views are registered: the common serving write path.)
+        let stale_before: Vec<bool> = if views.is_empty() {
+            Vec::new()
+        } else {
+            let pre = self.shared.snapshot();
+            views.iter().map(|v| v.stale(&pre)).collect()
+        };
         let rid = self
             .shared
             .write(|db| db.insert_maintained(rel_name, row))?;
         let snap = self.shared.snapshot();
         let rel = snap.catalog().require_rel(rel_name)?;
-        for v in views.iter_mut() {
+        for (v, was_stale) in views.iter_mut().zip(stale_before) {
+            // Relation-scoped maintenance: a view none of whose atoms read
+            // `rel` cannot change — its stamps stay current on their own.
+            if was_stale || !v.answer.reads(rel) {
+                continue;
+            }
             v.answer.on_insert(&snap, rel, row)?;
-            v.epoch = snap.epoch();
+            v.refresh_stamps(&snap);
         }
         Ok(rid)
     }
@@ -508,15 +559,28 @@ impl Server {
     pub fn delete(&self, rel_name: &str, row: &[Value]) -> crate::Result<bool> {
         // Views lock held across the write so deltas apply in write order.
         let mut views = self.views.lock().expect("views lock poisoned");
+        // As in [`Self::insert`]: a view already stale from an out-of-band
+        // write keeps its stale stamps and recomputes on the next read
+        // (checked pre-write, so it must run before we know whether the
+        // delete finds a row; skipped when no views are registered).
+        let stale_before: Vec<bool> = if views.is_empty() {
+            Vec::new()
+        } else {
+            let pre = self.shared.snapshot();
+            views.iter().map(|v| v.stale(&pre)).collect()
+        };
         let deleted = self
             .shared
             .write(|db| db.delete_maintained(rel_name, row))?;
         if deleted {
             let snap = self.shared.snapshot();
             let rel = snap.catalog().require_rel(rel_name)?;
-            for v in views.iter_mut() {
+            for (v, was_stale) in views.iter_mut().zip(stale_before) {
+                if was_stale || !v.answer.reads(rel) {
+                    continue;
+                }
                 v.answer.on_delete(&snap, rel, row)?;
-                v.epoch = snap.epoch();
+                v.refresh_stamps(&snap);
             }
         }
         Ok(deleted)
@@ -543,25 +607,28 @@ impl Server {
     pub fn register_view(&self, q: &SpcQuery) -> crate::Result<ViewId> {
         let snap = self.shared.snapshot();
         let answer = IncrementalAnswer::initialize(&snap, q, &self.access)?;
+        let stamps = Self::read_stamps(&snap, answer.read_rels());
         let mut views = self.views.lock().expect("views lock poisoned");
-        views.push(View {
-            answer,
-            epoch: snap.epoch(),
-        });
+        views.push(View { answer, stamps });
         Ok(ViewId(views.len() - 1))
     }
 
-    /// The maintained answer of a registered view, recomputing first if
-    /// its epoch fell behind the database's.
+    /// The maintained answer of a registered view, recomputing first if a
+    /// relation one of its atoms reads advanced past the view's stamps
+    /// (out-of-band writes to *other* relations never force a recompute).
     pub fn view_result(&self, id: ViewId) -> crate::Result<ResultSet> {
-        let snap = self.shared.snapshot();
+        // Lock first, snapshot second: a snapshot taken before the lock
+        // could predate a maintained write that already advanced this
+        // view's stamps, which would read as staleness and waste a full
+        // recompute against the older state.
         let mut views = self.views.lock().expect("views lock poisoned");
+        let snap = self.shared.snapshot();
         let v = views
             .get_mut(id.0)
             .ok_or_else(|| ServiceError::Core(CoreError::Invalid("unknown view id".into())))?;
-        if v.epoch != snap.epoch() {
+        if v.stale(&snap) {
             v.answer = IncrementalAnswer::initialize(&snap, v.answer.query(), &self.access)?;
-            v.epoch = snap.epoch();
+            v.refresh_stamps(&snap);
         }
         Ok(v.answer.result().clone())
     }
@@ -1147,6 +1214,172 @@ mod tests {
                 .unwrap();
         });
         assert!(server.view_result(view).unwrap().is_empty());
+    }
+
+    #[test]
+    fn writes_to_unread_relations_never_revalidate_cached_plans() {
+        let server = setup(AdmissionPolicy::Strict);
+        // A plan whose access schema reads only `friends`.
+        let q = SpcQuery::builder(Arc::clone(server.access().catalog()), "friends_of")
+            .atom("friends", "f")
+            .eq_param(("f", "user_id"), "uid")
+            .project(("f", "friend_id"))
+            .build()
+            .unwrap();
+        let mut s = server.session();
+        let mut b = BTreeMap::new();
+        b.insert("uid".to_string(), Value::str("u0"));
+        s.query(&q, &b).unwrap();
+        let friends_epoch = server.epoch_of(RelId(1));
+
+        // Writes to other relations: maintained insert, maintained delete,
+        // even an out-of-band bulk update. None reads `friends`.
+        server
+            .insert("in_album", &[Value::str("p9"), Value::str("a9")])
+            .unwrap();
+        server
+            .delete("in_album", &[Value::str("p9"), Value::str("a9")])
+            .unwrap();
+        server.bulk_update(|db| {
+            db.insert(
+                "tagging",
+                &[Value::str("p1"), Value::str("u2"), Value::str("u5")],
+            )
+            .unwrap();
+        });
+        assert_eq!(
+            server.epoch_of(RelId(1)),
+            friends_epoch,
+            "friends' vector-clock component is frozen"
+        );
+
+        let r = s.query(&q, &b).unwrap();
+        assert!(r.stats.cache_hit);
+        let cs = server.cache_stats();
+        assert_eq!(cs.misses, 1);
+        assert_eq!(
+            cs.revalidations, 0,
+            "no read relation moved: pure hits, no revalidation"
+        );
+        assert_eq!(cs.invalidations, 0);
+
+        // A write that *does* touch friends triggers exactly one
+        // revalidation on the next prepare.
+        server
+            .insert("friends", &[Value::str("u0"), Value::str("u8")])
+            .unwrap();
+        let r = s.query(&q, &b).unwrap();
+        assert!(r.stats.cache_hit);
+        assert_eq!(server.cache_stats().revalidations, 1);
+        assert_eq!(r.rows().unwrap().len(), 3, "and the new row is visible");
+    }
+
+    #[test]
+    fn single_row_writes_leave_untouched_shards_pointer_equal() {
+        let server = setup(AdmissionPolicy::Strict);
+        let (albums, friends, tagging) = (RelId(0), RelId(1), RelId(2));
+
+        let before = server.snapshot();
+        server
+            .insert("friends", &[Value::str("u0"), Value::str("u7")])
+            .unwrap();
+        let after = server.snapshot();
+        assert!(
+            Arc::ptr_eq(before.shard(albums), after.shard(albums)),
+            "insert copied only the friends shard"
+        );
+        assert!(Arc::ptr_eq(before.shard(tagging), after.shard(tagging)));
+        assert!(!Arc::ptr_eq(before.shard(friends), after.shard(friends)));
+
+        let before = after;
+        assert!(server
+            .delete("friends", &[Value::str("u0"), Value::str("u7")])
+            .unwrap());
+        let after = server.snapshot();
+        assert!(
+            Arc::ptr_eq(before.shard(albums), after.shard(albums)),
+            "delete copied only the friends shard"
+        );
+        assert!(Arc::ptr_eq(before.shard(tagging), after.shard(tagging)));
+        assert!(!Arc::ptr_eq(before.shard(friends), after.shard(friends)));
+        // The held snapshot is frozen; the new state lost the row.
+        assert_eq!(before.table(friends).len(), 4);
+        assert_eq!(after.table(friends).len(), 3);
+    }
+
+    #[test]
+    fn views_ignore_writes_to_unread_relations() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q = SpcQuery::builder(Arc::clone(server.access().catalog()), "friends_of_u0")
+            .atom("friends", "f")
+            .eq_const(("f", "user_id"), "u0")
+            .project(("f", "friend_id"))
+            .build()
+            .unwrap();
+        let view = server.register_view(&q).unwrap();
+        assert_eq!(server.view_result(view).unwrap().len(), 2);
+
+        // An out-of-band bulk write to a relation the view does not read:
+        // under the old global-epoch rule this forced a recompute; the
+        // vector clock keeps the maintained answer current as-is.
+        server.bulk_update(|db| {
+            db.insert(
+                "tagging",
+                &[Value::str("p9"), Value::str("u1"), Value::str("u0")],
+            )
+            .unwrap();
+        });
+        assert_eq!(server.view_result(view).unwrap().len(), 2);
+
+        // A bulk write to the read relation still recomputes lazily.
+        server.bulk_update(|db| {
+            db.insert("friends", &[Value::str("u0"), Value::str("u6")])
+                .unwrap();
+        });
+        assert_eq!(server.view_result(view).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn maintained_write_does_not_mask_prior_out_of_band_staleness() {
+        // A view stale from a bulk write to one read relation must stay
+        // stale across a maintained write to *another* read relation —
+        // stamping it current there would hide the bulk row forever.
+        let server = setup(AdmissionPolicy::Strict);
+        let q = SpcQuery::builder(Arc::clone(server.access().catalog()), "Q0")
+            .atom("in_album", "ia")
+            .atom("friends", "f")
+            .atom("tagging", "t")
+            .eq_const(("ia", "album_id"), "a0")
+            .eq_const(("f", "user_id"), "u0")
+            .eq(("ia", "photo_id"), ("t", "photo_id"))
+            .eq(("t", "tagger_id"), ("f", "friend_id"))
+            .eq_const(("t", "taggee_id"), "u0")
+            .project(("ia", "photo_id"))
+            .build()
+            .unwrap();
+        let view = server.register_view(&q).unwrap();
+        assert_eq!(server.view_result(view).unwrap().len(), 1); // p1
+
+        // Out-of-band: u3 becomes a friend — t(p2, u3, u0) now matches,
+        // but the view has not read since, so it is stale w.r.t. friends.
+        server.bulk_update(|db| {
+            db.insert("friends", &[Value::str("u0"), Value::str("u3")])
+                .unwrap();
+        });
+        // Maintained write to another of the view's read relations: its
+        // delta covers p3 but can never rediscover p2 — the view must
+        // stay stale instead of being stamped current.
+        server
+            .insert(
+                "tagging",
+                &[Value::str("p3"), Value::str("u1"), Value::str("u0")],
+            )
+            .unwrap();
+        // The next read recomputes and sees both new answers.
+        let rs = server.view_result(view).unwrap();
+        assert_eq!(rs.len(), 3, "{rs:?}");
+        assert!(rs.contains(&[Value::str("p2")]), "bulk-written row seen");
+        assert!(rs.contains(&[Value::str("p3")]), "maintained row seen");
     }
 
     #[test]

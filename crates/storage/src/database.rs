@@ -7,57 +7,95 @@
 //! encode query constants through [`Database::symbols`] (a read-only
 //! `try_encode` — a constant whose string was never loaded simply matches
 //! nothing) and decode only final answers.
+//!
+//! ## Sharding and the epoch vector clock
+//!
+//! Storage is sharded **by relation**: each relation's table, indices, and
+//! epoch live in one [`RelationShard`] behind an `Arc`, and `Database`
+//! itself is a cheap-to-clone vector of shard pointers plus a monotone
+//! global **commit counter**. Mutations copy-on-write only the touched
+//! shard ([`Arc::make_mut`]); untouched shards stay pointer-shared with
+//! every clone and snapshot. Two staleness granularities fall out:
+//!
+//! * [`Database::epoch`] — the commit counter, advanced by every mutation:
+//!   "did *anything* change?"
+//! * [`Database::epoch_of`] — the vector clock, one component per relation,
+//!   stamped with the commit number of the relation's last mutation: "did
+//!   anything *this plan reads* change?" — the relation-scoped invalidation
+//!   the serving layer's plan cache and registered views key on.
 
 use crate::index::HashIndex;
+use crate::shard::RelationShard;
 use crate::table::Table;
 use bcq_core::access::{AccessConstraint, AccessSchema};
 use bcq_core::error::{CoreError, Result};
-use bcq_core::prelude::{Catalog, Cell, RelId, SymbolTable, Value};
-use std::collections::HashMap;
+use bcq_core::prelude::{Catalog, Cell, RelId, RowBuf, SymbolTable, Value};
 use std::sync::Arc;
 
-/// Structural identity of an index: relation + key columns + value columns.
-/// Indices are shared across access schemas that declare the same `(X, Y)`
-/// (e.g. the `‖A‖`-sweep subsets of Figure 5(b)).
-type IndexKey = (usize, Vec<usize>, Vec<usize>);
-
-/// An instance `D` of a relational schema, with registered indices.
+/// An instance `D` of a relational schema, with registered indices, sharded
+/// by relation (see the module docs for the copy-on-write contract).
 ///
-/// Every mutation — row inserts, bulk loads, index builds — advances a
-/// monotone **epoch** counter. Layers that cache anything derived from the
-/// database (compiled plans over its indices, maintained answers, snapshot
-/// handles) compare epochs instead of data: `epoch()` unchanged means
-/// nothing they saw can have moved.
+/// Every mutation — row inserts, deletes, bulk loads, index builds —
+/// advances the monotone global **commit counter** and stamps the touched
+/// relation's shard with it, so `epoch()` answers "anything changed?" and
+/// `epoch_of(rel)` answers "did `rel` change?" by comparing integers.
 #[derive(Debug, Clone)]
 pub struct Database {
     catalog: Arc<Catalog>,
-    symbols: SymbolTable,
-    tables: Vec<Table>,
-    indexes: HashMap<IndexKey, HashIndex>,
-    epoch: u64,
+    symbols: Arc<SymbolTable>,
+    shards: Vec<Arc<RelationShard>>,
+    /// Global commit counter: max over the shard epochs, advanced first.
+    commit: u64,
+    /// Diagnostics: table cells copied by shard copy-on-write so far (index
+    /// postings excluded). Carried along on clone; the write-amplification
+    /// bench reads deltas of this.
+    cow_cells: u64,
+    /// Diagnostics: shard clones forced by outstanding references.
+    cow_clones: u64,
 }
 
 impl Database {
     /// Creates an empty instance of `catalog`.
     pub fn new(catalog: Arc<Catalog>) -> Self {
-        let tables = catalog
+        let shards = catalog
             .relations()
             .iter()
             .enumerate()
-            .map(|(i, r)| Table::new(RelId(i), r.arity()))
+            .map(|(i, r)| Arc::new(RelationShard::new(Table::new(RelId(i), r.arity()))))
             .collect();
         Database {
             catalog,
-            symbols: SymbolTable::new(),
-            tables,
-            indexes: HashMap::new(),
-            epoch: 0,
+            symbols: Arc::new(SymbolTable::new()),
+            shards,
+            commit: 0,
+            cow_cells: 0,
+            cow_clones: 0,
         }
     }
 
-    /// The current epoch: advanced by every write and index (re)build.
+    /// The current global epoch: the commit counter, advanced by every
+    /// write and index (re)build anywhere in the database.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.commit
+    }
+
+    /// The epoch of one relation — its component of the vector clock: the
+    /// commit number of the last mutation that touched `rel` (0 if never
+    /// written). Unchanged ⇒ nothing a reader of `rel` saw can have moved.
+    pub fn epoch_of(&self, rel: RelId) -> u64 {
+        self.shards[rel.0].epoch
+    }
+
+    /// The shard of `rel`. Untouched shards stay pointer-equal
+    /// (`Arc::ptr_eq`) across writes to other relations — the invariant the
+    /// snapshot layer's cheap-write guarantee rests on.
+    pub fn shard(&self, rel: RelId) -> &Arc<RelationShard> {
+        &self.shards[rel.0]
+    }
+
+    /// Number of relations (= shards).
+    pub fn num_relations(&self) -> usize {
+        self.shards.len()
     }
 
     /// The catalog this database instantiates.
@@ -72,17 +110,76 @@ impl Database {
 
     /// The table for `rel`.
     pub fn table(&self, rel: RelId) -> &Table {
-        &self.tables[rel.0]
+        &self.shards[rel.0].table
+    }
+
+    /// Table cells copied by shard copy-on-write over this instance's write
+    /// history (diagnostics for the write-amplification bench; index
+    /// postings are cloned too but not counted).
+    pub fn cow_cells_cloned(&self) -> u64 {
+        self.cow_cells
+    }
+
+    /// Number of shard clones forced by outstanding snapshots or database
+    /// clones (diagnostics; in-place mutations don't count).
+    pub fn cow_clones(&self) -> u64 {
+        self.cow_clones
+    }
+
+    /// A deep copy that clones **every** shard's table and indices — the
+    /// write cost the pre-sharding monolithic store paid on every
+    /// copy-on-write. Kept as the baseline the write-amplification bench
+    /// compares sharded writes against.
+    pub fn clone_monolithic(&self) -> Database {
+        let mut db = self.clone();
+        db.symbols = Arc::new((*self.symbols).clone());
+        for shard in &mut db.shards {
+            let copy = (**shard).clone();
+            db.cow_cells += copy.clone_cells();
+            db.cow_clones += 1;
+            *shard = Arc::new(copy);
+        }
+        db
+    }
+
+    /// Bumps the commit counter and returns the touched shard for mutation,
+    /// stamping its epoch — the single funnel every write path goes
+    /// through. Clones the shard iff an outstanding clone/snapshot still
+    /// references it (counted in the cow diagnostics).
+    fn shard_mut(&mut self, rel: RelId) -> &mut RelationShard {
+        self.commit += 1;
+        cow_shard(
+            &mut self.shards[rel.0],
+            self.commit,
+            &mut self.cow_cells,
+            &mut self.cow_clones,
+        )
+    }
+
+    /// Encodes a row for storage, interning unseen values. The symbol table
+    /// is copy-on-write too: a row whose values are all already interned —
+    /// the steady state of a serving workload — never clones it, even with
+    /// snapshots outstanding.
+    fn encode_row_interning(&mut self, row: &[Value]) -> RowBuf {
+        encode_interning(&mut self.symbols, row)
     }
 
     /// A value-level bulk loader for `rel`: encodes [`Value`] rows through
-    /// this database's symbol table. Invalidates indices (bulk-load path):
-    /// call [`Self::build_indexes`] when loading is done.
+    /// this database's symbol table. Invalidates the relation's indices
+    /// (bulk-load path): call [`Self::build_indexes`] when loading is done.
     pub fn loader(&mut self, rel: RelId) -> Loader<'_> {
-        self.epoch += 1;
-        self.indexes.clear();
+        // The loader also borrows the symbol table, so the funnel is the
+        // free `cow_shard` over field-disjoint borrows.
+        self.commit += 1;
+        let shard = cow_shard(
+            &mut self.shards[rel.0],
+            self.commit,
+            &mut self.cow_cells,
+            &mut self.cow_clones,
+        );
+        shard.indexes.clear();
         Loader {
-            table: &mut self.tables[rel.0],
+            table: &mut shard.table,
             symbols: &mut self.symbols,
         }
     }
@@ -95,16 +192,18 @@ impl Database {
     /// Iterates over the rows of `rel`, decoded to values (convenience for
     /// tests and tooling; the hot paths stay on cells).
     pub fn value_rows(&self, rel: RelId) -> impl Iterator<Item = Vec<Value>> + '_ {
-        self.tables[rel.0]
+        self.shards[rel.0]
+            .table
             .rows()
             .map(|r| self.symbols.decode_row(r))
     }
 
     /// Inserts one row into the relation called `rel_name`.
     ///
-    /// Drops all registered indices (bulk-load path): call
+    /// Drops the relation's registered indices (bulk-load path): call
     /// [`Self::build_indexes`] when loading is done, or use
-    /// [`Self::insert_maintained`] for live updates.
+    /// [`Self::insert_maintained`] for live updates. Other relations'
+    /// shards — tables, indices, epochs — are untouched.
     pub fn insert(&mut self, rel_name: &str, row: &[Value]) -> Result<()> {
         let rel = self.catalog.require_rel(rel_name)?;
         if row.len() != self.catalog.relation(rel).arity() {
@@ -112,10 +211,10 @@ impl Database {
                 "arity mismatch inserting into `{rel_name}`"
             )));
         }
-        self.epoch += 1;
-        self.indexes.clear();
-        let cells = self.symbols.encode_row(row);
-        self.tables[rel.0].push(&cells);
+        let cells = self.encode_row_interning(row);
+        let shard = self.shard_mut(rel);
+        shard.indexes.clear();
+        shard.table.push(&cells);
         Ok(())
     }
 
@@ -129,14 +228,12 @@ impl Database {
                 "arity mismatch inserting into `{rel_name}`"
             )));
         }
-        self.epoch += 1;
-        let rid = self.tables[rel.0].len() as u32;
-        let cells = self.symbols.encode_row(row);
-        self.tables[rel.0].push(&cells);
-        for ((r, _, _), idx) in self.indexes.iter_mut() {
-            if *r == rel.0 {
-                idx.insert_row(rid, &cells);
-            }
+        let cells = self.encode_row_interning(row);
+        let shard = self.shard_mut(rel);
+        let rid = shard.table.len() as u32;
+        shard.table.push(&cells);
+        for idx in shard.indexes.values_mut() {
+            idx.insert_row(rid, &cells);
         }
         Ok(rid)
     }
@@ -144,9 +241,10 @@ impl Database {
     /// Deletes **one copy** of `row` from the relation called `rel_name`
     /// (bag storage: duplicates are removed one at a time; see
     /// [`crate::table::Table`] for the semantics). Returns `false` — and
-    /// leaves the database untouched, epoch included — if no copy is stored.
+    /// leaves the database untouched, epochs included — if no copy is
+    /// stored.
     ///
-    /// Drops all registered indices (bulk-unload path): call
+    /// Drops the relation's registered indices (bulk-unload path): call
     /// [`Self::build_indexes`] when done, or use
     /// [`Self::delete_maintained`] for live updates.
     pub fn delete(&mut self, rel_name: &str, row: &[Value]) -> Result<bool> {
@@ -154,13 +252,13 @@ impl Database {
             Some(hit) => hit,
             None => return Ok(false),
         };
-        let rid = match self.tables[rel.0].find_row(&cells) {
+        let rid = match self.shards[rel.0].table.find_row(&cells) {
             Some(rid) => rid,
             None => return Ok(false),
         };
-        self.epoch += 1;
-        self.indexes.clear();
-        self.tables[rel.0].swap_remove(rid);
+        let shard = self.shard_mut(rel);
+        shard.indexes.clear();
+        shard.table.swap_remove(rid);
         Ok(true)
     }
 
@@ -180,18 +278,14 @@ impl Database {
             Some(rid) => rid,
             None => return Ok(false),
         };
-        self.epoch += 1;
-        for ((r, _, _), idx) in self.indexes.iter_mut() {
-            if *r == rel.0 {
-                idx.remove_row(rid as u32, &cells, &self.tables[rel.0]);
-            }
+        let RelationShard { table, indexes, .. } = self.shard_mut(rel);
+        for idx in indexes.values_mut() {
+            idx.remove_row(rid as u32, &cells, table);
         }
-        if let Some(moved_from) = self.tables[rel.0].swap_remove(rid) {
-            let moved: Vec<Cell> = self.tables[rel.0].row(rid).to_vec();
-            for ((r, _, _), idx) in self.indexes.iter_mut() {
-                if *r == rel.0 {
-                    idx.reindex_row(moved_from as u32, rid as u32, &moved);
-                }
+        if let Some(moved_from) = table.swap_remove(rid) {
+            let moved: Vec<Cell> = table.row(rid).to_vec();
+            for idx in indexes.values_mut() {
+                idx.reindex_row(moved_from as u32, rid as u32, &moved);
             }
         }
         Ok(true)
@@ -231,39 +325,34 @@ impl Database {
     /// a registered index on the relation when one exists (any index works —
     /// its key is a projection of the row being looked up), else scans.
     fn locate_rid(&self, rel: RelId, cells: &[Cell]) -> Option<usize> {
-        let table = &self.tables[rel.0];
-        for ((r, _, _), idx) in self.indexes.iter() {
-            if *r != rel.0 {
-                continue;
-            }
-            let key: bcq_core::prelude::RowBuf = idx.x().iter().map(|&c| cells[c]).collect();
+        let shard = &self.shards[rel.0];
+        if let Some(idx) = shard.indexes.values().next() {
+            let key: RowBuf = idx.x().iter().map(|&c| cells[c]).collect();
             return idx
                 .all(&key)
                 .iter()
                 .copied()
                 .map(|rid| rid as usize)
-                .find(|&rid| table.row(rid) == cells);
+                .find(|&rid| shard.table.row(rid) == cells);
         }
-        table.find_row(cells)
+        shard.table.find_row(cells)
     }
 
     /// Total number of tuples across all tables — the paper's `|D|`.
     pub fn total_tuples(&self) -> usize {
-        self.tables.iter().map(Table::len).sum()
-    }
-
-    fn index_key(c: &AccessConstraint) -> IndexKey {
-        (c.relation().0, c.x().to_vec(), c.y().to_vec())
+        self.shards.iter().map(|s| s.table.len()).sum()
     }
 
     /// Builds (or reuses) the index for one access constraint.
     pub fn ensure_index(&mut self, c: &AccessConstraint) {
-        let key = Self::index_key(c);
-        if !self.indexes.contains_key(&key) {
-            let idx = HashIndex::build(&self.tables[c.relation().0], c.x(), c.y());
-            self.indexes.insert(key, idx);
-            self.epoch += 1;
+        let rel = c.relation();
+        let key = (c.x().to_vec(), c.y().to_vec());
+        if self.shards[rel.0].indexes.contains_key(&key) {
+            return;
         }
+        let shard = self.shard_mut(rel);
+        let idx = HashIndex::build(&shard.table, c.x(), c.y());
+        shard.indexes.insert(key, idx);
     }
 
     /// Builds every index declared by `a` (the paper's setup step: "for each
@@ -276,18 +365,51 @@ impl Database {
 
     /// The index backing constraint `c`, if built.
     pub fn index_for(&self, c: &AccessConstraint) -> Option<&HashIndex> {
-        self.indexes.get(&Self::index_key(c))
+        self.shards[c.relation().0].index(c.x(), c.y())
     }
 
-    /// Number of registered indices.
+    /// Number of registered indices across all shards.
     pub fn num_indexes(&self) -> usize {
-        self.indexes.len()
+        self.shards.iter().map(|s| s.indexes.len()).sum()
     }
 
     /// Approximate resident size in tuples-of-values (tables only), for
     /// reporting dataset scale.
     pub fn total_values(&self) -> usize {
-        self.tables.iter().map(|t| t.len() * t.arity()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.table.len() * s.table.arity())
+            .sum()
+    }
+}
+
+/// The copy-on-write funnel shared by [`Database::shard_mut`] and
+/// [`Database::loader`]: clones the shard iff something else still
+/// references it (feeding the cow diagnostics the write-amplification
+/// bench reads) and stamps it with the new commit number. A free function
+/// over disjoint fields so the loader can borrow the symbol table
+/// alongside.
+fn cow_shard<'a>(
+    arc: &'a mut Arc<RelationShard>,
+    commit: u64,
+    cow_cells: &mut u64,
+    cow_clones: &mut u64,
+) -> &'a mut RelationShard {
+    if Arc::strong_count(arc) > 1 {
+        *cow_cells += arc.clone_cells();
+        *cow_clones += 1;
+    }
+    let shard = Arc::make_mut(arc);
+    shard.epoch = commit;
+    shard
+}
+
+/// Copy-on-write encoding against the shared symbol table: rows whose
+/// values are all already interned never clone it.
+fn encode_interning(symbols: &mut Arc<SymbolTable>, row: &[Value]) -> RowBuf {
+    match symbols.try_encode_row(row) {
+        Some(cells) => cells,
+        None => Arc::make_mut(symbols).encode_row(row),
     }
 }
 
@@ -296,13 +418,14 @@ impl Database {
 /// plain [`Value`] rows.
 pub struct Loader<'a> {
     table: &'a mut Table,
-    symbols: &'a mut SymbolTable,
+    symbols: &'a mut Arc<SymbolTable>,
 }
 
 impl Loader<'_> {
-    /// Appends a row (must match the relation's arity).
+    /// Appends a row (must match the relation's arity). Values already
+    /// interned never touch the shared symbol table.
     pub fn push(&mut self, row: &[Value]) {
-        let cells = self.symbols.encode_row(row);
+        let cells = encode_interning(self.symbols, row);
         self.table.push(&cells);
     }
 
@@ -370,6 +493,112 @@ mod tests {
         let _ = db.total_tuples();
         let _ = db.value_rows(RelId(1)).count();
         assert_eq!(db.epoch(), frozen);
+    }
+
+    #[test]
+    fn vector_clock_tracks_only_the_touched_relation() {
+        let mut db = Database::new(photos());
+        let (albums, friends) = (RelId(0), RelId(1));
+        assert_eq!(db.epoch_of(albums), 0);
+        assert_eq!(db.epoch_of(friends), 0);
+
+        db.insert("friends", &[Value::int(1), Value::int(2)])
+            .unwrap();
+        let ef = db.epoch_of(friends);
+        assert_eq!(ef, db.epoch(), "shard stamped with the commit number");
+        assert_eq!(db.epoch_of(albums), 0, "other shards untouched");
+
+        db.insert("in_album", &[Value::int(7), Value::int(8)])
+            .unwrap();
+        assert_eq!(db.epoch_of(friends), ef, "friends' component frozen");
+        assert_eq!(db.epoch_of(albums), db.epoch());
+        assert!(db.epoch() > ef, "global epoch is the commit counter");
+    }
+
+    #[test]
+    fn writes_leave_untouched_shards_pointer_equal() {
+        let cat = photos();
+        let mut a = AccessSchema::new(cat.clone());
+        a.add("friends", &["user_id"], &["friend_id"], 10).unwrap();
+        let mut db = Database::new(cat);
+        db.insert("friends", &[Value::int(1), Value::int(2)])
+            .unwrap();
+        db.insert("in_album", &[Value::int(7), Value::int(8)])
+            .unwrap();
+        db.build_indexes(&a);
+
+        // A clone plays the role of an outstanding snapshot.
+        let snap = db.clone();
+        assert_eq!(db.cow_clones(), 0, "no shard cloned yet");
+        db.insert_maintained("friends", &[Value::int(1), Value::int(3)])
+            .unwrap();
+
+        let (albums, friends, tagging) = (RelId(0), RelId(1), RelId(2));
+        assert!(
+            Arc::ptr_eq(snap.shard(albums), db.shard(albums)),
+            "untouched shard shared, not copied"
+        );
+        assert!(Arc::ptr_eq(snap.shard(tagging), db.shard(tagging)));
+        assert!(
+            !Arc::ptr_eq(snap.shard(friends), db.shard(friends)),
+            "touched shard copied on write"
+        );
+        // The snapshot is frozen; the writer sees the new row.
+        assert_eq!(snap.table(friends).len(), 1);
+        assert_eq!(db.table(friends).len(), 2);
+        // Exactly one shard clone, costing only the touched table's cells.
+        assert_eq!(db.cow_clones(), 1);
+        assert_eq!(db.cow_cells_cloned(), 2, "one 2-cell row before the write");
+
+        // With the snapshot dropped, further writes mutate in place.
+        drop(snap);
+        let before = db.cow_clones();
+        db.insert_maintained("friends", &[Value::int(2), Value::int(4)])
+            .unwrap();
+        assert_eq!(db.cow_clones(), before, "no reference, no copy");
+    }
+
+    #[test]
+    fn interned_values_do_not_clone_the_symbol_table() {
+        let mut db = Database::new(photos());
+        db.insert("friends", &[Value::str("u0"), Value::str("u1")])
+            .unwrap();
+        let snap = db.clone();
+        // Re-inserting already-interned values must not copy the symbol
+        // table even though the snapshot still references it.
+        db.insert_maintained("friends", &[Value::str("u0"), Value::str("u1")])
+            .unwrap();
+        assert!(
+            std::ptr::eq(snap.symbols(), db.symbols()),
+            "steady-state write shares the symbol table"
+        );
+        // A brand-new string forces the copy-on-write.
+        db.insert_maintained("friends", &[Value::str("u0"), Value::str("brand-new")])
+            .unwrap();
+        assert!(!std::ptr::eq(snap.symbols(), db.symbols()));
+        assert_eq!(
+            db.value_rows(RelId(1)).last().unwrap(),
+            vec![Value::str("u0"), Value::str("brand-new")]
+        );
+    }
+
+    #[test]
+    fn clone_monolithic_copies_every_shard() {
+        let mut db = Database::new(photos());
+        db.insert("friends", &[Value::int(1), Value::int(2)])
+            .unwrap();
+        db.insert("in_album", &[Value::int(7), Value::int(8)])
+            .unwrap();
+        let copy = db.clone_monolithic();
+        for rel in 0..db.num_relations() {
+            assert!(!Arc::ptr_eq(db.shard(RelId(rel)), copy.shard(RelId(rel))));
+        }
+        assert_eq!(
+            copy.cow_cells_cloned() - db.cow_cells_cloned(),
+            4,
+            "two 2-cell rows copied"
+        );
+        assert_eq!(copy.total_tuples(), db.total_tuples());
     }
 
     #[test]
@@ -441,18 +670,24 @@ mod tests {
     }
 
     #[test]
-    fn mutation_invalidates_indexes() {
+    fn mutation_invalidates_only_the_relations_indexes() {
         let cat = photos();
         let mut a = AccessSchema::new(cat.clone());
+        a.add("in_album", &["album_id"], &["photo_id"], 1000)
+            .unwrap();
         a.add("friends", &["user_id"], &["friend_id"], 10).unwrap();
         let mut db = Database::new(cat);
         db.insert("friends", &[Value::int(1), Value::int(2)])
             .unwrap();
         db.build_indexes(&a);
-        assert_eq!(db.num_indexes(), 1);
+        assert_eq!(db.num_indexes(), 2);
         db.insert("friends", &[Value::int(1), Value::int(3)])
             .unwrap();
-        assert_eq!(db.num_indexes(), 0); // stale indices dropped
+        // The bulk path drops the touched relation's indices only:
+        // relation-scoped invalidation.
+        assert_eq!(db.num_indexes(), 1, "friends' index dropped");
+        assert_eq!(db.shard(RelId(0)).num_indexes(), 1, "in_album's survives");
+        assert_eq!(db.shard(RelId(1)).num_indexes(), 0);
     }
 
     #[test]

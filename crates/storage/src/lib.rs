@@ -12,11 +12,18 @@
 //! sole [`bcq_core::value::Value`] ⇄ cell boundary — inserts encode, result
 //! decoding and the [`Database::value_rows`] helper decode, and everything
 //! in between hashes fixed-width words.
+//!
+//! Storage is **sharded by relation** ([`RelationShard`]): each relation's
+//! table, indices, and epoch sit behind one `Arc`, so cloning a database is
+//! O(relations) and a write copies only the shard it touches. Epochs form a
+//! per-relation **vector clock** ([`Database::epoch_of`]) under a monotone
+//! global commit counter ([`Database::epoch`]).
 
 pub mod csv;
 pub mod database;
 pub mod index;
 pub mod meter;
+pub mod shard;
 pub mod table;
 pub mod validate;
 
@@ -24,5 +31,6 @@ pub use csv::{dump_csv, load_csv};
 pub use database::{Database, Loader};
 pub use index::{HashIndex, Postings};
 pub use meter::Meter;
+pub use shard::RelationShard;
 pub use table::Table;
 pub use validate::{discover_bound, validate, Violation};

@@ -1,0 +1,75 @@
+//! Per-relation shards: the unit of copy-on-write in the sharded store.
+//!
+//! A [`RelationShard`] owns everything whose lifetime follows one relation:
+//! its [`Table`], the [`HashIndex`]es built over it, and its own **epoch**
+//! component of the database's vector clock. [`crate::Database`] holds its
+//! shards behind `Arc`s, so cloning a database is O(relations) pointer
+//! bumps and a write clones only the shard it touches
+//! (`Arc::make_mut`) while every untouched shard stays pointer-shared with
+//! outstanding snapshots.
+//!
+//! Shards are read-only outside the storage crate; all mutation funnels
+//! through [`crate::Database`], which is what keeps the vector clock and
+//! the global commit counter coherent.
+
+use crate::index::HashIndex;
+use crate::table::Table;
+use std::collections::HashMap;
+
+/// Structural identity of an index within its shard: key columns + value
+/// columns. Indices are shared across access schemas that declare the same
+/// `(X, Y)` (e.g. the `‖A‖`-sweep subsets of Figure 5(b)); the relation is
+/// implied by the shard.
+pub(crate) type IndexKey = (Vec<usize>, Vec<usize>);
+
+/// One relation's slice of the database: table + indices + epoch.
+///
+/// The epoch is this shard's component of the database's **vector clock**:
+/// it records the global commit number of the last mutation that touched
+/// this relation. Layers that cache anything derived from a *subset* of
+/// relations (compiled plans, maintained views) compare per-shard epochs
+/// and ignore commits that only advanced other shards.
+#[derive(Debug, Clone)]
+pub struct RelationShard {
+    pub(crate) table: Table,
+    pub(crate) indexes: HashMap<IndexKey, HashIndex>,
+    pub(crate) epoch: u64,
+}
+
+impl RelationShard {
+    /// An empty shard wrapping `table` at epoch 0.
+    pub(crate) fn new(table: Table) -> Self {
+        RelationShard {
+            table,
+            indexes: HashMap::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The relation's table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// This shard's vector-clock component: the global commit number of the
+    /// last mutation that touched this relation (0 if never written).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of indices registered on this relation.
+    pub fn num_indexes(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// The index on key columns `x` exposing value columns `y`, if built.
+    pub fn index(&self, x: &[usize], y: &[usize]) -> Option<&HashIndex> {
+        self.indexes.get(&(x.to_vec(), y.to_vec()))
+    }
+
+    /// Approximate payload of a copy-on-write clone of this shard, in table
+    /// cells (index postings excluded — they are roughly proportional).
+    pub fn clone_cells(&self) -> u64 {
+        (self.table.len() * self.table.arity()) as u64
+    }
+}

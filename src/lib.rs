@@ -83,10 +83,11 @@ pub mod prelude {
     };
     pub use bcq_service::{
         AdmissionPolicy, BudgetVerdict, Lane, Outcome, PreparedQuery, RequestStats, Response,
-        Server, ServerConfig, ServiceError, Session, SessionStats,
+        Server, ServerConfig, ServiceError, Session, SessionStats, SharedDb,
     };
     pub use bcq_storage::{
-        discover_bound, dump_csv, load_csv, validate, Database, HashIndex, Loader, Meter, Table,
+        discover_bound, dump_csv, load_csv, validate, Database, HashIndex, Loader, Meter,
+        RelationShard, Table,
     };
     pub use bcq_workload::{all_datasets, Dataset, WorkloadQuery};
 }
