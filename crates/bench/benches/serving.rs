@@ -34,7 +34,8 @@ use bcq_exec::eval_dq;
 use bcq_service::{Server, ServerConfig};
 use bcq_storage::Database;
 use criterion::{
-    criterion_group, criterion_main, record_derived, record_metric_sampled, smoke_mode,
+    criterion_group, criterion_main, measure_median_ns, record_derived, record_metric_sampled,
+    smoke_mode,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -130,26 +131,6 @@ fn bindings(users: i64, n: usize) -> Vec<BTreeMap<String, Value>> {
         .collect()
 }
 
-/// Median ns/op over `samples` runs of `iters` calls to `f`.
-fn measure(samples: usize, iters: usize, mut f: impl FnMut(usize)) -> f64 {
-    let (samples, iters) = if smoke_mode() {
-        (1, 1)
-    } else {
-        (samples, iters)
-    };
-    let mut medians: Vec<f64> = (0..samples)
-        .map(|s| {
-            let start = Instant::now();
-            for i in 0..iters {
-                f(s * iters + i);
-            }
-            start.elapsed().as_nanos() as f64 / iters as f64
-        })
-        .collect();
-    medians.sort_by(|a, b| a.total_cmp(b));
-    medians[medians.len() / 2]
-}
-
 fn bench_serving(_c: &mut criterion::Criterion) {
     let users = if smoke_mode() { SMOKE_USERS } else { USERS };
     let cat = social_catalog();
@@ -165,23 +146,23 @@ fn bench_serving(_c: &mut criterion::Criterion) {
     // request only encodes its bindings and runs the plan). ---
     let handle = server.prepare(&tpl).unwrap();
     let mut sink = 0usize;
-    let prepared_ns = measure(15, 2000, |i| {
+    let prepared = measure_median_ns(15, 2000, |i| {
         let resp = server
             .execute(&handle.query, &binds[i % binds.len()])
             .unwrap();
         sink += resp.rows().map_or(0, |r| r.len());
     });
-    record_metric_sampled("serving/prepared", prepared_ns, 15, 2000);
+    prepared.record("serving/prepared");
 
     // --- Lane 1b: the full session path (fingerprint + plan-cache lookup
     // per request, then the same execution). ---
     let mut session = server.session();
     session.query(&tpl, &binds[0]).unwrap();
-    let cached_ns = measure(15, 2000, |i| {
+    let cached = measure_median_ns(15, 2000, |i| {
         let resp = session.query(&tpl, &binds[i % binds.len()]).unwrap();
         sink += resp.rows().map_or(0, |r| r.len());
     });
-    record_metric_sampled("serving/query_cached", cached_ns, 15, 2000);
+    cached.record("serving/query_cached");
 
     // --- Lane 2: what every request cost pre-service: parse → analyze →
     // plan → execute, per request. ---
@@ -190,15 +171,15 @@ fn bench_serving(_c: &mut criterion::Criterion) {
         .map(|b| bcq_core::parser::render_sql(&tpl.instantiate(b)).unwrap())
         .collect();
     let snapshot = server.snapshot();
-    let replan_ns = measure(15, 300, |i| {
+    let replan = measure_median_ns(15, 300, |i| {
         let sql = &sqls[i % sqls.len()];
         let q = parse_spc(Arc::clone(&cat), "adhoc", sql).unwrap();
         let plan = qplan(&q, &access).unwrap();
         let out = eval_dq(&snapshot, &plan, &access).unwrap();
         sink += out.result.len();
     });
-    record_metric_sampled("serving/prepare_from_scratch", replan_ns, 15, 300);
-    record_derived("speedup_prepared_vs_replan", replan_ns / prepared_ns);
+    replan.record("serving/prepare_from_scratch");
+    record_derived("speedup_prepared_vs_replan", replan.ns / prepared.ns);
 
     // --- Multi-threaded read throughput: one shared server, N sessions on
     // N threads, fixed total request count. ---

@@ -70,6 +70,7 @@ pub mod mbounded;
 pub mod normalize;
 pub mod parser;
 pub mod plan;
+pub mod program;
 pub mod qplan;
 pub mod query;
 pub mod ra;
@@ -92,6 +93,7 @@ pub mod prelude {
     pub use crate::normalize::{normalize_catalog, NormalizedSchema};
     pub use crate::parser::{parse_spc, render_sql};
     pub use crate::plan::{FetchStep, KeySource, QueryPlan};
+    pub use crate::program::OpProgram;
     pub use crate::qplan::{qplan, qplan_template};
     pub use crate::query::{Atom, Predicate, QAttr, QueryBuilder, SpcQuery};
     pub use crate::ra::{ra_effectively_bounded, RaExpr, RaReport};

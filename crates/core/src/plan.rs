@@ -13,10 +13,12 @@
 //! Example 1.
 
 use crate::access::ConstraintId;
+use crate::program::OpProgram;
 use crate::query::SpcQuery;
 use crate::sigma::{ClassId, Sigma};
 use crate::value::Value;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a step within its plan (also its position in
 /// [`QueryPlan::steps`]).
@@ -98,6 +100,12 @@ pub struct QueryPlan {
     /// `true` if `Σ_Q` is inconsistent: the plan fetches nothing and the
     /// answer is empty.
     unsatisfiable: bool,
+    /// The compiled operator program over the anchors' batch layouts —
+    /// compiled **lazily** on first [`QueryPlan::program`] access, so
+    /// analysis-only callers (the min-`D_Q` search plans hundreds of
+    /// candidate subsets just to read `cost_bound`) never pay for it.
+    /// Executors and the serving layer's prepare force it exactly once.
+    program: OnceLock<OpProgram>,
 }
 
 impl QueryPlan {
@@ -121,6 +129,7 @@ impl QueryPlan {
             anchor_of_atom,
             cost_bound,
             unsatisfiable,
+            program: OnceLock::new(),
         }
     }
 
@@ -142,6 +151,38 @@ impl QueryPlan {
     /// The anchor step of each atom (the step whose tuples feed the join).
     pub fn anchor_of_atom(&self, atom: usize) -> &FetchStep {
         &self.steps[self.anchor_of_atom[atom].0]
+    }
+
+    /// The compiled operator program: the plan's physical shape — filter
+    /// checks, join schedule, key permutations, projection map — resolved
+    /// to positions once. Executors interpret this instead of re-deriving
+    /// the shape from the query per request. Compiled on first access
+    /// (subsequent calls are an atomic load); the serving layer calls this
+    /// at prepare time so requests never compile.
+    pub fn program(&self) -> &OpProgram {
+        self.program.get_or_init(|| {
+            // The anchors' batch layouts, with the static fetch bounds
+            // steering the join order. For an unsatisfiable plan there are
+            // no anchors (and no execution): an all-empty layout keeps the
+            // attribute→class map available.
+            let (atom_cols, size_hints): (Vec<Vec<usize>>, Option<Vec<u128>>) =
+                if self.unsatisfiable {
+                    (vec![Vec::new(); self.query.num_atoms()], None)
+                } else {
+                    let cols = self
+                        .anchor_of_atom
+                        .iter()
+                        .map(|sid| self.steps[sid.0].out_cols.clone())
+                        .collect();
+                    let hints = self
+                        .anchor_of_atom
+                        .iter()
+                        .map(|sid| self.steps[sid.0].bound)
+                        .collect();
+                    (cols, Some(hints))
+                };
+            OpProgram::compile(&self.query, &self.sigma, &atom_cols, size_hints.as_deref())
+        })
     }
 
     /// The paper's `Σ M_i`: a bound on `|D_Q|`, the number of tuples any

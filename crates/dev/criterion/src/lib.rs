@@ -55,6 +55,56 @@ pub fn record_metric(id: impl Into<String>, ns_per_op: f64) {
     record_metric_sampled(id, ns_per_op, 1, 1);
 }
 
+/// A hand-rolled measurement: the median ns/op plus the sampling that was
+/// **actually** performed (so smoke-mode collapse stays visible in the
+/// JSON report's metadata).
+#[derive(Debug, Clone, Copy)]
+pub struct Measured {
+    /// Median nanoseconds per operation across the samples.
+    pub ns: f64,
+    /// Samples actually taken (1 under [`smoke_mode`]).
+    pub samples: usize,
+    /// Iterations actually run per sample (1 under [`smoke_mode`]).
+    pub iters: u64,
+}
+
+impl Measured {
+    /// Records this measurement under `id` with its true sampling
+    /// metadata.
+    pub fn record(&self, id: impl Into<String>) {
+        record_metric_sampled(id, self.ns, self.samples, self.iters);
+    }
+}
+
+/// Hand-rolled companion to the `Bencher` loop for benches that need the
+/// raw number (e.g. to derive a ratio before recording): the median ns/op
+/// over `samples` runs of `iters` calls to `f` (passed the global call
+/// index). Collapses to a single call of a single sample under
+/// [`smoke_mode`] — the returned [`Measured`] carries the sampling that
+/// actually ran, so reports stay honest either way.
+pub fn measure_median_ns(samples: usize, iters: usize, mut f: impl FnMut(usize)) -> Measured {
+    let (samples, iters) = if smoke_mode() {
+        (1, 1)
+    } else {
+        (samples, iters)
+    };
+    let mut medians: Vec<f64> = (0..samples)
+        .map(|s| {
+            let start = Instant::now();
+            for i in 0..iters {
+                f(s * iters + i);
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    medians.sort_by(|a, b| a.total_cmp(b));
+    Measured {
+        ns: medians[medians.len() / 2],
+        samples,
+        iters: iters as u64,
+    }
+}
+
 /// [`record_metric`] with explicit sampling metadata (the caller took
 /// `samples` medians of `iters_per_sample`-operation batches).
 pub fn record_metric_sampled(

@@ -25,13 +25,13 @@
 //! uses.
 
 use crate::pipeline::{
-    run_join_pipeline, Batch, BudgetExhausted, ExecContext, Fetch, FetchSource, FilterAtom,
-    SemiJoin,
+    filter_program_batches, run_join_pipeline, run_program_prefiltered, semijoin_program, Batch,
+    BudgetExhausted, ExecContext, Fetch, FetchSource, FilterAtom, SemiJoin,
 };
 use crate::results::ResultSet;
 use bcq_core::access::AccessSchema;
 use bcq_core::error::Result;
-use bcq_core::prelude::{QAttr, RowBuf, SpcQuery, Value};
+use bcq_core::prelude::{OpProgram, QAttr, RowBuf, SpcQuery, Value};
 use bcq_core::sigma::Sigma;
 use bcq_storage::{Database, Meter};
 use std::time::{Duration, Instant};
@@ -128,6 +128,29 @@ pub fn baseline(
     q: &SpcQuery,
     a: &AccessSchema,
     opts: BaselineOptions,
+) -> Result<BaselineOutcome> {
+    baseline_impl(db, q, a, opts, true)
+}
+
+/// [`baseline`] through the query-walking operators instead of a compiled
+/// program — the differential-testing oracle. Semantically identical
+/// (access-path choice is shared; only the filter/semijoin/join/project
+/// tail differs in how it derives its shape).
+pub fn baseline_interpreted(
+    db: &Database,
+    q: &SpcQuery,
+    a: &AccessSchema,
+    opts: BaselineOptions,
+) -> Result<BaselineOutcome> {
+    baseline_impl(db, q, a, opts, false)
+}
+
+fn baseline_impl(
+    db: &Database,
+    q: &SpcQuery,
+    a: &AccessSchema,
+    opts: BaselineOptions,
+    compiled: bool,
 ) -> Result<BaselineOutcome> {
     q.require_ground()?;
     let start = Instant::now();
@@ -237,28 +260,53 @@ pub fn baseline(
         }
     }
 
-    // IndexJoin mode: re-fetching atoms lazily through join-key indices is
-    // approximated by pre-restricting candidates with semi-joins; the join
-    // itself is the shared pipeline either way. Atom-local filters run
-    // first so rows that cannot survive anyway do not feed the semi-join
-    // key sets and inflate its pruning accounting (the pipeline re-applies
-    // the filter afterwards, which is free and idempotent).
-    if opts.mode == BaselineMode::IndexJoin {
-        let filter = FilterAtom {
-            query: q,
-            sigma: &sigma,
-        };
-        for batch in &mut batches {
-            filter.apply(&ctx, batch);
+    // The baseline is the ad-hoc competitor, so its programs are compiled
+    // per call (for prepared queries the serving layer compiles once and
+    // reuses); the interpreted oracle path keeps the query-walking
+    // operators instead.
+    //
+    // Order fidelity: the query-walking join picks its order from the
+    // batch sizes *after* atom-local filtering (and, in IndexJoin mode,
+    // after the semijoin prune). To charge the same intermediate work —
+    // budget verdicts included — the compiled path filters and prunes
+    // first (neither charges the meter except semijoin drops, identically
+    // on both paths), reschedules the join from the post-prune sizes, and
+    // then runs the prefiltered interpreter so the rows are not scanned a
+    // second time.
+    let joined = if compiled {
+        let mut prog = OpProgram::compile(q, &sigma, &needed_cols, None);
+        filter_program_batches(&prog, &ctx, &mut batches);
+        if opts.mode == BaselineMode::IndexJoin {
+            semijoin_program(&prog, &mut batches, &mut ctx);
         }
-        SemiJoin {
-            query: q,
-            sigma: &sigma,
+        let sizes: Vec<u128> = batches.iter().map(|b| b.rows.len() as u128).collect();
+        prog.reschedule_joins(&sizes);
+        run_program_prefiltered(&prog, batches, &mut ctx)
+    } else {
+        // IndexJoin mode: re-fetching atoms lazily through join-key
+        // indices is approximated by pre-restricting candidates with
+        // semi-joins; the join itself is the shared pipeline either way.
+        // Atom-local filters run first so rows that cannot survive anyway
+        // do not feed the semi-join key sets and inflate its pruning
+        // accounting (the pipeline re-applies the filter afterwards,
+        // which is free and idempotent).
+        if opts.mode == BaselineMode::IndexJoin {
+            let filter = FilterAtom {
+                query: q,
+                sigma: &sigma,
+            };
+            for batch in &mut batches {
+                filter.apply(&ctx, batch);
+            }
+            SemiJoin {
+                query: q,
+                sigma: &sigma,
+            }
+            .apply(&mut batches, &mut ctx);
         }
-        .apply(&mut batches, &mut ctx);
-    }
-
-    match run_join_pipeline(q, &sigma, batches, &mut ctx) {
+        run_join_pipeline(q, &sigma, batches, &mut ctx)
+    };
+    match joined {
         Ok(result) => Ok(BaselineOutcome::Completed {
             result,
             meter: ctx.meter,

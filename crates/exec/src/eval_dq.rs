@@ -13,7 +13,8 @@
 //! never materialize.
 
 use crate::pipeline::{
-    run_join_partials, Batch, ExecContext, Fetch, FetchSource, ParamEnv, Project,
+    run_join_partials, run_program_partials, Batch, ExecContext, Fetch, FetchSource, ParamEnv,
+    Project,
 };
 use crate::results::ResultSet;
 use bcq_core::access::AccessSchema;
@@ -54,6 +55,17 @@ pub fn eval_dq(db: &Database, plan: &QueryPlan, a: &AccessSchema) -> Result<Exec
     eval_dq_with(db, plan, a, ParamEnv::empty_ref())
 }
 
+/// [`eval_dq`] through the query-walking operators instead of the compiled
+/// program — the ground-plan differential oracle (see
+/// [`eval_dq_with_interpreted`]).
+pub fn eval_dq_interpreted(
+    db: &Database,
+    plan: &QueryPlan,
+    a: &AccessSchema,
+) -> Result<ExecOutcome> {
+    eval_dq_with_interpreted(db, plan, a, ParamEnv::empty_ref())
+}
+
 /// Executes a (possibly parameterized) bounded plan with the given
 /// parameter bindings — the serving hot path.
 ///
@@ -69,10 +81,36 @@ pub fn eval_dq_with(
     a: &AccessSchema,
     params: &ParamEnv,
 ) -> Result<ExecOutcome> {
+    eval_dq_with_impl(db, plan, a, params, true)
+}
+
+/// [`eval_dq_with`] through the **query-walking operators** instead of the
+/// compiled program — the differential-testing oracle (and the
+/// "interpreted" side of the `ablation/compiled_pipeline` datapoint).
+/// Semantically identical; re-derives the filter checks, join order and
+/// projection map from the query on every call.
+pub fn eval_dq_with_interpreted(
+    db: &Database,
+    plan: &QueryPlan,
+    a: &AccessSchema,
+    params: &ParamEnv,
+) -> Result<ExecOutcome> {
+    eval_dq_with_impl(db, plan, a, params, false)
+}
+
+fn eval_dq_with_impl(
+    db: &Database,
+    plan: &QueryPlan,
+    a: &AccessSchema,
+    params: &ParamEnv,
+    compiled: bool,
+) -> Result<ExecOutcome> {
     let start = Instant::now();
-    let out = eval_dq_partials_with(db, plan, a, params)?;
+    let out = eval_dq_partials_impl(db, plan, a, params, compiled)?;
     let result = if out.partials.is_empty() {
         ResultSet::empty()
+    } else if compiled {
+        crate::pipeline::project_program(plan.program(), db.symbols(), &out.partials)
     } else {
         Project {
             query: plan.query(),
@@ -115,6 +153,16 @@ fn eval_dq_partials_with(
     plan: &QueryPlan,
     a: &AccessSchema,
     params: &ParamEnv,
+) -> Result<PartialsOutcome> {
+    eval_dq_partials_impl(db, plan, a, params, true)
+}
+
+fn eval_dq_partials_impl(
+    db: &Database,
+    plan: &QueryPlan,
+    a: &AccessSchema,
+    params: &ParamEnv,
+    compiled: bool,
 ) -> Result<PartialsOutcome> {
     // Allocation-free validation on the happy path: names are only
     // collected if something is actually missing.
@@ -193,7 +241,9 @@ fn eval_dq_partials_with(
     // Assemble per-atom candidates from the anchors and run the shared
     // filter → hash-join → project pipeline. Anchor steps are per-atom
     // (memoized on `(atom, constraint)`), so each one's rows are moved,
-    // not cloned; key enumeration already consumed what it needed.
+    // not cloned; key enumeration already consumed what it needed. The hot
+    // path interprets the plan's compiled program; the query-walking
+    // operators remain reachable as the differential oracle.
     let batches: Vec<Batch> = (0..q.num_atoms())
         .map(|atom| {
             let anchor = plan.anchor_of_atom(atom);
@@ -204,8 +254,12 @@ fn eval_dq_partials_with(
             }
         })
         .collect();
-    let partials = run_join_partials(q, plan.sigma(), batches, &mut ctx)
-        .expect("bounded evaluation has no budget");
+    let partials = if compiled {
+        run_program_partials(plan.program(), batches, &mut ctx)
+    } else {
+        run_join_partials(q, plan.sigma(), batches, &mut ctx)
+    }
+    .expect("bounded evaluation has no budget");
 
     Ok(PartialsOutcome {
         partials,

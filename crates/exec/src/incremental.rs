@@ -54,7 +54,7 @@ use bcq_core::access::AccessSchema;
 use bcq_core::ebcheck::xq_cols;
 use bcq_core::error::{CoreError, Result};
 use bcq_core::fx::{FxHashMap, FxHashSet};
-use bcq_core::prelude::{Cell, QAttr, RelId, SpcQuery, Value};
+use bcq_core::prelude::{Cell, OpProgram, QAttr, RelId, SpcQuery, Value};
 use bcq_core::qplan::qplan;
 use bcq_core::sigma::Sigma;
 use bcq_storage::Database;
@@ -299,7 +299,7 @@ impl IncrementalAnswer {
         };
         let plan = qplan(q, a)?;
         let out = eval_dq_partials(db, &plan, a)?;
-        for pattern in this.patterns_of(q, plan.sigma(), &out.partials) {
+        for pattern in this.patterns_of(q, plan.program(), &out.partials) {
             this.add_derivation(pattern);
         }
         // One-time materialization; deltas patch it in place afterwards.
@@ -406,7 +406,7 @@ impl IncrementalAnswer {
             let out = eval_dq_partials(db, &plan, &self.access)?;
             stats.tuples_fetched += out.meter.tuples_fetched;
             stats.plans_run += 1;
-            for pattern in self.patterns_of(&delta_q, plan.sigma(), &out.partials) {
+            for pattern in self.patterns_of(&delta_q, plan.program(), &out.partials) {
                 let added = self.add_derivation(pattern);
                 stats.derivations_added += usize::from(added.new_derivation);
                 if let Some(key) = added.new_answer {
@@ -521,7 +521,7 @@ impl IncrementalAnswer {
             let out = eval_dq_partials(db, &plan, &self.access)?;
             stats.tuples_fetched += out.meter.tuples_fetched;
             stats.plans_run += 1;
-            for pattern in self.patterns_of(&probe_q, plan.sigma(), &out.partials) {
+            for pattern in self.patterns_of(&probe_q, plan.program(), &out.partials) {
                 // The zeroed entry still exists (at 0), so rederived
                 // support lands on it — never a "new" answer.
                 stats.derivations_added += usize::from(self.add_derivation(pattern).new_derivation);
@@ -541,11 +541,13 @@ impl IncrementalAnswer {
     /// share the original's atom layout, differing only in extra constant
     /// predicates) into derivation patterns: one cell per atom column,
     /// `None` where the class was not bound (distinct from a column bound
-    /// to a stored `Value::Null`, which is `Some(Cell::NULL)`).
+    /// to a stored `Value::Null`, which is `Some(Cell::NULL)`). The
+    /// attribute→class map comes precompiled from the delta plan's
+    /// [`OpProgram`] — the same program the partials were produced through.
     fn patterns_of(
         &self,
         q_like: &SpcQuery,
-        sigma: &Sigma,
+        prog: &OpProgram,
         partials: &[Box<[Option<Cell>]>],
     ) -> Vec<Box<[Option<Cell>]>> {
         debug_assert_eq!(q_like.num_atoms(), self.query.num_atoms());
@@ -554,8 +556,8 @@ impl IncrementalAnswer {
             let mut pattern = vec![None; self.width];
             for atom in 0..q_like.num_atoms() {
                 for col in 0..q_like.arity_of(atom) {
-                    let class = sigma.class_of_flat(q_like.flat_id(QAttr::new(atom, col)));
-                    pattern[self.offsets[atom] + col] = partial[class.0];
+                    let class = prog.class_of_flat(q_like.flat_id(QAttr::new(atom, col)));
+                    pattern[self.offsets[atom] + col] = partial[class];
                 }
             }
             out.push(pattern.into_boxed_slice());

@@ -10,7 +10,11 @@
 //!   [`eval_dq()`].
 //! * [`pipeline`] hosts the **single** physical-operator implementation
 //!   (fetch / filter / hash-join / project over interned row batches, with
-//!   unified metering) that all of the above share.
+//!   unified metering) that all of the above share. Its hot path is the
+//!   compiled-program interpreter ([`pipeline::run_program`]) over
+//!   [`bcq_core::program::OpProgram`]s; the query-walking operators remain
+//!   as the differential oracle
+//!   ([`eval_dq::eval_dq_interpreted`] / [`baseline::baseline_interpreted`]).
 
 pub mod baseline;
 pub mod eval_dq;
@@ -20,12 +24,18 @@ pub mod ra;
 pub mod results;
 pub mod views;
 
-pub use baseline::{baseline, BaselineMode, BaselineOptions, BaselineOutcome};
-pub use eval_dq::{eval_dq, eval_dq_partials, eval_dq_with, ExecOutcome, PartialsOutcome};
+pub use baseline::{
+    baseline, baseline_interpreted, BaselineMode, BaselineOptions, BaselineOutcome,
+};
+pub use eval_dq::{
+    eval_dq, eval_dq_interpreted, eval_dq_partials, eval_dq_with, eval_dq_with_interpreted,
+    ExecOutcome, PartialsOutcome,
+};
 pub use incremental::{DeltaStats, IncrementalAnswer};
 pub use pipeline::{
-    run_join_partials, run_join_pipeline, Batch, BudgetExhausted, ExecContext, Fetch, FetchSource,
-    FilterAtom, HashJoin, ParamEnv, Project, SemiJoin,
+    filter_program_batches, project_program, run_join_partials, run_join_pipeline, run_program,
+    run_program_partials, run_program_prefiltered, semijoin_program, Batch, BudgetExhausted,
+    ExecContext, Fetch, FetchSource, FilterAtom, HashJoin, ParamEnv, Project, SemiJoin,
 };
 pub use ra::{eval_ra, RaOutcome};
 pub use results::ResultSet;

@@ -24,13 +24,22 @@
 //! and aborts identically on budget exhaustion — the paper's 2 500 s cap,
 //! deterministically.
 //!
-//! [`run_join_pipeline`] is the canonical filter→join→project composition;
-//! it is the **single** join/filter/project implementation in the
-//! workspace.
+//! ## Compiled programs vs the query-walking oracle
+//!
+//! The hot path is the **program interpreter**: [`run_program`] /
+//! [`run_program_partials`] execute a compiled
+//! [`bcq_core::program::OpProgram`] — filter checks, join schedule, key
+//! permutations and projection map all resolved to positions at prepare
+//! time — so a request does zero planning-shaped work. The query-walking
+//! operators ([`FilterAtom`], [`HashJoin`], [`SemiJoin`], [`Project`],
+//! composed by [`run_join_pipeline`]) re-derive that shape from the query
+//! per call; they survive as the **compile-from oracle** the differential
+//! tests compare the interpreter against.
 
 use crate::results::ResultSet;
 use bcq_core::fx::FxHashMap;
-use bcq_core::prelude::{Cell, Predicate, QAttr, RowBuf, SpcQuery, SymbolTable, Value};
+use bcq_core::prelude::{Cell, OpProgram, Predicate, QAttr, RowBuf, SpcQuery, SymbolTable, Value};
+use bcq_core::program::PinSource;
 use bcq_core::sigma::Sigma;
 use bcq_storage::{Database, HashIndex, Meter, Table};
 use std::collections::BTreeMap;
@@ -703,6 +712,240 @@ pub fn run_join_partials(
     join.run(ctx.db.symbols(), batches, ctx)
 }
 
+// ---------------------------------------------------------------------------
+// The compiled-program interpreter: the per-request hot path.
+// ---------------------------------------------------------------------------
+
+/// Resolves every pin of a program to an interned cell, once per request.
+/// `None` means the pin can match nothing: a never-interned constant or
+/// binding — or an unbound slot, which the program contract forbids (see
+/// [`bcq_core::program`]; public executors validate bindings upstream).
+fn resolve_pins(prog: &OpProgram, ctx: &ExecContext<'_>) -> Vec<Option<Cell>> {
+    let symbols = ctx.symbols();
+    prog.pins
+        .iter()
+        .map(|p| match p {
+            PinSource::Const(v) => symbols.try_encode(v),
+            PinSource::Param(name) => ctx.params.get(name).flatten(),
+        })
+        .collect()
+}
+
+/// Applies the compiled per-atom filters to every batch:
+/// constant/parameter checks and intra-atom equalities, all pre-resolved
+/// to row positions, with the program's pins resolved **once** for the
+/// whole set. Behaviorally identical to [`FilterAtom`] (asserted by the
+/// pipeline's differential tests), minus the per-request predicate walk
+/// and `O(cols²)` class scan.
+pub fn filter_program_batches(prog: &OpProgram, ctx: &ExecContext<'_>, batches: &mut [Batch]) {
+    let resolved = resolve_pins(prog, ctx);
+    for batch in batches {
+        filter_resolved(prog, &resolved, batch);
+    }
+}
+
+fn filter_resolved(prog: &OpProgram, resolved: &[Option<Cell>], batch: &mut Batch) {
+    let f = &prog.filters[batch.atom];
+    debug_assert_eq!(batch.cols, prog.atom_cols[batch.atom], "batch layout");
+    if f.is_empty() {
+        return;
+    }
+    batch.rows.retain(|row| {
+        f.checks
+            .iter()
+            .all(|&(i, pin)| Some(row[i]) == resolved[pin])
+            && f.eqs.iter().all(|&(i, j)| row[i] == row[j])
+    });
+}
+
+/// Runs the compiled semijoin prefilter: every pass reduces one batch's
+/// candidates to rows whose shared-class key appears in another batch,
+/// using the position pairs hoisted into the program at compile time
+/// (the query-walking [`SemiJoin`] rediscovers them per request in an
+/// `O(cols²)` loop per atom pair). Dropped rows are charged as
+/// intermediate work, exactly like the oracle.
+pub fn semijoin_program(prog: &OpProgram, batches: &mut [Batch], ctx: &mut ExecContext<'_>) {
+    use bcq_core::fx::FxHashSet;
+    for pass in prog.semijoins() {
+        let keys: FxHashSet<RowBuf> = batches[pass.source]
+            .rows
+            .iter()
+            .map(|row| pass.pairs.iter().map(|&(_, pj)| row[pj]).collect())
+            .collect();
+        let target = &mut batches[pass.target];
+        let before = target.rows.len();
+        target.rows.retain(|row| {
+            let key: RowBuf = pass.pairs.iter().map(|&(pi, _)| row[pi]).collect();
+            keys.contains(key.as_slice())
+        });
+        ctx.meter.intermediate_rows += (before - target.rows.len()) as u64;
+    }
+}
+
+/// Decodes the final answer through the program's precompiled projection
+/// map (class per output column — no per-row `class_of` lookups).
+pub fn project_program(
+    prog: &OpProgram,
+    symbols: &SymbolTable,
+    partials: &[Box<[Option<Cell>]>],
+) -> ResultSet {
+    let mut out = Vec::with_capacity(partials.len());
+    for partial in partials {
+        let row: Box<[Value]> = prog
+            .proj_classes
+            .iter()
+            .map(|&c| symbols.decode(partial[c].expect("projection class is bound")))
+            .collect();
+        out.push(row);
+    }
+    ResultSet::from_rows(out)
+}
+
+/// Interprets a compiled program end to end: compiled filters, the
+/// compiled join schedule, compiled projection. The program's contract
+/// (batch layouts matching `atom_cols`, every slot bound) is documented in
+/// [`bcq_core::program`]; batches must arrive indexed by atom
+/// (`batches[i].atom == i`), as every executor produces them.
+pub fn run_program(
+    prog: &OpProgram,
+    batches: Vec<Batch>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<ResultSet, BudgetExhausted> {
+    let partials = run_program_partials(prog, batches, ctx)?;
+    if partials.is_empty() {
+        return Ok(ResultSet::empty());
+    }
+    Ok(project_program(prog, ctx.db.symbols(), &partials))
+}
+
+/// [`run_program`] stopped before projection: the surviving `Σ_Q` class
+/// assignments (the derivations incremental maintenance stores). This is
+/// the compiled counterpart of [`run_join_partials`] — same inputs, same
+/// partials, none of the per-request shape derivation.
+pub fn run_program_partials(
+    prog: &OpProgram,
+    batches: Vec<Batch>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Vec<Box<[Option<Cell>]>>, BudgetExhausted> {
+    run_program_partials_impl(prog, batches, ctx, true)
+}
+
+/// [`run_program`] for batches the caller already passed through
+/// [`filter_program_batches`]: skips the (idempotent but not free) second
+/// filter pass and goes straight to the seed + join schedule. The
+/// baseline uses this after its filter/prune/reschedule sequence.
+pub fn run_program_prefiltered(
+    prog: &OpProgram,
+    batches: Vec<Batch>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<ResultSet, BudgetExhausted> {
+    let partials = run_program_partials_impl(prog, batches, ctx, false)?;
+    if partials.is_empty() {
+        return Ok(ResultSet::empty());
+    }
+    Ok(project_program(prog, ctx.db.symbols(), &partials))
+}
+
+fn run_program_partials_impl(
+    prog: &OpProgram,
+    mut batches: Vec<Batch>,
+    ctx: &mut ExecContext<'_>,
+    apply_filters: bool,
+) -> Result<Vec<Box<[Option<Cell>]>>, BudgetExhausted> {
+    debug_assert_eq!(batches.len(), prog.num_atoms);
+    debug_assert!(batches.iter().enumerate().all(|(i, b)| b.atom == i));
+    let resolved = resolve_pins(prog, ctx);
+
+    // Compiled per-atom filters; any batch emptying out empties the answer.
+    for batch in &mut batches {
+        if apply_filters {
+            filter_resolved(prog, &resolved, batch);
+        }
+        if batch.rows.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+
+    // Seed the class slots from the compiled pins. A pin that resolves to
+    // nothing, or two pins of one class disagreeing, empties the answer
+    // before any row is touched.
+    let mut seed: Box<[Option<Cell>]> = vec![None; prog.num_classes].into_boxed_slice();
+    for sp in &prog.seeds {
+        let mut pinned: Option<Cell> = None;
+        for &pid in &sp.pins {
+            match resolved[pid] {
+                Some(cell) => match pinned {
+                    None => pinned = Some(cell),
+                    Some(prev) if prev == cell => {}
+                    Some(_) => return Ok(Vec::new()),
+                },
+                None => return Ok(Vec::new()),
+            }
+        }
+        seed[sp.class] = pinned;
+    }
+    let mut partials: Vec<Box<[Option<Cell>]>> = vec![seed];
+
+    // The compiled join schedule: batch order, shared classes and key
+    // permutations are all precomputed; each step is pure hashing/merging.
+    for step in &prog.join_steps {
+        let batch = &batches[step.atom];
+        let classes = &prog.col_classes[step.atom];
+
+        // Hash the batch rows on the precompiled key positions (linked-list
+        // buckets through one `next_row` array — no per-key allocation).
+        const NIL: u32 = u32::MAX;
+        let mut bucket_head: FxHashMap<RowBuf, u32> = FxHashMap::default();
+        let mut next_row: Vec<u32> = Vec::with_capacity(batch.rows.len());
+        for (ri, row) in batch.rows.iter().enumerate() {
+            let key: RowBuf = step.shared_pos.iter().map(|&p| row[p]).collect();
+            let head = bucket_head.entry(key).or_insert(NIL);
+            next_row.push(*head);
+            *head = ri as u32;
+        }
+
+        let mut next: Vec<Box<[Option<Cell>]>> = Vec::new();
+        for partial in &partials {
+            let key: RowBuf = step
+                .shared_classes
+                .iter()
+                .map(|&c| partial[c].expect("shared class is bound"))
+                .collect();
+            let Some(&head) = bucket_head.get(key.as_slice()) else {
+                continue;
+            };
+            let mut cursor = head;
+            while cursor != NIL {
+                let ri = cursor as usize;
+                cursor = next_row[ri];
+                let row = &batch.rows[ri];
+                let mut merged = partial.clone();
+                let mut ok = true;
+                for (pos, &c) in classes.iter().enumerate() {
+                    match merged[c] {
+                        Some(v) if v != row[pos] => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => merged[c] = Some(row[pos]),
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                ctx.charge_intermediate()?;
+                next.push(merged);
+            }
+        }
+        partials = next;
+        if partials.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+    Ok(partials)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -989,5 +1232,162 @@ mod tests {
             "non-matching row dropped"
         );
         assert_eq!(ctx.meter.intermediate_rows, 1);
+    }
+
+    #[test]
+    fn compiled_program_matches_oracle_join() {
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let layouts = vec![vec![0, 1], vec![0, 1]];
+        let prog = OpProgram::compile(&q, &sigma, &layouts, None);
+        let make = || {
+            vec![
+                Batch {
+                    atom: 0,
+                    cols: vec![0, 1],
+                    rows: rows(&[&[1, 10], &[2, 20], &[3, 30]]),
+                },
+                Batch {
+                    atom: 1,
+                    cols: vec![0, 1],
+                    rows: rows(&[&[10, 100], &[20, 200], &[99, 999]]),
+                },
+            ]
+        };
+        let db = dummy_db();
+        let mut cctx = ExecContext::new(&db, None);
+        let compiled = run_program(&prog, make(), &mut cctx).unwrap();
+        let mut ictx = ExecContext::new(&db, None);
+        let interpreted = run_join_pipeline(&q, &sigma, make(), &mut ictx).unwrap();
+        assert_eq!(compiled, interpreted);
+        assert_eq!(
+            cctx.meter.intermediate_rows, ictx.meter.intermediate_rows,
+            "same batch sizes, same merge work"
+        );
+    }
+
+    #[test]
+    fn compiled_program_respects_budget() {
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let layouts = vec![vec![0, 1], vec![0, 1]];
+        let prog = OpProgram::compile(&q, &sigma, &layouts, None);
+        let big: Vec<RowBuf> = (0..100).map(|i| rows(&[&[i, i]]).pop().unwrap()).collect();
+        let batches = vec![
+            Batch {
+                atom: 0,
+                cols: vec![0, 1],
+                rows: big.clone(),
+            },
+            Batch {
+                atom: 1,
+                cols: vec![0, 1],
+                rows: big,
+            },
+        ];
+        let db = dummy_db();
+        let mut ctx = ExecContext::new(&db, Some(10));
+        assert_eq!(run_program(&prog, batches, &mut ctx), Err(BudgetExhausted));
+    }
+
+    #[test]
+    fn compiled_filter_matches_oracle() {
+        let cat = Catalog::from_names(&[("r", &["a", "b", "c"])]).unwrap();
+        let q = SpcQuery::builder(cat, "f")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 1)
+            .eq(("r", "b"), ("r", "c"))
+            .project(("r", "b"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let prog = OpProgram::compile(&q, &sigma, &[vec![0, 1, 2]], None);
+        let data: &[&[i64]] = &[&[1, 5, 5], &[1, 5, 6], &[2, 7, 7], &[1, 9, 9]];
+        let db = dummy_db();
+        let ctx = ExecContext::new(&db, None);
+
+        let mut compiled = Batch {
+            atom: 0,
+            cols: vec![0, 1, 2],
+            rows: rows(data),
+        };
+        filter_program_batches(&prog, &ctx, std::slice::from_mut(&mut compiled));
+        let mut oracle = Batch {
+            atom: 0,
+            cols: vec![0, 1, 2],
+            rows: rows(data),
+        };
+        FilterAtom {
+            query: &q,
+            sigma: &sigma,
+        }
+        .apply(&ctx, &mut oracle);
+        assert_eq!(compiled.rows, oracle.rows);
+        assert_eq!(compiled.rows, rows(&[&[1, 5, 5], &[1, 9, 9]]));
+    }
+
+    #[test]
+    fn compiled_semijoin_matches_oracle_prefilter() {
+        // The satellite guarantee: the hoisted shared-column layout must
+        // reproduce the query-walking prefilter exactly — same surviving
+        // rows per batch, same intermediate-row charge.
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let layouts = vec![vec![0, 1], vec![0, 1]];
+        let prog = OpProgram::compile(&q, &sigma, &layouts, None);
+        let make = || {
+            vec![
+                Batch {
+                    atom: 0,
+                    cols: vec![0, 1],
+                    rows: rows(&[&[1, 10], &[2, 99], &[3, 20], &[4, 20]]),
+                },
+                Batch {
+                    atom: 1,
+                    cols: vec![0, 1],
+                    rows: rows(&[&[10, 100], &[20, 200], &[55, 500]]),
+                },
+            ]
+        };
+        let db = dummy_db();
+        let mut cctx = ExecContext::new(&db, None);
+        let mut compiled = make();
+        semijoin_program(&prog, &mut compiled, &mut cctx);
+        let mut ictx = ExecContext::new(&db, None);
+        let mut oracle = make();
+        SemiJoin {
+            query: &q,
+            sigma: &sigma,
+        }
+        .apply(&mut oracle, &mut ictx);
+        for (c, o) in compiled.iter().zip(&oracle) {
+            assert_eq!(c.rows, o.rows, "atom {}", c.atom);
+        }
+        assert_eq!(cctx.meter.intermediate_rows, ictx.meter.intermediate_rows);
+        // And the pass actually pruned something, in both.
+        assert_eq!(compiled[0].rows.len(), 3);
+        assert_eq!(compiled[1].rows.len(), 2);
+    }
+
+    #[test]
+    fn compiled_uninterned_constant_empties_like_oracle() {
+        let cat = Catalog::from_names(&[("r", &["a"])]).unwrap();
+        let q = SpcQuery::builder(cat, "f")
+            .atom("r", "r")
+            .eq_const(("r", "a"), "never-loaded")
+            .project(("r", "a"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let prog = OpProgram::compile(&q, &sigma, &[vec![0]], None);
+        let batches = vec![Batch {
+            atom: 0,
+            cols: vec![0],
+            rows: rows(&[&[1], &[2]]),
+        }];
+        let db = dummy_db();
+        let mut ctx = ExecContext::new(&db, None);
+        let rs = run_program(&prog, batches, &mut ctx).unwrap();
+        assert!(rs.is_empty());
     }
 }

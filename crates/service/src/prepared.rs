@@ -3,9 +3,12 @@
 //! A [`PreparedQuery`] is the unit the [`crate::PlanCache`] stores. It
 //! bundles the query template, its execution [`Lane`], and — for the
 //! bounded lane — the parameterized plan compiled by
-//! [`bcq_core::qplan::qplan_template`]. Preparation is the expensive step
-//! (`Σ_Q` closure, `ebcheck`, plan generation); execution replays the
-//! compiled artifact against per-request bindings.
+//! [`bcq_core::qplan::qplan_template`], which carries the plan's compiled
+//! [`OpProgram`] (filter checks, join schedule, key permutations and
+//! projection map resolved to positions). Preparation is the expensive
+//! step (`Σ_Q` closure, `ebcheck`, plan generation, program compile);
+//! execution interprets the compiled artifact against per-request bindings
+//! with zero planning-shaped work.
 //!
 //! Fingerprints are the cache keys: a canonical, name-independent rendering
 //! of the query (two templates that differ only in their display name or in
@@ -14,7 +17,7 @@
 
 use bcq_core::access::AccessSchema;
 use bcq_core::plan::QueryPlan;
-use bcq_core::prelude::{Predicate, RaExpr, RelId, SpcQuery};
+use bcq_core::prelude::{OpProgram, Predicate, RaExpr, RelId, SpcQuery};
 use std::fmt::Write as _;
 
 /// How a prepared query executes.
@@ -25,9 +28,10 @@ pub enum Lane {
     Bounded,
     /// A certified RA expression: evaluated boundedly through `eval_ra`.
     /// Preparation caches the certification (and, for templates, the slot
-    /// metadata), but `eval_ra` still re-plans each SPC block per request —
-    /// caching those inner plans is the ROADMAP's "precompiled operator
-    /// programs" follow-on.
+    /// metadata), but `eval_ra` still re-plans each SPC block per request
+    /// (each per-block plan carries its own compiled operator program, so
+    /// execution itself is compiled — caching the per-block *plans* across
+    /// requests remains a follow-on).
     BoundedRa,
     /// Not effectively bounded: admitted onto the conventional baseline
     /// under a hard work budget (never under a strict admission policy).
@@ -58,6 +62,9 @@ pub struct PreparedQuery {
 
 impl PreparedQuery {
     pub(crate) fn bounded(template: SpcQuery, plan: QueryPlan, fingerprint: String) -> Self {
+        // Force the lazy operator-program compile here, at prepare time, so
+        // the first request served from this entry pays execution only.
+        plan.program();
         let slots = plan.param_slots();
         let read_rels = template.read_rels();
         PreparedQuery {
@@ -125,6 +132,13 @@ impl PreparedQuery {
     /// The compiled parameterized plan ([`Lane::Bounded`] only).
     pub fn plan(&self) -> Option<&QueryPlan> {
         self.plan.as_ref()
+    }
+
+    /// The compiled operator program the bounded lane interprets per
+    /// request ([`Lane::Bounded`] only) — stored with the plan at prepare
+    /// time, revalidated (never recompiled) on epoch bumps.
+    pub fn program(&self) -> Option<&OpProgram> {
+        self.plan.as_ref().map(QueryPlan::program)
     }
 
     /// The certified RA expression ([`Lane::BoundedRa`] only).

@@ -130,7 +130,13 @@ pub struct RequestStats {
     pub meter: Meter,
     /// Budget verdict.
     pub budget: BudgetVerdict,
-    /// Wall-clock execution time (excludes prepare).
+    /// Wall-clock time spent compiling this request's prepared query —
+    /// classification, plan generation and the operator-program compile.
+    /// Zero on a cache hit (the stored program is reused; revalidation
+    /// refreshes stamps without recompiling), so compile vs execute cost
+    /// is directly comparable per request.
+    pub compile_elapsed: Duration,
+    /// Wall-clock execution time (excludes prepare/compile).
     pub elapsed: Duration,
 }
 
@@ -165,6 +171,9 @@ pub struct Prepared {
     pub query: Arc<PreparedQuery>,
     /// `true` if this came out of the plan cache.
     pub cache_hit: bool,
+    /// Time spent compiling (classification + planning + operator-program
+    /// compile); [`Duration::ZERO`] on a cache hit.
+    pub compile_elapsed: Duration,
 }
 
 /// Identifier of a registered incremental view.
@@ -303,31 +312,38 @@ impl Server {
                     return Ok(Prepared {
                         query: prepared,
                         cache_hit: true,
+                        compile_elapsed: Duration::ZERO,
                     });
                 }
                 // A read relation moved under the entry: confirm the plan's
                 // indices still exist (writes through the server keep them
                 // maintained; bulk loads rebuild them — either way this
-                // usually succeeds and costs a few hash lookups).
+                // usually succeeds and costs a few hash lookups). The
+                // stored entry — compiled operator program included — is
+                // reused as-is; only its stamps are refreshed.
                 if self.plan_indexes_built(&snap, &prepared) {
                     let fresh = Self::read_stamps(&snap, prepared.read_rels());
                     cache.revalidate(&key, fresh);
                     return Ok(Prepared {
                         query: prepared,
                         cache_hit: true,
+                        compile_elapsed: Duration::ZERO,
                     });
                 }
                 cache.invalidate(&key);
             }
         }
         // Miss (or invalidated): compile outside the cache lock.
+        let compile_start = Instant::now();
         let prepared = Arc::new(build()?);
+        let compile_elapsed = compile_start.elapsed();
         let stamps = Self::read_stamps(&snap, prepared.read_rels());
         let mut cache = self.cache.lock().expect("cache lock poisoned");
         cache.insert(key, Arc::clone(&prepared), stamps);
         Ok(Prepared {
             query: prepared,
             cache_hit: false,
+            compile_elapsed,
         })
     }
 
@@ -424,6 +440,7 @@ impl Server {
                         epoch,
                         meter: out.meter,
                         budget: BudgetVerdict::Unlimited,
+                        compile_elapsed: Duration::ZERO,
                         elapsed: start.elapsed(),
                     },
                 })
@@ -460,6 +477,7 @@ impl Server {
                         epoch,
                         meter,
                         budget: BudgetVerdict::Unlimited,
+                        compile_elapsed: Duration::ZERO,
                         elapsed: start.elapsed(),
                     },
                 })
@@ -504,6 +522,7 @@ impl Server {
                         epoch,
                         meter,
                         budget,
+                        compile_elapsed: Duration::ZERO,
                         elapsed: start.elapsed(),
                     },
                 })
@@ -770,6 +789,7 @@ impl Session {
     ) -> crate::Result<Response> {
         let mut resp = self.server.execute(&prepared.query, bindings)?;
         resp.stats.cache_hit = prepared.cache_hit;
+        resp.stats.compile_elapsed = prepared.compile_elapsed;
         self.stats.requests += 1;
         self.stats.cache_hits += u64::from(prepared.cache_hit);
         match resp.stats.lane {
@@ -1380,6 +1400,66 @@ mod tests {
         assert_eq!(rs.len(), 3, "{rs:?}");
         assert!(rs.contains(&[Value::str("p2")]), "bulk-written row seen");
         assert!(rs.contains(&[Value::str("p3")]), "maintained row seen");
+    }
+
+    #[test]
+    fn revalidation_reuses_the_stored_compiled_program() {
+        // After a read-relation epoch bump, the next prepare revalidates
+        // the cache entry: stamps are refreshed, the stored PreparedQuery —
+        // compiled plan and operator program included — is handed back by
+        // pointer, and nothing is recompiled (misses stay at 1).
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+
+        let first = server.prepare(&q1).unwrap();
+        assert!(!first.cache_hit);
+        let program = first.query.plan().expect("bounded lane").program();
+        assert_eq!(program.slots(), ["aid", "uid"]);
+
+        // A maintained write to a relation the plan reads: its vector-clock
+        // component advances, so the next prepare must revalidate.
+        server
+            .insert("friends", &[Value::str("u0"), Value::str("u7")])
+            .unwrap();
+        let second = server.prepare(&q1).unwrap();
+        assert!(second.cache_hit, "revalidation is still a hit");
+        assert_eq!(second.compile_elapsed, Duration::ZERO);
+        assert!(
+            Arc::ptr_eq(&first.query, &second.query),
+            "the stored entry (and its compiled program) is reused verbatim"
+        );
+        let cs = server.cache_stats();
+        assert_eq!(cs.misses, 1, "exactly one compile ever happened");
+        assert_eq!(cs.revalidations, 1, "stamp refresh only");
+        assert_eq!(cs.invalidations, 0);
+
+        // A third prepare with no interleaving write is a pure hit: no
+        // further revalidation.
+        let third = server.prepare(&q1).unwrap();
+        assert!(third.cache_hit);
+        assert_eq!(server.cache_stats().revalidations, 1);
+    }
+
+    #[test]
+    fn request_stats_report_compile_vs_execute_time() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        let mut s = server.session();
+
+        let miss = s.query(&q1, &bind("a0", "u0")).unwrap();
+        assert!(!miss.stats.cache_hit);
+        assert!(
+            miss.stats.compile_elapsed > Duration::ZERO,
+            "first request pays classification + planning + program compile"
+        );
+
+        let hit = s.query(&q1, &bind("a1", "u0")).unwrap();
+        assert!(hit.stats.cache_hit);
+        assert_eq!(
+            hit.stats.compile_elapsed,
+            Duration::ZERO,
+            "cached requests pay execution only"
+        );
     }
 
     #[test]
