@@ -59,6 +59,7 @@
 
 pub mod access;
 pub mod advisor;
+pub mod batch;
 pub mod bcheck;
 pub mod deduce;
 pub mod dominating;
@@ -85,6 +86,7 @@ pub mod views;
 pub mod prelude {
     pub use crate::access::{AccessConstraint, AccessSchema, ConstraintId};
     pub use crate::advisor::{advise, Advice, Proposal};
+    pub use crate::batch::ColumnBatch;
     pub use crate::bcheck::{bcheck, BoundednessReport};
     pub use crate::dominating::{find_dp, find_dp_exact, DominatingConfig, RatioDenominator};
     pub use crate::ebcheck::{ebcheck, EffectiveBoundednessReport};

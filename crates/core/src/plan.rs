@@ -100,6 +100,9 @@ pub struct QueryPlan {
     /// `true` if `Σ_Q` is inconsistent: the plan fetches nothing and the
     /// answer is empty.
     unsatisfiable: bool,
+    /// The template's distinct placeholder names, computed once at plan
+    /// time so per-request binding validation never re-walks predicates.
+    slots: Vec<String>,
     /// The compiled operator program over the anchors' batch layouts —
     /// compiled **lazily** on first [`QueryPlan::program`] access, so
     /// analysis-only callers (the min-`D_Q` search plans hundreds of
@@ -122,6 +125,7 @@ impl QueryPlan {
             .iter()
             .map(|s| s.bound)
             .fold(0u128, u128::saturating_add);
+        let slots = query.placeholder_names();
         QueryPlan {
             query,
             sigma,
@@ -129,6 +133,7 @@ impl QueryPlan {
             anchor_of_atom,
             cost_bound,
             unsatisfiable,
+            slots,
             program: OnceLock::new(),
         }
     }
@@ -199,8 +204,8 @@ impl QueryPlan {
     /// Names of the plan's parameter slots — the template's placeholders —
     /// deduplicated, in first-use order. Empty for ground plans. Execution
     /// must supply a value for each (see `eval_dq_with` in `bcq-exec`).
-    pub fn param_slots(&self) -> Vec<String> {
-        self.query.placeholder_names()
+    pub fn param_slots(&self) -> &[String] {
+        &self.slots
     }
 
     /// `true` if the plan has parameter slots (compiled from a template).

@@ -109,6 +109,29 @@ fn join_schedule(
                     .expect("shared class has a column")
             })
             .collect();
+        // Per-column merge actions for the columnar interpreter: what the
+        // row-at-a-time class-walk merge does at each position, decided
+        // here (against the same `bound` state) so `reschedule_joins`
+        // recomputes them consistently with the schedule.
+        let col_actions: Vec<ColAction> = col_classes[atom]
+            .iter()
+            .enumerate()
+            .map(|(pos, &c)| {
+                if let Some(prev) = col_classes[atom][..pos].iter().position(|&k| k == c) {
+                    // A repeated class within the batch: the first
+                    // occurrence already keyed or bound it, so equality
+                    // against that position is the remaining check.
+                    ColAction::CheckDup(prev)
+                } else if bound[c] {
+                    // Bound before this step ⇒ the class is in
+                    // `shared_classes`, so the hash probe already
+                    // guarantees equality with the partial.
+                    ColAction::Key
+                } else {
+                    ColAction::Bind(c)
+                }
+            })
+            .collect();
         for &c in &col_classes[atom] {
             bound[c] = true;
         }
@@ -116,6 +139,7 @@ fn join_schedule(
             atom,
             shared_classes,
             shared_pos,
+            col_actions,
         });
     }
     join_steps
@@ -161,6 +185,26 @@ pub struct SeedPin {
     pub pins: Vec<usize>,
 }
 
+/// What the join merge does with one batch column — the columnar
+/// interpreter's per-column instruction, precomputed per [`JoinStep`]
+/// against the classes bound when the step runs. Together the actions
+/// reproduce the row-at-a-time class-walk merge exactly: `Key` positions
+/// are equality-checked by the hash probe, `Bind` positions write through,
+/// and `CheckDup` positions carry the only row-local comparisons left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColAction {
+    /// First occurrence of a class already bound before this step: the
+    /// position participates in the step's key (`shared_pos`), so the
+    /// probe guarantees it equals the partial — nothing to do at merge.
+    Key,
+    /// First occurrence of a class unbound before this step: write the
+    /// cell into the partial's slot for the given class.
+    Bind(usize),
+    /// A repeated class within the batch: the cell must equal the cell at
+    /// the given earlier position of the same row.
+    CheckDup(usize),
+}
+
 /// One step of the compiled join schedule.
 #[derive(Debug, Clone)]
 pub struct JoinStep {
@@ -172,6 +216,8 @@ pub struct JoinStep {
     /// Position of each shared class within the batch's rows (aligned with
     /// `shared_classes`): the key-extraction permutation.
     pub shared_pos: Vec<usize>,
+    /// Per-column merge action, aligned with the batch's column layout.
+    pub col_actions: Vec<ColAction>,
 }
 
 /// One pass of the semijoin prefilter: reduce `target`'s candidate rows to
@@ -480,6 +526,46 @@ mod tests {
             assert_eq!(step.shared_classes.len(), step.shared_pos.len());
             for (&c, &p) in step.shared_classes.iter().zip(&step.shared_pos) {
                 assert_eq!(prog.col_classes[step.atom][p], c);
+            }
+        }
+    }
+
+    #[test]
+    fn col_actions_mirror_the_class_walk_merge() {
+        // Replaying the schedule's bound-class state must reproduce every
+        // step's column actions: first-occurrence bound ⇒ Key (and the
+        // position is in the key permutation), first-occurrence unbound ⇒
+        // Bind of that class, repeats ⇒ CheckDup of the first position.
+        for plan in [
+            qplan(&q0(), &a0()).unwrap(),
+            qplan_template(&q1(), &a0()).unwrap(),
+        ] {
+            let prog = plan.program();
+            let mut bound = vec![false; prog.num_classes];
+            for s in &prog.seeds {
+                bound[s.class] = true;
+            }
+            for step in &prog.join_steps {
+                let classes = &prog.col_classes[step.atom];
+                assert_eq!(step.col_actions.len(), classes.len());
+                for (pos, (&c, action)) in classes.iter().zip(&step.col_actions).enumerate() {
+                    let first = classes[..pos].iter().position(|&k| k == c);
+                    match (*action, first) {
+                        (ColAction::CheckDup(prev), Some(expect)) => assert_eq!(prev, expect),
+                        (ColAction::Key, None) => {
+                            assert!(bound[c]);
+                            assert!(step.shared_pos.contains(&pos));
+                        }
+                        (ColAction::Bind(cls), None) => {
+                            assert_eq!(cls, c);
+                            assert!(!bound[c]);
+                        }
+                        other => panic!("action mismatch at {pos}: {other:?}"),
+                    }
+                }
+                for &c in classes {
+                    bound[c] = true;
+                }
             }
         }
     }

@@ -55,13 +55,17 @@ pub fn record_metric(id: impl Into<String>, ns_per_op: f64) {
     record_metric_sampled(id, ns_per_op, 1, 1);
 }
 
-/// A hand-rolled measurement: the median ns/op plus the sampling that was
-/// **actually** performed (so smoke-mode collapse stays visible in the
-/// JSON report's metadata).
+/// A hand-rolled measurement: the per-sample ns/op distribution summary
+/// plus the sampling that was **actually** performed (so smoke-mode
+/// collapse stays visible in the JSON report's metadata).
 #[derive(Debug, Clone, Copy)]
 pub struct Measured {
     /// Median nanoseconds per operation across the samples.
     pub ns: f64,
+    /// Fastest sample's ns/op — the noise floor.
+    pub min_ns: f64,
+    /// Mean ns/op across the samples.
+    pub mean_ns: f64,
     /// Samples actually taken (1 under [`smoke_mode`]).
     pub samples: usize,
     /// Iterations actually run per sample (1 under [`smoke_mode`]).
@@ -69,10 +73,20 @@ pub struct Measured {
 }
 
 impl Measured {
-    /// Records this measurement under `id` with its true sampling
-    /// metadata.
+    /// Records this measurement under `id` with its true per-sample
+    /// distribution (min / median / mean differ unless only one sample
+    /// ran) and sampling metadata.
     pub fn record(&self, id: impl Into<String>) {
-        record_metric_sampled(id, self.ns, self.samples, self.iters);
+        let id = id.into();
+        eprintln!("{id:<50} recorded {:>12.1} ns/op", self.ns);
+        RESULTS.lock().unwrap().push(Record {
+            id,
+            min_ns: self.min_ns,
+            median_ns: self.ns,
+            mean_ns: self.mean_ns,
+            samples: self.samples,
+            iters_per_sample: self.iters,
+        });
     }
 }
 
@@ -88,7 +102,7 @@ pub fn measure_median_ns(samples: usize, iters: usize, mut f: impl FnMut(usize))
     } else {
         (samples, iters)
     };
-    let mut medians: Vec<f64> = (0..samples)
+    let mut per_sample: Vec<f64> = (0..samples)
         .map(|s| {
             let start = Instant::now();
             for i in 0..iters {
@@ -97,9 +111,11 @@ pub fn measure_median_ns(samples: usize, iters: usize, mut f: impl FnMut(usize))
             start.elapsed().as_nanos() as f64 / iters as f64
         })
         .collect();
-    medians.sort_by(|a, b| a.total_cmp(b));
+    per_sample.sort_by(|a, b| a.total_cmp(b));
     Measured {
-        ns: medians[medians.len() / 2],
+        ns: per_sample[per_sample.len() / 2],
+        min_ns: per_sample[0],
+        mean_ns: per_sample.iter().sum::<f64>() / per_sample.len() as f64,
         samples,
         iters: iters as u64,
     }
@@ -497,6 +513,27 @@ mod tests {
         });
         group.finish();
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn measure_median_keeps_the_sample_distribution() {
+        // Work that grows with the sample index spreads the per-sample
+        // timings, so the summary statistics must come apart: min from the
+        // fastest sample, median from the middle, mean pulled up by the
+        // slow tail.
+        let m = measure_median_ns(5, 50, |i| {
+            let mut acc = 0u64;
+            for j in 0..(i as u64 + 1) * 200 {
+                acc = acc.wrapping_add(black_box(j));
+            }
+            black_box(acc);
+        });
+        assert_eq!(m.samples, 5);
+        assert_eq!(m.iters, 50);
+        assert!(m.min_ns <= m.ns, "min {} > median {}", m.min_ns, m.ns);
+        assert!(m.ns <= m.mean_ns * 2.0, "median wildly above mean");
+        assert!(m.min_ns < m.mean_ns, "distribution collapsed: {m:?}");
+        assert_ne!(m.min_ns, m.ns, "per-sample spread lost");
     }
 
     #[test]

@@ -25,13 +25,14 @@
 //! uses.
 
 use crate::pipeline::{
-    filter_program_batches, run_join_pipeline, run_program_prefiltered, semijoin_program, Batch,
-    BudgetExhausted, ExecContext, Fetch, FetchSource, FilterAtom, SemiJoin,
+    filter_program_columnar, run_join_pipeline, run_program_columnar_prefiltered,
+    semijoin_program_columnar, Batch, BudgetExhausted, ExecContext, Fetch, FetchSource, FilterAtom,
+    SemiJoin,
 };
 use crate::results::ResultSet;
 use bcq_core::access::AccessSchema;
 use bcq_core::error::Result;
-use bcq_core::prelude::{OpProgram, QAttr, RowBuf, SpcQuery, Value};
+use bcq_core::prelude::{ColumnBatch, OpProgram, QAttr, RowBuf, SpcQuery, Value};
 use bcq_core::sigma::Sigma;
 use bcq_storage::{Database, Meter};
 use std::time::{Duration, Instant};
@@ -184,7 +185,11 @@ fn baseline_impl(
         })
         .collect();
 
-    let mut batches: Vec<Batch> = Vec::with_capacity(q.num_atoms());
+    // The compiled path fetches straight into columnar batches
+    // ([`Fetch::run_columns`]); the oracle keeps row-major batches. Charges
+    // are identical — only the materialized layout differs.
+    let mut batches: Vec<Batch> = Vec::new();
+    let mut col_batches: Vec<ColumnBatch> = Vec::new();
     #[allow(clippy::needless_range_loop)]
     for atom in 0..q.num_atoms() {
         let rel = q.relation_of(atom);
@@ -249,14 +254,17 @@ fn baseline_impl(
                     .collect(),
             },
         };
-        match (Fetch { atom, cols, source }).run(&mut ctx) {
-            Ok(batch) => batches.push(batch),
-            Err(BudgetExhausted) => {
-                return Ok(BaselineOutcome::DidNotFinish {
-                    meter: ctx.meter,
-                    elapsed: start.elapsed(),
-                })
-            }
+        let fetch = Fetch { atom, cols, source };
+        let fetched = if compiled {
+            fetch.run_columns(&mut ctx).map(|b| col_batches.push(b))
+        } else {
+            fetch.run(&mut ctx).map(|b| batches.push(b))
+        };
+        if fetched.is_err() {
+            return Ok(BaselineOutcome::DidNotFinish {
+                meter: ctx.meter,
+                elapsed: start.elapsed(),
+            });
         }
     }
 
@@ -275,13 +283,13 @@ fn baseline_impl(
     // second time.
     let joined = if compiled {
         let mut prog = OpProgram::compile(q, &sigma, &needed_cols, None);
-        filter_program_batches(&prog, &ctx, &mut batches);
+        filter_program_columnar(&prog, &ctx, &mut col_batches);
         if opts.mode == BaselineMode::IndexJoin {
-            semijoin_program(&prog, &mut batches, &mut ctx);
+            semijoin_program_columnar(&prog, &mut col_batches, &mut ctx);
         }
-        let sizes: Vec<u128> = batches.iter().map(|b| b.rows.len() as u128).collect();
+        let sizes: Vec<u128> = col_batches.iter().map(|b| b.len() as u128).collect();
         prog.reschedule_joins(&sizes);
-        run_program_prefiltered(&prog, batches, &mut ctx)
+        run_program_columnar_prefiltered(&prog, col_batches, &mut ctx)
     } else {
         // IndexJoin mode: re-fetching atoms lazily through join-key
         // indices is approximated by pre-restricting candidates with

@@ -13,17 +13,44 @@
 //! never materialize.
 
 use crate::pipeline::{
-    run_join_partials, run_program_partials, Batch, ExecContext, Fetch, FetchSource, ParamEnv,
-    Project,
+    project_program_flat, run_join_partials, run_program_columnar_impl, Batch, ColumnarScratch,
+    ExecContext, ParamEnv, Project,
 };
 use crate::results::ResultSet;
 use bcq_core::access::AccessSchema;
 use bcq_core::error::{CoreError, Result};
 use bcq_core::fx::FxHashSet;
 use bcq_core::plan::{FetchKind, FetchStep, KeySource, QueryPlan};
-use bcq_core::prelude::{Cell, RowBuf, SymbolTable};
+use bcq_core::prelude::{Cell, ColumnBatch, RowBuf, SymbolTable};
 use bcq_storage::{Database, Meter};
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
+
+/// Per-thread reusable buffers for bounded evaluation: the fetch output
+/// batches (recycled via [`ColumnBatch::reset`]), the key/rid scratch of
+/// the fetch loop, and the columnar interpreter's working set. Bounded
+/// plans cap every buffer's size by the access schema's `N`s, so the pool
+/// stays small; steady-state serving requests allocate almost nothing.
+#[derive(Default)]
+struct EvalScratch {
+    /// One batch per plan step, indexed by step id (grown on demand).
+    fetched: Vec<ColumnBatch>,
+    /// One batch per query atom, indexed by atom (swapped out of
+    /// `fetched` after the fetch loop; buffers circulate between the two
+    /// across requests).
+    anchors: Vec<ColumnBatch>,
+    keys: Vec<RowBuf>,
+    seen: FxHashSet<RowBuf>,
+    rids: Vec<u32>,
+    interp: ColumnarScratch,
+}
+
+thread_local! {
+    /// Evaluation never re-enters itself, so one scratch per thread
+    /// suffices; `eval_dq_with_impl` still falls back to a fresh scratch
+    /// if the thread-local is somehow busy rather than panicking.
+    static EVAL_SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
+}
 
 /// Outcome of a bounded evaluation.
 #[derive(Debug, Clone)]
@@ -105,22 +132,68 @@ fn eval_dq_with_impl(
     params: &ParamEnv,
     compiled: bool,
 ) -> Result<ExecOutcome> {
+    EVAL_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => eval_dq_scratch(db, plan, a, params, compiled, &mut scratch),
+        Err(_) => eval_dq_scratch(db, plan, a, params, compiled, &mut EvalScratch::default()),
+    })
+}
+
+fn eval_dq_scratch(
+    db: &Database,
+    plan: &QueryPlan,
+    a: &AccessSchema,
+    params: &ParamEnv,
+    compiled: bool,
+    scratch: &mut EvalScratch,
+) -> Result<ExecOutcome> {
     let start = Instant::now();
-    let out = eval_dq_partials_impl(db, plan, a, params, compiled)?;
-    let result = if out.partials.is_empty() {
+    validate_bindings(plan, params)?;
+    let mut ctx = ExecContext::with_params(db, None, params);
+    let num_atoms = plan.query().num_atoms();
+    let result = if !fetch_anchors(db, plan, a, &mut ctx, scratch)? {
         ResultSet::empty()
-    } else if compiled {
-        crate::pipeline::project_program(plan.program(), db.symbols(), &out.partials)
     } else {
-        Project {
-            query: plan.query(),
-            sigma: plan.sigma(),
+        let EvalScratch {
+            anchors, interp, ..
+        } = scratch;
+        if compiled {
+            // The serving hot path stays flat end to end: anchors are
+            // gathered column-major straight off the tables
+            // ([`fetch_anchors`]), the compiled program is interpreted
+            // vectorized, and the surviving partials are projected
+            // without ever being re-boxed per derivation.
+            let flat = run_program_columnar_impl(
+                plan.program(),
+                &mut anchors[..num_atoms],
+                &mut ctx,
+                true,
+                interp,
+            )
+            .expect("bounded evaluation has no budget");
+            let r = project_program_flat(plan.program(), db.symbols(), flat);
+            r
+        } else {
+            let partials = run_join_partials(
+                plan.query(),
+                plan.sigma(),
+                anchors_to_rows(&anchors[..num_atoms]),
+                &mut ctx,
+            )
+            .expect("bounded evaluation has no budget");
+            if partials.is_empty() {
+                ResultSet::empty()
+            } else {
+                Project {
+                    query: plan.query(),
+                    sigma: plan.sigma(),
+                }
+                .apply(db.symbols(), &partials)
+            }
         }
-        .apply(db.symbols(), &out.partials)
     };
     Ok(ExecOutcome {
         result,
-        meter: out.meter,
+        meter: ctx.meter,
         elapsed: start.elapsed(),
     })
 }
@@ -145,62 +218,110 @@ pub fn eval_dq_partials(
     plan: &QueryPlan,
     a: &AccessSchema,
 ) -> Result<PartialsOutcome> {
-    eval_dq_partials_with(db, plan, a, ParamEnv::empty_ref())
+    let params = ParamEnv::empty_ref();
+    validate_bindings(plan, params)?;
+    EVAL_SCRATCH.with(|cell| {
+        let mut fresh;
+        let mut borrowed;
+        let scratch: &mut EvalScratch = match cell.try_borrow_mut() {
+            Ok(s) => {
+                borrowed = s;
+                &mut borrowed
+            }
+            Err(_) => {
+                fresh = EvalScratch::default();
+                &mut fresh
+            }
+        };
+        let mut ctx = ExecContext::with_params(db, None, params);
+        let num_atoms = plan.query().num_atoms();
+        let partials = if !fetch_anchors(db, plan, a, &mut ctx, scratch)? {
+            Vec::new()
+        } else {
+            let EvalScratch {
+                anchors, interp, ..
+            } = scratch;
+            let flat = run_program_columnar_impl(
+                plan.program(),
+                &mut anchors[..num_atoms],
+                &mut ctx,
+                true,
+                interp,
+            )
+            .expect("bounded evaluation has no budget");
+            flat.chunks_exact(plan.program().num_classes)
+                .map(|p| p.to_vec().into_boxed_slice())
+                .collect()
+        };
+        Ok(PartialsOutcome {
+            partials,
+            meter: ctx.meter,
+        })
+    })
 }
 
-fn eval_dq_partials_with(
+/// Allocation-free validation on the happy path: the plan's slot names
+/// were collected once at plan time ([`QueryPlan::param_slots`]), and
+/// names are only cloned if something is actually missing.
+fn validate_bindings(plan: &QueryPlan, params: &ParamEnv) -> Result<()> {
+    let mut missing: Vec<String> = Vec::new();
+    for name in plan.param_slots() {
+        if params.get(name).is_none() {
+            missing.push(name.clone());
+        }
+    }
+    if !missing.is_empty() {
+        return Err(CoreError::UnboundParameters(missing));
+    }
+    Ok(())
+}
+
+/// Runs every fetch step of the plan straight into column-major batches —
+/// matching row ids are collected per probe, then each projected column is
+/// gathered off the table in one contiguous pass
+/// ([`bcq_storage::Table::gather_column`]); no intermediate row is ever
+/// materialized. All output batches and key/rid buffers live in `scratch`
+/// and are recycled across requests. On `Ok(true)` the per-atom anchor
+/// batches sit in `scratch.anchors[..num_atoms]`; `Ok(false)` means the
+/// plan is unsatisfiable (nothing fetched, empty answer).
+fn fetch_anchors(
     db: &Database,
     plan: &QueryPlan,
     a: &AccessSchema,
-    params: &ParamEnv,
-) -> Result<PartialsOutcome> {
-    eval_dq_partials_impl(db, plan, a, params, true)
-}
-
-fn eval_dq_partials_impl(
-    db: &Database,
-    plan: &QueryPlan,
-    a: &AccessSchema,
-    params: &ParamEnv,
-    compiled: bool,
-) -> Result<PartialsOutcome> {
-    // Allocation-free validation on the happy path: names are only
-    // collected if something is actually missing.
+    ctx: &mut ExecContext<'_>,
+    scratch: &mut EvalScratch,
+) -> Result<bool> {
+    if plan.is_unsatisfiable() {
+        return Ok(false);
+    }
     let q = plan.query();
-    if q.has_placeholders() {
-        let mut missing: Vec<String> = Vec::new();
-        for p in q.predicates() {
-            if let bcq_core::prelude::Predicate::Param(_, name) = p {
-                if params.get(name).is_none() && !missing.iter().any(|m| m == name) {
-                    missing.push(name.clone());
+    let EvalScratch {
+        fetched,
+        anchors,
+        keys,
+        seen,
+        rids,
+        ..
+    } = scratch;
+    while fetched.len() < plan.steps().len() {
+        fetched.push(ColumnBatch::new(0, Vec::new()));
+    }
+    for (sid, step) in plan.steps().iter().enumerate() {
+        // Earlier steps source this step's probe keys; the current step's
+        // batch is written behind them.
+        let (prev, rest) = fetched.split_at_mut(sid);
+        let b = &mut rest[0];
+        match step.kind {
+            FetchKind::Any => {
+                // Emptiness witness: one zero-width row if the relation is
+                // non-empty, charged like any fetched tuple.
+                b.reset(step.atom, &[]);
+                if !db.table(q.relation_of(step.atom)).is_empty() {
+                    ctx.charge_fetched()
+                        .expect("bounded evaluation has no budget");
+                    b.push_row(&[]);
                 }
             }
-        }
-        if !missing.is_empty() {
-            return Err(CoreError::UnboundParameters(missing));
-        }
-    }
-
-    let mut ctx = ExecContext::with_params(db, None, params);
-
-    if plan.is_unsatisfiable() {
-        return Ok(PartialsOutcome {
-            partials: Vec::new(),
-            meter: ctx.meter,
-        });
-    }
-
-    // Fetch each T_j in dependency order.
-    let mut step_rows: Vec<Vec<RowBuf>> = Vec::with_capacity(plan.steps().len());
-    for step in plan.steps() {
-        let fetch = match step.kind {
-            FetchKind::Any => Fetch {
-                atom: step.atom,
-                cols: &[],
-                source: FetchSource::Existence {
-                    table: db.table(q.relation_of(step.atom)),
-                },
-            },
             FetchKind::IndexLookup => {
                 let cid = step.constraint.expect("index step has a constraint");
                 if cid.0 >= a.len() {
@@ -216,131 +337,143 @@ fn eval_dq_partials_impl(
                         c.display(a.catalog())
                     ))
                 })?;
-                Fetch {
-                    atom: step.atom,
-                    cols: &step.out_cols,
-                    source: FetchSource::IndexWitnesses {
-                        index,
-                        table: db.table(c.relation()),
-                        keys: enumerate_keys(step, &step_rows, db.symbols(), ctx.params),
-                    },
+                let table = db.table(c.relation());
+                enumerate_keys_into(step, prev, db.symbols(), ctx.params, keys, seen);
+                // Contract note: when `D |= A`, each step fetches at most
+                // `step.bound` rows (tested across the workloads). When the
+                // data *violates* its declared constraints the fetch can
+                // exceed the bound, but the answer stays exact — witnesses
+                // are never truncated at N. See
+                // `eval_dq::tests::violating_data_still_yields_exact_answers`.
+                rids.clear();
+                for key in keys.iter() {
+                    ctx.meter.index_probes += 1;
+                    for &rid in index.witnesses(key) {
+                        ctx.charge_fetched()
+                            .expect("bounded evaluation has no budget");
+                        rids.push(rid);
+                    }
                 }
+                b.reset(step.atom, &step.out_cols);
+                b.extend_columns(rids.len(), |i, out| {
+                    table.gather_column(step.out_cols[i], rids, out)
+                });
             }
-        };
-        // Contract note: when `D |= A`, each step fetches at most
-        // `step.bound` rows (tested across the workloads). When the data
-        // *violates* its declared constraints the fetch can exceed the
-        // bound, but the answer stays exact — witnesses are never truncated
-        // at N. See `eval_dq::tests::violating_data_still_yields_exact_answers`.
-        let rows = fetch
-            .run_rows(&mut ctx)
-            .expect("bounded evaluation has no budget");
-        step_rows.push(rows);
+        }
     }
-
-    // Assemble per-atom candidates from the anchors and run the shared
-    // filter → hash-join → project pipeline. Anchor steps are per-atom
-    // (memoized on `(atom, constraint)`), so each one's rows are moved,
-    // not cloned; key enumeration already consumed what it needed. The hot
-    // path interprets the plan's compiled program; the query-walking
-    // operators remain reachable as the differential oracle.
-    let batches: Vec<Batch> = (0..q.num_atoms())
-        .map(|atom| {
-            let anchor = plan.anchor_of_atom(atom);
-            Batch {
-                atom,
-                cols: anchor.out_cols.clone(),
-                rows: std::mem::take(&mut step_rows[anchor.id.0]),
-            }
-        })
-        .collect();
-    let partials = if compiled {
-        run_program_partials(plan.program(), batches, &mut ctx)
-    } else {
-        run_join_partials(q, plan.sigma(), batches, &mut ctx)
+    // Swap the anchors into atom order (non-anchor steps only ever source
+    // keys); the displaced buffers circulate back on the next request.
+    while anchors.len() < q.num_atoms() {
+        anchors.push(ColumnBatch::new(0, Vec::new()));
     }
-    .expect("bounded evaluation has no budget");
-
-    Ok(PartialsOutcome {
-        partials,
-        meter: ctx.meter,
-    })
+    for (atom, anchor) in anchors.iter_mut().enumerate().take(q.num_atoms()) {
+        let sid = plan.anchor_of_atom(atom).id.0;
+        std::mem::swap(anchor, &mut fetched[sid]);
+    }
+    Ok(true)
 }
 
-/// Enumerates the key tuples of a fetch step: constants and bound
-/// parameters are fixed; columns sourced from the same earlier step vary
-/// together (row-wise); distinct source steps combine by Cartesian product
-/// — mirroring the bound arithmetic of plan generation.
+/// Transposes the anchor batches back to row-major for the query-walking
+/// oracle (the differential slow path; charges were already taken by
+/// [`fetch_anchors`], identically for both executors).
+fn anchors_to_rows(anchors: &[ColumnBatch]) -> Vec<Batch> {
+    anchors
+        .iter()
+        .map(|b| Batch {
+            atom: b.atom(),
+            cols: b.cols().to_vec(),
+            rows: b.to_rows(),
+        })
+        .collect()
+}
+
+/// Enumerates the key tuples of a fetch step into `keys` (cleared first):
+/// constants and bound parameters are fixed; columns sourced from the same
+/// earlier step vary together (row-wise); distinct source steps combine by
+/// Cartesian product — mirroring the bound arithmetic of plan generation.
+/// `seen` is dedup scratch, reused across steps.
 ///
 /// A constant (or parameter value) that was never interned yields no keys
 /// at all (nothing can match it), which collapses the step — and therefore
 /// every step feeding off it — to the empty fetch.
-fn enumerate_keys(
+fn enumerate_keys_into(
     step: &FetchStep,
-    step_rows: &[Vec<RowBuf>],
+    fetched: &[ColumnBatch],
     symbols: &SymbolTable,
     params: &ParamEnv,
-) -> Vec<RowBuf> {
+    keys: &mut Vec<RowBuf>,
+    seen: &mut FxHashSet<RowBuf>,
+) {
+    keys.clear();
     if step.key.is_empty() {
         // Bounded-domain probe: the single empty key.
-        return vec![RowBuf::new()];
+        keys.push(RowBuf::new());
+        return;
     }
 
-    // Fixed positions (constants and bound parameters) go straight into a
-    // key template; column positions are grouped by source step.
+    // One pass decides the shape: fixed positions (constants and bound
+    // parameters) fill a key template; column sources are only classified
+    // (single vs multiple earlier steps) — nothing is allocated.
     let key_len = step.key.len();
-    let mut template = vec![Cell::NULL; key_len];
-    let mut per_step: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
-    let mut num_fixed = 0usize;
-    for (pos, (_col, src)) in step.key.iter().enumerate() {
-        match src {
+    let mut template = RowBuf::with_capacity(key_len);
+    let mut src: Option<usize> = None;
+    let mut multi_src = false;
+    for (_col, source) in &step.key {
+        match source {
             KeySource::Const(v) => match symbols.try_encode(v) {
-                Some(cell) => {
-                    template[pos] = cell;
-                    num_fixed += 1;
-                }
-                None => return Vec::new(),
+                Some(cell) => template.push(cell),
+                None => return,
             },
             // Validated bound upstream (`eval_dq_with`); a never-interned
             // binding collapses the step like an uninterned constant.
             KeySource::Param(name) => match params.get(name) {
-                Some(Some(cell)) => {
-                    template[pos] = cell;
-                    num_fixed += 1;
-                }
-                Some(None) | None => return Vec::new(),
+                Some(Some(cell)) => template.push(cell),
+                _ => return,
             },
-            KeySource::Column { step: sid, col } => {
-                match per_step.iter_mut().find(|(s, _)| *s == sid.0) {
-                    Some((_, positions)) => positions.push((pos, *col)),
-                    None => per_step.push((sid.0, vec![(pos, *col)])),
+            KeySource::Column { step: sid, .. } => {
+                template.push(Cell::NULL);
+                match src {
+                    None => src = Some(sid.0),
+                    Some(s) if s == sid.0 => {}
+                    Some(_) => multi_src = true,
                 }
             }
         }
     }
 
     // Fast path 1: fully fixed key — the single template key.
-    if per_step.is_empty() {
-        debug_assert_eq!(num_fixed, key_len);
-        return vec![template.into_iter().collect()];
-    }
+    let Some(src) = src else {
+        keys.push(template);
+        return;
+    };
 
     // Fast path 2: one source step (the overwhelmingly common plan shape):
-    // fill the template per source row, dedup the finished keys directly.
-    if per_step.len() == 1 {
-        let (src, positions) = &per_step[0];
-        let mut seen: FxHashSet<RowBuf> = FxHashSet::default();
-        let mut keys: Vec<RowBuf> = Vec::new();
-        for row in &step_rows[*src] {
-            for &(pos, col) in positions {
-                template[pos] = row[col];
+    // fill the template per source row off the packed columns, dedup the
+    // finished keys directly. Bounded fetches are small, so up to a few
+    // dozen keys a linear probe of the output beats hashing every key.
+    if !multi_src {
+        let sb = &fetched[src];
+        let linear = sb.total_rows() <= 48;
+        if !linear {
+            seen.clear();
+        }
+        for r in 0..sb.total_rows() {
+            let mut key = RowBuf::with_capacity(key_len);
+            for (pos, (_c, source)) in step.key.iter().enumerate() {
+                match source {
+                    KeySource::Column { col, .. } => key.push(sb.column(*col)[r]),
+                    _ => key.push(template[pos]),
+                }
             }
-            let key: RowBuf = template.iter().copied().collect();
-            if seen.insert(key.clone()) {
+            if linear {
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            } else if seen.insert(key.clone()) {
                 keys.push(key);
             }
         }
-        return keys;
+        return;
     }
 
     // General case: distinct source steps combine by Cartesian product.
@@ -352,15 +485,24 @@ fn enumerate_keys(
         },
     }
     let mut groups: Vec<Group> = Vec::new();
-    if num_fixed > 0 {
-        let consts: Vec<(usize, Cell)> = step
-            .key
-            .iter()
-            .enumerate()
-            .filter(|(_, (_, src))| !matches!(src, KeySource::Column { .. }))
-            .map(|(pos, _)| (pos, template[pos]))
-            .collect();
+    let consts: Vec<(usize, Cell)> = step
+        .key
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, source))| !matches!(source, KeySource::Column { .. }))
+        .map(|(pos, _)| (pos, template[pos]))
+        .collect();
+    if !consts.is_empty() {
         groups.push(Group::Const(consts));
+    }
+    let mut per_step: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+    for (pos, (_col, source)) in step.key.iter().enumerate() {
+        if let KeySource::Column { step: sid, col } = source {
+            match per_step.iter_mut().find(|(s, _)| *s == sid.0) {
+                Some((_, positions)) => positions.push((pos, *col)),
+                None => per_step.push((sid.0, vec![(pos, *col)])),
+            }
+        }
     }
     for (src, positions) in per_step {
         groups.push(Group::Step { src, positions });
@@ -372,10 +514,11 @@ fn enumerate_keys(
         match g {
             Group::Const(pairs) => group_values.push(vec![pairs.clone()]),
             Group::Step { src, positions } => {
-                let mut seen: FxHashSet<RowBuf> = FxHashSet::default();
+                let sb = &fetched[*src];
+                seen.clear();
                 let mut combos = Vec::new();
-                for row in &step_rows[*src] {
-                    let proj: RowBuf = positions.iter().map(|&(_, c)| row[c]).collect();
+                for r in 0..sb.total_rows() {
+                    let proj: RowBuf = positions.iter().map(|&(_, c)| sb.column(c)[r]).collect();
                     if seen.insert(proj.clone()) {
                         combos.push(
                             positions
@@ -392,11 +535,9 @@ fn enumerate_keys(
     }
 
     // Cartesian product across groups.
-    let key_len = step.key.len();
-    let mut keys: Vec<RowBuf> = Vec::new();
     let mut cursor = vec![0usize; group_values.len()];
     if group_values.iter().any(|g| g.is_empty()) {
-        return Vec::new();
+        return;
     }
     loop {
         let mut key = vec![Cell::NULL; key_len];
@@ -410,7 +551,7 @@ fn enumerate_keys(
         let mut i = 0;
         loop {
             if i == cursor.len() {
-                return keys;
+                return;
             }
             cursor[i] += 1;
             if cursor[i] < group_values[i].len() {

@@ -33,10 +33,12 @@ pub use eval_dq::{
 };
 pub use incremental::{DeltaStats, IncrementalAnswer};
 pub use pipeline::{
-    filter_program_batches, project_program, run_join_partials, run_join_pipeline, run_program,
-    run_program_partials, run_program_prefiltered, semijoin_program, Batch, BudgetExhausted,
-    ExecContext, Fetch, FetchSource, FilterAtom, HashJoin, ParamEnv, Project, SemiJoin,
+    filter_program_batches, filter_program_columnar, project_program, run_join_partials,
+    run_join_pipeline, run_program, run_program_columnar, run_program_columnar_partials,
+    run_program_columnar_prefiltered, run_program_partials, run_program_prefiltered,
+    semijoin_program, semijoin_program_columnar, Batch, BudgetExhausted, ExecContext, Fetch,
+    FetchSource, FilterAtom, HashJoin, ParamEnv, Project, SemiJoin,
 };
-pub use ra::{eval_ra, RaOutcome};
+pub use ra::{eval_ra, eval_ra_prepared, PreparedRa, RaOutcome};
 pub use results::ResultSet;
 pub use views::materialize_views;

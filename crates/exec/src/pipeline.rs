@@ -38,8 +38,10 @@
 
 use crate::results::ResultSet;
 use bcq_core::fx::FxHashMap;
-use bcq_core::prelude::{Cell, OpProgram, Predicate, QAttr, RowBuf, SpcQuery, SymbolTable, Value};
-use bcq_core::program::PinSource;
+use bcq_core::prelude::{
+    Cell, ColumnBatch, OpProgram, Predicate, QAttr, RowBuf, SpcQuery, SymbolTable, Value,
+};
+use bcq_core::program::{ColAction, PinSource};
 use bcq_core::sigma::Sigma;
 use bcq_storage::{Database, HashIndex, Meter, Table};
 use std::collections::BTreeMap;
@@ -79,11 +81,34 @@ impl ParamEnv {
     /// Encodes value bindings against `symbols` (read-only; unseen values
     /// become `None` cells that match nothing).
     pub fn encode(symbols: &SymbolTable, bindings: &BTreeMap<String, Value>) -> Self {
-        ParamEnv {
-            entries: bindings
+        let mut env = ParamEnv::default();
+        env.rebind(symbols, bindings);
+        env
+    }
+
+    /// [`ParamEnv::encode`] in place: re-encodes `bindings` into this
+    /// environment, reusing the entry buffer — including the allocated
+    /// name strings when the name set is unchanged, which is the steady
+    /// state of a prepared query served repeatedly (the serving layer
+    /// keeps one environment per thread and rebinds it per request).
+    pub fn rebind(&mut self, symbols: &SymbolTable, bindings: &BTreeMap<String, Value>) {
+        if self.entries.len() == bindings.len()
+            && self
+                .entries
                 .iter()
-                .map(|(name, v)| (name.clone(), symbols.try_encode(v)))
-                .collect(),
+                .zip(bindings)
+                .all(|((n, _), (bn, _))| n == bn)
+        {
+            for ((_, c), (_, v)) in self.entries.iter_mut().zip(bindings) {
+                *c = symbols.try_encode(v);
+            }
+        } else {
+            self.entries.clear();
+            self.entries.extend(
+                bindings
+                    .iter()
+                    .map(|(name, v)| (name.clone(), symbols.try_encode(v))),
+            );
         }
     }
 
@@ -173,7 +198,7 @@ impl<'a> ExecContext<'a> {
     }
 
     #[inline]
-    fn charge_fetched(&mut self) -> Result<(), BudgetExhausted> {
+    pub(crate) fn charge_fetched(&mut self) -> Result<(), BudgetExhausted> {
         self.meter.tuples_fetched += 1;
         self.check_budget()
     }
@@ -187,6 +212,17 @@ impl<'a> ExecContext<'a> {
     #[inline]
     fn charge_intermediate(&mut self) -> Result<(), BudgetExhausted> {
         self.meter.intermediate_rows += 1;
+        self.check_budget()
+    }
+
+    /// Charges a whole batch of intermediate rows at once — the columnar
+    /// join's per-bucket boundary. Totals match the row-at-a-time path's
+    /// one-by-one charging exactly; on budget exhaustion only the verdict
+    /// is guaranteed to match (the meter may overshoot by at most one
+    /// bucket, where the row path stops at the first offending row).
+    #[inline]
+    fn charge_intermediate_n(&mut self, n: u64) -> Result<(), BudgetExhausted> {
+        self.meter.intermediate_rows += n;
         self.check_budget()
     }
 }
@@ -309,6 +345,60 @@ impl Fetch<'_> {
             }
         }
         Ok(rows)
+    }
+
+    /// Runs the fetch straight into a column-major batch: matching row ids
+    /// are collected first (charging the meter exactly like [`Fetch::run`]),
+    /// then every projected column is gathered from the table in one
+    /// contiguous pass ([`Table::gather_column`]) — no row materialization.
+    pub fn run_columns(&self, ctx: &mut ExecContext<'_>) -> Result<ColumnBatch, BudgetExhausted> {
+        let mut batch = ColumnBatch::new(self.atom, self.cols.to_vec());
+        let gather = |table: &Table, rids: &[u32], batch: &mut ColumnBatch| {
+            batch.extend_columns(rids.len(), |i, out| {
+                table.gather_column(self.cols[i], rids, out);
+            });
+        };
+        match &self.source {
+            FetchSource::Existence { table } => {
+                if !table.is_empty() {
+                    ctx.charge_fetched()?;
+                    batch.push_row(&[]);
+                }
+            }
+            FetchSource::Scan { table, consts } => {
+                let matchable = consts.iter().all(|(_, c)| c.is_some());
+                let mut rids: Vec<u32> = Vec::new();
+                for (rid, row) in table.rows().enumerate() {
+                    ctx.charge_scanned()?;
+                    if matchable && consts.iter().all(|(i, c)| Some(row[*i]) == *c) {
+                        rids.push(rid as u32);
+                    }
+                }
+                gather(table, &rids, &mut batch);
+            }
+            FetchSource::IndexWitnesses { index, table, keys } => {
+                let mut rids: Vec<u32> = Vec::new();
+                for key in keys {
+                    ctx.meter.index_probes += 1;
+                    for &rid in index.witnesses(key) {
+                        ctx.charge_fetched()?;
+                        rids.push(rid);
+                    }
+                }
+                gather(table, &rids, &mut batch);
+            }
+            FetchSource::IndexPostings { index, table, key } => {
+                ctx.meter.index_probes += 1;
+                if let Some(key) = key {
+                    let postings = index.all(key);
+                    for _ in postings {
+                        ctx.charge_fetched()?;
+                    }
+                    gather(table, postings, &mut batch);
+                }
+            }
+        }
+        Ok(batch)
     }
 }
 
@@ -846,6 +936,28 @@ pub fn run_program_prefiltered(
     Ok(project_program(prog, ctx.db.symbols(), &partials))
 }
 
+/// Seeds one partial assignment (one slot per class) from the compiled
+/// pins: `None` means the answer is empty before any row is touched — a
+/// pin resolved to nothing, or two pins of one class disagree.
+fn seed_from_pins(prog: &OpProgram, resolved: &[Option<Cell>]) -> Option<Vec<Option<Cell>>> {
+    let mut seed: Vec<Option<Cell>> = vec![None; prog.num_classes];
+    for sp in &prog.seeds {
+        let mut pinned: Option<Cell> = None;
+        for &pid in &sp.pins {
+            match resolved[pid] {
+                Some(cell) => match pinned {
+                    None => pinned = Some(cell),
+                    Some(prev) if prev == cell => {}
+                    Some(_) => return None,
+                },
+                None => return None,
+            }
+        }
+        seed[sp.class] = pinned;
+    }
+    Some(seed)
+}
+
 fn run_program_partials_impl(
     prog: &OpProgram,
     mut batches: Vec<Batch>,
@@ -869,22 +981,10 @@ fn run_program_partials_impl(
     // Seed the class slots from the compiled pins. A pin that resolves to
     // nothing, or two pins of one class disagreeing, empties the answer
     // before any row is touched.
-    let mut seed: Box<[Option<Cell>]> = vec![None; prog.num_classes].into_boxed_slice();
-    for sp in &prog.seeds {
-        let mut pinned: Option<Cell> = None;
-        for &pid in &sp.pins {
-            match resolved[pid] {
-                Some(cell) => match pinned {
-                    None => pinned = Some(cell),
-                    Some(prev) if prev == cell => {}
-                    Some(_) => return Ok(Vec::new()),
-                },
-                None => return Ok(Vec::new()),
-            }
-        }
-        seed[sp.class] = pinned;
-    }
-    let mut partials: Vec<Box<[Option<Cell>]>> = vec![seed];
+    let Some(seed) = seed_from_pins(prog, &resolved) else {
+        return Ok(Vec::new());
+    };
+    let mut partials: Vec<Box<[Option<Cell>]>> = vec![seed.into_boxed_slice()];
 
     // The compiled join schedule: batch order, shared classes and key
     // permutations are all precomputed; each step is pure hashing/merging.
@@ -944,6 +1044,424 @@ fn run_program_partials_impl(
         }
     }
     Ok(partials)
+}
+
+// ---------------------------------------------------------------------------
+// The columnar interpreter: vectorized batch execution over `ColumnBatch`.
+// ---------------------------------------------------------------------------
+
+/// Columnar [`filter_program_batches`]: the same compiled checks, executed
+/// as predicate sweeps over single columns that shrink each batch's
+/// selection vector in place — no row is ever materialized or moved.
+pub fn filter_program_columnar(
+    prog: &OpProgram,
+    ctx: &ExecContext<'_>,
+    batches: &mut [ColumnBatch],
+) {
+    let resolved = resolve_pins(prog, ctx);
+    for batch in batches {
+        filter_columnar_resolved(prog, &resolved, batch);
+    }
+}
+
+fn filter_columnar_resolved(prog: &OpProgram, resolved: &[Option<Cell>], batch: &mut ColumnBatch) {
+    let f = &prog.filters[batch.atom()];
+    debug_assert_eq!(
+        batch.cols(),
+        &prog.atom_cols[batch.atom()][..],
+        "batch layout"
+    );
+    for &(i, pin) in &f.checks {
+        match resolved[pin] {
+            Some(cell) => batch.retain_eq_const(i, cell),
+            // A pin that resolves to nothing matches no stored row.
+            None => {
+                batch.clear_sel();
+                return;
+            }
+        }
+    }
+    for &(i, j) in &f.eqs {
+        batch.retain_cols_eq(i, j);
+    }
+}
+
+/// Columnar [`semijoin_program`]: each pass gathers the source batch's
+/// live key cells into a set and sweeps the target's selection vector
+/// against it. Dropped rows are charged as intermediate work, exactly like
+/// the row-at-a-time pass and the query-walking oracle.
+pub fn semijoin_program_columnar(
+    prog: &OpProgram,
+    batches: &mut [ColumnBatch],
+    ctx: &mut ExecContext<'_>,
+) {
+    use bcq_core::fx::FxHashSet;
+    for pass in prog.semijoins() {
+        let dropped = if let [(pi, pj)] = pass.pairs[..] {
+            // Single shared column: single-cell keys, no row assembly.
+            let keys: FxHashSet<Cell> = {
+                let s = &batches[pass.source];
+                s.sel().iter().map(|&r| s.cell(r as usize, pj)).collect()
+            };
+            let t = &batches[pass.target];
+            let keep: Vec<u32> = t
+                .sel()
+                .iter()
+                .copied()
+                .filter(|&r| keys.contains(&t.cell(r as usize, pi)))
+                .collect();
+            let dropped = t.len() - keep.len();
+            batches[pass.target].set_sel(keep);
+            dropped
+        } else {
+            let keys: FxHashSet<RowBuf> = {
+                let s = &batches[pass.source];
+                s.sel()
+                    .iter()
+                    .map(|&r| {
+                        pass.pairs
+                            .iter()
+                            .map(|&(_, pj)| s.cell(r as usize, pj))
+                            .collect()
+                    })
+                    .collect()
+            };
+            let t = &batches[pass.target];
+            let keep: Vec<u32> = t
+                .sel()
+                .iter()
+                .copied()
+                .filter(|&r| {
+                    let key: RowBuf = pass
+                        .pairs
+                        .iter()
+                        .map(|&(pi, _)| t.cell(r as usize, pi))
+                        .collect();
+                    keys.contains(key.as_slice())
+                })
+                .collect();
+            let dropped = t.len() - keep.len();
+            batches[pass.target].set_sel(keep);
+            dropped
+        };
+        ctx.meter.intermediate_rows += dropped as u64;
+    }
+}
+
+/// Decodes the flat columnar partial buffer (stride = `num_classes`)
+/// through the program's projection map.
+pub(crate) fn project_program_flat(
+    prog: &OpProgram,
+    symbols: &SymbolTable,
+    flat: &[Option<Cell>],
+) -> ResultSet {
+    if flat.is_empty() {
+        return ResultSet::empty();
+    }
+    let stride = prog.num_classes;
+    let mut out = Vec::with_capacity(flat.len() / stride);
+    for partial in flat.chunks_exact(stride) {
+        let row: Box<[Value]> = prog
+            .proj_classes
+            .iter()
+            .map(|&c| symbols.decode(partial[c].expect("projection class is bound")))
+            .collect();
+        out.push(row);
+    }
+    ResultSet::from_rows(out)
+}
+
+/// Reusable buffers for the columnar interpreter. The serving layer keeps
+/// one per thread (see `eval_dq`), so a steady-state request runs the whole
+/// join schedule without allocating; the public one-shot entry points
+/// create a fresh (empty) scratch per call instead.
+#[derive(Debug, Default)]
+pub(crate) struct ColumnarScratch {
+    resolved: Vec<Option<Cell>>,
+    cur: Vec<Option<Cell>>,
+    nxt: Vec<Option<Cell>>,
+    keys: Vec<Cell>,
+    binds: Vec<(usize, usize)>,
+    chain: Vec<u32>,
+}
+
+/// [`run_program`] over column-major batches — the vectorized hot path.
+/// Answers and meter charges are identical to the row-at-a-time
+/// interpreter and the query-walking oracle (asserted by the
+/// pipeline-equivalence suite); internally partials live in one flat
+/// ping-pong buffer and no intermediate row is ever materialized.
+pub fn run_program_columnar(
+    prog: &OpProgram,
+    mut batches: Vec<ColumnBatch>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<ResultSet, BudgetExhausted> {
+    let mut scratch = ColumnarScratch::default();
+    let flat = run_program_columnar_impl(prog, &mut batches, ctx, true, &mut scratch)?;
+    Ok(project_program_flat(prog, ctx.db.symbols(), flat))
+}
+
+/// [`run_program_columnar`] stopped before projection, re-boxed per
+/// partial — the boundary where incremental maintenance's derivation
+/// format ([`run_program_partials`]'s) is preserved bit for bit.
+pub fn run_program_columnar_partials(
+    prog: &OpProgram,
+    mut batches: Vec<ColumnBatch>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Vec<Box<[Option<Cell>]>>, BudgetExhausted> {
+    let mut scratch = ColumnarScratch::default();
+    let flat = run_program_columnar_impl(prog, &mut batches, ctx, true, &mut scratch)?;
+    Ok(flat
+        .chunks_exact(prog.num_classes)
+        .map(|p| p.to_vec().into_boxed_slice())
+        .collect())
+}
+
+/// [`run_program_columnar`] for batches the caller already passed through
+/// [`filter_program_columnar`]: skips the second filter pass (the
+/// baseline's filter/prune/reschedule/run sequence).
+pub fn run_program_columnar_prefiltered(
+    prog: &OpProgram,
+    mut batches: Vec<ColumnBatch>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<ResultSet, BudgetExhausted> {
+    let mut scratch = ColumnarScratch::default();
+    let flat = run_program_columnar_impl(prog, &mut batches, ctx, false, &mut scratch)?;
+    Ok(project_program_flat(prog, ctx.db.symbols(), flat))
+}
+
+/// Appends `partial` merged with the batch row `row` onto the flat output
+/// buffer: copy the partial's class slots, then overwrite the step's
+/// `Bind` slots from the row's columns.
+#[inline]
+fn emit_merged(
+    nxt: &mut Vec<Option<Cell>>,
+    partial: &[Option<Cell>],
+    batch: &ColumnBatch,
+    binds: &[(usize, usize)],
+    row: usize,
+) {
+    nxt.extend_from_slice(partial);
+    let base = nxt.len() - partial.len();
+    for &(pos, c) in binds {
+        nxt[base + c] = Some(batch.cell(row, pos));
+    }
+}
+
+/// Above this many (partials × live rows) pairs, a join step hashes the
+/// batch instead of sweeping it per partial. Bounded plans essentially
+/// always stay below it (batch sizes are capped by the access schema's
+/// `N`s), so the hot path is branch-free key sweeps over packed columns.
+const LINEAR_SWEEP_LIMIT: usize = 2048;
+
+pub(crate) fn run_program_columnar_impl<'s>(
+    prog: &OpProgram,
+    batches: &mut [ColumnBatch],
+    ctx: &mut ExecContext<'_>,
+    apply_filters: bool,
+    scratch: &'s mut ColumnarScratch,
+) -> Result<&'s [Option<Cell>], BudgetExhausted> {
+    debug_assert_eq!(batches.len(), prog.num_atoms);
+    debug_assert!(batches.iter().enumerate().all(|(i, b)| b.atom() == i));
+    // All working buffers live in `scratch` (cleared here, capacity kept):
+    // the serving layer lends a per-thread scratch, so a steady-state
+    // request runs the whole schedule without allocating.
+    let ColumnarScratch {
+        resolved,
+        cur,
+        nxt,
+        keys,
+        binds,
+        chain,
+    } = scratch;
+    resolved.clear();
+    {
+        let symbols = ctx.symbols();
+        resolved.extend(prog.pins.iter().map(|p| match p {
+            PinSource::Const(v) => symbols.try_encode(v),
+            PinSource::Param(name) => ctx.params.get(name).flatten(),
+        }));
+    }
+
+    for batch in batches.iter_mut() {
+        if apply_filters {
+            filter_columnar_resolved(prog, resolved, batch);
+        }
+        if batch.is_empty() {
+            return Ok(&[]);
+        }
+    }
+
+    // Seed one partial assignment (one slot per class) from the compiled
+    // pins; a pin resolved to nothing (or two disagreeing pins of one
+    // class) empties the answer before any row is touched.
+    cur.clear();
+    cur.resize(prog.num_classes, None);
+    for sp in &prog.seeds {
+        let mut pinned: Option<Cell> = None;
+        for &pid in &sp.pins {
+            match resolved[pid] {
+                Some(cell) => match pinned {
+                    None => pinned = Some(cell),
+                    Some(prev) if prev == cell => {}
+                    Some(_) => return Ok(&[]),
+                },
+                None => return Ok(&[]),
+            }
+        }
+        cur[sp.class] = pinned;
+    }
+    let stride = prog.num_classes;
+
+    for step in &prog.join_steps {
+        // Row-local duplicate-class sweep: exactly the rows the
+        // row-at-a-time class-walk merge rejects (and never charges).
+        for (pos, action) in step.col_actions.iter().enumerate() {
+            if let ColAction::CheckDup(prev) = *action {
+                batches[step.atom].retain_cols_eq(prev, pos);
+            }
+        }
+        let batch = &batches[step.atom];
+        let live = batch.sel();
+        binds.clear();
+        binds.extend(
+            step.col_actions
+                .iter()
+                .enumerate()
+                .filter_map(|(pos, a)| match *a {
+                    ColAction::Bind(c) => Some((pos, c)),
+                    _ => None,
+                }),
+        );
+        let nparts = cur.len() / stride;
+        nxt.clear();
+
+        if step.shared_pos.is_empty() {
+            // No shared classes: cross product (after the dup sweep every
+            // pair merges, so the whole bucket is charged at once).
+            for pi in 0..nparts {
+                let partial = &cur[pi * stride..(pi + 1) * stride];
+                for &r in live {
+                    emit_merged(nxt, partial, batch, binds, r as usize);
+                }
+                if !live.is_empty() {
+                    ctx.charge_intermediate_n(live.len() as u64)?;
+                }
+            }
+        } else if nparts * live.len() <= LINEAR_SWEEP_LIMIT {
+            // Small step: sweep the packed key column(s) once per partial —
+            // cheaper than building a hash table, and the single-key common
+            // case is a branch-free equality scan over contiguous `u64`s.
+            if let [p] = step.shared_pos[..] {
+                keys.clear();
+                batch.gather(p, keys);
+                let cls = step.shared_classes[0];
+                for pi in 0..nparts {
+                    let partial = &cur[pi * stride..(pi + 1) * stride];
+                    let want = partial[cls].expect("shared class is bound");
+                    let mut made = 0u64;
+                    for (li, &k) in keys.iter().enumerate() {
+                        if k == want {
+                            emit_merged(nxt, partial, batch, binds, live[li] as usize);
+                            made += 1;
+                        }
+                    }
+                    if made > 0 {
+                        ctx.charge_intermediate_n(made)?;
+                    }
+                }
+            } else {
+                for pi in 0..nparts {
+                    let partial = &cur[pi * stride..(pi + 1) * stride];
+                    let mut made = 0u64;
+                    'rows: for &r in live {
+                        for (&c, &p) in step.shared_classes.iter().zip(&step.shared_pos) {
+                            if partial[c] != Some(batch.cell(r as usize, p)) {
+                                continue 'rows;
+                            }
+                        }
+                        emit_merged(nxt, partial, batch, binds, r as usize);
+                        made += 1;
+                    }
+                    if made > 0 {
+                        ctx.charge_intermediate_n(made)?;
+                    }
+                }
+            }
+        } else {
+            // Large step: hash the batch on the key columns (linked-list
+            // buckets through one `chain` array, newest first).
+            const NIL: u32 = u32::MAX;
+            chain.clear();
+            chain.reserve(live.len());
+            if let [p] = step.shared_pos[..] {
+                keys.clear();
+                batch.gather(p, keys);
+                let mut head: FxHashMap<Cell, u32> = FxHashMap::default();
+                head.reserve(keys.len());
+                for (li, &k) in keys.iter().enumerate() {
+                    let h = head.entry(k).or_insert(NIL);
+                    chain.push(*h);
+                    *h = li as u32;
+                }
+                let cls = step.shared_classes[0];
+                for pi in 0..nparts {
+                    let partial = &cur[pi * stride..(pi + 1) * stride];
+                    let want = partial[cls].expect("shared class is bound");
+                    let Some(&h) = head.get(&want) else {
+                        continue;
+                    };
+                    let mut cursor = h;
+                    let mut made = 0u64;
+                    while cursor != NIL {
+                        let li = cursor as usize;
+                        cursor = chain[li];
+                        emit_merged(nxt, partial, batch, binds, live[li] as usize);
+                        made += 1;
+                    }
+                    ctx.charge_intermediate_n(made)?;
+                }
+            } else {
+                let mut head: FxHashMap<RowBuf, u32> = FxHashMap::default();
+                head.reserve(live.len());
+                for (li, &r) in live.iter().enumerate() {
+                    let key: RowBuf = step
+                        .shared_pos
+                        .iter()
+                        .map(|&p| batch.cell(r as usize, p))
+                        .collect();
+                    let h = head.entry(key).or_insert(NIL);
+                    chain.push(*h);
+                    *h = li as u32;
+                }
+                for pi in 0..nparts {
+                    let partial = &cur[pi * stride..(pi + 1) * stride];
+                    let key: RowBuf = step
+                        .shared_classes
+                        .iter()
+                        .map(|&c| partial[c].expect("shared class is bound"))
+                        .collect();
+                    let Some(&h) = head.get(key.as_slice()) else {
+                        continue;
+                    };
+                    let mut cursor = h;
+                    let mut made = 0u64;
+                    while cursor != NIL {
+                        let li = cursor as usize;
+                        cursor = chain[li];
+                        emit_merged(nxt, partial, batch, binds, live[li] as usize);
+                        made += 1;
+                    }
+                    ctx.charge_intermediate_n(made)?;
+                }
+            }
+        }
+
+        std::mem::swap(cur, nxt);
+        if cur.is_empty() {
+            return Ok(&[]);
+        }
+    }
+    Ok(cur)
 }
 
 #[cfg(test)]
@@ -1367,6 +1885,301 @@ mod tests {
         // And the pass actually pruned something, in both.
         assert_eq!(compiled[0].rows.len(), 3);
         assert_eq!(compiled[1].rows.len(), 2);
+    }
+
+    /// Transposes a row-major test batch into the columnar layout.
+    fn colbatch(b: &Batch) -> ColumnBatch {
+        ColumnBatch::from_rows(b.atom, b.cols.clone(), b.rows.iter().map(|r| r.as_slice()))
+    }
+
+    #[test]
+    fn columnar_program_matches_row_interpreter() {
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let layouts = vec![vec![0, 1], vec![0, 1]];
+        let prog = OpProgram::compile(&q, &sigma, &layouts, None);
+        let make = || {
+            vec![
+                Batch {
+                    atom: 0,
+                    cols: vec![0, 1],
+                    rows: rows(&[&[1, 10], &[2, 20], &[3, 30]]),
+                },
+                Batch {
+                    atom: 1,
+                    cols: vec![0, 1],
+                    rows: rows(&[&[10, 100], &[20, 200], &[99, 999]]),
+                },
+            ]
+        };
+        let db = dummy_db();
+        let mut rctx = ExecContext::new(&db, None);
+        let row_rs = run_program(&prog, make(), &mut rctx).unwrap();
+        let mut cctx = ExecContext::new(&db, None);
+        let col_rs =
+            run_program_columnar(&prog, make().iter().map(colbatch).collect(), &mut cctx).unwrap();
+        assert_eq!(col_rs, row_rs);
+        assert_eq!(cctx.meter, rctx.meter, "identical charges");
+        // And the partials boundary preserves the derivation format.
+        let mut pctx = ExecContext::new(&db, None);
+        let col_parts =
+            run_program_columnar_partials(&prog, make().iter().map(colbatch).collect(), &mut pctx)
+                .unwrap();
+        let mut qctx = ExecContext::new(&db, None);
+        let mut row_parts = run_program_partials(&prog, make(), &mut qctx).unwrap();
+        let mut col_sorted = col_parts;
+        col_sorted.sort();
+        row_parts.sort();
+        assert_eq!(col_sorted, row_parts);
+    }
+
+    #[test]
+    fn columnar_join_handles_duplicate_keys() {
+        // Duplicate join-key values on both sides (including a fully
+        // duplicated row): every pairing must be produced and charged
+        // exactly as the row-at-a-time interpreter does.
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let layouts = vec![vec![0, 1], vec![0, 1]];
+        let prog = OpProgram::compile(&q, &sigma, &layouts, None);
+        let make = || {
+            vec![
+                Batch {
+                    atom: 0,
+                    cols: vec![0, 1],
+                    rows: rows(&[&[1, 10], &[2, 10], &[2, 10], &[3, 20]]),
+                },
+                Batch {
+                    atom: 1,
+                    cols: vec![0, 1],
+                    rows: rows(&[&[10, 100], &[10, 200], &[20, 300]]),
+                },
+            ]
+        };
+        let db = dummy_db();
+        let mut rctx = ExecContext::new(&db, None);
+        let row_rs = run_program(&prog, make(), &mut rctx).unwrap();
+        let mut cctx = ExecContext::new(&db, None);
+        let col_rs =
+            run_program_columnar(&prog, make().iter().map(colbatch).collect(), &mut cctx).unwrap();
+        assert_eq!(col_rs, row_rs);
+        assert_eq!(cctx.meter, rctx.meter);
+        // 3 rows key 10 × 2 matches + 1 row key 20 × 1 match, both steps.
+        assert!(cctx.meter.intermediate_rows >= 7);
+    }
+
+    #[test]
+    fn columnar_empty_batch_short_circuits() {
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let prog = OpProgram::compile(&q, &sigma, &[vec![0, 1], vec![0, 1]], None);
+        let batches = vec![
+            ColumnBatch::new(0, vec![0, 1]),
+            colbatch(&Batch {
+                atom: 1,
+                cols: vec![0, 1],
+                rows: rows(&[&[10, 100]]),
+            }),
+        ];
+        let db = dummy_db();
+        let mut ctx = ExecContext::new(&db, None);
+        let rs = run_program_columnar(&prog, batches, &mut ctx).unwrap();
+        assert!(rs.is_empty());
+        assert_eq!(ctx.meter.intermediate_rows, 0, "nothing joined");
+    }
+
+    #[test]
+    fn columnar_all_filtered_batch_short_circuits() {
+        // The filter sweep deselects every row of one batch: the program
+        // must return empty without charging any join work, leaving the
+        // batch's columns intact (only the selection vector drains).
+        let cat = Catalog::from_names(&[("r", &["a", "b"])]).unwrap();
+        let q = SpcQuery::builder(cat, "f")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 7)
+            .project(("r", "b"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let prog = OpProgram::compile(&q, &sigma, &[vec![0, 1]], None);
+        let mut batch = colbatch(&Batch {
+            atom: 0,
+            cols: vec![0, 1],
+            rows: rows(&[&[1, 10], &[2, 20]]),
+        });
+        let db = dummy_db();
+        let ctx = ExecContext::new(&db, None);
+        filter_program_columnar(&prog, &ctx, std::slice::from_mut(&mut batch));
+        assert!(batch.is_empty());
+        assert_eq!(batch.total_rows(), 2, "columns untouched");
+        let mut ctx = ExecContext::new(&db, None);
+        let rs = run_program_columnar(&prog, vec![batch], &mut ctx).unwrap();
+        assert!(rs.is_empty());
+        assert_eq!(ctx.meter.intermediate_rows, 0);
+    }
+
+    #[test]
+    fn columnar_filter_matches_oracle() {
+        let cat = Catalog::from_names(&[("r", &["a", "b", "c"])]).unwrap();
+        let q = SpcQuery::builder(cat, "f")
+            .atom("r", "r")
+            .eq_const(("r", "a"), 1)
+            .eq(("r", "b"), ("r", "c"))
+            .project(("r", "b"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let prog = OpProgram::compile(&q, &sigma, &[vec![0, 1, 2]], None);
+        let data: &[&[i64]] = &[&[1, 5, 5], &[1, 5, 6], &[2, 7, 7], &[1, 9, 9]];
+        let db = dummy_db();
+        let ctx = ExecContext::new(&db, None);
+        let mut columnar = colbatch(&Batch {
+            atom: 0,
+            cols: vec![0, 1, 2],
+            rows: rows(data),
+        });
+        filter_program_columnar(&prog, &ctx, std::slice::from_mut(&mut columnar));
+        let mut oracle = Batch {
+            atom: 0,
+            cols: vec![0, 1, 2],
+            rows: rows(data),
+        };
+        FilterAtom {
+            query: &q,
+            sigma: &sigma,
+        }
+        .apply(&ctx, &mut oracle);
+        assert_eq!(columnar.to_rows(), oracle.rows);
+        assert_eq!(columnar.sel(), &[0, 3], "selection keeps original indices");
+    }
+
+    #[test]
+    fn columnar_semijoin_matches_row_semijoin() {
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let layouts = vec![vec![0, 1], vec![0, 1]];
+        let prog = OpProgram::compile(&q, &sigma, &layouts, None);
+        let make = || {
+            vec![
+                Batch {
+                    atom: 0,
+                    cols: vec![0, 1],
+                    rows: rows(&[&[1, 10], &[2, 99], &[3, 20], &[4, 20]]),
+                },
+                Batch {
+                    atom: 1,
+                    cols: vec![0, 1],
+                    rows: rows(&[&[10, 100], &[20, 200], &[55, 500]]),
+                },
+            ]
+        };
+        let db = dummy_db();
+        let mut rctx = ExecContext::new(&db, None);
+        let mut row_batches = make();
+        semijoin_program(&prog, &mut row_batches, &mut rctx);
+        let mut cctx = ExecContext::new(&db, None);
+        let mut col_batches: Vec<ColumnBatch> = make().iter().map(colbatch).collect();
+        semijoin_program_columnar(&prog, &mut col_batches, &mut cctx);
+        for (c, r) in col_batches.iter().zip(&row_batches) {
+            assert_eq!(c.to_rows(), r.rows, "atom {}", c.atom());
+        }
+        assert_eq!(cctx.meter.intermediate_rows, rctx.meter.intermediate_rows);
+    }
+
+    #[test]
+    fn columnar_dup_class_sweep_matches_merge_conflicts() {
+        // An unfiltered batch with an intra-atom repeated class reaches the
+        // join (prefiltered entry point): the selection sweep must drop
+        // exactly the rows the row-at-a-time merge rejects, uncharged.
+        let cat = Catalog::from_names(&[("r", &["a", "b"])]).unwrap();
+        let q = SpcQuery::builder(cat, "dup")
+            .atom("r", "r")
+            .eq(("r", "a"), ("r", "b"))
+            .project(("r", "a"))
+            .build()
+            .unwrap();
+        let sigma = Sigma::build(&q);
+        let prog = OpProgram::compile(&q, &sigma, &[vec![0, 1]], None);
+        let make = || {
+            vec![Batch {
+                atom: 0,
+                cols: vec![0, 1],
+                rows: rows(&[&[1, 1], &[1, 2], &[3, 3]]),
+            }]
+        };
+        let db = dummy_db();
+        let mut rctx = ExecContext::new(&db, None);
+        let row_rs = run_program_prefiltered(&prog, make(), &mut rctx).unwrap();
+        let mut cctx = ExecContext::new(&db, None);
+        let col_rs = run_program_columnar_prefiltered(
+            &prog,
+            make().iter().map(colbatch).collect(),
+            &mut cctx,
+        )
+        .unwrap();
+        assert_eq!(col_rs, row_rs);
+        assert_eq!(col_rs.len(), 2);
+        assert_eq!(cctx.meter, rctx.meter);
+        assert_eq!(
+            cctx.meter.intermediate_rows, 2,
+            "conflict row never charged"
+        );
+    }
+
+    #[test]
+    fn columnar_program_respects_budget() {
+        let q = two_rel_query();
+        let sigma = Sigma::build(&q);
+        let layouts = vec![vec![0, 1], vec![0, 1]];
+        let prog = OpProgram::compile(&q, &sigma, &layouts, None);
+        let big: Vec<RowBuf> = (0..100).map(|i| rows(&[&[i, i]]).pop().unwrap()).collect();
+        let batches: Vec<ColumnBatch> = [
+            Batch {
+                atom: 0,
+                cols: vec![0, 1],
+                rows: big.clone(),
+            },
+            Batch {
+                atom: 1,
+                cols: vec![0, 1],
+                rows: big,
+            },
+        ]
+        .iter()
+        .map(colbatch)
+        .collect();
+        let db = dummy_db();
+        let mut ctx = ExecContext::new(&db, Some(10));
+        assert_eq!(
+            run_program_columnar(&prog, batches, &mut ctx),
+            Err(BudgetExhausted)
+        );
+        assert!(ctx.meter.work() > 10);
+    }
+
+    #[test]
+    fn columnar_fetch_matches_row_fetch() {
+        let cat = Catalog::from_names(&[("r", &["a", "b"])]).unwrap();
+        let mut db = Database::new(cat);
+        for (a, b) in [(1, 10), (2, 20), (1, 30)] {
+            db.insert("r", &[Value::int(a), Value::int(b)]).unwrap();
+        }
+        let want = db.symbols().try_encode(&Value::int(1));
+        let make_fetch = || Fetch {
+            atom: 0,
+            cols: &[1, 0],
+            source: FetchSource::Scan {
+                table: db.table(bcq_core::prelude::RelId(0)),
+                consts: vec![(0, want)],
+            },
+        };
+        let mut rctx = ExecContext::new(&db, None);
+        let row_batch = make_fetch().run(&mut rctx).unwrap();
+        let mut cctx = ExecContext::new(&db, None);
+        let col_batch = make_fetch().run_columns(&mut cctx).unwrap();
+        assert_eq!(col_batch.to_rows(), row_batch.rows);
+        assert_eq!(col_batch.cols(), &[1, 0][..], "projection permutes");
+        assert_eq!(cctx.meter, rctx.meter);
     }
 
     #[test]

@@ -7,14 +7,17 @@
 //! and executed — effectively bounded by the certification, so each probe
 //! touches a bounded set.
 
-use crate::eval_dq::eval_dq;
+use crate::eval_dq::{eval_dq, eval_dq_with};
+use crate::pipeline::ParamEnv;
 use crate::results::ResultSet;
 use bcq_core::access::AccessSchema;
 use bcq_core::error::{CoreError, Result};
+use bcq_core::plan::QueryPlan;
 use bcq_core::prelude::{QAttr, SpcQuery, Value};
-use bcq_core::qplan::qplan;
+use bcq_core::qplan::{qplan, qplan_template};
 use bcq_core::ra::{membership_checkable, ra_effectively_bounded, RaExpr};
 use bcq_storage::Database;
+use std::collections::BTreeMap;
 
 /// Result of a bounded RA evaluation.
 #[derive(Debug, Clone)]
@@ -73,6 +76,210 @@ fn enumerate(db: &Database, expr: &RaExpr, a: &AccessSchema) -> Result<RaOutcome
             }
         }
         RaExpr::Difference(l, r) => filter_by_membership(db, l, r, a, false),
+    }
+}
+
+/// A certified RA expression compiled for repeated execution — the
+/// serving-layer counterpart of [`eval_ra`].
+///
+/// Preparation certifies the expression **once** (templates via a sentinel
+/// instantiation: certification depends only on *which* attributes are
+/// pinned, never on the pinned values, and a binding that repeats a value
+/// across slots only merges `Σ_Q` classes, which can never un-certify) and
+/// compiles every enumerable SPC block to its parameterized bounded plan —
+/// operator program included — plus a fixed evaluation skeleton with the
+/// intersection orientation resolved. Execution
+/// ([`eval_ra_prepared`]) walks the skeleton with zero certification or
+/// per-block planning work. Only membership probes still plan per probe:
+/// each one pins the candidate tuple as constants, so its plan depends on
+/// the probed value.
+#[derive(Debug, Clone)]
+pub struct PreparedRa {
+    root: PreparedRaNode,
+}
+
+#[derive(Debug, Clone)]
+enum PreparedRaNode {
+    /// An enumerable block with its bounded plan compiled at prepare time.
+    /// Boxed: a `QueryPlan` (with its compiled program) dwarfs the other
+    /// variants, and nodes are cloned when cache entries are shared.
+    Enum { plan: Box<QueryPlan> },
+    /// Union of two prepared sides.
+    Union(Box<PreparedRaNode>, Box<PreparedRaNode>),
+    /// Enumerate `base`; keep rows whose membership in `probe` matches
+    /// `keep_members` (intersection with the orientation already chosen,
+    /// or difference).
+    Filter {
+        base: Box<PreparedRaNode>,
+        probe: RaExpr,
+        probe_has_params: bool,
+        keep_members: bool,
+    },
+}
+
+impl PreparedRa {
+    /// Certifies and compiles `expr` under `a`. Fails with
+    /// [`CoreError::NotEffectivelyBounded`] exactly when [`eval_ra`] would
+    /// reject the (instantiated) expression.
+    pub fn prepare(expr: &RaExpr, a: &AccessSchema) -> Result<Self> {
+        expr.validate()?;
+        let slots = placeholder_names(expr);
+        // Analysis (certification + orientation) runs on a ground shape:
+        // the expression itself when it has no slots, else a sentinel
+        // instantiation with a distinct value per slot — the conservative
+        // case whose certificate covers every future binding.
+        let sentinel_ground = (!slots.is_empty()).then(|| {
+            let sentinels: BTreeMap<String, Value> = slots
+                .iter()
+                .enumerate()
+                .map(|(i, name)| (name.clone(), Value::str(format!("\u{1}slot-{i}"))))
+                .collect();
+            instantiate(expr, &sentinels)
+        });
+        let analyzed = sentinel_ground.as_ref().unwrap_or(expr);
+        let report = ra_effectively_bounded(analyzed, a);
+        if !report.effectively_bounded {
+            return Err(CoreError::NotEffectivelyBounded(
+                report.failure.unwrap_or_default(),
+            ));
+        }
+        Ok(PreparedRa {
+            root: prepare_node(expr, analyzed, a)?,
+        })
+    }
+}
+
+/// Builds the evaluation skeleton, walking the template and its analyzed
+/// (ground) shape in lockstep: plans are compiled from the template
+/// (placeholders become plan slots), orientation decisions are made on the
+/// ground shape — mirroring what [`enumerate`] decides per request.
+fn prepare_node(expr: &RaExpr, ground: &RaExpr, a: &AccessSchema) -> Result<PreparedRaNode> {
+    let has_params = |e: &RaExpr| e.blocks().iter().any(|q| q.has_placeholders());
+    match (expr, ground) {
+        (RaExpr::Spc(q), RaExpr::Spc(_)) => Ok(PreparedRaNode::Enum {
+            plan: Box::new(qplan_template(q, a)?),
+        }),
+        (RaExpr::Union(l, r), RaExpr::Union(gl, gr)) => Ok(PreparedRaNode::Union(
+            Box::new(prepare_node(l, gl, a)?),
+            Box::new(prepare_node(r, gr, a)?),
+        )),
+        (RaExpr::Intersect(l, r), RaExpr::Intersect(gl, gr)) => {
+            let l_ok = ra_effectively_bounded(gl, a).effectively_bounded && probeable(gr, a);
+            let (base, gbase, probe) = if l_ok { (l, gl, r) } else { (r, gr, l) };
+            Ok(PreparedRaNode::Filter {
+                base: Box::new(prepare_node(base, gbase, a)?),
+                probe: (**probe).clone(),
+                probe_has_params: has_params(probe),
+                keep_members: true,
+            })
+        }
+        (RaExpr::Difference(l, r), RaExpr::Difference(gl, _gr)) => Ok(PreparedRaNode::Filter {
+            base: Box::new(prepare_node(l, gl, a)?),
+            probe: (**r).clone(),
+            probe_has_params: has_params(r),
+            keep_members: false,
+        }),
+        _ => unreachable!("template and its instantiation share one shape"),
+    }
+}
+
+/// Executes a prepared RA expression against per-request bindings.
+///
+/// `params` carries the bindings interned against `db`'s symbol table (the
+/// enumerable blocks' plans consume them directly, like
+/// [`crate::eval_dq::eval_dq_with`]); `bindings` carries the same values
+/// un-encoded, for probe sides — a probe pins the candidate tuple as
+/// constants, so its query is instantiated per request, not per prepare.
+pub fn eval_ra_prepared(
+    db: &Database,
+    prepared: &PreparedRa,
+    a: &AccessSchema,
+    params: &ParamEnv,
+    bindings: &BTreeMap<String, Value>,
+) -> Result<RaOutcome> {
+    eval_prepared_node(db, &prepared.root, a, params, bindings)
+}
+
+fn eval_prepared_node(
+    db: &Database,
+    node: &PreparedRaNode,
+    a: &AccessSchema,
+    params: &ParamEnv,
+    bindings: &BTreeMap<String, Value>,
+) -> Result<RaOutcome> {
+    match node {
+        PreparedRaNode::Enum { plan } => {
+            let out = eval_dq_with(db, plan, a, params)?;
+            Ok(RaOutcome {
+                result: out.result,
+                tuples_fetched: out.meter.tuples_fetched,
+                probes: 0,
+            })
+        }
+        PreparedRaNode::Union(l, r) => {
+            let lo = eval_prepared_node(db, l, a, params, bindings)?;
+            let ro = eval_prepared_node(db, r, a, params, bindings)?;
+            let mut rows = lo.result.rows().to_vec();
+            rows.extend(ro.result.rows().iter().cloned());
+            Ok(RaOutcome {
+                result: ResultSet::from_rows(rows),
+                tuples_fetched: lo.tuples_fetched + ro.tuples_fetched,
+                probes: lo.probes + ro.probes,
+            })
+        }
+        PreparedRaNode::Filter {
+            base,
+            probe,
+            probe_has_params,
+            keep_members,
+        } => {
+            let mut out = eval_prepared_node(db, base, a, params, bindings)?;
+            let ground;
+            let probe = if *probe_has_params {
+                ground = instantiate(probe, bindings);
+                &ground
+            } else {
+                probe
+            };
+            let mut kept = Vec::new();
+            for row in out.result.rows() {
+                let (is_member, fetched, probes) = probe_membership(db, probe, a, row)?;
+                out.tuples_fetched += fetched;
+                out.probes += probes;
+                if is_member == *keep_members {
+                    kept.push(row.clone());
+                }
+            }
+            out.result = ResultSet::from_rows(kept);
+            Ok(out)
+        }
+    }
+}
+
+/// Placeholder names across every SPC block, in first-use order.
+fn placeholder_names(expr: &RaExpr) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for q in expr.blocks() {
+        for name in q.placeholder_names() {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    names
+}
+
+/// Instantiates every block's placeholders from `bindings`.
+fn instantiate(expr: &RaExpr, bindings: &BTreeMap<String, Value>) -> RaExpr {
+    match expr {
+        RaExpr::Spc(q) => RaExpr::Spc(q.instantiate(bindings)),
+        RaExpr::Union(l, r) => RaExpr::union(instantiate(l, bindings), instantiate(r, bindings)),
+        RaExpr::Intersect(l, r) => {
+            RaExpr::intersect(instantiate(l, bindings), instantiate(r, bindings))
+        }
+        RaExpr::Difference(l, r) => {
+            RaExpr::difference(instantiate(l, bindings), instantiate(r, bindings))
+        }
     }
 }
 
@@ -251,6 +458,80 @@ mod tests {
         assert_eq!(out.result.len(), 1);
         assert!(out.result.contains(&[Value::str("p1")]));
         assert!(out.probes > 0);
+    }
+
+    #[test]
+    fn prepared_expression_matches_eval_ra() {
+        let (db, a) = setup();
+        let exprs = [
+            RaExpr::union(
+                RaExpr::Spc(album_photos("a", "a0", &db)),
+                RaExpr::Spc(album_photos("b", "a1", &db)),
+            ),
+            RaExpr::difference(
+                RaExpr::Spc(album_photos("a", "a0", &db)),
+                RaExpr::Spc(tagged_photos("t", "u0", &db)),
+            ),
+            RaExpr::intersect(
+                RaExpr::Spc(tagged_photos("t", "u0", &db)),
+                RaExpr::Spc(album_photos("a", "a0", &db)),
+            ),
+        ];
+        for e in &exprs {
+            let fresh = eval_ra(&db, e, &a).unwrap();
+            let prepared = PreparedRa::prepare(e, &a).unwrap();
+            let served = eval_ra_prepared(
+                &db,
+                &prepared,
+                &a,
+                crate::pipeline::ParamEnv::empty_ref(),
+                &BTreeMap::new(),
+            )
+            .unwrap();
+            assert_eq!(served.result, fresh.result);
+            assert_eq!(served.tuples_fetched, fresh.tuples_fetched);
+            assert_eq!(served.probes, fresh.probes);
+        }
+    }
+
+    #[test]
+    fn prepared_template_serves_bindings() {
+        let (db, a) = setup();
+        let album_tpl = SpcQuery::builder(db.catalog().clone(), "al")
+            .atom("in_album", "ia")
+            .eq_param(("ia", "album_id"), "album")
+            .project(("ia", "photo_id"))
+            .build()
+            .unwrap();
+        let tagged_tpl = SpcQuery::builder(db.catalog().clone(), "tg")
+            .atom("tagging", "t")
+            .eq_param(("t", "taggee_id"), "user")
+            .project(("t", "photo_id"))
+            .build()
+            .unwrap();
+        // Photos of ?album in which ?user is NOT tagged.
+        let e = RaExpr::difference(RaExpr::Spc(album_tpl), RaExpr::Spc(tagged_tpl));
+        let prepared = PreparedRa::prepare(&e, &a).unwrap();
+        for (album, user, want) in [("a0", "u0", 2), ("a1", "u0", 0), ("a0", "u5", 3)] {
+            let mut bindings = BTreeMap::new();
+            bindings.insert("album".to_string(), Value::str(album));
+            bindings.insert("user".to_string(), Value::str(user));
+            let env = crate::pipeline::ParamEnv::encode(db.symbols(), &bindings);
+            let served = eval_ra_prepared(&db, &prepared, &a, &env, &bindings).unwrap();
+            assert_eq!(served.result.len(), want, "({album}, {user})");
+            // The ground expression through the one-shot evaluator agrees.
+            let ground = super::instantiate(&e, &bindings);
+            let fresh = eval_ra(&db, &ground, &a).unwrap();
+            assert_eq!(served.result, fresh.result, "({album}, {user})");
+        }
+    }
+
+    #[test]
+    fn prepare_rejects_uncertified_expressions() {
+        let (db, a) = setup();
+        let e = RaExpr::Spc(tagged_photos("t", "u0", &db));
+        let err = PreparedRa::prepare(&e, &a).unwrap_err();
+        assert!(matches!(err, CoreError::NotEffectivelyBounded(_)));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use bcq_core::access::AccessSchema;
 use bcq_core::plan::QueryPlan;
 use bcq_core::prelude::{OpProgram, Predicate, RaExpr, RelId, SpcQuery};
+use bcq_exec::PreparedRa;
 use std::fmt::Write as _;
 
 /// How a prepared query executes.
@@ -26,12 +27,12 @@ pub enum Lane {
     /// Effectively bounded: compiled plan, `eval_dq` data plane. Per-request
     /// cost independent of `|D|`.
     Bounded,
-    /// A certified RA expression: evaluated boundedly through `eval_ra`.
-    /// Preparation caches the certification (and, for templates, the slot
-    /// metadata), but `eval_ra` still re-plans each SPC block per request
-    /// (each per-block plan carries its own compiled operator program, so
-    /// execution itself is compiled — caching the per-block *plans* across
-    /// requests remains a follow-on).
+    /// A certified RA expression: evaluated boundedly through the
+    /// compiled [`PreparedRa`] skeleton. Preparation caches the
+    /// certification **and** every enumerable block's parameterized plan
+    /// (operator program included) plus the resolved set-operation
+    /// orientation; per request only membership probes still plan, since
+    /// each probe pins the candidate tuple as constants.
     BoundedRa,
     /// Not effectively bounded: admitted onto the conventional baseline
     /// under a hard work budget (never under a strict admission policy).
@@ -55,6 +56,7 @@ pub struct PreparedQuery {
     lane: Lane,
     plan: Option<QueryPlan>,
     ra: Option<RaExpr>,
+    prepared_ra: Option<PreparedRa>,
     slots: Vec<String>,
     read_rels: Vec<RelId>,
     fingerprint: String,
@@ -65,20 +67,26 @@ impl PreparedQuery {
         // Force the lazy operator-program compile here, at prepare time, so
         // the first request served from this entry pays execution only.
         plan.program();
-        let slots = plan.param_slots();
+        let slots = plan.param_slots().to_vec();
         let read_rels = template.read_rels();
         PreparedQuery {
             template,
             lane: Lane::Bounded,
             plan: Some(plan),
             ra: None,
+            prepared_ra: None,
             slots,
             read_rels,
             fingerprint,
         }
     }
 
-    pub(crate) fn bounded_ra(template: SpcQuery, ra: RaExpr, fingerprint: String) -> Self {
+    pub(crate) fn bounded_ra(
+        template: SpcQuery,
+        ra: RaExpr,
+        compiled: PreparedRa,
+        fingerprint: String,
+    ) -> Self {
         // Slots are the union across all SPC blocks (a template can spread
         // its placeholders over both sides of a set operation); likewise
         // the read set.
@@ -99,6 +107,7 @@ impl PreparedQuery {
             lane: Lane::BoundedRa,
             plan: None,
             ra: Some(ra),
+            prepared_ra: Some(compiled),
             slots,
             read_rels,
             fingerprint,
@@ -113,6 +122,7 @@ impl PreparedQuery {
             lane: Lane::Unbounded,
             plan: None,
             ra: None,
+            prepared_ra: None,
             slots,
             read_rels,
             fingerprint,
@@ -144,6 +154,13 @@ impl PreparedQuery {
     /// The certified RA expression ([`Lane::BoundedRa`] only).
     pub fn ra(&self) -> Option<&RaExpr> {
         self.ra.as_ref()
+    }
+
+    /// The compiled RA evaluation skeleton — per-block plans and resolved
+    /// orientation — the bounded-RA lane executes per request
+    /// ([`Lane::BoundedRa`] only).
+    pub fn prepared_ra(&self) -> Option<&PreparedRa> {
+        self.prepared_ra.as_ref()
     }
 
     /// Parameter slots a request must bind, in first-use order.

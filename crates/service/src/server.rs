@@ -27,15 +27,22 @@ use bcq_core::access::AccessSchema;
 use bcq_core::error::CoreError;
 use bcq_core::prelude::{parse_spc, RaExpr, RelId, SpcQuery, Value};
 use bcq_core::qplan::qplan_template;
-use bcq_exec::ra::eval_ra;
+use bcq_exec::ra::eval_ra_prepared;
 use bcq_exec::{
     baseline, eval_dq_with, BaselineMode, BaselineOptions, BaselineOutcome, IncrementalAnswer,
-    ParamEnv, ResultSet,
+    ParamEnv, PreparedRa, ResultSet,
 };
 use bcq_storage::{Database, Meter};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// The bounded lane's per-request parameter environment, rebound in
+    /// place per request (see [`ParamEnv::rebind`]).
+    static REQUEST_ENV: RefCell<ParamEnv> = RefCell::new(ParamEnv::new());
+}
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -377,41 +384,33 @@ impl Server {
         if let RaExpr::Spc(q) = expr {
             return self.classify_spc(q);
         }
-        // Templates: certification depends only on *which* attributes are
-        // pinned, never on the pinned values, so certify a sentinel
-        // instantiation with a distinct value per slot. Distinct sentinels
-        // are the conservative case — a real binding that repeats a value
-        // across slots only merges `Σ_Q` classes, which grows the closure
-        // and can never un-certify — so this certificate covers every
-        // future binding.
-        let slots = ra_placeholder_names(expr);
-        let report = if slots.is_empty() {
-            bcq_core::ra::ra_effectively_bounded(expr, &self.access)
-        } else {
-            let sentinels: BTreeMap<String, Value> = slots
-                .iter()
-                .enumerate()
-                .map(|(i, name)| (name.clone(), Value::str(format!("\u{1}slot-{i}"))))
-                .collect();
-            bcq_core::ra::ra_effectively_bounded(&instantiate_ra(expr, &sentinels), &self.access)
-        };
-        if report.effectively_bounded {
-            // The template stored is the first block (for slot metadata);
-            // evaluation walks the whole expression.
-            let template = match expr.blocks().first() {
-                Some(q) => (*q).clone(),
-                None => return Err(ServiceError::Rejected("empty RA expression".into())),
-            };
-            Ok(PreparedQuery::bounded_ra(
-                template,
-                expr.clone(),
-                ra_fingerprint(expr),
-            ))
-        } else {
-            Err(ServiceError::Rejected(format!(
-                "RA expression is not certified effectively bounded: {}",
-                report.failure.unwrap_or_default()
-            )))
+        // Certification and per-block plan compilation happen here, once:
+        // [`PreparedRa::prepare`] certifies the expression (templates via a
+        // sentinel instantiation — certification depends only on *which*
+        // attributes are pinned, and a binding that repeats a value across
+        // slots only merges `Σ_Q` classes, which can never un-certify),
+        // compiles every enumerable block's parameterized plan, and
+        // resolves the set-operation orientation. The cache stores the
+        // whole skeleton; requests only bind and interpret.
+        match PreparedRa::prepare(expr, &self.access) {
+            Ok(compiled) => {
+                // The template stored is the first block (for slot
+                // metadata); evaluation walks the whole expression.
+                let template = match expr.blocks().first() {
+                    Some(q) => (*q).clone(),
+                    None => return Err(ServiceError::Rejected("empty RA expression".into())),
+                };
+                Ok(PreparedQuery::bounded_ra(
+                    template,
+                    expr.clone(),
+                    compiled,
+                    ra_fingerprint(expr),
+                ))
+            }
+            Err(CoreError::NotEffectivelyBounded(why)) => Err(ServiceError::Rejected(format!(
+                "RA expression is not certified effectively bounded: {why}"
+            ))),
+            Err(e) => Err(e.into()),
         }
     }
 
@@ -429,9 +428,15 @@ impl Server {
         match p.lane() {
             Lane::Bounded => {
                 let plan = p.plan().expect("bounded lane has a plan");
-                // The Value boundary is crossed exactly once per request.
-                let env = ParamEnv::encode(snap.symbols(), bindings);
-                let out = eval_dq_with(&snap, plan, &self.access, &env)?;
+                // The Value boundary is crossed exactly once per request,
+                // into a per-thread environment rebound in place (steady
+                // state: same parameter names every request, zero
+                // allocations).
+                let out = REQUEST_ENV.with(|cell| {
+                    let mut env = cell.borrow_mut();
+                    env.rebind(snap.symbols(), bindings);
+                    eval_dq_with(&snap, plan, &self.access, &env)
+                })?;
                 Ok(Response {
                     outcome: Outcome::Answer(out.result),
                     stats: RequestStats {
@@ -446,7 +451,9 @@ impl Server {
                 })
             }
             Lane::BoundedRa => {
-                let expr = p.ra().expect("bounded-ra lane has an expression");
+                let compiled = p
+                    .prepared_ra()
+                    .expect("bounded-ra lane has a compiled skeleton");
                 let missing: Vec<String> = p
                     .param_slots()
                     .iter()
@@ -456,14 +463,11 @@ impl Server {
                 if !missing.is_empty() {
                     return Err(CoreError::UnboundParameters(missing).into());
                 }
-                let ground;
-                let expr = if p.param_slots().is_empty() {
-                    expr
-                } else {
-                    ground = instantiate_ra(expr, bindings);
-                    &ground
-                };
-                let out = eval_ra(&snap, expr, &self.access)?;
+                // No per-request certification or block planning: the
+                // cached skeleton is interpreted directly against the
+                // bindings (probe sides still plan per probed tuple).
+                let env = ParamEnv::encode(snap.symbols(), bindings);
+                let out = eval_ra_prepared(&snap, compiled, &self.access, &env, bindings)?;
                 let meter = Meter {
                     tuples_fetched: out.tuples_fetched,
                     index_probes: out.probes,
@@ -650,36 +654,6 @@ impl Server {
             v.refresh_stamps(&snap);
         }
         Ok(v.answer.result().clone())
-    }
-}
-
-/// Placeholder names across all SPC blocks, deduplicated.
-fn ra_placeholder_names(expr: &RaExpr) -> Vec<String> {
-    let mut names: Vec<String> = Vec::new();
-    for q in expr.blocks() {
-        for name in q.placeholder_names() {
-            if !names.contains(&name) {
-                names.push(name);
-            }
-        }
-    }
-    names
-}
-
-/// Instantiates every SPC block of an RA expression (instantiation only
-/// adds constants, so a certified expression stays certified).
-fn instantiate_ra(expr: &RaExpr, bindings: &BTreeMap<String, Value>) -> RaExpr {
-    match expr {
-        RaExpr::Spc(q) => RaExpr::Spc(q.instantiate(bindings)),
-        RaExpr::Union(l, r) => {
-            RaExpr::union(instantiate_ra(l, bindings), instantiate_ra(r, bindings))
-        }
-        RaExpr::Intersect(l, r) => {
-            RaExpr::intersect(instantiate_ra(l, bindings), instantiate_ra(r, bindings))
-        }
-        RaExpr::Difference(l, r) => {
-            RaExpr::difference(instantiate_ra(l, bindings), instantiate_ra(r, bindings))
-        }
     }
 }
 
@@ -1436,6 +1410,59 @@ mod tests {
         // A third prepare with no interleaving write is a pure hit: no
         // further revalidation.
         let third = server.prepare(&q1).unwrap();
+        assert!(third.cache_hit);
+        assert_eq!(server.cache_stats().revalidations, 1);
+    }
+
+    #[test]
+    fn ra_revalidation_reuses_the_stored_compiled_skeleton() {
+        // Mirror of revalidation_reuses_the_stored_compiled_program for the
+        // bounded-RA lane: after a read-relation epoch bump, prepare_ra
+        // revalidates the cache entry — the stored PreparedQuery (compiled
+        // PreparedRa skeleton included) is handed back by pointer, and the
+        // certification + per-block plans are never redone (misses stay 1).
+        let server = setup(AdmissionPolicy::Strict);
+        let cat = Arc::clone(server.access().catalog());
+        let friends_tpl = |name: &str, slot: &str| {
+            SpcQuery::builder(Arc::clone(&cat), name)
+                .atom("friends", "f")
+                .eq_param(("f", "user_id"), slot)
+                .project(("f", "friend_id"))
+                .build()
+                .unwrap()
+        };
+        let expr = RaExpr::difference(
+            RaExpr::Spc(friends_tpl("l", "a")),
+            RaExpr::Spc(friends_tpl("r", "b")),
+        );
+
+        let first = server.prepare_ra(&expr).unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.query.lane(), Lane::BoundedRa);
+        assert!(
+            first.query.prepared_ra().is_some(),
+            "the compiled RA skeleton is stored with the cache entry"
+        );
+
+        // A maintained write to a relation the expression reads: its
+        // vector-clock component advances, so the next prepare revalidates.
+        server
+            .insert("friends", &[Value::str("u0"), Value::str("u7")])
+            .unwrap();
+        let second = server.prepare_ra(&expr).unwrap();
+        assert!(second.cache_hit, "revalidation is still a hit");
+        assert_eq!(second.compile_elapsed, Duration::ZERO);
+        assert!(
+            Arc::ptr_eq(&first.query, &second.query),
+            "the stored entry (and its compiled RA skeleton) is reused verbatim"
+        );
+        let cs = server.cache_stats();
+        assert_eq!(cs.misses, 1, "exactly one certification ever happened");
+        assert_eq!(cs.revalidations, 1, "stamp refresh only");
+        assert_eq!(cs.invalidations, 0);
+
+        // A third prepare with no interleaving write is a pure hit.
+        let third = server.prepare_ra(&expr).unwrap();
         assert!(third.cache_hit);
         assert_eq!(server.cache_stats().revalidations, 1);
     }

@@ -232,7 +232,7 @@ impl Database {
         let shard = self.shard_mut(rel);
         let rid = shard.table.len() as u32;
         shard.table.push(&cells);
-        for idx in shard.indexes.values_mut() {
+        for (_, idx) in shard.indexes.iter_mut() {
             idx.insert_row(rid, &cells);
         }
         Ok(rid)
@@ -279,12 +279,12 @@ impl Database {
             None => return Ok(false),
         };
         let RelationShard { table, indexes, .. } = self.shard_mut(rel);
-        for idx in indexes.values_mut() {
+        for (_, idx) in indexes.iter_mut() {
             idx.remove_row(rid as u32, &cells, table);
         }
         if let Some(moved_from) = table.swap_remove(rid) {
             let moved: Vec<Cell> = table.row(rid).to_vec();
-            for idx in indexes.values_mut() {
+            for (_, idx) in indexes.iter_mut() {
                 idx.reindex_row(moved_from as u32, rid as u32, &moved);
             }
         }
@@ -326,7 +326,7 @@ impl Database {
     /// its key is a projection of the row being looked up), else scans.
     fn locate_rid(&self, rel: RelId, cells: &[Cell]) -> Option<usize> {
         let shard = &self.shards[rel.0];
-        if let Some(idx) = shard.indexes.values().next() {
+        if let Some((_, idx)) = shard.indexes.first() {
             let key: RowBuf = idx.x().iter().map(|&c| cells[c]).collect();
             return idx
                 .all(&key)
@@ -346,13 +346,12 @@ impl Database {
     /// Builds (or reuses) the index for one access constraint.
     pub fn ensure_index(&mut self, c: &AccessConstraint) {
         let rel = c.relation();
-        let key = (c.x().to_vec(), c.y().to_vec());
-        if self.shards[rel.0].indexes.contains_key(&key) {
+        if self.shards[rel.0].index(c.x(), c.y()).is_some() {
             return;
         }
         let shard = self.shard_mut(rel);
         let idx = HashIndex::build(&shard.table, c.x(), c.y());
-        shard.indexes.insert(key, idx);
+        shard.indexes.push(((c.x().to_vec(), c.y().to_vec()), idx));
     }
 
     /// Builds every index declared by `a` (the paper's setup step: "for each

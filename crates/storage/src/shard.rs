@@ -14,7 +14,6 @@
 
 use crate::index::HashIndex;
 use crate::table::Table;
-use std::collections::HashMap;
 
 /// Structural identity of an index within its shard: key columns + value
 /// columns. Indices are shared across access schemas that declare the same
@@ -32,7 +31,11 @@ pub(crate) type IndexKey = (Vec<usize>, Vec<usize>);
 #[derive(Debug, Clone)]
 pub struct RelationShard {
     pub(crate) table: Table,
-    pub(crate) indexes: HashMap<IndexKey, HashIndex>,
+    /// The built indices, keyed by their `(x, y)` column sets. A handful
+    /// per relation at most, and probed on every fetch step: a linear
+    /// scan with borrowed keys beats a hash map (whose owned tuple key
+    /// would cost two allocations per lookup).
+    pub(crate) indexes: Vec<(IndexKey, HashIndex)>,
     pub(crate) epoch: u64,
 }
 
@@ -41,7 +44,7 @@ impl RelationShard {
     pub(crate) fn new(table: Table) -> Self {
         RelationShard {
             table,
-            indexes: HashMap::new(),
+            indexes: Vec::new(),
             epoch: 0,
         }
     }
@@ -64,7 +67,10 @@ impl RelationShard {
 
     /// The index on key columns `x` exposing value columns `y`, if built.
     pub fn index(&self, x: &[usize], y: &[usize]) -> Option<&HashIndex> {
-        self.indexes.get(&(x.to_vec(), y.to_vec()))
+        self.indexes
+            .iter()
+            .find(|((ix, iy), _)| ix.as_slice() == x && iy.as_slice() == y)
+            .map(|(_, idx)| idx)
     }
 
     /// Approximate payload of a copy-on-write clone of this shard, in table

@@ -81,6 +81,19 @@ impl Table {
         self.data.chunks_exact(self.arity)
     }
 
+    /// Gathers one column's cells for the given row ids, appending onto
+    /// `out` — the columnar fetch path's primitive: batches are filled
+    /// column-at-a-time instead of row-at-a-time, so each pass streams one
+    /// stride of the row-major data.
+    pub fn gather_column(&self, col: usize, rids: &[u32], out: &mut Vec<Cell>) {
+        assert!(col < self.arity, "column out of bounds");
+        out.reserve(rids.len());
+        out.extend(
+            rids.iter()
+                .map(|&rid| self.data[rid as usize * self.arity + col]),
+        );
+    }
+
     /// The row id of **one** copy of `row`, scanning from the end (recently
     /// inserted rows are found first), or `None` if no copy is stored.
     pub fn find_row(&self, row: &[Cell]) -> Option<usize> {
@@ -177,6 +190,19 @@ mod tests {
     fn swap_remove_empty_panics() {
         let mut t = Table::new(RelId(0), 1);
         t.swap_remove(0);
+    }
+
+    #[test]
+    fn gather_column_follows_rids() {
+        let mut t = Table::new(RelId(0), 2);
+        t.push(&cells(&[1, 10]));
+        t.push(&cells(&[2, 20]));
+        t.push(&cells(&[3, 30]));
+        let mut out = Vec::new();
+        t.gather_column(1, &[2, 0], &mut out);
+        assert_eq!(out, cells(&[30, 10]));
+        t.gather_column(0, &[], &mut out);
+        assert_eq!(out.len(), 2, "empty gather appends nothing");
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! a proptest over random queries, data and parameter bindings.
 
 use bounded_cq::core::ra::RaExpr;
+use bounded_cq::core::sigma::Sigma;
 use bounded_cq::exec::{
-    baseline_interpreted, eval_dq_interpreted, eval_dq_with_interpreted, eval_ra,
+    baseline_interpreted, eval_dq_interpreted, eval_dq_with_interpreted, eval_ra, run_program,
+    run_program_columnar, Batch, ExecContext,
 };
 use bounded_cq::prelude::*;
 
@@ -115,9 +117,83 @@ fn check_dataset(ds: &Dataset, scale: f64) {
     );
 }
 
+/// Columnar ≡ row-at-a-time over the **same compiled program and the same
+/// candidate batches**: full-table candidates per atom, one `OpProgram`,
+/// both interpreters. Unlike the executor-level checks above (where the
+/// query-walking oracle may pick a different join order), the join order
+/// here is shared, so the *entire* meter — `tuples_fetched`,
+/// `rows_scanned` and `intermediate_rows` — must agree, not just the
+/// answer.
+fn check_program_layouts(ds: &Dataset, scale: f64) {
+    let db = ds.build(scale);
+    let mut checked = 0usize;
+    for wq in ds.effectively_bounded_queries() {
+        let q = &wq.query;
+        if q.has_placeholders() {
+            continue;
+        }
+        let sigma = Sigma::build(q);
+        if !sigma.is_satisfiable() {
+            continue;
+        }
+        let layouts: Vec<Vec<usize>> = (0..q.num_atoms())
+            .map(|atom| (0..q.arity_of(atom)).collect())
+            .collect();
+        let prog = OpProgram::compile(q, &sigma, &layouts, None);
+        let row_batches: Vec<Batch> = (0..q.num_atoms())
+            .map(|atom| Batch {
+                atom,
+                cols: layouts[atom].clone(),
+                rows: db
+                    .table(q.relation_of(atom))
+                    .rows()
+                    .map(|r| r.iter().copied().collect())
+                    .collect(),
+            })
+            .collect();
+        let col_batches: Vec<ColumnBatch> = (0..q.num_atoms())
+            .map(|atom| {
+                ColumnBatch::from_rows(
+                    atom,
+                    layouts[atom].clone(),
+                    db.table(q.relation_of(atom)).rows(),
+                )
+            })
+            .collect();
+        let mut rctx = ExecContext::new(&db, None);
+        let row_rs = run_program(&prog, row_batches, &mut rctx).unwrap();
+        let mut cctx = ExecContext::new(&db, None);
+        let col_rs = run_program_columnar(&prog, col_batches, &mut cctx).unwrap();
+        assert_eq!(col_rs, row_rs, "{}: columnar vs row program", q.name());
+        assert_eq!(
+            cctx.meter,
+            rctx.meter,
+            "{}: columnar program charges differently",
+            q.name()
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "{}: no ground bounded queries ran", ds.name);
+}
+
 #[test]
 fn tfacc_three_executors_agree() {
     check_dataset(&bounded_cq::workload::tfacc::dataset(), 0.05);
+}
+
+#[test]
+fn tfacc_columnar_program_matches_row_program() {
+    check_program_layouts(&bounded_cq::workload::tfacc::dataset(), 0.05);
+}
+
+#[test]
+fn mot_columnar_program_matches_row_program() {
+    check_program_layouts(&bounded_cq::workload::mot::dataset(), 0.05);
+}
+
+#[test]
+fn tpch_columnar_program_matches_row_program() {
+    check_program_layouts(&bounded_cq::workload::tpch::dataset(), 0.1);
 }
 
 #[test]
@@ -314,6 +390,43 @@ proptest! {
                 &compiled.result,
                 "baseline {:?} vs prepared bounded answer", mode
             );
+        }
+
+        // Program-level: the same compiled program over the same full-table
+        // candidate batches, columnar vs row-at-a-time interpreter. Shared
+        // join order means the entire meter must agree.
+        let sigma = Sigma::build(&ground);
+        if sigma.is_satisfiable() {
+            let layouts: Vec<Vec<usize>> = (0..ground.num_atoms())
+                .map(|atom| (0..ground.arity_of(atom)).collect())
+                .collect();
+            let prog = OpProgram::compile(&ground, &sigma, &layouts, None);
+            let row_batches: Vec<bounded_cq::exec::Batch> = (0..ground.num_atoms())
+                .map(|atom| bounded_cq::exec::Batch {
+                    atom,
+                    cols: layouts[atom].clone(),
+                    rows: db
+                        .table(ground.relation_of(atom))
+                        .rows()
+                        .map(|r| r.iter().copied().collect())
+                        .collect(),
+                })
+                .collect();
+            let col_batches: Vec<ColumnBatch> = (0..ground.num_atoms())
+                .map(|atom| {
+                    ColumnBatch::from_rows(
+                        atom,
+                        layouts[atom].clone(),
+                        db.table(ground.relation_of(atom)).rows(),
+                    )
+                })
+                .collect();
+            let mut rctx = ExecContext::new(&db, None);
+            let row_rs = run_program(&prog, row_batches, &mut rctx).unwrap();
+            let mut cctx = ExecContext::new(&db, None);
+            let col_rs = run_program_columnar(&prog, col_batches, &mut cctx).unwrap();
+            prop_assert_eq!(col_rs, row_rs, "columnar vs row program");
+            prop_assert_eq!(cctx.meter, rctx.meter, "columnar program meters differently");
         }
     }
 }
