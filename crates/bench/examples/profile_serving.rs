@@ -1,6 +1,12 @@
 //! Ad-hoc breakdown of the serving/prepared hot path (not a recorded
 //! bench): run with `cargo run --release -p bcq-bench --example
 //! profile_serving`.
+//!
+//! Doubles as the allocation gate: the counting global allocator proves
+//! the steady-state prepared path performs **zero** heap allocations per
+//! request — with the metrics registry enabled (its record path is two
+//! relaxed `fetch_add`s, no clocks, no boxes). CI runs this in release
+//! mode; the asserts at the bottom fail the build on any regression.
 
 use bcq_core::access::AccessSchema;
 use bcq_core::prelude::*;
@@ -32,7 +38,7 @@ unsafe impl std::alloc::GlobalAlloc for Counting {
 #[global_allocator]
 static A: Counting = Counting;
 
-fn count_allocs(label: &str, iters: u32, mut f: impl FnMut(usize)) {
+fn count_allocs(label: &str, iters: u32, mut f: impl FnMut(usize)) -> f64 {
     for i in 0..64 {
         f(i);
     }
@@ -43,11 +49,12 @@ fn count_allocs(label: &str, iters: u32, mut f: impl FnMut(usize)) {
     }
     let a = ALLOCS.load(Ordering::Relaxed) - a0;
     let b = BYTES.load(Ordering::Relaxed) - b0;
+    let per_op = a as f64 / iters as f64;
     println!(
-        "{label:40} {:8.1} allocs/op {:8.0} bytes/op",
-        a as f64 / iters as f64,
+        "{label:40} {per_op:8.1} allocs/op {:8.0} bytes/op",
         b as f64 / iters as f64
     );
+    per_op
 }
 
 fn social_catalog() -> Arc<Catalog> {
@@ -193,16 +200,25 @@ fn main() {
             .len();
     });
 
-    count_allocs("allocs: server.execute", 4096, |i| {
+    assert!(
+        server.metrics().is_enabled(),
+        "the alloc gate must measure the metrics-on path"
+    );
+    let execute_allocs = count_allocs("allocs: server.execute (metrics on)", 4096, |i| {
         let resp = server.execute(&handle.query, &binds[i % 32]).unwrap();
         sink += resp.rows().map_or(0, |r| r.len());
     });
-    count_allocs("allocs: eval_dq_with (pre-encoded)", 4096, |i| {
+    let eval_allocs = count_allocs("allocs: eval_dq_with (pre-encoded)", 4096, |i| {
         sink += eval_dq_with(&snap, plan, &access, &envs[i % 32])
             .unwrap()
             .result
             .len();
     });
+    assert_eq!(
+        execute_allocs, 0.0,
+        "prepared serving must stay allocation-free with always-on metrics"
+    );
+    assert_eq!(eval_allocs, 0.0, "scratch-reusing executor regressed");
 
     std::hint::black_box(sink);
 }

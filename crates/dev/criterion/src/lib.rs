@@ -36,8 +36,15 @@ struct Record {
     min_ns: f64,
     median_ns: f64,
     mean_ns: f64,
+    p90_ns: f64,
+    p99_ns: f64,
     samples: usize,
     iters_per_sample: u64,
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice.
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
 }
 
 static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -66,6 +73,10 @@ pub struct Measured {
     pub min_ns: f64,
     /// Mean ns/op across the samples.
     pub mean_ns: f64,
+    /// 90th-percentile sample's ns/op (nearest rank).
+    pub p90_ns: f64,
+    /// 99th-percentile sample's ns/op — the tail the median hides.
+    pub p99_ns: f64,
     /// Samples actually taken (1 under [`smoke_mode`]).
     pub samples: usize,
     /// Iterations actually run per sample (1 under [`smoke_mode`]).
@@ -84,6 +95,8 @@ impl Measured {
             min_ns: self.min_ns,
             median_ns: self.ns,
             mean_ns: self.mean_ns,
+            p90_ns: self.p90_ns,
+            p99_ns: self.p99_ns,
             samples: self.samples,
             iters_per_sample: self.iters,
         });
@@ -116,6 +129,8 @@ pub fn measure_median_ns(samples: usize, iters: usize, mut f: impl FnMut(usize))
         ns: per_sample[per_sample.len() / 2],
         min_ns: per_sample[0],
         mean_ns: per_sample.iter().sum::<f64>() / per_sample.len() as f64,
+        p90_ns: pct(&per_sample, 0.90),
+        p99_ns: pct(&per_sample, 0.99),
         samples,
         iters: iters as u64,
     }
@@ -136,6 +151,8 @@ pub fn record_metric_sampled(
         min_ns: ns_per_op,
         median_ns: ns_per_op,
         mean_ns: ns_per_op,
+        p90_ns: ns_per_op,
+        p99_ns: ns_per_op,
         samples,
         iters_per_sample,
     });
@@ -215,11 +232,14 @@ pub fn write_json_report() {
         };
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \
+             \"p90_ns\": {}, \"p99_ns\": {}, \
              \"ops_per_sec\": {}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
             json_escape(&r.id),
             fmt_f64(r.min_ns),
             fmt_f64(r.median_ns),
             fmt_f64(r.mean_ns),
+            fmt_f64(r.p90_ns),
+            fmt_f64(r.p99_ns),
             fmt_f64(ops),
             r.samples,
             r.iters_per_sample,
@@ -458,11 +478,14 @@ fn run_bench(
         "{id:<50} min {min:>10.2?}  median {median:>10.2?}  mean {mean:>10.2?}  ({} samples x {iters} iters)",
         samples.len()
     );
+    let ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
     RESULTS.lock().unwrap().push(Record {
         id: id.to_string(),
         min_ns: min.as_nanos() as f64,
         median_ns: median.as_nanos() as f64,
         mean_ns: mean.as_nanos() as f64,
+        p90_ns: pct(&ns, 0.90),
+        p99_ns: pct(&ns, 0.99),
         samples: samples.len(),
         iters_per_sample: iters,
     });
@@ -531,6 +554,8 @@ mod tests {
         assert_eq!(m.samples, 5);
         assert_eq!(m.iters, 50);
         assert!(m.min_ns <= m.ns, "min {} > median {}", m.min_ns, m.ns);
+        assert!(m.ns <= m.p90_ns, "median {} > p90 {}", m.ns, m.p90_ns);
+        assert!(m.p90_ns <= m.p99_ns, "p90 {} > p99 {}", m.p90_ns, m.p99_ns);
         assert!(m.ns <= m.mean_ns * 2.0, "median wildly above mean");
         assert!(m.min_ns < m.mean_ns, "distribution collapsed: {m:?}");
         assert_ne!(m.min_ns, m.ns, "per-sample spread lost");

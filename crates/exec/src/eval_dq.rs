@@ -23,6 +23,7 @@ use bcq_core::fx::FxHashSet;
 use bcq_core::plan::{FetchKind, FetchStep, KeySource, QueryPlan};
 use bcq_core::prelude::{Cell, ColumnBatch, RowBuf, SymbolTable};
 use bcq_storage::{Database, Meter};
+use bcq_telemetry::{NoProbe, OpProfile, Probe, Profiler, StepKind};
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
@@ -133,24 +134,63 @@ fn eval_dq_with_impl(
     compiled: bool,
 ) -> Result<ExecOutcome> {
     EVAL_SCRATCH.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut scratch) => eval_dq_scratch(db, plan, a, params, compiled, &mut scratch),
-        Err(_) => eval_dq_scratch(db, plan, a, params, compiled, &mut EvalScratch::default()),
+        Ok(mut scratch) => {
+            eval_dq_scratch(db, plan, a, params, compiled, &mut scratch, &mut NoProbe)
+        }
+        Err(_) => eval_dq_scratch(
+            db,
+            plan,
+            a,
+            params,
+            compiled,
+            &mut EvalScratch::default(),
+            &mut NoProbe,
+        ),
     })
 }
 
-fn eval_dq_scratch(
+/// [`eval_dq_with`] in **profiled mode**: runs the compiled program with a
+/// recording probe and returns the per-operator breakdown (fetch steps,
+/// pin resolution, filter sweeps, join steps, projection — each with wall
+/// time and row movement) alongside the outcome. A diagnostics path: the
+/// probe allocates per step, so profiled runs are not the serving path.
+pub fn eval_dq_profiled(
+    db: &Database,
+    plan: &QueryPlan,
+    a: &AccessSchema,
+    params: &ParamEnv,
+) -> Result<(ExecOutcome, OpProfile)> {
+    let mut profiler = Profiler::new();
+    let out = EVAL_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => eval_dq_scratch(db, plan, a, params, true, &mut scratch, &mut profiler),
+        Err(_) => eval_dq_scratch(
+            db,
+            plan,
+            a,
+            params,
+            true,
+            &mut EvalScratch::default(),
+            &mut profiler,
+        ),
+    })?;
+    let total_ns = u64::try_from(out.elapsed.as_nanos()).unwrap_or(u64::MAX);
+    Ok((out, profiler.finish(total_ns)))
+}
+
+fn eval_dq_scratch<P: Probe>(
     db: &Database,
     plan: &QueryPlan,
     a: &AccessSchema,
     params: &ParamEnv,
     compiled: bool,
     scratch: &mut EvalScratch,
+    probe: &mut P,
 ) -> Result<ExecOutcome> {
     let start = Instant::now();
     validate_bindings(plan, params)?;
     let mut ctx = ExecContext::with_params(db, None, params);
     let num_atoms = plan.query().num_atoms();
-    let result = if !fetch_anchors(db, plan, a, &mut ctx, scratch)? {
+    let result = if !fetch_anchors(db, plan, a, &mut ctx, scratch, probe)? {
         ResultSet::empty()
     } else {
         let EvalScratch {
@@ -168,9 +208,21 @@ fn eval_dq_scratch(
                 &mut ctx,
                 true,
                 interp,
+                probe,
             )
             .expect("bounded evaluation has no budget");
+            if P::ENABLED {
+                probe.begin();
+            }
             let r = project_program_flat(plan.program(), db.symbols(), flat);
+            if P::ENABLED {
+                probe.step(
+                    StepKind::Project,
+                    &format!("project:cols={}", plan.program().proj_classes.len()),
+                    (flat.len() / plan.program().num_classes.max(1)) as u64,
+                    r.len() as u64,
+                );
+            }
             r
         } else {
             let partials = run_join_partials(
@@ -235,7 +287,7 @@ pub fn eval_dq_partials(
         };
         let mut ctx = ExecContext::with_params(db, None, params);
         let num_atoms = plan.query().num_atoms();
-        let partials = if !fetch_anchors(db, plan, a, &mut ctx, scratch)? {
+        let partials = if !fetch_anchors(db, plan, a, &mut ctx, scratch, &mut NoProbe)? {
             Vec::new()
         } else {
             let EvalScratch {
@@ -247,6 +299,7 @@ pub fn eval_dq_partials(
                 &mut ctx,
                 true,
                 interp,
+                &mut NoProbe,
             )
             .expect("bounded evaluation has no budget");
             flat.chunks_exact(plan.program().num_classes)
@@ -284,12 +337,13 @@ fn validate_bindings(plan: &QueryPlan, params: &ParamEnv) -> Result<()> {
 /// and are recycled across requests. On `Ok(true)` the per-atom anchor
 /// batches sit in `scratch.anchors[..num_atoms]`; `Ok(false)` means the
 /// plan is unsatisfiable (nothing fetched, empty answer).
-fn fetch_anchors(
+fn fetch_anchors<P: Probe>(
     db: &Database,
     plan: &QueryPlan,
     a: &AccessSchema,
     ctx: &mut ExecContext<'_>,
     scratch: &mut EvalScratch,
+    probe: &mut P,
 ) -> Result<bool> {
     if plan.is_unsatisfiable() {
         return Ok(false);
@@ -311,6 +365,9 @@ fn fetch_anchors(
         // batch is written behind them.
         let (prev, rest) = fetched.split_at_mut(sid);
         let b = &mut rest[0];
+        if P::ENABLED {
+            probe.begin();
+        }
         match step.kind {
             FetchKind::Any => {
                 // Emptiness witness: one zero-width row if the relation is
@@ -359,6 +416,20 @@ fn fetch_anchors(
                     table.gather_column(step.out_cols[i], rids, out)
                 });
             }
+        }
+        if P::ENABLED {
+            let (label, nkeys) = match step.kind {
+                FetchKind::Any => (format!("fetch:step{sid}:atom{} any", step.atom), 0),
+                FetchKind::IndexLookup => (
+                    format!(
+                        "fetch:step{sid}:atom{} index keys={}",
+                        step.atom,
+                        keys.len()
+                    ),
+                    keys.len() as u64,
+                ),
+            };
+            probe.step(StepKind::Fetch, &label, nkeys, b.total_rows() as u64);
         }
     }
     // Swap the anchors into atom order (non-anchor steps only ever source

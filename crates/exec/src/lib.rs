@@ -28,8 +28,8 @@ pub use baseline::{
     baseline, baseline_interpreted, BaselineMode, BaselineOptions, BaselineOutcome,
 };
 pub use eval_dq::{
-    eval_dq, eval_dq_interpreted, eval_dq_partials, eval_dq_with, eval_dq_with_interpreted,
-    ExecOutcome, PartialsOutcome,
+    eval_dq, eval_dq_interpreted, eval_dq_partials, eval_dq_profiled, eval_dq_with,
+    eval_dq_with_interpreted, ExecOutcome, PartialsOutcome,
 };
 pub use incremental::{DeltaStats, IncrementalAnswer};
 pub use pipeline::{

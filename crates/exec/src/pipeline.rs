@@ -44,6 +44,7 @@ use bcq_core::prelude::{
 use bcq_core::program::{ColAction, PinSource};
 use bcq_core::sigma::Sigma;
 use bcq_storage::{Database, HashIndex, Meter, Table};
+use bcq_telemetry::{NoProbe, Probe, StepKind};
 use std::collections::BTreeMap;
 
 /// Raised when the work budget is exhausted mid-pipeline.
@@ -1196,7 +1197,8 @@ pub fn run_program_columnar(
     ctx: &mut ExecContext<'_>,
 ) -> Result<ResultSet, BudgetExhausted> {
     let mut scratch = ColumnarScratch::default();
-    let flat = run_program_columnar_impl(prog, &mut batches, ctx, true, &mut scratch)?;
+    let flat =
+        run_program_columnar_impl(prog, &mut batches, ctx, true, &mut scratch, &mut NoProbe)?;
     Ok(project_program_flat(prog, ctx.db.symbols(), flat))
 }
 
@@ -1209,7 +1211,8 @@ pub fn run_program_columnar_partials(
     ctx: &mut ExecContext<'_>,
 ) -> Result<Vec<Box<[Option<Cell>]>>, BudgetExhausted> {
     let mut scratch = ColumnarScratch::default();
-    let flat = run_program_columnar_impl(prog, &mut batches, ctx, true, &mut scratch)?;
+    let flat =
+        run_program_columnar_impl(prog, &mut batches, ctx, true, &mut scratch, &mut NoProbe)?;
     Ok(flat
         .chunks_exact(prog.num_classes)
         .map(|p| p.to_vec().into_boxed_slice())
@@ -1225,7 +1228,8 @@ pub fn run_program_columnar_prefiltered(
     ctx: &mut ExecContext<'_>,
 ) -> Result<ResultSet, BudgetExhausted> {
     let mut scratch = ColumnarScratch::default();
-    let flat = run_program_columnar_impl(prog, &mut batches, ctx, false, &mut scratch)?;
+    let flat =
+        run_program_columnar_impl(prog, &mut batches, ctx, false, &mut scratch, &mut NoProbe)?;
     Ok(project_program_flat(prog, ctx.db.symbols(), flat))
 }
 
@@ -1253,12 +1257,19 @@ fn emit_merged(
 /// `N`s), so the hot path is branch-free key sweeps over packed columns.
 const LINEAR_SWEEP_LIMIT: usize = 2048;
 
-pub(crate) fn run_program_columnar_impl<'s>(
+/// The interpreter body, generic over the profiling [`Probe`]. The
+/// steady-state instantiation is [`NoProbe`] (`ENABLED = false`): every
+/// probe site — including the label `format!`s, which are guarded by
+/// `P::ENABLED` — is compiled out, so the serving path is byte-for-byte
+/// the unprofiled interpreter. A [`bcq_telemetry::Profiler`] instead
+/// times each operator step with its row movement.
+pub(crate) fn run_program_columnar_impl<'s, P: Probe>(
     prog: &OpProgram,
     batches: &mut [ColumnBatch],
     ctx: &mut ExecContext<'_>,
     apply_filters: bool,
     scratch: &'s mut ColumnarScratch,
+    probe: &mut P,
 ) -> Result<&'s [Option<Cell>], BudgetExhausted> {
     debug_assert_eq!(batches.len(), prog.num_atoms);
     debug_assert!(batches.iter().enumerate().all(|(i, b)| b.atom() == i));
@@ -1273,6 +1284,9 @@ pub(crate) fn run_program_columnar_impl<'s>(
         binds,
         chain,
     } = scratch;
+    if P::ENABLED {
+        probe.begin();
+    }
     resolved.clear();
     {
         let symbols = ctx.symbols();
@@ -1281,10 +1295,30 @@ pub(crate) fn run_program_columnar_impl<'s>(
             PinSource::Param(name) => ctx.params.get(name).flatten(),
         }));
     }
+    if P::ENABLED {
+        probe.step(
+            StepKind::Pin,
+            &format!("pin:resolve x{}", prog.pins.len()),
+            prog.pins.len() as u64,
+            resolved.iter().flatten().count() as u64,
+        );
+    }
 
     for batch in batches.iter_mut() {
         if apply_filters {
+            if P::ENABLED {
+                probe.begin();
+            }
+            let before = if P::ENABLED { batch.len() as u64 } else { 0 };
             filter_columnar_resolved(prog, resolved, batch);
+            if P::ENABLED {
+                probe.step(
+                    StepKind::Filter,
+                    &format!("filter:atom{}", batch.atom()),
+                    before,
+                    batch.len() as u64,
+                );
+            }
         }
         if batch.is_empty() {
             return Ok(&[]);
@@ -1294,6 +1328,9 @@ pub(crate) fn run_program_columnar_impl<'s>(
     // Seed one partial assignment (one slot per class) from the compiled
     // pins; a pin resolved to nothing (or two disagreeing pins of one
     // class) empties the answer before any row is touched.
+    if P::ENABLED {
+        probe.begin();
+    }
     cur.clear();
     cur.resize(prog.num_classes, None);
     for sp in &prog.seeds {
@@ -1310,15 +1347,44 @@ pub(crate) fn run_program_columnar_impl<'s>(
         }
         cur[sp.class] = pinned;
     }
+    if P::ENABLED {
+        probe.step(
+            StepKind::Seed,
+            &format!("seed:classes={}", prog.num_classes),
+            prog.seeds.len() as u64,
+            1,
+        );
+    }
     let stride = prog.num_classes;
 
     for step in &prog.join_steps {
         // Row-local duplicate-class sweep: exactly the rows the
         // row-at-a-time class-walk merge rejects (and never charges).
+        if P::ENABLED {
+            probe.begin();
+        }
+        let had_dups = step
+            .col_actions
+            .iter()
+            .any(|a| matches!(a, ColAction::CheckDup(_)));
+        let pre_dup = if P::ENABLED {
+            batches[step.atom].len() as u64
+        } else {
+            0
+        };
         for (pos, action) in step.col_actions.iter().enumerate() {
             if let ColAction::CheckDup(prev) = *action {
                 batches[step.atom].retain_cols_eq(prev, pos);
             }
+        }
+        if P::ENABLED && had_dups {
+            probe.step(
+                StepKind::DupCheck,
+                &format!("dup_check:atom{}", step.atom),
+                pre_dup,
+                batches[step.atom].len() as u64,
+            );
+            probe.begin();
         }
         let batch = &batches[step.atom];
         let live = batch.sel();
@@ -1456,6 +1522,28 @@ pub(crate) fn run_program_columnar_impl<'s>(
             }
         }
 
+        if P::ENABLED {
+            let strategy = if step.shared_pos.is_empty() {
+                "cross"
+            } else if nparts * live.len() <= LINEAR_SWEEP_LIMIT {
+                "sweep"
+            } else {
+                "hash"
+            };
+            probe.step(
+                StepKind::Join,
+                &format!(
+                    "join:atom{} keys={} binds={} parts={} {}",
+                    step.atom,
+                    step.shared_pos.len(),
+                    binds.len(),
+                    nparts,
+                    strategy
+                ),
+                live.len() as u64,
+                (nxt.len() / stride) as u64,
+            );
+        }
         std::mem::swap(cur, nxt);
         if cur.is_empty() {
             return Ok(&[]);

@@ -83,6 +83,13 @@ pub use server::{
     ServerConfig, ServiceError, Session, SessionStats, ViewId,
 };
 pub use shared::SharedDb;
+// Re-exported so downstream users of the serving tier can consume
+// [`Server::metrics_snapshot`] / [`Server::execute_profiled`] without
+// naming `bcq-telemetry` themselves.
+pub use bcq_telemetry::{
+    trace_thread, LaneKind, MetricsRegistry, MetricsSnapshot, OpProfile, Phase, StepKind,
+    StepProfile, ThreadTraceGuard,
+};
 
 /// Convenient alias used across the crate.
 pub type Result<T> = std::result::Result<T, server::ServiceError>;

@@ -29,14 +29,35 @@ use bcq_core::prelude::{parse_spc, RaExpr, RelId, SpcQuery, Value};
 use bcq_core::qplan::qplan_template;
 use bcq_exec::ra::eval_ra_prepared;
 use bcq_exec::{
-    baseline, eval_dq_with, BaselineMode, BaselineOptions, BaselineOutcome, IncrementalAnswer,
-    ParamEnv, PreparedRa, ResultSet,
+    baseline, eval_dq_profiled, eval_dq_with, BaselineMode, BaselineOptions, BaselineOutcome,
+    IncrementalAnswer, ParamEnv, PreparedRa, ResultSet,
 };
 use bcq_storage::{Database, Meter};
+use bcq_telemetry::{LaneKind, MetricsRegistry, MetricsSnapshot, OpProfile, Phase};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poison: the serving tier's shared
+/// structures (plan cache, view list, profile slot) are only ever mutated
+/// through small, self-consistent updates, so a thread that panicked while
+/// holding the lock cannot leave them half-written in a way later readers
+/// would mis-read. Recovering keeps one panicking request from bricking
+/// every subsequent prepare / write / snapshot on the server.
+fn lock_recovered<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// `Duration` → nanoseconds in pure u64 arithmetic (`as_nanos` goes
+/// through u128 — measurable on the request hot path). Saturates beyond
+/// ~584 years.
+#[inline]
+fn dur_ns(d: Duration) -> u64 {
+    d.as_secs()
+        .saturating_mul(1_000_000_000)
+        .saturating_add(u64::from(d.subsec_nanos()))
+}
 
 thread_local! {
     /// The bounded lane's per-request parameter environment, rebound in
@@ -86,6 +107,9 @@ pub struct ServerConfig {
     pub plan_cache_capacity: usize,
     /// Admission policy for unbounded queries.
     pub policy: AdmissionPolicy,
+    /// Whether the always-on metrics registry records (on by default; the
+    /// off switch exists for overhead measurement, not production).
+    pub metrics_enabled: bool,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +117,7 @@ impl Default for ServerConfig {
         ServerConfig {
             plan_cache_capacity: 256,
             policy: AdmissionPolicy::Budgeted(1_000_000),
+            metrics_enabled: true,
         }
     }
 }
@@ -143,8 +168,13 @@ pub struct RequestStats {
     /// refreshes stamps without recompiling), so compile vs execute cost
     /// is directly comparable per request.
     pub compile_elapsed: Duration,
-    /// Wall-clock execution time (excludes prepare/compile).
-    pub elapsed: Duration,
+    /// Wall-clock time spent executing: binding encode plus the lane
+    /// executor (excludes prepare/compile).
+    pub exec_elapsed: Duration,
+    /// End-to-end wall-clock of the request: snapshot, binding encode and
+    /// execution, plus — when served through a [`Session`] — the prepare
+    /// (cache lookup / compile). Always ≥ `compile_elapsed + exec_elapsed`.
+    pub total_elapsed: Duration,
 }
 
 /// One served request: outcome + stats.
@@ -218,6 +248,10 @@ pub struct Server {
     access_fp: String,
     cache: Mutex<PlanCache>,
     views: Mutex<Vec<View>>,
+    metrics: MetricsRegistry,
+    /// The most recent per-operator profile captured by
+    /// [`Server::execute_profiled`] (see [`Server::explain_last`]).
+    last_profile: Mutex<Option<OpProfile>>,
 }
 
 impl Server {
@@ -226,6 +260,8 @@ impl Server {
     pub fn new(mut db: Database, access: AccessSchema, config: ServerConfig) -> Self {
         db.build_indexes(&access);
         let access_fp = access_fingerprint(&access);
+        let metrics = MetricsRegistry::new();
+        metrics.set_enabled(config.metrics_enabled);
         Server {
             shared: SharedDb::new(db),
             access,
@@ -233,6 +269,8 @@ impl Server {
             access_fp,
             cache: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
             views: Mutex::new(Vec::new()),
+            metrics,
+            last_profile: Mutex::new(None),
         }
     }
 
@@ -264,7 +302,56 @@ impl Server {
 
     /// Plan-cache movement counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache lock poisoned").stats()
+        lock_recovered(&self.cache).stats()
+    }
+
+    /// The server's metrics registry — always-on counters and latency
+    /// histograms the serving paths record into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Enables or disables request tracing server-wide: while on, every
+    /// request records its phase timings (admit → cache-lookup → compile →
+    /// bind → execute → respond) into the registry's phase histograms.
+    /// Off (the default) costs one relaxed load per phase.
+    pub fn set_tracing(&self, on: bool) {
+        self.metrics.set_tracing(on);
+    }
+
+    /// A point-in-time snapshot of every metric the server keeps: the
+    /// registry's counters and histograms, plus the plan-cache movement
+    /// counters and storage gauges (tuple counts, COW write amplification,
+    /// interner size, epoch) pulled from their owning structures — they
+    /// are counted once at their source, never double-counted per request.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        {
+            let cache = lock_recovered(&self.cache);
+            let cs = cache.stats();
+            snap.cache.hits = cs.hits;
+            snap.cache.misses = cs.misses;
+            snap.cache.evictions = cs.evictions;
+            snap.cache.invalidations = cs.invalidations;
+            snap.cache.revalidations = cs.revalidations;
+            snap.cache.entries = cache.len() as u64;
+        }
+        let db = self.shared.snapshot();
+        snap.writes.cow_shard_clones = db.cow_clones();
+        snap.writes.cow_cells_cloned = db.cow_cells_cloned();
+        snap.gauges.relations = db.num_relations() as u64;
+        snap.gauges.total_tuples = db.total_tuples() as u64;
+        snap.gauges.interner_symbols = db.symbols().len() as u64;
+        snap.gauges.epoch = db.epoch();
+        snap
+    }
+
+    /// The per-operator profile of the last [`Server::execute_profiled`]
+    /// call, if any — fetch steps, filter sweeps, join steps and
+    /// projection, each with wall time and row movement
+    /// ([`OpProfile::render`] formats it).
+    pub fn explain_last(&self) -> Option<OpProfile> {
+        lock_recovered(&self.last_profile).clone()
     }
 
     /// Opens a session (per client/thread; sessions share the server's
@@ -310,7 +397,8 @@ impl Server {
     ) -> crate::Result<Prepared> {
         let snap = self.shared.snapshot();
         {
-            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            let _lookup = self.metrics.span(Phase::CacheLookup);
+            let mut cache = lock_recovered(&self.cache);
             if let Some((prepared, stamps)) = cache.get(&key) {
                 // Relation-scoped staleness: only the epochs of relations
                 // the plan's access schema actually reads matter. Writes
@@ -341,11 +429,13 @@ impl Server {
             }
         }
         // Miss (or invalidated): compile outside the cache lock.
+        let compile_span = self.metrics.span(Phase::Compile);
         let compile_start = Instant::now();
         let prepared = Arc::new(build()?);
         let compile_elapsed = compile_start.elapsed();
+        drop(compile_span);
         let stamps = Self::read_stamps(&snap, prepared.read_rels());
-        let mut cache = self.cache.lock().expect("cache lock poisoned");
+        let mut cache = lock_recovered(&self.cache);
         cache.insert(key, Arc::clone(&prepared), stamps);
         Ok(Prepared {
             query: prepared,
@@ -366,13 +456,17 @@ impl Server {
     }
 
     fn classify_spc(&self, q: &SpcQuery) -> crate::Result<PreparedQuery> {
+        let _admit = self.metrics.span(Phase::Admit);
         let fp = query_fingerprint(q);
         match qplan_template(q, &self.access) {
             Ok(plan) => Ok(PreparedQuery::bounded(q.clone(), plan, fp)),
             Err(CoreError::NotEffectivelyBounded(why)) => match self.config.policy {
-                AdmissionPolicy::Strict => Err(ServiceError::Rejected(format!(
-                    "query is not effectively bounded and the policy is strict: {why}"
-                ))),
+                AdmissionPolicy::Strict => {
+                    self.metrics.record_rejected();
+                    Err(ServiceError::Rejected(format!(
+                        "query is not effectively bounded and the policy is strict: {why}"
+                    )))
+                }
                 AdmissionPolicy::Budgeted(_) => Ok(PreparedQuery::unbounded(q.clone(), fp)),
             },
             Err(e) => Err(e.into()),
@@ -384,6 +478,7 @@ impl Server {
         if let RaExpr::Spc(q) = expr {
             return self.classify_spc(q);
         }
+        let _admit = self.metrics.span(Phase::Admit);
         // Certification and per-block plan compilation happen here, once:
         // [`PreparedRa::prepare`] certifies the expression (templates via a
         // sentinel instantiation — certification depends only on *which*
@@ -407,9 +502,12 @@ impl Server {
                     ra_fingerprint(expr),
                 ))
             }
-            Err(CoreError::NotEffectivelyBounded(why)) => Err(ServiceError::Rejected(format!(
-                "RA expression is not certified effectively bounded: {why}"
-            ))),
+            Err(CoreError::NotEffectivelyBounded(why)) => {
+                self.metrics.record_rejected();
+                Err(ServiceError::Rejected(format!(
+                    "RA expression is not certified effectively bounded: {why}"
+                )))
+            }
             Err(e) => Err(e.into()),
         }
     }
@@ -425,7 +523,7 @@ impl Server {
         let snap = self.shared.snapshot();
         let epoch = snap.epoch();
         let start = Instant::now();
-        match p.lane() {
+        let mut resp = match p.lane() {
             Lane::Bounded => {
                 let plan = p.plan().expect("bounded lane has a plan");
                 // The Value boundary is crossed exactly once per request,
@@ -434,10 +532,14 @@ impl Server {
                 // allocations).
                 let out = REQUEST_ENV.with(|cell| {
                     let mut env = cell.borrow_mut();
-                    env.rebind(snap.symbols(), bindings);
+                    {
+                        let _bind = self.metrics.span(Phase::Bind);
+                        env.rebind(snap.symbols(), bindings);
+                    }
+                    let _exec = self.metrics.span(Phase::Execute);
                     eval_dq_with(&snap, plan, &self.access, &env)
                 })?;
-                Ok(Response {
+                Response {
                     outcome: Outcome::Answer(out.result),
                     stats: RequestStats {
                         lane: Lane::Bounded,
@@ -446,9 +548,10 @@ impl Server {
                         meter: out.meter,
                         budget: BudgetVerdict::Unlimited,
                         compile_elapsed: Duration::ZERO,
-                        elapsed: start.elapsed(),
+                        exec_elapsed: start.elapsed(),
+                        total_elapsed: Duration::ZERO,
                     },
-                })
+                }
             }
             Lane::BoundedRa => {
                 let compiled = p
@@ -466,14 +569,19 @@ impl Server {
                 // No per-request certification or block planning: the
                 // cached skeleton is interpreted directly against the
                 // bindings (probe sides still plan per probed tuple).
-                let env = ParamEnv::encode(snap.symbols(), bindings);
+                let env = {
+                    let _bind = self.metrics.span(Phase::Bind);
+                    ParamEnv::encode(snap.symbols(), bindings)
+                };
+                let exec_span = self.metrics.span(Phase::Execute);
                 let out = eval_ra_prepared(&snap, compiled, &self.access, &env, bindings)?;
+                drop(exec_span);
                 let meter = Meter {
                     tuples_fetched: out.tuples_fetched,
                     index_probes: out.probes,
                     ..Meter::default()
                 };
-                Ok(Response {
+                Response {
                     outcome: Outcome::Answer(out.result),
                     stats: RequestStats {
                         lane: Lane::BoundedRa,
@@ -482,21 +590,27 @@ impl Server {
                         meter,
                         budget: BudgetVerdict::Unlimited,
                         compile_elapsed: Duration::ZERO,
-                        elapsed: start.elapsed(),
+                        exec_elapsed: start.elapsed(),
+                        total_elapsed: Duration::ZERO,
                     },
-                })
+                }
             }
             Lane::Unbounded => {
                 let cap = match self.config.policy {
                     AdmissionPolicy::Budgeted(cap) => cap,
                     AdmissionPolicy::Strict => {
+                        self.metrics.record_rejected();
                         return Err(ServiceError::Rejected(
                             "unbounded query under a strict policy".into(),
-                        ))
+                        ));
                     }
                 };
-                let ground = p.template().instantiate(bindings);
+                let ground = {
+                    let _bind = self.metrics.span(Phase::Bind);
+                    p.template().instantiate(bindings)
+                };
                 ground.require_ground()?;
+                let exec_span = self.metrics.span(Phase::Execute);
                 let out = baseline(
                     &snap,
                     &ground,
@@ -506,6 +620,7 @@ impl Server {
                         work_budget: Some(cap),
                     },
                 )?;
+                drop(exec_span);
                 let (outcome, meter, budget) = match out {
                     BaselineOutcome::Completed { result, meter, .. } => (
                         Outcome::Answer(result),
@@ -518,7 +633,7 @@ impl Server {
                         BudgetVerdict::Exhausted { cap },
                     ),
                 };
-                Ok(Response {
+                Response {
                     outcome,
                     stats: RequestStats {
                         lane: Lane::Unbounded,
@@ -527,11 +642,79 @@ impl Server {
                         meter,
                         budget,
                         compile_elapsed: Duration::ZERO,
-                        elapsed: start.elapsed(),
+                        exec_elapsed: start.elapsed(),
+                        total_elapsed: Duration::ZERO,
                     },
-                })
+                }
+            }
+        };
+        resp.stats.total_elapsed = start.elapsed();
+        // The latency recorded is the total already measured above: the
+        // metrics path adds no clock read of its own — one enabled check,
+        // one histogram `fetch_add`, one sharded-counter `fetch_add`.
+        if self.metrics.is_enabled() {
+            let lane = match resp.stats.lane {
+                Lane::Bounded => LaneKind::Bounded,
+                Lane::BoundedRa => LaneKind::BoundedRa,
+                Lane::Unbounded => LaneKind::Budgeted,
+            };
+            let ns = dur_ns(resp.stats.total_elapsed);
+            self.metrics
+                .record_request(lane, ns, resp.stats.meter.tuples_fetched);
+            match resp.stats.budget {
+                BudgetVerdict::Unlimited => {}
+                BudgetVerdict::Completed { .. } => self.metrics.record_budget_verdict(true),
+                BudgetVerdict::Exhausted { .. } => self.metrics.record_budget_verdict(false),
             }
         }
+        Ok(resp)
+    }
+
+    /// [`Server::execute`] in **profiled mode**: the bounded lane runs the
+    /// compiled program with a recording probe and returns the
+    /// per-operator breakdown — each fetch step, pin resolution, filter
+    /// sweep, join step and the projection, with wall time and row counts
+    /// — alongside the response. The profile is also stored for
+    /// [`Server::explain_last`]. Non-bounded lanes execute normally and
+    /// yield an empty profile (only the compiled interpreter has operator
+    /// steps to attribute). A diagnostics path: the probe allocates per
+    /// step, so it is never the serving path.
+    pub fn execute_profiled(
+        &self,
+        p: &PreparedQuery,
+        bindings: &BTreeMap<String, Value>,
+    ) -> crate::Result<(Response, OpProfile)> {
+        if p.lane() != Lane::Bounded {
+            let resp = self.execute(p, bindings)?;
+            let profile = OpProfile {
+                steps: Vec::new(),
+                total_ns: dur_ns(resp.stats.total_elapsed),
+            };
+            *lock_recovered(&self.last_profile) = Some(profile.clone());
+            return Ok((resp, profile));
+        }
+        let snap = self.shared.snapshot();
+        let epoch = snap.epoch();
+        let start = Instant::now();
+        let plan = p.plan().expect("bounded lane has a plan");
+        let env = ParamEnv::encode(snap.symbols(), bindings);
+        let (out, profile) = eval_dq_profiled(&snap, plan, &self.access, &env)?;
+        let mut resp = Response {
+            outcome: Outcome::Answer(out.result),
+            stats: RequestStats {
+                lane: Lane::Bounded,
+                cache_hit: false,
+                epoch,
+                meter: out.meter,
+                budget: BudgetVerdict::Unlimited,
+                compile_elapsed: Duration::ZERO,
+                exec_elapsed: out.elapsed,
+                total_elapsed: Duration::ZERO,
+            },
+        };
+        resp.stats.total_elapsed = start.elapsed();
+        *lock_recovered(&self.last_profile) = Some(profile.clone());
+        Ok((resp, profile))
     }
 
     /// Inserts one row through the single-writer path:
@@ -540,8 +723,9 @@ impl Server {
     /// delta. Cached plans stay valid (their indices were maintained, which
     /// the next prepare's revalidation confirms).
     pub fn insert(&self, rel_name: &str, row: &[Value]) -> crate::Result<u32> {
+        let write_start = Instant::now();
         // Views lock held across the write so deltas apply in write order.
-        let mut views = self.views.lock().expect("views lock poisoned");
+        let mut views = lock_recovered(&self.views);
         // Staleness is judged against the pre-write state: a view left
         // behind by an earlier out-of-band write must stay stale (and
         // recompute lazily) — applying this delta and stamping it current
@@ -558,6 +742,7 @@ impl Server {
             .write(|db| db.insert_maintained(rel_name, row))?;
         let snap = self.shared.snapshot();
         let rel = snap.catalog().require_rel(rel_name)?;
+        let mut deltas = 0u64;
         for (v, was_stale) in views.iter_mut().zip(stale_before) {
             // Relation-scoped maintenance: a view none of whose atoms read
             // `rel` cannot change — its stamps stay current on their own.
@@ -566,7 +751,10 @@ impl Server {
             }
             v.answer.on_insert(&snap, rel, row)?;
             v.refresh_stamps(&snap);
+            deltas += 1;
         }
+        self.metrics
+            .record_write(true, dur_ns(write_start.elapsed()), deltas);
         Ok(rid)
     }
 
@@ -580,8 +768,9 @@ impl Server {
     /// epoch revalidation confirms them). Returns `false` — with no epoch
     /// bump — if no copy of `row` is stored.
     pub fn delete(&self, rel_name: &str, row: &[Value]) -> crate::Result<bool> {
+        let write_start = Instant::now();
         // Views lock held across the write so deltas apply in write order.
-        let mut views = self.views.lock().expect("views lock poisoned");
+        let mut views = lock_recovered(&self.views);
         // As in [`Self::insert`]: a view already stale from an out-of-band
         // write keeps its stale stamps and recomputes on the next read
         // (checked pre-write, so it must run before we know whether the
@@ -598,13 +787,17 @@ impl Server {
         if deleted {
             let snap = self.shared.snapshot();
             let rel = snap.catalog().require_rel(rel_name)?;
+            let mut deltas = 0u64;
             for (v, was_stale) in views.iter_mut().zip(stale_before) {
                 if was_stale || !v.answer.reads(rel) {
                     continue;
                 }
                 v.answer.on_delete(&snap, rel, row)?;
                 v.refresh_stamps(&snap);
+                deltas += 1;
             }
+            self.metrics
+                .record_write(false, dur_ns(write_start.elapsed()), deltas);
         }
         Ok(deleted)
     }
@@ -615,7 +808,10 @@ impl Server {
     /// place — their epochs fall behind and they recompute lazily on the
     /// next [`Server::view_result`] (epoch-driven invalidation).
     pub fn bulk_update<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        let _views = self.views.lock().expect("views lock poisoned");
+        let _views = lock_recovered(&self.views);
+        if self.metrics.is_enabled() {
+            self.metrics.bulk_updates.inc();
+        }
         self.shared.write(|db| {
             let r = f(db);
             db.build_indexes(&self.access);
@@ -631,7 +827,7 @@ impl Server {
         let snap = self.shared.snapshot();
         let answer = IncrementalAnswer::initialize(&snap, q, &self.access)?;
         let stamps = Self::read_stamps(&snap, answer.read_rels());
-        let mut views = self.views.lock().expect("views lock poisoned");
+        let mut views = lock_recovered(&self.views);
         views.push(View { answer, stamps });
         Ok(ViewId(views.len() - 1))
     }
@@ -644,7 +840,7 @@ impl Server {
         // could predate a maintained write that already advanced this
         // view's stamps, which would read as staleness and waste a full
         // recompute against the older state.
-        let mut views = self.views.lock().expect("views lock poisoned");
+        let mut views = lock_recovered(&self.views);
         let snap = self.shared.snapshot();
         let v = views
             .get_mut(id.0)
@@ -652,6 +848,9 @@ impl Server {
         if v.stale(&snap) {
             v.answer = IncrementalAnswer::initialize(&snap, v.answer.query(), &self.access)?;
             v.refresh_stamps(&snap);
+            if self.metrics.is_enabled() {
+                self.metrics.view_recomputes.inc();
+            }
         }
         Ok(v.answer.result().clone())
     }
@@ -762,8 +961,13 @@ impl Session {
         bindings: &BTreeMap<String, Value>,
     ) -> crate::Result<Response> {
         let mut resp = self.server.execute(&prepared.query, bindings)?;
+        let _respond = self.server.metrics.span(Phase::Respond);
         resp.stats.cache_hit = prepared.cache_hit;
         resp.stats.compile_elapsed = prepared.compile_elapsed;
+        // Prepare happened before execute's clock started: fold the
+        // compile time back in so `total_elapsed` is end-to-end and the
+        // `compile + exec ≤ total` invariant holds per request.
+        resp.stats.total_elapsed += prepared.compile_elapsed;
         self.stats.requests += 1;
         self.stats.cache_hits += u64::from(prepared.cache_hit);
         match resp.stats.lane {
@@ -824,6 +1028,7 @@ mod tests {
             ServerConfig {
                 plan_cache_capacity: 8,
                 policy,
+                ..ServerConfig::default()
             },
         ))
     }
@@ -1479,6 +1684,13 @@ mod tests {
             miss.stats.compile_elapsed > Duration::ZERO,
             "first request pays classification + planning + program compile"
         );
+        assert!(
+            miss.stats.compile_elapsed + miss.stats.exec_elapsed <= miss.stats.total_elapsed,
+            "compile {:?} + exec {:?} must fit within total {:?}",
+            miss.stats.compile_elapsed,
+            miss.stats.exec_elapsed,
+            miss.stats.total_elapsed
+        );
 
         let hit = s.query(&q1, &bind("a1", "u0")).unwrap();
         assert!(hit.stats.cache_hit);
@@ -1487,6 +1699,211 @@ mod tests {
             Duration::ZERO,
             "cached requests pay execution only"
         );
+        assert!(hit.stats.exec_elapsed > Duration::ZERO);
+        assert!(
+            hit.stats.compile_elapsed + hit.stats.exec_elapsed <= hit.stats.total_elapsed,
+            "compile {:?} + exec {:?} must fit within total {:?}",
+            hit.stats.compile_elapsed,
+            hit.stats.exec_elapsed,
+            hit.stats.total_elapsed
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_lanes_cache_writes_and_gauges() {
+        let server = setup(AdmissionPolicy::Budgeted(1_000));
+        let q1 = template(&server);
+        let mut s = server.session();
+        s.query(&q1, &bind("a0", "u0")).unwrap();
+        s.query(&q1, &bind("a1", "u0")).unwrap();
+
+        // A budgeted request and a write with a maintained view delta.
+        let scan = SpcQuery::builder(Arc::clone(server.access().catalog()), "scan")
+            .atom("tagging", "t")
+            .project(("t", "photo_id"))
+            .build()
+            .unwrap();
+        s.query(&scan, &BTreeMap::new()).unwrap();
+        let friends_view = SpcQuery::builder(Arc::clone(server.access().catalog()), "fv")
+            .atom("friends", "f")
+            .eq_const(("f", "user_id"), "u0")
+            .project(("f", "friend_id"))
+            .build()
+            .unwrap();
+        server.register_view(&friends_view).unwrap();
+        // Pin a snapshot across the insert so the write must copy-on-write
+        // the touched shard (otherwise the uniquely-owned shard mutates in
+        // place and the COW counters stay at zero).
+        let pinned = server.snapshot();
+        server
+            .insert("friends", &[Value::str("u0"), Value::str("u7")])
+            .unwrap();
+        drop(pinned);
+        server.bulk_update(|db| {
+            db.insert("friends", &[Value::str("u0"), Value::str("u8")])
+                .unwrap();
+        });
+        server.view_result(ViewId(0)).unwrap();
+
+        let snap = server.metrics_snapshot();
+        use bcq_telemetry::LaneKind;
+        assert_eq!(snap.lane(LaneKind::Bounded).latency.count(), 2);
+        assert_eq!(snap.lane(LaneKind::Budgeted).latency.count(), 1);
+        assert!(snap.lane(LaneKind::Bounded).tuples_fetched > 0);
+        assert_eq!(snap.admission.budget_completed, 1);
+        assert_eq!(snap.cache.misses, 2, "Q1 + scan each compiled once");
+        assert_eq!(snap.cache.hits, 1);
+        assert_eq!(snap.writes.inserts, 1);
+        assert_eq!(snap.writes.bulk_updates, 1);
+        assert_eq!(snap.writes.view_deltas, 1, "maintained insert hit the view");
+        assert_eq!(snap.writes.view_recomputes, 1, "bulk update forced one");
+        assert!(snap.writes.cow_shard_clones > 0);
+        assert_eq!(snap.gauges.relations, 3);
+        assert!(snap.gauges.total_tuples > 0);
+        assert!(snap.gauges.interner_symbols > 0);
+        assert!(snap.gauges.epoch > 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"plan_cache\""), "{json}");
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("bcq_requests_total"), "{prom}");
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing_but_serving_works() {
+        let catalog = Arc::clone(setup(AdmissionPolicy::Strict).access().catalog());
+        let mut a = AccessSchema::new(Arc::clone(&catalog));
+        a.add("friends", &["user_id"], &["friend_id"], 5000)
+            .unwrap();
+        let mut db = Database::new(Arc::clone(&catalog));
+        db.insert("friends", &[Value::str("u0"), Value::str("u1")])
+            .unwrap();
+        let server = Arc::new(Server::new(
+            db,
+            a,
+            ServerConfig {
+                metrics_enabled: false,
+                ..ServerConfig::default()
+            },
+        ));
+        let q = SpcQuery::builder(catalog, "f0")
+            .atom("friends", "f")
+            .eq_const(("f", "user_id"), "u0")
+            .project(("f", "friend_id"))
+            .build()
+            .unwrap();
+        let mut s = server.session();
+        assert_eq!(
+            s.query(&q, &BTreeMap::new()).unwrap().rows().unwrap().len(),
+            1
+        );
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.requests(), 0, "registry off: nothing recorded");
+        // Gauges are pulled from storage at snapshot time, not recorded.
+        assert!(snap.gauges.total_tuples > 0);
+    }
+
+    #[test]
+    fn tracing_records_phase_timings_only_while_enabled() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        let mut s = server.session();
+        s.query(&q1, &bind("a0", "u0")).unwrap();
+        use bcq_telemetry::Phase;
+        let snap = server.metrics_snapshot();
+        assert!(
+            snap.phases.iter().all(|p| p.timings.count() == 0),
+            "tracing off: no phase ever recorded"
+        );
+
+        server.set_tracing(true);
+        s.query(&q1, &bind("a0", "u0")).unwrap(); // hit: no compile
+        s.query(&template(&server), &bind("a1", "u0")).unwrap();
+        server.set_tracing(false);
+        let m = server.metrics();
+        assert_eq!(m.phase_hist(Phase::CacheLookup).snapshot().count(), 2);
+        assert_eq!(m.phase_hist(Phase::Bind).snapshot().count(), 2);
+        assert_eq!(m.phase_hist(Phase::Execute).snapshot().count(), 2);
+        assert_eq!(m.phase_hist(Phase::Respond).snapshot().count(), 2);
+        assert_eq!(
+            m.phase_hist(Phase::Compile).snapshot().count(),
+            0,
+            "both traced requests were cache hits"
+        );
+
+        s.query(&q1, &bind("a0", "u0")).unwrap();
+        assert_eq!(
+            m.phase_hist(Phase::Execute).snapshot().count(),
+            2,
+            "tracing off again: no further phase records"
+        );
+    }
+
+    #[test]
+    fn execute_profiled_breaks_down_operator_time() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        let prepared = server.prepare(&q1).unwrap();
+        let (resp, profile) = server
+            .execute_profiled(&prepared.query, &bind("a0", "u0"))
+            .unwrap();
+        assert_eq!(resp.rows().unwrap().len(), 1);
+        assert!(!profile.steps.is_empty());
+        use bcq_telemetry::StepKind;
+        let kinds: Vec<StepKind> = profile.steps.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&StepKind::Fetch));
+        assert!(kinds.contains(&StepKind::Join));
+        assert!(kinds.contains(&StepKind::Project));
+        assert!(profile.total_ns > 0);
+        assert!(
+            profile.step_sum_ns() <= profile.total_ns,
+            "steps are disjoint slices of the run"
+        );
+        // The profile is retained for explain_last.
+        let last = server.explain_last().expect("profile stored");
+        assert_eq!(last.steps.len(), profile.steps.len());
+        assert!(last.render().contains("join:"), "{}", last.render());
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_bricking_the_server() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        server.session().query(&q1, &bind("a0", "u0")).unwrap();
+
+        // Poison the cache and views locks by panicking while holding them.
+        {
+            let server = Arc::clone(&server);
+            let _ = std::thread::spawn(move || {
+                let _cache = server.cache.lock().unwrap();
+                let _views = server.views.lock().unwrap();
+                panic!("poison both locks");
+            })
+            .join();
+        }
+        assert!(server.cache.is_poisoned());
+        assert!(server.views.is_poisoned());
+
+        // Serving still works end to end: cached prepare, execute, writes,
+        // views, and the metrics snapshot (which reads the cache lock).
+        let r = server.session().query(&q1, &bind("a0", "u0")).unwrap();
+        assert!(r.stats.cache_hit, "cache survived the poison");
+        assert_eq!(r.rows().unwrap().len(), 1);
+        server
+            .insert("friends", &[Value::str("u0"), Value::str("u7")])
+            .unwrap();
+        let view = server
+            .register_view(
+                &SpcQuery::builder(Arc::clone(server.access().catalog()), "fv")
+                    .atom("friends", "f")
+                    .eq_const(("f", "user_id"), "u0")
+                    .project(("f", "friend_id"))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(server.view_result(view).unwrap().len(), 3);
+        let snap = server.metrics_snapshot();
+        assert!(snap.requests() >= 2);
     }
 
     #[test]

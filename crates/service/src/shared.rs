@@ -53,8 +53,13 @@ impl SharedDb {
     /// An immutable snapshot of the current state. Cheap (`Arc` clone);
     /// the snapshot stays valid — and unchanged, global epoch and vector
     /// clock included — however many writes happen after it is taken.
+    ///
+    /// Poison-tolerant: the guarded value is an `Arc` swap, never left
+    /// half-mutated, so a reader that panicked while holding the lock
+    /// cannot have corrupted it — later readers recover the guard instead
+    /// of propagating the panic.
     pub fn snapshot(&self) -> Arc<Database> {
-        Arc::clone(&self.inner.read().expect("database lock poisoned"))
+        Arc::clone(&self.inner.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// The current global epoch — a lock-free atomic load (no read lock,
@@ -76,7 +81,12 @@ impl SharedDb {
     /// by [`Database`] itself); the epoch mirrors are refreshed before the
     /// new state is visible to readers. Returns `f`'s result.
     pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        let mut guard = self.inner.write().expect("database lock poisoned");
+        // Poison recovery mirrors [`SharedDb::snapshot`]: storage mutations
+        // keep the database structurally valid at every step, so a writer
+        // that panicked mid-closure leaves a usable (if partially applied)
+        // state behind — serving keeps running rather than poisoning every
+        // later read and write.
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
         // Shallow clone when snapshots are outstanding: O(relations)
         // pointer bumps, never table data.
         let db = Arc::make_mut(&mut guard);

@@ -1,0 +1,460 @@
+//! Snapshot and exposition: a mergeable, owned [`MetricsSnapshot`] with
+//! hand-rolled JSON and Prometheus-style text renderings (no serde — the
+//! formats are small and fixed, and the crate stays dependency-free).
+//!
+//! The registry fills in its own series ([`MetricsRegistry::snapshot`]);
+//! the serving layer owns the plan cache and the storage gauges and fills
+//! those fields itself before exporting.
+
+use crate::hist::HistSnapshot;
+use crate::metrics::{LaneKind, MetricsRegistry};
+use crate::span::Phase;
+use std::fmt::Write as _;
+
+/// One lane's request series.
+#[derive(Debug, Clone)]
+pub struct LaneSnapshot {
+    /// Which lane.
+    pub lane: LaneKind,
+    /// End-to-end request latency distribution (count = requests served).
+    pub latency: HistSnapshot,
+    /// Total tuples fetched on the lane (aggregate `|D_Q|`).
+    pub tuples_fetched: u64,
+}
+
+/// One traced phase's timing distribution.
+#[derive(Debug, Clone)]
+pub struct PhaseSnapshot {
+    /// Which phase.
+    pub phase: Phase,
+    /// Phase wall-clock distribution (empty unless tracing ran).
+    pub timings: HistSnapshot,
+}
+
+/// Admission-control verdict counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmissionSnapshot {
+    /// Requests refused outright (strict policy).
+    pub rejected: u64,
+    /// Budgeted requests that finished within the cap.
+    pub budget_completed: u64,
+    /// Budgeted requests that exhausted the cap.
+    pub budget_exhausted: u64,
+}
+
+/// Plan-cache movement counters plus current occupancy. Filled by the
+/// serving layer (the cache is not owned by the registry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanCacheSnapshot {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Capacity evictions.
+    pub evictions: u64,
+    /// Entries dropped after failed revalidation.
+    pub invalidations: u64,
+    /// Successful stamp refreshes.
+    pub revalidations: u64,
+    /// Live entries right now (gauge).
+    pub entries: u64,
+}
+
+/// Write-path counters and latency.
+#[derive(Debug, Clone, Default)]
+pub struct WriteSnapshot {
+    /// Maintained single-row inserts.
+    pub inserts: u64,
+    /// Maintained single-row deletes that found a row.
+    pub deletes: u64,
+    /// Out-of-band bulk updates.
+    pub bulk_updates: u64,
+    /// End-to-end write latency (inserts + deletes).
+    pub latency: HistSnapshot,
+    /// Incremental view deltas applied under maintained writes.
+    pub view_deltas: u64,
+    /// Full view recomputes forced by staleness.
+    pub view_recomputes: u64,
+    /// Relation shards cloned by copy-on-write since startup.
+    pub cow_shard_clones: u64,
+    /// Cells (row slots) copied by those clones — with `inserts` +
+    /// `deletes`, the write-amplification numerator.
+    pub cow_cells_cloned: u64,
+}
+
+/// Point-in-time storage gauges, filled by the serving layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GaugeSnapshot {
+    /// Relations in the catalog.
+    pub relations: u64,
+    /// Tuples stored across all relations.
+    pub total_tuples: u64,
+    /// Interned symbols in the shared symbol table.
+    pub interner_symbols: u64,
+    /// Global database epoch.
+    pub epoch: u64,
+}
+
+/// A complete, owned, mergeable metrics snapshot.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Per-lane request series, in [`LaneKind::ALL`] order.
+    pub lanes: Vec<LaneSnapshot>,
+    /// Traced phase timings, in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseSnapshot>,
+    /// Admission verdicts.
+    pub admission: AdmissionSnapshot,
+    /// Plan-cache movement (serving layer fills this).
+    pub cache: PlanCacheSnapshot,
+    /// Write path.
+    pub writes: WriteSnapshot,
+    /// Storage gauges (serving layer fills this).
+    pub gauges: GaugeSnapshot,
+}
+
+pub(crate) fn snapshot_of(reg: &MetricsRegistry) -> MetricsSnapshot {
+    MetricsSnapshot {
+        lanes: LaneKind::ALL
+            .iter()
+            .map(|&lane| LaneSnapshot {
+                lane,
+                latency: reg.lane_latency(lane).snapshot(),
+                tuples_fetched: reg.lane_tuples(lane),
+            })
+            .collect(),
+        phases: Phase::ALL
+            .iter()
+            .map(|&phase| PhaseSnapshot {
+                phase,
+                timings: reg.phase_hist(phase).snapshot(),
+            })
+            .collect(),
+        admission: AdmissionSnapshot {
+            rejected: reg.rejected.get(),
+            budget_completed: reg.budget_completed.get(),
+            budget_exhausted: reg.budget_exhausted.get(),
+        },
+        cache: PlanCacheSnapshot::default(),
+        writes: WriteSnapshot {
+            inserts: reg.inserts.get(),
+            deletes: reg.deletes.get(),
+            bulk_updates: reg.bulk_updates.get(),
+            latency: reg.write_latency_hist().snapshot(),
+            view_deltas: reg.view_deltas.get(),
+            view_recomputes: reg.view_recomputes.get(),
+            cow_shard_clones: 0,
+            cow_cells_cloned: 0,
+        },
+        gauges: GaugeSnapshot::default(),
+    }
+}
+
+impl MetricsSnapshot {
+    /// Total requests served across all lanes.
+    pub fn requests(&self) -> u64 {
+        self.lanes.iter().map(|l| l.latency.count()).sum()
+    }
+
+    /// The snapshot of one lane.
+    pub fn lane(&self, lane: LaneKind) -> &LaneSnapshot {
+        &self.lanes[lane.index()]
+    }
+
+    /// Folds `other` into `self`: histograms and counters add (exact —
+    /// the bucket layout is shared), gauges take the componentwise max.
+    /// Merging snapshots from different servers yields the fleet view.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (a, b) in self.lanes.iter_mut().zip(&other.lanes) {
+            a.latency.merge(&b.latency);
+            a.tuples_fetched += b.tuples_fetched;
+        }
+        for (a, b) in self.phases.iter_mut().zip(&other.phases) {
+            a.timings.merge(&b.timings);
+        }
+        self.admission.rejected += other.admission.rejected;
+        self.admission.budget_completed += other.admission.budget_completed;
+        self.admission.budget_exhausted += other.admission.budget_exhausted;
+        self.cache.hits += other.cache.hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.evictions += other.cache.evictions;
+        self.cache.invalidations += other.cache.invalidations;
+        self.cache.revalidations += other.cache.revalidations;
+        self.cache.entries = self.cache.entries.max(other.cache.entries);
+        self.writes.inserts += other.writes.inserts;
+        self.writes.deletes += other.writes.deletes;
+        self.writes.bulk_updates += other.writes.bulk_updates;
+        self.writes.latency.merge(&other.writes.latency);
+        self.writes.view_deltas += other.writes.view_deltas;
+        self.writes.view_recomputes += other.writes.view_recomputes;
+        self.writes.cow_shard_clones += other.writes.cow_shard_clones;
+        self.writes.cow_cells_cloned += other.writes.cow_cells_cloned;
+        self.gauges.relations = self.gauges.relations.max(other.gauges.relations);
+        self.gauges.total_tuples = self.gauges.total_tuples.max(other.gauges.total_tuples);
+        self.gauges.interner_symbols = self
+            .gauges
+            .interner_symbols
+            .max(other.gauges.interner_symbols);
+        self.gauges.epoch = self.gauges.epoch.max(other.gauges.epoch);
+    }
+
+    /// Hand-rolled JSON rendering (stable key order, no dependencies).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n  \"lanes\": {");
+        for (i, l) in self.lanes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    \"{}\": {{\"count\": {}, \"tuples_fetched\": {}, \"latency_ns\": {}}}",
+                l.lane.label(),
+                l.latency.count(),
+                l.tuples_fetched,
+                json_hist(&l.latency),
+            );
+        }
+        s.push_str("\n  },\n  \"phases\": {");
+        let mut first = true;
+        for p in &self.phases {
+            if p.timings.count() == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "\n    \"{}\": {{\"count\": {}, \"latency_ns\": {}}}",
+                p.phase.label(),
+                p.timings.count(),
+                json_hist(&p.timings),
+            );
+        }
+        let a = self.admission;
+        let _ = write!(
+            s,
+            "\n  }},\n  \"admission\": {{\"rejected\": {}, \"budget_completed\": {}, \"budget_exhausted\": {}}},\n",
+            a.rejected, a.budget_completed, a.budget_exhausted,
+        );
+        let c = self.cache;
+        let _ = writeln!(
+            s,
+            "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"invalidations\": {}, \"revalidations\": {}, \"entries\": {}}},",
+            c.hits, c.misses, c.evictions, c.invalidations, c.revalidations, c.entries,
+        );
+        let w = &self.writes;
+        let _ = writeln!(
+            s,
+            "  \"writes\": {{\"inserts\": {}, \"deletes\": {}, \"bulk_updates\": {}, \"view_deltas\": {}, \"view_recomputes\": {}, \"cow_shard_clones\": {}, \"cow_cells_cloned\": {}, \"latency_ns\": {}}},",
+            w.inserts,
+            w.deletes,
+            w.bulk_updates,
+            w.view_deltas,
+            w.view_recomputes,
+            w.cow_shard_clones,
+            w.cow_cells_cloned,
+            json_hist(&w.latency),
+        );
+        let g = self.gauges;
+        let _ = write!(
+            s,
+            "  \"gauges\": {{\"relations\": {}, \"total_tuples\": {}, \"interner_symbols\": {}, \"epoch\": {}}}\n}}",
+            g.relations, g.total_tuples, g.interner_symbols, g.epoch,
+        );
+        s
+    }
+
+    /// Prometheus-style text exposition: counters as `*_total`, latency
+    /// distributions as summaries with p50/p90/p99/p999 quantiles.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("# TYPE bcq_requests_total counter\n");
+        for l in &self.lanes {
+            let _ = writeln!(
+                s,
+                "bcq_requests_total{{lane=\"{}\"}} {}",
+                l.lane.label(),
+                l.latency.count()
+            );
+        }
+        s.push_str("# TYPE bcq_tuples_fetched_total counter\n");
+        for l in &self.lanes {
+            let _ = writeln!(
+                s,
+                "bcq_tuples_fetched_total{{lane=\"{}\"}} {}",
+                l.lane.label(),
+                l.tuples_fetched
+            );
+        }
+        s.push_str("# TYPE bcq_request_latency_ns summary\n");
+        for l in &self.lanes {
+            prom_summary(
+                &mut s,
+                "bcq_request_latency_ns",
+                "lane",
+                l.lane.label(),
+                &l.latency,
+            );
+        }
+        s.push_str("# TYPE bcq_phase_latency_ns summary\n");
+        for p in &self.phases {
+            if p.timings.count() > 0 {
+                prom_summary(
+                    &mut s,
+                    "bcq_phase_latency_ns",
+                    "phase",
+                    p.phase.label(),
+                    &p.timings,
+                );
+            }
+        }
+        let a = self.admission;
+        for (name, v) in [
+            ("bcq_admission_rejected_total", a.rejected),
+            ("bcq_budget_completed_total", a.budget_completed),
+            ("bcq_budget_exhausted_total", a.budget_exhausted),
+        ] {
+            let _ = writeln!(s, "# TYPE {name} counter\n{name} {v}");
+        }
+        let c = self.cache;
+        for (name, v) in [
+            ("bcq_plan_cache_hits_total", c.hits),
+            ("bcq_plan_cache_misses_total", c.misses),
+            ("bcq_plan_cache_evictions_total", c.evictions),
+            ("bcq_plan_cache_invalidations_total", c.invalidations),
+            ("bcq_plan_cache_revalidations_total", c.revalidations),
+        ] {
+            let _ = writeln!(s, "# TYPE {name} counter\n{name} {v}");
+        }
+        let _ = writeln!(
+            s,
+            "# TYPE bcq_plan_cache_entries gauge\nbcq_plan_cache_entries {}",
+            c.entries
+        );
+        let w = &self.writes;
+        for (name, v) in [
+            ("bcq_writes_inserts_total", w.inserts),
+            ("bcq_writes_deletes_total", w.deletes),
+            ("bcq_writes_bulk_updates_total", w.bulk_updates),
+            ("bcq_view_deltas_total", w.view_deltas),
+            ("bcq_view_recomputes_total", w.view_recomputes),
+            ("bcq_cow_shard_clones_total", w.cow_shard_clones),
+            ("bcq_cow_cells_cloned_total", w.cow_cells_cloned),
+        ] {
+            let _ = writeln!(s, "# TYPE {name} counter\n{name} {v}");
+        }
+        if w.latency.count() > 0 {
+            s.push_str("# TYPE bcq_write_latency_ns summary\n");
+            prom_summary(
+                &mut s,
+                "bcq_write_latency_ns",
+                "path",
+                "maintained",
+                &w.latency,
+            );
+        }
+        let g = self.gauges;
+        for (name, v) in [
+            ("bcq_relations", g.relations),
+            ("bcq_total_tuples", g.total_tuples),
+            ("bcq_interner_symbols", g.interner_symbols),
+            ("bcq_epoch", g.epoch),
+        ] {
+            let _ = writeln!(s, "# TYPE {name} gauge\n{name} {v}");
+        }
+        s
+    }
+}
+
+fn json_hist(h: &HistSnapshot) -> String {
+    format!(
+        "{{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}, \"mean\": {:.1}}}",
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.99),
+        h.quantile(0.999),
+        h.max(),
+        h.mean(),
+    )
+}
+
+fn prom_summary(s: &mut String, name: &str, key: &str, label: &str, h: &HistSnapshot) {
+    for (q, v) in [
+        ("0.5", h.quantile(0.50)),
+        ("0.9", h.quantile(0.90)),
+        ("0.99", h.quantile(0.99)),
+        ("0.999", h.quantile(0.999)),
+    ] {
+        let _ = writeln!(s, "{name}{{{key}=\"{label}\",quantile=\"{q}\"}} {v}");
+    }
+    let _ = writeln!(s, "{name}_count{{{key}=\"{label}\"}} {}", h.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let r = MetricsRegistry::new();
+        r.record_request(LaneKind::Bounded, 800, 3);
+        r.record_request(LaneKind::Bounded, 900, 3);
+        r.record_request(LaneKind::Budgeted, 50_000, 120);
+        r.record_budget_verdict(true);
+        r.record_write(true, 4_000, 1);
+        let mut snap = r.snapshot();
+        snap.cache.hits = 2;
+        snap.cache.misses = 1;
+        snap.gauges.total_tuples = 11;
+        snap.gauges.interner_symbols = 7;
+        snap
+    }
+
+    #[test]
+    fn json_exposition_carries_all_sections() {
+        let j = sample().to_json();
+        for key in [
+            "\"bounded\"",
+            "\"budgeted\"",
+            "\"p999\"",
+            "\"plan_cache\"",
+            "\"admission\"",
+            "\"writes\"",
+            "\"view_deltas\"",
+            "\"gauges\"",
+            "\"interner_symbols\": 7",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_is_line_oriented() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("bcq_requests_total{lane=\"bounded\"} 2"), "{p}");
+        assert!(
+            p.contains("bcq_request_latency_ns{lane=\"bounded\",quantile=\"0.5\"}"),
+            "{p}"
+        );
+        assert!(p.contains("bcq_budget_completed_total 1"), "{p}");
+        assert!(p.contains("bcq_plan_cache_hits_total 2"), "{p}");
+        assert!(p.contains("bcq_writes_inserts_total 1"), "{p}");
+        assert!(p.contains("bcq_total_tuples 11"), "{p}");
+    }
+
+    #[test]
+    fn merged_snapshots_sum_counters_and_histograms() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.requests(), 6);
+        assert_eq!(a.lane(LaneKind::Bounded).latency.count(), 4);
+        assert_eq!(a.lane(LaneKind::Bounded).tuples_fetched, 12);
+        assert_eq!(a.admission.budget_completed, 2);
+        assert_eq!(a.cache.hits, 4);
+        assert_eq!(a.writes.inserts, 2);
+        // Gauges are point-in-time: max, not sum.
+        assert_eq!(a.gauges.total_tuples, 11);
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-operator profiling: the [`Probe`] trait the columnar interpreter
+//! is generic over, and the [`OpProfile`] a profiled run produces.
+//!
+//! The interpreter's hot loops call `probe.begin()` / `probe.step(..)`
+//! around each operator. [`NoProbe`] — the steady-state instantiation —
+//! has `ENABLED = false` and empty inline bodies, so the compiler removes
+//! every probe site from the normal monomorphization: profiling is free
+//! unless a [`Profiler`] is passed in, in which case each step pays two
+//! clock reads and a `Vec` push (profiled runs are diagnostics, not the
+//! serving path).
+
+use std::time::Instant;
+
+/// What kind of interpreter operator a profiled step was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Columnar fetch of one atom's candidate rows (index lookup or scan).
+    Fetch,
+    /// Pin resolution (constants / parameters / seed pins).
+    Pin,
+    /// Selection-vector predicate sweep over a fetched batch.
+    Filter,
+    /// Seeding the partial-result table from the first atom.
+    Seed,
+    /// One join step: key extraction, probe, and bind gathers.
+    Join,
+    /// Duplicate-variable check sweep.
+    DupCheck,
+    /// Semi-join reduction pass.
+    SemiJoin,
+    /// Final projection into the result set.
+    Project,
+}
+
+impl StepKind {
+    /// Stable label used in renderings and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            StepKind::Fetch => "fetch",
+            StepKind::Pin => "pin",
+            StepKind::Filter => "filter",
+            StepKind::Seed => "seed",
+            StepKind::Join => "join",
+            StepKind::DupCheck => "dup_check",
+            StepKind::SemiJoin => "semi_join",
+            StepKind::Project => "project",
+        }
+    }
+}
+
+/// One timed operator step of a profiled run.
+#[derive(Debug, Clone)]
+pub struct StepProfile {
+    /// Operator kind.
+    pub kind: StepKind,
+    /// Human-readable step label (e.g. `join:atom2 keys=1 binds=1`).
+    pub label: String,
+    /// Wall-clock nanoseconds spent in the step.
+    pub ns: u64,
+    /// Rows entering the step (candidate rows, partial rows, …).
+    pub rows_in: u64,
+    /// Rows surviving the step.
+    pub rows_out: u64,
+}
+
+/// The per-operator breakdown of one profiled execution.
+#[derive(Debug, Clone, Default)]
+pub struct OpProfile {
+    /// Steps in execution order.
+    pub steps: Vec<StepProfile>,
+    /// End-to-end wall-clock of the profiled run (same clock as the
+    /// steps, measured around the whole execution).
+    pub total_ns: u64,
+}
+
+impl OpProfile {
+    /// Sum of the individual step timings. Probe overhead and
+    /// between-step glue make this slightly less than
+    /// [`OpProfile::total_ns`]; the gap is the unattributed remainder.
+    pub fn step_sum_ns(&self) -> u64 {
+        self.steps.iter().map(|s| s.ns).sum()
+    }
+
+    /// A fixed-width table of the steps, one line per operator, with the
+    /// share of total time each took.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let total = self.total_ns.max(1);
+        for s in &self.steps {
+            let _ = writeln!(
+                out,
+                "{:>9} ns  {:>5.1}%  {:>9} -> {:<9} {}",
+                s.ns,
+                s.ns as f64 * 100.0 / total as f64,
+                s.rows_in,
+                s.rows_out,
+                s.label,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>9} ns  total ({} steps, {} ns unattributed)",
+            self.total_ns,
+            self.steps.len(),
+            self.total_ns.saturating_sub(self.step_sum_ns()),
+        );
+        out
+    }
+}
+
+/// The hook the columnar interpreter is generic over. All methods default
+/// to empty inline bodies; implementations with `ENABLED = false` compile
+/// to nothing.
+pub trait Probe {
+    /// `false` compiles every probe site out of the monomorphization.
+    /// Call sites guard label formatting behind `if P::ENABLED`.
+    const ENABLED: bool;
+
+    /// Marks the start of the next step (one clock read when enabled).
+    #[inline]
+    fn begin(&mut self) {}
+
+    /// Closes the step opened by the last [`Probe::begin`], attributing
+    /// the elapsed time to `kind`/`label` with the given row movement.
+    #[inline]
+    fn step(&mut self, kind: StepKind, label: &str, rows_in: u64, rows_out: u64) {
+        let _ = (kind, label, rows_in, rows_out);
+    }
+}
+
+/// The steady-state probe: compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    const ENABLED: bool = false;
+}
+
+/// The recording probe behind `ProfiledRun`: collects a [`StepProfile`]
+/// per step.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    steps: Vec<StepProfile>,
+    started: Option<Instant>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Consumes the profiler into an [`OpProfile`] stamped with the
+    /// run's end-to-end time.
+    pub fn finish(self, total_ns: u64) -> OpProfile {
+        OpProfile {
+            steps: self.steps,
+            total_ns,
+        }
+    }
+}
+
+impl Probe for Profiler {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn begin(&mut self) {
+        self.started = Some(Instant::now());
+    }
+
+    #[inline]
+    fn step(&mut self, kind: StepKind, label: &str, rows_in: u64, rows_out: u64) {
+        let ns = self
+            .started
+            .take()
+            .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        self.steps.push(StepProfile {
+            kind,
+            label: label.to_string(),
+            ns,
+            rows_in,
+            rows_out,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_collects_steps_in_order() {
+        let mut p = Profiler::new();
+        p.begin();
+        p.step(StepKind::Fetch, "fetch:friends", 0, 5);
+        p.begin();
+        p.step(StepKind::Join, "join:atom1", 5, 2);
+        let prof = p.finish(1_000);
+        assert_eq!(prof.steps.len(), 2);
+        assert_eq!(prof.steps[0].kind, StepKind::Fetch);
+        assert_eq!(prof.steps[1].rows_out, 2);
+        assert!(prof.step_sum_ns() <= prof.total_ns.max(prof.step_sum_ns()));
+        let table = prof.render();
+        assert!(table.contains("fetch:friends"), "{table}");
+        assert!(table.contains("total (2 steps"), "{table}");
+    }
+
+    #[test]
+    fn step_without_begin_records_zero_ns() {
+        let mut p = Profiler::new();
+        p.step(StepKind::Project, "project", 2, 2);
+        let prof = p.finish(10);
+        assert_eq!(prof.steps[0].ns, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the log-linear histogram: merged snapshots must
+//! answer quantile queries inside the bucket that holds the true
+//! concatenated-sample quantile, and merge must be order-independent.
+
+use bcq_telemetry::hist::{bucket_index, bucket_lower, bucket_width, Histogram};
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> bcq_telemetry::HistSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `merge(a, b)` quantiles bracket the concatenated-samples quantiles:
+    /// the estimate lands inside the bucket containing the true sample
+    /// quantile, so it is within one bucket width (≤ 3.1 % relative
+    /// error) of the exact order statistic.
+    #[test]
+    fn merged_quantiles_bracket_concatenated_samples(
+        a in prop::collection::vec(0u64..2_000_000_000, 1..60),
+        b in prop::collection::vec(0u64..2_000_000_000, 1..60),
+        qs in prop::collection::vec(1u64..1000, 1..8),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+
+        let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(merged.count(), all.len() as u64);
+
+        for &qi in &qs {
+            let q = qi as f64 / 1000.0;
+            let rank = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+            let truth = all[rank - 1];
+            let est = merged.quantile(q);
+            let bucket = bucket_index(truth);
+            let lo = bucket_lower(bucket);
+            let hi = lo + bucket_width(bucket);
+            prop_assert!(
+                est >= lo && est < hi,
+                "q={}: estimate {} outside bucket [{}, {}) of true quantile {}",
+                q, est, lo, hi, truth
+            );
+        }
+    }
+
+    /// Merge is commutative and agrees with the single histogram of the
+    /// concatenated stream, bucket for bucket.
+    #[test]
+    fn merge_is_commutative_and_exact(
+        a in prop::collection::vec(0u64..u64::MAX / 2, 0..40),
+        b in prop::collection::vec(0u64..u64::MAX / 2, 0..40),
+    ) {
+        let (sa, sb) = (hist_of(&a), hist_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(&ab, &hist_of(&concat));
+    }
+}

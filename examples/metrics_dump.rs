@@ -1,0 +1,232 @@
+//! Observability end to end: drive a mixed read/write workload through a
+//! [`Server`], then dump what the always-on metrics registry saw — the
+//! per-lane latency histograms (p50/p99/p999), plan-cache movement,
+//! admission verdicts, write-path and copy-on-write amplification
+//! counters — as both JSON and Prometheus text. Then the two opt-in
+//! diagnostics: request tracing (phase timings for admit → cache-lookup →
+//! compile → bind → execute → respond) and per-operator profiling of an
+//! 8-atom chain query, whose step times must sum to within 10% of the
+//! measured end-to-end execute time.
+//!
+//! Run with: `cargo run --release --example metrics_dump`
+
+use bounded_cq::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The social-search server of the other examples, behind a budgeted
+/// admission policy so unbounded scans land on the metered baseline
+/// instead of being rejected.
+fn social_server() -> core::result::Result<(Arc<Server>, Arc<Catalog>), Box<dyn std::error::Error>>
+{
+    let catalog = Catalog::from_names(&[
+        ("in_album", &["photo_id", "album_id"]),
+        ("friends", &["user_id", "friend_id"]),
+        ("tagging", &["photo_id", "tagger_id", "taggee_id"]),
+    ])?;
+    let mut access = AccessSchema::new(catalog.clone());
+    access.add("in_album", &["album_id"], &["photo_id"], 1000)?;
+    access.add("friends", &["user_id"], &["friend_id"], 5000)?;
+    access.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 8)?;
+
+    let users = 1_000i64;
+    let mut db = Database::new(catalog.clone());
+    for u in 0..users {
+        for k in 0..8 {
+            let f = (u * 31 + k * 7 + 1) % users;
+            db.insert(
+                "friends",
+                &[Value::str(format!("u{u}")), Value::str(format!("u{f}"))],
+            )?;
+        }
+    }
+    for p in 0..users {
+        db.insert(
+            "in_album",
+            &[
+                Value::str(format!("p{p}")),
+                Value::str(format!("a{}", p % 50)),
+            ],
+        )?;
+        db.insert(
+            "tagging",
+            &[
+                Value::str(format!("p{p}")),
+                Value::str(format!("u{}", (p * 31 + 1) % users)),
+                Value::str(format!("u{}", p % users)),
+            ],
+        )?;
+    }
+    let config = ServerConfig {
+        policy: AdmissionPolicy::Budgeted(1_000_000),
+        ..ServerConfig::default()
+    };
+    Ok((Arc::new(Server::new(db, access, config)), catalog))
+}
+
+/// An 8-atom chain: hops `h1 → h2 → … → h8` through `hop(src, dst)`,
+/// anchored on a parameterized start node. Effectively bounded — each
+/// hop's `src` is determined by the previous hop's `dst`, so the plan
+/// fetches at most `3^k` witnesses per level.
+fn chain_server() -> core::result::Result<(Arc<Server>, SpcQuery), Box<dyn std::error::Error>> {
+    let catalog = Catalog::from_names(&[("hop", &["src", "dst"])])?;
+    let mut access = AccessSchema::new(catalog.clone());
+    access.add("hop", &["src"], &["dst"], 3)?;
+
+    let nodes = 2_000i64;
+    let mut db = Database::new(catalog.clone());
+    for n in 0..nodes {
+        for k in 0..3 {
+            let d = (n * 3 + k * 7 + 1) % nodes;
+            db.insert(
+                "hop",
+                &[Value::str(format!("n{n}")), Value::str(format!("n{d}"))],
+            )?;
+        }
+    }
+
+    let names: Vec<String> = (1..=8).map(|i| format!("h{i}")).collect();
+    let mut b = SpcQuery::builder(catalog, "chain8");
+    for name in &names {
+        b = b.atom("hop", name);
+    }
+    b = b.eq_param(("h1", "src"), "start");
+    for w in names.windows(2) {
+        b = b.eq((w[0].as_str(), "dst"), (w[1].as_str(), "src"));
+    }
+    let q = b.project(("h8", "dst")).build()?;
+    Ok((
+        Arc::new(Server::new(db, access, ServerConfig::default())),
+        q,
+    ))
+}
+
+fn main() -> core::result::Result<(), Box<dyn std::error::Error>> {
+    let (server, catalog) = social_server()?;
+
+    // --- Mixed traffic: bounded template hits, budgeted scans, view
+    // maintenance, maintained writes and deletes. ---
+    let q1 = SpcQuery::builder(catalog.clone(), "Q1")
+        .atom("in_album", "ia")
+        .atom("friends", "f")
+        .atom("tagging", "t")
+        .eq_param(("ia", "album_id"), "aid")
+        .eq_param(("f", "user_id"), "uid")
+        .eq(("ia", "photo_id"), ("t", "photo_id"))
+        .eq(("t", "tagger_id"), ("f", "friend_id"))
+        .eq_param(("t", "taggee_id"), "uid")
+        .project(("ia", "photo_id"))
+        .build()?;
+    let scan = SpcQuery::builder(catalog.clone(), "all_taggers")
+        .atom("tagging", "t")
+        .project(("t", "tagger_id"))
+        .build()?;
+    let friends_view = SpcQuery::builder(catalog, "friends_of_u0")
+        .atom("friends", "f")
+        .eq_const(("f", "user_id"), "u0")
+        .project(("f", "friend_id"))
+        .build()?;
+    server.register_view(&friends_view)?;
+
+    let mut session = server.session();
+    for i in 0..2_000i64 {
+        let mut bind = BTreeMap::new();
+        bind.insert("aid".to_string(), Value::str(format!("a{}", i % 50)));
+        bind.insert("uid".to_string(), Value::str(format!("u{}", i % 1_000)));
+        session.query(&q1, &bind)?;
+    }
+    for _ in 0..3 {
+        session.query(&scan, &BTreeMap::new())?;
+    }
+    // Writes racing a held snapshot: the store must copy-on-write the
+    // touched shard, which is what the cow_* counters then expose.
+    let pinned = server.snapshot();
+    for k in 0..16 {
+        server.insert("friends", &[Value::str("u0"), Value::str(format!("w{k}"))])?;
+    }
+    for k in 0..4 {
+        server.delete("friends", &[Value::str("u0"), Value::str(format!("w{k}"))])?;
+    }
+    drop(pinned);
+    server.bulk_update(|db| {
+        db.insert("friends", &[Value::str("u0"), Value::str("bulk")])
+            .unwrap();
+    });
+    server.view_result(ViewId(0))?;
+
+    // --- Request tracing: opt-in, per-server; phases show up only for
+    // the traced requests. ---
+    server.set_tracing(true);
+    let mut bind = BTreeMap::new();
+    bind.insert("aid".to_string(), Value::str("a1"));
+    bind.insert("uid".to_string(), Value::str("u1"));
+    session.query(&q1, &bind)?;
+    server.set_tracing(false);
+
+    // --- The dump. ---
+    let snap = server.metrics_snapshot();
+    println!("=== JSON ===\n{}\n", snap.to_json());
+    println!("=== Prometheus ===\n{}", snap.to_prometheus());
+
+    assert_eq!(snap.lane(LaneKind::Bounded).latency.count(), 2_001);
+    assert_eq!(snap.lane(LaneKind::Budgeted).latency.count(), 3);
+    assert!(snap.lane(LaneKind::Bounded).latency.quantile(0.999) > 0);
+    assert_eq!(snap.admission.budget_completed, 3);
+    assert_eq!(snap.cache.misses, 2, "Q1 + scan compiled once each");
+    assert!(snap.cache.hits >= 2_000);
+    assert_eq!(snap.writes.inserts, 16);
+    assert_eq!(snap.writes.deletes, 4);
+    assert_eq!(snap.writes.bulk_updates, 1);
+    assert!(
+        snap.writes.view_deltas >= 16,
+        "view saw every maintained write"
+    );
+    assert!(
+        snap.writes.view_recomputes >= 1,
+        "bulk update forced a recompute"
+    );
+    assert!(
+        snap.writes.cow_shard_clones > 0,
+        "writes raced the pinned snapshot"
+    );
+    assert!(snap.writes.cow_cells_cloned > 0);
+    println!(
+        "write amplification: {} cells cloned across {} shard clones for {} writes\n",
+        snap.writes.cow_cells_cloned,
+        snap.writes.cow_shard_clones,
+        snap.writes.inserts + snap.writes.deletes,
+    );
+
+    // --- Per-operator profiling: the 8-atom chain. ---
+    let (chain, q) = chain_server()?;
+    let prepared = chain.prepare(&q)?;
+    let mut bind = BTreeMap::new();
+    bind.insert("start".to_string(), Value::str("n0"));
+    let (resp, profile) = chain.execute_profiled(&prepared.query, &bind)?;
+    println!(
+        "=== chain8 profile ({} answers, |DQ|={}) ===\n{}",
+        resp.rows().map_or(0, |r| r.len()),
+        resp.stats.meter.tuples_fetched,
+        profile.render()
+    );
+    let sum = profile.step_sum_ns();
+    assert!(sum <= profile.total_ns, "steps nest inside the execution");
+    assert!(
+        sum * 10 >= profile.total_ns * 9,
+        "operator steps must cover ≥ 90% of the measured execute time \
+         (steps {sum} ns vs total {} ns)",
+        profile.total_ns
+    );
+    println!(
+        "step sum {} ns / total {} ns = {:.1}% attributed",
+        sum,
+        profile.total_ns,
+        100.0 * sum as f64 / profile.total_ns as f64
+    );
+    assert_eq!(
+        chain.explain_last().map(|p| p.steps.len()),
+        Some(profile.steps.len())
+    );
+
+    Ok(())
+}

@@ -20,6 +20,8 @@
 //! * [`service`] — the prepared-query serving layer: compile
 //!   a template once, cache the plan, execute per request against epoch
 //!   snapshots under admission control.
+//! * [`telemetry`] — serving-tier observability: always-on lock-free
+//!   metrics, opt-in request tracing, zero-cost per-operator profiling.
 //! * [`workload`] — the TFACC / MOT / TPCH experimental
 //!   workloads of Section 6.
 //!
@@ -70,6 +72,7 @@ pub use bcq_core as core;
 pub use bcq_exec as exec;
 pub use bcq_service as service;
 pub use bcq_storage as storage;
+pub use bcq_telemetry as telemetry;
 pub use bcq_workload as workload;
 
 /// One-stop imports: everything from the core prelude plus the storage,
@@ -83,8 +86,9 @@ pub mod prelude {
         ExecOutcome, IncrementalAnswer, ParamEnv, PartialsOutcome, RaOutcome, ResultSet,
     };
     pub use bcq_service::{
-        AdmissionPolicy, BudgetVerdict, Lane, Outcome, PreparedQuery, RequestStats, Response,
-        Server, ServerConfig, ServiceError, Session, SessionStats, SharedDb,
+        trace_thread, AdmissionPolicy, BudgetVerdict, Lane, LaneKind, MetricsRegistry,
+        MetricsSnapshot, OpProfile, Outcome, Phase, PreparedQuery, RequestStats, Response, Server,
+        ServerConfig, ServiceError, Session, SessionStats, SharedDb, StepKind, StepProfile, ViewId,
     };
     pub use bcq_storage::{
         discover_bound, dump_csv, load_csv, validate, Database, HashIndex, Loader, Meter,

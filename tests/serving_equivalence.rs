@@ -24,6 +24,12 @@ fn check_dataset(ds: &Dataset, scale: f64) {
                 .query(&wq.query, &no_bindings)
                 .unwrap_or_else(|e| panic!("{} [{tag}]: {e}", wq.query.name()));
             assert_eq!(served.stats.lane, Lane::Bounded, "{}", wq.query.name());
+            assert!(
+                served.stats.compile_elapsed + served.stats.exec_elapsed
+                    <= served.stats.total_elapsed,
+                "{} [{tag}]: phase times exceed the end-to-end span",
+                wq.query.name()
+            );
             let plan = qplan(&wq.query, &ds.access).unwrap();
             let fresh = eval_dq(&snapshot, &plan, &ds.access).unwrap();
             assert_eq!(
@@ -365,6 +371,7 @@ fn served_unbounded_equals_baseline() {
             ServerConfig {
                 plan_cache_capacity: 64,
                 policy: AdmissionPolicy::Budgeted(u64::MAX),
+                ..ServerConfig::default()
             },
         ));
         let mut session = server.session();
