@@ -28,6 +28,14 @@
 //!   measurement on a catalog padded with ballast relations, proving the
 //!   sharded clone cost is independent of the number of other relations
 //!   (`derived.write_sharded_ballast_ratio` ≈ 1.0).
+//! * **What does durability cost?** the same steady-state maintained
+//!   insert against a WAL-attached server (group commit every 64 ops, on
+//!   an in-memory log device so the number isolates record encoding +
+//!   append, not disk latency) vs the identical WAL-free server. The
+//!   on/off sample windows interleave so drift cancels;
+//!   `derived.wal_overhead_ratio` is CI's ≤ 2.0 regression gate, with
+//!   `wal_bytes_per_write` / `wal_fsyncs_per_write` recording what the
+//!   log actually absorbed.
 //! * **Does mixed traffic scale?** `serving/mixed/threads/N`: N sessions
 //!   issuing 63 reads per maintained write; read against `cores` like the
 //!   read-only scaling ratio.
@@ -36,7 +44,9 @@
 
 use bcq_core::prelude::*;
 use bcq_exec::eval_dq;
-use bcq_service::{LaneKind, Server, ServerConfig};
+use bcq_service::{
+    DurabilityConfig, LaneKind, LogStorage, MemLog, Server, ServerConfig, SyncPolicy,
+};
 use bcq_storage::Database;
 use criterion::{
     criterion_group, criterion_main, measure_median_ns, record_derived, record_metric_sampled,
@@ -319,6 +329,53 @@ fn write_server(users: i64, ballast: usize) -> Arc<Server> {
     Arc::new(Server::new(db, access, ServerConfig::default()))
 }
 
+/// The social server again, but opened durable over an in-memory log
+/// device: every write is WAL-logged, group-fsynced every 64 ops. The
+/// data rides one bulk load so the steady state matches [`write_server`].
+fn durable_write_server(users: i64) -> Arc<Server> {
+    let cat = ballast_catalog(0);
+    let access = social_access(&cat);
+    let log: Arc<dyn LogStorage> = Arc::new(MemLog::new());
+    let durability = DurabilityConfig {
+        policy: SyncPolicy::EveryOps(64),
+        keep_snapshots: 2,
+    };
+    let (server, _report, _views) =
+        Server::open(log, access, ServerConfig::default(), durability, &[]).unwrap();
+    server.bulk_update(|db| {
+        for u in 0..users {
+            for k in 0..8 {
+                let f = (u * 31 + k * 7 + 1) % users;
+                db.insert(
+                    "friends",
+                    &[Value::str(format!("u{u}")), Value::str(format!("f{f}"))],
+                )
+                .unwrap();
+            }
+        }
+        for p in 0..users / 2 {
+            db.insert(
+                "in_album",
+                &[
+                    Value::str(format!("p{p}")),
+                    Value::str(format!("a{}", p % (users / 20))),
+                ],
+            )
+            .unwrap();
+            db.insert(
+                "tagging",
+                &[
+                    Value::str(format!("p{p}")),
+                    Value::str(format!("f{}", (p * 31 + 1) % users)),
+                    Value::str(format!("u{}", p % users)),
+                ],
+            )
+            .unwrap();
+        }
+    });
+    Arc::new(server)
+}
+
 /// Sharded write cost with a snapshot held across every write (so each
 /// write must copy-on-write its shard): median ns/write plus the cells
 /// actually cloned, read from the storage layer's cow counters.
@@ -401,6 +458,49 @@ fn bench_write_path(_c: &mut criterion::Criterion) {
     );
     record_derived("write_speedup_sharded_vs_monolithic", mono_ns / ballast_ns);
     std::hint::black_box(current.total_tuples());
+
+    // --- WAL on vs off: the identical steady-state maintained insert
+    // (values already interned, no snapshot held) against a durable
+    // server and a WAL-free one. The log device is in-memory, so the
+    // ratio isolates what the write path itself pays — record encoding +
+    // framed append + the 1-in-64 group fsync — not disk latency. The
+    // committed `derived.wal_overhead_ratio` is CI's ≤ 2.0 gate. ---
+    let durable = durable_write_server(users);
+    let plain = write_server(users, 0);
+    let row = [Value::str("u1"), Value::str("f1")];
+    let mut sink = 0usize;
+    let (w_samples, w_iters) = if smoke_mode() { (1, 1) } else { (31, 256) };
+    let write_window = |server: &Arc<Server>, sink: &mut usize| {
+        let start = Instant::now();
+        for _ in 0..w_iters {
+            *sink += server.insert("friends", &row).unwrap() as usize & 1;
+        }
+        start.elapsed().as_nanos() as f64 / w_iters as f64
+    };
+    write_window(&durable, &mut sink); // warm-up
+    write_window(&plain, &mut sink);
+    let wal_before = durable.wal_stats().unwrap();
+    let (mut on_ns, mut off_ns) = (Vec::new(), Vec::new());
+    for _ in 0..w_samples {
+        on_ns.push(write_window(&durable, &mut sink));
+        off_ns.push(write_window(&plain, &mut sink));
+    }
+    let wal_after = durable.wal_stats().unwrap();
+    let wal_on = summarize(on_ns, w_iters);
+    let wal_off = summarize(off_ns, w_iters);
+    wal_on.record("serving/write/wal_group_commit");
+    wal_off.record("serving/write/wal_off");
+    record_derived("wal_overhead_ratio", wal_on.ns / wal_off.ns);
+    let measured_writes = (w_samples * w_iters) as f64;
+    record_derived(
+        "wal_bytes_per_write",
+        (wal_after.bytes - wal_before.bytes) as f64 / measured_writes,
+    );
+    record_derived(
+        "wal_fsyncs_per_write",
+        (wal_after.fsyncs - wal_before.fsyncs) as f64 / measured_writes,
+    );
+    std::hint::black_box(sink);
 
     // --- Mixed read/write throughput: N sessions, each issuing one
     // maintained write per 63 cached reads, one shared server. ---

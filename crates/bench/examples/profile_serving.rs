@@ -5,13 +5,15 @@
 //! Doubles as the allocation gate: the counting global allocator proves
 //! the steady-state prepared path performs **zero** heap allocations per
 //! request — with the metrics registry enabled (its record path is two
-//! relaxed `fetch_add`s, no clocks, no boxes). CI runs this in release
-//! mode; the asserts at the bottom fail the build on any regression.
+//! relaxed `fetch_add`s, no clocks, no boxes), and again on a server
+//! opened with durability (the WAL writer rides the write path only;
+//! prepared reads must not touch it). CI runs this in release mode; the
+//! asserts at the bottom fail the build on any regression.
 
 use bcq_core::access::AccessSchema;
 use bcq_core::prelude::*;
 use bcq_exec::{eval_dq_with, ParamEnv};
-use bcq_service::{Server, ServerConfig};
+use bcq_service::{DurabilityConfig, LogStorage, MemLog, Server, ServerConfig, SyncPolicy};
 use bcq_storage::Database;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -219,6 +221,77 @@ fn main() {
         "prepared serving must stay allocation-free with always-on metrics"
     );
     assert_eq!(eval_allocs, 0.0, "scratch-reusing executor regressed");
+
+    // The same gate against a durable server: the WAL writer hangs off
+    // the write path only, so attaching one must not cost prepared reads
+    // a single allocation. (Smaller dataset — the gate is shape-, not
+    // size-, sensitive; every loaded row below is WAL-logged.)
+    let dusers = 1000i64;
+    let log: Arc<dyn LogStorage> = Arc::new(MemLog::new());
+    let (durable, _report, _views) = Server::open(
+        log,
+        social_access(&cat),
+        ServerConfig::default(),
+        DurabilityConfig {
+            policy: SyncPolicy::EveryOps(64),
+            keep_snapshots: 2,
+        },
+        &[],
+    )
+    .unwrap();
+    durable.bulk_update(|db| {
+        for u in 0..dusers {
+            for k in 0..8 {
+                let f = (u * 31 + k * 7 + 1) % dusers;
+                db.insert(
+                    "friends",
+                    &[Value::str(format!("u{u}")), Value::str(format!("f{f}"))],
+                )
+                .unwrap();
+            }
+        }
+        for p in 0..dusers / 2 {
+            db.insert(
+                "in_album",
+                &[
+                    Value::str(format!("p{p}")),
+                    Value::str(format!("a{}", p % (dusers / 20))),
+                ],
+            )
+            .unwrap();
+            db.insert(
+                "tagging",
+                &[
+                    Value::str(format!("p{p}")),
+                    Value::str(format!("f{}", (p * 31 + 1) % dusers)),
+                    Value::str(format!("u{}", p % dusers)),
+                ],
+            )
+            .unwrap();
+        }
+    });
+    assert!(durable.wal_stats().unwrap().records > 0, "bulk load logged");
+    let dhandle = durable.prepare(&tpl).unwrap();
+    let dbinds: Vec<BTreeMap<String, Value>> = (0..32)
+        .map(|i| {
+            let i = i as i64;
+            let mut b = BTreeMap::new();
+            b.insert("aid".to_string(), Value::str(format!("a{}", i * 7 + 1)));
+            b.insert(
+                "uid".to_string(),
+                Value::str(format!("u{}", (i * 13 + 5) % dusers)),
+            );
+            b
+        })
+        .collect();
+    let durable_allocs = count_allocs("allocs: server.execute (WAL attached)", 4096, |i| {
+        let resp = durable.execute(&dhandle.query, &dbinds[i % 32]).unwrap();
+        sink += resp.rows().map_or(0, |r| r.len());
+    });
+    assert_eq!(
+        durable_allocs, 0.0,
+        "prepared serving must stay allocation-free with the WAL attached"
+    );
 
     std::hint::black_box(sink);
 }

@@ -136,6 +136,19 @@ impl Cell {
     pub fn raw(self) -> u64 {
         self.0.get()
     }
+
+    /// Reconstructs a cell from a raw word previously obtained via
+    /// [`Cell::raw`] — the durability layer's deserialization path. Returns
+    /// `None` for words that are not a valid cell encoding (zero, or an
+    /// unknown tag), so corrupted log bytes surface as decode failures
+    /// instead of undefined cells.
+    #[inline]
+    pub fn from_raw(bits: u64) -> Option<Cell> {
+        match bits & TAG_MASK {
+            TAG_INT | TAG_SYM | TAG_NULL | TAG_WIDE => NonZeroU64::new(bits).map(Cell),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Debug for Cell {
@@ -345,6 +358,24 @@ mod tests {
         }
         assert!(Cell::NULL.is_null());
         assert!(!int0.is_null());
+    }
+
+    #[test]
+    fn from_raw_roundtrips_valid_words_and_rejects_garbage() {
+        let cells = [
+            Cell::from_small_int(42).unwrap(),
+            Cell::from_small_int(-42).unwrap(),
+            Cell::from_sym(Sym(7)),
+            Cell::from_wide(3),
+            Cell::NULL,
+        ];
+        for c in cells {
+            assert_eq!(Cell::from_raw(c.raw()), Some(c));
+        }
+        assert_eq!(Cell::from_raw(0), None, "zero word is never a cell");
+        for bad_tag in [0b000u64, 0b101, 0b110, 0b111] {
+            assert_eq!(Cell::from_raw((99 << 3) | bad_tag), None, "tag {bad_tag:b}");
+        }
     }
 
     #[test]

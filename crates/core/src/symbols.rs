@@ -68,6 +68,24 @@ impl SymbolTable {
         self.strings.len()
     }
 
+    /// The interned strings in id order (`Sym(0)`, `Sym(1)`, …): the dump
+    /// the durability layer snapshots. Re-interning them in this order into
+    /// an empty table reproduces identical ids.
+    pub fn strings(&self) -> impl Iterator<Item = &str> + '_ {
+        self.strings.iter().map(|s| s.as_ref())
+    }
+
+    /// The wide-int pool in index order (see [`Self::strings`] for the
+    /// replay contract).
+    pub fn wide_ints(&self) -> &[i64] {
+        &self.wide_ints
+    }
+
+    /// Number of pooled wide integers.
+    pub fn num_wide_ints(&self) -> usize {
+        self.wide_ints.len()
+    }
+
     /// `true` if nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty() && self.wide_ints.is_empty()
@@ -202,6 +220,32 @@ mod tests {
         ] {
             let loaded = t.encode(&v);
             assert_eq!(t.try_encode(&v), Some(loaded));
+        }
+    }
+
+    #[test]
+    fn id_order_dump_replays_to_identical_ids() {
+        let mut t = SymbolTable::new();
+        t.encode_row(&[Value::str("b"), Value::str("a"), Value::int(i64::MAX)]);
+        t.encode(&Value::int(i64::MIN));
+        // Re-intern the dump in id order into a fresh table: ids must match.
+        let mut replayed = SymbolTable::new();
+        for s in t.strings() {
+            replayed.intern(s);
+        }
+        for &w in t.wide_ints() {
+            replayed.encode(&Value::int(w));
+        }
+        assert_eq!(replayed.len(), t.len());
+        assert_eq!(replayed.num_wide_ints(), t.num_wide_ints());
+        for (v, cell) in [
+            (Value::str("b"), t.try_encode(&Value::str("b")).unwrap()),
+            (
+                Value::int(i64::MAX),
+                t.try_encode(&Value::int(i64::MAX)).unwrap(),
+            ),
+        ] {
+            assert_eq!(replayed.try_encode(&v), Some(cell));
         }
     }
 

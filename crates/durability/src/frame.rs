@@ -1,0 +1,182 @@
+//! Record framing: `[u32 len][u32 crc][payload]`, little-endian, with a
+//! hand-rolled CRC-32 (IEEE) over the payload.
+//!
+//! Decoding distinguishes the two ways a log can be damaged:
+//!
+//! * A **torn tail** — the stream ends mid-record (short header, or fewer
+//!   than `len` payload bytes). That is what an interrupted append looks
+//!   like, so the partial record is silently dropped and everything before
+//!   it is used. [`decode_frames`] reports how many tail bytes were torn.
+//! * **Corruption** — a record is fully present but its CRC does not
+//!   match. That is never produced by a crash (crashes truncate); it means
+//!   the stored bytes changed, and recovery must fail loudly rather than
+//!   replay garbage. [`FrameError::Corrupt`] carries the byte offset of
+//!   the offending record.
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = u32::MAX;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Header bytes per frame: `u32` length + `u32` CRC.
+pub const FRAME_HEADER: usize = 8;
+
+/// Appends one framed record onto `out`.
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(u32::try_from(payload.len()).expect("record too large")).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// A decoded stream damage that recovery must not replay through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A fully present record whose CRC does not match, at this byte
+    /// offset of the stream.
+    Corrupt {
+        /// Byte offset of the record's frame header within the stream.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Corrupt { offset } => {
+                write!(f, "CRC mismatch on record at byte offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Every intact frame of `bytes`, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedFrames<'a> {
+    /// `(start offset, end offset, payload)` of each intact record; the
+    /// end offset is where the next frame header begins.
+    pub frames: Vec<(usize, usize, &'a [u8])>,
+    /// Bytes of torn (incomplete) final record dropped from the tail.
+    pub torn_bytes: usize,
+}
+
+/// Splits a stream into its intact frames, dropping a torn tail and
+/// refusing corruption (see the module docs for the distinction).
+pub fn decode_frames(bytes: &[u8]) -> Result<DecodedFrames<'_>, FrameError> {
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < FRAME_HEADER {
+            return Ok(DecodedFrames {
+                frames,
+                torn_bytes: remaining,
+            });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if remaining < FRAME_HEADER + len {
+            return Ok(DecodedFrames {
+                frames,
+                torn_bytes: remaining,
+            });
+        }
+        let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            return Err(FrameError::Corrupt { offset: pos });
+        }
+        let end = pos + FRAME_HEADER + len;
+        frames.push((pos, end, payload));
+        pos = end;
+    }
+    Ok(DecodedFrames {
+        frames,
+        torn_bytes: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"alpha");
+        append_frame(&mut buf, b"");
+        append_frame(&mut buf, b"beta-record");
+        let decoded = decode_frames(&buf).unwrap();
+        let payloads: Vec<&[u8]> = decoded.frames.iter().map(|&(_, _, p)| p).collect();
+        assert_eq!(payloads, vec![&b"alpha"[..], &b""[..], &b"beta-record"[..]]);
+        assert_eq!(decoded.torn_bytes, 0);
+        assert_eq!(decoded.frames.last().unwrap().1, buf.len());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_at_every_truncation_point() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"first");
+        let keep = buf.len();
+        append_frame(&mut buf, b"second-record");
+        // Every strict prefix that cuts into the second record decodes to
+        // just the first, reporting the torn byte count.
+        for cut in keep..buf.len() {
+            let decoded = decode_frames(&buf[..cut]).unwrap();
+            assert_eq!(decoded.frames.len(), 1, "cut at {cut}");
+            assert_eq!(decoded.torn_bytes, cut - keep, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_loud_with_the_offending_offset() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"first");
+        let second_at = buf.len();
+        append_frame(&mut buf, b"second");
+        append_frame(&mut buf, b"third");
+        // Flip one payload byte of the middle record.
+        buf[second_at + FRAME_HEADER] ^= 0x01;
+        assert_eq!(
+            decode_frames(&buf),
+            Err(FrameError::Corrupt { offset: second_at })
+        );
+    }
+}

@@ -1,0 +1,482 @@
+//! Crash recovery: latest usable snapshot + log replay to a consistent
+//! epoch vector.
+//!
+//! Recovery proceeds in four steps:
+//!
+//! 1. **Snapshot.** Snapshot blobs are tried newest-first; a torn or
+//!    corrupt blob is skipped (that is what a crash mid-checkpoint leaves
+//!    behind) and the previous one is used, falling back to an empty
+//!    database when none decodes. The snapshot fixes the replay start:
+//!    records with sequence numbers ≤ its `last_seq` are already folded in.
+//! 2. **Merge.** Every stream (`meta` + `rel-<n>`) is split into intact
+//!    frames — torn tails dropped, CRC mismatches loudly fatal — and the
+//!    decoded records are merged by global sequence number. The replayable
+//!    history is the **longest gap-free run** after the snapshot boundary:
+//!    a missing sequence number means every later record may depend on
+//!    un-synced state, so everything beyond the gap is discarded.
+//! 3. **Replay.** The kept run is re-applied through the public
+//!    [`Database`] API. A side symbol table (snapshot dump + intern
+//!    records) decodes each record's raw cell words back to values; the
+//!    replaying database re-interns them in the original emission order,
+//!    so the rebuilt cells — and therefore rows, indices, and epochs — are
+//!    bit-identical. Each commit-bearing record asserts the database
+//!    arrived at exactly its commit stamp. A bulk load replays only if its
+//!    closing [`RecordBody::BulkEnd`] made it to the log; an open bulk at
+//!    the tail is torn and discarded whole.
+//! 4. **Truncate.** Streams are cut back to the last kept record, so the
+//!    discarded suffix can never resurface and a writer restarted at
+//!    `last_seq + 1` never collides. This is also what makes recovery
+//!    idempotent: recovering twice equals recovering once.
+//!
+//! [`ReplayObserver`] lets the serving tier watch replayed mutations (to
+//! drive registered incremental views back to consistency through the
+//! same delta paths used live).
+
+use crate::frame::{decode_frames, FrameError};
+use crate::record::{RecordBody, WalRecord};
+use crate::snapshot::{decode_snapshot, restore_snapshot, SNAP_PREFIX};
+use crate::storage::LogStorage;
+use crate::writer::{parse_rel_stream, META_STREAM};
+use bcq_core::prelude::{Catalog, Cell, CellKind, RelId, SymbolTable, Value};
+use bcq_storage::Database;
+use std::io;
+use std::sync::Arc;
+
+/// Why recovery refused to produce a database.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The log storage failed.
+    Io(io::Error),
+    /// A fully-present record failed its CRC — stored bytes changed, which
+    /// a crash cannot do, so replaying would mean replaying garbage.
+    Corrupt {
+        /// Stream holding the damaged record.
+        stream: String,
+        /// Byte offset of the record's frame header within the stream.
+        offset: usize,
+    },
+    /// A frame passed its CRC but its payload does not parse (codec bug or
+    /// version skew) — never silently skippable.
+    Record {
+        /// Stream holding the unparseable record.
+        stream: String,
+        /// Decoder diagnostic.
+        msg: String,
+    },
+    /// The kept run does not replay cleanly (out-of-contract log, e.g. a
+    /// logged delete that misses, or a commit-stamp mismatch).
+    Replay(String),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "log storage I/O: {e}"),
+            RecoverError::Corrupt { stream, offset } => {
+                write!(f, "stream `{stream}`: CRC mismatch at byte offset {offset}")
+            }
+            RecoverError::Record { stream, msg } => {
+                write!(f, "stream `{stream}`: unparseable record: {msg}")
+            }
+            RecoverError::Replay(msg) => write!(f, "replay diverged: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<io::Error> for RecoverError {
+    fn from(e: io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+/// What recovery did, for logs and telemetry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Name of the snapshot blob restored from, if any.
+    pub snapshot: Option<String>,
+    /// Newer snapshot blobs skipped because they were torn or corrupt.
+    pub snapshots_skipped: usize,
+    /// Records re-applied from the log (op, intern, and bulk records).
+    pub replayed: u64,
+    /// Records discarded: beyond a sequence gap, or part of a torn bulk.
+    pub discarded: u64,
+    /// Torn tail bytes dropped across all streams.
+    pub torn_bytes: u64,
+    /// Highest durable sequence number after recovery; a new writer starts
+    /// at `last_seq + 1`.
+    pub last_seq: u64,
+    /// Streams truncated to cut the discarded suffix.
+    pub truncated_streams: usize,
+}
+
+/// One replayed mutation, as seen by a [`ReplayObserver`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayEvent {
+    /// A row was inserted (`maintained` mirrors which insert path ran).
+    Inserted {
+        /// Touched relation.
+        rel: RelId,
+        /// The inserted row.
+        row: Vec<Value>,
+        /// Whether indices were maintained in place.
+        maintained: bool,
+    },
+    /// One copy of a row was deleted.
+    Deleted {
+        /// Touched relation.
+        rel: RelId,
+        /// The deleted row.
+        row: Vec<Value>,
+        /// Whether indices were maintained in place.
+        maintained: bool,
+    },
+    /// A complete bulk load was re-applied (indices dropped).
+    BulkLoaded {
+        /// Loaded relation.
+        rel: RelId,
+    },
+    /// An index build was re-applied.
+    IndexBuilt {
+        /// Indexed relation.
+        rel: RelId,
+    },
+}
+
+/// Watches recovery so higher layers (registered views in `bcq-service`)
+/// can ride replay back to consistency through their live delta paths.
+pub trait ReplayObserver {
+    /// The snapshot (or empty database) is restored; replay starts now.
+    fn snapshot_loaded(&mut self, _db: &Database) {}
+    /// One mutation was re-applied; `db` already reflects it.
+    fn applied(&mut self, _db: &Database, _event: ReplayEvent) {}
+}
+
+struct NoopObserver;
+impl ReplayObserver for NoopObserver {}
+
+/// Recovers a database from `storage` (see the [module docs](self)).
+pub fn recover(
+    storage: &dyn LogStorage,
+    catalog: Arc<Catalog>,
+) -> Result<(Database, RecoveryReport), RecoverError> {
+    recover_with(storage, catalog, &mut NoopObserver)
+}
+
+/// A record staged for replay: where it sits, so the stream can be
+/// truncated behind it.
+#[derive(Debug)]
+struct Staged {
+    stream: usize,
+    end_offset: usize,
+    record: WalRecord,
+}
+
+/// An in-flight bulk load being buffered until its `BulkEnd` proves it
+/// complete.
+struct PendingBulk {
+    rel: u32,
+    commit: u64,
+    begin_seq: u64,
+    rows: Vec<Vec<Value>>,
+}
+
+/// [`recover`], with an observer watching each replayed mutation.
+pub fn recover_with(
+    storage: &dyn LogStorage,
+    catalog: Arc<Catalog>,
+    observer: &mut dyn ReplayObserver,
+) -> Result<(Database, RecoveryReport), RecoverError> {
+    let mut report = RecoveryReport::default();
+
+    // 1. Newest usable snapshot, else empty database.
+    let mut snaps: Vec<String> = storage
+        .list_blobs()?
+        .into_iter()
+        .filter(|n| n.starts_with(SNAP_PREFIX))
+        .collect();
+    snaps.sort();
+    let mut db = None;
+    let mut side = SymbolTable::new();
+    let mut snap_seq = 0;
+    for name in snaps.iter().rev() {
+        let Some(bytes) = storage.read_blob(name)? else {
+            continue;
+        };
+        let restored = decode_snapshot(&bytes).and_then(|snap| {
+            let seq = snap.last_seq;
+            let symbols = snap.symbols.clone();
+            restore_snapshot(catalog.clone(), snap).map(|db| (db, symbols, seq))
+        });
+        match restored {
+            Ok((restored_db, symbols, seq)) => {
+                db = Some(restored_db);
+                side = symbols;
+                snap_seq = seq;
+                report.snapshot = Some(name.clone());
+                break;
+            }
+            Err(_) => report.snapshots_skipped += 1,
+        }
+    }
+    let mut db = db.unwrap_or_else(|| Database::new(catalog.clone()));
+    observer.snapshot_loaded(&db);
+
+    // 2. Decode every stream and merge records by sequence number.
+    let mut streams: Vec<String> = storage
+        .streams()?
+        .into_iter()
+        .filter(|s| s == META_STREAM || parse_rel_stream(s).is_some())
+        .collect();
+    streams.sort();
+    let mut staged = Vec::new();
+    let mut stream_lens = Vec::with_capacity(streams.len());
+    for (si, stream) in streams.iter().enumerate() {
+        let bytes = storage.read(stream)?;
+        stream_lens.push(bytes.len());
+        let decoded = decode_frames(&bytes).map_err(|FrameError::Corrupt { offset }| {
+            RecoverError::Corrupt {
+                stream: stream.clone(),
+                offset,
+            }
+        })?;
+        report.torn_bytes += decoded.torn_bytes as u64;
+        for (_, end, payload) in decoded.frames {
+            let record = WalRecord::decode(payload).map_err(|msg| RecoverError::Record {
+                stream: stream.clone(),
+                msg,
+            })?;
+            staged.push(Staged {
+                stream: si,
+                end_offset: end,
+                record,
+            });
+        }
+    }
+    staged.sort_by_key(|s| s.record.seq);
+
+    // The longest gap-free run after the snapshot boundary.
+    let mut run = Vec::new();
+    let mut next_seq = snap_seq + 1;
+    for s in &staged {
+        if s.record.seq <= snap_seq {
+            continue; // Folded into the snapshot already.
+        }
+        if s.record.seq != next_seq {
+            break; // Gap (or duplicate): nothing later is trustworthy.
+        }
+        next_seq += 1;
+        run.push(s);
+    }
+
+    // 3. Replay, buffering bulk loads until their end record.
+    let cat = db.catalog().clone();
+    let mut pending: Option<PendingBulk> = None;
+    let mut applied_through = snap_seq;
+    for s in &run {
+        let seq = s.record.seq;
+        if let Some(bulk) = &mut pending {
+            match &s.record.body {
+                RecordBody::InternStr { id, text } => apply_intern_str(&mut side, *id, text)?,
+                RecordBody::InternWide { id, value } => apply_intern_wide(&mut side, *id, *value)?,
+                RecordBody::BulkRow { rel, cells } if *rel == bulk.rel => {
+                    bulk.rows.push(decode_cells(&side, cells, seq)?);
+                }
+                RecordBody::BulkEnd { rel } if *rel == bulk.rel => {
+                    let bulk = pending.take().unwrap();
+                    let rel = rel_id(&db, bulk.rel, seq)?;
+                    let mut loader = db.loader(rel);
+                    for row in &bulk.rows {
+                        loader.push(row);
+                    }
+                    drop(loader);
+                    check_commit(&db, bulk.commit, seq)?;
+                    observer.applied(&db, ReplayEvent::BulkLoaded { rel });
+                }
+                other => {
+                    return Err(RecoverError::Replay(format!(
+                        "record {other:?} at seq {seq} inside open bulk load of rel {}",
+                        bulk.rel
+                    )))
+                }
+            }
+            applied_through = seq;
+            continue;
+        }
+        match &s.record.body {
+            RecordBody::InternStr { id, text } => apply_intern_str(&mut side, *id, text)?,
+            RecordBody::InternWide { id, value } => apply_intern_wide(&mut side, *id, *value)?,
+            RecordBody::Insert { commit, rel, cells }
+            | RecordBody::InsertMaintained { commit, rel, cells } => {
+                let maintained = matches!(s.record.body, RecordBody::InsertMaintained { .. });
+                let rel = rel_id(&db, *rel, seq)?;
+                let row = decode_cells(&side, cells, seq)?;
+                let name = cat.relation(rel).name();
+                let result = if maintained {
+                    db.insert_maintained(name, &row).map(|_| ())
+                } else {
+                    db.insert(name, &row)
+                };
+                result.map_err(|e| RecoverError::Replay(format!("insert at seq {seq}: {e}")))?;
+                check_commit(&db, *commit, seq)?;
+                observer.applied(
+                    &db,
+                    ReplayEvent::Inserted {
+                        rel,
+                        row,
+                        maintained,
+                    },
+                );
+            }
+            RecordBody::Delete { commit, rel, cells }
+            | RecordBody::DeleteMaintained { commit, rel, cells } => {
+                let maintained = matches!(s.record.body, RecordBody::DeleteMaintained { .. });
+                let rel = rel_id(&db, *rel, seq)?;
+                let row = decode_cells(&side, cells, seq)?;
+                let name = cat.relation(rel).name();
+                let hit = if maintained {
+                    db.delete_maintained(name, &row)
+                } else {
+                    db.delete(name, &row)
+                }
+                .map_err(|e| RecoverError::Replay(format!("delete at seq {seq}: {e}")))?;
+                if !hit {
+                    return Err(RecoverError::Replay(format!(
+                        "logged delete at seq {seq} found no row on replay"
+                    )));
+                }
+                check_commit(&db, *commit, seq)?;
+                observer.applied(
+                    &db,
+                    ReplayEvent::Deleted {
+                        rel,
+                        row,
+                        maintained,
+                    },
+                );
+            }
+            RecordBody::BulkBegin { commit, rel } => {
+                rel_id(&db, *rel, seq)?;
+                pending = Some(PendingBulk {
+                    rel: *rel,
+                    commit: *commit,
+                    begin_seq: seq,
+                    rows: Vec::new(),
+                });
+            }
+            RecordBody::BulkRow { .. } | RecordBody::BulkEnd { .. } => {
+                return Err(RecoverError::Replay(format!(
+                    "bulk record at seq {seq} outside any bulk load"
+                )));
+            }
+            RecordBody::EnsureIndex { commit, rel, x, y } => {
+                let rel = rel_id(&db, *rel, seq)?;
+                let x: Vec<usize> = x.iter().map(|&c| c as usize).collect();
+                let y: Vec<usize> = y.iter().map(|&c| c as usize).collect();
+                db.ensure_index_cols(rel, &x, &y);
+                check_commit(&db, *commit, seq)?;
+                observer.applied(&db, ReplayEvent::IndexBuilt { rel });
+            }
+        }
+        applied_through = seq;
+    }
+    // A bulk load still open at the end of the run never logged its end
+    // record: it is torn, and everything from its begin record on is
+    // discarded (the buffered rows were never applied).
+    if let Some(bulk) = pending {
+        applied_through = bulk.begin_seq - 1;
+    }
+
+    report.last_seq = applied_through;
+    report.replayed = applied_through - snap_seq;
+    report.discarded = staged
+        .iter()
+        .filter(|s| s.record.seq > applied_through)
+        .count() as u64;
+
+    // 4. Truncate each stream behind the last kept record.
+    for (si, stream) in streams.iter().enumerate() {
+        let keep = staged
+            .iter()
+            .filter(|s| s.stream == si && s.record.seq <= applied_through)
+            .map(|s| s.end_offset)
+            .max()
+            .unwrap_or(0);
+        if keep < stream_lens[si] {
+            storage.truncate(stream, keep as u64)?;
+            report.truncated_streams += 1;
+        }
+    }
+
+    Ok((db, report))
+}
+
+/// Applies an intern record to the side table, checking the id matches the
+/// replay contract (dense sequential assignment).
+fn apply_intern_str(side: &mut SymbolTable, id: u32, text: &str) -> Result<(), RecoverError> {
+    let got = side.intern(text);
+    if got.0 != id {
+        return Err(RecoverError::Replay(format!(
+            "intern of {text:?} replayed to id {} but was logged as {id}",
+            got.0
+        )));
+    }
+    Ok(())
+}
+
+fn apply_intern_wide(side: &mut SymbolTable, id: u32, value: i64) -> Result<(), RecoverError> {
+    side.encode(&Value::Int(value));
+    if side.wide_ints().get(id as usize) != Some(&value) {
+        return Err(RecoverError::Replay(format!(
+            "wide int {value} not at logged pool index {id} after replay"
+        )));
+    }
+    Ok(())
+}
+
+/// Decodes a record's raw cell words against the side symbol table,
+/// rejecting words the table cannot account for.
+fn decode_cells(side: &SymbolTable, cells: &[u64], seq: u64) -> Result<Vec<Value>, RecoverError> {
+    cells
+        .iter()
+        .map(|&raw| {
+            let cell = Cell::from_raw(raw).ok_or_else(|| {
+                RecoverError::Replay(format!("invalid cell word {raw:#x} at seq {seq}"))
+            })?;
+            let known = match cell.kind() {
+                CellKind::Null | CellKind::SmallInt(_) => true,
+                CellKind::Sym(sym) => (sym.0 as usize) < side.len(),
+                CellKind::WideInt(ix) => (ix as usize) < side.num_wide_ints(),
+            };
+            if !known {
+                return Err(RecoverError::Replay(format!(
+                    "cell word {raw:#x} at seq {seq} references an id never interned"
+                )));
+            }
+            Ok(side.decode(cell))
+        })
+        .collect()
+}
+
+fn rel_id(db: &Database, rel: u32, seq: u64) -> Result<RelId, RecoverError> {
+    if (rel as usize) < db.num_relations() {
+        Ok(RelId(rel as usize))
+    } else {
+        Err(RecoverError::Replay(format!(
+            "record at seq {seq} names relation {rel}, catalog has {}",
+            db.num_relations()
+        )))
+    }
+}
+
+fn check_commit(db: &Database, commit: u64, seq: u64) -> Result<(), RecoverError> {
+    if db.epoch() == commit {
+        Ok(())
+    } else {
+        Err(RecoverError::Replay(format!(
+            "record at seq {seq} was stamped commit {commit}, replay arrived at {}",
+            db.epoch()
+        )))
+    }
+}

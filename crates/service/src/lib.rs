@@ -79,10 +79,15 @@ pub mod shared;
 pub use cache::{CacheStats, PlanCache, RelStamps, SharedStamps};
 pub use prepared::{access_fingerprint, query_fingerprint, ra_fingerprint, Lane, PreparedQuery};
 pub use server::{
-    AdmissionPolicy, BudgetVerdict, Outcome, Prepared, RequestStats, Response, Server,
-    ServerConfig, ServiceError, Session, SessionStats, ViewId,
+    AdmissionPolicy, BudgetVerdict, DurabilityConfig, Outcome, Prepared, RequestStats, Response,
+    Server, ServerConfig, ServiceError, Session, SessionStats, ViewId,
 };
 pub use shared::SharedDb;
+// Re-exported so a durable deployment can be opened (storage backend,
+// fsync policy, recovery report) without naming `bcq-durability` itself.
+pub use bcq_durability::{
+    DirLog, LogStorage, MemLog, RecoveryReport, SyncPolicy, WalStats, WalWriter,
+};
 // Re-exported so downstream users of the serving tier can consume
 // [`Server::metrics_snapshot`] / [`Server::execute_profiled`] without
 // naming `bcq-telemetry` themselves.

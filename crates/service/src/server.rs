@@ -27,15 +27,20 @@ use bcq_core::access::AccessSchema;
 use bcq_core::error::CoreError;
 use bcq_core::prelude::{parse_spc, RaExpr, RelId, SpcQuery, Value};
 use bcq_core::qplan::qplan_template;
+use bcq_durability::{
+    recover_with, LogStorage, RecoveryReport, ReplayEvent, ReplayObserver, SyncPolicy, WalStats,
+    WalWriter,
+};
 use bcq_exec::ra::eval_ra_prepared;
 use bcq_exec::{
     baseline, eval_dq_profiled, eval_dq_with, BaselineMode, BaselineOptions, BaselineOutcome,
     IncrementalAnswer, ParamEnv, PreparedRa, ResultSet,
 };
-use bcq_storage::{Database, Meter};
+use bcq_storage::{Database, Meter, WalSink};
 use bcq_telemetry::{LaneKind, MetricsRegistry, MetricsSnapshot, OpProfile, Phase};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -72,6 +77,8 @@ pub enum ServiceError {
     Core(CoreError),
     /// The query was refused by the admission policy.
     Rejected(String),
+    /// A durability operation (WAL sync, checkpoint, recovery) failed.
+    Durability(String),
 }
 
 impl From<CoreError> for ServiceError {
@@ -85,6 +92,7 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Core(e) => write!(f, "{e}"),
             ServiceError::Rejected(why) => write!(f, "admission rejected: {why}"),
+            ServiceError::Durability(why) => write!(f, "durability: {why}"),
         }
     }
 }
@@ -120,6 +128,38 @@ impl Default for ServerConfig {
             metrics_enabled: true,
         }
     }
+}
+
+/// Durability knobs for [`Server::open`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityConfig {
+    /// When the WAL writer fsyncs ([`SyncPolicy::Always`] = no acknowledged
+    /// write is ever lost; `EveryOps(n)` = group commit, at most the last
+    /// `n` writes lost on a crash).
+    pub policy: SyncPolicy,
+    /// How many snapshot blobs [`Server::checkpoint`] retains (≥ 1; the
+    /// previous snapshot is the fallback against a torn checkpoint).
+    pub keep_snapshots: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            policy: SyncPolicy::EveryOps(64),
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// The durable half of an opened server: log storage, the attached WAL
+/// writer, and recovery/checkpoint bookkeeping.
+struct DurabilityState {
+    storage: Arc<dyn LogStorage>,
+    writer: Arc<WalWriter>,
+    keep_snapshots: usize,
+    /// Records replayed by the recovery that opened this server.
+    replayed: u64,
+    checkpoints: AtomicU64,
 }
 
 /// Budget verdict of one request.
@@ -238,6 +278,105 @@ impl View {
     }
 }
 
+/// Rides WAL replay to bring requested views back to consistency through
+/// their live delta paths ([`IncrementalAnswer::on_insert`] /
+/// [`IncrementalAnswer::on_delete`]) instead of a post-hoc recompute.
+/// A view goes `dirty` — and is re-initialized against the final recovered
+/// state — only when replay crosses an event its delta path cannot absorb:
+/// a bulk load, a non-maintained write to a relation it reads, or a delta
+/// error.
+struct ViewReplay<'a> {
+    access: &'a AccessSchema,
+    queries: &'a [SpcQuery],
+    /// One slot per requested view: the maintained answer (None until the
+    /// snapshot loads or if initialization failed) and its dirty flag.
+    answers: Vec<(Option<IncrementalAnswer>, bool)>,
+    /// Deltas applied through replay (telemetry).
+    deltas: u64,
+}
+
+impl<'a> ViewReplay<'a> {
+    fn new(access: &'a AccessSchema, queries: &'a [SpcQuery]) -> Self {
+        ViewReplay {
+            access,
+            queries,
+            answers: Vec::new(),
+            deltas: 0,
+        }
+    }
+
+    /// Marks every view reading `rel` dirty.
+    fn soil(&mut self, rel: RelId) {
+        for (ans, dirty) in &mut self.answers {
+            if ans.as_ref().is_some_and(|a| a.reads(rel)) {
+                *dirty = true;
+            }
+        }
+    }
+}
+
+impl ReplayObserver for ViewReplay<'_> {
+    fn snapshot_loaded(&mut self, db: &Database) {
+        self.answers = self
+            .queries
+            .iter()
+            .map(
+                |q| match IncrementalAnswer::initialize(db, q, self.access) {
+                    Ok(a) => (Some(a), false),
+                    // Initialization against the snapshot failed (e.g. an index
+                    // the delta plan needs is not in the snapshot yet): defer to
+                    // the final-state recompute in [`Server::open`].
+                    Err(_) => (None, true),
+                },
+            )
+            .collect();
+    }
+
+    fn applied(&mut self, db: &Database, event: ReplayEvent) {
+        match event {
+            ReplayEvent::Inserted {
+                rel,
+                row,
+                maintained: true,
+            } => {
+                for (ans, dirty) in &mut self.answers {
+                    if let Some(a) = ans {
+                        if !*dirty && a.reads(rel) {
+                            match a.on_insert(db, rel, &row) {
+                                Ok(_) => self.deltas += 1,
+                                Err(_) => *dirty = true,
+                            }
+                        }
+                    }
+                }
+            }
+            ReplayEvent::Deleted {
+                rel,
+                row,
+                maintained: true,
+            } => {
+                for (ans, dirty) in &mut self.answers {
+                    if let Some(a) = ans {
+                        if !*dirty && a.reads(rel) {
+                            match a.on_delete(db, rel, &row) {
+                                Ok(_) => self.deltas += 1,
+                                Err(_) => *dirty = true,
+                            }
+                        }
+                    }
+                }
+            }
+            // Non-maintained writes drop the relation's indices mid-replay
+            // and bulk loads rewrite the shard wholesale: the delta path
+            // cannot absorb either, so the view recomputes at the end.
+            ReplayEvent::Inserted { rel, .. } | ReplayEvent::Deleted { rel, .. } => self.soil(rel),
+            ReplayEvent::BulkLoaded { rel } => self.soil(rel),
+            // An index (re)build changes no rows.
+            ReplayEvent::IndexBuilt { .. } => {}
+        }
+    }
+}
+
 /// The query-serving server: shared database, plan cache, admission
 /// control, registered views. `Server` is `Sync` — share it behind an
 /// `Arc` and open one [`Session`] per client/thread.
@@ -252,6 +391,9 @@ pub struct Server {
     /// The most recent per-operator profile captured by
     /// [`Server::execute_profiled`] (see [`Server::explain_last`]).
     last_profile: Mutex<Option<OpProfile>>,
+    /// Present iff the server was built by [`Server::open`]: the WAL the
+    /// database writes through, and checkpoint state.
+    durability: Option<DurabilityState>,
 }
 
 impl Server {
@@ -271,7 +413,127 @@ impl Server {
             views: Mutex::new(Vec::new()),
             metrics,
             last_profile: Mutex::new(None),
+            durability: None,
         }
+    }
+
+    /// Opens a **durable** server over `storage`: recovers the database
+    /// from the latest consistent snapshot plus WAL replay, re-registers
+    /// `views` (brought back to consistency *during* replay through their
+    /// incremental delta paths wherever possible), and attaches a WAL
+    /// writer so every subsequent write — maintained single-row writes,
+    /// bulk updates, index builds — is logged before it is acknowledged.
+    ///
+    /// Returns the server, the [`RecoveryReport`] (what was restored,
+    /// replayed and discarded), and the ids of the re-registered views in
+    /// `views` order.
+    ///
+    /// On first boot (empty storage) recovery yields the empty database and
+    /// the index builds declared by `access` are themselves logged, so the
+    /// next `open` replays them. With group commit
+    /// ([`SyncPolicy::EveryOps`]) the tail of unsynced writes is flushed by
+    /// [`Server::wal_sync`] or [`Server::checkpoint`]; WAL I/O errors are
+    /// stashed and surfaced by those same calls.
+    pub fn open(
+        storage: Arc<dyn LogStorage>,
+        access: AccessSchema,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+        views: &[SpcQuery],
+    ) -> crate::Result<(Server, RecoveryReport, Vec<ViewId>)> {
+        let catalog = Arc::clone(access.catalog());
+        let mut replay = ViewReplay::new(&access, views);
+        let (mut db, report) = recover_with(&*storage, catalog, &mut replay)
+            .map_err(|e| ServiceError::Durability(e.to_string()))?;
+        let (answers, replay_deltas) = (std::mem::take(&mut replay.answers), replay.deltas);
+
+        // Attach the writer before `Server::new`: its `build_indexes` runs
+        // through the WAL-emitting funnel, so an index built fresh here is
+        // itself durable (and a replayed one is a silent no-op).
+        let writer = Arc::new(WalWriter::new(
+            Arc::clone(&storage),
+            durability.policy,
+            report.last_seq + 1,
+        ));
+        db.set_wal(Some(Arc::clone(&writer) as Arc<dyn WalSink>));
+        let mut server = Server::new(db, access, config);
+        server.durability = Some(DurabilityState {
+            storage,
+            writer,
+            keep_snapshots: durability.keep_snapshots.max(1),
+            replayed: report.replayed,
+            checkpoints: AtomicU64::new(0),
+        });
+
+        // Install the replayed views. A view that rode replay cleanly is
+        // already current; a dirty (or never-initialized) one recomputes
+        // against the final recovered state.
+        let snap = server.shared.snapshot();
+        let mut installed = Vec::with_capacity(views.len());
+        let mut ids = Vec::with_capacity(views.len());
+        let mut recomputes = 0u64;
+        for (q, (ans, dirty)) in views.iter().zip(answers) {
+            let answer = match (ans, dirty) {
+                (Some(a), false) => a,
+                _ => {
+                    recomputes += 1;
+                    IncrementalAnswer::initialize(&snap, q, &server.access)?
+                }
+            };
+            let stamps = Self::read_stamps(&snap, answer.read_rels());
+            ids.push(ViewId(installed.len()));
+            installed.push(View { answer, stamps });
+        }
+        server.views = Mutex::new(installed);
+        if server.metrics.is_enabled() {
+            server.metrics.view_deltas.add(replay_deltas);
+            server.metrics.view_recomputes.add(recomputes);
+        }
+        Ok((server, report, ids))
+    }
+
+    /// Flushes the WAL's group-commit tail and surfaces any stashed WAL
+    /// I/O error. A no-op on a server without durability. Call before
+    /// acknowledging a batch under [`SyncPolicy::EveryOps`] /
+    /// [`SyncPolicy::Manual`].
+    pub fn wal_sync(&self) -> crate::Result<()> {
+        match &self.durability {
+            Some(d) => d
+                .writer
+                .sync()
+                .map_err(|e| ServiceError::Durability(e.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    /// The WAL writer's monotonic counters (records, bytes, fsyncs), if
+    /// this server was opened with durability.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durability.as_ref().map(|d| d.writer.stats())
+    }
+
+    /// Takes a snapshot checkpoint: flushes the WAL, then writes the full
+    /// database state (rows, epoch vector, symbols, index specs) as one
+    /// atomic blob, retaining the previous [`DurabilityConfig::keep_snapshots`]
+    /// blobs as fallback. Holds the write lock so the snapshot and its
+    /// WAL position are exactly consistent; recovery after this point
+    /// replays only records past the checkpoint. Returns the blob name.
+    pub fn checkpoint(&self) -> crate::Result<String> {
+        let d = self
+            .durability
+            .as_ref()
+            .ok_or_else(|| ServiceError::Durability("server opened without durability".into()))?;
+        let _views = lock_recovered(&self.views);
+        let name = self
+            .shared
+            .write(|db| {
+                d.writer.sync()?;
+                let seq = d.writer.last_seq();
+                bcq_durability::checkpoint(&*d.storage, db, seq, d.keep_snapshots)
+            })
+            .map_err(|e| ServiceError::Durability(e.to_string()))?;
+        d.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(name)
     }
 
     /// The access schema requests are planned under.
@@ -335,6 +597,15 @@ impl Server {
             snap.cache.invalidations = cs.invalidations;
             snap.cache.revalidations = cs.revalidations;
             snap.cache.entries = cache.len() as u64;
+        }
+        if let Some(d) = &self.durability {
+            let ws = d.writer.stats();
+            snap.wal.records = ws.records;
+            snap.wal.bytes = ws.bytes;
+            snap.wal.fsyncs = ws.fsyncs;
+            snap.wal.replayed = d.replayed;
+            snap.wal.checkpoints = d.checkpoints.load(Ordering::Relaxed);
+            snap.wal.last_seq = d.writer.last_seq();
         }
         let db = self.shared.snapshot();
         snap.writes.cow_shard_clones = db.cow_clones();
@@ -986,8 +1257,8 @@ mod tests {
     use super::*;
     use bcq_core::prelude::Catalog;
 
-    /// Example 1's schema/access/data, served.
-    fn setup(policy: AdmissionPolicy) -> Arc<Server> {
+    /// Example 1's catalog + access schema.
+    fn schema() -> AccessSchema {
         let catalog = Catalog::from_names(&[
             ("in_album", &["photo_id", "album_id"]),
             ("friends", &["user_id", "friend_id"]),
@@ -1001,6 +1272,13 @@ mod tests {
             .unwrap();
         a.add("tagging", &["photo_id", "taggee_id"], &["tagger_id"], 1)
             .unwrap();
+        a
+    }
+
+    /// Example 1's schema/access/data, served.
+    fn setup(policy: AdmissionPolicy) -> Arc<Server> {
+        let a = schema();
+        let catalog = Arc::clone(a.catalog());
         let mut db = Database::new(Arc::clone(&catalog));
         for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p3", "a0"), ("p4", "a1")] {
             db.insert("in_album", &[Value::str(p), Value::str(al)])
@@ -1947,5 +2225,178 @@ mod tests {
         ));
         let r = s.query(&q1, &bind("a0", "nobody-ever")).unwrap();
         assert!(r.rows().unwrap().is_empty());
+    }
+
+    /// Example 1's Q0 (ground: album a0, user u0) — the view the durable
+    /// tests register.
+    fn view_query(a: &AccessSchema) -> SpcQuery {
+        SpcQuery::builder(Arc::clone(a.catalog()), "Q0")
+            .atom("in_album", "ia")
+            .atom("friends", "f")
+            .atom("tagging", "t")
+            .eq_const(("ia", "album_id"), "a0")
+            .eq_const(("f", "user_id"), "u0")
+            .eq(("ia", "photo_id"), ("t", "photo_id"))
+            .eq(("t", "tagger_id"), ("f", "friend_id"))
+            .eq_const(("t", "taggee_id"), "u0")
+            .project(("ia", "photo_id"))
+            .build()
+            .unwrap()
+    }
+
+    fn open_durable(
+        log: &Arc<bcq_durability::MemLog>,
+        policy: SyncPolicy,
+    ) -> (Arc<Server>, RecoveryReport, ViewId) {
+        let (server, report, ids) = Server::open(
+            Arc::clone(log) as Arc<dyn LogStorage>,
+            schema(),
+            ServerConfig {
+                policy: AdmissionPolicy::Strict,
+                ..ServerConfig::default()
+            },
+            DurabilityConfig {
+                policy,
+                keep_snapshots: 2,
+            },
+            &[view_query(&schema())],
+        )
+        .unwrap();
+        (Arc::new(server), report, ids[0])
+    }
+
+    #[test]
+    fn durable_server_recovers_rows_views_and_serving_across_restart() {
+        let log = Arc::new(bcq_durability::MemLog::new());
+        let (server, report, view) = open_durable(&log, SyncPolicy::Always);
+        assert_eq!(report.replayed, 0, "first boot: empty storage");
+        assert_eq!(report.snapshot, None);
+
+        // Example 1's data, written *through* the server so it is logged.
+        for (p, al) in [("p1", "a0"), ("p2", "a0"), ("p3", "a0"), ("p4", "a1")] {
+            server
+                .insert("in_album", &[Value::str(p), Value::str(al)])
+                .unwrap();
+        }
+        for (u, f) in [("u0", "u1"), ("u0", "u2"), ("u9", "u3")] {
+            server
+                .insert("friends", &[Value::str(u), Value::str(f)])
+                .unwrap();
+        }
+        server
+            .insert(
+                "tagging",
+                &[Value::str("p1"), Value::str("u1"), Value::str("u0")],
+            )
+            .unwrap();
+        assert_eq!(server.view_result(view).unwrap().len(), 1);
+        let name = server.checkpoint().unwrap();
+
+        // One more maintained write past the checkpoint, then "crash".
+        server
+            .insert(
+                "tagging",
+                &[Value::str("p2"), Value::str("u2"), Value::str("u0")],
+            )
+            .unwrap();
+        assert_eq!(server.view_result(view).unwrap().len(), 2);
+        let epoch = server.epoch();
+        let rows: Vec<Vec<Value>> = {
+            let snap = server.snapshot();
+            let rel = snap.catalog().require_rel("tagging").unwrap();
+            snap.value_rows(rel).collect()
+        };
+        drop(server);
+
+        let (server2, report2, view2) = open_durable(&log, SyncPolicy::Always);
+        assert_eq!(report2.snapshot.as_deref(), Some(name.as_str()));
+        assert!(report2.replayed > 0, "the post-checkpoint insert replays");
+        assert_eq!(server2.epoch(), epoch, "vector clock reproduced");
+        {
+            let snap = server2.snapshot();
+            let rel = snap.catalog().require_rel("tagging").unwrap();
+            let recovered: Vec<Vec<Value>> = snap.value_rows(rel).collect();
+            assert_eq!(recovered, rows);
+        }
+        // The view rode replay through its delta path: correct answer, no
+        // recompute.
+        assert_eq!(server2.view_result(view2).unwrap().len(), 2);
+        let m = server2.metrics_snapshot();
+        assert_eq!(m.writes.view_recomputes, 0, "delta replay, not recompute");
+        assert!(m.writes.view_deltas >= 1);
+        assert!(m.wal.replayed > 0);
+        assert_eq!(m.wal.last_seq, report2.last_seq);
+
+        // And the recovered server serves queries normally.
+        let q1 = template(&server2);
+        let r = server2.session().query(&q1, &bind("a0", "u0")).unwrap();
+        assert_eq!(r.rows().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn group_commit_loses_at_most_the_unsynced_tail() {
+        let log = Arc::new(bcq_durability::MemLog::new());
+        let (server, _, _) = open_durable(&log, SyncPolicy::EveryOps(1000));
+        for i in 0..3 {
+            server
+                .insert("friends", &[Value::str("u0"), Value::int(i)])
+                .unwrap();
+        }
+        server.wal_sync().unwrap();
+        server
+            .insert("friends", &[Value::str("u0"), Value::int(99)])
+            .unwrap();
+        let stats = server.wal_stats().unwrap();
+        assert!(stats.records > 0);
+        log.crash(0); // power cut: the unsynced tail is gone
+        drop(server);
+
+        let (server2, _, _) = open_durable(&log, SyncPolicy::EveryOps(1000));
+        let snap = server2.snapshot();
+        let rel = snap.catalog().require_rel("friends").unwrap();
+        let rows: Vec<Vec<Value>> = snap.value_rows(rel).collect();
+        assert_eq!(rows.len(), 3, "synced writes survive, the tail is lost");
+        assert!(!rows.contains(&vec![Value::str("u0"), Value::int(99)]));
+    }
+
+    #[test]
+    fn bulk_updates_replay_and_force_view_recompute() {
+        let log = Arc::new(bcq_durability::MemLog::new());
+        let (server, _, view) = open_durable(&log, SyncPolicy::Always);
+        server
+            .insert("in_album", &[Value::str("p1"), Value::str("a0")])
+            .unwrap();
+        server
+            .insert("friends", &[Value::str("u0"), Value::str("u1")])
+            .unwrap();
+        // Out-of-band bulk load of tagging: logged as a bracketed bulk.
+        server.bulk_update(|db| {
+            let rel = db.catalog().require_rel("tagging").unwrap();
+            let mut l = db.loader(rel);
+            l.push(&[Value::str("p1"), Value::str("u1"), Value::str("u0")]);
+            l.push(&[Value::str("p9"), Value::str("u1"), Value::str("u5")]);
+        });
+        assert_eq!(server.view_result(view).unwrap().len(), 1);
+        let epoch = server.epoch();
+        drop(server);
+
+        let (server2, report, view2) = open_durable(&log, SyncPolicy::Always);
+        assert_eq!(server2.epoch(), epoch);
+        assert!(report.replayed > 0);
+        // The bulk load cannot ride the delta path: the view recomputed
+        // against the final recovered state — and is still correct.
+        assert_eq!(server2.view_result(view2).unwrap().len(), 1);
+        assert!(server2.metrics_snapshot().writes.view_recomputes >= 1);
+    }
+
+    #[test]
+    fn checkpoint_without_durability_is_a_loud_error() {
+        let server = setup(AdmissionPolicy::Strict);
+        assert!(matches!(
+            server.checkpoint(),
+            Err(ServiceError::Durability(_))
+        ));
+        assert!(server.wal_stats().is_none());
+        server.wal_sync().unwrap(); // no-op, not an error
     }
 }

@@ -26,11 +26,13 @@ pub mod meter;
 pub mod shard;
 pub mod table;
 pub mod validate;
+pub mod wal;
 
 pub use csv::{dump_csv, load_csv};
-pub use database::{Database, Loader};
+pub use database::{Database, Loader, ShardState};
 pub use index::{HashIndex, Postings};
 pub use meter::Meter;
 pub use shard::RelationShard;
 pub use table::Table;
 pub use validate::{discover_bound, validate, Violation};
+pub use wal::{WalOp, WalSink};

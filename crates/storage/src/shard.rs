@@ -65,6 +65,15 @@ impl RelationShard {
         self.indexes.len()
     }
 
+    /// The `(key columns, value columns)` of every registered index, in
+    /// registration order — what the durability layer records in a
+    /// snapshot so recovery can rebuild the same indices.
+    pub fn index_specs(&self) -> impl Iterator<Item = (&[usize], &[usize])> + '_ {
+        self.indexes
+            .iter()
+            .map(|((x, y), _)| (x.as_slice(), y.as_slice()))
+    }
+
     /// The index on key columns `x` exposing value columns `y`, if built.
     pub fn index(&self, x: &[usize], y: &[usize]) -> Option<&HashIndex> {
         self.indexes

@@ -82,6 +82,24 @@ pub struct WriteSnapshot {
     pub cow_cells_cloned: u64,
 }
 
+/// Durability-layer counters, filled by the serving layer from its WAL
+/// writer. All-zero when the server runs without durability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalSnapshot {
+    /// WAL records appended.
+    pub records: u64,
+    /// WAL bytes appended (framing included).
+    pub bytes: u64,
+    /// fsync batches issued (group commit collapses many records into one).
+    pub fsyncs: u64,
+    /// Records replayed by the most recent recovery.
+    pub replayed: u64,
+    /// Checkpoints (snapshots) taken since startup.
+    pub checkpoints: u64,
+    /// Highest durable sequence number (gauge).
+    pub last_seq: u64,
+}
+
 /// Point-in-time storage gauges, filled by the serving layer.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GaugeSnapshot {
@@ -108,6 +126,8 @@ pub struct MetricsSnapshot {
     pub cache: PlanCacheSnapshot,
     /// Write path.
     pub writes: WriteSnapshot,
+    /// WAL / durability counters (serving layer fills this).
+    pub wal: WalSnapshot,
     /// Storage gauges (serving layer fills this).
     pub gauges: GaugeSnapshot,
 }
@@ -145,6 +165,7 @@ pub(crate) fn snapshot_of(reg: &MetricsRegistry) -> MetricsSnapshot {
             cow_shard_clones: 0,
             cow_cells_cloned: 0,
         },
+        wal: WalSnapshot::default(),
         gauges: GaugeSnapshot::default(),
     }
 }
@@ -188,6 +209,12 @@ impl MetricsSnapshot {
         self.writes.view_recomputes += other.writes.view_recomputes;
         self.writes.cow_shard_clones += other.writes.cow_shard_clones;
         self.writes.cow_cells_cloned += other.writes.cow_cells_cloned;
+        self.wal.records += other.wal.records;
+        self.wal.bytes += other.wal.bytes;
+        self.wal.fsyncs += other.wal.fsyncs;
+        self.wal.replayed += other.wal.replayed;
+        self.wal.checkpoints += other.wal.checkpoints;
+        self.wal.last_seq = self.wal.last_seq.max(other.wal.last_seq);
         self.gauges.relations = self.gauges.relations.max(other.gauges.relations);
         self.gauges.total_tuples = self.gauges.total_tuples.max(other.gauges.total_tuples);
         self.gauges.interner_symbols = self
@@ -256,6 +283,12 @@ impl MetricsSnapshot {
             w.cow_shard_clones,
             w.cow_cells_cloned,
             json_hist(&w.latency),
+        );
+        let wal = self.wal;
+        let _ = writeln!(
+            s,
+            "  \"wal\": {{\"records\": {}, \"bytes\": {}, \"fsyncs\": {}, \"replayed\": {}, \"checkpoints\": {}, \"last_seq\": {}}},",
+            wal.records, wal.bytes, wal.fsyncs, wal.replayed, wal.checkpoints, wal.last_seq,
         );
         let g = self.gauges;
         let _ = write!(
@@ -355,6 +388,21 @@ impl MetricsSnapshot {
                 &w.latency,
             );
         }
+        let wal = self.wal;
+        for (name, v) in [
+            ("bcq_wal_records_total", wal.records),
+            ("bcq_wal_bytes_total", wal.bytes),
+            ("bcq_wal_fsyncs_total", wal.fsyncs),
+            ("bcq_wal_replayed_total", wal.replayed),
+            ("bcq_wal_checkpoints_total", wal.checkpoints),
+        ] {
+            let _ = writeln!(s, "# TYPE {name} counter\n{name} {v}");
+        }
+        let _ = writeln!(
+            s,
+            "# TYPE bcq_wal_last_seq gauge\nbcq_wal_last_seq {}",
+            wal.last_seq
+        );
         let g = self.gauges;
         for (name, v) in [
             ("bcq_relations", g.relations),
@@ -408,6 +456,9 @@ mod tests {
         snap.cache.misses = 1;
         snap.gauges.total_tuples = 11;
         snap.gauges.interner_symbols = 7;
+        snap.wal.records = 5;
+        snap.wal.fsyncs = 2;
+        snap.wal.last_seq = 5;
         snap
     }
 
@@ -424,6 +475,8 @@ mod tests {
             "\"view_deltas\"",
             "\"gauges\"",
             "\"interner_symbols\": 7",
+            "\"wal\"",
+            "\"fsyncs\": 2",
         ] {
             assert!(j.contains(key), "missing {key} in:\n{j}");
         }
@@ -441,6 +494,8 @@ mod tests {
         assert!(p.contains("bcq_plan_cache_hits_total 2"), "{p}");
         assert!(p.contains("bcq_writes_inserts_total 1"), "{p}");
         assert!(p.contains("bcq_total_tuples 11"), "{p}");
+        assert!(p.contains("bcq_wal_records_total 5"), "{p}");
+        assert!(p.contains("bcq_wal_last_seq 5"), "{p}");
     }
 
     #[test]
@@ -454,7 +509,9 @@ mod tests {
         assert_eq!(a.admission.budget_completed, 2);
         assert_eq!(a.cache.hits, 4);
         assert_eq!(a.writes.inserts, 2);
+        assert_eq!(a.wal.records, 10);
         // Gauges are point-in-time: max, not sum.
         assert_eq!(a.gauges.total_tuples, 11);
+        assert_eq!(a.wal.last_seq, 5);
     }
 }

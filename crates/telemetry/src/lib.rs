@@ -41,7 +41,7 @@ pub mod span;
 
 pub use export::{
     AdmissionSnapshot, GaugeSnapshot, LaneSnapshot, MetricsSnapshot, PhaseSnapshot,
-    PlanCacheSnapshot, WriteSnapshot,
+    PlanCacheSnapshot, WalSnapshot, WriteSnapshot,
 };
 pub use hist::{HistSnapshot, Histogram};
 pub use metrics::{Counter, LaneKind, MetricsRegistry, NUM_LANES};

@@ -181,6 +181,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
             Value::Int(cat(&mut rng, 8)),
         ]);
     }
+    drop(t); // release the loader's borrow (its Drop closes the WAL bracket)
     db
 }
 

@@ -69,6 +69,7 @@
 //! ```
 
 pub use bcq_core as core;
+pub use bcq_durability as durability;
 pub use bcq_exec as exec;
 pub use bcq_service as service;
 pub use bcq_storage as storage;
@@ -86,9 +87,10 @@ pub mod prelude {
         ExecOutcome, IncrementalAnswer, ParamEnv, PartialsOutcome, RaOutcome, ResultSet,
     };
     pub use bcq_service::{
-        trace_thread, AdmissionPolicy, BudgetVerdict, Lane, LaneKind, MetricsRegistry,
-        MetricsSnapshot, OpProfile, Outcome, Phase, PreparedQuery, RequestStats, Response, Server,
-        ServerConfig, ServiceError, Session, SessionStats, SharedDb, StepKind, StepProfile, ViewId,
+        trace_thread, AdmissionPolicy, BudgetVerdict, DurabilityConfig, Lane, LaneKind,
+        MetricsRegistry, MetricsSnapshot, OpProfile, Outcome, Phase, PreparedQuery, RequestStats,
+        Response, Server, ServerConfig, ServiceError, Session, SessionStats, SharedDb, StepKind,
+        StepProfile, ViewId,
     };
     pub use bcq_storage::{
         discover_bound, dump_csv, load_csv, validate, Database, HashIndex, Loader, Meter,
