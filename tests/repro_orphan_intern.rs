@@ -1,0 +1,72 @@
+//! Reproduction: a crash that persists a trailing InternStr record but
+//! not its following op record, then a post-recovery write session, then
+//! a second recovery.
+
+use bounded_cq::durability::{recover, LogStorage, MemLog, SyncPolicy, WalWriter};
+use bounded_cq::prelude::*;
+use std::sync::Arc;
+
+fn catalog() -> Arc<Catalog> {
+    Catalog::from_names(&[("r", &["a"])]).unwrap()
+}
+
+fn scenario(keep: usize) -> Option<(Arc<MemLog>, u64)> {
+    let log = Arc::new(MemLog::new());
+    let writer = Arc::new(WalWriter::new(
+        Arc::clone(&log) as Arc<dyn LogStorage>,
+        SyncPolicy::Manual,
+        1,
+    ));
+    let mut db = Database::new(catalog());
+    db.set_wal(Some(writer.clone()));
+    db.insert("r", &[Value::str("a")]).unwrap(); // seq 1 intern, seq 2 insert
+    writer.sync().unwrap();
+    db.insert("r", &[Value::str("b")]).unwrap(); // seq 3 intern (meta), seq 4 insert (rel-0)
+    let total = log.unsynced_bytes();
+    if keep > total {
+        return None;
+    }
+    log.crash(keep);
+    Some((log, total as u64))
+}
+
+#[test]
+fn orphan_trailing_intern_then_write_then_recover() {
+    // Find a crash point where recovery keeps seq 3 (the intern of "b")
+    // but not seq 4 (its insert op).
+    let mut found = false;
+    for keep in 0..10_000 {
+        let Some((log, _)) = scenario(keep) else { break };
+        let (mut db, report) = recover(&*log, catalog()).unwrap();
+        if report.last_seq != 3 {
+            continue;
+        }
+        found = true;
+        eprintln!("crash keeping {keep} unsynced bytes -> last_seq 3");
+        // Recovered db has only "a" interned; the log retains intern "b"@1.
+        let writer = Arc::new(WalWriter::new(
+            Arc::clone(&log) as Arc<dyn LogStorage>,
+            SyncPolicy::Manual,
+            report.last_seq + 1,
+        ));
+        db.set_wal(Some(writer.clone()));
+        db.insert("r", &[Value::str("c")]).unwrap(); // interns "c" at id 1 -> collides
+        writer.sync().unwrap();
+        let second = recover(&*log, catalog());
+        match second {
+            Ok((db2, rep2)) => {
+                eprintln!("second recovery ok: last_seq {}", rep2.last_seq);
+                let rows: Vec<_> = db2.value_rows(RelId(0)).collect();
+                eprintln!("rows: {rows:?}");
+                assert_eq!(
+                    rows,
+                    vec![vec![Value::str("a")], vec![Value::str("c")]],
+                    "recovered rows diverge"
+                );
+            }
+            Err(e) => panic!("second recovery failed: {e}"),
+        }
+        break;
+    }
+    assert!(found, "never hit the orphan-intern crash point");
+}
