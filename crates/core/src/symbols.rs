@@ -150,6 +150,33 @@ impl SymbolTable {
     pub fn decode_row(&self, cells: &[Cell]) -> Vec<Value> {
         cells.iter().map(|&c| self.decode(c)).collect()
     }
+
+    /// Batch query-path encode: appends cells for the longest prefix of
+    /// `vals` whose values are all already interned and returns its length
+    /// (`vals.len()` when the whole batch hit). The bulk-ingest fast path
+    /// runs this once per chunk — one read-only symbol-table pass instead
+    /// of a per-cell encode/intern decision — and falls back to
+    /// [`Self::encode_into`] only for the suffix holding unseen values.
+    pub fn try_encode_into(&self, vals: &[Value], out: &mut Vec<Cell>) -> usize {
+        out.reserve(vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            match self.try_encode(v) {
+                Some(c) => out.push(c),
+                None => return i,
+            }
+        }
+        vals.len()
+    }
+
+    /// Batch load-path encode: appends one cell per value, interning
+    /// unseen strings and wide integers.
+    pub fn encode_into(&mut self, vals: &[Value], out: &mut Vec<Cell>) {
+        out.reserve(vals.len());
+        for v in vals {
+            let c = self.encode(v);
+            out.push(c);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +274,28 @@ mod tests {
         ] {
             assert_eq!(replayed.try_encode(&v), Some(cell));
         }
+    }
+
+    #[test]
+    fn batch_encode_matches_per_cell_encode() {
+        let mut t = SymbolTable::new();
+        let vals = vec![
+            Value::int(1),
+            Value::str("a"),
+            Value::Null,
+            Value::int(i64::MAX),
+            Value::str("b"),
+        ];
+        let mut batch = Vec::new();
+        // Nothing interned yet: the read-only pass stops at the first miss.
+        assert_eq!(t.try_encode_into(&vals, &mut batch), 1);
+        t.encode_into(&vals[1..], &mut batch);
+        let per_cell: Vec<Cell> = vals.iter().map(|v| t.encode(v)).collect();
+        assert_eq!(batch, per_cell);
+        // Second batch over the same values: one pass, full hit.
+        let mut again = Vec::new();
+        assert_eq!(t.try_encode_into(&vals, &mut again), vals.len());
+        assert_eq!(again, per_cell);
     }
 
     #[test]

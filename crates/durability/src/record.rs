@@ -77,6 +77,18 @@ pub enum RecordBody {
         /// Raw cell words of the row.
         cells: Vec<u64>,
     },
+    /// One chunk of the in-progress bulk load: `rows` rows stored row-major
+    /// back to back in `cells` — the bulk-ingest fast path's amortized
+    /// record (one frame per chunk instead of one [`RecordBody::BulkRow`]
+    /// per row).
+    BulkChunk {
+        /// Relation being loaded.
+        rel: u32,
+        /// Number of rows in the chunk.
+        rows: u32,
+        /// Raw cell words of all rows, row-major.
+        cells: Vec<u64>,
+    },
     /// The bulk load finished (loader dropped); recovery's proof the load
     /// was not torn.
     BulkEnd {
@@ -143,6 +155,11 @@ impl RecordBody {
                 rel: rel.0 as u32,
                 cells: cells_of(cells),
             },
+            WalOp::BulkChunk { rel, rows, cells } => RecordBody::BulkChunk {
+                rel: rel.0 as u32,
+                rows,
+                cells: cells_of(cells),
+            },
             WalOp::BulkEnd { rel } => RecordBody::BulkEnd { rel: rel.0 as u32 },
             WalOp::EnsureIndex { commit, rel, x, y } => RecordBody::EnsureIndex {
                 commit,
@@ -164,6 +181,7 @@ impl RecordBody {
             | RecordBody::DeleteMaintained { rel, .. }
             | RecordBody::BulkBegin { rel, .. }
             | RecordBody::BulkRow { rel, .. }
+            | RecordBody::BulkChunk { rel, .. }
             | RecordBody::BulkEnd { rel }
             | RecordBody::EnsureIndex { rel, .. } => Some(rel),
         }
@@ -181,6 +199,7 @@ impl RecordBody {
             RecordBody::InternStr { .. }
             | RecordBody::InternWide { .. }
             | RecordBody::BulkRow { .. }
+            | RecordBody::BulkChunk { .. }
             | RecordBody::BulkEnd { .. } => None,
         }
     }
@@ -196,6 +215,7 @@ const KIND_BULK_BEGIN: u8 = 7;
 const KIND_BULK_ROW: u8 = 8;
 const KIND_ENSURE_INDEX: u8 = 9;
 const KIND_BULK_END: u8 = 10;
+const KIND_BULK_CHUNK: u8 = 11;
 
 /// A decode failure: the frame passed its CRC but its payload does not
 /// parse — a codec bug or version skew, never silently skippable.
@@ -341,6 +361,12 @@ pub fn encode_op_into(seq: u64, op: &WalOp<'_>, out: &mut Vec<u8>) {
             out.extend_from_slice(&(rel.0 as u32).to_le_bytes());
             put_cell_slice(out, cells);
         }
+        WalOp::BulkChunk { rel, rows, cells } => {
+            out.push(KIND_BULK_CHUNK);
+            out.extend_from_slice(&(rel.0 as u32).to_le_bytes());
+            out.extend_from_slice(&rows.to_le_bytes());
+            put_cell_slice(out, cells);
+        }
         WalOp::BulkEnd { rel } => {
             out.push(KIND_BULK_END);
             out.extend_from_slice(&(rel.0 as u32).to_le_bytes());
@@ -406,6 +432,12 @@ impl WalRecord {
                 out.extend_from_slice(&rel.to_le_bytes());
                 put_cells(&mut out, cells);
             }
+            RecordBody::BulkChunk { rel, rows, cells } => {
+                out.push(KIND_BULK_CHUNK);
+                out.extend_from_slice(&rel.to_le_bytes());
+                out.extend_from_slice(&rows.to_le_bytes());
+                put_cells(&mut out, cells);
+            }
             RecordBody::BulkEnd { rel } => {
                 out.push(KIND_BULK_END);
                 out.extend_from_slice(&rel.to_le_bytes());
@@ -467,6 +499,11 @@ impl WalRecord {
                 rel: r.u32()?,
                 cells: take_cells(&mut r)?,
             },
+            KIND_BULK_CHUNK => RecordBody::BulkChunk {
+                rel: r.u32()?,
+                rows: r.u32()?,
+                cells: take_cells(&mut r)?,
+            },
             KIND_BULK_END => RecordBody::BulkEnd { rel: r.u32()? },
             KIND_ENSURE_INDEX => RecordBody::EnsureIndex {
                 commit: r.u64()?,
@@ -520,6 +557,11 @@ mod tests {
             RecordBody::BulkRow {
                 rel: 7,
                 cells: vec![1, 2, 3],
+            },
+            RecordBody::BulkChunk {
+                rel: 7,
+                rows: 2,
+                cells: vec![1, 2, 3, 4, 5, 6],
             },
             RecordBody::BulkEnd { rel: 7 },
             RecordBody::EnsureIndex {
@@ -581,6 +623,11 @@ mod tests {
             },
             WalOp::BulkRow {
                 rel: RelId(7),
+                cells: &cells,
+            },
+            WalOp::BulkChunk {
+                rel: RelId(7),
+                rows: 1,
                 cells: &cells,
             },
             WalOp::BulkEnd { rel: RelId(7) },

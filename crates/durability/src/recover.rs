@@ -174,12 +174,22 @@ struct Staged {
 }
 
 /// An in-flight bulk load being buffered until its `BulkEnd` proves it
-/// complete.
+/// complete. Interns are buffered alongside the rows: a torn bulk is
+/// discarded whole, and its intern records are truncated away with it, so
+/// they must not leak into the recovered database's symbol table (a later
+/// writer would then skip re-logging them).
 struct PendingBulk {
     rel: u32,
     commit: u64,
     begin_seq: u64,
     rows: Vec<Vec<Value>>,
+    interns: Vec<Intern>,
+}
+
+/// One buffered intern record of an in-flight bulk load.
+enum Intern {
+    Str(String),
+    Wide(i64),
 }
 
 /// [`recover`], with an observer watching each replayed mutation.
@@ -278,14 +288,42 @@ pub fn recover_with(
         let seq = s.record.seq;
         if let Some(bulk) = &mut pending {
             match &s.record.body {
-                RecordBody::InternStr { id, text } => apply_intern_str(&mut side, *id, text)?,
-                RecordBody::InternWide { id, value } => apply_intern_wide(&mut side, *id, *value)?,
+                RecordBody::InternStr { id, text } => {
+                    check_intern_str(&mut side, *id, text)?;
+                    bulk.interns.push(Intern::Str(text.clone()));
+                }
+                RecordBody::InternWide { id, value } => {
+                    check_intern_wide(&mut side, *id, *value)?;
+                    bulk.interns.push(Intern::Wide(*value));
+                }
                 RecordBody::BulkRow { rel, cells } if *rel == bulk.rel => {
                     bulk.rows.push(decode_cells(&side, cells, seq)?);
+                }
+                RecordBody::BulkChunk { rel, rows, cells } if *rel == bulk.rel => {
+                    let n = *rows as usize;
+                    if n == 0 || cells.len() % n != 0 {
+                        return Err(RecoverError::Replay(format!(
+                            "bulk chunk at seq {seq} carries {} cells for {n} rows",
+                            cells.len()
+                        )));
+                    }
+                    let arity = cells.len() / n;
+                    let vals = decode_cells(&side, cells, seq)?;
+                    bulk.rows.extend(vals.chunks(arity).map(<[Value]>::to_vec));
                 }
                 RecordBody::BulkEnd { rel } if *rel == bulk.rel => {
                     let bulk = pending.take().unwrap();
                     let rel = rel_id(&db, bulk.rel, seq)?;
+                    // Fold the load's interns in first, in logged (id)
+                    // order: the re-pushed rows then reuse the original
+                    // symbol ids even though the bulk-ingest fast path
+                    // interned them column-at-a-time.
+                    for intern in &bulk.interns {
+                        match intern {
+                            Intern::Str(text) => db.replay_intern_str(text),
+                            Intern::Wide(value) => db.replay_intern_wide(*value),
+                        }
+                    }
                     let mut loader = db.loader(rel);
                     for row in &bulk.rows {
                         loader.push(row);
@@ -305,8 +343,14 @@ pub fn recover_with(
             continue;
         }
         match &s.record.body {
-            RecordBody::InternStr { id, text } => apply_intern_str(&mut side, *id, text)?,
-            RecordBody::InternWide { id, value } => apply_intern_wide(&mut side, *id, *value)?,
+            RecordBody::InternStr { id, text } => {
+                check_intern_str(&mut side, *id, text)?;
+                db.replay_intern_str(text);
+            }
+            RecordBody::InternWide { id, value } => {
+                check_intern_wide(&mut side, *id, *value)?;
+                db.replay_intern_wide(*value);
+            }
             RecordBody::Insert { commit, rel, cells }
             | RecordBody::InsertMaintained { commit, rel, cells } => {
                 let maintained = matches!(s.record.body, RecordBody::InsertMaintained { .. });
@@ -363,9 +407,12 @@ pub fn recover_with(
                     commit: *commit,
                     begin_seq: seq,
                     rows: Vec::new(),
+                    interns: Vec::new(),
                 });
             }
-            RecordBody::BulkRow { .. } | RecordBody::BulkEnd { .. } => {
+            RecordBody::BulkRow { .. }
+            | RecordBody::BulkChunk { .. }
+            | RecordBody::BulkEnd { .. } => {
                 return Err(RecoverError::Replay(format!(
                     "bulk record at seq {seq} outside any bulk load"
                 )));
@@ -413,8 +460,12 @@ pub fn recover_with(
 }
 
 /// Applies an intern record to the side table, checking the id matches the
-/// replay contract (dense sequential assignment).
-fn apply_intern_str(side: &mut SymbolTable, id: u32, text: &str) -> Result<(), RecoverError> {
+/// replay contract (dense sequential assignment). The caller is
+/// responsible for mirroring the intern into the replaying database —
+/// immediately for committed records, or deferred through
+/// [`PendingBulk::interns`] inside an open bulk load (whose records may
+/// yet be discarded as torn).
+fn check_intern_str(side: &mut SymbolTable, id: u32, text: &str) -> Result<(), RecoverError> {
     let got = side.intern(text);
     if got.0 != id {
         return Err(RecoverError::Replay(format!(
@@ -425,7 +476,7 @@ fn apply_intern_str(side: &mut SymbolTable, id: u32, text: &str) -> Result<(), R
     Ok(())
 }
 
-fn apply_intern_wide(side: &mut SymbolTable, id: u32, value: i64) -> Result<(), RecoverError> {
+fn check_intern_wide(side: &mut SymbolTable, id: u32, value: i64) -> Result<(), RecoverError> {
     side.encode(&Value::Int(value));
     if side.wide_ints().get(id as usize) != Some(&value) {
         return Err(RecoverError::Replay(format!(

@@ -36,7 +36,7 @@ use bcq_exec::{
     baseline, eval_dq_profiled, eval_dq_with, BaselineMode, BaselineOptions, BaselineOutcome,
     IncrementalAnswer, ParamEnv, PreparedRa, ResultSet,
 };
-use bcq_storage::{Database, Meter, WalSink};
+use bcq_storage::{BulkLoader, Database, IngestStats, Meter, WalSink};
 use bcq_telemetry::{LaneKind, MetricsRegistry, MetricsSnapshot, OpProfile, Phase};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -1090,6 +1090,45 @@ impl Server {
         })
     }
 
+    /// Bulk-loads rows into `rel_name` through the storage layer's chunked
+    /// fast path: `f` drives a [`BulkLoader`] (batch symbol interning, one
+    /// WAL record per chunk), then all declared indices are rebuilt in the
+    /// same write — readers never observe the loaded rows without their
+    /// indices. Like [`Server::bulk_update`], registered views recompute
+    /// lazily afterwards. Returns `f`'s result and the load's
+    /// [`IngestStats`]; ingest counters and the index-rebuild time land in
+    /// the metrics registry.
+    pub fn bulk_load<R>(
+        &self,
+        rel_name: &str,
+        f: impl FnOnce(&mut BulkLoader<'_>) -> R,
+    ) -> crate::Result<(R, IngestStats)> {
+        let rel = self.shared.snapshot().catalog().require_rel(rel_name)?;
+        let _views = lock_recovered(&self.views);
+        let mut build_ns = 0u64;
+        let (r, stats) = self.shared.write(|db| {
+            let mut loader = db.bulk_loader(rel);
+            let r = f(&mut loader);
+            let stats = loader.stats();
+            drop(loader); // closes the WAL bulk bracket before the index build
+            let build_start = Instant::now();
+            db.build_indexes(&self.access);
+            build_ns = dur_ns(build_start.elapsed());
+            (r, stats)
+        });
+        if self.metrics.is_enabled() {
+            self.metrics.bulk_updates.inc();
+            self.metrics.record_ingest(
+                stats.rows,
+                stats.chunks,
+                stats.cell_bytes,
+                stats.intern_batch_hits,
+                build_ns,
+            );
+        }
+        Ok((r, stats))
+    }
+
     /// Registers a continuously maintained bounded answer for `q`
     /// (requires `q` effectively bounded under the server's access
     /// schema). Maintained incrementally by [`Server::insert`]; recomputed
@@ -1543,6 +1582,40 @@ mod tests {
         let cs = server.cache_stats();
         assert_eq!(cs.revalidations, 1, "epoch moved, indices confirmed");
         assert_eq!(cs.invalidations, 0);
+    }
+
+    #[test]
+    fn bulk_load_streams_chunks_and_keeps_queries_correct() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        let mut s = server.session();
+        let before = s.query(&q1, &bind("a0", "u0")).unwrap();
+        assert_eq!(before.rows().unwrap().len(), 1);
+
+        // One columnar chunk through the fast path: a matching row plus an
+        // unrelated one. Indices rebuild inside the same write.
+        let cols: Vec<Vec<Value>> = vec![
+            vec![Value::str("p3"), Value::str("p9")],
+            vec![Value::str("u1"), Value::str("u1")],
+            vec![Value::str("u0"), Value::str("u7")],
+        ];
+        let ((), stats) = server
+            .bulk_load("tagging", |loader| loader.push_chunk_columns(&cols))
+            .unwrap();
+        assert_eq!(stats.rows, 2);
+        assert_eq!(stats.chunks, 1);
+
+        let r = s.query(&q1, &bind("a0", "u0")).unwrap();
+        assert_eq!(r.rows().unwrap().len(), 2, "p1 and now p3");
+
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.ingest.rows, 2);
+        assert_eq!(snap.ingest.chunks, 1);
+        assert!(snap.ingest.bytes > 0, "cell bytes counted");
+        assert!(snap.writes.bulk_updates >= 1);
+
+        // An unknown relation is a typed error, not a panic.
+        assert!(server.bulk_load("nope", |_| ()).is_err());
     }
 
     #[test]

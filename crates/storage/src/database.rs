@@ -200,6 +200,33 @@ impl Database {
         &self.symbols
     }
 
+    /// Replay-side eager interning: folds one logged intern record into the
+    /// database's own symbol table. Recovery applies these in logged (id)
+    /// order **before** re-encoding the rows that referenced them, so the
+    /// rebuilt cells reuse the original symbol ids no matter what encode
+    /// order produced them — the bulk-ingest fast path interns
+    /// column-at-a-time, while replay pushes whole rows.
+    ///
+    /// Recovery-only: calling this on a WAL-attached database would create
+    /// an unlogged symbol.
+    pub fn replay_intern_str(&mut self, text: &str) {
+        debug_assert!(
+            self.wal.is_none(),
+            "replay-side interning on a WAL-attached database"
+        );
+        Arc::make_mut(&mut self.symbols).intern(text);
+    }
+
+    /// Replay-side eager interning of a wide integer; see
+    /// [`Self::replay_intern_str`].
+    pub fn replay_intern_wide(&mut self, value: i64) {
+        debug_assert!(
+            self.wal.is_none(),
+            "replay-side interning on a WAL-attached database"
+        );
+        Arc::make_mut(&mut self.symbols).encode(&Value::Int(value));
+    }
+
     /// The table for `rel`.
     pub fn table(&self, rel: RelId) -> &Table {
         &self.shards[rel.0].table
@@ -282,6 +309,31 @@ impl Database {
             wal,
             rel,
         }
+    }
+
+    /// The chunked bulk-ingest fast path for `rel`: like [`Self::loader`]
+    /// (one commit bump for the whole load, indices invalidated, WAL
+    /// bracket `BulkBegin … BulkEnd`) but rows arrive **chunk-at-a-time**:
+    /// each chunk is symbol-encoded in batch passes, appended column at a
+    /// time, and logged as a single [`WalOp::BulkChunk`] record instead of
+    /// one record per row. Call [`Self::build_indexes`] when loading is
+    /// done. Loads the final state identically to pushing the same rows
+    /// through [`Self::loader`] one at a time.
+    pub fn bulk_loader(&mut self, rel: RelId) -> crate::bulk::BulkLoader<'_> {
+        self.commit += 1;
+        let commit = self.commit;
+        let shard = cow_shard(
+            &mut self.shards[rel.0],
+            commit,
+            &mut self.cow_cells,
+            &mut self.cow_clones,
+        );
+        shard.indexes.clear();
+        let wal = self.wal.as_deref();
+        if let Some(sink) = wal {
+            sink.record(WalOp::BulkBegin { commit, rel });
+        }
+        crate::bulk::BulkLoader::new(&mut shard.table, &mut self.symbols, wal, rel)
     }
 
     /// Decodes a row of cells from this database back to values.
@@ -560,6 +612,19 @@ fn encode_interning_logged(
     };
     let (strings_before, wides_before) = (symbols.len(), symbols.num_wide_ints());
     let cells = encode_interning(symbols, row);
+    log_new_interns(symbols, sink, strings_before, wides_before);
+    cells
+}
+
+/// Emits intern records for every symbol added past the given watermarks,
+/// in id order — shared by the per-row and bulk-chunk encode paths so the
+/// "interns precede the op that references them" contract holds on both.
+pub(crate) fn log_new_interns(
+    symbols: &SymbolTable,
+    sink: &dyn WalSink,
+    strings_before: usize,
+    wides_before: usize,
+) {
     for id in strings_before..symbols.len() {
         sink.record(WalOp::InternStr {
             id: id as u32,
@@ -572,7 +637,6 @@ fn encode_interning_logged(
             value: symbols.wide_ints()[id],
         });
     }
-    cells
 }
 
 /// One relation's durably stored state, as consumed by
@@ -1065,6 +1129,7 @@ mod tests {
                 W::DeleteMaintained { rel, .. } => format!("delete_m:{}", rel.0),
                 W::BulkBegin { rel, .. } => format!("bulk:{}", rel.0),
                 W::BulkRow { rel, .. } => format!("row:{}", rel.0),
+                W::BulkChunk { rel, rows, .. } => format!("chunk:{}x{rows}", rel.0),
                 W::BulkEnd { rel } => format!("bulk_end:{}", rel.0),
                 W::EnsureIndex { rel, .. } => format!("index:{}", rel.0),
             };

@@ -43,11 +43,34 @@ pub struct HashIndex {
 
 static EMPTY: &[u32] = &[];
 
+/// Row count at or above which [`HashIndex::build`] switches from the
+/// per-row hash-map mode to the sort-based mode. Below this the per-row
+/// build's smaller constant wins; above it the sort-based build's one
+/// key allocation and one map insertion *per distinct key* (instead of
+/// per row) dominate.
+const SORT_BUILD_THRESHOLD: usize = 1 << 13;
+
 impl HashIndex {
     /// Builds the index for key columns `x` and value columns `y` (both
     /// sorted column index lists, as stored in an
     /// [`bcq_core::access::AccessConstraint`]).
+    ///
+    /// Dispatches on table size between [`Self::build_rowwise`] and
+    /// [`Self::build_sorted`]; both produce identical indices (postings in
+    /// ascending-rid order, witnesses in first-seen `Y` order), so which
+    /// one ran is unobservable.
     pub fn build(table: &Table, x: &[usize], y: &[usize]) -> HashIndex {
+        if table.len() >= SORT_BUILD_THRESHOLD {
+            HashIndex::build_sorted(table, x, y)
+        } else {
+            HashIndex::build_rowwise(table, x, y)
+        }
+    }
+
+    /// Per-row build: one hash-map entry lookup (and one key allocation)
+    /// per row — the incremental-maintenance code path replayed over the
+    /// whole table.
+    pub fn build_rowwise(table: &Table, x: &[usize], y: &[usize]) -> HashIndex {
         let mut idx = HashIndex {
             x: x.to_vec(),
             y: y.to_vec(),
@@ -58,6 +81,82 @@ impl HashIndex {
             idx.insert_row(rid as u32, row);
         }
         idx
+    }
+
+    /// Sort-based build, for the deferred index build after a bulk load:
+    /// extracts each row's key **once** into a contiguous `(key, rid)`
+    /// pair vector with one sequential table pass, sorts the pairs (every
+    /// comparison touches only the pair being moved — no random row
+    /// fetches through the rid indirection, which is what made the naive
+    /// rid-sort fall off a cliff once the table outgrew the cache), then
+    /// emits each key group in one shot. Ties sort by rid, so groups come
+    /// out in ascending-rid order and the resulting postings — `all`,
+    /// witness promotion order, everything — are identical to
+    /// [`Self::build_rowwise`]'s.
+    pub fn build_sorted(table: &Table, x: &[usize], y: &[usize]) -> HashIndex {
+        let mut idx = HashIndex {
+            x: x.to_vec(),
+            y: y.to_vec(),
+            map: FxHashMap::default(),
+            max_witnesses: 0,
+        };
+        let n = table.len();
+        u32::try_from(n).expect("table too large");
+        // X = ∅ (bounded-domain constraints) needs no sort at all: every
+        // row is one group in rid order already.
+        if x.is_empty() {
+            if n > 0 {
+                idx.emit_group(table, &(0..n as u32).collect::<Vec<u32>>());
+            }
+            return idx;
+        }
+        let mut keyed: Vec<(RowBuf, u32)> = table
+            .rows()
+            .enumerate()
+            .map(|(rid, row)| (x.iter().map(|&c| row[c]).collect(), rid as u32))
+            .collect();
+        keyed.sort_unstable_by(|(ka, a), (kb, b)| {
+            for (ca, cb) in ka.iter().zip(kb.iter()) {
+                match ca.raw().cmp(&cb.raw()) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            a.cmp(b)
+        });
+        let mut group: Vec<u32> = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let key = &keyed[i].0;
+            group.clear();
+            while i < n && keyed[i].0 == *key {
+                group.push(keyed[i].1);
+                i += 1;
+            }
+            idx.emit_group(table, &group);
+        }
+        idx
+    }
+
+    /// Emits one sorted-build key group (`rids` ascending, all sharing a
+    /// key) as a postings entry, promoting first-seen `Y`-projections to
+    /// witnesses exactly as the row-wise build would.
+    fn emit_group(&mut self, table: &Table, rids: &[u32]) {
+        let first = table.row(rids[0] as usize);
+        let key: RowBuf = self.x.iter().map(|&c| first[c]).collect();
+        let mut postings = Postings {
+            all: rids.to_vec(),
+            ..Postings::default()
+        };
+        for &rid in rids {
+            let row = table.row(rid as usize);
+            let yproj: RowBuf = self.y.iter().map(|&c| row[c]).collect();
+            if postings.y_seen.insert(yproj) {
+                postings.witnesses.push(rid);
+            }
+        }
+        self.max_witnesses = self.max_witnesses.max(postings.witnesses.len());
+        self.map.insert(key, postings);
     }
 
     /// Key columns.
@@ -344,5 +443,66 @@ mod tests {
         let idx = HashIndex::build(&t, &[0], &[1]);
         assert_eq!(idx.num_keys(), 0);
         assert_eq!(idx.max_witnesses(), 0);
+    }
+
+    /// One [`dump`] entry: raw key words, rids, witnesses, y_seen size.
+    type DumpEntry = (Vec<u64>, Vec<u32>, Vec<u32>, usize);
+
+    /// Canonical comparable form: entries sorted by raw key words.
+    fn dump(idx: &HashIndex) -> Vec<DumpEntry> {
+        let mut d: Vec<_> = idx
+            .entries()
+            .map(|(k, p)| {
+                (
+                    k.iter().map(|c| c.raw()).collect(),
+                    p.all.clone(),
+                    p.witnesses.clone(),
+                    p.y_seen.len(),
+                )
+            })
+            .collect();
+        d.sort();
+        d
+    }
+
+    #[test]
+    fn sorted_build_is_indistinguishable_from_rowwise() {
+        // A skewed bag: few keys, many duplicate rows and repeated
+        // Y-values, plus nulls and strings — every posting, witness slot
+        // and y_seen set must come out bit-identical from both modes.
+        let mut symbols = SymbolTable::new();
+        let mut t = Table::new(RelId(0), 3);
+        let mut state = 0x9E37u64;
+        for i in 0..500 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = (state >> 33) % 7;
+            let row = [
+                Value::int(k as i64),
+                if k == 3 {
+                    Value::Null
+                } else {
+                    Value::str(["p", "q", "r"][(i % 3) as usize])
+                },
+                Value::int((state % 5) as i64),
+            ];
+            t.push(&symbols.encode_row(&row));
+        }
+        for (x, y) in [
+            (vec![0], vec![1, 2]),
+            (vec![0, 1], vec![2]),
+            (vec![], vec![0, 1]),
+            (vec![2], vec![0]),
+        ] {
+            let rowwise = HashIndex::build_rowwise(&t, &x, &y);
+            let sorted = HashIndex::build_sorted(&t, &x, &y);
+            assert_eq!(dump(&rowwise), dump(&sorted), "x={x:?} y={y:?}");
+            assert_eq!(rowwise.max_witnesses(), sorted.max_witnesses());
+            assert_eq!(rowwise.num_keys(), sorted.num_keys());
+        }
+        // And the empty table through the sorted mode explicitly.
+        let empty = Table::new(RelId(0), 3);
+        assert_eq!(HashIndex::build_sorted(&empty, &[0], &[1]).num_keys(), 0);
     }
 }

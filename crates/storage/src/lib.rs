@@ -19,6 +19,7 @@
 //! per-relation **vector clock** ([`Database::epoch_of`]) under a monotone
 //! global commit counter ([`Database::epoch`]).
 
+pub mod bulk;
 pub mod csv;
 pub mod database;
 pub mod index;
@@ -28,6 +29,7 @@ pub mod table;
 pub mod validate;
 pub mod wal;
 
+pub use bulk::{BulkLoader, IngestStats};
 pub use csv::{dump_csv, load_csv};
 pub use database::{Database, Loader, ShardState};
 pub use index::{HashIndex, Postings};

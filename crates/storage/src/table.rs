@@ -70,6 +70,51 @@ impl Table {
         self.data.reserve(additional * self.arity);
     }
 
+    /// Reserves space for *exactly* `additional` more rows — the bulk-load
+    /// reservation: when the total row count is known up front, one exact
+    /// reservation avoids both doubling-growth memcpy churn and the up to
+    /// 2× peak-memory overshoot of amortized growth on giant shards.
+    pub fn reserve_rows_exact(&mut self, additional: usize) {
+        self.data.reserve_exact(additional * self.arity);
+    }
+
+    /// Appends an encoded chunk **column at a time**: `cols[c]` holds
+    /// column `c`'s cells for every row of the chunk. Each column is
+    /// written in one strided pass over the freshly reserved row-major
+    /// region — the bulk-ingest append primitive (cf. [`Table::push`],
+    /// which copies one `arity`-sized slice per call).
+    pub fn append_columns(&mut self, cols: &[Vec<Cell>]) {
+        assert_eq!(cols.len(), self.arity, "arity mismatch on chunk append");
+        let rows = cols[0].len();
+        assert!(cols.iter().all(|c| c.len() == rows), "ragged chunk columns");
+        let start = self.data.len();
+        self.data.resize(start + rows * self.arity, Cell::NULL);
+        let dst = &mut self.data[start..];
+        for (c, col) in cols.iter().enumerate() {
+            for (r, &cell) in col.iter().enumerate() {
+                dst[r * self.arity + c] = cell;
+            }
+        }
+    }
+
+    /// Appends already-encoded rows given as a flat row-major cell slice
+    /// (`cells.len()` must be a multiple of the arity) — the replay-side
+    /// chunk append.
+    pub fn extend_cells(&mut self, cells: &[Cell]) {
+        assert_eq!(
+            cells.len() % self.arity,
+            0,
+            "arity mismatch on chunk append"
+        );
+        self.data.extend_from_slice(cells);
+    }
+
+    /// The flat row-major cell storage (`len() * arity()` cells). The WAL
+    /// bulk path reads freshly appended chunks back out of this slice.
+    pub fn cells(&self) -> &[Cell] {
+        &self.data
+    }
+
     /// The `i`-th row.
     pub fn row(&self, i: usize) -> &[Cell] {
         let start = i * self.arity;
@@ -203,6 +248,35 @@ mod tests {
         assert_eq!(out, cells(&[30, 10]));
         t.gather_column(0, &[], &mut out);
         assert_eq!(out.len(), 2, "empty gather appends nothing");
+    }
+
+    #[test]
+    fn append_columns_matches_row_pushes() {
+        let mut a = Table::new(RelId(0), 3);
+        let mut b = Table::new(RelId(0), 3);
+        a.push(&cells(&[9, 9, 9]));
+        b.push(&cells(&[9, 9, 9]));
+        let rows: Vec<Vec<i64>> = (0..17).map(|i| vec![i, i * 2, i * 3]).collect();
+        for r in &rows {
+            a.push(&cells(r));
+        }
+        let cols: Vec<Vec<Cell>> = (0..3)
+            .map(|c| rows.iter().map(|r| cells(&[r[c]])[0]).collect())
+            .collect();
+        b.reserve_rows_exact(17);
+        b.append_columns(&cols);
+        assert_eq!(a.cells(), b.cells());
+        assert_eq!(b.len(), 18);
+        // An empty chunk is a no-op.
+        b.append_columns(&[Vec::new(), Vec::new(), Vec::new()]);
+        assert_eq!(b.len(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged chunk columns")]
+    fn ragged_chunk_panics() {
+        let mut t = Table::new(RelId(0), 2);
+        t.append_columns(&[cells(&[1, 2]), cells(&[3])]);
     }
 
     #[test]

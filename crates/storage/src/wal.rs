@@ -117,6 +117,20 @@ pub enum WalOp<'a> {
         /// The appended row, as interned cells.
         cells: &'a [Cell],
     },
+    /// A whole chunk of rows appended under the preceding
+    /// [`WalOp::BulkBegin`] (no commit bump of its own): `cells` holds
+    /// `rows` row-major rows back to back. The bulk-ingest fast path emits
+    /// one of these per chunk instead of one [`WalOp::BulkRow`] per row,
+    /// amortizing framing, sequencing and fsync accounting over thousands
+    /// of rows.
+    BulkChunk {
+        /// The relation being loaded.
+        rel: RelId,
+        /// Rows in this chunk.
+        rows: u32,
+        /// The appended rows, row-major (`rows * arity` interned cells).
+        cells: &'a [Cell],
+    },
     /// The bulk load for `rel` finished (the loader was dropped). Recovery
     /// treats a [`WalOp::BulkBegin`] with no matching end as torn and
     /// discards the whole load (no commit bump of its own).
@@ -153,6 +167,7 @@ impl WalOp<'_> {
             WalOp::InternStr { .. }
             | WalOp::InternWide { .. }
             | WalOp::BulkRow { .. }
+            | WalOp::BulkChunk { .. }
             | WalOp::BulkEnd { .. } => None,
         }
     }
@@ -168,6 +183,7 @@ impl WalOp<'_> {
             | WalOp::DeleteMaintained { rel, .. }
             | WalOp::BulkBegin { rel, .. }
             | WalOp::BulkRow { rel, .. }
+            | WalOp::BulkChunk { rel, .. }
             | WalOp::BulkEnd { rel }
             | WalOp::EnsureIndex { rel, .. } => Some(rel),
         }

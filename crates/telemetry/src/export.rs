@@ -82,6 +82,24 @@ pub struct WriteSnapshot {
     pub cow_cells_cloned: u64,
 }
 
+/// Bulk-ingest fast-path counters (chunked column appends through the
+/// storage layer's bulk loader, plus the deferred index rebuilds that
+/// follow them).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestSnapshot {
+    /// Rows appended through the bulk-ingest fast path.
+    pub rows: u64,
+    /// Chunks appended (one WAL record each).
+    pub chunks: u64,
+    /// Cell bytes appended.
+    pub bytes: u64,
+    /// Chunks whose every value was already interned (no symbol-table
+    /// copy-on-write, no intern WAL records).
+    pub intern_batch_hits: u64,
+    /// Nanoseconds spent rebuilding indexes after bulk loads.
+    pub index_build_ns: u64,
+}
+
 /// Durability-layer counters, filled by the serving layer from its WAL
 /// writer. All-zero when the server runs without durability.
 #[derive(Debug, Clone, Copy, Default)]
@@ -126,6 +144,8 @@ pub struct MetricsSnapshot {
     pub cache: PlanCacheSnapshot,
     /// Write path.
     pub writes: WriteSnapshot,
+    /// Bulk-ingest fast path.
+    pub ingest: IngestSnapshot,
     /// WAL / durability counters (serving layer fills this).
     pub wal: WalSnapshot,
     /// Storage gauges (serving layer fills this).
@@ -164,6 +184,13 @@ pub(crate) fn snapshot_of(reg: &MetricsRegistry) -> MetricsSnapshot {
             view_recomputes: reg.view_recomputes.get(),
             cow_shard_clones: 0,
             cow_cells_cloned: 0,
+        },
+        ingest: IngestSnapshot {
+            rows: reg.ingest_rows.get(),
+            chunks: reg.ingest_chunks.get(),
+            bytes: reg.ingest_bytes.get(),
+            intern_batch_hits: reg.ingest_intern_batch_hits.get(),
+            index_build_ns: reg.index_build_ns.get(),
         },
         wal: WalSnapshot::default(),
         gauges: GaugeSnapshot::default(),
@@ -209,6 +236,11 @@ impl MetricsSnapshot {
         self.writes.view_recomputes += other.writes.view_recomputes;
         self.writes.cow_shard_clones += other.writes.cow_shard_clones;
         self.writes.cow_cells_cloned += other.writes.cow_cells_cloned;
+        self.ingest.rows += other.ingest.rows;
+        self.ingest.chunks += other.ingest.chunks;
+        self.ingest.bytes += other.ingest.bytes;
+        self.ingest.intern_batch_hits += other.ingest.intern_batch_hits;
+        self.ingest.index_build_ns += other.ingest.index_build_ns;
         self.wal.records += other.wal.records;
         self.wal.bytes += other.wal.bytes;
         self.wal.fsyncs += other.wal.fsyncs;
@@ -283,6 +315,12 @@ impl MetricsSnapshot {
             w.cow_shard_clones,
             w.cow_cells_cloned,
             json_hist(&w.latency),
+        );
+        let ing = self.ingest;
+        let _ = writeln!(
+            s,
+            "  \"ingest\": {{\"rows\": {}, \"chunks\": {}, \"bytes\": {}, \"intern_batch_hits\": {}, \"index_build_ns\": {}}},",
+            ing.rows, ing.chunks, ing.bytes, ing.intern_batch_hits, ing.index_build_ns,
         );
         let wal = self.wal;
         let _ = writeln!(
@@ -388,6 +426,16 @@ impl MetricsSnapshot {
                 &w.latency,
             );
         }
+        let ing = self.ingest;
+        for (name, v) in [
+            ("bcq_ingest_rows_total", ing.rows),
+            ("bcq_ingest_chunks_total", ing.chunks),
+            ("bcq_ingest_bytes_total", ing.bytes),
+            ("bcq_ingest_intern_batch_hits_total", ing.intern_batch_hits),
+            ("bcq_ingest_index_build_ns_total", ing.index_build_ns),
+        ] {
+            let _ = writeln!(s, "# TYPE {name} counter\n{name} {v}");
+        }
         let wal = self.wal;
         for (name, v) in [
             ("bcq_wal_records_total", wal.records),
@@ -451,6 +499,7 @@ mod tests {
         r.record_request(LaneKind::Budgeted, 50_000, 120);
         r.record_budget_verdict(true);
         r.record_write(true, 4_000, 1);
+        r.record_ingest(1_000, 2, 48_000, 1, 7_500);
         let mut snap = r.snapshot();
         snap.cache.hits = 2;
         snap.cache.misses = 1;
@@ -477,6 +526,9 @@ mod tests {
             "\"interner_symbols\": 7",
             "\"wal\"",
             "\"fsyncs\": 2",
+            "\"ingest\"",
+            "\"intern_batch_hits\": 1",
+            "\"index_build_ns\": 7500",
         ] {
             assert!(j.contains(key), "missing {key} in:\n{j}");
         }
@@ -496,6 +548,9 @@ mod tests {
         assert!(p.contains("bcq_total_tuples 11"), "{p}");
         assert!(p.contains("bcq_wal_records_total 5"), "{p}");
         assert!(p.contains("bcq_wal_last_seq 5"), "{p}");
+        assert!(p.contains("bcq_ingest_rows_total 1000"), "{p}");
+        assert!(p.contains("bcq_ingest_chunks_total 2"), "{p}");
+        assert!(p.contains("bcq_ingest_bytes_total 48000"), "{p}");
     }
 
     #[test]
@@ -509,6 +564,9 @@ mod tests {
         assert_eq!(a.admission.budget_completed, 2);
         assert_eq!(a.cache.hits, 4);
         assert_eq!(a.writes.inserts, 2);
+        assert_eq!(a.ingest.rows, 2_000);
+        assert_eq!(a.ingest.chunks, 4);
+        assert_eq!(a.ingest.index_build_ns, 15_000);
         assert_eq!(a.wal.records, 10);
         // Gauges are point-in-time: max, not sum.
         assert_eq!(a.gauges.total_tuples, 11);

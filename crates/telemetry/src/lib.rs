@@ -40,7 +40,7 @@ pub mod profile;
 pub mod span;
 
 pub use export::{
-    AdmissionSnapshot, GaugeSnapshot, LaneSnapshot, MetricsSnapshot, PhaseSnapshot,
+    AdmissionSnapshot, GaugeSnapshot, IngestSnapshot, LaneSnapshot, MetricsSnapshot, PhaseSnapshot,
     PlanCacheSnapshot, WalSnapshot, WriteSnapshot,
 };
 pub use hist::{HistSnapshot, Histogram};

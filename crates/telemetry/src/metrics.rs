@@ -141,6 +141,17 @@ pub struct MetricsRegistry {
     pub deletes: Counter,
     /// Out-of-band bulk updates (views recompute lazily afterwards).
     pub bulk_updates: Counter,
+    /// Rows appended through the bulk-ingest fast path.
+    pub ingest_rows: Counter,
+    /// Chunks appended by bulk ingest (one WAL record each).
+    pub ingest_chunks: Counter,
+    /// Cell bytes appended by bulk ingest.
+    pub ingest_bytes: Counter,
+    /// Bulk-ingest chunks whose every value was already interned — the
+    /// steady state where encoding never copies the symbol table.
+    pub ingest_intern_batch_hits: Counter,
+    /// Nanoseconds spent rebuilding indexes after bulk loads.
+    pub index_build_ns: Counter,
     /// Write-path latency (insert + delete, end to end).
     write_latency: Histogram,
     /// Incremental view deltas applied on the maintained write path.
@@ -181,6 +192,11 @@ impl MetricsRegistry {
             inserts: Counter::new(),
             deletes: Counter::new(),
             bulk_updates: Counter::new(),
+            ingest_rows: Counter::new(),
+            ingest_chunks: Counter::new(),
+            ingest_bytes: Counter::new(),
+            ingest_intern_batch_hits: Counter::new(),
+            index_build_ns: Counter::new(),
             write_latency: Histogram::new(),
             view_deltas: Counter::new(),
             view_recomputes: Counter::new(),
@@ -245,6 +261,28 @@ impl MetricsRegistry {
         if self.is_enabled() {
             self.rejected.inc();
         }
+    }
+
+    /// Records one bulk-ingest bracket: rows/chunks/bytes appended, how
+    /// many chunks hit the already-interned batch-encode fast path, and
+    /// the nanoseconds the post-load index rebuild took. Off the
+    /// latency-critical path — called once per bulk load, not per row.
+    pub fn record_ingest(
+        &self,
+        rows: u64,
+        chunks: u64,
+        bytes: u64,
+        intern_batch_hits: u64,
+        index_build_ns: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.ingest_rows.add(rows);
+        self.ingest_chunks.add(chunks);
+        self.ingest_bytes.add(bytes);
+        self.ingest_intern_batch_hits.add(intern_batch_hits);
+        self.index_build_ns.add(index_build_ns);
     }
 
     /// Records one maintained write (insert or delete) with its end-to-end

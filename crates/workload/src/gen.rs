@@ -33,8 +33,41 @@ pub fn spread2(i: u64, n: u64) -> u64 {
 }
 
 /// Scales a base cardinality, clamped to at least `min`.
+///
+/// Computed exactly in integer arithmetic: the scale factor is decomposed
+/// into its dyadic rational `mantissa × 2^exp` and the product is taken in
+/// `u128`, so cardinalities above 2^53 never round through an `f64` and
+/// `⌊base · scale⌋` is exact for every representable scale (the naive
+/// `(base as f64 * scale) as u64` silently truncated large counts and
+/// double-rounded non-terminating fractions like `0.1`).
 pub fn scaled(base: u64, scale: f64, min: u64) -> u64 {
-    ((base as f64 * scale) as u64).max(min)
+    assert!(
+        scale.is_finite() && scale >= 0.0,
+        "scale must be finite and non-negative"
+    );
+    let bits = scale.to_bits();
+    let biased = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (mant, exp) = if biased == 0 {
+        (frac, -1074i64) // subnormal (covers scale == 0.0 too)
+    } else {
+        (frac | (1u64 << 52), biased - 1075)
+    };
+    // base ≤ 2^64 and mant ≤ 2^53, so the product fits in u128 exactly.
+    let prod = base as u128 * mant as u128;
+    let v = if exp >= 0 {
+        let shift = u32::try_from(exp).expect("scale exponent out of range");
+        prod.checked_shl(shift)
+            .filter(|&s| s >> shift == prod)
+            .expect("scaled cardinality overflows u128")
+    } else if exp <= -128 {
+        0
+    } else {
+        prod >> (-exp) as u32
+    };
+    u64::try_from(v)
+        .expect("scaled cardinality exceeds u64")
+        .max(min)
 }
 
 /// A deterministic RNG for a (dataset seed, table) pair.
@@ -46,6 +79,46 @@ pub fn table_rng(seed: u64, table_tag: u64) -> SmallRng {
 #[inline]
 pub fn cat(rng: &mut SmallRng, n: u64) -> i64 {
     rng.gen_range(0..n) as i64
+}
+
+/// A random-access deterministic RNG for one generated row: a splitmix64
+/// stream keyed by `(seed, table, row)`, so row `i`'s unconstrained
+/// attributes are a pure function of `i` and any row range can be
+/// generated independently of any other (the property the streaming
+/// [`crate::source::RowSource`] partitioning relies on — a shared
+/// sequential [`SmallRng`] would serialize generation).
+#[derive(Debug, Clone)]
+pub struct RowRng {
+    state: u64,
+}
+
+/// The RNG for row `row` of table `table_tag` under dataset seed `seed`.
+#[inline]
+pub fn row_rng(seed: u64, table_tag: u64, row: u64) -> RowRng {
+    RowRng {
+        state: seed
+            ^ table_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ row.wrapping_mul(0xA24B_AED4_963E_E407),
+    }
+}
+
+impl RowRng {
+    /// The next word of the stream (splitmix64).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform categorical value in `0..n`.
+    #[inline]
+    pub fn cat(&mut self, n: u64) -> i64 {
+        debug_assert!(n > 0);
+        (self.next_u64() % n) as i64
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +154,38 @@ mod tests {
         assert_eq!(scaled(1000, 0.5, 1), 500);
         assert_eq!(scaled(1000, 0.0001, 25), 25);
         assert_eq!(scaled(1000, 2.0, 1), 2000);
+    }
+
+    #[test]
+    fn scaled_is_exact_above_f64_precision() {
+        // One past 2^53: the old f64 round-trip collapsed this to 2^53.
+        let base = (1u64 << 53) + 1;
+        assert_eq!(scaled(base, 1.0, 0), base);
+        assert_eq!(scaled(base, 2.0, 0), 2 * base);
+        assert_eq!(scaled(base, 0.5, 0), 1 << 52); // floor(base / 2)
+                                                   // SF-100 on a >2^53 count stays exact.
+        assert_eq!(scaled(1 << 53, 100.0, 0), 100 << 53);
+        // A dyadic scale divides exactly even above 2^53.
+        let big = 123_456_789_012_345_678u64;
+        assert_eq!(scaled(big, 0.125, 0), big / 8);
+        // Non-terminating fractions floor the true product of the
+        // representable scale: 0.1f64 is slightly above 1/10.
+        assert_eq!(scaled(10u64.pow(16), 0.1, 0), 10u64.pow(15));
+        assert_eq!(scaled(u64::MAX, 1.0, 0), u64::MAX);
+        assert_eq!(scaled(123, 0.0, 7), 7);
+    }
+
+    #[test]
+    fn row_rng_is_deterministic_and_row_local() {
+        let mut a = row_rng(42, 7, 1000);
+        let mut b = row_rng(42, 7, 1000);
+        for _ in 0..100 {
+            assert_eq!(a.cat(1000), b.cat(1000));
+        }
+        // Different rows (and tables) give independent streams.
+        let mut c = row_rng(42, 7, 1001);
+        let same = (0..100).filter(|_| a.cat(1000) == c.cat(1000)).count();
+        assert!(same < 20);
     }
 
     #[test]

@@ -17,10 +17,12 @@
 
 pub mod gen;
 pub mod mot;
+pub mod source;
 pub mod spec;
 pub mod tfacc;
 pub mod tpch;
 
+pub use source::{load, load_range, RowSource};
 pub use spec::{Dataset, WorkloadQuery};
 
 /// All three datasets, in paper order.

@@ -13,7 +13,8 @@
 //! per year, `postcode_area`/`station_district` are functions of
 //! `station_id`, and `model` determines `make`.
 
-use crate::gen::{cat, scaled, spread2, table_rng};
+use crate::gen::{row_rng, scaled, spread2};
+use crate::source::{self, rows, RowSource};
 use crate::spec::{Dataset, WorkloadQuery};
 use bcq_core::prelude::*;
 use bcq_storage::Database;
@@ -121,67 +122,74 @@ pub fn access_schema() -> AccessSchema {
     a
 }
 
-/// Generates a MOT instance at `scale` (constraints hold for `scale ≤ 2.0`).
-pub fn generate(scale: f64, seed: u64) -> Database {
+/// The single MOT table as a streaming [`RowSource`]: test `i` is a pure
+/// function of `(scale, seed, i)` (one test per vehicle-year, balanced
+/// stations, FDs by arithmetic; unconstrained attributes from
+/// [`row_rng`]), so any row range can be generated independently.
+pub fn sources(scale: f64, seed: u64) -> Vec<Box<dyn RowSource>> {
     assert!(
         (0.0..=2.0).contains(&scale),
         "MOT constraints are calibrated for scale <= 2.0"
     );
-    let cat_ = catalog();
-    let mut db = Database::new(Arc::clone(&cat_));
     let tests = scaled(200_000, scale, 6_000);
     let vehicles = (tests / YEARS).max(1_000);
     let n_stations = scaled(N_STATIONS_BASE, scale, N_STATIONS_MIN);
 
-    let mut rng = table_rng(seed, 21);
-    let mut t = db.loader(RelId(0));
-    t.reserve_rows(tests as usize);
-    for i in 0..tests {
+    vec![rows(RelId(0), 36, tests, move |i, row| {
+        let mut r = row_rng(seed, 21, i);
         let vehicle = i % vehicles;
         let year_idx = (i / vehicles) % YEARS; // one test per vehicle-year
         let station = spread2(i, n_stations);
         let make = spread2(vehicle, N_MAKES);
         let model = make * 8 + vehicle % 8; // FD: model -> make
-        t.push(&[
+        row.extend([
             Value::Int(i as i64),
             Value::Int(vehicle as i64),
-            Value::Int(cat(&mut rng, 28) + 1),
-            Value::Int(cat(&mut rng, 12)),
+            Value::Int(r.cat(28) + 1),
+            Value::Int(r.cat(12)),
             Value::Int(2009 + year_idx as i64),
-            Value::Int(cat(&mut rng, 7)),
-            Value::Int(cat(&mut rng, 5)),
-            Value::Int(cat(&mut rng, 4)),
-            Value::Int(cat(&mut rng, 16)),
-            Value::Int(cat(&mut rng, 20)),
-            Value::Int(cat(&mut rng, 9)),
-            Value::Int(cat(&mut rng, 12)),
+            Value::Int(r.cat(7)),
+            Value::Int(r.cat(5)),
+            Value::Int(r.cat(4)),
+            Value::Int(r.cat(16)),
+            Value::Int(r.cat(20)),
+            Value::Int(r.cat(9)),
+            Value::Int(r.cat(12)),
             Value::Int(make as i64),
             Value::Int(model as i64),
             Value::Int(1990 + (vehicle % 24) as i64),
             Value::Int((station % 120) as i64), // FD: station -> postcode
             Value::Int(station as i64),
             Value::Int((station % 350) as i64), // FD: station -> district
-            Value::Int(cat(&mut rng, 16)),
-            Value::Int(cat(&mut rng, 16)),
-            Value::Int(cat(&mut rng, 12)),
-            Value::Int(cat(&mut rng, 12)),
-            Value::Int(cat(&mut rng, 12)),
-            Value::Int(cat(&mut rng, 12)),
-            Value::Int(cat(&mut rng, 12)),
-            Value::Int(cat(&mut rng, 12)),
-            Value::Int(cat(&mut rng, 12)),
-            Value::Int(cat(&mut rng, 12)),
-            Value::Int(cat(&mut rng, 12)),
-            Value::Int(cat(&mut rng, 12)),
-            Value::Int(cat(&mut rng, 6)),
-            Value::Int(cat(&mut rng, 3)),
-            Value::Int(cat(&mut rng, 2)),
-            Value::Int(cat(&mut rng, 8)),
-            Value::Int(cat(&mut rng, 8)),
-            Value::Int(cat(&mut rng, 8)),
+            Value::Int(r.cat(16)),
+            Value::Int(r.cat(16)),
+            Value::Int(r.cat(12)),
+            Value::Int(r.cat(12)),
+            Value::Int(r.cat(12)),
+            Value::Int(r.cat(12)),
+            Value::Int(r.cat(12)),
+            Value::Int(r.cat(12)),
+            Value::Int(r.cat(12)),
+            Value::Int(r.cat(12)),
+            Value::Int(r.cat(12)),
+            Value::Int(r.cat(12)),
+            Value::Int(r.cat(6)),
+            Value::Int(r.cat(3)),
+            Value::Int(r.cat(2)),
+            Value::Int(r.cat(8)),
+            Value::Int(r.cat(8)),
+            Value::Int(r.cat(8)),
         ]);
+    })]
+}
+
+/// Generates a MOT instance at `scale` by streaming [`sources`] through
+/// the bulk-ingest fast path (constraints hold for `scale ≤ 2.0`).
+pub fn generate(scale: f64, seed: u64) -> Database {
+    let mut db = Database::new(catalog());
+    for s in sources(scale, seed) {
+        source::load(&mut db, s.as_ref());
     }
-    drop(t); // release the loader's borrow (its Drop closes the WAL bracket)
     db
 }
 
@@ -453,6 +461,7 @@ pub fn dataset() -> Dataset {
         access: access_schema(),
         queries: queries(),
         generate: |scale, seed| generate(scale, seed),
+        sources: |scale, seed| sources(scale, seed),
         default_scale: 1.0,
         scale_ladder: &[0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0],
     }

@@ -1,5 +1,6 @@
 //! Dataset bundles: catalog + access schema + query workload + generator.
 
+use crate::source::RowSource;
 use bcq_core::prelude::{AccessSchema, Catalog, SpcQuery};
 use bcq_storage::Database;
 use std::sync::Arc;
@@ -39,6 +40,12 @@ pub struct Dataset {
     pub queries: Vec<WorkloadQuery>,
     /// Deterministic generator: `(scale, seed) → D` with `D |= access`.
     pub generate: fn(f64, u64) -> Database,
+    /// The streaming row sources behind [`Dataset::generate`]: one
+    /// random-access [`RowSource`] per relation, in load order. Callers
+    /// that want to meter or partition ingest (benches, bulk-load
+    /// harnesses) stream these through [`crate::source::load`] themselves;
+    /// `generate` is exactly that loop.
+    pub sources: fn(f64, u64) -> Vec<Box<dyn RowSource>>,
     /// Scale used when `|D|` is not being swept.
     pub default_scale: f64,
     /// The `|D|`-sweep ladder (Figure 5(a)/(e)/(i)).

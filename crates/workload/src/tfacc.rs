@@ -14,7 +14,8 @@
 //! Scale 1.0 ≈ 0.7 M tuples (laptop-sized stand-in for the 89.7 M original);
 //! the Figure 5(a) sweep uses scales `2^-5 … 1` exactly like the paper.
 
-use crate::gen::{cat, scaled, spread, spread2, table_rng};
+use crate::gen::{row_rng, scaled, spread, spread2};
+use crate::source::{self, rows, RowSource};
 use crate::spec::{Dataset, WorkloadQuery};
 use bcq_core::prelude::*;
 use bcq_storage::Database;
@@ -414,17 +415,22 @@ pub fn access_schema() -> AccessSchema {
     a
 }
 
-/// Generates a TFACC instance at the given `scale` (the paper sweeps
-/// `2^-5 … 1`). All declared constraints hold by construction for
-/// `scale ≤ 2.0`.
-pub fn generate(scale: f64, seed: u64) -> Database {
+/// `Value::Int` from an index.
+#[inline]
+fn iv(v: u64) -> Value {
+    Value::Int(v as i64)
+}
+
+/// The 19 TFACC relations as streaming [`RowSource`]s, in load order.
+/// Row `i` of each table is a pure function of `(scale, seed, i)`
+/// ([`row_rng`] for unconstrained attributes, [`spread`]/[`spread2`] for
+/// the balanced assignments that enforce the access schema), so any row
+/// range can be generated independently.
+pub fn sources(scale: f64, seed: u64) -> Vec<Box<dyn RowSource>> {
     assert!(
         (0.0..=2.0).contains(&scale),
         "TFACC constraints are calibrated for scale <= 2.0"
     );
-    let cat_ = catalog();
-    let mut db = Database::new(Arc::clone(&cat_));
-
     let accidents = scaled(80_000, scale, 1_000);
     let n_dates = scaled(N_DATES_BASE, scale, N_DATES_MIN);
     let vehicles = accidents * 9 / 5;
@@ -435,275 +441,216 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     let localities = scaled(8_000, scale, 450);
     let observations = scaled(60_000, scale, 1_000);
 
-    let i64_ = |v: u64| Value::Int(v as i64);
-
-    // accident
-    {
-        let mut rng = table_rng(seed, 1);
-        let mut t = db.loader(RelId(0));
-        t.reserve_rows(accidents as usize);
-        for i in 0..accidents {
+    vec![
+        // accident
+        rows(RelId(0), 16, accidents, move |i, row| {
+            let mut r = row_rng(seed, 1, i);
             let district = spread2(i, N_DISTRICTS);
-            t.push(&[
-                i64_(i),
-                i64_(spread(i, n_dates)),
-                Value::Int(cat(&mut rng, 24)),
-                i64_(district),
-                Value::Int(cat(&mut rng, 6)),
-                Value::Int(cat(&mut rng, 3)),
-                Value::Int(cat(&mut rng, 9)),
-                Value::Int(cat(&mut rng, 7)),
-                Value::Int(cat(&mut rng, 5)),
-                Value::Int([20, 30, 40, 50, 60, 70][cat(&mut rng, 6) as usize]),
-                Value::Int(cat(&mut rng, 9)),
-                Value::Int(cat(&mut rng, 4) + 1),
-                Value::Int(cat(&mut rng, 3) + 1),
-                i64_(district % 52), // FD: district -> police_force
-                Value::Int(cat(&mut rng, 3)),
-                Value::Int(cat(&mut rng, 9)),
+            row.extend([
+                iv(i),
+                iv(spread(i, n_dates)),
+                Value::Int(r.cat(24)),
+                iv(district),
+                Value::Int(r.cat(6)),
+                Value::Int(r.cat(3)),
+                Value::Int(r.cat(9)),
+                Value::Int(r.cat(7)),
+                Value::Int(r.cat(5)),
+                Value::Int([20, 30, 40, 50, 60, 70][r.cat(6) as usize]),
+                Value::Int(r.cat(9)),
+                Value::Int(r.cat(4) + 1),
+                Value::Int(r.cat(3) + 1),
+                iv(district % 52), // FD: district -> police_force
+                Value::Int(r.cat(3)),
+                Value::Int(r.cat(9)),
             ]);
-        }
-    }
-    // vehicle
-    {
-        let mut rng = table_rng(seed, 2);
-        let mut t = db.loader(RelId(1));
-        t.reserve_rows(vehicles as usize);
-        for v in 0..vehicles {
+        }),
+        // vehicle
+        rows(RelId(1), 14, vehicles, move |v, row| {
+            let mut r = row_rng(seed, 2, v);
             let make = spread2(v, N_MAKES);
             let model = make * 10 + (v % 10); // FD: model -> make
-            t.push(&[
-                i64_(v),
-                i64_(spread(v, accidents)),
-                Value::Int(cat(&mut rng, 20)),
-                i64_(make),
-                i64_(model),
-                Value::Int(cat(&mut rng, 12)),
-                Value::Int(800 + cat(&mut rng, 40) * 100),
-                Value::Int(cat(&mut rng, 18)),
-                Value::Int(cat(&mut rng, 6)),
-                Value::Int(cat(&mut rng, 12)),
-                Value::Int(cat(&mut rng, 6)),
-                Value::Int(cat(&mut rng, 9)),
-                Value::Int(cat(&mut rng, 11)),
-                Value::Int(cat(&mut rng, 3)),
+            row.extend([
+                iv(v),
+                iv(spread(v, accidents)),
+                Value::Int(r.cat(20)),
+                iv(make),
+                iv(model),
+                Value::Int(r.cat(12)),
+                Value::Int(800 + r.cat(40) * 100),
+                Value::Int(r.cat(18)),
+                Value::Int(r.cat(6)),
+                Value::Int(r.cat(12)),
+                Value::Int(r.cat(6)),
+                Value::Int(r.cat(9)),
+                Value::Int(r.cat(11)),
+                Value::Int(r.cat(3)),
             ]);
-        }
-    }
-    // casualty
-    {
-        let mut rng = table_rng(seed, 3);
-        let mut t = db.loader(RelId(2));
-        t.reserve_rows(casualties as usize);
-        for c in 0..casualties {
-            t.push(&[
-                i64_(c),
-                i64_(spread(c, accidents)),
-                i64_(spread2(c, vehicles)),
-                Value::Int(cat(&mut rng, 3)),
-                Value::Int(cat(&mut rng, 3)),
-                Value::Int(cat(&mut rng, 11)),
-                Value::Int(cat(&mut rng, 3)),
-                Value::Int(cat(&mut rng, 11)),
-                Value::Int(cat(&mut rng, 10)),
-                Value::Int(cat(&mut rng, 3)),
+        }),
+        // casualty
+        rows(RelId(2), 10, casualties, move |c, row| {
+            let mut r = row_rng(seed, 3, c);
+            row.extend([
+                iv(c),
+                iv(spread(c, accidents)),
+                iv(spread2(c, vehicles)),
+                Value::Int(r.cat(3)),
+                Value::Int(r.cat(3)),
+                Value::Int(r.cat(11)),
+                Value::Int(r.cat(3)),
+                Value::Int(r.cat(11)),
+                Value::Int(r.cat(10)),
+                Value::Int(r.cat(3)),
             ]);
-        }
-    }
-    // accident_date (calendar)
-    {
-        let mut t = db.loader(RelId(3));
-        for d in 0..n_dates {
+        }),
+        // accident_date (calendar)
+        rows(RelId(3), 6, n_dates, move |d, row| {
             let month = d * 12 / n_dates;
-            t.push(&[
-                i64_(d),
-                i64_(d % 28 + 1),
-                i64_(month),
-                i64_(1979 + d % 27),
-                i64_(d / 7 % 53),
-                i64_(d % 7),
+            row.extend([
+                iv(d),
+                iv(d % 28 + 1),
+                iv(month),
+                iv(1979 + d % 27),
+                iv(d / 7 % 53),
+                iv(d % 7),
             ]);
-        }
-    }
-    // road
-    {
-        let mut rng = table_rng(seed, 5);
-        let mut t = db.loader(RelId(4));
-        for r in 0..roads {
-            t.push(&[
-                i64_(r),
-                Value::Int(cat(&mut rng, 6)),
-                Value::Int(cat(&mut rng, 9000)),
-                i64_(spread(r, N_DISTRICTS)),
-                Value::Int(cat(&mut rng, 5)),
-                Value::Int(cat(&mut rng, 4)),
+        }),
+        // road
+        rows(RelId(4), 6, roads, move |i, row| {
+            let mut r = row_rng(seed, 5, i);
+            row.extend([
+                iv(i),
+                Value::Int(r.cat(6)),
+                Value::Int(r.cat(9000)),
+                iv(spread(i, N_DISTRICTS)),
+                Value::Int(r.cat(5)),
+                Value::Int(r.cat(4)),
             ]);
-        }
-    }
-    // accident_road
-    {
-        let mut t = db.loader(RelId(5));
-        for i in 0..accidents {
-            t.push(&[i64_(i), i64_(spread2(i, roads))]);
-        }
-    }
-    // district
-    {
-        let mut rng = table_rng(seed, 7);
-        let mut t = db.loader(RelId(6));
-        for d in 0..N_DISTRICTS {
-            t.push(&[
-                i64_(d),
-                i64_(d),
-                i64_(spread(d, N_REGIONS)),
-                Value::Int(cat(&mut rng, 4)),
-                Value::Int(cat(&mut rng, 10)),
+        }),
+        // accident_road
+        rows(RelId(5), 2, accidents, move |i, row| {
+            row.extend([iv(i), iv(spread2(i, roads))]);
+        }),
+        // district
+        rows(RelId(6), 5, N_DISTRICTS, move |d, row| {
+            let mut r = row_rng(seed, 7, d);
+            row.extend([
+                iv(d),
+                iv(d),
+                iv(spread(d, N_REGIONS)),
+                Value::Int(r.cat(4)),
+                Value::Int(r.cat(10)),
             ]);
-        }
-    }
-    // region
-    {
-        let mut t = db.loader(RelId(7));
-        for r in 0..N_REGIONS {
-            t.push(&[i64_(r), i64_(r)]);
-        }
-    }
-    // make
-    {
-        let mut rng = table_rng(seed, 9);
-        let mut t = db.loader(RelId(8));
-        for m in 0..N_MAKES {
-            t.push(&[
-                i64_(m),
-                i64_(m),
-                Value::Int(cat(&mut rng, 30)),
-                Value::Int(cat(&mut rng, 12)),
+        }),
+        // region
+        rows(RelId(7), 2, N_REGIONS, move |i, row| {
+            row.extend([iv(i), iv(i)]);
+        }),
+        // make
+        rows(RelId(8), 4, N_MAKES, move |m, row| {
+            let mut r = row_rng(seed, 9, m);
+            row.extend([iv(m), iv(m), Value::Int(r.cat(30)), Value::Int(r.cat(12))]);
+        }),
+        // model
+        rows(RelId(9), 5, N_MODELS, move |m, row| {
+            let mut r = row_rng(seed, 10, m);
+            row.extend([
+                iv(m),
+                iv(m / 10),
+                iv(m),
+                Value::Int(r.cat(5) + 2),
+                Value::Int(r.cat(9)),
             ]);
-        }
-    }
-    // model
-    {
-        let mut rng = table_rng(seed, 10);
-        let mut t = db.loader(RelId(9));
-        for m in 0..N_MODELS {
-            t.push(&[
-                i64_(m),
-                i64_(m / 10),
-                i64_(m),
-                Value::Int(cat(&mut rng, 5) + 2),
-                Value::Int(cat(&mut rng, 9)),
+        }),
+        // stop_point
+        rows(RelId(10), 10, stops, move |s, row| {
+            let mut r = row_rng(seed, 11, s);
+            row.extend([
+                iv(s),
+                iv(s),
+                Value::Int(r.cat(100)),
+                Value::Int(r.cat(100)),
+                Value::Int(r.cat(12)),
+                iv(spread(s, N_DISTRICTS)),
+                Value::Int(r.cat(3)),
+                iv(900_000 + s),
+                Value::Int(r.cat(700)),
+                Value::Int(r.cat(1300)),
             ]);
-        }
-    }
-    // stop_point
-    {
-        let mut rng = table_rng(seed, 11);
-        let mut t = db.loader(RelId(10));
-        for s in 0..stops {
-            t.push(&[
-                i64_(s),
-                i64_(s),
-                Value::Int(cat(&mut rng, 100)),
-                Value::Int(cat(&mut rng, 100)),
-                Value::Int(cat(&mut rng, 12)),
-                i64_(spread(s, N_DISTRICTS)),
-                Value::Int(cat(&mut rng, 3)),
-                i64_(900_000 + s),
-                Value::Int(cat(&mut rng, 700)),
-                Value::Int(cat(&mut rng, 1300)),
+        }),
+        // stop_area
+        rows(RelId(11), 5, areas, move |a, row| {
+            let mut r = row_rng(seed, 12, a);
+            row.extend([
+                iv(a),
+                iv(a),
+                iv(spread(a, N_ADMIN)),
+                Value::Int(r.cat(4)),
+                iv(a * 7),
             ]);
-        }
-    }
-    // stop_area
-    {
-        let mut rng = table_rng(seed, 12);
-        let mut t = db.loader(RelId(11));
-        for a in 0..areas {
-            t.push(&[
-                i64_(a),
-                i64_(a),
-                i64_(spread(a, N_ADMIN)),
-                Value::Int(cat(&mut rng, 4)),
-                i64_(a * 7),
+        }),
+        // area_stop (each stop in exactly one area; <= ceil(stops/areas) = 10/area)
+        rows(RelId(12), 2, stops, move |s, row| {
+            row.extend([iv(spread(s, areas)), iv(s)]);
+        }),
+        // admin_area
+        rows(RelId(13), 4, N_ADMIN, move |a, row| {
+            row.extend([iv(a), iv(a), iv(spread(a, N_REGIONS)), iv(a * 3)]);
+        }),
+        // locality
+        rows(RelId(14), 5, localities, move |l, row| {
+            row.extend([
+                iv(l),
+                iv(l),
+                iv(spread(l, N_DISTRICTS)),
+                iv(l / 10),
+                iv(l * 13 % 9973),
             ]);
-        }
-    }
-    // area_stop (each stop in exactly one area; <= ceil(stops/areas) = 10/area)
-    {
-        let mut t = db.loader(RelId(12));
-        for s in 0..stops {
-            t.push(&[i64_(spread(s, areas)), i64_(s)]);
-        }
-    }
-    // admin_area
-    {
-        let mut t = db.loader(RelId(13));
-        for a in 0..N_ADMIN {
-            t.push(&[i64_(a), i64_(a), i64_(spread(a, N_REGIONS)), i64_(a * 3)]);
-        }
-    }
-    // locality
-    {
-        let mut t = db.loader(RelId(14));
-        for l in 0..localities {
-            t.push(&[
-                i64_(l),
-                i64_(l),
-                i64_(spread(l, N_DISTRICTS)),
-                i64_(l / 10),
-                i64_(l * 13 % 9973),
+        }),
+        // stop_locality
+        rows(RelId(15), 2, stops, move |s, row| {
+            row.extend([iv(s), iv(spread2(s, localities))]);
+        }),
+        // accident_stop (the fuzzy join: nearest stop per accident)
+        rows(RelId(16), 3, accidents, move |i, row| {
+            let mut r = row_rng(seed, 17, i);
+            row.extend([iv(i), iv(spread(i, stops)), Value::Int(r.cat(500))]);
+        }),
+        // weather_station
+        rows(RelId(17), 5, N_STATIONS, move |w, row| {
+            let mut r = row_rng(seed, 18, w);
+            row.extend([
+                iv(w),
+                iv(spread(w, N_DISTRICTS)),
+                Value::Int(r.cat(1300)),
+                Value::Int(1900 + r.cat(100)),
+                Value::Int(r.cat(3)),
             ]);
-        }
-    }
-    // stop_locality
-    {
-        let mut t = db.loader(RelId(15));
-        for s in 0..stops {
-            t.push(&[i64_(s), i64_(spread2(s, localities))]);
-        }
-    }
-    // accident_stop (the fuzzy join: nearest stop per accident)
-    {
-        let mut rng = table_rng(seed, 17);
-        let mut t = db.loader(RelId(16));
-        for i in 0..accidents {
-            t.push(&[
-                i64_(i),
-                i64_(spread(i, stops)),
-                Value::Int(cat(&mut rng, 500)),
+        }),
+        // observation (mixed-radix (ws, date) assignment: <= ceil per pair)
+        rows(RelId(18), 7, observations, move |o, row| {
+            let mut r = row_rng(seed, 19, o);
+            row.extend([
+                iv(o),
+                iv(o % N_STATIONS),
+                iv((o / N_STATIONS) % n_dates),
+                Value::Int(r.cat(100)),
+                Value::Int(r.cat(16)),
+                Value::Int(r.cat(12)),
+                Value::Int(r.cat(8)),
             ]);
-        }
-    }
-    // weather_station
-    {
-        let mut rng = table_rng(seed, 18);
-        let mut t = db.loader(RelId(17));
-        for w in 0..N_STATIONS {
-            t.push(&[
-                i64_(w),
-                i64_(spread(w, N_DISTRICTS)),
-                Value::Int(cat(&mut rng, 1300)),
-                Value::Int(1900 + cat(&mut rng, 100)),
-                Value::Int(cat(&mut rng, 3)),
-            ]);
-        }
-    }
-    // observation (mixed-radix (ws, date) assignment: <= ceil per pair)
-    {
-        let mut rng = table_rng(seed, 19);
-        let mut t = db.loader(RelId(18));
-        t.reserve_rows(observations as usize);
-        for o in 0..observations {
-            t.push(&[
-                i64_(o),
-                i64_(o % N_STATIONS),
-                i64_((o / N_STATIONS) % n_dates),
-                Value::Int(cat(&mut rng, 100)),
-                Value::Int(cat(&mut rng, 16)),
-                Value::Int(cat(&mut rng, 12)),
-                Value::Int(cat(&mut rng, 8)),
-            ]);
-        }
+        }),
+    ]
+}
+
+/// Generates a TFACC instance at the given `scale` (the paper sweeps
+/// `2^-5 … 1`) by streaming every [`sources`] table through the
+/// bulk-ingest fast path. All declared constraints hold by construction
+/// for `scale ≤ 2.0`.
+pub fn generate(scale: f64, seed: u64) -> Database {
+    let mut db = Database::new(catalog());
+    for s in sources(scale, seed) {
+        source::load(&mut db, s.as_ref());
     }
     db
 }
@@ -975,6 +922,7 @@ pub fn dataset() -> Dataset {
         access: access_schema(),
         queries: queries(),
         generate: |scale, seed| generate(scale, seed),
+        sources: |scale, seed| sources(scale, seed),
         default_scale: 1.0,
         scale_ladder: &[0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0],
     }

@@ -10,7 +10,8 @@
 //! scales *up* as well as down, which is what the Figure 5(i) `|D|` sweep
 //! (0.25× … 32×) exercises.
 
-use crate::gen::{cat, scaled, spread, table_rng};
+use crate::gen::{row_rng, scaled, spread};
+use crate::source::{self, rows, RowSource};
 use crate::spec::{Dataset, WorkloadQuery};
 use bcq_core::prelude::*;
 use bcq_storage::Database;
@@ -20,6 +21,32 @@ const N_NATIONS: u64 = 25;
 const N_REGIONS: u64 = 5;
 const DATES: u64 = 2_406; // days in 1992-01-01 .. 1998-08-02
 const MAX_LINES: u64 = 7;
+
+/// Rows in one 7-order lineitem period: order `o` has `1 + o % 7` lines,
+/// so 7 consecutive orders always span `1 + 2 + … + 7 = 28` rows.
+const PERIOD_ROWS: u64 = 28;
+
+/// Total lineitem rows for `orders` orders (closed form of the periodic
+/// line counts, so the source knows its size without iterating).
+fn lineitem_count(orders: u64) -> u64 {
+    let t = orders % MAX_LINES;
+    (orders / MAX_LINES) * PERIOD_ROWS + t * (t + 1) / 2
+}
+
+/// Maps lineitem row `i` to its `(order, linenumber)`: within a 28-row
+/// period the rows before order-in-period `j` form the triangular number
+/// `j(j+1)/2`, so inverting it recovers `j` (and the line offset) in
+/// constant time — lineitem stays randomly accessible despite its
+/// variable per-order fan-out.
+fn lineitem_order_of(i: u64) -> (u64, u64) {
+    let period = i / PERIOD_ROWS;
+    let rem = i % PERIOD_ROWS;
+    let mut j = 0;
+    while (j + 1) * (j + 2) / 2 <= rem {
+        j += 1;
+    }
+    (period * MAX_LINES + j, rem - j * (j + 1) / 2)
+}
 
 /// The 8-relation TPC-H catalog (61 attributes).
 pub fn catalog() -> Arc<Catalog> {
@@ -305,165 +332,151 @@ pub fn access_schema() -> AccessSchema {
     a
 }
 
-/// Generates a TPCH instance at scale factor `sf` (the paper sweeps
-/// 0.25–32). TPC-H fan-outs are scale-invariant, so every constraint holds
-/// at every `sf`.
-pub fn generate(sf: f64, seed: u64) -> Database {
-    assert!(sf > 0.0 && sf <= 64.0, "supported scale factors: (0, 64]");
-    let cat_ = catalog();
-    let mut db = Database::new(Arc::clone(&cat_));
+/// `Value::Int` from an index.
+#[inline]
+fn iv(v: u64) -> Value {
+    Value::Int(v as i64)
+}
 
+/// The 8 TPC-H relations as streaming [`RowSource`]s, in load order. Row
+/// `i` of each table is a pure function of `(sf, seed, i)` — including
+/// the fan-out tables: partsupp row `i` is supplier `i % 4` of part
+/// `i / 4`, and lineitem inverts its periodic per-order line counts with
+/// `lineitem_order_of` — so any row range can be generated independently
+/// of any other.
+pub fn sources(sf: f64, seed: u64) -> Vec<Box<dyn RowSource>> {
+    assert!(
+        sf > 0.0 && sf <= 4096.0,
+        "supported scale factors: (0, 4096]"
+    );
     let customers = scaled(300, sf, 75);
     let orders = customers * 10;
     let parts = scaled(200, sf, 60);
     let suppliers = scaled(100, sf, 52);
     let supp_step = suppliers / 4 + 1; // 4 distinct suppliers per part
 
-    let i64_ = |v: u64| Value::Int(v as i64);
-
-    // region
-    {
-        let mut rng = table_rng(seed, 31);
-        let mut t = db.loader(RelId(0));
-        for r in 0..N_REGIONS {
-            t.push(&[i64_(r), i64_(r), Value::Int(cat(&mut rng, 100))]);
-        }
-    }
-    // nation
-    {
-        let mut rng = table_rng(seed, 32);
-        let mut t = db.loader(RelId(1));
-        for n in 0..N_NATIONS {
-            t.push(&[
-                i64_(n),
-                i64_(n),
-                i64_(n % N_REGIONS),
-                Value::Int(cat(&mut rng, 100)),
+    vec![
+        // region
+        rows(RelId(0), 3, N_REGIONS, move |r, row| {
+            let mut g = row_rng(seed, 31, r);
+            row.extend([iv(r), iv(r), Value::Int(g.cat(100))]);
+        }),
+        // nation
+        rows(RelId(1), 4, N_NATIONS, move |n, row| {
+            let mut g = row_rng(seed, 32, n);
+            row.extend([iv(n), iv(n), iv(n % N_REGIONS), Value::Int(g.cat(100))]);
+        }),
+        // supplier
+        rows(RelId(2), 7, suppliers, move |s, row| {
+            let mut g = row_rng(seed, 33, s);
+            row.extend([
+                iv(s),
+                iv(s),
+                iv(s * 31),
+                iv(spread(s, N_NATIONS)),
+                iv(7_000_000 + s),
+                Value::Int(g.cat(2000)),
+                Value::Int(g.cat(100)),
             ]);
-        }
-    }
-    // supplier
-    {
-        let mut rng = table_rng(seed, 33);
-        let mut t = db.loader(RelId(2));
-        for s in 0..suppliers {
-            t.push(&[
-                i64_(s),
-                i64_(s),
-                i64_(s * 31),
-                i64_(spread(s, N_NATIONS)),
-                i64_(7_000_000 + s),
-                Value::Int(cat(&mut rng, 2000)),
-                Value::Int(cat(&mut rng, 100)),
+        }),
+        // part
+        rows(RelId(3), 9, parts, move |p, row| {
+            let mut g = row_rng(seed, 34, p);
+            row.extend([
+                iv(p),
+                iv(p),
+                iv(p % 5),
+                iv(p % 25), // FD: partkey -> brand
+                Value::Int(g.cat(150)),
+                Value::Int(g.cat(50)),
+                Value::Int(g.cat(40)),
+                iv(900 + p % 200),
+                Value::Int(g.cat(100)),
             ]);
-        }
-    }
-    // part
-    {
-        let mut rng = table_rng(seed, 34);
-        let mut t = db.loader(RelId(3));
-        for p in 0..parts {
-            t.push(&[
-                i64_(p),
-                i64_(p),
-                i64_(p % 5),
-                i64_(p % 25), // FD: partkey -> brand
-                Value::Int(cat(&mut rng, 150)),
-                Value::Int(cat(&mut rng, 50)),
-                Value::Int(cat(&mut rng, 40)),
-                i64_(900 + p % 200),
-                Value::Int(cat(&mut rng, 100)),
-            ]);
-        }
-    }
-    // partsupp: exactly 4 distinct suppliers per part.
-    {
-        let mut rng = table_rng(seed, 35);
-        let mut t = db.loader(RelId(4));
-        t.reserve_rows((parts * 4) as usize);
-        for p in 0..parts {
+        }),
+        // partsupp: exactly 4 distinct suppliers per part (row i is
+        // supplier i % 4 of part i / 4).
+        rows(RelId(4), 5, parts * 4, move |i, row| {
+            let mut g = row_rng(seed, 35, i);
+            let (p, k) = (i / 4, i % 4);
             let base = spread(p, suppliers);
-            for k in 0..4 {
-                t.push(&[
-                    i64_(p),
-                    i64_((base + k * supp_step) % suppliers),
-                    Value::Int(cat(&mut rng, 100)),
-                    Value::Int(cat(&mut rng, 1000)),
-                    Value::Int(cat(&mut rng, 100)),
-                ]);
-            }
-        }
-    }
-    // customer
-    {
-        let mut rng = table_rng(seed, 36);
-        let mut t = db.loader(RelId(5));
-        t.reserve_rows(customers as usize);
-        for c in 0..customers {
-            t.push(&[
-                i64_(c),
-                i64_(c),
-                i64_(c * 17),
-                i64_(spread(c, N_NATIONS)),
-                i64_(8_000_000 + c),
-                Value::Int(cat(&mut rng, 2000)),
-                Value::Int(cat(&mut rng, 5)),
-                Value::Int(cat(&mut rng, 100)),
+            row.extend([
+                iv(p),
+                iv((base + k * supp_step) % suppliers),
+                Value::Int(g.cat(100)),
+                Value::Int(g.cat(1000)),
+                Value::Int(g.cat(100)),
             ]);
-        }
-    }
-    // orders: ~10 per customer, unique (custkey, orderdate).
-    {
-        let mut rng = table_rng(seed, 37);
-        let mut t = db.loader(RelId(6));
-        t.reserve_rows(orders as usize);
-        for o in 0..orders {
-            t.push(&[
-                i64_(o),
-                i64_(o % customers),
-                Value::Int(cat(&mut rng, 3)),
-                Value::Int(cat(&mut rng, 1000)),
-                i64_((o / customers) * 211 % DATES),
-                Value::Int(cat(&mut rng, 5)),
-                i64_(o % 1000),
+        }),
+        // customer
+        rows(RelId(5), 8, customers, move |c, row| {
+            let mut g = row_rng(seed, 36, c);
+            row.extend([
+                iv(c),
+                iv(c),
+                iv(c * 17),
+                iv(spread(c, N_NATIONS)),
+                iv(8_000_000 + c),
+                Value::Int(g.cat(2000)),
+                Value::Int(g.cat(5)),
+                Value::Int(g.cat(100)),
+            ]);
+        }),
+        // orders: ~10 per customer, unique (custkey, orderdate).
+        rows(RelId(6), 9, orders, move |o, row| {
+            let mut g = row_rng(seed, 37, o);
+            row.extend([
+                iv(o),
+                iv(o % customers),
+                Value::Int(g.cat(3)),
+                Value::Int(g.cat(1000)),
+                iv((o / customers) * 211 % DATES),
+                Value::Int(g.cat(5)),
+                iv(o % 1000),
                 Value::Int(0),
-                Value::Int(cat(&mut rng, 100)),
+                Value::Int(g.cat(100)),
             ]);
-        }
-    }
-    // lineitem: 1 + (o % 7) lines per order; suppliers consistent with
-    // partsupp so (l_partkey, l_suppkey) joins partsupp non-trivially.
-    {
-        let mut rng = table_rng(seed, 38);
-        let mut t = db.loader(RelId(7));
-        t.reserve_rows((orders * 4) as usize);
-        for o in 0..orders {
-            let lines = 1 + o % MAX_LINES;
+        }),
+        // lineitem: 1 + (o % 7) lines per order; suppliers consistent with
+        // partsupp so (l_partkey, l_suppkey) joins partsupp non-trivially.
+        rows(RelId(7), 16, lineitem_count(orders), move |i, row| {
+            let mut g = row_rng(seed, 38, i);
+            let (o, ln) = lineitem_order_of(i);
             let orderdate = (o / customers) * 211 % DATES;
-            for ln in 0..lines {
-                let partkey = spread(o * MAX_LINES + ln, parts);
-                let suppkey = (spread(partkey, suppliers) + (ln % 4) * supp_step) % suppliers;
-                let ship = (orderdate + 1 + cat(&mut rng, 120) as u64) % 2_600;
-                t.push(&[
-                    i64_(o),
-                    i64_(partkey),
-                    i64_(suppkey),
-                    i64_(ln),
-                    Value::Int(cat(&mut rng, 50) + 1),
-                    Value::Int(cat(&mut rng, 1000)),
-                    Value::Int(cat(&mut rng, 11)),
-                    Value::Int(cat(&mut rng, 9)),
-                    Value::Int(cat(&mut rng, 3)),
-                    Value::Int(cat(&mut rng, 2)),
-                    i64_(ship),
-                    i64_((ship + 14) % 2_600),
-                    i64_((ship + 21) % 2_600),
-                    Value::Int(cat(&mut rng, 4)),
-                    Value::Int(cat(&mut rng, 7)),
-                    Value::Int(cat(&mut rng, 100)),
-                ]);
-            }
-        }
+            let partkey = spread(o * MAX_LINES + ln, parts);
+            let suppkey = (spread(partkey, suppliers) + (ln % 4) * supp_step) % suppliers;
+            let ship = (orderdate + 1 + g.cat(120) as u64) % 2_600;
+            row.extend([
+                iv(o),
+                iv(partkey),
+                iv(suppkey),
+                iv(ln),
+                Value::Int(g.cat(50) + 1),
+                Value::Int(g.cat(1000)),
+                Value::Int(g.cat(11)),
+                Value::Int(g.cat(9)),
+                Value::Int(g.cat(3)),
+                Value::Int(g.cat(2)),
+                iv(ship),
+                iv((ship + 14) % 2_600),
+                iv((ship + 21) % 2_600),
+                Value::Int(g.cat(4)),
+                Value::Int(g.cat(7)),
+                Value::Int(g.cat(100)),
+            ]);
+        }),
+    ]
+}
+
+/// Generates a TPCH instance at scale factor `sf` (the paper sweeps
+/// 0.25–32; the streaming path supports up to 4096, ~50 M lineitems) by
+/// streaming every [`sources`] table through the bulk-ingest fast path.
+/// TPC-H fan-outs are scale-invariant, so every constraint holds at
+/// every `sf`.
+pub fn generate(sf: f64, seed: u64) -> Database {
+    let mut db = Database::new(catalog());
+    for s in sources(sf, seed) {
+        source::load(&mut db, s.as_ref());
     }
     db
 }
@@ -731,8 +744,11 @@ pub fn dataset() -> Dataset {
         access: access_schema(),
         queries: queries(),
         generate: |sf, seed| generate(sf, seed),
+        sources: |sf, seed| sources(sf, seed),
         default_scale: 32.0,
-        scale_ladder: &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+        scale_ladder: &[
+            0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 320.0,
+        ],
     }
 }
 
@@ -819,6 +835,23 @@ mod tests {
         }
         assert!(qs.iter().any(|w| w.query.num_prod() == 4));
         assert!(qs.iter().any(|w| w.query.num_sel() == 8));
+    }
+
+    #[test]
+    fn lineitem_row_mapping_inverts_the_per_order_line_counts() {
+        // Forward enumeration of (order, line) pairs must equal the
+        // random-access row map, including a partial tail period.
+        let orders = 23; // not a multiple of 7
+        let mut expect = Vec::new();
+        for o in 0..orders {
+            for ln in 0..(1 + o % MAX_LINES) {
+                expect.push((o, ln));
+            }
+        }
+        assert_eq!(lineitem_count(orders), expect.len() as u64);
+        for (i, &pair) in expect.iter().enumerate() {
+            assert_eq!(lineitem_order_of(i as u64), pair, "row {i}");
+        }
     }
 
     #[test]

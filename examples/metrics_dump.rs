@@ -1,8 +1,8 @@
 //! Observability end to end: drive a mixed read/write workload through a
 //! [`Server`], then dump what the always-on metrics registry saw — the
 //! per-lane latency histograms (p50/p99/p999), plan-cache movement,
-//! admission verdicts, write-path and copy-on-write amplification
-//! counters — as both JSON and Prometheus text. Then the two opt-in
+//! admission verdicts, write-path, bulk-ingest and copy-on-write
+//! amplification counters — as both JSON and Prometheus text. Then the two opt-in
 //! diagnostics: request tracing (phase timings for admit → cache-lookup →
 //! compile → bind → execute → respond) and per-operator profiling of an
 //! 8-atom chain query, whose step times must sum to within 10% of the
@@ -152,6 +152,16 @@ fn main() -> core::result::Result<(), Box<dyn std::error::Error>> {
         db.insert("friends", &[Value::str("u0"), Value::str("bulk")])
             .unwrap();
     });
+    // The chunked bulk-load fast path: one columnar chunk straight into
+    // the store, which the ingest_* counters then expose.
+    let (_, ingest) = server.bulk_load("in_album", |loader| {
+        let n = 256usize;
+        loader.reserve_rows(n);
+        let photos: Vec<Value> = (0..n).map(|p| Value::str(format!("bp{p}"))).collect();
+        let albums: Vec<Value> = (0..n).map(|p| Value::str(format!("a{}", p % 50))).collect();
+        loader.push_chunk_columns(&[photos, albums]);
+    })?;
+    assert_eq!(ingest.rows, 256);
     server.view_result(ViewId(0))?;
 
     // --- Request tracing: opt-in, per-server; phases show up only for
@@ -176,7 +186,10 @@ fn main() -> core::result::Result<(), Box<dyn std::error::Error>> {
     assert!(snap.cache.hits >= 2_000);
     assert_eq!(snap.writes.inserts, 16);
     assert_eq!(snap.writes.deletes, 4);
-    assert_eq!(snap.writes.bulk_updates, 1);
+    assert_eq!(snap.writes.bulk_updates, 2, "bulk_update + bulk_load");
+    assert_eq!(snap.ingest.rows, 256);
+    assert_eq!(snap.ingest.chunks, 1);
+    assert!(snap.ingest.bytes > 0, "cell payload bytes were accounted");
     assert!(
         snap.writes.view_deltas >= 16,
         "view saw every maintained write"

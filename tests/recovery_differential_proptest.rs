@@ -1,6 +1,8 @@
 //! Crash-point differential proof of the durability layer: random
 //! interleavings of maintained inserts/deletes, out-of-band writes and
-//! bulk loads are applied to a WAL-attached database, the log is cut at a
+//! bulk loads — row-at-a-time and chunked columnar, so cuts land inside
+//! encoded `BulkChunk` records too — are applied to a WAL-attached
+//! database, the log is cut at a
 //! **random byte offset** — including mid-record and mid-bulk — and
 //! recovery must land on exactly the state the never-crashed oracle had at
 //! some commit boundary at or before the cut: same rows, same epoch
@@ -195,7 +197,7 @@ fn crash_and_check(
             4 => {
                 db.delete(rel_name, &row).unwrap();
             }
-            _ => {
+            5 => {
                 // Bulk load of two rows (BulkBegin..rows..BulkEnd bracket).
                 let rel = db.catalog().require_rel(rel_name).unwrap();
                 let (_, row2) = row_of(!*flip, vals);
@@ -204,6 +206,24 @@ fn crash_and_check(
                 if row2.len() == row.len() {
                     l.push(&row2);
                 }
+            }
+            _ => {
+                // Chunked columnar bulk load: three rows land in a single
+                // WAL BulkChunk record, so the cut can fall inside the
+                // encoded chunk and replay must still intern/append
+                // exactly as the live loader did.
+                let rel = db.catalog().require_rel(rel_name).unwrap();
+                let mut cols: Vec<Vec<Value>> = vec![Vec::new(); row.len()];
+                for delta in 0..3 {
+                    let mut v = *vals;
+                    v[0] += delta;
+                    let (_, r) = row_of(*flip, &v);
+                    for (col, val) in cols.iter_mut().zip(r) {
+                        col.push(val);
+                    }
+                }
+                let mut l = db.bulk_loader(rel);
+                l.push_chunk_columns(&cols);
             }
         }
         boundaries.push((writer.last_seq(), dump(&db)));
@@ -249,7 +269,7 @@ proptest! {
 
     #[test]
     fn tfacc_shaped_crash_points_recover_to_an_oracle_boundary(
-        ops in prop::collection::vec((0..6i64, any::<bool>(), [0..4i64, 0..3i64, 0..3i64]), 1..12),
+        ops in prop::collection::vec((0..7i64, any::<bool>(), [0..4i64, 0..3i64, 0..3i64]), 1..12),
         cut_seed in any::<u32>(),
     ) {
         crash_and_check(tfacc_catalog(), &tfacc_access(), &ops, tfacc_row, cut_seed);
@@ -257,7 +277,7 @@ proptest! {
 
     #[test]
     fn mot_shaped_crash_points_recover_to_an_oracle_boundary(
-        ops in prop::collection::vec((0..6i64, any::<bool>(), [0..6i64, 0..4i64, 0..3i64]), 1..12),
+        ops in prop::collection::vec((0..7i64, any::<bool>(), [0..6i64, 0..4i64, 0..3i64]), 1..12),
         cut_seed in any::<u32>(),
     ) {
         crash_and_check(mot_catalog(), &mot_access(), &ops, mot_row, cut_seed);
@@ -282,7 +302,7 @@ proptest! {
     /// on a served commit boundary, the full state must match the oracle's.
     #[test]
     fn served_crash_points_keep_views_consistent_with_recompute(
-        ops in prop::collection::vec((0..8i64, any::<bool>(), [0..4i64, 0..3i64, 0..3i64]), 1..8),
+        ops in prop::collection::vec((0..9i64, any::<bool>(), [0..4i64, 0..3i64, 0..3i64]), 1..8),
         cut_seed in any::<u32>(),
     ) {
         let a = tfacc_access();
@@ -315,19 +335,34 @@ proptest! {
         record(&server);
         for (kind, into_accident, vals) in &ops {
             let (rel_name, row) = tfacc_row(*into_accident, vals);
-            match kind.rem_euclid(8) {
+            match kind.rem_euclid(9) {
                 0..=3 => {
                     server.insert(rel_name, &row).unwrap();
                 }
                 4 | 5 => {
                     server.delete(rel_name, &row).unwrap();
                 }
-                _ => {
+                6 | 7 => {
                     server.bulk_update(|db| {
                         let rel = db.catalog().require_rel(rel_name).unwrap();
                         let mut l = db.loader(rel);
                         l.push(&row);
                     });
+                }
+                _ => {
+                    // The serving-tier chunked fast path: a two-row
+                    // columnar chunk (one WAL BulkChunk record).
+                    let mut v = *vals;
+                    v[0] += 1;
+                    let (_, row2) = tfacc_row(*into_accident, &v);
+                    let cols: Vec<Vec<Value>> = row
+                        .iter()
+                        .zip(&row2)
+                        .map(|(a, b)| vec![a.clone(), b.clone()])
+                        .collect();
+                    server
+                        .bulk_load(rel_name, |l| l.push_chunk_columns(&cols))
+                        .unwrap();
                 }
             }
             record(&server);

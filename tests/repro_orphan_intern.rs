@@ -36,7 +36,9 @@ fn orphan_trailing_intern_then_write_then_recover() {
     // but not seq 4 (its insert op).
     let mut found = false;
     for keep in 0..10_000 {
-        let Some((log, _)) = scenario(keep) else { break };
+        let Some((log, _)) = scenario(keep) else {
+            break;
+        };
         let (mut db, report) = recover(&*log, catalog()).unwrap();
         if report.last_seq != 3 {
             continue;
