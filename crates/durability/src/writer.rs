@@ -17,6 +17,21 @@
 //! keeping the write path free of per-op fsync stalls; `Manual` leaves
 //! flushing entirely to explicit [`WalWriter::sync`] / checkpoint calls.
 //!
+//! The policy is applied in one of two modes:
+//!
+//! * **Inline** (the default): [`WalSink::record`] itself fsyncs when the
+//!   policy says so — right for a single-threaded writer attached
+//!   directly to a database.
+//! * **Deferred** ([`WalWriter::set_deferred`]): `record` only appends —
+//!   it never blocks on an fsync — and the *serving tier* calls
+//!   [`WalWriter::ack`] after releasing its commit lock. Concurrent
+//!   writers that ack while a flush is in flight wait for it and share
+//!   it: one fsync durably covers every record appended before the
+//!   **leader** started it ([`WalWriter::sync_through`]), so under
+//!   [`SyncPolicy::Always`] an acknowledged write is always on disk
+//!   (fsync-before-ack) while the fsync cost amortizes across however
+//!   many writers raced into the batch.
+//!
 //! ## Errors
 //!
 //! `WalSink::record` is infallible by contract, so I/O failures are
@@ -28,8 +43,8 @@ use crate::record::encode_op_into;
 use crate::storage::LogStorage;
 use bcq_storage::{WalOp, WalSink};
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The stream interning records are written to.
 pub const META_STREAM: &str = "meta";
@@ -65,6 +80,10 @@ pub struct WalStats {
     pub bytes: u64,
     /// Fsync batches issued by the writer (policy-driven + explicit).
     pub fsyncs: u64,
+    /// Deferred-mode group flushes that covered ≥ 1 new commit.
+    pub group_batches: u64,
+    /// Commit-bearing records covered by those group flushes.
+    pub group_records: u64,
 }
 
 #[derive(Debug)]
@@ -81,16 +100,37 @@ struct WriterInner {
     rel_streams: Vec<String>,
 }
 
+/// The flush-coordination state for deferred (group-commit) mode.
+#[derive(Debug, Default)]
+struct GroupState {
+    /// A leader's fsync is in flight; followers wait on the condvar.
+    leading: bool,
+}
+
 /// The write-ahead-log writer; implements [`WalSink`] so it can be
 /// attached directly to a database.
 #[derive(Debug)]
 pub struct WalWriter {
     storage: Arc<dyn LogStorage>,
     policy: SyncPolicy,
+    /// When set, `record` never fsyncs; [`WalWriter::ack`] applies the
+    /// policy instead (see the module docs).
+    deferred: AtomicBool,
     inner: Mutex<WriterInner>,
     records: AtomicU64,
     bytes: AtomicU64,
     fsyncs: AtomicU64,
+    /// Highest sequence number whose append to storage has completed.
+    appended_seq: AtomicU64,
+    /// Highest `appended_seq` value known to be covered by an fsync.
+    durable_seq: AtomicU64,
+    /// Commit-bearing records appended / covered by an fsync.
+    commits: AtomicU64,
+    durable_commits: AtomicU64,
+    group_batches: AtomicU64,
+    group_records: AtomicU64,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
 }
 
 impl WalWriter {
@@ -100,6 +140,7 @@ impl WalWriter {
         WalWriter {
             storage,
             policy,
+            deferred: AtomicBool::new(false),
             inner: Mutex::new(WriterInner {
                 next_seq: start_seq,
                 unsynced_ops: 0,
@@ -110,7 +151,26 @@ impl WalWriter {
             records: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
+            appended_seq: AtomicU64::new(start_seq.saturating_sub(1)),
+            durable_seq: AtomicU64::new(start_seq.saturating_sub(1)),
+            commits: AtomicU64::new(0),
+            durable_commits: AtomicU64::new(0),
+            group_batches: AtomicU64::new(0),
+            group_records: AtomicU64::new(0),
+            group: Mutex::new(GroupState::default()),
+            group_cv: Condvar::new(),
         }
+    }
+
+    /// Switches between inline policy application (`false`, the default)
+    /// and deferred group commit driven by [`WalWriter::ack`] (`true`).
+    pub fn set_deferred(&self, deferred: bool) {
+        self.deferred.store(deferred, Ordering::Release);
+    }
+
+    /// Whether deferred group-commit mode is on.
+    pub fn is_deferred(&self) -> bool {
+        self.deferred.load(Ordering::Acquire)
     }
 
     /// The storage this writer appends to (checkpoints write here too).
@@ -136,9 +196,15 @@ impl WalWriter {
         if let Some(e) = inner.error.take() {
             return Err(e);
         }
+        // Snapshot the watermarks while holding `inner`: no append can
+        // race past them, so the fsync below certainly covers them.
+        let seq = self.appended_seq.load(Ordering::Acquire);
+        let commits = self.commits.load(Ordering::Acquire);
         self.storage.sync()?;
         inner.unsynced_ops = 0;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.durable_seq.fetch_max(seq, Ordering::AcqRel);
+        self.durable_commits.fetch_max(commits, Ordering::AcqRel);
         Ok(())
     }
 
@@ -147,12 +213,105 @@ impl WalWriter {
         self.inner.lock().unwrap().error.take()
     }
 
+    /// Commit-bearing records appended but not yet covered by an fsync.
+    pub fn pending_commits(&self) -> u64 {
+        self.commits
+            .load(Ordering::Acquire)
+            .saturating_sub(self.durable_commits.load(Ordering::Acquire))
+    }
+
+    /// Highest sequence number known durable (covered by an fsync).
+    pub fn durable_seq(&self) -> u64 {
+        self.durable_seq.load(Ordering::Acquire)
+    }
+
+    /// Deferred-mode durability point for one serving-tier write, called
+    /// *after* the caller released its commit lock. Applies the policy:
+    /// `Always` waits until everything appended so far is fsynced (joining
+    /// an in-flight flush when one exists — fsync-before-ack); `EveryOps(n)`
+    /// flushes only once `n` commits are pending and never waits behind
+    /// another leader; `Manual` does nothing. Returns the number of commits
+    /// this call's own flush(es) newly made durable (the group-commit batch
+    /// size), or `None` if it didn't lead a flush. No-op outside deferred
+    /// mode, where `record` already applied the policy inline.
+    pub fn ack(&self) -> io::Result<Option<u64>> {
+        if !self.is_deferred() {
+            return Ok(None);
+        }
+        match self.policy {
+            SyncPolicy::Manual => Ok(None),
+            SyncPolicy::Always => self.sync_through(self.appended_seq.load(Ordering::Acquire)),
+            SyncPolicy::EveryOps(n) => {
+                if self.pending_commits() < n.max(1) {
+                    return Ok(None);
+                }
+                // Opportunistic: if a flush is already in flight it will
+                // cover the pending window; don't stall this ack behind it.
+                let st = self.group.lock().unwrap_or_else(|e| e.into_inner());
+                if st.leading {
+                    return Ok(None);
+                }
+                drop(st);
+                self.sync_through(self.appended_seq.load(Ordering::Acquire))
+            }
+        }
+    }
+
+    /// Blocks until every record with sequence ≤ `seq` is covered by an
+    /// fsync, electing one waiting thread as the flush **leader** while
+    /// the rest wait for its batch. Returns the total number of commits
+    /// this thread's own leaderships newly made durable (`None` if it
+    /// only followed).
+    pub fn sync_through(&self, seq: u64) -> io::Result<Option<u64>> {
+        let mut led: Option<u64> = None;
+        while self.durable_seq.load(Ordering::Acquire) < seq {
+            let mut st = self.group.lock().unwrap_or_else(|e| e.into_inner());
+            if self.durable_seq.load(Ordering::Acquire) >= seq {
+                break;
+            }
+            if st.leading {
+                // Follow: the in-flight fsync (started before we checked
+                // `durable_seq`) may or may not cover `seq`; re-check on
+                // wakeup and lead ourselves if it didn't.
+                let _st = self.group_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            st.leading = true;
+            drop(st);
+            // Lead: snapshot the append watermarks *before* the fsync so
+            // everything at or below them is certainly covered by it
+            // (later racing appends just aren't claimed durable yet).
+            let target_seq = self.appended_seq.load(Ordering::Acquire);
+            let target_commits = self.commits.load(Ordering::Acquire);
+            let res = self.storage.sync();
+            let mut st = self.group.lock().unwrap_or_else(|e| e.into_inner());
+            st.leading = false;
+            drop(st);
+            self.group_cv.notify_all();
+            res?;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            self.durable_seq.fetch_max(target_seq, Ordering::AcqRel);
+            let prev = self
+                .durable_commits
+                .fetch_max(target_commits, Ordering::AcqRel);
+            let batch = target_commits.saturating_sub(prev);
+            if batch > 0 {
+                self.group_batches.fetch_add(1, Ordering::Relaxed);
+                self.group_records.fetch_add(batch, Ordering::Relaxed);
+            }
+            led = Some(led.unwrap_or(0) + batch);
+        }
+        Ok(led)
+    }
+
     /// Counters snapshot for telemetry.
     pub fn stats(&self) -> WalStats {
         WalStats {
             records: self.records.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            group_batches: self.group_batches.load(Ordering::Relaxed),
+            group_records: self.group_records.load(Ordering::Relaxed),
         }
     }
 }
@@ -195,8 +354,16 @@ impl WalSink for WalWriter {
         self.records.fetch_add(1, Ordering::Relaxed);
         self.bytes
             .fetch_add(inner.scratch.len() as u64, Ordering::Relaxed);
+        // `inner` is still held, so stores stay monotone.
+        self.appended_seq.store(seq, Ordering::Release);
         if op.commit().is_some() {
+            self.commits.fetch_add(1, Ordering::Relaxed);
             inner.unsynced_ops += 1;
+            if self.is_deferred() {
+                // Group-commit mode: the fsync happens in `ack`, off the
+                // caller's commit lock.
+                return;
+            }
             let due = match self.policy {
                 SyncPolicy::Always => true,
                 SyncPolicy::EveryOps(n) => inner.unsynced_ops >= n.max(1),
@@ -207,6 +374,9 @@ impl WalSink for WalWriter {
                     Ok(()) => {
                         inner.unsynced_ops = 0;
                         self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                        self.durable_seq.fetch_max(seq, Ordering::AcqRel);
+                        self.durable_commits
+                            .fetch_max(self.commits.load(Ordering::Acquire), Ordering::AcqRel);
                     }
                     Err(e) => {
                         if inner.error.is_none() {
@@ -286,5 +456,115 @@ mod tests {
             db2.insert_maintained("s", &[Value::int(i)]).unwrap();
         }
         assert_eq!(always.stats().fsyncs, 5);
+    }
+
+    #[test]
+    fn deferred_mode_moves_fsyncs_from_record_to_ack() {
+        let log = Arc::new(MemLog::new());
+        let writer = Arc::new(WalWriter::new(log.clone(), SyncPolicy::Always, 1));
+        writer.set_deferred(true);
+        let mut db = Database::new(catalog());
+        db.set_wal(Some(writer.clone()));
+        for i in 0..3 {
+            db.insert_maintained("s", &[Value::int(i)]).unwrap();
+        }
+        // Records appended, nothing flushed: the commit section never
+        // paid for an fsync.
+        assert_eq!(log.syncs(), 0);
+        assert!(log.unsynced_bytes() > 0);
+        assert_eq!(writer.pending_commits(), 3);
+
+        // The ack leads one flush covering all three commits.
+        assert_eq!(writer.ack().unwrap(), Some(3));
+        assert_eq!(log.syncs(), 1);
+        assert_eq!(log.unsynced_bytes(), 0);
+        assert_eq!(writer.pending_commits(), 0);
+        assert_eq!(writer.durable_seq(), writer.last_seq());
+        let stats = writer.stats();
+        assert_eq!((stats.group_batches, stats.group_records), (1, 3));
+
+        // Already durable: the next ack is free.
+        assert_eq!(writer.ack().unwrap(), None);
+        assert_eq!(log.syncs(), 1);
+    }
+
+    #[test]
+    fn deferred_every_ops_flushes_only_at_the_batch_boundary() {
+        let log = Arc::new(MemLog::new());
+        let writer = Arc::new(WalWriter::new(log.clone(), SyncPolicy::EveryOps(4), 1));
+        writer.set_deferred(true);
+        let mut db = Database::new(catalog());
+        db.set_wal(Some(writer.clone()));
+        for i in 0..10 {
+            db.insert_maintained("s", &[Value::int(i)]).unwrap();
+            writer.ack().unwrap();
+        }
+        // 10 commits at one flush per 4 pending: two batches, 2 left over.
+        assert_eq!(log.syncs(), 2);
+        assert_eq!(writer.pending_commits(), 2);
+        let stats = writer.stats();
+        assert_eq!((stats.group_batches, stats.group_records), (2, 8));
+    }
+
+    #[test]
+    fn concurrent_acks_share_a_flush() {
+        use std::sync::atomic::AtomicU64;
+
+        let log = Arc::new(MemLog::new());
+        let writer = Arc::new(WalWriter::new(log.clone(), SyncPolicy::Always, 1));
+        writer.set_deferred(true);
+        let db = Mutex::new(Database::new(catalog()));
+        db.lock().unwrap().set_wal(Some(writer.clone()));
+
+        let batched = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let writer = &writer;
+                let db = &db;
+                let batched = &batched;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        db.lock()
+                            .unwrap()
+                            .insert_maintained("s", &[Value::int(t * 1000 + i)])
+                            .unwrap();
+                        if let Some(batch) = writer.ack().unwrap() {
+                            batched.fetch_add(batch, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // Every commit was acked durable, exactly once, across however
+        // many shared flushes the race produced.
+        assert_eq!(writer.pending_commits(), 0);
+        assert_eq!(log.unsynced_bytes(), 0);
+        assert_eq!(batched.load(Ordering::Relaxed), 200);
+        let stats = writer.stats();
+        assert_eq!(stats.group_records, 200);
+        assert!(stats.group_batches <= 200);
+        assert_eq!(log.syncs(), stats.fsyncs);
+    }
+
+    #[test]
+    fn acked_commits_survive_a_crash_that_drops_all_unsynced_bytes() {
+        let log = Arc::new(MemLog::new());
+        let writer = Arc::new(WalWriter::new(log.clone(), SyncPolicy::Always, 1));
+        writer.set_deferred(true);
+        let mut db = Database::new(catalog());
+        db.set_wal(Some(writer.clone()));
+        db.insert_maintained("s", &[Value::int(1)]).unwrap();
+        writer.ack().unwrap();
+        // Unacked tail: appended but never flushed.
+        db.insert_maintained("s", &[Value::int(2)]).unwrap();
+        log.crash(0);
+
+        let (recovered, _report) = crate::recover(log.as_ref(), catalog()).unwrap();
+        let rows: Vec<_> = recovered.value_rows(RelId(1)).collect();
+        assert_eq!(
+            rows,
+            vec![vec![Value::int(1)]],
+            "acked row survives, unacked tail is gone"
+        );
     }
 }

@@ -72,11 +72,13 @@
 //! views.
 
 pub mod cache;
+pub mod net;
 pub mod prepared;
 pub mod server;
 pub mod shared;
 
 pub use cache::{CacheStats, PlanCache, RelStamps, SharedStamps};
+pub use net::{NetClient, NetError, NetServer};
 pub use prepared::{access_fingerprint, query_fingerprint, ra_fingerprint, Lane, PreparedQuery};
 pub use server::{
     AdmissionPolicy, BudgetVerdict, DurabilityConfig, Outcome, Prepared, RequestStats, Response,

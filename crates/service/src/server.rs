@@ -19,6 +19,31 @@
 //! paper's 2 500 s wall, deterministically); [`AdmissionPolicy::Strict`]
 //! rejects them at prepare time, so a production deployment can guarantee
 //! every admitted request runs in bounded work.
+//!
+//! ## Write concurrency
+//!
+//! Row writers on **disjoint relations proceed in parallel**. The lock
+//! order, invariant everywhere in this module, is:
+//!
+//! 1. the view registry ([`Server`]'s `views` `RwLock`) — shared for row
+//!    writers, exclusive for bulk writes / checkpoints / registration;
+//! 2. the written relation's write latch ([`SharedDb::lock_rel`]);
+//! 3. the state locks of the views reading that relation, in slot order;
+//! 4. the commit lock ([`SharedDb::write`]) — held only for the pointer
+//!    swap that installs a prepared shard and refreshes the epoch
+//!    mirrors, never across index maintenance or I/O.
+//!
+//! When snapshots are outstanding the writer prepares the new shard *off*
+//! the commit lock ([`Database::prepare_insert_maintained`]); otherwise it
+//! mutates in place (uniquely owned shard — cheapest path). Either way
+//! the WAL record is appended inside the commit section, so log order
+//! equals commit order; the **fsync happens after every lock is
+//! released**, shared between concurrently committing writers (group
+//! commit — see [`Server::insert`] and `WalWriter::ack`).
+//!
+//! The plan cache is sharded by key hash, so concurrent prepares on
+//! different templates never serialize on one mutex, and cache
+//! invalidation stays relation-scoped (stamp revalidation per entry).
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::prepared::{access_fingerprint, query_fingerprint, ra_fingerprint, Lane, PreparedQuery};
@@ -39,9 +64,11 @@ use bcq_exec::{
 use bcq_storage::{BulkLoader, Database, IngestStats, Meter, WalSink};
 use bcq_telemetry::{LaneKind, MetricsRegistry, MetricsSnapshot, OpProfile, Phase};
 use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// Locks a mutex, recovering from poison: the serving tier's shared
@@ -52,6 +79,17 @@ use std::time::{Duration, Instant};
 /// every subsequent prepare / write / snapshot on the server.
 fn lock_recovered<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Read-locks an `RwLock`, recovering from poison (same rationale as
+/// [`lock_recovered`]).
+fn read_recovered<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-locks an `RwLock`, recovering from poison.
+fn write_recovered<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
 }
 
 /// `Duration` → nanoseconds in pure u64 arithmetic (`as_nanos` goes
@@ -68,7 +106,17 @@ thread_local! {
     /// The bounded lane's per-request parameter environment, rebound in
     /// place per request (see [`ParamEnv::rebind`]).
     static REQUEST_ENV: RefCell<ParamEnv> = RefCell::new(ParamEnv::new());
+
+    /// The last per-operator profile captured **on this thread**, one slot
+    /// per server (keyed by [`Server`]'s `server_id`). Replaces a
+    /// server-global mutex, which made every profiled request serialize on
+    /// — and stomp — a single slot: one connection's diagnostics call
+    /// could overwrite the profile another connection was about to read.
+    static LAST_PROFILE: RefCell<Vec<(u64, OpProfile)>> = const { RefCell::new(Vec::new()) };
 }
+
+/// Monotonic id source keying the thread-local profile slots per server.
+static NEXT_SERVER_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -253,9 +301,70 @@ pub struct Prepared {
     pub compile_elapsed: Duration,
 }
 
+/// Number of plan-cache shards (a small power of two: enough that
+/// concurrent prepares on distinct templates rarely collide, few enough
+/// that summing stats stays trivial).
+const CACHE_SHARDS: usize = 8;
+
+/// The plan cache split into independently locked shards by key hash, so
+/// concurrent prepares on different templates never serialize on a single
+/// mutex. Every shard keeps the **full** configured capacity: capacity
+/// bounds the per-template working set, not a global memory budget, so
+/// dividing it across shards would evict hot templates that merely hash
+/// together.
+struct CacheShards {
+    shards: Vec<Mutex<PlanCache>>,
+}
+
+impl CacheShards {
+    fn new(capacity: usize) -> Self {
+        CacheShards {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(PlanCache::new(capacity)))
+                .collect(),
+        }
+    }
+
+    /// The shard owning `key`.
+    fn shard(&self, key: &str) -> &Mutex<PlanCache> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    /// Movement counters summed across shards.
+    fn stats(&self) -> CacheStats {
+        let mut sum = CacheStats::default();
+        for s in &self.shards {
+            let cs = lock_recovered(s).stats();
+            sum.hits += cs.hits;
+            sum.misses += cs.misses;
+            sum.evictions += cs.evictions;
+            sum.invalidations += cs.invalidations;
+            sum.revalidations += cs.revalidations;
+        }
+        sum
+    }
+
+    /// Live entries summed across shards.
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_recovered(s).len()).sum()
+    }
+}
+
 /// Identifier of a registered incremental view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ViewId(pub usize);
+
+/// One registered view: the relations it reads (immutable after
+/// registration, consulted to find affected slots without touching the
+/// state lock) and its independently locked maintained state. A row
+/// writer locks only the slots whose `rels` contain the written relation,
+/// so views over disjoint relations maintain in parallel.
+struct ViewSlot {
+    rels: Vec<RelId>,
+    state: Mutex<View>,
+}
 
 struct View {
     answer: IncrementalAnswer,
@@ -385,12 +494,17 @@ pub struct Server {
     access: AccessSchema,
     config: ServerConfig,
     access_fp: String,
-    cache: Mutex<PlanCache>,
-    views: Mutex<Vec<View>>,
+    cache: CacheShards,
+    /// The view registry. Row writers hold it **shared** (they touch only
+    /// the per-slot state locks of affected views); bulk writes,
+    /// checkpoints and registration hold it **exclusively** — it is the
+    /// global gate that keeps out-of-band mutations from racing latched
+    /// prepared commits. See the module docs for the full lock order.
+    views: RwLock<Vec<ViewSlot>>,
     metrics: MetricsRegistry,
-    /// The most recent per-operator profile captured by
-    /// [`Server::execute_profiled`] (see [`Server::explain_last`]).
-    last_profile: Mutex<Option<OpProfile>>,
+    /// Keys this server's slot in the thread-local profile store (see
+    /// [`Server::explain_last`]).
+    server_id: u64,
     /// Present iff the server was built by [`Server::open`]: the WAL the
     /// database writes through, and checkpoint state.
     durability: Option<DurabilityState>,
@@ -409,10 +523,10 @@ impl Server {
             access,
             config,
             access_fp,
-            cache: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
-            views: Mutex::new(Vec::new()),
+            cache: CacheShards::new(config.plan_cache_capacity),
+            views: RwLock::new(Vec::new()),
             metrics,
-            last_profile: Mutex::new(None),
+            server_id: NEXT_SERVER_ID.fetch_add(1, Ordering::Relaxed),
             durability: None,
         }
     }
@@ -455,6 +569,10 @@ impl Server {
             durability.policy,
             report.last_seq + 1,
         ));
+        // Serving writes group-commit: records are appended inside the
+        // commit section, the policy fsync is paid in `Server::wal_ack`
+        // after the writer released its locks — shared across threads.
+        writer.set_deferred(true);
         db.set_wal(Some(Arc::clone(&writer) as Arc<dyn WalSink>));
         let mut server = Server::new(db, access, config);
         server.durability = Some(DurabilityState {
@@ -481,14 +599,21 @@ impl Server {
                 }
             };
             let stamps = Self::read_stamps(&snap, answer.read_rels());
+            let rels = answer.read_rels().to_vec();
             ids.push(ViewId(installed.len()));
-            installed.push(View { answer, stamps });
+            installed.push(ViewSlot {
+                rels,
+                state: Mutex::new(View { answer, stamps }),
+            });
         }
-        server.views = Mutex::new(installed);
+        server.views = RwLock::new(installed);
         if server.metrics.is_enabled() {
             server.metrics.view_deltas.add(replay_deltas);
             server.metrics.view_recomputes.add(recomputes);
         }
+        // Barrier: recovery realignment and this boot's index builds are
+        // durable before the first request is served.
+        server.wal_sync()?;
         Ok((server, report, ids))
     }
 
@@ -523,7 +648,10 @@ impl Server {
             .durability
             .as_ref()
             .ok_or_else(|| ServiceError::Durability("server opened without durability".into()))?;
-        let _views = lock_recovered(&self.views);
+        // Exclusive on the view registry: every row writer (holding it
+        // shared) has drained, so the snapshot and its WAL position are
+        // exactly consistent.
+        let _views = write_recovered(&self.views);
         let name = self
             .shared
             .write(|db| {
@@ -562,9 +690,29 @@ impl Server {
         self.shared.epoch_of(rel)
     }
 
-    /// Plan-cache movement counters.
+    /// Plan-cache movement counters (summed across cache shards).
     pub fn cache_stats(&self) -> CacheStats {
-        lock_recovered(&self.cache).stats()
+        self.cache.stats()
+    }
+
+    /// Waits until every WAL record appended so far is durable per the
+    /// sync policy, sharing the fsync with concurrently committing
+    /// writers (group commit). Called with **no serving locks held** —
+    /// this is what keeps fsync time out of the commit section. Records
+    /// the batch size when this thread ends up leading a flush. A no-op
+    /// without durability or under [`SyncPolicy::Manual`].
+    fn wal_ack(&self) -> crate::Result<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        match d.writer.ack() {
+            Ok(Some(batch)) => {
+                self.metrics.record_group_commit(batch);
+                Ok(())
+            }
+            Ok(None) => Ok(()),
+            Err(e) => Err(ServiceError::Durability(e.to_string())),
+        }
     }
 
     /// The server's metrics registry — always-on counters and latency
@@ -589,20 +737,21 @@ impl Server {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot();
         {
-            let cache = lock_recovered(&self.cache);
-            let cs = cache.stats();
+            let cs = self.cache.stats();
             snap.cache.hits = cs.hits;
             snap.cache.misses = cs.misses;
             snap.cache.evictions = cs.evictions;
             snap.cache.invalidations = cs.invalidations;
             snap.cache.revalidations = cs.revalidations;
-            snap.cache.entries = cache.len() as u64;
+            snap.cache.entries = self.cache.len() as u64;
         }
         if let Some(d) = &self.durability {
             let ws = d.writer.stats();
             snap.wal.records = ws.records;
             snap.wal.bytes = ws.bytes;
             snap.wal.fsyncs = ws.fsyncs;
+            snap.wal.group_batches = ws.group_batches;
+            snap.wal.group_records = ws.group_records;
             snap.wal.replayed = d.replayed;
             snap.wal.checkpoints = d.checkpoints.load(Ordering::Relaxed);
             snap.wal.last_seq = d.writer.last_seq();
@@ -618,11 +767,29 @@ impl Server {
     }
 
     /// The per-operator profile of the last [`Server::execute_profiled`]
-    /// call, if any — fetch steps, filter sweeps, join steps and
-    /// projection, each with wall time and row movement
-    /// ([`OpProfile::render`] formats it).
+    /// call made **by this thread** on this server, if any — fetch steps,
+    /// filter sweeps, join steps and projection, each with wall time and
+    /// row movement ([`OpProfile::render`] formats it). Thread-scoped on
+    /// purpose: concurrent connections profiling at once each read back
+    /// their own run, never another connection's.
     pub fn explain_last(&self) -> Option<OpProfile> {
-        lock_recovered(&self.last_profile).clone()
+        LAST_PROFILE.with(|slot| {
+            slot.borrow()
+                .iter()
+                .find(|(id, _)| *id == self.server_id)
+                .map(|(_, p)| p.clone())
+        })
+    }
+
+    /// Stores `profile` in the calling thread's slot for this server.
+    fn store_profile(&self, profile: &OpProfile) {
+        LAST_PROFILE.with(|slot| {
+            let mut v = slot.borrow_mut();
+            match v.iter_mut().find(|(id, _)| *id == self.server_id) {
+                Some(entry) => entry.1 = profile.clone(),
+                None => v.push((self.server_id, profile.clone())),
+            }
+        });
     }
 
     /// Opens a session (per client/thread; sessions share the server's
@@ -669,7 +836,7 @@ impl Server {
         let snap = self.shared.snapshot();
         {
             let _lookup = self.metrics.span(Phase::CacheLookup);
-            let mut cache = lock_recovered(&self.cache);
+            let mut cache = lock_recovered(self.cache.shard(&key));
             if let Some((prepared, stamps)) = cache.get(&key) {
                 // Relation-scoped staleness: only the epochs of relations
                 // the plan's access schema actually reads matter. Writes
@@ -706,7 +873,7 @@ impl Server {
         let compile_elapsed = compile_start.elapsed();
         drop(compile_span);
         let stamps = Self::read_stamps(&snap, prepared.read_rels());
-        let mut cache = lock_recovered(&self.cache);
+        let mut cache = lock_recovered(self.cache.shard(&key));
         cache.insert(key, Arc::clone(&prepared), stamps);
         Ok(Prepared {
             query: prepared,
@@ -961,7 +1128,7 @@ impl Server {
                 steps: Vec::new(),
                 total_ns: dur_ns(resp.stats.total_elapsed),
             };
-            *lock_recovered(&self.last_profile) = Some(profile.clone());
+            self.store_profile(&profile);
             return Ok((resp, profile));
         }
         let snap = self.shared.snapshot();
@@ -984,92 +1151,181 @@ impl Server {
             },
         };
         resp.stats.total_elapsed = start.elapsed();
-        *lock_recovered(&self.last_profile) = Some(profile.clone());
+        self.store_profile(&profile);
         Ok((resp, profile))
     }
 
-    /// Inserts one row through the single-writer path:
-    /// [`Database::insert_maintained`] keeps every index fresh in place,
-    /// the epoch advances, and every registered view applies its bounded
-    /// delta. Cached plans stay valid (their indices were maintained, which
-    /// the next prepare's revalidation confirms).
+    /// Inserts one row through the **concurrent** maintained write path
+    /// (see the module docs' lock order). The writer latches only
+    /// `rel_name`'s relation, so writers on disjoint relations proceed in
+    /// parallel end to end: when snapshots are outstanding, the new shard
+    /// — indices maintained — is prepared *off* the commit lock
+    /// ([`Database::prepare_insert_maintained`]) and the commit section is
+    /// one pointer swap plus the epoch-mirror refresh. Affected views
+    /// apply their bounded deltas under their own slot locks; the WAL
+    /// fsync (group commit, shared with concurrent writers) is waited on
+    /// only after every lock is released. Cached plans stay valid (their
+    /// indices were maintained, which the next prepare's relation-scoped
+    /// revalidation confirms).
     pub fn insert(&self, rel_name: &str, row: &[Value]) -> crate::Result<u32> {
         let write_start = Instant::now();
-        // Views lock held across the write so deltas apply in write order.
-        let mut views = lock_recovered(&self.views);
+        let rel = self.access.catalog().require_rel(rel_name)?;
+        // Shared on the view registry: excludes bulk writes/checkpoints,
+        // not other row writers.
+        let views = read_recovered(&self.views);
+        let latch = self.shared.lock_rel(rel);
+        self.metrics
+            .record_lock_wait(latch.wait_ns, latch.contended);
+        // Relation-scoped maintenance: only views reading `rel` can
+        // change; all other slots stay untouched and unlocked.
+        let mut slots: Vec<MutexGuard<'_, View>> = views
+            .iter()
+            .filter(|s| s.rels.contains(&rel))
+            .map(|s| lock_recovered(&s.state))
+            .collect();
         // Staleness is judged against the pre-write state: a view left
         // behind by an earlier out-of-band write must stay stale (and
         // recompute lazily) — applying this delta and stamping it current
         // would mask the rows it never saw. (Skipped entirely when no
-        // views are registered: the common serving write path.)
-        let stale_before: Vec<bool> = if views.is_empty() {
+        // affected views exist: the common serving write path.)
+        let stale_before: Vec<bool> = if slots.is_empty() {
             Vec::new()
         } else {
             let pre = self.shared.snapshot();
-            views.iter().map(|v| v.stale(&pre)).collect()
+            slots.iter().map(|v| v.stale(&pre)).collect()
         };
-        let rid = self
-            .shared
-            .write(|db| db.insert_maintained(rel_name, row))?;
-        let snap = self.shared.snapshot();
-        let rel = snap.catalog().require_rel(rel_name)?;
+        let rid = self.commit_insert(rel_name, row)?;
         let mut deltas = 0u64;
-        for (v, was_stale) in views.iter_mut().zip(stale_before) {
-            // Relation-scoped maintenance: a view none of whose atoms read
-            // `rel` cannot change — its stamps stay current on their own.
-            if was_stale || !v.answer.reads(rel) {
-                continue;
+        if !slots.is_empty() {
+            let snap = self.shared.snapshot();
+            for (v, was_stale) in slots.iter_mut().zip(stale_before) {
+                if was_stale {
+                    continue;
+                }
+                v.answer.on_insert(&snap, rel, row)?;
+                v.refresh_stamps(&snap);
+                deltas += 1;
             }
-            v.answer.on_insert(&snap, rel, row)?;
-            v.refresh_stamps(&snap);
-            deltas += 1;
         }
+        drop(slots);
+        drop(latch);
+        drop(views);
+        // The WAL record was appended inside the commit section (log
+        // order = commit order); the fsync that makes it durable is
+        // shared with concurrent writers and waited on lock-free.
+        self.wal_ack()?;
         self.metrics
             .record_write(true, dur_ns(write_start.elapsed()), deltas);
         Ok(rid)
     }
 
-    /// Deletes one copy of `row` through the single-writer path:
-    /// [`Database::delete_maintained`] keeps every index fresh in place
-    /// (tombstone-free swap-remove + posting fix-up), the epoch advances
-    /// and a new snapshot is published — readers holding snapshots taken
-    /// before the delete still see the old rows — and every registered
-    /// view applies its support-counted retraction delta. Cached plans
-    /// stay valid (their indices were maintained; the next prepare's
-    /// epoch revalidation confirms them). Returns `false` — with no epoch
-    /// bump — if no copy of `row` is stored.
+    /// The commit half of [`Server::insert`]: prepared off the commit
+    /// lock when snapshots are outstanding, in place (uniquely owned
+    /// shard — cheapest) otherwise. The caller holds `rel_name`'s latch
+    /// and the view registry shared, which together exclude every other
+    /// writer that could touch this shard.
+    fn commit_insert(&self, rel_name: &str, row: &[Value]) -> crate::Result<u32> {
+        if self.shared.has_snapshots() {
+            let base = self.shared.snapshot();
+            if let Some(prep) = base.prepare_insert_maintained(rel_name, row)? {
+                drop(base);
+                let hold = Instant::now();
+                let rid = self.shared.write(|db| db.commit_prepared(prep));
+                self.metrics.record_commit_hold(dur_ns(hold.elapsed()));
+                return Ok(rid);
+            }
+            // A row value missed the interner: encoding needs `&mut
+            // SymbolTable`, so this (first-appearance) write runs in
+            // place under the commit lock like the uncontended path.
+        }
+        let hold = Instant::now();
+        let rid = self
+            .shared
+            .write(|db| db.insert_maintained(rel_name, row))?;
+        self.metrics.record_commit_hold(dur_ns(hold.elapsed()));
+        Ok(rid)
+    }
+
+    /// Deletes one copy of `row` through the concurrent maintained write
+    /// path (same lock order as [`Server::insert`]): the index-fresh
+    /// replacement shard (tombstone-free swap-remove + posting fix-up) is
+    /// prepared off the commit lock when snapshots are outstanding, the
+    /// epoch advances and a new snapshot is published — readers holding
+    /// snapshots taken before the delete still see the old rows — and
+    /// every view reading the relation applies its support-counted
+    /// retraction delta under its slot lock. Cached plans stay valid
+    /// (their indices were maintained; the next prepare's epoch
+    /// revalidation confirms them). Returns `false` — with no epoch bump
+    /// and no WAL traffic — if no copy of `row` is stored.
     pub fn delete(&self, rel_name: &str, row: &[Value]) -> crate::Result<bool> {
         let write_start = Instant::now();
-        // Views lock held across the write so deltas apply in write order.
-        let mut views = lock_recovered(&self.views);
+        let rel = self.access.catalog().require_rel(rel_name)?;
+        let views = read_recovered(&self.views);
+        let latch = self.shared.lock_rel(rel);
+        self.metrics
+            .record_lock_wait(latch.wait_ns, latch.contended);
+        let mut slots: Vec<MutexGuard<'_, View>> = views
+            .iter()
+            .filter(|s| s.rels.contains(&rel))
+            .map(|s| lock_recovered(&s.state))
+            .collect();
         // As in [`Self::insert`]: a view already stale from an out-of-band
         // write keeps its stale stamps and recomputes on the next read
         // (checked pre-write, so it must run before we know whether the
-        // delete finds a row; skipped when no views are registered).
-        let stale_before: Vec<bool> = if views.is_empty() {
+        // delete finds a row; skipped when no affected views exist).
+        let stale_before: Vec<bool> = if slots.is_empty() {
             Vec::new()
         } else {
             let pre = self.shared.snapshot();
-            views.iter().map(|v| v.stale(&pre)).collect()
+            slots.iter().map(|v| v.stale(&pre)).collect()
         };
-        let deleted = self
-            .shared
-            .write(|db| db.delete_maintained(rel_name, row))?;
-        if deleted {
+        let deleted = self.commit_delete(rel_name, row)?;
+        let mut deltas = 0u64;
+        if deleted && !slots.is_empty() {
             let snap = self.shared.snapshot();
-            let rel = snap.catalog().require_rel(rel_name)?;
-            let mut deltas = 0u64;
-            for (v, was_stale) in views.iter_mut().zip(stale_before) {
-                if was_stale || !v.answer.reads(rel) {
+            for (v, was_stale) in slots.iter_mut().zip(stale_before) {
+                if was_stale {
                     continue;
                 }
                 v.answer.on_delete(&snap, rel, row)?;
                 v.refresh_stamps(&snap);
                 deltas += 1;
             }
+        }
+        drop(slots);
+        drop(latch);
+        drop(views);
+        if deleted {
+            self.wal_ack()?;
             self.metrics
                 .record_write(false, dur_ns(write_start.elapsed()), deltas);
         }
+        Ok(deleted)
+    }
+
+    /// The commit half of [`Server::delete`] — see [`Server::commit_insert`].
+    /// A prepared delete that finds no copy of `row` commits nothing and
+    /// bumps no epoch (the relation latch keeps that answer stable).
+    fn commit_delete(&self, rel_name: &str, row: &[Value]) -> crate::Result<bool> {
+        if self.shared.has_snapshots() {
+            let base = self.shared.snapshot();
+            if let Some(prep) = base.prepare_delete_maintained(rel_name, row)? {
+                drop(base);
+                let hold = Instant::now();
+                self.shared.write(|db| db.commit_prepared(prep));
+                self.metrics.record_commit_hold(dur_ns(hold.elapsed()));
+                return Ok(true);
+            }
+            // Absent row (an uninterned value can't be stored either):
+            // nothing to commit. The latch is still held, so this verdict
+            // can't be invalidated by a concurrent same-relation writer.
+            return Ok(false);
+        }
+        let hold = Instant::now();
+        let deleted = self
+            .shared
+            .write(|db| db.delete_maintained(rel_name, row))?;
+        self.metrics.record_commit_hold(dur_ns(hold.elapsed()));
         Ok(deleted)
     }
 
@@ -1079,15 +1335,23 @@ impl Server {
     /// place — their epochs fall behind and they recompute lazily on the
     /// next [`Server::view_result`] (epoch-driven invalidation).
     pub fn bulk_update<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        let _views = lock_recovered(&self.views);
+        // Exclusive on the view registry: every row writer holds it
+        // shared, so none can have a prepared-but-uncommitted shard in
+        // flight while this arbitrary mutation rewrites state.
+        let _views = write_recovered(&self.views);
         if self.metrics.is_enabled() {
             self.metrics.bulk_updates.inc();
         }
-        self.shared.write(|db| {
+        let r = self.shared.write(|db| {
             let r = f(db);
             db.build_indexes(&self.access);
             r
-        })
+        });
+        // Best-effort group-commit wait (the signature has no error
+        // slot); a failed fsync stays stashed and surfaces to the next
+        // `wal_ack` / [`Server::wal_sync`] caller, which retries it.
+        let _ = self.wal_ack();
+        r
     }
 
     /// Bulk-loads rows into `rel_name` through the storage layer's chunked
@@ -1103,8 +1367,8 @@ impl Server {
         rel_name: &str,
         f: impl FnOnce(&mut BulkLoader<'_>) -> R,
     ) -> crate::Result<(R, IngestStats)> {
-        let rel = self.shared.snapshot().catalog().require_rel(rel_name)?;
-        let _views = lock_recovered(&self.views);
+        let rel = self.access.catalog().require_rel(rel_name)?;
+        let _views = write_recovered(&self.views);
         let mut build_ns = 0u64;
         let (r, stats) = self.shared.write(|db| {
             let mut loader = db.bulk_loader(rel);
@@ -1126,6 +1390,7 @@ impl Server {
                 build_ns,
             );
         }
+        self.wal_ack()?;
         Ok((r, stats))
     }
 
@@ -1137,8 +1402,15 @@ impl Server {
         let snap = self.shared.snapshot();
         let answer = IncrementalAnswer::initialize(&snap, q, &self.access)?;
         let stamps = Self::read_stamps(&snap, answer.read_rels());
-        let mut views = lock_recovered(&self.views);
-        views.push(View { answer, stamps });
+        let rels = answer.read_rels().to_vec();
+        // A write racing between the snapshot above and this exclusive
+        // acquisition leaves the stamps behind the committed clock: the
+        // view is installed stale and recomputes on its first read.
+        let mut views = write_recovered(&self.views);
+        views.push(ViewSlot {
+            rels,
+            state: Mutex::new(View { answer, stamps }),
+        });
         Ok(ViewId(views.len() - 1))
     }
 
@@ -1146,15 +1418,18 @@ impl Server {
     /// relation one of its atoms reads advanced past the view's stamps
     /// (out-of-band writes to *other* relations never force a recompute).
     pub fn view_result(&self, id: ViewId) -> crate::Result<ResultSet> {
-        // Lock first, snapshot second: a snapshot taken before the lock
-        // could predate a maintained write that already advanced this
-        // view's stamps, which would read as staleness and waste a full
-        // recompute against the older state.
-        let mut views = lock_recovered(&self.views);
-        let snap = self.shared.snapshot();
-        let v = views
-            .get_mut(id.0)
+        let views = read_recovered(&self.views);
+        let slot = views
+            .get(id.0)
             .ok_or_else(|| ServiceError::Core(CoreError::Invalid("unknown view id".into())))?;
+        // Slot lock first, snapshot second: writers hold the slot lock
+        // across their commit *and* delta, so state observed under the
+        // lock is fully pre- or fully post- any maintained write — and a
+        // snapshot taken before the lock could predate a write that
+        // already advanced this view's stamps, which would read as
+        // staleness and waste a full recompute against the older state.
+        let mut v = lock_recovered(&slot.state);
+        let snap = self.shared.snapshot();
         if v.stale(&snap) {
             v.answer = IncrementalAnswer::initialize(&snap, v.answer.query(), &self.access)?;
             v.refresh_stamps(&snap);
@@ -2221,17 +2496,23 @@ mod tests {
         let q1 = template(&server);
         server.session().query(&q1, &bind("a0", "u0")).unwrap();
 
-        // Poison the cache and views locks by panicking while holding them.
+        // Poison every cache shard and the view registry by panicking
+        // while holding them all.
         {
             let server = Arc::clone(&server);
             let _ = std::thread::spawn(move || {
-                let _cache = server.cache.lock().unwrap();
-                let _views = server.views.lock().unwrap();
-                panic!("poison both locks");
+                let _shards: Vec<_> = server
+                    .cache
+                    .shards
+                    .iter()
+                    .map(|s| s.lock().unwrap())
+                    .collect();
+                let _views = server.views.write().unwrap();
+                panic!("poison every serving lock");
             })
             .join();
         }
-        assert!(server.cache.is_poisoned());
+        assert!(server.cache.shards.iter().all(|s| s.is_poisoned()));
         assert!(server.views.is_poisoned());
 
         // Serving still works end to end: cached prepare, execute, writes,
@@ -2471,5 +2752,115 @@ mod tests {
         ));
         assert!(server.wal_stats().is_none());
         server.wal_sync().unwrap(); // no-op, not an error
+    }
+
+    #[test]
+    fn disjoint_relation_writers_commit_in_parallel_and_agree() {
+        let server = setup(AdmissionPolicy::Strict);
+        // Pin a snapshot for the whole run so every write must take the
+        // prepared (off-the-commit-lock) path rather than mutating the
+        // uniquely owned shard in place.
+        let pinned = server.snapshot();
+        let base: Vec<usize> = (0..3).map(|i| pinned.table(RelId(i)).len()).collect();
+
+        const PER_THREAD: i64 = 50;
+        let mut handles = Vec::new();
+        for (t, rel_name) in ["in_album", "friends", "tagging"].iter().enumerate() {
+            let server = Arc::clone(&server);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let tag = Value::str(format!("w{t}"));
+                    let row: Vec<Value> = match *rel_name {
+                        "tagging" => vec![Value::int(i), tag.clone(), tag],
+                        _ => vec![Value::int(i), tag],
+                    };
+                    server.insert(rel_name, &row).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // The pinned snapshot never moved; the committed state holds
+        // every thread's rows and a consistent vector clock.
+        let after = server.snapshot();
+        for (i, b) in base.iter().enumerate() {
+            assert_eq!(pinned.table(RelId(i)).len(), *b, "snapshot frozen");
+            assert_eq!(after.table(RelId(i)).len(), b + PER_THREAD as usize);
+            assert!(after.epoch_of(RelId(i)) > 0);
+            assert!(after.epoch_of(RelId(i)) <= after.epoch());
+        }
+        assert_eq!(after.epoch(), pinned.epoch() + 3 * PER_THREAD as u64);
+        // Contention telemetry exists even if this 1-core run never
+        // actually collided: the histograms are present, not negative.
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.writes.inserts, 3 * PER_THREAD as u64);
+    }
+
+    #[test]
+    fn explain_last_is_thread_scoped() {
+        let server = setup(AdmissionPolicy::Strict);
+        let q1 = template(&server);
+        let prepared = server.prepare(&q1).unwrap();
+        server
+            .execute_profiled(&prepared.query, &bind("a0", "u0"))
+            .unwrap();
+        assert!(server.explain_last().is_some(), "visible to this thread");
+        let other = Arc::clone(&server);
+        std::thread::spawn(move || {
+            assert!(
+                other.explain_last().is_none(),
+                "another thread never sees this thread's profile"
+            );
+        })
+        .join()
+        .unwrap();
+        // And two servers on one thread keep separate slots.
+        let second = setup(AdmissionPolicy::Strict);
+        assert!(second.explain_last().is_none());
+    }
+
+    #[test]
+    fn concurrent_durable_writers_share_group_commits_and_lose_nothing() {
+        let log = Arc::new(bcq_durability::MemLog::new());
+        let (server, _, _) = open_durable(&log, SyncPolicy::Always);
+        const PER_THREAD: i64 = 25;
+        let mut handles = Vec::new();
+        for (t, rel_name) in ["in_album", "friends", "tagging"].iter().enumerate() {
+            let server = Arc::clone(&server);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let tag = Value::str(format!("d{t}"));
+                    let row: Vec<Value> = match *rel_name {
+                        "tagging" => vec![Value::int(i), tag.clone(), tag],
+                        _ => vec![Value::int(i), tag],
+                    };
+                    server.insert(rel_name, &row).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = server.wal_stats().unwrap();
+        assert!(stats.fsyncs >= 1);
+        assert!(
+            stats.group_records >= 3 * PER_THREAD as u64,
+            "every acked commit was covered by some flush: {stats:?}"
+        );
+        let epoch = server.epoch();
+        drop(server);
+
+        // Power cut discarding everything unsynced: `Always` acked each
+        // insert only after a covering fsync, so nothing is lost.
+        log.crash(0);
+        let (server2, _, _) = open_durable(&log, SyncPolicy::Always);
+        assert_eq!(server2.epoch(), epoch);
+        let snap = server2.snapshot();
+        for rel_name in ["in_album", "friends", "tagging"] {
+            let rel = snap.catalog().require_rel(rel_name).unwrap();
+            assert!(snap.table(rel).len() >= PER_THREAD as usize);
+        }
     }
 }

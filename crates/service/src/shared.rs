@@ -20,11 +20,25 @@
 //! Epoch reads never touch the lock: [`SharedDb::epoch`] and
 //! [`SharedDb::epoch_of`] are plain atomic loads mirroring the committed
 //! state, so staleness checks on the hot path cost nanoseconds.
+//!
+//! ## Per-relation write concurrency
+//!
+//! `write` is the exclusive **commit section** — short by construction —
+//! but it is *not* the unit writers serialize on. Each relation has a
+//! write latch ([`SharedDb::lock_rel`]): a row writer latches only the
+//! relation it touches, prepares the new shard off the commit section
+//! (encode, copy-on-write clone, index maintenance — see
+//! [`bcq_storage::Database::prepare_insert_maintained`]), and then enters
+//! `write` just long enough to swap one shard pointer and refresh the
+//! epoch mirrors. Writers on disjoint relations overlap everywhere except
+//! those few pointer stores; the latch serializes same-relation writers
+//! so a prepared shard can never race another writer's commit.
 
 use bcq_core::prelude::RelId;
 use bcq_storage::Database;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, TryLockError};
+use std::time::Instant;
 
 /// A shared, snapshot-on-read / copy-on-write-by-shard database handle.
 #[derive(Debug)]
@@ -35,6 +49,22 @@ pub struct SharedDb {
     /// Lock-free mirror of the committed vector clock (one slot per
     /// relation, indexed by `RelId`).
     rel_epochs: Box<[AtomicU64]>,
+    /// Per-relation write latches (indexed by `RelId`); see the module
+    /// docs and [`SharedDb::lock_rel`].
+    latches: Box<[Mutex<()>]>,
+}
+
+/// A held per-relation write latch plus the contention evidence the
+/// telemetry layer records: how long the writer waited and whether it
+/// conflicted with another writer on the same relation at all.
+#[derive(Debug)]
+pub struct RelLatch<'a> {
+    _guard: MutexGuard<'a, ()>,
+    /// Nanoseconds spent waiting for the latch (0 on the uncontended
+    /// fast path).
+    pub wait_ns: u64,
+    /// Whether another writer held the latch when we asked.
+    pub contended: bool,
 }
 
 impl SharedDb {
@@ -43,11 +73,54 @@ impl SharedDb {
         let rel_epochs = (0..db.num_relations())
             .map(|i| AtomicU64::new(db.epoch_of(RelId(i))))
             .collect();
+        let latches = (0..db.num_relations()).map(|_| Mutex::new(())).collect();
         SharedDb {
             epoch: AtomicU64::new(db.epoch()),
             rel_epochs,
+            latches,
             inner: RwLock::new(Arc::new(db)),
         }
+    }
+
+    /// Acquires the write latch of one relation, reporting how long the
+    /// acquisition waited behind another same-relation writer. Writers on
+    /// different relations take different latches and never wait on each
+    /// other here. Poison-tolerant like the other locks: the guarded value
+    /// is `()`, so a panicked holder left nothing to corrupt.
+    pub fn lock_rel(&self, rel: RelId) -> RelLatch<'_> {
+        let latch = &self.latches[rel.0];
+        match latch.try_lock() {
+            Ok(guard) => RelLatch {
+                _guard: guard,
+                wait_ns: 0,
+                contended: false,
+            },
+            Err(TryLockError::Poisoned(p)) => RelLatch {
+                _guard: p.into_inner(),
+                wait_ns: 0,
+                contended: false,
+            },
+            Err(TryLockError::WouldBlock) => {
+                let start = Instant::now();
+                let guard = latch.lock().unwrap_or_else(|e| e.into_inner());
+                RelLatch {
+                    _guard: guard,
+                    wait_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    contended: true,
+                }
+            }
+        }
+    }
+
+    /// `true` when snapshots (or clones) of the current state are still
+    /// outstanding — i.e. an in-place mutation would have to copy-on-write
+    /// the touched shard anyway. The serving tier uses this to pick
+    /// between the in-place and the prepare-off-the-lock write paths; the
+    /// answer may be stale by the time the write runs, which is benign in
+    /// both directions (a clone that wasn't needed, or a copy-on-write
+    /// inside the commit section).
+    pub fn has_snapshots(&self) -> bool {
+        Arc::strong_count(&self.inner.read().unwrap_or_else(|e| e.into_inner())) > 1
     }
 
     /// An immutable snapshot of the current state. Cheap (`Arc` clone);
@@ -74,12 +147,16 @@ impl SharedDb {
         self.rel_epochs[rel.0].load(Ordering::Acquire)
     }
 
-    /// Runs `f` against the database with exclusive write access. The
-    /// mutation copy-on-writes only the shards it touches; every other
-    /// shard is pointer-shared with outstanding snapshots. All mutations
-    /// advance the commit counter and stamp the touched shards (enforced
-    /// by [`Database`] itself); the epoch mirrors are refreshed before the
-    /// new state is visible to readers. Returns `f`'s result.
+    /// Runs `f` against the database with exclusive write access — the
+    /// **commit section** of the concurrent write protocol (callers doing
+    /// more than installing prepared state must provide their own
+    /// exclusion against latched writers; in the serving tier that is the
+    /// view-registry write lock). The mutation copy-on-writes only the
+    /// shards it touches; every other shard is pointer-shared with
+    /// outstanding snapshots. All mutations advance the commit counter and
+    /// stamp the touched shards (enforced by [`Database`] itself); the
+    /// epoch mirrors are refreshed before the new state is visible to
+    /// readers. Returns `f`'s result.
     pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
         // Poison recovery mirrors [`SharedDb::snapshot`]: storage mutations
         // keep the database structurally valid at every step, so a writer
@@ -165,6 +242,53 @@ mod tests {
         assert!(!Arc::ptr_eq(snap.shard(r), after.shard(r)));
         assert_eq!(snap.table(r).len(), 1, "snapshot frozen");
         assert_eq!(after.table(r).len(), 2);
+    }
+
+    #[test]
+    fn rel_latches_are_independent_and_report_contention() {
+        let shared = Arc::new(SharedDb::new(db()));
+        let (r, s) = (RelId(0), RelId(1));
+
+        // Uncontended: no wait, not flagged.
+        let latch = shared.lock_rel(r);
+        assert!(!latch.contended);
+        assert_eq!(latch.wait_ns, 0);
+
+        // A different relation's latch is free while `r`'s is held.
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let other = shared.lock_rel(s);
+                    assert!(!other.contended, "disjoint relations never wait");
+                })
+                .join()
+                .unwrap();
+        });
+
+        // A same-relation writer waits and is flagged as contended.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let shared_ref = &shared;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let waited = shared_ref.lock_rel(r);
+                tx.send((waited.contended, waited.wait_ns)).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(latch);
+            let (contended, wait_ns) = rx.recv().unwrap();
+            assert!(contended);
+            assert!(wait_ns > 0);
+        });
+    }
+
+    #[test]
+    fn has_snapshots_tracks_outstanding_readers() {
+        let shared = SharedDb::new(db());
+        assert!(!shared.has_snapshots());
+        let snap = shared.snapshot();
+        assert!(shared.has_snapshots());
+        drop(snap);
+        assert!(!shared.has_snapshots());
     }
 
     #[test]

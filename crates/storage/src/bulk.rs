@@ -115,6 +115,33 @@ impl BulkLoader<'_> {
         self.log_appended(start, rows, all_hit);
     }
 
+    /// Appends one chunk whose cells were already encoded against (any
+    /// copy-on-write handle of) this database's symbol table — the
+    /// parallel-ingest path, where worker threads pre-encode chunks
+    /// against a shared [`crate::Database::shared_symbols`] handle and
+    /// hand only fully-encoded (all values previously interned) chunks to
+    /// the installer. Symbol ids are stable once assigned, so cells
+    /// encoded against an older handle stay valid. Loads identically to
+    /// [`Self::push_chunk_columns`] on the decoded values, batch-hit
+    /// accounting included (no interning happened for this chunk).
+    pub fn push_encoded_columns(&mut self, cols: &[Vec<Cell>]) {
+        assert_eq!(
+            cols.len(),
+            self.table.arity(),
+            "arity mismatch on chunk append"
+        );
+        let rows = cols[0].len();
+        if rows == 0 {
+            return;
+        }
+        for col in cols {
+            assert_eq!(col.len(), rows, "ragged chunk columns");
+        }
+        let start = self.table.len();
+        self.table.append_columns(cols);
+        self.log_appended(start, rows, true);
+    }
+
     /// Appends one chunk given as flat **row-major** values
     /// (`flat.len()` must be a multiple of the arity) — the replay-side
     /// and convenience path; same batch encoding and single WAL record as
@@ -150,6 +177,16 @@ impl BulkLoader<'_> {
         self.stats.chunks += 1;
         self.stats.cell_bytes += std::mem::size_of_val(cells) as u64;
         self.stats.intern_batch_hits += u64::from(all_hit);
+    }
+
+    /// A shared read-only handle to the symbol table **as of now**.
+    /// Parallel ingest workers pre-encode upcoming chunks against it:
+    /// symbol ids are stable once assigned, so a handle stays a valid
+    /// prefix of every later state and cells encoded against it remain
+    /// correct however much interning happens in between (see
+    /// [`Self::push_encoded_columns`]).
+    pub fn shared_symbols(&self) -> Arc<SymbolTable> {
+        Arc::clone(self.symbols)
     }
 
     /// Counters accumulated so far (read them before dropping the loader).
@@ -338,6 +375,65 @@ mod tests {
         assert_eq!(db.num_indexes(), 0, "bulk load drops the indices");
         db.build_indexes(&a);
         assert_eq!(db.num_indexes(), 1);
+    }
+
+    #[test]
+    fn pre_encoded_chunks_match_value_chunks_exactly() {
+        let rows: Vec<Vec<Value>> = (0..100).map(row).collect();
+        let mut oracle = Database::new(catalog());
+        {
+            let mut b = oracle.bulk_loader(RelId(0));
+            for chunk in rows.chunks(17) {
+                let cols: Vec<Vec<Value>> = (0..3)
+                    .map(|c| chunk.iter().map(|r| r[c].clone()).collect())
+                    .collect();
+                b.push_chunk_columns(&cols);
+            }
+        }
+
+        // Warm a second database's symbol table with the same values, then
+        // push the same chunks pre-encoded against a shared handle taken
+        // *before* the load — the parallel-ingest situation.
+        let mut warm = Database::new(catalog());
+        {
+            let mut b = warm.bulk_loader(RelId(0));
+            for chunk in rows.chunks(17) {
+                let cols: Vec<Vec<Value>> = (0..3)
+                    .map(|c| chunk.iter().map(|r| r[c].clone()).collect())
+                    .collect();
+                b.push_chunk_columns(&cols);
+            }
+        }
+        // Second pass over `warm`: every value interned, so chunks can be
+        // pre-encoded against a snapshot handle and appended cell-level.
+        let symbols = warm.shared_symbols();
+        let before = warm.value_rows(RelId(0)).collect::<Vec<_>>();
+        let stats = {
+            let mut b = warm.bulk_loader(RelId(0));
+            for chunk in rows.chunks(17) {
+                let cols: Vec<Vec<Cell>> = (0..3)
+                    .map(|c| {
+                        let vals: Vec<Value> = chunk.iter().map(|r| r[c].clone()).collect();
+                        let mut out = Vec::new();
+                        assert_eq!(symbols.try_encode_into(&vals, &mut out), vals.len());
+                        out
+                    })
+                    .collect();
+                b.push_encoded_columns(&cols);
+            }
+            b.stats()
+        };
+        assert_eq!(stats.rows, 100);
+        assert_eq!(stats.chunks, 6);
+        assert_eq!(
+            stats.intern_batch_hits, 6,
+            "pre-encoded chunks are batch hits"
+        );
+        let after = warm.value_rows(RelId(0)).collect::<Vec<_>>();
+        assert_eq!(after.len(), 200);
+        assert_eq!(&after[100..], &before[..]);
+        let o: Vec<_> = oracle.value_rows(RelId(0)).collect();
+        assert_eq!(&after[100..], &o[..]);
     }
 
     #[test]

@@ -200,6 +200,13 @@ impl Database {
         &self.symbols
     }
 
+    /// A shared handle to the symbol table — the read-only view parallel
+    /// ingest workers pre-encode chunks against (the table is append-only
+    /// copy-on-write, so a handle stays a valid prefix of later states).
+    pub fn shared_symbols(&self) -> Arc<SymbolTable> {
+        Arc::clone(&self.symbols)
+    }
+
     /// Replay-side eager interning: folds one logged intern record into the
     /// database's own symbol table. Recovery applies these in logged (id)
     /// order **before** re-encoding the rows that referenced them, so the
@@ -463,6 +470,142 @@ impl Database {
         Ok(true)
     }
 
+    /// Prepares an [`Self::insert_maintained`] **off the commit lock**: all
+    /// the expensive work — row encoding, the shard's copy-on-write clone,
+    /// the table append and index maintenance — happens against `&self`
+    /// (any snapshot of the relation's latest state), leaving only the
+    /// pointer-swap [`Self::commit_prepared`] for the exclusive section.
+    ///
+    /// Returns `Ok(None)` when the row contains a not-yet-interned value:
+    /// interning mutates the shared symbol table, so the caller must fall
+    /// back to the in-place path under exclusion. The caller must hold the
+    /// relation's write latch from before calling this until after
+    /// `commit_prepared`, so no other writer can move the shard's epoch in
+    /// between (`commit_prepared` panics if one did).
+    pub fn prepare_insert_maintained(
+        &self,
+        rel_name: &str,
+        row: &[Value],
+    ) -> Result<Option<PreparedWrite>> {
+        let rel = self.catalog.require_rel(rel_name)?;
+        if row.len() != self.catalog.relation(rel).arity() {
+            return Err(CoreError::Invalid(format!(
+                "arity mismatch inserting into `{rel_name}`"
+            )));
+        }
+        let Some(cells) = self.symbols.try_encode_row(row) else {
+            return Ok(None);
+        };
+        let base = &self.shards[rel.0];
+        let cloned_cells = base.clone_cells();
+        let mut shard = (**base).clone();
+        let rid = shard.table.len() as u32;
+        shard.table.push(&cells);
+        for (_, idx) in shard.indexes.iter_mut() {
+            idx.insert_row(rid, &cells);
+        }
+        Ok(Some(PreparedWrite {
+            rel,
+            base_epoch: base.epoch,
+            shard,
+            cloned_cells,
+            cells: cells.to_vec(),
+            kind: PreparedKind::Insert,
+            rid,
+        }))
+    }
+
+    /// Prepares a [`Self::delete_maintained`] off the commit lock; the
+    /// mirror of [`Self::prepare_insert_maintained`] (same latch contract).
+    ///
+    /// Returns `Ok(None)` when no copy of the row is stored — including
+    /// rows with never-interned values, which cannot be stored — in which
+    /// case the delete is a no-op (`false`) and nothing needs committing:
+    /// unlike the insert side there is no interning fallback, because the
+    /// caller's latch keeps the relation's contents stable until commit.
+    pub fn prepare_delete_maintained(
+        &self,
+        rel_name: &str,
+        row: &[Value],
+    ) -> Result<Option<PreparedWrite>> {
+        let (rel, cells) = match self.locate(rel_name, row)? {
+            Some(hit) => hit,
+            None => return Ok(None),
+        };
+        let rid = match self.locate_rid(rel, &cells) {
+            Some(rid) => rid,
+            None => return Ok(None),
+        };
+        let base = &self.shards[rel.0];
+        let cloned_cells = base.clone_cells();
+        let mut shard = (**base).clone();
+        let RelationShard { table, indexes, .. } = &mut shard;
+        for (_, idx) in indexes.iter_mut() {
+            idx.remove_row(rid as u32, &cells, table);
+        }
+        if let Some(moved_from) = table.swap_remove(rid) {
+            let moved: Vec<Cell> = table.row(rid).to_vec();
+            for (_, idx) in indexes.iter_mut() {
+                idx.reindex_row(moved_from as u32, rid as u32, &moved);
+            }
+        }
+        Ok(Some(PreparedWrite {
+            rel,
+            base_epoch: base.epoch,
+            shard,
+            cloned_cells,
+            cells,
+            kind: PreparedKind::Delete,
+            rid: rid as u32,
+        }))
+    }
+
+    /// Installs a prepared write: the short exclusive **commit section** of
+    /// the concurrent write protocol. Bumps the commit counter, stamps the
+    /// prepared shard's epoch, swaps it in (one pointer store — untouched
+    /// relations' shards stay `Arc::ptr_eq`), emits the WAL op, and returns
+    /// the prepared row id. The clone the preparation paid is counted in
+    /// the cow diagnostics, exactly as the in-place path counts clones
+    /// forced by outstanding snapshots.
+    ///
+    /// Panics if the relation's epoch moved since preparation — that means
+    /// two writers raced on one relation, i.e. the caller broke the
+    /// per-relation latch contract.
+    pub fn commit_prepared(&mut self, prepared: PreparedWrite) -> u32 {
+        let PreparedWrite {
+            rel,
+            base_epoch,
+            mut shard,
+            cloned_cells,
+            cells,
+            kind,
+            rid,
+        } = prepared;
+        assert_eq!(
+            self.shards[rel.0].epoch, base_epoch,
+            "prepared write raced another writer on relation {}",
+            rel.0
+        );
+        self.commit += 1;
+        self.cow_cells += cloned_cells;
+        self.cow_clones += 1;
+        shard.epoch = self.commit;
+        self.shards[rel.0] = Arc::new(shard);
+        match kind {
+            PreparedKind::Insert => self.emit(WalOp::InsertMaintained {
+                commit: self.commit,
+                rel,
+                cells: &cells,
+            }),
+            PreparedKind::Delete => self.emit(WalOp::DeleteMaintained {
+                commit: self.commit,
+                rel,
+                cells: &cells,
+            }),
+        }
+        rid
+    }
+
     /// `true` if at least one copy of `row` is stored in `rel` — the
     /// value-level presence test incremental maintenance uses to decide
     /// whether a deletion removed the *last* copy. Served by a registered
@@ -564,6 +707,41 @@ impl Database {
             .iter()
             .map(|s| s.table.len() * s.table.arity())
             .sum()
+    }
+}
+
+/// A maintained single-row write prepared against a snapshot of one
+/// relation's latest state, ready for its short exclusive commit; see
+/// [`Database::prepare_insert_maintained`] / [`Database::commit_prepared`].
+#[derive(Debug)]
+pub struct PreparedWrite {
+    rel: RelId,
+    /// Epoch of the shard the clone was taken from; `commit_prepared`
+    /// checks it to catch latch-contract violations.
+    base_epoch: u64,
+    shard: RelationShard,
+    cloned_cells: u64,
+    cells: Vec<Cell>,
+    kind: PreparedKind,
+    rid: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PreparedKind {
+    Insert,
+    Delete,
+}
+
+impl PreparedWrite {
+    /// The relation this write touches.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// The row id the commit will report: the appended row's id for an
+    /// insert, the removed copy's (pre-swap) id for a delete.
+    pub fn rid(&self) -> u32 {
+        self.rid
     }
 }
 
@@ -814,6 +992,106 @@ mod tests {
         db.insert_maintained("friends", &[Value::int(2), Value::int(4)])
             .unwrap();
         assert_eq!(db.cow_clones(), before, "no reference, no copy");
+    }
+
+    #[test]
+    fn prepared_writes_match_in_place_maintained_writes() {
+        let cat = photos();
+        let mut a = AccessSchema::new(cat.clone());
+        a.add("friends", &["user_id"], &["friend_id"], 10).unwrap();
+
+        // Oracle: the classic in-place maintained path.
+        let mut oracle = Database::new(cat.clone());
+        oracle.build_indexes(&a);
+        oracle
+            .insert_maintained("friends", &[Value::int(1), Value::int(2)])
+            .unwrap();
+        oracle
+            .insert_maintained("friends", &[Value::int(1), Value::int(3)])
+            .unwrap();
+        assert!(oracle
+            .delete_maintained("friends", &[Value::int(1), Value::int(2)])
+            .unwrap());
+
+        // Same ops through prepare + commit.
+        let mut db = Database::new(cat);
+        db.build_indexes(&a);
+        // First insert interns nothing new (ints are inline) so prepare
+        // succeeds immediately.
+        let p = db
+            .prepare_insert_maintained("friends", &[Value::int(1), Value::int(2)])
+            .unwrap()
+            .unwrap();
+        assert_eq!((p.rel(), p.rid()), (RelId(1), 0));
+        assert_eq!(db.commit_prepared(p), 0);
+        let p = db
+            .prepare_insert_maintained("friends", &[Value::int(1), Value::int(3)])
+            .unwrap()
+            .unwrap();
+        db.commit_prepared(p);
+        let p = db
+            .prepare_delete_maintained("friends", &[Value::int(1), Value::int(2)])
+            .unwrap()
+            .unwrap();
+        db.commit_prepared(p);
+
+        assert_eq!(db.epoch(), oracle.epoch());
+        assert_eq!(db.epoch_of(RelId(1)), oracle.epoch_of(RelId(1)));
+        let got: Vec<_> = db.value_rows(RelId(1)).collect();
+        let want: Vec<_> = oracle.value_rows(RelId(1)).collect();
+        assert_eq!(got, want);
+        assert_eq!(db.num_indexes(), 1);
+
+        // Absent rows and never-interned values prepare to None.
+        assert!(db
+            .prepare_delete_maintained("friends", &[Value::int(9), Value::int(9)])
+            .unwrap()
+            .is_none());
+        assert!(db
+            .prepare_delete_maintained("friends", &[Value::str("ghost"), Value::int(1)])
+            .unwrap()
+            .is_none());
+        // Un-interned insert values defer to the in-place path.
+        assert!(db
+            .prepare_insert_maintained("friends", &[Value::str("new"), Value::int(1)])
+            .unwrap()
+            .is_none());
+        // The prepared path counts its (unconditional) shard clones.
+        assert_eq!(db.cow_clones(), 3);
+    }
+
+    #[test]
+    fn prepared_writes_leave_untouched_shards_pointer_equal() {
+        let mut db = Database::new(photos());
+        db.insert_maintained("in_album", &[Value::int(7), Value::int(8)])
+            .unwrap();
+        let snap = db.clone();
+        let p = db
+            .prepare_insert_maintained("friends", &[Value::int(1), Value::int(2)])
+            .unwrap()
+            .unwrap();
+        db.commit_prepared(p);
+        assert!(Arc::ptr_eq(snap.shard(RelId(0)), db.shard(RelId(0))));
+        assert!(Arc::ptr_eq(snap.shard(RelId(2)), db.shard(RelId(2))));
+        assert!(!Arc::ptr_eq(snap.shard(RelId(1)), db.shard(RelId(1))));
+        // The snapshot stays frozen at its vector clock.
+        assert_eq!(snap.table(RelId(1)).len(), 0);
+        assert_eq!(db.table(RelId(1)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "raced another writer")]
+    fn commit_prepared_detects_latch_violations() {
+        let mut db = Database::new(photos());
+        let p = db
+            .prepare_insert_maintained("friends", &[Value::int(1), Value::int(2)])
+            .unwrap()
+            .unwrap();
+        // Another write to the same relation lands between prepare and
+        // commit — exactly what the per-relation latch must prevent.
+        db.insert_maintained("friends", &[Value::int(3), Value::int(4)])
+            .unwrap();
+        db.commit_prepared(p);
     }
 
     #[test]

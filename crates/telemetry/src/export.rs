@@ -71,6 +71,14 @@ pub struct WriteSnapshot {
     pub bulk_updates: u64,
     /// End-to-end write latency (inserts + deletes).
     pub latency: HistSnapshot,
+    /// Nanoseconds writers waited for per-relation write latches
+    /// (contended acquisitions only).
+    pub lock_wait: HistSnapshot,
+    /// Latch acquisitions that conflicted with a same-relation writer.
+    pub conflicts: u64,
+    /// Time spent inside the exclusive commit section (shard swap + epoch
+    /// publication; excludes encoding, index maintenance, fsyncs).
+    pub commit_hold: HistSnapshot,
     /// Incremental view deltas applied under maintained writes.
     pub view_deltas: u64,
     /// Full view recomputes forced by staleness.
@@ -101,8 +109,10 @@ pub struct IngestSnapshot {
 }
 
 /// Durability-layer counters, filled by the serving layer from its WAL
-/// writer. All-zero when the server runs without durability.
-#[derive(Debug, Clone, Copy, Default)]
+/// writer (except `group_batch_sizes`, which the registry records as
+/// flush leaders report their batches). All-zero when the server runs
+/// without durability.
+#[derive(Debug, Clone, Default)]
 pub struct WalSnapshot {
     /// WAL records appended.
     pub records: u64,
@@ -110,6 +120,12 @@ pub struct WalSnapshot {
     pub bytes: u64,
     /// fsync batches issued (group commit collapses many records into one).
     pub fsyncs: u64,
+    /// Deferred-mode group flushes that covered ≥ 1 new commit.
+    pub group_batches: u64,
+    /// Commits covered by those group flushes.
+    pub group_records: u64,
+    /// Group-commit batch-size distribution (commits per flush).
+    pub group_batch_sizes: HistSnapshot,
     /// Records replayed by the most recent recovery.
     pub replayed: u64,
     /// Checkpoints (snapshots) taken since startup.
@@ -180,6 +196,9 @@ pub(crate) fn snapshot_of(reg: &MetricsRegistry) -> MetricsSnapshot {
             deletes: reg.deletes.get(),
             bulk_updates: reg.bulk_updates.get(),
             latency: reg.write_latency_hist().snapshot(),
+            lock_wait: reg.writer_lock_wait_hist().snapshot(),
+            conflicts: reg.write_conflicts.get(),
+            commit_hold: reg.commit_hold_hist().snapshot(),
             view_deltas: reg.view_deltas.get(),
             view_recomputes: reg.view_recomputes.get(),
             cow_shard_clones: 0,
@@ -192,7 +211,10 @@ pub(crate) fn snapshot_of(reg: &MetricsRegistry) -> MetricsSnapshot {
             intern_batch_hits: reg.ingest_intern_batch_hits.get(),
             index_build_ns: reg.index_build_ns.get(),
         },
-        wal: WalSnapshot::default(),
+        wal: WalSnapshot {
+            group_batch_sizes: reg.group_commit_batch_hist().snapshot(),
+            ..WalSnapshot::default()
+        },
         gauges: GaugeSnapshot::default(),
     }
 }
@@ -232,6 +254,9 @@ impl MetricsSnapshot {
         self.writes.deletes += other.writes.deletes;
         self.writes.bulk_updates += other.writes.bulk_updates;
         self.writes.latency.merge(&other.writes.latency);
+        self.writes.lock_wait.merge(&other.writes.lock_wait);
+        self.writes.conflicts += other.writes.conflicts;
+        self.writes.commit_hold.merge(&other.writes.commit_hold);
         self.writes.view_deltas += other.writes.view_deltas;
         self.writes.view_recomputes += other.writes.view_recomputes;
         self.writes.cow_shard_clones += other.writes.cow_shard_clones;
@@ -244,6 +269,11 @@ impl MetricsSnapshot {
         self.wal.records += other.wal.records;
         self.wal.bytes += other.wal.bytes;
         self.wal.fsyncs += other.wal.fsyncs;
+        self.wal.group_batches += other.wal.group_batches;
+        self.wal.group_records += other.wal.group_records;
+        self.wal
+            .group_batch_sizes
+            .merge(&other.wal.group_batch_sizes);
         self.wal.replayed += other.wal.replayed;
         self.wal.checkpoints += other.wal.checkpoints;
         self.wal.last_seq = self.wal.last_seq.max(other.wal.last_seq);
@@ -306,7 +336,7 @@ impl MetricsSnapshot {
         let w = &self.writes;
         let _ = writeln!(
             s,
-            "  \"writes\": {{\"inserts\": {}, \"deletes\": {}, \"bulk_updates\": {}, \"view_deltas\": {}, \"view_recomputes\": {}, \"cow_shard_clones\": {}, \"cow_cells_cloned\": {}, \"latency_ns\": {}}},",
+            "  \"writes\": {{\"inserts\": {}, \"deletes\": {}, \"bulk_updates\": {}, \"view_deltas\": {}, \"view_recomputes\": {}, \"cow_shard_clones\": {}, \"cow_cells_cloned\": {}, \"lock_conflicts\": {}, \"latency_ns\": {}, \"lock_wait_ns\": {}, \"commit_hold_ns\": {}}},",
             w.inserts,
             w.deletes,
             w.bulk_updates,
@@ -314,7 +344,10 @@ impl MetricsSnapshot {
             w.view_recomputes,
             w.cow_shard_clones,
             w.cow_cells_cloned,
+            w.conflicts,
             json_hist(&w.latency),
+            json_hist(&w.lock_wait),
+            json_hist(&w.commit_hold),
         );
         let ing = self.ingest;
         let _ = writeln!(
@@ -322,11 +355,19 @@ impl MetricsSnapshot {
             "  \"ingest\": {{\"rows\": {}, \"chunks\": {}, \"bytes\": {}, \"intern_batch_hits\": {}, \"index_build_ns\": {}}},",
             ing.rows, ing.chunks, ing.bytes, ing.intern_batch_hits, ing.index_build_ns,
         );
-        let wal = self.wal;
+        let wal = &self.wal;
         let _ = writeln!(
             s,
-            "  \"wal\": {{\"records\": {}, \"bytes\": {}, \"fsyncs\": {}, \"replayed\": {}, \"checkpoints\": {}, \"last_seq\": {}}},",
-            wal.records, wal.bytes, wal.fsyncs, wal.replayed, wal.checkpoints, wal.last_seq,
+            "  \"wal\": {{\"records\": {}, \"bytes\": {}, \"fsyncs\": {}, \"group_batches\": {}, \"group_records\": {}, \"replayed\": {}, \"checkpoints\": {}, \"last_seq\": {}, \"group_batch_size\": {}}},",
+            wal.records,
+            wal.bytes,
+            wal.fsyncs,
+            wal.group_batches,
+            wal.group_records,
+            wal.replayed,
+            wal.checkpoints,
+            wal.last_seq,
+            json_hist(&wal.group_batch_sizes),
         );
         let g = self.gauges;
         let _ = write!(
@@ -413,6 +454,7 @@ impl MetricsSnapshot {
             ("bcq_view_recomputes_total", w.view_recomputes),
             ("bcq_cow_shard_clones_total", w.cow_shard_clones),
             ("bcq_cow_cells_cloned_total", w.cow_cells_cloned),
+            ("bcq_write_conflicts_total", w.conflicts),
         ] {
             let _ = writeln!(s, "# TYPE {name} counter\n{name} {v}");
         }
@@ -426,6 +468,26 @@ impl MetricsSnapshot {
                 &w.latency,
             );
         }
+        if w.lock_wait.count() > 0 {
+            s.push_str("# TYPE bcq_writer_lock_wait_ns summary\n");
+            prom_summary(
+                &mut s,
+                "bcq_writer_lock_wait_ns",
+                "lock",
+                "relation",
+                &w.lock_wait,
+            );
+        }
+        if w.commit_hold.count() > 0 {
+            s.push_str("# TYPE bcq_commit_hold_ns summary\n");
+            prom_summary(
+                &mut s,
+                "bcq_commit_hold_ns",
+                "section",
+                "commit",
+                &w.commit_hold,
+            );
+        }
         let ing = self.ingest;
         for (name, v) in [
             ("bcq_ingest_rows_total", ing.rows),
@@ -436,15 +498,27 @@ impl MetricsSnapshot {
         ] {
             let _ = writeln!(s, "# TYPE {name} counter\n{name} {v}");
         }
-        let wal = self.wal;
+        let wal = &self.wal;
         for (name, v) in [
             ("bcq_wal_records_total", wal.records),
             ("bcq_wal_bytes_total", wal.bytes),
             ("bcq_wal_fsyncs_total", wal.fsyncs),
+            ("bcq_wal_group_batches_total", wal.group_batches),
+            ("bcq_wal_group_records_total", wal.group_records),
             ("bcq_wal_replayed_total", wal.replayed),
             ("bcq_wal_checkpoints_total", wal.checkpoints),
         ] {
             let _ = writeln!(s, "# TYPE {name} counter\n{name} {v}");
+        }
+        if wal.group_batch_sizes.count() > 0 {
+            s.push_str("# TYPE bcq_group_commit_batch summary\n");
+            prom_summary(
+                &mut s,
+                "bcq_group_commit_batch",
+                "unit",
+                "commits",
+                &wal.group_batch_sizes,
+            );
         }
         let _ = writeln!(
             s,
@@ -500,6 +574,10 @@ mod tests {
         r.record_budget_verdict(true);
         r.record_write(true, 4_000, 1);
         r.record_ingest(1_000, 2, 48_000, 1, 7_500);
+        r.record_lock_wait(250, true);
+        r.record_lock_wait(0, false); // uncontended: not recorded
+        r.record_commit_hold(90);
+        r.record_group_commit(4);
         let mut snap = r.snapshot();
         snap.cache.hits = 2;
         snap.cache.misses = 1;
@@ -529,6 +607,10 @@ mod tests {
             "\"ingest\"",
             "\"intern_batch_hits\": 1",
             "\"index_build_ns\": 7500",
+            "\"lock_conflicts\": 1",
+            "\"lock_wait_ns\"",
+            "\"commit_hold_ns\"",
+            "\"group_batch_size\"",
         ] {
             assert!(j.contains(key), "missing {key} in:\n{j}");
         }
@@ -551,6 +633,19 @@ mod tests {
         assert!(p.contains("bcq_ingest_rows_total 1000"), "{p}");
         assert!(p.contains("bcq_ingest_chunks_total 2"), "{p}");
         assert!(p.contains("bcq_ingest_bytes_total 48000"), "{p}");
+        assert!(p.contains("bcq_write_conflicts_total 1"), "{p}");
+        assert!(
+            p.contains("bcq_writer_lock_wait_ns{lock=\"relation\",quantile=\"0.5\"}"),
+            "{p}"
+        );
+        assert!(
+            p.contains("bcq_commit_hold_ns{section=\"commit\",quantile=\"0.5\"}"),
+            "{p}"
+        );
+        assert!(
+            p.contains("bcq_group_commit_batch_count{unit=\"commits\"} 1"),
+            "{p}"
+        );
     }
 
     #[test]
@@ -567,6 +662,10 @@ mod tests {
         assert_eq!(a.ingest.rows, 2_000);
         assert_eq!(a.ingest.chunks, 4);
         assert_eq!(a.ingest.index_build_ns, 15_000);
+        assert_eq!(a.writes.conflicts, 2);
+        assert_eq!(a.writes.lock_wait.count(), 2);
+        assert_eq!(a.writes.commit_hold.count(), 2);
+        assert_eq!(a.wal.group_batch_sizes.count(), 2);
         assert_eq!(a.wal.records, 10);
         // Gauges are point-in-time: max, not sum.
         assert_eq!(a.gauges.total_tuples, 11);

@@ -154,6 +154,20 @@ pub struct MetricsRegistry {
     pub index_build_ns: Counter,
     /// Write-path latency (insert + delete, end to end).
     write_latency: Histogram,
+    /// Nanoseconds writers spent waiting for a per-relation write latch
+    /// (0-wait uncontended acquisitions are not recorded — the series
+    /// measures contention, not traffic).
+    writer_lock_wait: Histogram,
+    /// Write-latch acquisitions that found another writer holding the
+    /// same relation's latch.
+    pub write_conflicts: Counter,
+    /// Nanoseconds spent inside the exclusive commit section (the shard
+    /// pointer swap + epoch publication — excludes encoding, index
+    /// maintenance, and fsyncs by construction).
+    commit_hold: Histogram,
+    /// Commits made durable per group-commit fsync batch (recorded by the
+    /// flush leader with the batch size).
+    group_commit_batch: Histogram,
     /// Incremental view deltas applied on the maintained write path.
     pub view_deltas: Counter,
     /// Full view recomputes forced by staleness.
@@ -198,6 +212,10 @@ impl MetricsRegistry {
             ingest_intern_batch_hits: Counter::new(),
             index_build_ns: Counter::new(),
             write_latency: Histogram::new(),
+            writer_lock_wait: Histogram::new(),
+            write_conflicts: Counter::new(),
+            commit_hold: Histogram::new(),
+            group_commit_batch: Histogram::new(),
             view_deltas: Counter::new(),
             view_recomputes: Counter::new(),
             phases: Default::default(),
@@ -300,6 +318,51 @@ impl MetricsRegistry {
         if view_deltas > 0 {
             self.view_deltas.add(view_deltas);
         }
+    }
+
+    /// Records one per-relation write-latch acquisition: the wait (only
+    /// when there was one) and whether it conflicted with another writer
+    /// on the same relation.
+    #[inline]
+    pub fn record_lock_wait(&self, wait_ns: u64, contended: bool) {
+        if !self.is_enabled() || !contended {
+            return;
+        }
+        self.writer_lock_wait.record(wait_ns);
+        self.write_conflicts.inc();
+    }
+
+    /// Records the time one write spent inside the exclusive commit
+    /// section.
+    #[inline]
+    pub fn record_commit_hold(&self, ns: u64) {
+        if self.is_enabled() {
+            self.commit_hold.record(ns);
+        }
+    }
+
+    /// Records one group-commit fsync batch: how many commits the flush
+    /// newly made durable.
+    #[inline]
+    pub fn record_group_commit(&self, batch: u64) {
+        if self.is_enabled() {
+            self.group_commit_batch.record(batch);
+        }
+    }
+
+    /// The write-latch wait histogram (export use).
+    pub fn writer_lock_wait_hist(&self) -> &Histogram {
+        &self.writer_lock_wait
+    }
+
+    /// The commit-section hold-time histogram (export use).
+    pub fn commit_hold_hist(&self) -> &Histogram {
+        &self.commit_hold
+    }
+
+    /// The group-commit batch-size histogram (export use).
+    pub fn group_commit_batch_hist(&self) -> &Histogram {
+        &self.group_commit_batch
     }
 
     /// Direct access to a lane's latency histogram (bench/export use).

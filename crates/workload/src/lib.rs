@@ -17,11 +17,13 @@
 
 pub mod gen;
 pub mod mot;
+pub mod par;
 pub mod source;
 pub mod spec;
 pub mod tfacc;
 pub mod tpch;
 
+pub use par::{load_par, load_range_par, ParLoadOptions};
 pub use source::{load, load_range, RowSource};
 pub use spec::{Dataset, WorkloadQuery};
 

@@ -87,14 +87,17 @@ pub mod prelude {
         ExecOutcome, IncrementalAnswer, ParamEnv, PartialsOutcome, RaOutcome, ResultSet,
     };
     pub use bcq_service::{
-        trace_thread, AdmissionPolicy, BudgetVerdict, DurabilityConfig, Lane, LaneKind,
-        MetricsRegistry, MetricsSnapshot, OpProfile, Outcome, Phase, PreparedQuery, RequestStats,
-        Response, Server, ServerConfig, ServiceError, Session, SessionStats, SharedDb, StepKind,
-        StepProfile, ViewId,
+        trace_thread, AdmissionPolicy, BudgetVerdict, DirLog, DurabilityConfig, Lane, LaneKind,
+        MemLog, MetricsRegistry, MetricsSnapshot, NetClient, NetError, NetServer, OpProfile,
+        Outcome, Phase, PreparedQuery, RecoveryReport, RequestStats, Response, Server,
+        ServerConfig, ServiceError, Session, SessionStats, SharedDb, StepKind, StepProfile,
+        SyncPolicy, ViewId, WalStats,
     };
     pub use bcq_storage::{
         discover_bound, dump_csv, load_csv, validate, Database, HashIndex, Loader, Meter,
         RelationShard, Table,
     };
-    pub use bcq_workload::{all_datasets, Dataset, WorkloadQuery};
+    pub use bcq_workload::{
+        all_datasets, load_par, load_range_par, Dataset, ParLoadOptions, WorkloadQuery,
+    };
 }
